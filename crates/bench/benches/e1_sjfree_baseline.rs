@@ -1,0 +1,54 @@
+//! Experiment E1 (Figure 1 / Section 2): the self-join-free baseline.
+//!
+//! Regenerates the paper's introductory classification — `q_△` and `q_T` are
+//! NP-complete, `q_rats` and `q_lin` are PTIME — and measures how the
+//! polynomial algorithms scale against the exact solver on `q_rats`
+//! instances of growing size.
+
+use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq::catalogue;
+use resilience_core::solver::ResilienceSolver;
+use resilience_core::ExactSolver;
+
+fn classification_of_figure_one(c: &mut Criterion) {
+    let queries = [
+        catalogue::q_triangle(),
+        catalogue::q_tripod(),
+        catalogue::q_rats(),
+        catalogue::q_lin(),
+    ];
+    c.bench_function("e1/classify_figure1_queries", |b| {
+        b.iter(|| {
+            for nq in &queries {
+                let c = cq::classify(&nq.query);
+                criterion::black_box(c.complexity.is_np_complete());
+            }
+        })
+    });
+}
+
+fn rats_flow_vs_exact(c: &mut Criterion) {
+    let nq = catalogue::q_rats();
+    let solver = ResilienceSolver::new(&nq.query);
+    let exact = ExactSolver::new();
+    let mut group = c.benchmark_group("e1/rats");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &nodes in &SWEEP_NODES {
+        let db = standard_instance(&nq.query, 11, nodes, SWEEP_DENSITY);
+        // Correctness of the series (who wins must be meaningful).
+        assert_eq!(solver.resilience(&db), exact.resilience_value(&nq.query, &db));
+        group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
+            b.iter(|| solver.resilience(db))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
+            b.iter(|| exact.resilience_value(&nq.query, db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e1, classification_of_figure_one, rats_flow_vs_exact);
+criterion_main!(e1);

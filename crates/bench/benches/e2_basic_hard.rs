@@ -1,0 +1,63 @@
+//! Experiment E2 (Figure 2 / Section 3.1): the basic hard queries `q_vc` and
+//! `q_chain`.
+//!
+//! Builds the Proposition 9 (Vertex Cover) and Proposition 10 (3SAT) gadgets
+//! on growing inputs and measures gadget construction plus exact resilience;
+//! the exponential growth of the exact phase versus the polynomial gadget
+//! construction is the "shape" the paper's hardness results predict.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gadgets::sat_chain::chain_gadget;
+use gadgets::vc_qvc::vc_to_qvc;
+use resilience_core::ExactSolver;
+use satgad::min_vertex_cover_size;
+use workloads::Workload;
+
+fn qvc_gadget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/qvc_gadget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [6usize, 9, 12] {
+        let graph = Workload::new(n as u64).random_undirected_graph(n, 0.3);
+        group.bench_with_input(BenchmarkId::new("construct", n), &graph, |b, g| {
+            b.iter(|| vc_to_qvc(g))
+        });
+        let gadget = vc_to_qvc(&graph);
+        // Validate the reduction before timing the solve.
+        let vc = min_vertex_cover_size(&graph);
+        let rho = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .unwrap();
+        assert_eq!(vc, rho);
+        group.bench_with_input(BenchmarkId::new("exact_resilience", n), &gadget, |b, g| {
+            b.iter(|| ExactSolver::new().resilience_value(&g.query, &g.database))
+        });
+    }
+    group.finish();
+}
+
+fn qchain_gadget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/qchain_gadget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for clauses in [2usize, 3] {
+        let formula = Workload::new(7).random_3cnf(4, clauses);
+        group.bench_with_input(
+            BenchmarkId::new("construct", clauses),
+            &formula,
+            |b, f| b.iter(|| chain_gadget(f)),
+        );
+        let gadget = chain_gadget(&formula);
+        group.bench_with_input(
+            BenchmarkId::new("exact_resilience", clauses),
+            &gadget,
+            |b, g| b.iter(|| ExactSolver::new().resilience_value(&g.query, &g.database)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(e2, qvc_gadget, qchain_gadget);
+criterion_main!(e2);

@@ -1,0 +1,44 @@
+//! Experiment E3 (Figure 3 / Section 3.3): PTIME queries that need trickier
+//! flow constructions — `q_ACconf` (Proposition 12) and `q_A3perm-R`
+//! (Proposition 13).
+//!
+//! For each query the bench sweeps instance sizes and times the dedicated
+//! flow algorithm against the exact solver; agreement is asserted before
+//! timing.
+
+use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq::catalogue;
+use resilience_core::solver::ResilienceSolver;
+use resilience_core::ExactSolver;
+
+fn bench_query(c: &mut Criterion, label: &str, query: &cq::Query, seed: u64) {
+    let solver = ResilienceSolver::new(query);
+    let exact = ExactSolver::new();
+    let mut group = c.benchmark_group(format!("e3/{label}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &nodes in &SWEEP_NODES {
+        let db = standard_instance(query, seed + nodes, nodes, SWEEP_DENSITY);
+        assert_eq!(solver.resilience(&db), exact.resilience_value(query, &db));
+        group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
+            b.iter(|| solver.resilience(db))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
+            b.iter(|| exact.resilience_value(query, db))
+        });
+    }
+    group.finish();
+}
+
+fn acconf(c: &mut Criterion) {
+    bench_query(c, "q_ACconf", &catalogue::q_acconf().query, 100);
+}
+
+fn a3perm_r(c: &mut Criterion) {
+    bench_query(c, "q_A3perm-R", &catalogue::q_a3perm_r().query, 200);
+}
+
+criterion_group!(e3, acconf, a3perm_r);
+criterion_main!(e3);

@@ -1,0 +1,66 @@
+//! Experiment E4 (Figure 5 / Theorem 37): the two-R-atom dichotomy.
+//!
+//! Benchmarks the dichotomy classifier itself over the whole named-query
+//! catalogue (the decision procedure Theorem 37 promises to be polynomial)
+//! and over a synthetic family of two-atom self-join queries; asserts that
+//! the classification matches the paper before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cq::catalogue::{all_named_queries, PaperClass};
+use cq::{classify, QueryBuilder};
+
+fn classify_catalogue(c: &mut Criterion) {
+    let catalogue = all_named_queries();
+    // Validate agreement with the paper once, outside the timing loop.
+    for nq in &catalogue {
+        let got = classify(&nq.query).complexity;
+        let ok = match nq.paper_class {
+            PaperClass::PTime => got.is_ptime(),
+            PaperClass::NpComplete => got.is_np_complete(),
+            PaperClass::Open => got.is_open(),
+        };
+        assert!(ok, "{} misclassified", nq.name);
+    }
+    c.bench_function("e4/classify_full_catalogue", |b| {
+        b.iter(|| {
+            for nq in &catalogue {
+                criterion::black_box(classify(&nq.query));
+            }
+        })
+    });
+}
+
+fn classify_synthetic_two_atom_family(c: &mut Criterion) {
+    // Every way two binary R-atoms over four variables can interact, with a
+    // unary anchor; this is the raw material of Figure 5.
+    let vars = ["x", "y", "z", "w"];
+    let mut family = Vec::new();
+    for a in 0..4 {
+        for b in 0..4 {
+            for d in 0..4 {
+                for e in 0..4 {
+                    let q = QueryBuilder::new()
+                        .atom("A", &[vars[0]])
+                        .atom("R", &[vars[a], vars[b]])
+                        .atom("R", &[vars[d], vars[e]])
+                        .build();
+                    family.push(q);
+                }
+            }
+        }
+    }
+    c.bench_function("e4/classify_synthetic_two_atom_family", |b| {
+        b.iter(|| {
+            let mut hard = 0usize;
+            for q in &family {
+                if classify(q).complexity.is_np_complete() {
+                    hard += 1;
+                }
+            }
+            criterion::black_box(hard)
+        })
+    });
+}
+
+criterion_group!(e4, classify_catalogue, classify_synthetic_two_atom_family);
+criterion_main!(e4);

@@ -1,0 +1,57 @@
+//! Experiment E5 (Figure 6a / Section 7.1): the eight unary expansions of
+//! `q_chain` are all NP-complete (Lemmas 52–54).
+//!
+//! Builds the 3SAT gadget for each expansion and measures construction and
+//! exact solving; the validation (satisfiable ⇔ resilience equals the
+//! threshold) is asserted once per expansion before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gadgets::sat_chain::{chain_expansion_gadget, ChainExpansion};
+use resilience_core::ExactSolver;
+use satgad::CnfFormula;
+
+fn formula() -> CnfFormula {
+    CnfFormula::from_clauses(
+        3,
+        &[
+            &[(0, true), (1, true), (2, true)],
+            &[(0, false), (1, true), (2, false)],
+        ],
+    )
+}
+
+fn expansions(c: &mut Criterion) {
+    let f = formula();
+    let satisfiable = f.is_satisfiable();
+    let mut group = c.benchmark_group("e5/chain_expansions");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for expansion in ChainExpansion::all() {
+        let gadget = chain_expansion_gadget(&f, expansion);
+        let rho = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .unwrap();
+        if gadget.threshold_is_exact {
+            assert_eq!(satisfiable, rho == gadget.threshold, "{expansion:?}");
+        } else {
+            // Expansions reuse the plain structure: resilience never exceeds
+            // the plain threshold (see gadgets::sat_chain docs).
+            assert!(rho <= gadget.threshold, "{expansion:?}");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("construct", format!("{expansion:?}")),
+            &f,
+            |b, f| b.iter(|| chain_expansion_gadget(f, expansion)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("{expansion:?}")),
+            &gadget,
+            |b, g| b.iter(|| ExactSolver::new().resilience_value(&g.query, &g.database)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(e5, expansions);
+criterion_main!(e5);

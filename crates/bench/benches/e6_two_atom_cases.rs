@@ -1,0 +1,72 @@
+//! Experiment E6 (Sections 7.2–7.4): the PTIME sides of the two-R-atom
+//! dichotomy — confluences without exogenous paths, unbound permutations and
+//! REP queries — plus the hard bound permutation solved exactly.
+//!
+//! Each PTIME case sweeps instance sizes, asserting flow/exact agreement and
+//! timing both; the bound permutation (`q_ABperm`) is solved with the exact
+//! solver only, which is the expected exponential-versus-polynomial contrast.
+
+use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq::catalogue;
+use resilience_core::solver::ResilienceSolver;
+use resilience_core::ExactSolver;
+
+fn ptime_case(c: &mut Criterion, label: &str, query: &cq::Query, seed: u64) {
+    let solver = ResilienceSolver::new(query);
+    assert!(solver.classification().complexity.is_ptime(), "{label}");
+    let exact = ExactSolver::new();
+    let mut group = c.benchmark_group(format!("e6/{label}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &nodes in &SWEEP_NODES {
+        let db = standard_instance(query, seed + nodes, nodes, SWEEP_DENSITY);
+        assert_eq!(solver.resilience(&db), exact.resilience_value(query, &db));
+        group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
+            b.iter(|| solver.resilience(db))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
+            b.iter(|| exact.resilience_value(query, db))
+        });
+    }
+    group.finish();
+}
+
+fn confluence(c: &mut Criterion) {
+    ptime_case(c, "confluence_qACconf", &catalogue::q_acconf().query, 300);
+}
+
+fn unbound_permutation(c: &mut Criterion) {
+    ptime_case(c, "unbound_perm_qAperm", &catalogue::q_aperm().query, 400);
+}
+
+fn rep_z3(c: &mut Criterion) {
+    ptime_case(c, "rep_z3", &catalogue::z3().query, 500);
+}
+
+fn bound_permutation_exact(c: &mut Criterion) {
+    let nq = catalogue::q_abperm();
+    let solver = ResilienceSolver::new(&nq.query);
+    assert!(solver.classification().complexity.is_np_complete());
+    let mut group = c.benchmark_group("e6/bound_perm_qABperm");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &nodes in &SWEEP_NODES {
+        let db = standard_instance(&nq.query, 600 + nodes, nodes, SWEEP_DENSITY);
+        group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
+            b.iter(|| solver.resilience(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    e6,
+    confluence,
+    unbound_permutation,
+    rep_z3,
+    bound_permutation_exact
+);
+criterion_main!(e6);

@@ -1,0 +1,74 @@
+//! Experiment E7 (Section 5, Figures 16–17): triads with self-joins.
+//!
+//! Builds the Vertex-Cover-based triangle gadget (Independent Join Paths,
+//! Section 9), the Proposition 57 tripod transformation and the Lemma 21
+//! tagging construction for the all-R self-join variation, and measures
+//! construction plus exact resilience as the source graph grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq::parse_query;
+use gadgets::sj_variation::tag_self_join_variation;
+use gadgets::triangle::{triangle_gadget_from_vc, tripod_from_triangle};
+use resilience_core::ExactSolver;
+use satgad::min_vertex_cover_size;
+use workloads::Workload;
+
+fn triangle_and_tripod(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/triangle");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [4usize, 6, 8] {
+        let graph = Workload::new(n as u64).random_undirected_graph(n, 0.35);
+        let gadget = triangle_gadget_from_vc(&graph);
+        let vc = min_vertex_cover_size(&graph);
+        let rho = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .unwrap();
+        assert_eq!(rho, gadget.threshold_for_cover(vc));
+
+        group.bench_with_input(BenchmarkId::new("construct", n), &graph, |b, g| {
+            b.iter(|| triangle_gadget_from_vc(g))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_triangle", n), &gadget, |b, g| {
+            b.iter(|| ExactSolver::new().resilience_value(&g.query, &g.database))
+        });
+        let tripod = tripod_from_triangle(&gadget.query, &gadget.database);
+        group.bench_with_input(BenchmarkId::new("exact_tripod", n), &tripod, |b, g| {
+            b.iter(|| ExactSolver::new().resilience_value(&g.query, &g.database))
+        });
+    }
+    group.finish();
+}
+
+fn lemma21_tagging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/lemma21_tagging");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let variation = parse_query("R(x,y), R(y,z), R(z,x)").unwrap();
+    for n in [4usize, 6] {
+        let graph = Workload::new(40 + n as u64).random_undirected_graph(n, 0.4);
+        let triangle = triangle_gadget_from_vc(&graph);
+        let tagged = tag_self_join_variation(&triangle.query, &variation, &triangle.database);
+        assert_eq!(
+            ExactSolver::new().resilience_value(&triangle.query, &triangle.database),
+            ExactSolver::new().resilience_value(&tagged.query, &tagged.database)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tag_and_solve", n),
+            &(triangle, variation.clone()),
+            |b, (triangle, variation)| {
+                b.iter(|| {
+                    let tagged =
+                        tag_self_join_variation(&triangle.query, variation, &triangle.database);
+                    ExactSolver::new().resilience_value(&tagged.query, &tagged.database)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(e7, triangle_and_tripod, lemma21_tagging);
+criterion_main!(e7);

@@ -1,0 +1,66 @@
+//! Experiment E8 (Section 8, Figure 7): queries with exactly three R-atoms.
+//!
+//! The PTIME cases (`q_TS3conf`, `q_Swx3perm-R`, `q_A3perm-R`) run their
+//! dedicated flow constructions against the exact solver; the NP-complete
+//! case `q_AC3conf` and the open case `q_AS3conf` are solved exactly, which
+//! illustrates the complexity landscape of Figure 7.
+
+use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq::catalogue;
+use resilience_core::solver::{ResilienceSolver, SolveMethod};
+use resilience_core::ExactSolver;
+
+fn ptime_three_atom_cases(c: &mut Criterion) {
+    let cases = [
+        ("q_TS3conf", catalogue::q_ts3conf()),
+        ("q_Swx3perm-R", catalogue::q_swx3perm_r()),
+        ("q_A3perm-R", catalogue::q_a3perm_r()),
+    ];
+    for (label, nq) in cases {
+        let solver = ResilienceSolver::new(&nq.query);
+        let exact = ExactSolver::new();
+        let mut group = c.benchmark_group(format!("e8/{label}"));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+        for &nodes in &SWEEP_NODES {
+            let db = standard_instance(&nq.query, 700 + nodes, nodes, SWEEP_DENSITY);
+            let outcome = solver.solve(&db);
+            assert_ne!(outcome.method, SolveMethod::ExactBranchAndBound, "{label}");
+            assert_eq!(outcome.resilience, exact.resilience_value(&nq.query, &db));
+            group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
+                b.iter(|| solver.resilience(db))
+            });
+            group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
+                b.iter(|| exact.resilience_value(&nq.query, db))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn hard_and_open_three_atom_cases(c: &mut Criterion) {
+    let cases = [
+        ("q_AC3conf", catalogue::q_ac3conf()),
+        ("q_AS3conf_open", catalogue::q_as3conf()),
+        ("q_AC3cc", catalogue::q_ac3cc()),
+    ];
+    for (label, nq) in cases {
+        let solver = ResilienceSolver::new(&nq.query);
+        let mut group = c.benchmark_group(format!("e8/{label}"));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+        for &nodes in &SWEEP_NODES[..2] {
+            let db = standard_instance(&nq.query, 800 + nodes, nodes, SWEEP_DENSITY);
+            group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
+                b.iter(|| solver.resilience(db))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(e8, ptime_three_atom_cases, hard_and_open_three_atom_cases);
+criterion_main!(e8);

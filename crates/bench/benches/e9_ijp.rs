@@ -1,0 +1,60 @@
+//! Experiment E9 (Section 9, Figures 8, 18, 19): Independent Join Paths.
+//!
+//! Benchmarks IJP verification (Definition 48) on the paper's example
+//! databases and the automated partition-enumeration search of Appendix C.2
+//! on `q_vc` and `q_chain`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cq::parse_query;
+use database::Database;
+use resilience_core::ijp::{check_ijp, search_ijp};
+
+fn example_databases(c: &mut Criterion) {
+    // Example 58 (q_vc) and Example 59 (q_triangle).
+    let qvc = parse_query("R(x), S(x,y), R(y)").unwrap();
+    let mut d58 = Database::for_query(&qvc);
+    d58.insert_named("R", &[1u64]);
+    d58.insert_named("S", &[1u64, 2]);
+    d58.insert_named("R", &[2u64]);
+
+    let triangle = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+    let mut d59 = Database::for_query(&triangle);
+    for (rel, vals) in [
+        ("R", [1u64, 2]),
+        ("R", [4, 2]),
+        ("R", [4, 5]),
+        ("S", [2, 3]),
+        ("S", [5, 3]),
+        ("T", [3, 1]),
+        ("T", [3, 4]),
+    ] {
+        d59.insert_named(rel, &vals);
+    }
+    assert!(check_ijp(&qvc, &d58));
+    assert!(check_ijp(&triangle, &d59));
+
+    c.bench_function("e9/verify_example58_qvc", |b| {
+        b.iter(|| check_ijp(&qvc, &d58))
+    });
+    c.bench_function("e9/verify_example59_triangle", |b| {
+        b.iter(|| check_ijp(&triangle, &d59))
+    });
+}
+
+fn automated_search(c: &mut Criterion) {
+    let qvc = parse_query("R(x), S(x,y), R(y)").unwrap();
+    let chain = parse_query("R(x,y), R(y,z)").unwrap();
+    assert!(search_ijp(&qvc, 2, 500).is_some());
+    assert!(search_ijp(&chain, 2, 5_000).is_some());
+
+    let mut group = c.benchmark_group("e9/search");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("qvc", |b| b.iter(|| search_ijp(&qvc, 2, 500)));
+    group.bench_function("qchain", |b| b.iter(|| search_ijp(&chain, 2, 5_000)));
+    group.finish();
+}
+
+criterion_group!(e9, example_databases, automated_search);
+criterion_main!(e9);

@@ -1,0 +1,61 @@
+//! Shared helpers for the benchmark harness (experiments E1–E10 of
+//! DESIGN.md).
+//!
+//! Each Criterion bench regenerates one of the paper's tables or figures on
+//! synthetic workloads; the helpers here build the workload instances so the
+//! benches and the `report` binary stay in sync.
+
+use cq::Query;
+use database::Database;
+use workloads::Workload;
+
+/// Builds the standard randomized instance used across experiments: a random
+/// `R`-graph over `nodes` values with the given density, saturated unary
+/// relations, and a deterministic sprinkling of tuples for every other
+/// binary relation of the query.
+pub fn standard_instance(q: &Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    let mut db = workload.random_graph_relation(q, "R", nodes, density);
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        if q.schema().arity(rel) == 2 && name != "R" {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed) % 4 == 0 {
+                        db.insert_named(&name, &[a, b]);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+/// The instance sizes (active-domain nodes) swept by the scaling benches.
+pub const SWEEP_NODES: [u64; 3] = [6, 9, 12];
+
+/// Density used by the scaling benches.
+pub const SWEEP_DENSITY: f64 = 0.22;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    #[test]
+    fn standard_instance_is_reproducible() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let a = standard_instance(&q, 3, 8, 0.25);
+        let b = standard_instance(&q, 3, 8, 0.25);
+        assert_eq!(a.num_tuples(), b.num_tuples());
+    }
+
+    #[test]
+    fn standard_instance_saturates_unary_relations() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let db = standard_instance(&q, 1, 7, 0.2);
+        let a = db.schema().relation_id("A").unwrap();
+        assert_eq!(db.tuples_of(a).len(), 7);
+    }
+}

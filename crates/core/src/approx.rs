@@ -1,0 +1,179 @@
+//! Approximation and bounding for resilience on NP-complete queries.
+//!
+//! The paper's hard cases leave no polynomial exact algorithm (unless
+//! P = NP), but practical use still wants fast answers with guarantees.
+//! This module provides the standard toolbox around the witness hypergraph:
+//!
+//! * [`greedy_upper_bound`] — the greedy hitting-set heuristic
+//!   (ln(m)-approximation for hitting sets; for queries with `m` atoms every
+//!   witness has at most `m` tuples, so it is also an `m`-approximation);
+//! * [`disjoint_packing_lower_bound`] — a maximal packing of pairwise
+//!   disjoint witnesses, each of which forces one deletion;
+//! * [`ResilienceBounds::compute`] — both bounds plus the exact value when
+//!   they already coincide (which happens surprisingly often on sparse
+//!   instances and is how the branch-and-bound solver prunes).
+
+use crate::exact::greedy_hitting_set;
+use database::{Database, TupleId, WitnessSet};
+use cq::Query;
+use std::collections::HashSet;
+
+/// Greedy hitting-set upper bound with the witnessing contingency set.
+pub fn greedy_upper_bound(ws: &WitnessSet) -> Option<Vec<TupleId>> {
+    if ws.has_undeletable_witness() {
+        return None;
+    }
+    Some(greedy_hitting_set(&ws.reduced_sets()))
+}
+
+/// Lower bound from a greedy maximal packing of pairwise-disjoint witnesses.
+pub fn disjoint_packing_lower_bound(ws: &WitnessSet) -> usize {
+    let mut used: HashSet<TupleId> = HashSet::new();
+    let mut bound = 0usize;
+    // Smallest witnesses first: they are the hardest to pack around.
+    let mut sets = ws.reduced_sets();
+    sets.sort_by_key(|s| s.len());
+    for set in sets {
+        if set.is_empty() {
+            continue;
+        }
+        if set.iter().any(|t| used.contains(t)) {
+            continue;
+        }
+        bound += 1;
+        used.extend(set);
+    }
+    bound
+}
+
+/// Upper and lower bounds on the resilience of one instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResilienceBounds {
+    /// Lower bound (disjoint witness packing). 0 when the query is false.
+    pub lower: usize,
+    /// Upper bound (greedy hitting set), or `None` when the query cannot be
+    /// made false at all.
+    pub upper: Option<usize>,
+    /// The greedy contingency set witnessing `upper`.
+    pub greedy_contingency: Vec<TupleId>,
+}
+
+impl ResilienceBounds {
+    /// Computes both bounds for `q` over `db`.
+    pub fn compute(q: &Query, db: &Database) -> Self {
+        let ws = WitnessSet::build(q, db);
+        Self::from_witnesses(&ws)
+    }
+
+    /// Computes both bounds from a prebuilt witness set.
+    pub fn from_witnesses(ws: &WitnessSet) -> Self {
+        let lower = disjoint_packing_lower_bound(ws);
+        match greedy_upper_bound(ws) {
+            Some(greedy) => ResilienceBounds {
+                lower,
+                upper: Some(greedy.len()),
+                greedy_contingency: greedy,
+            },
+            None => ResilienceBounds {
+                lower,
+                upper: None,
+                greedy_contingency: Vec::new(),
+            },
+        }
+    }
+
+    /// When the bounds already meet, the exact resilience is known without
+    /// any search.
+    pub fn exact_if_tight(&self) -> Option<usize> {
+        match self.upper {
+            Some(u) if u == self.lower => Some(u),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+    use cq::parse_query;
+    use database::Database;
+    use workloads::Workload;
+
+    fn chain_instance(seed: u64, nodes: u64, density: f64) -> (Query, Database) {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = Workload::new(seed).random_graph_relation(&q, "R", nodes, density);
+        (q, db)
+    }
+
+    #[test]
+    fn bounds_bracket_the_exact_value() {
+        for seed in 0..8u64 {
+            let (q, db) = chain_instance(seed, 8, 0.25);
+            let bounds = ResilienceBounds::compute(&q, &db);
+            let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+            assert!(bounds.lower <= exact, "seed {seed}");
+            assert!(exact <= bounds.upper.unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_contingency_is_valid() {
+        let (q, db) = chain_instance(3, 9, 0.3);
+        let ws = WitnessSet::build(&q, &db);
+        let bounds = ResilienceBounds::from_witnesses(&ws);
+        let gamma: HashSet<TupleId> = bounds.greedy_contingency.iter().copied().collect();
+        assert!(ws.is_contingency_set(&gamma));
+        assert_eq!(gamma.len(), bounds.upper.unwrap());
+    }
+
+    #[test]
+    fn tight_bounds_give_exact_answers() {
+        // Disjoint witnesses: packing = greedy = exact.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for i in 0..5u64 {
+            db.insert_named("R", &[10 * i, 10 * i + 1]);
+            db.insert_named("R", &[10 * i + 1, 10 * i + 2]);
+        }
+        let bounds = ResilienceBounds::compute(&q, &db);
+        assert_eq!(bounds.exact_if_tight(), Some(5));
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(exact, 5);
+    }
+
+    #[test]
+    fn unfalsifiable_instances_have_no_upper_bound() {
+        let q = parse_query("R^x(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        let bounds = ResilienceBounds::compute(&q, &db);
+        assert_eq!(bounds.upper, None);
+        assert!(bounds.exact_if_tight().is_none());
+    }
+
+    #[test]
+    fn false_query_has_zero_bounds() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = Database::for_query(&q);
+        let bounds = ResilienceBounds::compute(&q, &db);
+        assert_eq!(bounds.lower, 0);
+        assert_eq!(bounds.upper, Some(0));
+        assert_eq!(bounds.exact_if_tight(), Some(0));
+    }
+
+    #[test]
+    fn lower_bound_counts_disjoint_witnesses() {
+        // A 6-cycle of R-edges: witnesses are the 6 consecutive pairs; a
+        // maximal disjoint packing has 3 of them, and the exact resilience is
+        // also 3.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for i in 0..6u64 {
+            db.insert_named("R", &[i, (i + 1) % 6]);
+        }
+        let ws = WitnessSet::build(&q, &db);
+        assert_eq!(disjoint_packing_lower_bound(&ws), 3);
+        assert_eq!(ExactSolver::new().resilience_value(&q, &db), Some(3));
+    }
+}

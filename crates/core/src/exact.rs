@@ -1,0 +1,409 @@
+//! Exact resilience via minimum hitting set over the witness hypergraph.
+//!
+//! Resilience (Definition 1) asks for a minimum set of endogenous tuples
+//! intersecting every witness. This is a minimum hitting set problem over
+//! the witness sets, solved here by branch and bound:
+//!
+//! * the greedy hitting set provides an initial upper bound;
+//! * a greedy packing of pairwise-disjoint witness sets provides a lower
+//!   bound at every node;
+//! * branching picks an uncovered witness with the fewest remaining tuples
+//!   and tries each of its tuples in turn.
+//!
+//! The solver is exponential in the worst case — the paper proves the
+//! problem NP-complete for most self-join queries — but it comfortably
+//! handles the instance sizes used to validate the polynomial algorithms and
+//! the hardness gadgets (hundreds of tuples, thousands of witnesses).
+
+use database::{Database, TupleId, WitnessSet};
+use cq::Query;
+use std::collections::HashSet;
+
+/// Result of an exact resilience computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactResult {
+    /// The resilience `ρ(q, D)`, or `None` when the query cannot be made
+    /// false (some witness uses only exogenous tuples).
+    pub resilience: Option<usize>,
+    /// A minimum contingency set witnessing the value (empty when the query
+    /// is already false).
+    pub contingency: Vec<TupleId>,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+/// Exact resilience solver.
+#[derive(Clone, Debug)]
+pub struct ExactSolver {
+    /// Upper limit on branch-and-bound nodes before giving up (`None` in the
+    /// result is *not* used for this; the solver panics instead, because a
+    /// silent wrong answer would poison gadget validation).
+    pub node_limit: usize,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver {
+            node_limit: 50_000_000,
+        }
+    }
+}
+
+impl ExactSolver {
+    /// Creates a solver with the default node limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with a custom node limit.
+    pub fn with_node_limit(node_limit: usize) -> Self {
+        ExactSolver { node_limit }
+    }
+
+    /// Computes the exact resilience of `q` over `db`.
+    pub fn resilience(&self, q: &Query, db: &Database) -> ExactResult {
+        let ws = WitnessSet::build(q, db);
+        self.resilience_of_witnesses(&ws)
+    }
+
+    /// Computes a minimum hitting set of the witness hypergraph directly.
+    pub fn resilience_of_witnesses(&self, ws: &WitnessSet) -> ExactResult {
+        if ws.is_empty() {
+            return ExactResult {
+                resilience: Some(0),
+                contingency: Vec::new(),
+                nodes_explored: 0,
+            };
+        }
+        if ws.has_undeletable_witness() {
+            return ExactResult {
+                resilience: None,
+                contingency: Vec::new(),
+                nodes_explored: 0,
+            };
+        }
+        let sets = ws.reduced_sets();
+        let mut state = SearchState {
+            sets,
+            best: greedy_hitting_set(&ws.reduced_sets()),
+            node_limit: self.node_limit,
+            nodes: 0,
+        };
+        let mut current: Vec<TupleId> = Vec::new();
+        state.branch(&mut current);
+        let mut contingency = state.best;
+        contingency.sort_unstable();
+        ExactResult {
+            resilience: Some(contingency.len()),
+            contingency,
+            nodes_explored: state.nodes,
+        }
+    }
+
+    /// Convenience: just the numeric resilience.
+    pub fn resilience_value(&self, q: &Query, db: &Database) -> Option<usize> {
+        self.resilience(q, db).resilience
+    }
+
+    /// Decision version (Definition 1): is `(D, k) ∈ RES(q)`?
+    ///
+    /// Requires `D |= q` (otherwise the instance is not in the decision
+    /// problem at all, mirroring the paper's definition).
+    pub fn decide(&self, q: &Query, db: &Database, k: usize) -> bool {
+        let ws = WitnessSet::build(q, db);
+        if ws.is_empty() {
+            return false; // D does not satisfy q
+        }
+        match self.resilience_of_witnesses(&ws).resilience {
+            Some(r) => r <= k,
+            None => false,
+        }
+    }
+}
+
+struct SearchState {
+    sets: Vec<Vec<TupleId>>,
+    best: Vec<TupleId>,
+    node_limit: usize,
+    nodes: usize,
+}
+
+impl SearchState {
+    fn branch(&mut self, current: &mut Vec<TupleId>) {
+        self.nodes += 1;
+        assert!(
+            self.nodes <= self.node_limit,
+            "exact resilience search exceeded {} nodes",
+            self.node_limit
+        );
+        if current.len() + self.lower_bound(current) >= self.best.len() {
+            return;
+        }
+        // Pick the uncovered set with the fewest tuples.
+        let chosen: HashSet<TupleId> = current.iter().copied().collect();
+        let mut pick: Option<&Vec<TupleId>> = None;
+        for set in &self.sets {
+            if set.iter().any(|t| chosen.contains(t)) {
+                continue;
+            }
+            match pick {
+                Some(p) if p.len() <= set.len() => {}
+                _ => pick = Some(set),
+            }
+        }
+        let Some(pick) = pick.cloned() else {
+            // Everything covered: `current` is a hitting set.
+            if current.len() < self.best.len() {
+                self.best = current.clone();
+            }
+            return;
+        };
+        for t in pick {
+            current.push(t);
+            self.branch(current);
+            current.pop();
+        }
+    }
+
+    /// Lower bound: greedily pack witness sets that are pairwise disjoint and
+    /// disjoint from the current selection — each needs its own deletion.
+    fn lower_bound(&self, current: &[TupleId]) -> usize {
+        let chosen: HashSet<TupleId> = current.iter().copied().collect();
+        let mut used: HashSet<TupleId> = HashSet::new();
+        let mut bound = 0usize;
+        for set in &self.sets {
+            if set.iter().any(|t| chosen.contains(t)) {
+                continue;
+            }
+            if set.iter().any(|t| used.contains(t)) {
+                continue;
+            }
+            bound += 1;
+            for &t in set {
+                used.insert(t);
+            }
+        }
+        bound
+    }
+}
+
+/// Greedy hitting set: repeatedly pick the tuple covering the most uncovered
+/// witness sets. Provides the initial upper bound for branch and bound and a
+/// standalone approximation useful for large hard instances.
+pub fn greedy_hitting_set(sets: &[Vec<TupleId>]) -> Vec<TupleId> {
+    let mut uncovered: Vec<&Vec<TupleId>> = sets.iter().collect();
+    let mut result: Vec<TupleId> = Vec::new();
+    while !uncovered.is_empty() {
+        let mut counts: std::collections::HashMap<TupleId, usize> = std::collections::HashMap::new();
+        for set in &uncovered {
+            for &t in set.iter() {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        // Deterministic tie-break on tuple id.
+        let best = counts
+            .into_iter()
+            .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t)))
+            .map(|(t, _)| t)
+            .expect("uncovered sets are non-empty");
+        result.push(best);
+        uncovered.retain(|set| !set.contains(&best));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+    use database::Database;
+
+    fn solve(q: &str, rows: &[(&str, &[u64])]) -> Option<usize> {
+        let q = parse_query(q).unwrap();
+        let mut db = Database::for_query(&q);
+        for (rel, vals) in rows {
+            db.insert_named(rel, vals);
+        }
+        ExactSolver::new().resilience_value(&q, &db)
+    }
+
+    #[test]
+    fn paper_chain_example_has_resilience_two() {
+        // D = {R(1,2), R(2,3), R(3,3)}: witnesses (1,2,3),(2,3,3),(3,3,3).
+        // R(3,3) alone kills the last two; R(1,2) or R(2,3) kills the first.
+        let r = solve(
+            "R(x,y), R(y,z)",
+            &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])],
+        );
+        assert_eq!(r, Some(2));
+    }
+
+    #[test]
+    fn false_query_has_resilience_zero() {
+        let r = solve("R(x,y), R(y,z)", &[("R", &[1, 2])]);
+        assert_eq!(r, Some(0));
+    }
+
+    #[test]
+    fn example_11_domination_subtlety() {
+        // D = {A(1),A(5),R(1,2),R(2,3),R(3,1),R(5,1),R(2,5)} for
+        // q_sj1rats :- A(x),R(x,y),R(y,z),R(z,x): the minimum contingency set
+        // is {R(1,2)}, size 1 (Example 11).
+        let r = solve(
+            "A(x), R(x,y), R(y,z), R(z,x)",
+            &[
+                ("A", &[1]),
+                ("A", &[5]),
+                ("R", &[1, 2]),
+                ("R", &[2, 3]),
+                ("R", &[3, 1]),
+                ("R", &[5, 1]),
+                ("R", &[2, 5]),
+            ],
+        );
+        assert_eq!(r, Some(1));
+    }
+
+    #[test]
+    fn exogenous_relation_forces_other_deletions() {
+        // q :- A(x), R^x(x,y): R-tuples cannot be deleted, so every A-tuple
+        // participating in a witness must go.
+        let r = solve(
+            "A(x), R^x(x,y)",
+            &[("A", &[1]), ("A", &[2]), ("A", &[3]), ("R", &[1, 10]), ("R", &[2, 20])],
+        );
+        assert_eq!(r, Some(2));
+    }
+
+    #[test]
+    fn fully_exogenous_witness_is_unfalsifiable() {
+        let r = solve("R^x(x,y)", &[("R", &[1, 2])]);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn triangle_instance() {
+        // Two disjoint triangles: resilience 2 (one edge each).
+        let r = solve(
+            "R(x,y), S(y,z), T(z,x)",
+            &[
+                ("R", &[1, 2]),
+                ("S", &[2, 3]),
+                ("T", &[3, 1]),
+                ("R", &[4, 5]),
+                ("S", &[5, 6]),
+                ("T", &[6, 4]),
+            ],
+        );
+        assert_eq!(r, Some(2));
+    }
+
+    #[test]
+    fn shared_tuple_across_witnesses_is_preferred() {
+        // Star: R(0,i) for i=1..5 and S(i, 100): q :- R(x,y), S(y,z).
+        // Deleting the 5 S-tuples or the 5 R-tuples is forced... actually
+        // each witness is {R(0,i), S(i,100)}, pairwise disjoint across i, so
+        // resilience is 5.
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for i in 1..=5u64 {
+            db.insert_named("R", &[0, i]);
+            db.insert_named("S", &[i, 100]);
+        }
+        assert_eq!(ExactSolver::new().resilience_value(&q, &db), Some(5));
+    }
+
+    #[test]
+    fn hub_tuple_is_selected_once() {
+        // All witnesses share R(0,1): resilience 1.
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[0, 1]);
+        for i in 0..6u64 {
+            db.insert_named("S", &[1, 100 + i]);
+        }
+        let result = ExactSolver::new().resilience(&q, &db);
+        assert_eq!(result.resilience, Some(1));
+        assert_eq!(result.contingency.len(), 1);
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.relation_of(result.contingency[0]), r);
+    }
+
+    #[test]
+    fn contingency_set_is_valid() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 2), (2, 5), (5, 5)] {
+            db.insert_named("R", &[a as u64, b as u64]);
+        }
+        let result = ExactSolver::new().resilience(&q, &db);
+        let gamma: std::collections::HashSet<TupleId> =
+            result.contingency.iter().copied().collect();
+        let ws = WitnessSet::build(&q, &db);
+        assert!(ws.is_contingency_set(&gamma));
+        assert_eq!(result.resilience, Some(gamma.len()));
+        // And removing the tuples really falsifies the query.
+        let smaller = db.without(&gamma);
+        assert!(!database::evaluate(&q, &smaller));
+    }
+
+    #[test]
+    fn decision_version_matches_optimum() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        db.insert_named("R", &[3, 3]);
+        let solver = ExactSolver::new();
+        assert!(!solver.decide(&q, &db, 1));
+        assert!(solver.decide(&q, &db, 2));
+        assert!(solver.decide(&q, &db, 3));
+        // A database not satisfying q is not in RES(q) for any k.
+        let empty = Database::for_query(&q);
+        assert!(!solver.decide(&q, &empty, 0));
+    }
+
+    #[test]
+    fn greedy_hitting_set_hits_everything() {
+        let sets = vec![
+            vec![TupleId(1), TupleId(2)],
+            vec![TupleId(2), TupleId(3)],
+            vec![TupleId(4)],
+        ];
+        let hs = greedy_hitting_set(&sets);
+        for set in &sets {
+            assert!(set.iter().any(|t| hs.contains(t)));
+        }
+        assert!(hs.len() <= 3);
+    }
+
+    #[test]
+    fn vertex_cover_instance_through_qvc() {
+        // q_vc over a 5-cycle graph: minimum vertex cover of C5 is 3.
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        for v in 0..5u64 {
+            db.insert_named("R", &[v]);
+            db.insert_named("S", &[v, (v + 1) % 5]);
+        }
+        assert_eq!(ExactSolver::new().resilience_value(&q, &db), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn node_limit_is_enforced() {
+        // An adversarial instance with a tiny node limit must panic rather
+        // than silently return a wrong answer.
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        for v in 0..12u64 {
+            db.insert_named("R", &[v]);
+            for w in 0..12u64 {
+                if v < w {
+                    db.insert_named("S", &[v, w]);
+                }
+            }
+        }
+        ExactSolver::with_node_limit(3).resilience(&q, &db);
+    }
+}

@@ -1,0 +1,507 @@
+//! Flow-based polynomial-time resilience algorithms.
+//!
+//! All PTIME cases of the dichotomy reduce to minimum cuts. This module
+//! contains the generic constructions shared by several cases:
+//!
+//! * [`witness_path_flow`] — the classic "witnesses are s–t paths over tuple
+//!   nodes" construction used for linear queries (Section 2.4) and, with
+//!   duplicated self-join positions collapsing onto a single node, for
+//!   2-confluences (Proposition 31) and `q_TS3conf` (Proposition 41);
+//! * [`pairwise_bipartite_resilience`] — minimum vertex cover via König's
+//!   theorem when every witness touches at most two endogenous tuples drawn
+//!   from two relations (e.g. the normal form of `q_rats`);
+//! * [`permutation_flow_resilience`] — the pair-node construction for
+//!   unbound 2-permutations (Propositions 33 and 35);
+//! * [`rep_flow_resilience`] — Proposition 36's observation that
+//!   off-diagonal tuples of the REP relation are never needed, after which
+//!   the witness-path flow applies.
+//!
+//! Each function returns `None` when the construction detects that the query
+//! cannot be made false on the given instance (a witness with no deletable
+//! tuple).
+
+use cq::linear::linear_order_all;
+use cq::patterns::single_self_join_relation;
+use cq::Query;
+use database::{Database, TupleId, WitnessSet};
+use flow::{VertexCutNetwork, INF};
+use std::collections::{HashMap, HashSet};
+
+/// Result of a flow-based resilience computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowResult {
+    /// The computed resilience.
+    pub resilience: usize,
+    /// A contingency set achieving it (one tuple per cut vertex; for
+    /// pair-node constructions one representative tuple per pair).
+    pub contingency: Vec<TupleId>,
+}
+
+/// The generic witness-path vertex-cut construction.
+///
+/// Tuples become nodes (capacity 1 if endogenous and not listed in
+/// `uncuttable`, infinite otherwise); every witness contributes the s–t path
+/// that visits its tuples in the order the atoms appear in `atom_order`.
+/// For *linear* atom orders every hybrid s–t path of the resulting graph is
+/// itself a witness, so the minimum vertex cut equals the resilience.
+///
+/// Returns `None` if some witness has no cuttable tuple at all.
+pub fn witness_path_flow(
+    q: &Query,
+    db: &Database,
+    ws: &WitnessSet,
+    atom_order: &[usize],
+    uncuttable: &HashSet<TupleId>,
+) -> Option<FlowResult> {
+    if ws.is_empty() {
+        return Some(FlowResult {
+            resilience: 0,
+            contingency: Vec::new(),
+        });
+    }
+    let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+
+    let mut network = VertexCutNetwork::new();
+    let source = network.add_vertex(INF);
+    let target = network.add_vertex(INF);
+    let mut node_of: HashMap<TupleId, usize> = HashMap::new();
+    let mut tuple_of: HashMap<usize, TupleId> = HashMap::new();
+
+    let mut node = |t: TupleId, network: &mut VertexCutNetwork| -> usize {
+        if let Some(&n) = node_of.get(&t) {
+            return n;
+        }
+        let cuttable = endo.contains(&t) && !uncuttable.contains(&t);
+        let n = network.add_vertex(if cuttable { 1 } else { INF });
+        node_of.insert(t, n);
+        tuple_of.insert(n, t);
+        n
+    };
+
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    for w in &ws.witnesses {
+        // Check the witness can be destroyed at all.
+        let cuttable = w
+            .tuple_set()
+            .into_iter()
+            .any(|t| endo.contains(&t) && !uncuttable.contains(&t));
+        if !cuttable {
+            return None;
+        }
+        let mut prev = source;
+        for &atom_idx in atom_order {
+            let t = w.atom_tuples[atom_idx];
+            let n = node(t, &mut network);
+            if n != prev {
+                edges.insert((prev, n));
+            }
+            prev = n;
+        }
+        edges.insert((prev, target));
+    }
+    for (from, to) in edges {
+        network.add_edge(from, to);
+    }
+    let cut = network.min_vertex_cut(source, target);
+    let contingency: Vec<TupleId> = cut
+        .cut_vertices
+        .iter()
+        .filter_map(|v| tuple_of.get(v).copied())
+        .collect();
+    Some(FlowResult {
+        resilience: cut.value as usize,
+        contingency,
+    })
+}
+
+/// Witness-path flow using the query's own linear order of all atoms.
+/// Returns `None` if the query is not linear or some witness is uncuttable.
+pub fn linear_query_flow(q: &Query, db: &Database) -> Option<FlowResult> {
+    let order = linear_order_all(q)?;
+    let ws = WitnessSet::build(q, db);
+    witness_path_flow(q, db, &ws, &order, &HashSet::new())
+}
+
+/// Minimum hitting set when every witness touches at most two endogenous
+/// tuples: this is vertex cover over the "conflict graph" of tuples, solvable
+/// by König's theorem whenever that graph is bipartite. Returns `None` when
+/// some witness has more than two endogenous tuples, no endogenous tuple, or
+/// the conflict graph is not bipartite.
+pub fn pairwise_bipartite_resilience(ws: &WitnessSet) -> Option<usize> {
+    use satgad::UndirectedGraph;
+
+    let mut tuple_index: HashMap<TupleId, usize> = HashMap::new();
+    for &t in &ws.relevant_tuples {
+        let next = tuple_index.len();
+        tuple_index.insert(t, next);
+    }
+    let mut graph = UndirectedGraph::new(tuple_index.len());
+    let mut forced: HashSet<usize> = HashSet::new();
+    for set in &ws.endogenous_sets {
+        match set.len() {
+            0 => return None,
+            1 => {
+                forced.insert(tuple_index[&set[0]]);
+            }
+            2 => {
+                graph.add_edge(tuple_index[&set[0]], tuple_index[&set[1]]);
+            }
+            _ => return None,
+        }
+    }
+    // Forced vertices (singleton witnesses) must be deleted; remove their
+    // incident edges by solving VC on the residual graph.
+    let mut residual = UndirectedGraph::new(tuple_index.len());
+    for (u, v) in graph.edges() {
+        if !forced.contains(&u) && !forced.contains(&v) {
+            residual.add_edge(u, v);
+        }
+    }
+    let vc = satgad::bipartite_min_vertex_cover(&residual)?;
+    Some(forced.len() + vc)
+}
+
+/// Resilience of an unbound 2-permutation query (Propositions 33 and 35,
+/// "case 1"). The self-join relation `R` occurs as `R(x,y), R(y,x)`; every
+/// witness either uses a symmetric pair `{R(a,b), R(b,a)}` (or a loop
+/// `R(a,a)`), of which a minimum contingency set deletes exactly one, or is
+/// destroyed further left. The construction collapses each symmetric pair to
+/// a single unit-capacity "pair node" placed after the remaining endogenous
+/// tuples of the witness (taken in the query's pseudo-linear order).
+pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+    let (rel, r_atoms) = single_self_join_relation(q)?;
+    if r_atoms.len() != 2 {
+        return None;
+    }
+    let ws = WitnessSet::build(q, db);
+    if ws.is_empty() {
+        return Some(FlowResult {
+            resilience: 0,
+            contingency: Vec::new(),
+        });
+    }
+    let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+    let r_is_endogenous = r_atoms.iter().any(|&i| !q.atom(i).exogenous);
+
+    // Order of the non-R atoms: keep query order restricted to endogenous
+    // non-R atoms (pseudo-linear for the queries this is applied to).
+    let left_atoms: Vec<usize> = (0..q.num_atoms())
+        .filter(|i| !r_atoms.contains(i) && !q.atom(*i).exogenous)
+        .collect();
+
+    let mut network = VertexCutNetwork::new();
+    let source = network.add_vertex(INF);
+    let target = network.add_vertex(INF);
+    let mut tuple_node: HashMap<TupleId, usize> = HashMap::new();
+    let mut pair_node: HashMap<(TupleId, TupleId), usize> = HashMap::new();
+    let mut node_tuple: HashMap<usize, TupleId> = HashMap::new();
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+
+    let db_rel = db
+        .schema()
+        .relation_id(q.schema().name(rel))
+        .expect("database schema mismatch");
+    let _ = db_rel;
+
+    for w in &ws.witnesses {
+        let mut prev = source;
+        for &atom_idx in &left_atoms {
+            let t = w.atom_tuples[atom_idx];
+            let n = *tuple_node.entry(t).or_insert_with(|| {
+                let cap = if endo.contains(&t) { 1 } else { INF };
+                let n = network.add_vertex(cap);
+                node_tuple.insert(n, t);
+                n
+            });
+            if n != prev {
+                edges.insert((prev, n));
+            }
+            prev = n;
+        }
+        // The symmetric pair used by this witness.
+        let t1 = w.atom_tuples[r_atoms[0]];
+        let t2 = w.atom_tuples[r_atoms[1]];
+        let key = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let n = *pair_node.entry(key).or_insert_with(|| {
+            let cap = if r_is_endogenous && endo.contains(&key.0) {
+                1
+            } else {
+                INF
+            };
+            let n = network.add_vertex(cap);
+            node_tuple.insert(n, key.0);
+            n
+        });
+        if n != prev {
+            edges.insert((prev, n));
+        }
+        edges.insert((n, target));
+
+        // Guard against unfalsifiable witnesses.
+        let any_cuttable = w.tuple_set().into_iter().any(|t| endo.contains(&t));
+        if !any_cuttable {
+            return None;
+        }
+    }
+    for (from, to) in edges {
+        network.add_edge(from, to);
+    }
+    let cut = network.min_vertex_cut(source, target);
+    let contingency: Vec<TupleId> = cut
+        .cut_vertices
+        .iter()
+        .filter_map(|v| node_tuple.get(v).copied())
+        .collect();
+    Some(FlowResult {
+        resilience: cut.value as usize,
+        contingency,
+    })
+}
+
+/// Resilience of a REP query containing `z3` (Proposition 36): tuples
+/// `R(a,b)` with `a != b` are never needed in a minimum contingency set, so
+/// they are treated as uncuttable and the witness-path flow applies over the
+/// pseudo-linear order of the endogenous atoms.
+pub fn rep_flow_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+    let (rel, _) = single_self_join_relation(q)?;
+    let db_rel = db.schema().relation_id(q.schema().name(rel))?;
+    let mut uncuttable: HashSet<TupleId> = HashSet::new();
+    for &t in db.tuples_of(db_rel) {
+        let vals = db.values_of(t);
+        if vals.len() == 2 && vals[0] != vals[1] {
+            uncuttable.insert(t);
+        }
+    }
+    let ws = WitnessSet::build(q, db);
+    let order = cq::linear::linear_order_all(q)
+        .or_else(|| cq::linear::pseudo_linear_order(q))
+        .unwrap_or_else(|| (0..q.num_atoms()).collect());
+    witness_path_flow(q, db, &ws, &order, &uncuttable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+    use cq::parse_query;
+
+    fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
+        let mut db = Database::for_query(q);
+        for (rel, vals) in rows {
+            db.insert_named(rel, vals);
+        }
+        db
+    }
+
+    #[test]
+    fn linear_sjfree_flow_matches_exact() {
+        // q :- A(x), R(x,y), B(y) over a small bipartite-ish instance.
+        let q = parse_query("A(x), R(x,y), B(y)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[1, 11]),
+                ("R", &[2, 10]),
+                ("B", &[10]),
+                ("B", &[11]),
+            ],
+        );
+        let flow = linear_query_flow(&q, &db).unwrap();
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(flow.resilience, exact);
+        // Contingency really works.
+        let gamma: HashSet<TupleId> = flow.contingency.iter().copied().collect();
+        let ws = WitnessSet::build(&q, &db);
+        assert!(ws.is_contingency_set(&gamma));
+    }
+
+    #[test]
+    fn exogenous_middle_relation_is_never_cut() {
+        let q = parse_query("A(x), R^x(x,y), B(y)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 10]),
+                ("B", &[10]),
+            ],
+        );
+        let flow = linear_query_flow(&q, &db).unwrap();
+        assert_eq!(flow.resilience, 1); // delete B(10)
+        let b = db.schema().relation_id("B").unwrap();
+        assert!(flow.contingency.iter().all(|&t| db.relation_of(t) == b));
+    }
+
+    #[test]
+    fn acconf_flow_matches_exact_on_crafted_instance() {
+        // The Proposition 12 case analysis instance.
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[4]),
+                ("C", &[1]),
+                ("C", &[5]),
+                ("R", &[1, 2]),
+                ("R", &[4, 2]),
+                ("R", &[5, 2]),
+                ("R", &[1, 3]),
+                ("R", &[5, 3]),
+            ],
+        );
+        let flow = linear_query_flow(&q, &db).unwrap();
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(flow.resilience, exact);
+    }
+
+    #[test]
+    fn unfalsifiable_instance_returns_none() {
+        let q = parse_query("R^x(x,y), S^x(y,z)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2]), ("S", &[2, 3])]);
+        let ws = WitnessSet::build(&q, &db);
+        let order: Vec<usize> = vec![0, 1];
+        assert!(witness_path_flow(&q, &db, &ws, &order, &HashSet::new()).is_none());
+    }
+
+    #[test]
+    fn empty_database_has_zero_resilience() {
+        let q = parse_query("A(x), R(x,y), B(y)").unwrap();
+        let db = Database::for_query(&q);
+        let flow = linear_query_flow(&q, &db).unwrap();
+        assert_eq!(flow.resilience, 0);
+        assert!(flow.contingency.is_empty());
+    }
+
+    #[test]
+    fn pairwise_bipartite_matches_exact_for_rats_normal_form() {
+        // Normal form of q_rats: R^x(x,y), A(x), T^x(z,x), S(y,z).
+        let q = parse_query("R^x(x,y), A(x), T^x(z,x), S(y,z)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("T", &[20, 1]),
+                ("T", &[21, 2]),
+                ("S", &[10, 20]),
+                ("S", &[11, 21]),
+                ("S", &[10, 21]),
+            ],
+        );
+        let ws = WitnessSet::build(&q, &db);
+        let via_flow = pairwise_bipartite_resilience(&ws).unwrap();
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(via_flow, exact);
+    }
+
+    #[test]
+    fn pairwise_bipartite_rejects_triple_witnesses() {
+        let q = parse_query("A(x), R(x,y), B(y)").unwrap();
+        let db = build_db(&q, &[("A", &[1]), ("R", &[1, 2]), ("B", &[2])]);
+        let ws = WitnessSet::build(&q, &db);
+        assert!(pairwise_bipartite_resilience(&ws).is_none());
+    }
+
+    #[test]
+    fn permutation_flow_counts_disjoint_pairs() {
+        // q_perm :- R(x,y), R(y,x): three disjoint symmetric pairs plus one
+        // loop => resilience 4 (Proposition 33: one deletion per witness
+        // pair).
+        let q = parse_query("R(x,y), R(y,x)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1, 2]),
+                ("R", &[2, 1]),
+                ("R", &[3, 4]),
+                ("R", &[4, 3]),
+                ("R", &[5, 6]),
+                ("R", &[6, 5]),
+                ("R", &[7, 7]),
+                ("R", &[8, 9]), // no inverse: not a witness
+            ],
+        );
+        let flow = permutation_flow_resilience(&q, &db).unwrap();
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(flow.resilience, exact);
+        assert_eq!(flow.resilience, 4);
+    }
+
+    #[test]
+    fn aperm_flow_matches_exact() {
+        // q_Aperm :- A(x), R(x,y), R(y,x): bipartite choice between A-tuples
+        // and symmetric pairs.
+        let q = parse_query("A(x), R(x,y), R(y,x)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("A", &[3]),
+                ("R", &[1, 2]),
+                ("R", &[2, 1]),
+                ("R", &[1, 3]),
+                ("R", &[3, 1]),
+                ("R", &[2, 3]),
+                ("R", &[3, 2]),
+                ("R", &[4, 4]),
+            ],
+        );
+        let flow = permutation_flow_resilience(&q, &db).unwrap();
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(flow.resilience, exact);
+    }
+
+    #[test]
+    fn rep_flow_matches_exact_for_z3() {
+        // z3 :- R(x,x), R(x,y), A(y)
+        let q = parse_query("R(x,x), R(x,y), A(y)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1, 1]),
+                ("R", &[1, 2]),
+                ("R", &[1, 3]),
+                ("R", &[2, 2]),
+                ("R", &[2, 3]),
+                ("A", &[1]),
+                ("A", &[2]),
+                ("A", &[3]),
+            ],
+        );
+        let flow = rep_flow_resilience(&q, &db).unwrap();
+        let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();
+        assert_eq!(flow.resilience, exact);
+        // Off-diagonal tuples never appear in the contingency set.
+        for &t in &flow.contingency {
+            let vals = db.values_of(t);
+            if vals.len() == 2 {
+                assert_eq!(vals[0], vals[1], "off-diagonal tuple chosen");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_path_flow_respects_uncuttable_set() {
+        let q = parse_query("A(x), R(x,y), B(y)").unwrap();
+        let db = build_db(&q, &[("A", &[1]), ("R", &[1, 2]), ("B", &[2])]);
+        let ws = WitnessSet::build(&q, &db);
+        let order = vec![0, 1, 2];
+        // Making both A(1) and B(2) uncuttable leaves only R(1,2).
+        let a = db.lookup(db.schema().relation_id("A").unwrap(), &[1u64]).unwrap();
+        let b = db.lookup(db.schema().relation_id("B").unwrap(), &[2u64]).unwrap();
+        let uncuttable: HashSet<TupleId> = [a, b].into_iter().collect();
+        let flow = witness_path_flow(&q, &db, &ws, &order, &uncuttable).unwrap();
+        assert_eq!(flow.resilience, 1);
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.relation_of(flow.contingency[0]), r);
+    }
+}

@@ -1,0 +1,503 @@
+//! Independent Join Paths (Section 9, Definition 48, Appendix C).
+//!
+//! An IJP is a small "canonical" database whose existence the paper
+//! conjectures to be a *universal* sufficient criterion of hardness
+//! (Conjecture 49): if a query admits an IJP, a generalized reduction from
+//! Vertex Cover applies. This module provides
+//!
+//! * [`check_ijp`] / [`find_ijp_pair`] — verification of the five conditions
+//!   of Definition 48 for a given database (used to replay Examples 58–61);
+//! * [`search_ijp`] — the automated search procedure sketched in Appendix
+//!   C.2 / Example 62: build `k` disjoint canonical witnesses of the query,
+//!   enumerate partitions of their constants (restricted-growth strings),
+//!   and test each merged database for the IJP conditions.
+
+use crate::exact::ExactSolver;
+use cq::Query;
+use database::{witnesses, Constant, Database, TupleId, WitnessSet};
+use std::collections::{BTreeSet, HashSet};
+
+/// Why a candidate tuple pair fails to form an IJP.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IjpViolation {
+    /// Condition 1: the two tuples' value sets are comparable (one ⊆ other).
+    TuplesComparable,
+    /// Condition 2: one of the tuples does not participate in exactly one
+    /// witness, or its witness does not use exactly `m` distinct tuples.
+    WitnessShape,
+    /// Condition 3: some endogenous tuple's values are a strict subset of
+    /// one of the two tuples' values.
+    EndogenousSubsetTuple,
+    /// Condition 4: an exogenous relation contains a projection of one tuple
+    /// but not the matching projection of the other.
+    ExogenousProjectionMissing,
+    /// Condition 5: removing either or both tuples does not reduce the
+    /// resilience by exactly one.
+    ResilienceDropWrong,
+    /// The database does not even satisfy the query, or resilience is
+    /// undefined.
+    NotApplicable,
+}
+
+/// A verified Independent Join Path.
+#[derive(Clone, Debug)]
+pub struct IjpCertificate {
+    /// The relation holding the two distinguished tuples.
+    pub relation: String,
+    /// The two distinguished tuples.
+    pub tuple_a: TupleId,
+    /// The two distinguished tuples.
+    pub tuple_b: TupleId,
+    /// Resilience of the full database (condition 5's `c`).
+    pub resilience: usize,
+}
+
+fn value_set(db: &Database, t: TupleId) -> BTreeSet<Constant> {
+    db.values_of(t).iter().copied().collect()
+}
+
+/// Checks whether the specific pair `(a, b)` (two tuples of the same
+/// endogenous relation) satisfies Definition 48 on `db`.
+pub fn check_pair(q: &Query, db: &Database, a: TupleId, b: TupleId) -> Result<IjpCertificate, IjpViolation> {
+    let rel = db.relation_of(a);
+    if db.relation_of(b) != rel || a == b {
+        return Err(IjpViolation::NotApplicable);
+    }
+    let ws = WitnessSet::build(q, db);
+    if ws.is_empty() || ws.has_undeletable_witness() {
+        return Err(IjpViolation::NotApplicable);
+    }
+
+    // Condition 1: incomparable value sets.
+    let va = value_set(db, a);
+    let vb = value_set(db, b);
+    if va.is_subset(&vb) || vb.is_subset(&va) {
+        return Err(IjpViolation::TuplesComparable);
+    }
+
+    // Condition 2: each participates in exactly one witness, and that
+    // witness uses exactly m distinct tuples.
+    let m = q.num_atoms();
+    for &t in &[a, b] {
+        let participating: Vec<usize> = ws
+            .witnesses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.tuple_set().contains(&t).then_some(i))
+            .collect();
+        if participating.len() != 1 {
+            return Err(IjpViolation::WitnessShape);
+        }
+        let w = &ws.witnesses[participating[0]];
+        if w.tuple_set().len() != m {
+            return Err(IjpViolation::WitnessShape);
+        }
+    }
+
+    // Condition 3: no endogenous tuple with values strictly inside va or vb.
+    let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+    for t in db.all_tuples() {
+        if !endo.contains(&t) {
+            continue;
+        }
+        let vt = value_set(db, t);
+        let strictly_inside =
+            |big: &BTreeSet<Constant>| vt.is_subset(big) && vt.len() < big.len();
+        if strictly_inside(&va) || strictly_inside(&vb) {
+            return Err(IjpViolation::EndogenousSubsetTuple);
+        }
+    }
+
+    // Condition 4: exogenous projections of a must be mirrored for b.
+    let exo_rels: HashSet<&str> = q
+        .exogenous_atoms()
+        .into_iter()
+        .map(|i| q.schema().name(q.atom(i).relation))
+        .collect();
+    let a_vals = db.values_of(a).to_vec();
+    let b_vals = db.values_of(b).to_vec();
+    for t in db.all_tuples() {
+        let rel_name = db.schema().name(db.relation_of(t));
+        if !exo_rels.contains(rel_name) {
+            continue;
+        }
+        let d = db.values_of(t);
+        // Does d equal a projection a_j for some increasing index vector j?
+        for j in index_vectors(a_vals.len(), d.len()) {
+            let projected: Vec<Constant> = j.iter().map(|&i| a_vals[i]).collect();
+            if projected == d {
+                let mirrored: Vec<Constant> = j.iter().map(|&i| b_vals[i]).collect();
+                let rel_id = db.relation_of(t);
+                if db.lookup(rel_id, &mirrored).is_none() {
+                    return Err(IjpViolation::ExogenousProjectionMissing);
+                }
+            }
+        }
+    }
+
+    // Condition 5: resilience drops by exactly one under all three removals.
+    let solver = ExactSolver::new();
+    let full = solver
+        .resilience_of_witnesses(&ws)
+        .resilience
+        .ok_or(IjpViolation::NotApplicable)?;
+    if full == 0 {
+        return Err(IjpViolation::ResilienceDropWrong);
+    }
+    for removal in [vec![a], vec![b], vec![a, b]] {
+        let deleted: HashSet<TupleId> = removal.into_iter().collect();
+        let reduced = db.without(&deleted);
+        let r = solver
+            .resilience_value(q, &reduced)
+            .ok_or(IjpViolation::NotApplicable)?;
+        if r != full - 1 {
+            return Err(IjpViolation::ResilienceDropWrong);
+        }
+    }
+
+    Ok(IjpCertificate {
+        relation: db.schema().name(rel).to_string(),
+        tuple_a: a,
+        tuple_b: b,
+        resilience: full,
+    })
+}
+
+/// All strictly-increasing index vectors of length `k` over `0..n`.
+fn index_vectors(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if k > n {
+        return out;
+    }
+    let mut current: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(current.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if current[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        current[i] += 1;
+        for j in (i + 1)..k {
+            current[j] = current[j - 1] + 1;
+        }
+    }
+}
+
+/// Searches all pairs of tuples of endogenous relations for one satisfying
+/// Definition 48; returns the first certificate found.
+pub fn find_ijp_pair(q: &Query, db: &Database) -> Option<IjpCertificate> {
+    let endo: Vec<TupleId> = db.endogenous_tuples(q);
+    for (i, &a) in endo.iter().enumerate() {
+        for &b in endo.iter().skip(i + 1) {
+            if db.relation_of(a) != db.relation_of(b) {
+                continue;
+            }
+            if let Ok(cert) = check_pair(q, db, a, b) {
+                return Some(cert);
+            }
+        }
+    }
+    None
+}
+
+/// Checks whether `db` forms an IJP for `q` (some pair of tuples satisfies
+/// Definition 48).
+pub fn check_ijp(q: &Query, db: &Database) -> bool {
+    find_ijp_pair(q, db).is_some()
+}
+
+/// Outcome of the automated IJP search.
+#[derive(Clone, Debug)]
+pub struct IjpSearchResult {
+    /// The merged canonical database that forms an IJP.
+    pub database: Database,
+    /// The verified certificate.
+    pub certificate: IjpCertificate,
+    /// How many joins (canonical witness copies) were merged.
+    pub joins: usize,
+    /// How many candidate partitions were examined before success.
+    pub partitions_tried: usize,
+}
+
+/// The automated search of Appendix C.2 / Example 62.
+///
+/// For `k = 2..=max_joins`, builds `k` disjoint canonical witnesses of the
+/// query (each variable gets a fresh constant per copy), then enumerates
+/// partitions of the resulting constants via restricted-growth strings and
+/// checks each merged database for the IJP conditions. The enumeration is
+/// capped at `max_partitions` candidates per `k`.
+pub fn search_ijp(q: &Query, max_joins: usize, max_partitions: usize) -> Option<IjpSearchResult> {
+    for k in 2..=max_joins {
+        let num_constants = k * q.num_vars();
+        let mut rgs = vec![0usize; num_constants];
+        let mut tried = 0usize;
+        loop {
+            tried += 1;
+            if tried > max_partitions {
+                break;
+            }
+            let db = merged_canonical_database(q, k, &rgs);
+            // Quick necessary condition: the merged database must satisfy q
+            // before the expensive per-pair checks run. (A single witness can
+            // already carry an IJP — Example 58's q_vc database has one.)
+            if !witnesses(q, &db).is_empty() {
+                if let Some(certificate) = find_ijp_pair(q, &db) {
+                    return Some(IjpSearchResult {
+                        database: db,
+                        certificate,
+                        joins: k,
+                        partitions_tried: tried,
+                    });
+                }
+            }
+            if !next_restricted_growth_string(&mut rgs) {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Builds the union of `k` canonical witnesses of `q`, merging constants
+/// according to the restricted-growth string `rgs` (one entry per
+/// (copy, variable) pair; equal entries collapse to the same constant).
+fn merged_canonical_database(q: &Query, k: usize, rgs: &[usize]) -> Database {
+    let mut db = Database::for_query(q);
+    for copy in 0..k {
+        for atom in q.atoms() {
+            let rel = db
+                .schema()
+                .relation_id(q.schema().name(atom.relation))
+                .expect("schema mismatch");
+            let values: Vec<u64> = atom
+                .args
+                .iter()
+                .map(|v| rgs[copy * q.num_vars() + v.index()] as u64)
+                .collect();
+            db.insert(rel, &values);
+        }
+    }
+    db
+}
+
+/// Advances a restricted-growth string in place; returns `false` after the
+/// last one. RGS enumerate set partitions without duplicates: entry `i` may
+/// be at most `1 + max(entries before i)`.
+fn next_restricted_growth_string(rgs: &mut [usize]) -> bool {
+    let n = rgs.len();
+    let mut i = n;
+    while i > 1 {
+        i -= 1;
+        let max_prefix = rgs[..i].iter().copied().max().unwrap_or(0);
+        if rgs[i] <= max_prefix {
+            rgs[i] += 1;
+            for item in rgs.iter_mut().skip(i + 1) {
+                *item = 0;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
+        let mut db = Database::for_query(q);
+        for (rel, vals) in rows {
+            db.insert_named(rel, vals);
+        }
+        db
+    }
+
+    #[test]
+    fn example_58_qvc_ijp() {
+        // D = {R(1), S(1,2), R(2)} forms an IJP for q_vc.
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let db = build_db(&q, &[("R", &[1]), ("S", &[1, 2]), ("R", &[2])]);
+        let cert = find_ijp_pair(&q, &db).expect("Example 58 is an IJP");
+        assert_eq!(cert.relation, "R");
+        assert_eq!(cert.resilience, 1);
+        assert!(check_ijp(&q, &db));
+    }
+
+    #[test]
+    fn example_59_triangle_ijp() {
+        // D = {R(1,2),R(4,2),R(4,5),S(2,3),S(5,3),T(3,1),T(3,4)} forms an IJP
+        // for the triangle query with distinguished tuples R(1,2), R(4,5).
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1, 2]),
+                ("R", &[4, 2]),
+                ("R", &[4, 5]),
+                ("S", &[2, 3]),
+                ("S", &[5, 3]),
+                ("T", &[3, 1]),
+                ("T", &[3, 4]),
+            ],
+        );
+        let r = db.schema().relation_id("R").unwrap();
+        let a = db.lookup(r, &[1u64, 2]).unwrap();
+        let b = db.lookup(r, &[4u64, 5]).unwrap();
+        let cert = check_pair(&q, &db, a, b).expect("Example 59 is an IJP");
+        assert_eq!(cert.resilience, 2);
+        assert!(check_ijp(&q, &db));
+    }
+
+    #[test]
+    fn example_60_z5_paper_database_fails_condition_five() {
+        // The paper's Example 60 claims the 21-tuple database below forms an
+        // IJP for z5 with distinguished tuples A(9) and A(13). Conditions
+        // (1)-(4) do hold, but our exact solver finds that removing A(13)
+        // leaves resilience 4 (not 3): the witness
+        // A(5), R(5,2), R(2,3), R(3,3) is disjoint from the three witnesses
+        // through A(1)/R(1,10), A(4)/R(4,1) and A(9)/R(9,8), giving a packing
+        // of four disjoint witnesses that survives the removal of A(13).
+        // The witness appears to be missing from the paper's Figure 19, so we
+        // record the discrepancy here (see EXPERIMENTS.md, experiment E9).
+        let q = parse_query("A(x), R(x,y), R(y,z), R(z,z)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[4]),
+                ("A", &[5]),
+                ("A", &[9]),
+                ("A", &[13]),
+                ("R", &[1, 2]),
+                ("R", &[2, 2]),
+                ("R", &[2, 3]),
+                ("R", &[3, 3]),
+                ("R", &[4, 1]),
+                ("R", &[5, 2]),
+                ("R", &[5, 6]),
+                ("R", &[6, 7]),
+                ("R", &[7, 7]),
+                ("R", &[8, 7]),
+                ("R", &[9, 8]),
+                ("R", &[1, 10]),
+                ("R", &[10, 11]),
+                ("R", &[11, 11]),
+                ("R", &[12, 11]),
+                ("R", &[13, 12]),
+            ],
+        );
+        let a_rel = db.schema().relation_id("A").unwrap();
+        let a9 = db.lookup(a_rel, &[9u64]).unwrap();
+        let a13 = db.lookup(a_rel, &[13u64]).unwrap();
+        let violation = check_pair(&q, &db, a9, a13).unwrap_err();
+        assert_eq!(violation, IjpViolation::ResilienceDropWrong);
+        // The overall resilience the paper reports (ρ = 4) is confirmed...
+        let solver = ExactSolver::new();
+        assert_eq!(solver.resilience_value(&q, &db), Some(4));
+        // ...and so is the ρ = 3 claim for removing A(9)...
+        let remove_a9: HashSet<TupleId> = [a9].into_iter().collect();
+        assert_eq!(solver.resilience_value(&q, &db.without(&remove_a9)), Some(3));
+        // ...but removing A(13) leaves ρ = 4, contradicting condition (5).
+        let remove_a13: HashSet<TupleId> = [a13].into_iter().collect();
+        assert_eq!(solver.resilience_value(&q, &db.without(&remove_a13)), Some(4));
+    }
+
+    #[test]
+    fn example_61_fails_condition_four() {
+        // q :- A^x(x), R(x), S(x,y), S(z,y), R(z), B^x(z): the candidate
+        // database violates condition 4 because A(3) and B(1) are missing.
+        let q = parse_query("A^x(x), R(x), S(x,y), S(z,y), R(z), B^x(z)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1]),
+                ("A", &[1]),
+                ("S", &[1, 2]),
+                ("S", &[3, 2]),
+                ("R", &[3]),
+                ("B", &[3]),
+            ],
+        );
+        let r = db.schema().relation_id("R").unwrap();
+        let a = db.lookup(r, &[1u64]).unwrap();
+        let b = db.lookup(r, &[3u64]).unwrap();
+        let violation = check_pair(&q, &db, a, b).unwrap_err();
+        assert_eq!(violation, IjpViolation::ExogenousProjectionMissing);
+    }
+
+    #[test]
+    fn comparable_tuples_are_rejected() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 2])]);
+        let r = db.schema().relation_id("R").unwrap();
+        let a = db.lookup(r, &[1u64, 2]).unwrap();
+        let b = db.lookup(r, &[2u64, 2]).unwrap();
+        // {2} ⊆ {1,2}: condition 1 fails.
+        assert_eq!(check_pair(&q, &db, a, b).unwrap_err(), IjpViolation::TuplesComparable);
+    }
+
+    #[test]
+    fn multi_witness_tuples_are_rejected() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1]),
+                ("R", &[2]),
+                ("R", &[3]),
+                ("S", &[1, 2]),
+                ("S", &[1, 3]),
+            ],
+        );
+        let r = db.schema().relation_id("R").unwrap();
+        let a = db.lookup(r, &[1u64]).unwrap();
+        let b = db.lookup(r, &[2u64]).unwrap();
+        // R(1) participates in two witnesses: condition 2 fails.
+        assert_eq!(check_pair(&q, &db, a, b).unwrap_err(), IjpViolation::WitnessShape);
+    }
+
+    #[test]
+    fn search_rediscovers_qvc_ijp() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let found = search_ijp(&q, 2, 500).expect("q_vc admits an IJP");
+        assert_eq!(found.certificate.relation, "R");
+        assert!(check_ijp(&q, &found.database));
+    }
+
+    #[test]
+    fn search_rediscovers_chain_ijp() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let found = search_ijp(&q, 3, 25_000).expect("q_chain admits an IJP");
+        assert!(check_ijp(&q, &found.database));
+        assert!(found.joins >= 2);
+    }
+
+    #[test]
+    fn restricted_growth_strings_enumerate_bell_numbers() {
+        // Bell(4) = 15 partitions of a 4-element set.
+        let mut rgs = vec![0usize; 4];
+        let mut count = 1;
+        while next_restricted_growth_string(&mut rgs) {
+            count += 1;
+        }
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn index_vectors_enumerate_combinations() {
+        assert_eq!(index_vectors(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(index_vectors(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(index_vectors(3, 0), vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Core resilience library — the paper's primary contribution, executable.
+//!
+//! The crate answers the question the paper studies: *given a Boolean
+//! conjunctive query `q` (possibly with self-joins) and a database `D`, how
+//! many endogenous tuples must be deleted to make `q` false?*  It provides:
+//!
+//! * [`exact`] — ground truth: minimum hitting set over the witness
+//!   hypergraph by branch and bound, used for NP-complete queries, for the
+//!   decision problem `RES(q)`, and to validate everything else;
+//! * [`flow_algorithms`] — the generic polynomial constructions (witness-path
+//!   flow for linear queries and 2-confluences, bipartite vertex cover for
+//!   two-tuple witnesses, pair-node flow for unbound permutations, the
+//!   Proposition 36 REP flow);
+//! * [`special`] — the dedicated flow graphs of Propositions 13, 41 and 44
+//!   (`q_A3perm-R`, `q_TS3conf`, `q_Swx3perm-R`);
+//! * [`solver`] — [`solver::ResilienceSolver`], which classifies the query
+//!   with `cq::classify` (Theorem 37 + Sections 5–8) and dispatches each
+//!   instance to the matching algorithm;
+//! * [`ijp`] — Independent Join Paths (Section 9): verification of
+//!   Definition 48 and the automated partition-enumeration search of
+//!   Appendix C.2.
+//!
+//! ```
+//! use cq::parse_query;
+//! use database::Database;
+//! use resilience_core::solver::ResilienceSolver;
+//!
+//! let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap(); // q_ACconf
+//! let mut db = Database::for_query(&q);
+//! db.insert_named("A", &[1u64]);
+//! db.insert_named("R", &[1u64, 2]);
+//! db.insert_named("R", &[3u64, 2]);
+//! db.insert_named("C", &[3u64]);
+//! let solver = ResilienceSolver::new(&q);
+//! assert!(solver.classification().complexity.is_ptime());
+//! assert_eq!(solver.resilience(&db), Some(1));
+//! ```
+
+pub mod approx;
+pub mod exact;
+pub mod flow_algorithms;
+pub mod ijp;
+pub mod solver;
+pub mod special;
+
+pub use approx::ResilienceBounds;
+pub use exact::{ExactResult, ExactSolver};
+pub use flow_algorithms::FlowResult;
+pub use solver::{ResilienceSolver, SolveMethod, SolveOutcome};

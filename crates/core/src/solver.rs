@@ -1,0 +1,490 @@
+//! The unified resilience solver: classify the query, then dispatch to the
+//! matching polynomial algorithm or to the exact branch-and-bound solver.
+
+use crate::exact::ExactSolver;
+use crate::flow_algorithms::{
+    pairwise_bipartite_resilience, permutation_flow_resilience, rep_flow_resilience,
+    witness_path_flow, FlowResult,
+};
+use crate::special::{a3perm_r_resilience, swx3perm_r_resilience, ts3conf_resilience};
+use cq::linear::linear_order_all;
+use cq::{classify, Classification, Complexity, PtimeAlgorithm, Query};
+use database::{Database, TupleId, WitnessSet};
+use std::collections::HashSet;
+
+/// Which algorithm produced a [`SolveOutcome`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// The database does not satisfy the query; resilience is 0.
+    AlreadyFalse,
+    /// Some witness uses only exogenous tuples; no contingency set exists.
+    Unfalsifiable,
+    /// Witness-path network flow over a linear atom order.
+    LinearFlow,
+    /// König bipartite vertex cover over two-tuple witnesses.
+    BipartiteCover,
+    /// Pair-node flow for unbound permutations.
+    PermutationFlow,
+    /// Proposition 36 flow with off-diagonal tuples frozen.
+    RepFlow,
+    /// One of the dedicated Section 8 constructions (`q_A3perm-R`,
+    /// `q_Swx3perm-R`, `q_TS3conf`).
+    SpecialFlow(&'static str),
+    /// Component-wise minimum (Lemma 14).
+    ComponentMinimum,
+    /// Exact branch-and-bound over the witness hypergraph (used for
+    /// NP-complete and open queries, and as a fallback when a polynomial
+    /// construction does not apply to the instance).
+    ExactBranchAndBound,
+}
+
+/// Result of solving one resilience instance.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The resilience `ρ(q, D)`, or `None` when the query cannot be
+    /// falsified by deleting endogenous tuples.
+    pub resilience: Option<usize>,
+    /// A contingency set achieving the value, when the algorithm produces
+    /// one (exact and most flow methods do).
+    pub contingency: Option<Vec<TupleId>>,
+    /// The algorithm used.
+    pub method: SolveMethod,
+}
+
+/// A resilience solver specialized to one query.
+///
+/// Construction runs the dichotomy classifier once; each call to
+/// [`ResilienceSolver::solve`] then dispatches to the right algorithm for the
+/// given database instance.
+#[derive(Clone, Debug)]
+pub struct ResilienceSolver {
+    query: Query,
+    classification: Classification,
+    exact: ExactSolver,
+}
+
+impl ResilienceSolver {
+    /// Builds a solver for `q`.
+    pub fn new(q: &Query) -> Self {
+        ResilienceSolver {
+            query: q.clone(),
+            classification: classify(q),
+            exact: ExactSolver::new(),
+        }
+    }
+
+    /// The classification computed at construction time.
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The query this solver answers resilience for.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Computes the resilience of the query over `db`.
+    pub fn solve(&self, db: &Database) -> SolveOutcome {
+        // All algorithms work on the domination normal form: it has the same
+        // resilience (Proposition 18) and its exogenous labelling is what the
+        // polynomial constructions rely on.
+        let q = &self.classification.evidence.normalized;
+        let ws = WitnessSet::build(q, db);
+        if ws.is_empty() {
+            return SolveOutcome {
+                resilience: Some(0),
+                contingency: Some(Vec::new()),
+                method: SolveMethod::AlreadyFalse,
+            };
+        }
+        if ws.has_undeletable_witness() {
+            return SolveOutcome {
+                resilience: None,
+                contingency: None,
+                method: SolveMethod::Unfalsifiable,
+            };
+        }
+
+        match &self.classification.complexity {
+            Complexity::PTime(alg) => self.solve_ptime(alg, q, db, &ws),
+            Complexity::NpComplete(_) | Complexity::Open => self.solve_exact(&ws),
+        }
+    }
+
+    /// Convenience wrapper returning only the numeric resilience.
+    pub fn resilience(&self, db: &Database) -> Option<usize> {
+        self.solve(db).resilience
+    }
+
+    fn solve_exact(&self, ws: &WitnessSet) -> SolveOutcome {
+        let result = self.exact.resilience_of_witnesses(ws);
+        SolveOutcome {
+            resilience: result.resilience,
+            contingency: Some(result.contingency),
+            method: SolveMethod::ExactBranchAndBound,
+        }
+    }
+
+    fn finish_flow(&self, flow: FlowResult, method: SolveMethod) -> SolveOutcome {
+        SolveOutcome {
+            resilience: Some(flow.resilience),
+            contingency: Some(flow.contingency),
+            method,
+        }
+    }
+
+    fn solve_ptime(
+        &self,
+        alg: &PtimeAlgorithm,
+        q: &Query,
+        db: &Database,
+        ws: &WitnessSet,
+    ) -> SolveOutcome {
+        match alg {
+            PtimeAlgorithm::Unfalsifiable => SolveOutcome {
+                resilience: None,
+                contingency: None,
+                method: SolveMethod::Unfalsifiable,
+            },
+            PtimeAlgorithm::ComponentWise => self.solve_componentwise(db),
+            PtimeAlgorithm::SjFreeLinearFlow | PtimeAlgorithm::ConfluenceFlow => {
+                if let Some(order) = linear_order_all(q) {
+                    if let Some(flow) = witness_path_flow(q, db, ws, &order, &HashSet::new()) {
+                        return self.finish_flow(flow, SolveMethod::LinearFlow);
+                    }
+                }
+                if let Some(value) = pairwise_bipartite_resilience(ws) {
+                    return SolveOutcome {
+                        resilience: Some(value),
+                        contingency: None,
+                        method: SolveMethod::BipartiteCover,
+                    };
+                }
+                self.solve_exact(ws)
+            }
+            PtimeAlgorithm::UnboundPermutation => match permutation_flow_resilience(q, db) {
+                Some(flow) => self.finish_flow(flow, SolveMethod::PermutationFlow),
+                None => self.solve_exact(ws),
+            },
+            PtimeAlgorithm::RepeatedVariableFlow => match rep_flow_resilience(q, db) {
+                Some(flow) => self.finish_flow(flow, SolveMethod::RepFlow),
+                None => self.solve_exact(ws),
+            },
+            PtimeAlgorithm::CatalogueMatch(name) => self.solve_catalogue(name, q, db, ws),
+        }
+    }
+
+    fn solve_catalogue(
+        &self,
+        name: &str,
+        q: &Query,
+        db: &Database,
+        ws: &WitnessSet,
+    ) -> SolveOutcome {
+        let special = match name {
+            "q_A3perm-R" => a3perm_r_resilience(q, db).map(|f| (f, "q_A3perm-R")),
+            "q_Swx3perm-R" => swx3perm_r_resilience(q, db).map(|f| (f, "q_Swx3perm-R")),
+            "q_TS3conf" => ts3conf_resilience(q, db).map(|f| (f, "q_TS3conf")),
+            "q_perm" | "q_Aperm" => {
+                return match permutation_flow_resilience(q, db) {
+                    Some(flow) => self.finish_flow(flow, SolveMethod::PermutationFlow),
+                    None => self.solve_exact(ws),
+                }
+            }
+            _ => None,
+        };
+        match special {
+            Some((flow, tag)) => self.finish_flow(flow, SolveMethod::SpecialFlow(tag)),
+            None => {
+                // The query matched a catalogue entry structurally but uses
+                // different relation names than the dedicated construction
+                // expects; fall back to the exact solver (still correct, just
+                // not polynomial-by-construction).
+                self.solve_exact(ws)
+            }
+        }
+    }
+
+    fn solve_componentwise(&self, db: &Database) -> SolveOutcome {
+        let minimized = &self.classification.evidence.minimized;
+        let components = minimized.components();
+        let mut best: Option<(usize, Vec<TupleId>)> = None;
+        for comp in &components {
+            let sub = minimized.subquery(comp);
+            let sub_solver = ResilienceSolver::new(&sub);
+            let outcome = sub_solver.solve(db);
+            match outcome.resilience {
+                None => continue,
+                Some(r) => {
+                    let better = best.as_ref().map_or(true, |(b, _)| r < *b);
+                    if better {
+                        best = Some((r, outcome.contingency.unwrap_or_default()));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((r, gamma)) => SolveOutcome {
+                resilience: Some(r),
+                contingency: Some(gamma),
+                method: SolveMethod::ComponentMinimum,
+            },
+            None => SolveOutcome {
+                resilience: None,
+                contingency: None,
+                method: SolveMethod::Unfalsifiable,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::catalogue;
+    use cq::parse_query;
+
+    fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
+        let mut db = Database::for_query(q);
+        for (rel, vals) in rows {
+            db.insert_named(rel, vals);
+        }
+        db
+    }
+
+    #[test]
+    fn chain_instance_uses_exact_solver() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.resilience, Some(2));
+        assert_eq!(outcome.method, SolveMethod::ExactBranchAndBound);
+        assert!(solver.classification().complexity.is_np_complete());
+    }
+
+    #[test]
+    fn acconf_uses_linear_flow() {
+        let nq = catalogue::q_acconf();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("A", &[1]),
+                ("A", &[4]),
+                ("C", &[1]),
+                ("C", &[5]),
+                ("R", &[1, 2]),
+                ("R", &[4, 2]),
+                ("R", &[5, 2]),
+                ("R", &[1, 3]),
+                ("R", &[5, 3]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::LinearFlow);
+        let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+        assert_eq!(outcome.resilience, exact);
+    }
+
+    #[test]
+    fn rats_uses_polynomial_path() {
+        let nq = catalogue::q_rats();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("T", &[20, 1]),
+                ("T", &[21, 2]),
+                ("S", &[10, 20]),
+                ("S", &[11, 21]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_ne!(outcome.method, SolveMethod::ExactBranchAndBound);
+        let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+        assert_eq!(outcome.resilience, exact);
+        assert_eq!(outcome.resilience, Some(2));
+    }
+
+    #[test]
+    fn aperm_uses_permutation_flow() {
+        let nq = catalogue::q_aperm();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 2]),
+                ("R", &[2, 1]),
+                ("R", &[2, 3]),
+                ("R", &[3, 2]),
+                ("A", &[3]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::PermutationFlow);
+        let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+        assert_eq!(outcome.resilience, exact);
+    }
+
+    #[test]
+    fn z3_uses_rep_flow() {
+        let nq = catalogue::z3();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("R", &[1, 1]),
+                ("R", &[1, 2]),
+                ("R", &[2, 2]),
+                ("A", &[1]),
+                ("A", &[2]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::RepFlow);
+        let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+        assert_eq!(outcome.resilience, exact);
+    }
+
+    #[test]
+    fn a3perm_r_uses_special_flow() {
+        let nq = catalogue::q_a3perm_r();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 2]),
+                ("R", &[2, 3]),
+                ("R", &[3, 2]),
+                ("R", &[2, 2]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::SpecialFlow("q_A3perm-R"));
+        let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+        assert_eq!(outcome.resilience, exact);
+    }
+
+    #[test]
+    fn ts3conf_uses_special_flow() {
+        let nq = catalogue::q_ts3conf();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("T", &[1, 2]),
+                ("S", &[1, 2]),
+                ("R", &[1, 2]),
+                ("T", &[3, 4]),
+                ("R", &[3, 4]),
+                ("R", &[5, 4]),
+                ("R", &[5, 6]),
+                ("S", &[5, 6]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::SpecialFlow("q_TS3conf"));
+        let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+        assert_eq!(outcome.resilience, exact);
+    }
+
+    #[test]
+    fn unsatisfied_database_is_already_false() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2])]);
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.resilience, Some(0));
+        assert_eq!(outcome.method, SolveMethod::AlreadyFalse);
+    }
+
+    #[test]
+    fn fully_exogenous_query_is_unfalsifiable() {
+        let q = parse_query("R^x(x,y)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2])]);
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.resilience, None);
+        assert_eq!(outcome.method, SolveMethod::Unfalsifiable);
+    }
+
+    #[test]
+    fn disconnected_query_takes_component_minimum() {
+        // Components: A(x),R(x,y) and B(u),S(u,v). First component needs 2
+        // deletions, second needs 1; the minimum is 1.
+        let q = parse_query("A(x), R(x,y), B(u), S(u,v)").unwrap();
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("B", &[5]),
+                ("S", &[5, 50]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::ComponentMinimum);
+        assert_eq!(outcome.resilience, Some(1));
+        let exact = ExactSolver::new().resilience_value(&q, &db);
+        assert_eq!(outcome.resilience, exact);
+    }
+
+    #[test]
+    fn contingency_sets_returned_by_flow_methods_are_valid() {
+        let nq = catalogue::q_acconf();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("A", &[1]),
+                ("C", &[3]),
+                ("R", &[1, 2]),
+                ("R", &[3, 2]),
+                ("A", &[4]),
+                ("R", &[4, 2]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        let gamma: HashSet<TupleId> = outcome.contingency.unwrap().into_iter().collect();
+        assert_eq!(gamma.len(), outcome.resilience.unwrap());
+        let ws = WitnessSet::build(&nq.query, &db);
+        assert!(ws.is_contingency_set(&gamma));
+    }
+
+    #[test]
+    fn dominated_relation_is_not_deleted_by_the_solver() {
+        // q_rats: the normal form makes R and T exogenous, so the solver's
+        // contingency set may only contain A- or S-tuples.
+        let nq = catalogue::q_rats();
+        let db = build_db(
+            &nq.query,
+            &[
+                ("A", &[1]),
+                ("R", &[1, 10]),
+                ("T", &[20, 1]),
+                ("S", &[10, 20]),
+            ],
+        );
+        let solver = ResilienceSolver::new(&nq.query);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.resilience, Some(1));
+        if let Some(gamma) = &outcome.contingency {
+            for &t in gamma {
+                let name = db.schema().name(db.relation_of(t));
+                assert!(name == "A" || name == "S", "unexpected deletion from {name}");
+            }
+        }
+    }
+}

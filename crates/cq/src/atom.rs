@@ -1,0 +1,111 @@
+//! Atoms (subgoals) of a conjunctive query.
+
+use crate::ids::{RelId, Var};
+
+/// A single atom `R(z_1, ..., z_k)` of a Boolean conjunctive query.
+///
+/// Atoms carry an *endogenous/exogenous* flag (Section 2): exogenous atoms
+/// provide context and their tuples may never be placed in a contingency set.
+/// The paper writes exogenous atoms with a superscript `x`, e.g. `W^x(x,y,z)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation symbol of this atom.
+    pub relation: RelId,
+    /// The argument list; variables may repeat (e.g. `R(x,x)`).
+    pub args: Vec<Var>,
+    /// `true` if the atom is exogenous (not deletable).
+    pub exogenous: bool,
+}
+
+impl Atom {
+    /// Creates an endogenous atom.
+    pub fn new(relation: RelId, args: Vec<Var>) -> Self {
+        Atom {
+            relation,
+            args,
+            exogenous: false,
+        }
+    }
+
+    /// Creates an exogenous atom.
+    pub fn exogenous(relation: RelId, args: Vec<Var>) -> Self {
+        Atom {
+            relation,
+            args,
+            exogenous: true,
+        }
+    }
+
+    /// Arity of the atom (length of the argument list).
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The *set* of variables occurring in the atom, deduplicated and sorted.
+    ///
+    /// This is `var(g)` in the paper's notation.
+    pub fn var_set(&self) -> Vec<Var> {
+        let mut vs = self.args.clone();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Whether the variable `v` occurs anywhere in the argument list.
+    pub fn contains_var(&self, v: Var) -> bool {
+        self.args.contains(&v)
+    }
+
+    /// Whether the atom repeats a variable, e.g. `R(x,x)` (the paper's REP
+    /// condition applies when a self-join atom has a repeated variable).
+    pub fn has_repeated_var(&self) -> bool {
+        let vs = self.var_set();
+        vs.len() < self.args.len()
+    }
+
+    /// Positions (0-based) at which variable `v` occurs.
+    pub fn positions_of(&self, v: Var) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == v).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_set_dedups_and_sorts() {
+        let a = Atom::new(RelId(0), vec![Var(3), Var(1), Var(3)]);
+        assert_eq!(a.var_set(), vec![Var(1), Var(3)]);
+        assert_eq!(a.arity(), 3);
+        assert!(a.has_repeated_var());
+    }
+
+    #[test]
+    fn no_repeated_var() {
+        let a = Atom::new(RelId(0), vec![Var(0), Var(1)]);
+        assert!(!a.has_repeated_var());
+        assert!(a.contains_var(Var(0)));
+        assert!(!a.contains_var(Var(2)));
+    }
+
+    #[test]
+    fn exogenous_constructor_sets_flag() {
+        let a = Atom::exogenous(RelId(1), vec![Var(0)]);
+        assert!(a.exogenous);
+        let b = Atom::new(RelId(1), vec![Var(0)]);
+        assert!(!b.exogenous);
+    }
+
+    #[test]
+    fn positions_of_reports_all_occurrences() {
+        let a = Atom::new(RelId(0), vec![Var(2), Var(5), Var(2)]);
+        assert_eq!(a.positions_of(Var(2)), vec![0, 2]);
+        assert_eq!(a.positions_of(Var(5)), vec![1]);
+        assert!(a.positions_of(Var(9)).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! The binary graph of a binary conjunctive query (Definition 8).
+//!
+//! For binary queries the dual hypergraph loses information: it does not
+//! record *at which position* a variable occurs in an atom, which matters for
+//! self-joins (`R(x,y), R(y,z)` vs `R(x,y), R(z,y)` have the same hypergraph
+//! but different complexity). The binary graph has one vertex per variable
+//! and one labeled directed edge per atom: `A(x,y)` becomes `x --A--> y` and
+//! a unary atom `A(x)` becomes a loop at `x`.
+
+use crate::ids::{RelId, Var};
+use crate::query::Query;
+use std::fmt::Write as _;
+
+/// A labeled edge of the binary graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the originating atom in the query.
+    pub atom: usize,
+    /// Relation label.
+    pub relation: RelId,
+    /// Source variable (first attribute).
+    pub source: Var,
+    /// Target variable (second attribute, equal to `source` for unary atoms).
+    pub target: Var,
+    /// Whether the originating atom is exogenous.
+    pub exogenous: bool,
+    /// Whether the atom is unary (drawn as a loop).
+    pub unary: bool,
+}
+
+/// The binary graph of a binary query.
+#[derive(Clone, Debug)]
+pub struct BinaryGraph {
+    num_vars: usize,
+    edges: Vec<Edge>,
+}
+
+impl BinaryGraph {
+    /// Builds the binary graph of `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not a binary query (some atom has arity > 2).
+    pub fn new(q: &Query) -> Self {
+        assert!(
+            q.is_binary(),
+            "binary graphs are only defined for binary queries"
+        );
+        let mut edges = Vec::with_capacity(q.num_atoms());
+        for (i, a) in q.atoms().iter().enumerate() {
+            let (source, target, unary) = match a.args.len() {
+                1 => (a.args[0], a.args[0], true),
+                2 => (a.args[0], a.args[1], false),
+                _ => unreachable!("checked by is_binary"),
+            };
+            edges.push(Edge {
+                atom: i,
+                relation: a.relation,
+                source,
+                target,
+                exogenous: a.exogenous,
+                unary,
+            });
+        }
+        BinaryGraph {
+            num_vars: q.num_vars(),
+            edges,
+        }
+    }
+
+    /// Number of vertices (variables of the query).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// All edges in atom order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edges leaving variable `v` (loops included).
+    pub fn out_edges(&self, v: Var) -> Vec<&Edge> {
+        self.edges.iter().filter(|e| e.source == v).collect()
+    }
+
+    /// Edges entering variable `v` (loops included).
+    pub fn in_edges(&self, v: Var) -> Vec<&Edge> {
+        self.edges.iter().filter(|e| e.target == v).collect()
+    }
+
+    /// Edges labeled with relation `rel`.
+    pub fn edges_of(&self, rel: RelId) -> Vec<&Edge> {
+        self.edges.iter().filter(|e| e.relation == rel).collect()
+    }
+
+    /// In-degree + out-degree of a variable, counting loops twice.
+    pub fn degree(&self, v: Var) -> usize {
+        self.edges
+            .iter()
+            .map(|e| (e.source == v) as usize + (e.target == v) as usize)
+            .sum()
+    }
+
+    /// Renders the graph in Graphviz DOT syntax, which the examples use to
+    /// visualize queries the way Figures 2–5 of the paper draw them.
+    pub fn to_dot(&self, q: &Query) -> String {
+        let mut out = String::new();
+        let name = q.name().unwrap_or("q");
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        for v in q.vars() {
+            let _ = writeln!(out, "  {} [shape=circle];", q.var_name(v));
+        }
+        for e in &self.edges {
+            let label = format!(
+                "{}{}",
+                q.schema().name(e.relation),
+                if e.exogenous { "^x" } else { "" }
+            );
+            let style = if e.exogenous { ",style=dashed" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"{}];",
+                q.var_name(e.source),
+                q.var_name(e.target),
+                label,
+                style
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn chain_graph_shape() {
+        let q = parse_query("q_chain :- R(x,y), R(y,z)").unwrap();
+        let g = BinaryGraph::new(&q);
+        assert_eq!(g.num_vars(), 3);
+        assert_eq!(g.edges().len(), 2);
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(g.in_edges(y).len(), 1);
+        assert_eq!(g.out_edges(y).len(), 1);
+        assert_eq!(g.degree(y), 2);
+    }
+
+    #[test]
+    fn unary_atom_is_a_loop() {
+        let q = parse_query("q_vc :- R(x), S(x,y), R(y)").unwrap();
+        let g = BinaryGraph::new(&q);
+        let x = q.var_by_name("x").unwrap();
+        let loops: Vec<_> = g.edges().iter().filter(|e| e.unary).collect();
+        assert_eq!(loops.len(), 2);
+        assert!(g.out_edges(x).iter().any(|e| e.unary));
+        // A loop counts twice towards the degree.
+        assert_eq!(g.degree(x), 3);
+    }
+
+    #[test]
+    fn permutation_edges_are_antiparallel() {
+        let q = parse_query("R(x,y), R(y,x)").unwrap();
+        let g = BinaryGraph::new(&q);
+        let x = q.var_by_name("x").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(g.edges()[0].source, x);
+        assert_eq!(g.edges()[0].target, y);
+        assert_eq!(g.edges()[1].source, y);
+        assert_eq!(g.edges()[1].target, x);
+    }
+
+    #[test]
+    fn edges_of_relation_filter() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let g = BinaryGraph::new(&q);
+        let r = q.schema().relation_id("R").unwrap();
+        assert_eq!(g.edges_of(r).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary queries")]
+    fn ternary_relation_is_rejected() {
+        let q = parse_query("W(x,y,z)").unwrap();
+        BinaryGraph::new(&q);
+    }
+
+    #[test]
+    fn dot_output_contains_labels_and_dashed_exogenous() {
+        let q = parse_query("q :- A(x), R^x(x,y)").unwrap();
+        let g = BinaryGraph::new(&q);
+        let dot = g.to_dot(&q);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("R^x"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("x -> y"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Catalogue of every named query appearing in the paper, together with the
+//! complexity the paper assigns to it.
+//!
+//! The catalogue backs experiment E10 (the end-to-end classification table),
+//! the Section 8 lookup used by the classifier for three-R-atom queries, and
+//! a large number of tests.
+
+use crate::parse_query;
+use crate::query::Query;
+
+/// The complexity the *paper* states for a named query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperClass {
+    /// The paper proves membership in PTIME.
+    PTime,
+    /// The paper proves NP-completeness.
+    NpComplete,
+    /// The paper lists the query as an open problem.
+    Open,
+}
+
+/// A named query from the paper with its published classification.
+#[derive(Clone, Debug)]
+pub struct NamedQuery {
+    /// Identifier used throughout the paper (and this codebase).
+    pub name: &'static str,
+    /// Where in the paper the query appears.
+    pub reference: &'static str,
+    /// The query itself.
+    pub query: Query,
+    /// The complexity claimed by the paper.
+    pub paper_class: PaperClass,
+}
+
+fn named(
+    name: &'static str,
+    reference: &'static str,
+    text: &str,
+    paper_class: PaperClass,
+) -> NamedQuery {
+    let query = parse_query(text)
+        .unwrap_or_else(|e| panic!("catalogue query {name} failed to parse: {e}"))
+        .with_name(name);
+    NamedQuery {
+        name,
+        reference,
+        query,
+        paper_class,
+    }
+}
+
+macro_rules! catalogue_accessors {
+    ($( $fn_name:ident => ($name:literal, $reference:literal, $text:literal, $class:expr) ),+ $(,)?) => {
+        $(
+            #[doc = concat!("The paper query `", $name, "` (", $reference, ").")]
+            pub fn $fn_name() -> NamedQuery {
+                named($name, $reference, $text, $class)
+            }
+        )+
+
+        /// Every named query of the paper, in the order it appears.
+        pub fn all_named_queries() -> Vec<NamedQuery> {
+            vec![ $( $fn_name() ),+ ]
+        }
+    };
+}
+
+catalogue_accessors! {
+    // ---- Section 2: self-join-free background queries (Figure 1) ----
+    q_triangle => ("q_triangle", "Example 2, Figure 1a",
+        "R(x,y), S(y,z), T(z,x)", PaperClass::NpComplete),
+    q_tripod => ("q_tripod", "Example 2, Figure 1b",
+        "A(x), B(y), C(z), W(x,y,z)", PaperClass::NpComplete),
+    q_rats => ("q_rats", "Example 2, Figure 1c",
+        "R(x,y), A(x), T(z,x), S(y,z)", PaperClass::PTime),
+    q_brats => ("q_brats", "Section 5.1",
+        "B(y), R(x,y), A(x), T(z,x), S(y,z)", PaperClass::PTime),
+    q_lin => ("q_lin", "Example 2, Figure 1d",
+        "A(x), R(x,y,z), S(y,z)", PaperClass::PTime),
+
+    // ---- Section 3.1: basic hard self-join queries (Figure 2) ----
+    q_vc => ("q_vc", "Proposition 9, Figure 2",
+        "R(x), S(x,y), R(y)", PaperClass::NpComplete),
+    q_chain => ("q_chain", "Proposition 10, Figure 2",
+        "R(x,y), R(y,z)", PaperClass::NpComplete),
+
+    // ---- Section 3.3: easy queries needing trickier flow (Figure 3) ----
+    q_acconf => ("q_ACconf", "Proposition 12, Figure 3a",
+        "A(x), R(x,y), R(z,y), C(z)", PaperClass::PTime),
+    q_a3perm_r => ("q_A3perm-R", "Proposition 13, Figure 3b",
+        "A(x), R(x,y), R(y,z), R(z,y)", PaperClass::PTime),
+
+    // ---- Section 4.2: components example ----
+    q_comp => ("q_comp", "Section 4.2",
+        "A(x), R(x,y), R(z,w), B(w)", PaperClass::PTime),
+
+    // ---- Section 5.1: self-join variations of rats / brats ----
+    q_sj1_rats => ("q_sj1rats", "Example 11 / Section 5.1",
+        "A(x), R(x,y), R(y,z), R(z,x)", PaperClass::NpComplete),
+    q_sj2_rats => ("q_sj2rats", "Lemma 50",
+        "A(x), R(x,y), R(y,z), R(x,z)", PaperClass::NpComplete),
+    q_sj1_brats => ("q_sj1brats", "Section 5.1",
+        "B(y), R(x,y), A(x), R(z,x), R(y,z)", PaperClass::NpComplete),
+    q_sj1_triangle => ("q_sj1triangle", "Example 20",
+        "R(x,y), R(y,z), R(z,x)", PaperClass::NpComplete),
+    q_sj2_triangle => ("q_sj2triangle", "Example 20",
+        "R(x,y), R(y,z), T(z,x)", PaperClass::NpComplete),
+    q_sj3_triangle => ("q_sj3triangle", "Example 20",
+        "R(x,y), S(y,z), R(z,x)", PaperClass::NpComplete),
+
+    // ---- Section 7.1: the eight unary expansions of q_chain ----
+    q_achain => ("q_achain", "Lemma 53",
+        "A(x), R(x,y), R(y,z)", PaperClass::NpComplete),
+    q_bchain => ("q_bchain", "Lemma 52",
+        "R(x,y), B(y), R(y,z)", PaperClass::NpComplete),
+    q_cchain => ("q_cchain", "Lemma 53",
+        "R(x,y), R(y,z), C(z)", PaperClass::NpComplete),
+    q_abchain => ("q_abchain", "Lemma 53",
+        "A(x), R(x,y), B(y), R(y,z)", PaperClass::NpComplete),
+    q_bcchain => ("q_bcchain", "Lemma 53",
+        "R(x,y), B(y), R(y,z), C(z)", PaperClass::NpComplete),
+    q_acchain => ("q_acchain", "Lemma 54",
+        "A(x), R(x,y), R(y,z), C(z)", PaperClass::NpComplete),
+    q_abcchain => ("q_abcchain", "Lemma 54",
+        "A(x), R(x,y), B(y), R(y,z), C(z)", PaperClass::NpComplete),
+
+    // ---- Section 7.2: confluences ----
+    q_cfp => ("cfp", "Section 7.2",
+        "R(x,y), H^x(x,z), R(z,y)", PaperClass::NpComplete),
+
+    // ---- Section 7.3: permutations ----
+    q_perm => ("q_perm", "Proposition 33",
+        "R(x,y), R(y,x)", PaperClass::PTime),
+    q_aperm => ("q_Aperm", "Proposition 33",
+        "A(x), R(x,y), R(y,x)", PaperClass::PTime),
+    q_abperm => ("q_ABperm", "Proposition 34",
+        "A(x), R(x,y), R(y,x), B(y)", PaperClass::NpComplete),
+
+    // ---- Section 7.4: repeated variables (REP) ----
+    z1 => ("z1", "Section 7.4",
+        "R(x,x), S(x,y), R(y,y)", PaperClass::NpComplete),
+    z2 => ("z2", "Section 7.4",
+        "R(x,x), S(x,y), R(y,z)", PaperClass::NpComplete),
+    z3 => ("z3", "Proposition 36",
+        "R(x,x), R(x,y), A(y)", PaperClass::PTime),
+
+    // ---- Section 8.1: 3-chains ----
+    q_3chain => ("q_3chain", "Proposition 38",
+        "R(x,y), R(y,z), R(z,w)", PaperClass::NpComplete),
+
+    // ---- Section 8.2: 3-confluences (Figure 7) ----
+    q_ac3conf => ("q_AC3conf", "Proposition 39, Figure 7a",
+        "A(x), R(x,y), R(z,y), R(z,w), C(w)", PaperClass::NpComplete),
+    q_ts3conf => ("q_TS3conf", "Proposition 41, Figure 7b",
+        "T^x(x,y), R(x,y), R(z,y), R(z,w), S^x(z,w)", PaperClass::PTime),
+    q_as3conf => ("q_AS3conf", "Open problem, Figure 7c",
+        "A(x), R(x,y), R(z,y), R(z,w), S^x(z,w)", PaperClass::Open),
+
+    // ---- Section 8.3: chain-confluence mixes ----
+    q_ac3cc => ("q_AC3cc", "Proposition 42",
+        "A(x), R(x,y), R(y,z), R(w,z), C(w)", PaperClass::NpComplete),
+    q_as3cc => ("q_AS3cc", "Proposition 42",
+        "A(x), R(x,y), R(y,z), R(w,z), S(w,z)", PaperClass::NpComplete),
+    q_c3cc => ("q_C3cc", "Proposition 43",
+        "R(x,y), R(y,z), R(w,z), C(w)", PaperClass::NpComplete),
+    q_s3cc => ("q_S3cc", "Open problem, Section 8.3",
+        "R(x,y), R(y,z), R(w,z), S(w,z)", PaperClass::Open),
+
+    // ---- Section 8.4: permutation plus R ----
+    q_swx3perm_r => ("q_Swx3perm-R", "Proposition 44",
+        "S(w,x), R(x,y), R(y,z), R(z,y)", PaperClass::PTime),
+    q_sxy3perm_r => ("q_Sxy3perm-R", "Proposition 45",
+        "S^x(x,y), R(x,y), R(y,z), R(z,y)", PaperClass::NpComplete),
+    q_ac3perm_r => ("q_AC3perm-R", "Proposition 46",
+        "A(x), R(x,y), R(y,z), R(z,y), C(z)", PaperClass::NpComplete),
+    q_ab3perm_r => ("q_AB3perm-R", "Proposition 46",
+        "A(x), R(x,y), B(y), R(y,z), R(z,y)", PaperClass::NpComplete),
+    q_sxybc3perm_r => ("q_SxyBC3perm-R", "Proposition 46",
+        "S(x,y), R(x,y), B(y), R(y,z), R(z,y), C(z)", PaperClass::NpComplete),
+    q_asxy3perm_r => ("q_ASxy3perm-R", "Open problem, Section 8.4",
+        "A(x), S(x,y), R(x,y), R(y,z), R(z,y)", PaperClass::Open),
+    q_sxyb3perm_r => ("q_SxyB3perm-R", "Open problem, Section 8.4",
+        "S(x,y), R(x,y), B(y), R(y,z), R(z,y)", PaperClass::Open),
+    q_sxyc3perm_r => ("q_SxyC3perm-R", "Open problem, Section 8.4",
+        "S(x,y), R(x,y), R(y,z), R(z,y), C(z)", PaperClass::Open),
+
+    // ---- Section 8.5: three R-atoms with repeated variables ----
+    z4 => ("z4", "Proposition 47",
+        "R(x,x), R(x,y), S(x,y), R(y,y)", PaperClass::NpComplete),
+    z5 => ("z5", "Proposition 47 / Example 60",
+        "A(x), R(x,y), R(y,z), R(z,z)", PaperClass::NpComplete),
+    z6 => ("z6", "Open problem, Section 8.5",
+        "A(x), R(x,y), R(y,y), R(y,z), C(z)", PaperClass::Open),
+    z7 => ("z7", "Open problem, Section 8.5",
+        "A(x), R(x,y), R(y,x), R(y,y)", PaperClass::Open),
+}
+
+/// Looks up a named query by its paper name (case-sensitive).
+pub fn by_name(name: &str) -> Option<NamedQuery> {
+    all_named_queries().into_iter().find(|nq| nq.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domination::normalize;
+    use crate::homomorphism::{is_minimal, minimize};
+    use crate::triad::has_triad;
+
+    #[test]
+    fn catalogue_parses_and_is_well_formed() {
+        let all = all_named_queries();
+        assert!(all.len() >= 40, "expected a large catalogue, got {}", all.len());
+        for nq in &all {
+            assert!(nq.query.validate().is_ok(), "{} invalid", nq.name);
+            assert!(nq.query.num_atoms() >= 1);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = all_named_queries();
+        let mut names: Vec<&str> = all.iter().map(|n| n.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("q_chain").is_some());
+        assert!(by_name("q_ABperm").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn catalogue_queries_are_minimal() {
+        // The paper assumes minimal queries (Section 4.1); every catalogue
+        // entry is already minimal as a stand-alone query.
+        for nq in all_named_queries() {
+            assert!(
+                is_minimal(&nq.query),
+                "{} should be minimal but minimizes to {}",
+                nq.name,
+                minimize(&nq.query)
+            );
+        }
+    }
+
+    #[test]
+    fn binary_and_ssj_flags_match_the_papers_fragment() {
+        for nq in all_named_queries() {
+            // Everything except q_lin and q_tripod is a binary query.
+            if matches!(nq.name, "q_lin" | "q_tripod") {
+                assert!(!nq.query.is_binary(), "{}", nq.name);
+            } else {
+                assert!(nq.query.is_binary(), "{}", nq.name);
+            }
+            // Single-self-join holds for the entire catalogue.
+            assert!(nq.query.is_single_self_join(), "{}", nq.name);
+        }
+    }
+
+    #[test]
+    fn triad_status_of_flagship_queries() {
+        assert!(has_triad(&normalize(&q_triangle().query)));
+        assert!(has_triad(&normalize(&q_tripod().query)));
+        assert!(has_triad(&normalize(&q_sj1_rats().query)));
+        assert!(!has_triad(&normalize(&q_rats().query)));
+        assert!(!has_triad(&normalize(&q_chain().query)));
+        assert!(!has_triad(&normalize(&q_abperm().query)));
+    }
+
+    #[test]
+    fn paper_class_distribution_is_sensible() {
+        let all = all_named_queries();
+        let hard = all
+            .iter()
+            .filter(|n| n.paper_class == PaperClass::NpComplete)
+            .count();
+        let easy = all.iter().filter(|n| n.paper_class == PaperClass::PTime).count();
+        let open = all.iter().filter(|n| n.paper_class == PaperClass::Open).count();
+        assert!(hard >= 20, "hard = {hard}");
+        assert!(easy >= 10, "easy = {easy}");
+        assert!(open >= 5, "open = {open}");
+    }
+}

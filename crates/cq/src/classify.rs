@@ -1,0 +1,738 @@
+//! The dichotomy classifier (Theorem 37) extended with the general hardness
+//! criteria of Sections 5–6 and the Section 8 catalogue.
+//!
+//! `classify` decides, for an input conjunctive query, whether its resilience
+//! problem is known to be in PTIME, known to be NP-complete, or open, and
+//! reports the structural evidence behind the decision. The pipeline mirrors
+//! the paper's plan of attack (Section 4.4):
+//!
+//! 1. minimize the query (Section 4.1);
+//! 2. split into connected components and classify each (Lemmas 14–15);
+//! 3. compute the domination normal form (Proposition 18);
+//! 4. a triad implies NP-completeness (Theorem 24);
+//! 5. self-join-free and triad-free queries are in PTIME (Theorem 7);
+//! 6. for ssj binary queries: unary/binary paths (Theorems 27–28), chains
+//!    (Propositions 30, 38), confluences (Propositions 31–32), permutations
+//!    (Propositions 33–35) and REP queries (Proposition 36);
+//! 7. remaining three-R-atom queries are matched against the Section 8
+//!    catalogue; anything else is reported as `Open`.
+
+use crate::catalogue::{all_named_queries, PaperClass};
+use crate::domination::normalize;
+use crate::homomorphism::minimize;
+use crate::patterns::{
+    analyze_pair, confluence_has_exogenous_path, confluence_variables, find_binary_path,
+    has_unary_path, k_chain_length, permutation_is_bound, single_self_join_relation, PairKind,
+};
+use crate::query::Query;
+use crate::triad::{find_triad, Triad};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The polynomial-time algorithm that solves the query, when one is known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PtimeAlgorithm {
+    /// The query has no endogenous atoms: it can never be made false, so the
+    /// resilience problem is (trivially) decidable in constant time.
+    Unfalsifiable,
+    /// Self-join-free and triad-free: the classic network-flow algorithm of
+    /// the sj-free dichotomy (Theorem 7).
+    SjFreeLinearFlow,
+    /// The query is disconnected and every component is in PTIME
+    /// (Lemma 15); resilience is the minimum over the components.
+    ComponentWise,
+    /// A 2-confluence with no exogenous path: standard network flow with
+    /// duplicated R-edges (Propositions 12, 31, 32).
+    ConfluenceFlow,
+    /// An unbound 2-permutation: witness counting / bipartite vertex cover
+    /// (Propositions 33, 35).
+    UnboundPermutation,
+    /// A REP query containing `z3` (shared variable, repeated variable):
+    /// network flow ignoring off-diagonal tuples (Proposition 36).
+    RepeatedVariableFlow,
+    /// The query matched a named PTIME query from the paper's catalogue
+    /// (e.g. `q_A3perm-R`, `q_Swx3perm-R`, `q_TS3conf`).
+    CatalogueMatch(&'static str),
+}
+
+/// The structural reason a query's resilience problem is NP-complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HardnessReason {
+    /// The normalized query contains a triad (Theorem 24); the payload gives
+    /// the indices of the three atoms in the normalized query.
+    Triad([usize; 3]),
+    /// Some connected component is NP-complete (Lemma 15); the payload names
+    /// the component's reason.
+    ComponentHard(Box<HardnessReason>),
+    /// A unary path between two atoms of a unary self-join relation
+    /// (Theorem 27).
+    UnaryPath,
+    /// A binary path between two consecutive disjoint atoms of a binary
+    /// self-join relation (Theorem 28); payload = the two atom indices.
+    BinaryPath(usize, usize),
+    /// A k-chain of self-join atoms (Propositions 10, 30, 38).
+    Chain(usize),
+    /// A bound 2-permutation (Propositions 34, 35).
+    BoundPermutation,
+    /// A 2-confluence with an exogenous path between its outer variables
+    /// (Proposition 32).
+    ConfluenceExogenousPath,
+    /// The query matched a named NP-complete query from the catalogue.
+    CatalogueMatch(&'static str),
+}
+
+/// Overall complexity decision for a query's resilience problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Complexity {
+    /// RES(q) is solvable in polynomial time by the named algorithm.
+    PTime(PtimeAlgorithm),
+    /// RES(q) is NP-complete for the named reason.
+    NpComplete(HardnessReason),
+    /// The complexity is not determined by the paper's results (or falls
+    /// outside the classified fragment).
+    Open,
+}
+
+impl Complexity {
+    /// `true` if the decision is `PTime`.
+    pub fn is_ptime(&self) -> bool {
+        matches!(self, Complexity::PTime(_))
+    }
+
+    /// `true` if the decision is `NpComplete`.
+    pub fn is_np_complete(&self) -> bool {
+        matches!(self, Complexity::NpComplete(_))
+    }
+
+    /// `true` if the decision is `Open`.
+    pub fn is_open(&self) -> bool {
+        matches!(self, Complexity::Open)
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::PTime(alg) => write!(f, "PTIME ({alg:?})"),
+            Complexity::NpComplete(r) => write!(f, "NP-complete ({r:?})"),
+            Complexity::Open => write!(f, "open"),
+        }
+    }
+}
+
+/// Structural evidence gathered while classifying a query.
+#[derive(Clone, Debug)]
+pub struct Evidence {
+    /// The minimized query actually analysed.
+    pub minimized: Query,
+    /// The domination normal form of the minimized query.
+    pub normalized: Query,
+    /// Number of connected components of the minimized query.
+    pub num_components: usize,
+    /// The triad found in the normalized query, if any.
+    pub triad: Option<Triad>,
+    /// Free-form notes about decisions taken along the way.
+    pub notes: Vec<String>,
+}
+
+/// Result of [`classify`].
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// The complexity decision.
+    pub complexity: Complexity,
+    /// The structural evidence supporting it.
+    pub evidence: Evidence,
+}
+
+/// Classifies the resilience complexity of `q`.
+pub fn classify(q: &Query) -> Classification {
+    let minimized = minimize(q);
+    let mut notes = Vec::new();
+    if minimized.num_atoms() != q.num_atoms() {
+        notes.push(format!(
+            "query was not minimal: {} atoms reduced to {}",
+            q.num_atoms(),
+            minimized.num_atoms()
+        ));
+    }
+    let components = minimized.components();
+    if components.len() > 1 {
+        return classify_disconnected(&minimized, &components, notes);
+    }
+    classify_connected(&minimized, notes)
+}
+
+fn classify_disconnected(
+    minimized: &Query,
+    components: &[Vec<usize>],
+    mut notes: Vec<String>,
+) -> Classification {
+    notes.push(format!(
+        "query is disconnected with {} components; complexity is governed by \
+         the hardest component (Lemma 15)",
+        components.len()
+    ));
+    let mut any_open = false;
+    let mut hard: Option<HardnessReason> = None;
+    for comp in components {
+        let sub = minimized.subquery(comp);
+        let c = classify(&sub);
+        match c.complexity {
+            Complexity::NpComplete(r) => {
+                hard = Some(r);
+                break;
+            }
+            Complexity::Open => any_open = true,
+            Complexity::PTime(_) => {}
+        }
+    }
+    let normalized = normalize(minimized);
+    let evidence = Evidence {
+        minimized: minimized.clone(),
+        normalized,
+        num_components: components.len(),
+        triad: None,
+        notes,
+    };
+    let complexity = match (hard, any_open) {
+        (Some(r), _) => Complexity::NpComplete(HardnessReason::ComponentHard(Box::new(r))),
+        (None, true) => Complexity::Open,
+        (None, false) => Complexity::PTime(PtimeAlgorithm::ComponentWise),
+    };
+    Classification {
+        complexity,
+        evidence,
+    }
+}
+
+fn classify_connected(minimized: &Query, mut notes: Vec<String>) -> Classification {
+    let normalized = normalize(minimized);
+    let triad = find_triad(&normalized);
+    let make = |complexity: Complexity, notes: Vec<String>, triad: Option<Triad>| Classification {
+        complexity,
+        evidence: Evidence {
+            minimized: minimized.clone(),
+            normalized: normalized.clone(),
+            num_components: 1,
+            triad,
+            notes,
+        },
+    };
+
+    // No endogenous atoms: the query cannot be falsified by deletions.
+    if normalized.endogenous_atoms().is_empty() {
+        notes.push("all atoms are exogenous; the query cannot be made false".to_string());
+        return make(
+            Complexity::PTime(PtimeAlgorithm::Unfalsifiable),
+            notes,
+            triad,
+        );
+    }
+
+    // Triads imply hardness for arbitrary CQs (Theorem 24).
+    if let Some(t) = triad.clone() {
+        notes.push(format!(
+            "triad on normalized atoms {:?} (Theorem 24)",
+            t.atoms
+        ));
+        return make(
+            Complexity::NpComplete(HardnessReason::Triad(t.atoms)),
+            notes,
+            triad,
+        );
+    }
+
+    // Self-join-free and triad-free: PTIME by the sj-free dichotomy.
+    if minimized.is_self_join_free() {
+        notes.push("self-join-free and triad-free (Theorem 7)".to_string());
+        return make(
+            Complexity::PTime(PtimeAlgorithm::SjFreeLinearFlow),
+            notes,
+            triad,
+        );
+    }
+
+    // Outside the paper's classified fragment: only the triad criterion
+    // applies, which already failed.
+    if !minimized.is_binary() || !minimized.is_single_self_join() {
+        notes.push(
+            "query is not a single-self-join binary query; beyond the paper's dichotomy"
+                .to_string(),
+        );
+        return make(Complexity::Open, notes, triad);
+    }
+
+    // Unary and binary paths (Theorems 27, 28).
+    if has_unary_path(&normalized) {
+        notes.push("unary path between self-join atoms (Theorem 27)".to_string());
+        return make(
+            Complexity::NpComplete(HardnessReason::UnaryPath),
+            notes,
+            triad,
+        );
+    }
+    if let Some((i, j)) = find_binary_path(&normalized) {
+        notes.push(format!(
+            "binary path between self-join atoms {i} and {j} (Theorem 28)"
+        ));
+        return make(
+            Complexity::NpComplete(HardnessReason::BinaryPath(i, j)),
+            notes,
+            triad,
+        );
+    }
+
+    let Some((rel, r_atoms)) = single_self_join_relation(&normalized) else {
+        // The self-join disappeared during minimization; should have been
+        // caught by the sj-free branch, but stay defensive.
+        notes.push("no repeated relation after preprocessing".to_string());
+        return make(
+            Complexity::PTime(PtimeAlgorithm::SjFreeLinearFlow),
+            notes,
+            triad,
+        );
+    };
+
+    // If every atom of the repeated relation is exogenous, its tuples can
+    // never enter a contingency set; the endogenous part is self-join-free
+    // and triad-free, so the standard flow applies (exogenous duplicates get
+    // infinite capacity and never constrain the cut).
+    if r_atoms.iter().all(|&i| normalized.atom(i).exogenous) {
+        notes.push(format!(
+            "all atoms of the repeated relation {} are exogenous",
+            normalized.schema().name(rel)
+        ));
+        return make(
+            Complexity::PTime(PtimeAlgorithm::SjFreeLinearFlow),
+            notes,
+            triad,
+        );
+    }
+    if r_atoms.iter().any(|&i| normalized.atom(i).exogenous) {
+        // A mix of endogenous and exogenous atoms of the repeated relation is
+        // not covered by the paper's case analysis.
+        notes.push(format!(
+            "the repeated relation {} has both endogenous and exogenous atoms; \
+             outside the paper's classified fragment",
+            normalized.schema().name(rel)
+        ));
+        return make(Complexity::Open, notes, triad);
+    }
+
+    // k-chains are hard for every k >= 2 (Propositions 10, 30, 38).
+    if let Some(k) = k_chain_length(&normalized) {
+        notes.push(format!("the self-join atoms form a {k}-chain (Proposition 38)"));
+        return make(
+            Complexity::NpComplete(HardnessReason::Chain(k)),
+            notes,
+            triad,
+        );
+    }
+
+    if r_atoms.len() == 2 {
+        let pair = analyze_pair(&normalized, r_atoms[0], r_atoms[1]);
+        match pair.kind {
+            PairKind::Chain => {
+                notes.push("2-chain (Proposition 30)".to_string());
+                return make(
+                    Complexity::NpComplete(HardnessReason::Chain(2)),
+                    notes,
+                    triad,
+                );
+            }
+            PairKind::Confluence => {
+                let (x, z, y) =
+                    confluence_variables(&normalized, r_atoms[0], r_atoms[1]).expect("confluence");
+                if confluence_has_exogenous_path(&normalized, x, z, y) {
+                    notes.push(
+                        "2-confluence with an exogenous path between the outer variables \
+                         (Proposition 32)"
+                            .to_string(),
+                    );
+                    return make(
+                        Complexity::NpComplete(HardnessReason::ConfluenceExogenousPath),
+                        notes,
+                        triad,
+                    );
+                }
+                notes.push("2-confluence without exogenous path (Propositions 31, 32)".to_string());
+                return make(
+                    Complexity::PTime(PtimeAlgorithm::ConfluenceFlow),
+                    notes,
+                    triad,
+                );
+            }
+            PairKind::Permutation => {
+                if permutation_is_bound(&normalized, r_atoms[0], r_atoms[1]) {
+                    notes.push("bound 2-permutation (Proposition 35)".to_string());
+                    return make(
+                        Complexity::NpComplete(HardnessReason::BoundPermutation),
+                        notes,
+                        triad,
+                    );
+                }
+                notes.push("unbound 2-permutation (Proposition 35)".to_string());
+                return make(
+                    Complexity::PTime(PtimeAlgorithm::UnboundPermutation),
+                    notes,
+                    triad,
+                );
+            }
+            PairKind::Rep => {
+                notes.push(
+                    "REP pattern with a shared variable, contains z3 (Proposition 36)".to_string(),
+                );
+                return make(
+                    Complexity::PTime(PtimeAlgorithm::RepeatedVariableFlow),
+                    notes,
+                    triad,
+                );
+            }
+            PairKind::Path => {
+                // Unreachable: paths are detected above.
+                notes.push("path pair (Theorem 28)".to_string());
+                return make(
+                    Complexity::NpComplete(HardnessReason::BinaryPath(r_atoms[0], r_atoms[1])),
+                    notes,
+                    triad,
+                );
+            }
+            PairKind::Duplicate => {
+                notes.push("duplicate self-join atoms survived minimization".to_string());
+                return make(Complexity::Open, notes, triad);
+            }
+        }
+    }
+
+    // Three or more R-atoms: fall back to the Section 8 catalogue.
+    if let Some((name, class)) = catalogue_lookup(&normalized) {
+        notes.push(format!("matched catalogue query {name} (Section 8)"));
+        let complexity = match class {
+            PaperClass::PTime => Complexity::PTime(PtimeAlgorithm::CatalogueMatch(name)),
+            PaperClass::NpComplete => {
+                Complexity::NpComplete(HardnessReason::CatalogueMatch(name))
+            }
+            PaperClass::Open => Complexity::Open,
+        };
+        return make(complexity, notes, triad);
+    }
+
+    notes.push(format!(
+        "{} atoms of the repeated relation; no general criterion or catalogue entry applies",
+        r_atoms.len()
+    ));
+    make(Complexity::Open, notes, triad)
+}
+
+fn catalogue_lookup(normalized: &Query) -> Option<(&'static str, PaperClass)> {
+    for entry in all_named_queries() {
+        let entry_normalized = normalize(&entry.query);
+        if structurally_isomorphic(normalized, &entry_normalized) {
+            return Some((entry.name, entry.paper_class));
+        }
+    }
+    None
+}
+
+/// Structural isomorphism between two queries: a bijection between atoms, a
+/// bijection between relation symbols and a bijection between variables that
+/// preserve argument lists and the endogenous/exogenous flag.
+///
+/// This is a much stronger notion than equivalence and is what the catalogue
+/// lookup needs: the catalogue records complexity per *syntactic shape*
+/// (including which atoms are exogenous), not per equivalence class.
+pub fn structurally_isomorphic(q1: &Query, q2: &Query) -> bool {
+    if q1.num_atoms() != q2.num_atoms() || q1.num_vars() != q2.num_vars() {
+        return false;
+    }
+    let mut used = vec![false; q2.num_atoms()];
+    let mut rel_map: HashMap<u32, u32> = HashMap::new();
+    let mut rel_inv: HashMap<u32, u32> = HashMap::new();
+    let mut var_map: HashMap<u32, u32> = HashMap::new();
+    let mut var_inv: HashMap<u32, u32> = HashMap::new();
+    iso_assign(
+        q1,
+        q2,
+        0,
+        &mut used,
+        &mut rel_map,
+        &mut rel_inv,
+        &mut var_map,
+        &mut var_inv,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn iso_assign(
+    q1: &Query,
+    q2: &Query,
+    idx: usize,
+    used: &mut Vec<bool>,
+    rel_map: &mut HashMap<u32, u32>,
+    rel_inv: &mut HashMap<u32, u32>,
+    var_map: &mut HashMap<u32, u32>,
+    var_inv: &mut HashMap<u32, u32>,
+) -> bool {
+    if idx == q1.num_atoms() {
+        return true;
+    }
+    let a = q1.atom(idx);
+    for j in 0..q2.num_atoms() {
+        if used[j] {
+            continue;
+        }
+        let b = q2.atom(j);
+        if a.exogenous != b.exogenous || a.args.len() != b.args.len() {
+            continue;
+        }
+        // Try to extend the relation bijection.
+        let (ra, rb) = (a.relation.0, b.relation.0);
+        let rel_ok = match (rel_map.get(&ra), rel_inv.get(&rb)) {
+            (Some(&m), Some(&i)) => m == rb && i == ra,
+            (None, None) => true,
+            _ => false,
+        };
+        if !rel_ok {
+            continue;
+        }
+        // Try to extend the variable bijection.
+        let mut added_vars: Vec<(u32, u32)> = Vec::new();
+        let mut var_ok = true;
+        for (&va, &vb) in a.args.iter().zip(b.args.iter()) {
+            match (var_map.get(&va.0), var_inv.get(&vb.0)) {
+                (Some(&m), Some(&i)) if m == vb.0 && i == va.0 => {}
+                (None, None) => {
+                    var_map.insert(va.0, vb.0);
+                    var_inv.insert(vb.0, va.0);
+                    added_vars.push((va.0, vb.0));
+                }
+                _ => {
+                    var_ok = false;
+                    break;
+                }
+            }
+        }
+        let rel_added = if var_ok && !rel_map.contains_key(&ra) {
+            rel_map.insert(ra, rb);
+            rel_inv.insert(rb, ra);
+            true
+        } else {
+            false
+        };
+        if var_ok {
+            used[j] = true;
+            if iso_assign(q1, q2, idx + 1, used, rel_map, rel_inv, var_map, var_inv) {
+                return true;
+            }
+            used[j] = false;
+        }
+        if rel_added {
+            rel_map.remove(&ra);
+            rel_inv.remove(&rb);
+        }
+        for (va, vb) in added_vars {
+            var_map.remove(&va);
+            var_inv.remove(&vb);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogue;
+    use crate::parse_query;
+
+    fn classify_text(text: &str) -> Complexity {
+        classify(&parse_query(text).unwrap()).complexity
+    }
+
+    #[test]
+    fn classifier_agrees_with_the_paper_on_every_named_query() {
+        for nq in catalogue::all_named_queries() {
+            let got = classify(&nq.query).complexity;
+            let ok = match nq.paper_class {
+                PaperClass::PTime => got.is_ptime(),
+                PaperClass::NpComplete => got.is_np_complete(),
+                PaperClass::Open => got.is_open(),
+            };
+            assert!(
+                ok,
+                "{} ({}): paper says {:?}, classifier says {}",
+                nq.name, nq.reference, nq.paper_class, got
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_is_hard_via_triad() {
+        match classify_text("R(x,y), S(y,z), T(z,x)") {
+            Complexity::NpComplete(HardnessReason::Triad(_)) => {}
+            other => panic!("expected triad hardness, got {other}"),
+        }
+    }
+
+    #[test]
+    fn chain_is_hard_via_chain() {
+        match classify_text("R(x,y), R(y,z)") {
+            Complexity::NpComplete(HardnessReason::Chain(2)) => {}
+            other => panic!("expected 2-chain hardness, got {other}"),
+        }
+    }
+
+    #[test]
+    fn vc_is_hard_via_unary_path() {
+        assert_eq!(
+            classify_text("R(x), S(x,y), R(y)"),
+            Complexity::NpComplete(HardnessReason::UnaryPath)
+        );
+    }
+
+    #[test]
+    fn three_chain_is_hard() {
+        match classify_text("R(x,y), R(y,z), R(z,w)") {
+            Complexity::NpComplete(HardnessReason::Chain(3)) => {}
+            other => panic!("expected 3-chain hardness, got {other}"),
+        }
+    }
+
+    #[test]
+    fn acconf_is_easy_via_confluence_flow() {
+        assert_eq!(
+            classify_text("A(x), R(x,y), R(z,y), C(z)"),
+            Complexity::PTime(PtimeAlgorithm::ConfluenceFlow)
+        );
+    }
+
+    #[test]
+    fn cfp_is_hard_via_exogenous_path() {
+        assert_eq!(
+            classify_text("R(x,y), H^x(x,z), R(z,y)"),
+            Complexity::NpComplete(HardnessReason::ConfluenceExogenousPath)
+        );
+    }
+
+    #[test]
+    fn permutations_split_on_boundedness() {
+        assert_eq!(
+            classify_text("A(x), R(x,y), R(y,x)"),
+            Complexity::PTime(PtimeAlgorithm::UnboundPermutation)
+        );
+        assert_eq!(
+            classify_text("A(x), R(x,y), R(y,x), B(y)"),
+            Complexity::NpComplete(HardnessReason::BoundPermutation)
+        );
+    }
+
+    #[test]
+    fn rep_with_shared_variable_is_easy() {
+        assert_eq!(
+            classify_text("R(x,x), R(x,y), A(y)"),
+            Complexity::PTime(PtimeAlgorithm::RepeatedVariableFlow)
+        );
+    }
+
+    #[test]
+    fn rats_is_easy_after_domination() {
+        assert_eq!(
+            classify_text("R(x,y), A(x), T(z,x), S(y,z)"),
+            Complexity::PTime(PtimeAlgorithm::SjFreeLinearFlow)
+        );
+    }
+
+    #[test]
+    fn disconnected_query_uses_component_rule() {
+        // One easy component and one hard component (a chain).
+        match classify_text("A(x), R(x,y), S(u,v), S(v,w)") {
+            Complexity::NpComplete(HardnessReason::ComponentHard(inner)) => {
+                assert_eq!(*inner, HardnessReason::Chain(2));
+            }
+            other => panic!("expected component hardness, got {other}"),
+        }
+        // Two easy components.
+        assert_eq!(
+            classify_text("A(x), R(x,y), B(u), S(u,v)"),
+            Complexity::PTime(PtimeAlgorithm::ComponentWise)
+        );
+    }
+
+    #[test]
+    fn fully_exogenous_query_is_unfalsifiable() {
+        assert_eq!(
+            classify_text("R^x(x,y), R^x(y,z)"),
+            Complexity::PTime(PtimeAlgorithm::Unfalsifiable)
+        );
+    }
+
+    #[test]
+    fn non_minimal_queries_are_minimized_first() {
+        // Example 22: the non-minimal self-join variation collapses to R(x,y),
+        // which is trivially easy.
+        let c = classify(&parse_query("R(x,y), R(z,y), R(z,w), R(x,w)").unwrap());
+        assert!(c.complexity.is_ptime());
+        assert_eq!(c.evidence.minimized.num_atoms(), 1);
+        assert!(!c.evidence.notes.is_empty());
+    }
+
+    #[test]
+    fn non_binary_self_join_is_open_unless_triad() {
+        // A ternary self-join without a triad is outside the classified
+        // fragment.
+        assert_eq!(classify_text("W(x,y,z), W(y,z,u)"), Complexity::Open);
+    }
+
+    #[test]
+    fn exogenous_self_join_with_linear_endogenous_part_is_easy() {
+        assert_eq!(
+            classify_text("A(x), R^x(x,y), R^x(y,z), C(z)"),
+            Complexity::PTime(PtimeAlgorithm::SjFreeLinearFlow)
+        );
+    }
+
+    #[test]
+    fn structural_isomorphism_respects_renaming_and_flags() {
+        let a = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let b = parse_query("P(u), Q(u,v), Q(w,v), D(w)").unwrap();
+        assert!(structurally_isomorphic(&a, &b));
+        // Different exogenous labelling breaks isomorphism.
+        let c = parse_query("A^x(x), R(x,y), R(z,y), C(z)").unwrap();
+        assert!(!structurally_isomorphic(&a, &c));
+        // Different shape breaks isomorphism.
+        let d = parse_query("A(x), R(x,y), R(y,z), C(z)").unwrap();
+        assert!(!structurally_isomorphic(&a, &d));
+    }
+
+    #[test]
+    fn isomorphism_requires_relation_bijection() {
+        // Two distinct relations cannot both map onto the same target
+        // relation (that would conflate a self-join with an sj-free query).
+        let a = parse_query("R(x,y), S(y,z)").unwrap();
+        let b = parse_query("R(x,y), R(y,z)").unwrap();
+        assert!(!structurally_isomorphic(&a, &b));
+        assert!(!structurally_isomorphic(&b, &a));
+    }
+
+    #[test]
+    fn evidence_reports_normal_form_and_notes() {
+        let c = classify(&parse_query("A(x), B(y), C(z), W(x,y,z)").unwrap());
+        assert!(c.complexity.is_np_complete());
+        // W must be exogenous in the normal form.
+        let n = &c.evidence.normalized;
+        let w_idx = n
+            .atoms()
+            .iter()
+            .position(|a| n.schema().name(a.relation) == "W")
+            .unwrap();
+        assert!(n.atom(w_idx).exogenous);
+        assert!(c.evidence.triad.is_some());
+    }
+
+    #[test]
+    fn complexity_display_is_readable() {
+        let c = classify_text("R(x,y), R(y,z)");
+        let s = c.to_string();
+        assert!(s.contains("NP-complete"));
+        assert!(classify_text("A(x), R(x,y)").to_string().contains("PTIME"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Domination: when endogenous atoms/relations are *implicitly* exogenous.
+//!
+//! The paper uses two notions:
+//!
+//! * **Self-join-free domination** (Definition 3): atom `A` dominates atom `B`
+//!   when `var(A) ⊂ var(B)` (strict inclusion) and both are endogenous.
+//!   Dominated atoms can be made exogenous without changing resilience
+//!   (Proposition 4).
+//! * **Self-join domination** (Definition 16): relation `A` dominates relation
+//!   `B` when there is a positional function `f : [arity(A)] → [arity(B)]`
+//!   such that *every* `B`-atom `g_B` has some `A`-atom `h_A` with
+//!   `pos_{h_A}(i) = pos_{g_B}(f(i))` for all `i`. Dominated relations can be
+//!   made exogenous without changing resilience (Proposition 18).
+//!
+//! Example 11 of the paper shows why the sj-free notion is unsound in the
+//! presence of self-joins; the tests below reproduce Example 17 which
+//! contrasts the two.
+
+use crate::ids::{RelId, Var};
+use crate::query::Query;
+use std::collections::BTreeSet;
+
+/// Atom-level domination test (Definition 3): does atom `a` dominate atom `b`?
+///
+/// Requires both atoms to be endogenous and `var(a) ⊂ var(b)` strictly.
+pub fn atom_dominates(q: &Query, a: usize, b: usize) -> bool {
+    if a == b {
+        return false;
+    }
+    let atom_a = q.atom(a);
+    let atom_b = q.atom(b);
+    if atom_a.exogenous || atom_b.exogenous {
+        return false;
+    }
+    let va: BTreeSet<Var> = atom_a.var_set().into_iter().collect();
+    let vb: BTreeSet<Var> = atom_b.var_set().into_iter().collect();
+    va.is_subset(&vb) && va != vb
+}
+
+/// Indices of atoms that are dominated by some other endogenous atom under
+/// the self-join-free notion (Definition 3).
+pub fn dominated_atoms_sjfree(q: &Query) -> Vec<usize> {
+    let mut out = Vec::new();
+    for b in 0..q.num_atoms() {
+        if q.atom(b).exogenous {
+            continue;
+        }
+        if (0..q.num_atoms()).any(|a| atom_dominates(q, a, b)) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Relation-level domination test (Definition 16): does relation `dominator`
+/// dominate relation `dominated` in `q`?
+///
+/// Both relations must have at least one endogenous atom in `q`; exogenous
+/// atoms are ignored when enumerating the `A`-atoms a `B`-atom may be matched
+/// against (a tuple from an exogenous atom could never be substituted into a
+/// contingency set).
+pub fn relation_dominates(q: &Query, dominator: RelId, dominated: RelId) -> bool {
+    if dominator == dominated {
+        return false;
+    }
+    let a_atoms: Vec<usize> = q
+        .atoms_of(dominator)
+        .into_iter()
+        .filter(|&i| !q.atom(i).exogenous)
+        .collect();
+    let b_atoms: Vec<usize> = q
+        .atoms_of(dominated)
+        .into_iter()
+        .filter(|&i| !q.atom(i).exogenous)
+        .collect();
+    if a_atoms.is_empty() || b_atoms.is_empty() {
+        return false;
+    }
+    let arity_a = q.schema().arity(dominator);
+    let arity_b = q.schema().arity(dominated);
+
+    // Enumerate all functions f : [arity_a] -> [arity_b]. Arities in this
+    // paper are at most 3, so the enumeration is tiny (arity_b^arity_a).
+    let mut f = vec![0usize; arity_a];
+    loop {
+        if function_witnesses_domination(q, &a_atoms, &b_atoms, &f) {
+            return true;
+        }
+        // Advance f like a little odometer in base arity_b.
+        let mut pos = 0;
+        loop {
+            if pos == arity_a {
+                return false;
+            }
+            f[pos] += 1;
+            if f[pos] < arity_b {
+                break;
+            }
+            f[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn function_witnesses_domination(
+    q: &Query,
+    a_atoms: &[usize],
+    b_atoms: &[usize],
+    f: &[usize],
+) -> bool {
+    // Every B-atom must have some A-atom matching through f.
+    b_atoms.iter().all(|&gb| {
+        let b_args = &q.atom(gb).args;
+        a_atoms.iter().any(|&ha| {
+            let a_args = &q.atom(ha).args;
+            a_args
+                .iter()
+                .enumerate()
+                .all(|(i, &av)| av == b_args[f[i]])
+        })
+    })
+}
+
+/// All relations that are dominated by some other relation with endogenous
+/// atoms, under the self-join notion (Definition 16).
+///
+/// Mutual domination (two relations dominating each other, e.g.
+/// `q :- A(x), B(x)`) is broken deterministically: relations are scanned in
+/// schema order and a relation is only reported as dominated if one of its
+/// dominators has not itself already been marked dominated. This keeps at
+/// least one of a mutually-dominating group endogenous, which is required for
+/// Proposition 18 to apply ("labeling *some* dominated relations exogenous").
+pub fn dominated_relations(q: &Query) -> Vec<RelId> {
+    let endogenous_rels: Vec<RelId> = q
+        .schema()
+        .relation_ids()
+        .filter(|&r| q.atoms_of(r).iter().any(|&i| !q.atom(i).exogenous))
+        .collect();
+    let mut dominated: Vec<RelId> = Vec::new();
+    for &b in &endogenous_rels {
+        let has_live_dominator = endogenous_rels
+            .iter()
+            .filter(|&&a| a != b && !dominated.contains(&a))
+            .any(|&a| relation_dominates(q, a, b));
+        if has_live_dominator {
+            dominated.push(b);
+        }
+    }
+    dominated
+}
+
+/// Returns the *normal form* of `q`: all dominated relations are marked
+/// exogenous (Proposition 18). The transformation is idempotent.
+pub fn normalize(q: &Query) -> Query {
+    let mut current = q.clone();
+    loop {
+        let dominated = dominated_relations(&current);
+        if dominated.is_empty() {
+            return current;
+        }
+        let mut to_mark: Vec<usize> = Vec::new();
+        for rel in dominated {
+            for idx in current.atoms_of(rel) {
+                if !current.atom(idx).exogenous {
+                    to_mark.push(idx);
+                }
+            }
+        }
+        if to_mark.is_empty() {
+            return current;
+        }
+        current = current.with_exogenous(&to_mark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn tripod_a_dominates_w() {
+        // q_T :- A(x), B(y), C(z), W(x,y,z): A dominates W (Definition 3).
+        let q = parse_query("A(x), B(y), C(z), W(x,y,z)").unwrap();
+        assert!(atom_dominates(&q, 0, 3));
+        assert!(!atom_dominates(&q, 3, 0));
+        assert_eq!(dominated_atoms_sjfree(&q), vec![3]);
+        // Relation-level domination agrees.
+        let a = q.schema().relation_id("A").unwrap();
+        let w = q.schema().relation_id("W").unwrap();
+        assert!(relation_dominates(&q, a, w));
+        assert!(!relation_dominates(&q, w, a));
+    }
+
+    #[test]
+    fn rats_a_dominates_r_and_t() {
+        // q_rats :- R(x,y), A(x), T(z,x), S(y,z): A dominates R and T.
+        let q = parse_query("R(x,y), A(x), T(z,x), S(y,z)").unwrap();
+        let a = q.schema().relation_id("A").unwrap();
+        let r = q.schema().relation_id("R").unwrap();
+        let t = q.schema().relation_id("T").unwrap();
+        let s = q.schema().relation_id("S").unwrap();
+        assert!(relation_dominates(&q, a, r));
+        assert!(relation_dominates(&q, a, t));
+        assert!(!relation_dominates(&q, a, s));
+        let dominated = dominated_relations(&q);
+        assert!(dominated.contains(&r));
+        assert!(dominated.contains(&t));
+        assert!(!dominated.contains(&s));
+        assert!(!dominated.contains(&a));
+        // Normal form marks exactly the R and T atoms exogenous.
+        let n = normalize(&q);
+        assert!(n.atom(0).exogenous); // R(x,y)
+        assert!(!n.atom(1).exogenous); // A(x)
+        assert!(n.atom(2).exogenous); // T(z,x)
+        assert!(!n.atom(3).exogenous); // S(y,z)
+    }
+
+    #[test]
+    fn example_17_self_join_domination() {
+        // q1 :- R(x,y), A(y), R(y,z), S(y,z): A does NOT dominate R, S is dominated.
+        let q1 = parse_query("R(x,y), A(y), R(y,z), S(y,z)").unwrap();
+        let a = q1.schema().relation_id("A").unwrap();
+        let r = q1.schema().relation_id("R").unwrap();
+        let s = q1.schema().relation_id("S").unwrap();
+        assert!(!relation_dominates(&q1, a, r));
+        assert!(relation_dominates(&q1, a, s));
+
+        // q2 :- R(x,y), A(y), R(z,y), S(y,z): A dominates R and S.
+        let q2 = parse_query("R(x,y), A(y), R(z,y), S(y,z)").unwrap();
+        let a2 = q2.schema().relation_id("A").unwrap();
+        let r2 = q2.schema().relation_id("R").unwrap();
+        let s2 = q2.schema().relation_id("S").unwrap();
+        assert!(relation_dominates(&q2, a2, r2));
+        assert!(relation_dominates(&q2, a2, s2));
+    }
+
+    #[test]
+    fn example_11_sj1_rats_r_not_dominated() {
+        // q_sj1rats :- A(x), R(x,y), R(y,z), R(z,x): the sj-free notion would
+        // say A dominates R(x,y); the self-join notion must not.
+        let q = parse_query("A(x), R(x,y), R(y,z), R(z,x)").unwrap();
+        let a = q.schema().relation_id("A").unwrap();
+        let r = q.schema().relation_id("R").unwrap();
+        assert!(!relation_dominates(&q, a, r));
+        assert!(dominated_relations(&q).is_empty());
+        // But the per-atom sj-free notion (naively applied) *would* flag
+        // R(x,y), illustrating why it is unsound here.
+        assert!(atom_dominates(&q, 0, 1));
+    }
+
+    #[test]
+    fn mutual_domination_keeps_one_endogenous() {
+        let q = parse_query("A(x), B(x)").unwrap();
+        let dominated = dominated_relations(&q);
+        assert_eq!(dominated.len(), 1);
+        let n = normalize(&q);
+        let endo = n.endogenous_atoms();
+        assert_eq!(endo.len(), 1);
+    }
+
+    #[test]
+    fn exogenous_dominator_does_not_count() {
+        // A is exogenous, so it cannot dominate W.
+        let q = parse_query("A^x(x), W(x,y)").unwrap();
+        let a = q.schema().relation_id("A").unwrap();
+        let w = q.schema().relation_id("W").unwrap();
+        assert!(!relation_dominates(&q, a, w));
+        assert!(dominated_relations(&q).is_empty());
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let q = parse_query("R(x,y), A(x), T(z,x), S(y,z)").unwrap();
+        let n1 = normalize(&q);
+        let n2 = normalize(&n1);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn brats_b_dominates_s() {
+        // q_brats :- B(y), R(x,y), A(x), T(z,x), S(y,z): A dominates R, T and
+        // B dominates S; only A and B stay endogenous.
+        let q = parse_query("B(y), R(x,y), A(x), T(z,x), S(y,z)").unwrap();
+        let n = normalize(&q);
+        let endo_names: Vec<&str> = n
+            .endogenous_atoms()
+            .into_iter()
+            .map(|i| n.schema().name(n.atom(i).relation))
+            .collect();
+        assert_eq!(endo_names, vec!["B", "A"]);
+    }
+
+    #[test]
+    fn unary_relation_dominates_binary_with_matching_position() {
+        // In q_ACconf :- A(x), R(x,y), R(z,y), C(z): A matches position 1 of
+        // R(x,y) but there is no A(z) for R(z,y), so A must not dominate R.
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let a = q.schema().relation_id("A").unwrap();
+        let r = q.schema().relation_id("R").unwrap();
+        let c = q.schema().relation_id("C").unwrap();
+        assert!(!relation_dominates(&q, a, r));
+        assert!(!relation_dominates(&q, c, r));
+        assert!(dominated_relations(&q).is_empty());
+    }
+
+    #[test]
+    fn domination_with_repeated_argument_positions() {
+        // R(x,x) is dominated by A(x) via either positional function.
+        let q = parse_query("A(x), R(x,x), S(x,y)").unwrap();
+        let a = q.schema().relation_id("A").unwrap();
+        let r = q.schema().relation_id("R").unwrap();
+        assert!(relation_dominates(&q, a, r));
+    }
+}

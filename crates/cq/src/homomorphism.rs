@@ -1,0 +1,273 @@
+//! Query homomorphisms, containment, equivalence and minimization
+//! (Section 4.1).
+//!
+//! For Boolean conjunctive queries the classical Chandra–Merlin results
+//! apply: `q1 ⊆ q2` iff there is a homomorphism from `q2` to `q1`, and every
+//! query has a unique (up to isomorphism) minimal equivalent query — its
+//! *core* — obtained by removing atoms. The paper assumes all queries are
+//! minimal and connected (Section 4); this module provides the
+//! preprocessing that justifies the assumption.
+//!
+//! Homomorphisms are computed on relation symbols and argument structure
+//! only; the endogenous/exogenous flag is ignored, because in the paper the
+//! exogenous labelling is (re)derived from domination *after* minimization.
+
+use crate::ids::Var;
+use crate::query::Query;
+use std::collections::HashMap;
+
+/// A homomorphism from the variables of a source query to the variables of a
+/// target query.
+pub type VarMapping = HashMap<Var, Var>;
+
+/// Searches for a homomorphism from `from` to `to`: a mapping `h` on variables
+/// such that for every atom `R(z₁,…,z_k)` of `from`, the atom `R(h(z₁),…,h(z_k))`
+/// occurs in `to` (over the same relation *name*).
+///
+/// Returns one witness mapping if it exists.
+pub fn find_homomorphism(from: &Query, to: &Query) -> Option<VarMapping> {
+    // Relation symbols are matched by name because the two queries own
+    // independent schemas.
+    let mut target_atoms_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, a) in to.atoms().iter().enumerate() {
+        target_atoms_by_name
+            .entry(to.schema().name(a.relation))
+            .or_default()
+            .push(i);
+    }
+
+    // Order source atoms by ascending number of candidate targets to fail fast.
+    let mut order: Vec<usize> = (0..from.num_atoms()).collect();
+    order.sort_by_key(|&i| {
+        let name = from.schema().name(from.atom(i).relation);
+        target_atoms_by_name.get(name).map_or(0, |v| v.len())
+    });
+
+    let mut mapping: VarMapping = HashMap::new();
+    if assign(from, to, &target_atoms_by_name, &order, 0, &mut mapping) {
+        Some(mapping)
+    } else {
+        None
+    }
+}
+
+fn assign(
+    from: &Query,
+    to: &Query,
+    targets: &HashMap<&str, Vec<usize>>,
+    order: &[usize],
+    depth: usize,
+    mapping: &mut VarMapping,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let src_idx = order[depth];
+    let src = from.atom(src_idx);
+    let name = from.schema().name(src.relation);
+    let Some(candidates) = targets.get(name) else {
+        return false;
+    };
+    for &t_idx in candidates {
+        let tgt = to.atom(t_idx);
+        if tgt.args.len() != src.args.len() {
+            continue;
+        }
+        // Try to extend the mapping with src.args[i] -> tgt.args[i].
+        let mut added: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (s, t) in src.args.iter().zip(tgt.args.iter()) {
+            match mapping.get(s) {
+                Some(&existing) if existing != *t => {
+                    ok = false;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    mapping.insert(*s, *t);
+                    added.push(*s);
+                }
+            }
+        }
+        if ok && assign(from, to, targets, order, depth + 1, mapping) {
+            return true;
+        }
+        for v in added {
+            mapping.remove(&v);
+        }
+    }
+    false
+}
+
+/// Query containment `sub ⊆ sup`: the answers of `sub` are contained in the
+/// answers of `sup` over every database. For Boolean CQs this holds iff there
+/// is a homomorphism from `sup` to `sub`.
+pub fn is_contained_in(sub: &Query, sup: &Query) -> bool {
+    find_homomorphism(sup, sub).is_some()
+}
+
+/// Query equivalence `q1 ≡ q2` (mutual containment).
+pub fn are_equivalent(q1: &Query, q2: &Query) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+/// Whether `q` is minimal: no query with strictly fewer atoms is equivalent
+/// to it. Equivalently, no proper sub-conjunction of `q` admits a
+/// homomorphism from `q`.
+pub fn is_minimal(q: &Query) -> bool {
+    minimize(q).num_atoms() == q.num_atoms()
+}
+
+/// Computes the core of `q`: a minimal equivalent query obtained by removing
+/// zero or more atoms (Chandra–Merlin). The paper performs this as a
+/// preprocessing step before any resilience analysis (Section 4.1).
+pub fn minimize(q: &Query) -> Query {
+    let mut kept: Vec<usize> = (0..q.num_atoms()).collect();
+    let mut current = q.clone();
+    loop {
+        let mut removed_any = false;
+        for pos in 0..kept.len() {
+            if kept.len() == 1 {
+                break;
+            }
+            let mut candidate_idx = kept.clone();
+            candidate_idx.remove(pos);
+            let candidate = q.subquery(&candidate_idx);
+            // The candidate is a sub-conjunction, so `current ⊆ candidate`
+            // always holds. Equivalence therefore reduces to finding a
+            // homomorphism from the full query into the candidate.
+            if find_homomorphism(&current, &candidate).is_some() {
+                kept = candidate_idx;
+                current = candidate;
+                removed_any = true;
+                break;
+            }
+        }
+        if !removed_any {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn identity_homomorphism_exists() {
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let h = find_homomorphism(&q, &q).unwrap();
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn chain_maps_into_single_loop() {
+        // R(x,y),R(y,z) has a homomorphism into R(w,w): x,y,z -> w.
+        let chain = parse_query("R(x,y), R(y,z)").unwrap();
+        let loop_q = parse_query("R(w,w)").unwrap();
+        assert!(find_homomorphism(&chain, &loop_q).is_some());
+        // but not the other way around: R(w,w) needs some R(a,a) pattern,
+        // which R(x,y),R(y,z) cannot provide unless variables collapse.
+        assert!(find_homomorphism(&loop_q, &chain).is_none());
+    }
+
+    #[test]
+    fn containment_of_chain_in_single_atom() {
+        // q1 :- R(x,y) is contained in nothing stricter; every database
+        // satisfying R(x,y),R(y,z) also satisfies R(x,y).
+        let two = parse_query("R(x,y), R(y,z)").unwrap();
+        let one = parse_query("R(x,y)").unwrap();
+        // two ⊆ one : hom from one to two exists.
+        assert!(is_contained_in(&two, &one));
+        // one ⊄ two in general (a database {R(1,2)} satisfies one, not two).
+        assert!(!is_contained_in(&one, &two));
+    }
+
+    #[test]
+    fn example_22_non_minimal_self_join_variation() {
+        // q_sj :- R(x,y), R(z,y), R(z,w), R(x,w) is equivalent to R(x,y)
+        // (Example 22 of the paper).
+        let q = parse_query("R(x,y), R(z,y), R(z,w), R(x,w)").unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.num_atoms(), 1);
+        assert!(!is_minimal(&q));
+        assert!(is_minimal(&m));
+        let single = parse_query("R(x,y)").unwrap();
+        assert!(are_equivalent(&m, &single));
+    }
+
+    #[test]
+    fn chain_is_minimal() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        assert!(is_minimal(&q));
+        assert_eq!(minimize(&q).num_atoms(), 2);
+    }
+
+    #[test]
+    fn triangle_is_minimal() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn vc_query_is_minimal() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn duplicated_atom_is_removed() {
+        let q = parse_query("R(x,y), R(x,y), S(y,z)").unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.num_atoms(), 2);
+    }
+
+    #[test]
+    fn self_join_confluence_alone_is_not_minimal() {
+        // q_conf :- R(x,y), R(z,y) collapses to R(x,y) (Section 7.2 notes it
+        // is not minimal as a stand-alone query).
+        let q = parse_query("R(x,y), R(z,y)").unwrap();
+        assert_eq!(minimize(&q).num_atoms(), 1);
+        // Adding A(x), C(z) makes it minimal (q_ACconf).
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn three_permutation_needs_anchor_to_be_minimal() {
+        // q_3perm-R :- R(x,y),R(y,z),R(z,y) is not minimal on its own
+        // (Section 8.4): it maps into R(y,z),R(z,y).
+        let q = parse_query("R(x,y), R(y,z), R(z,y)").unwrap();
+        assert!(!is_minimal(&q));
+        let anchored = parse_query("A(x), R(x,y), R(y,z), R(z,y)").unwrap();
+        assert!(is_minimal(&anchored));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_respects_renaming() {
+        let q1 = parse_query("R(x,y), S(y,z)").unwrap();
+        let q2 = parse_query("R(a,b), S(b,c)").unwrap();
+        assert!(are_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn arity_mismatch_blocks_homomorphism() {
+        let q1 = parse_query("R(x,y)").unwrap();
+        let q2 = parse_query("R(x)").unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_none());
+        assert!(find_homomorphism(&q2, &q1).is_none());
+    }
+
+    #[test]
+    fn mapping_respects_repeated_variables() {
+        // R(x,x) can map into R(a,a) but not into R(a,b) when a != b is forced.
+        let rep = parse_query("R(x,x)").unwrap();
+        let plain = parse_query("R(a,b)").unwrap();
+        assert!(find_homomorphism(&rep, &plain).is_none());
+        let loop_q = parse_query("R(a,a)").unwrap();
+        assert!(find_homomorphism(&rep, &loop_q).is_some());
+        // And R(a,b) maps into R(x,x) by collapsing a,b -> x.
+        assert!(find_homomorphism(&plain, &rep).is_some());
+    }
+}

@@ -1,0 +1,259 @@
+//! The dual hypergraph `H(q)` of a conjunctive query (Section 2.1).
+//!
+//! The dual hypergraph has one *vertex per atom* and one *hyperedge per
+//! variable*: variable `x` induces the hyperedge consisting of all atoms in
+//! which `x` occurs. A path is an alternating sequence of atoms and variables
+//! such that each variable joins the two adjacent atoms.
+//!
+//! The structural notions the paper builds on top of the dual hypergraph —
+//! triads (Definition 5), pseudo-linearity (Theorem 25) and exogenous paths
+//! for confluences (Proposition 32) — all reduce to reachability queries of
+//! the form "is there a path from atom `a` to atom `b` that avoids a given
+//! set of variables / only uses a given set of atoms?". This module exposes
+//! exactly that primitive.
+
+use crate::ids::Var;
+use crate::query::Query;
+use std::collections::{HashSet, VecDeque};
+
+/// The dual hypergraph of a query.
+///
+/// Borrowing is avoided: the hypergraph copies the tiny amount of structure
+/// it needs (atom count, per-atom variable sets) so it can outlive the query
+/// borrow if convenient.
+#[derive(Clone, Debug)]
+pub struct DualHypergraph {
+    /// `vars_of[a]` = sorted set of variables of atom `a`.
+    vars_of: Vec<Vec<Var>>,
+    /// `atoms_of[v]` = sorted set of atoms containing variable `v`.
+    atoms_of: Vec<Vec<usize>>,
+}
+
+impl DualHypergraph {
+    /// Builds the dual hypergraph of `q`.
+    pub fn new(q: &Query) -> Self {
+        let vars_of: Vec<Vec<Var>> = (0..q.num_atoms()).map(|i| q.atom_var_set(i)).collect();
+        let mut atoms_of: Vec<Vec<usize>> = vec![Vec::new(); q.num_vars()];
+        for (a, vs) in vars_of.iter().enumerate() {
+            for &v in vs {
+                atoms_of[v.index()].push(a);
+            }
+        }
+        DualHypergraph { vars_of, atoms_of }
+    }
+
+    /// Number of vertices (atoms).
+    pub fn num_atoms(&self) -> usize {
+        self.vars_of.len()
+    }
+
+    /// Number of hyperedges (variables).
+    pub fn num_vars(&self) -> usize {
+        self.atoms_of.len()
+    }
+
+    /// Variables of atom `a`.
+    pub fn vars_of(&self, a: usize) -> &[Var] {
+        &self.vars_of[a]
+    }
+
+    /// Atoms containing variable `v`.
+    pub fn atoms_of(&self, v: Var) -> &[usize] {
+        &self.atoms_of[v.index()]
+    }
+
+    /// Variables shared by atoms `a` and `b`.
+    pub fn shared_vars(&self, a: usize, b: usize) -> Vec<Var> {
+        self.vars_of[a]
+            .iter()
+            .copied()
+            .filter(|v| self.vars_of[b].contains(v))
+            .collect()
+    }
+
+    /// Whether atoms `a` and `b` are adjacent (share at least one variable).
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        !self.shared_vars(a, b).is_empty()
+    }
+
+    /// Is there a path from atom `from` to atom `to` such that
+    ///
+    /// * every *variable* used along the path is outside `forbidden_vars`, and
+    /// * every *intermediate atom* is outside `forbidden_atoms`
+    ///   (the endpoints themselves are always allowed)?
+    ///
+    /// With empty restriction sets this is plain connectivity.
+    pub fn has_path_avoiding(
+        &self,
+        from: usize,
+        to: usize,
+        forbidden_vars: &HashSet<Var>,
+        forbidden_atoms: &HashSet<usize>,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        let n = self.num_atoms();
+        let mut visited = vec![false; n];
+        visited[from] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        while let Some(a) = queue.pop_front() {
+            for &v in &self.vars_of[a] {
+                if forbidden_vars.contains(&v) {
+                    continue;
+                }
+                for &b in &self.atoms_of[v.index()] {
+                    if visited[b] {
+                        continue;
+                    }
+                    if b == to {
+                        return true;
+                    }
+                    if forbidden_atoms.contains(&b) {
+                        continue;
+                    }
+                    visited[b] = true;
+                    queue.push_back(b);
+                }
+            }
+        }
+        false
+    }
+
+    /// Plain reachability between two atoms.
+    pub fn connected(&self, from: usize, to: usize) -> bool {
+        self.has_path_avoiding(from, to, &HashSet::new(), &HashSet::new())
+    }
+
+    /// Returns one shortest path (as a list of atom indices, including both
+    /// endpoints) from `from` to `to` avoiding `forbidden_vars`, or `None` if
+    /// no such path exists.
+    pub fn shortest_path_avoiding(
+        &self,
+        from: usize,
+        to: usize,
+        forbidden_vars: &HashSet<Var>,
+    ) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.num_atoms();
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[from] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        while let Some(a) = queue.pop_front() {
+            for &v in &self.vars_of[a] {
+                if forbidden_vars.contains(&v) {
+                    continue;
+                }
+                for &b in &self.atoms_of[v.index()] {
+                    if visited[b] {
+                        continue;
+                    }
+                    visited[b] = true;
+                    prev[b] = Some(a);
+                    if b == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(p) = prev[cur] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(b);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn triangle_adjacency() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let h = DualHypergraph::new(&q);
+        assert_eq!(h.num_atoms(), 3);
+        assert_eq!(h.num_vars(), 3);
+        assert!(h.adjacent(0, 1));
+        assert!(h.adjacent(1, 2));
+        assert!(h.adjacent(0, 2));
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(h.shared_vars(0, 1), vec![y]);
+    }
+
+    #[test]
+    fn path_avoiding_third_atom_variables() {
+        // In the triangle, R -> S via y avoids var(T) = {z, x}? No: the only
+        // shared var of R and S is y, which is not in var(T) = {z,x}, so the
+        // direct hop works.
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let h = DualHypergraph::new(&q);
+        let forbidden: HashSet<_> = q.atom_var_set(2).into_iter().collect();
+        assert!(h.has_path_avoiding(0, 1, &forbidden, &HashSet::new()));
+    }
+
+    #[test]
+    fn path_blocked_when_all_shared_vars_forbidden() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let h = DualHypergraph::new(&q);
+        let y = q.var_by_name("y").unwrap();
+        let x = q.var_by_name("x").unwrap();
+        let z = q.var_by_name("z").unwrap();
+        // Forbidding all three variables disconnects everything.
+        let all: HashSet<_> = [x, y, z].into_iter().collect();
+        assert!(!h.has_path_avoiding(0, 1, &all, &HashSet::new()));
+        // Forbidding only y forces the path R -x- T -z- S.
+        let just_y: HashSet<_> = [y].into_iter().collect();
+        assert!(h.has_path_avoiding(0, 1, &just_y, &HashSet::new()));
+        let path = h.shortest_path_avoiding(0, 1, &just_y).unwrap();
+        assert_eq!(path, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn forbidden_intermediate_atom_blocks_path() {
+        let q = parse_query("A(x), R(x,y), B(y)").unwrap();
+        let h = DualHypergraph::new(&q);
+        // A and B are only connected through the atom R(x,y).
+        let mid: HashSet<usize> = [1].into_iter().collect();
+        assert!(!h.has_path_avoiding(0, 2, &HashSet::new(), &mid));
+        assert!(h.has_path_avoiding(0, 2, &HashSet::new(), &HashSet::new()));
+    }
+
+    #[test]
+    fn disconnected_query_not_connected() {
+        let q = parse_query("A(x), R(x,y), R(z,w), B(w)").unwrap();
+        let h = DualHypergraph::new(&q);
+        assert!(h.connected(0, 1));
+        assert!(!h.connected(0, 2));
+        assert!(h.shortest_path_avoiding(0, 3, &HashSet::new()).is_none());
+    }
+
+    #[test]
+    fn linear_query_shortest_path_is_the_line() {
+        let q = parse_query("A(x), R(x,y), S(y,z), C(z)").unwrap();
+        let h = DualHypergraph::new(&q);
+        let path = h.shortest_path_avoiding(0, 3, &HashSet::new()).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn trivial_path_same_atom() {
+        let q = parse_query("R(x,y)").unwrap();
+        let h = DualHypergraph::new(&q);
+        assert!(h.connected(0, 0));
+        assert_eq!(
+            h.shortest_path_avoiding(0, 0, &HashSet::new()),
+            Some(vec![0])
+        );
+    }
+}

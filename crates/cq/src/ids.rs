@@ -1,0 +1,78 @@
+//! Lightweight interned identifiers for variables and relation symbols.
+//!
+//! Both [`Var`] and [`RelId`] are plain `u32` newtypes: queries are tiny
+//! (a handful of atoms), but the structures built on top of them (witness
+//! hypergraphs, flow networks, hitting-set searches) iterate over them in hot
+//! loops, so they should be `Copy`, hashable and cheap to compare.
+
+use std::fmt;
+
+/// An existential variable of a Boolean conjunctive query.
+///
+/// Variables are indices into the owning [`crate::Query`]'s variable table;
+/// they are only meaningful relative to that query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A relation symbol of the vocabulary.
+///
+/// Relation ids are indices into the owning [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn var_index_roundtrip() {
+        assert_eq!(Var(7).index(), 7);
+        assert_eq!(RelId(3).index(), 3);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(Var(1));
+        set.insert(Var(1));
+        set.insert(Var(2));
+        assert_eq!(set.len(), 2);
+        assert!(Var(1) < Var(2));
+        assert!(RelId(0) < RelId(9));
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", Var(4)), "v4");
+        assert_eq!(format!("{:?}", RelId(2)), "rel2");
+    }
+}

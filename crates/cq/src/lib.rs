@@ -1,0 +1,55 @@
+//! Conjunctive-query substrate for the resilience library.
+//!
+//! This crate implements every *query-side* notion used by the paper
+//! "New Results for the Complexity of Resilience for Binary Conjunctive
+//! Queries with Self-Joins" (PODS 2020):
+//!
+//! * the data model of Boolean conjunctive queries with endogenous and
+//!   exogenous atoms ([`Query`], [`Atom`], [`Schema`]);
+//! * a small Datalog-style parser ([`parse_query`]);
+//! * query homomorphisms, containment, equivalence and minimization
+//!   ([`homomorphism`]);
+//! * the dual hypergraph and its path/connectivity machinery
+//!   ([`hypergraph`]);
+//! * the binary graph of a binary query (Definition 8, [`binary_graph`]);
+//! * self-join-free domination (Definition 3) and self-join domination
+//!   (Definition 16) with the induced normal form ([`domination`]);
+//! * triad detection (Definition 5, [`triad`]);
+//! * linearity and pseudo-linearity tests (Section 2.4 and Theorem 25,
+//!   [`linear`]);
+//! * the self-join pattern analysis of Sections 6–8: paths, chains,
+//!   confluences, permutations and repeated-variable (REP) patterns
+//!   ([`patterns`]);
+//! * the dichotomy classifier of Theorem 37 extended with the Section 8
+//!   catalogue ([`classify`]);
+//! * a catalogue of every named query appearing in the paper
+//!   ([`catalogue`]).
+//!
+//! The crate is dependency-free and purely combinatorial: databases and
+//! resilience computations live in the `database` and `resilience-core`
+//! crates.
+
+pub mod atom;
+pub mod binary_graph;
+pub mod catalogue;
+pub mod classify;
+pub mod domination;
+pub mod homomorphism;
+pub mod hypergraph;
+pub mod ids;
+pub mod linear;
+pub mod parse;
+pub mod patterns;
+pub mod query;
+pub mod schema;
+pub mod triad;
+
+pub use atom::Atom;
+pub use classify::{
+    classify, structurally_isomorphic, Classification, Complexity, Evidence, HardnessReason,
+    PtimeAlgorithm,
+};
+pub use ids::{RelId, Var};
+pub use parse::{parse_query, ParseError};
+pub use query::{Query, QueryBuilder};
+pub use schema::{RelationDecl, Schema};

@@ -1,0 +1,306 @@
+//! A small Datalog-style parser for Boolean conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query   := [ name " :- " ] body | body
+//! body    := atom { "," atom }
+//! atom    := relname [ "^x" ] "(" var { "," var } ")"
+//! relname := identifier starting with an uppercase letter
+//! var     := identifier starting with a lowercase letter
+//! ```
+//!
+//! Exogenous atoms use the `^x` marker, mirroring the paper's superscript-x
+//! notation, e.g. `q_rats' :- R^x(x,y), A(x), T^x(z,x), S(y,z)`.
+
+use crate::query::{Query, QueryBuilder};
+use std::fmt;
+
+/// Error produced when parsing a query string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+}
+
+/// Parses a query from its textual representation.
+///
+/// ```
+/// use cq::parse_query;
+/// let q = parse_query("q_rats :- R(x,y), A(x), T(z,x), S(y,z)").unwrap();
+/// assert_eq!(q.name(), Some("q_rats"));
+/// assert_eq!(q.num_atoms(), 4);
+///
+/// let q = parse_query("A(x), R(x,y), R(y,z)").unwrap();
+/// assert_eq!(q.num_vars(), 3);
+///
+/// let q = parse_query("B(y), R^x(x,y)").unwrap();
+/// assert!(q.atom(1).exogenous);
+/// ```
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    if p.peek().is_none() {
+        return Err(p.error("empty query"));
+    }
+
+    // Optional "name :- " prefix: try to read an identifier followed by
+    // optional "()" and ":-"; if that fails, rewind and treat the whole input
+    // as a body.
+    let mut builder = QueryBuilder::new();
+    let checkpoint = p.pos;
+    if let Ok(ident) = p.identifier() {
+        p.skip_ws();
+        // optional head parentheses `q()`
+        if p.eat(b'(') {
+            p.skip_ws();
+            if !p.eat(b')') {
+                // not a head, rewind
+                p.pos = checkpoint;
+            } else {
+                p.skip_ws();
+            }
+        }
+        if p.pos != checkpoint {
+            if p.eat(b':') {
+                if p.eat(b'-') {
+                    builder = builder.name(ident);
+                    p.skip_ws();
+                } else {
+                    return Err(p.error("expected '-' after ':'"));
+                }
+            } else {
+                // No ":-": the identifier was the first relation name.
+                p.pos = checkpoint;
+            }
+        }
+    } else {
+        p.pos = checkpoint;
+    }
+
+    // Body: one or more atoms separated by commas.
+    loop {
+        p.skip_ws();
+        let rel_start = p.pos;
+        let rel = p.identifier()?;
+        if !rel.starts_with(|c: char| c.is_ascii_uppercase()) {
+            p.pos = rel_start;
+            return Err(p.error(format!(
+                "relation name '{rel}' must start with an uppercase letter"
+            )));
+        }
+        // Exogenous marker `^x`
+        let mut exo = false;
+        if p.eat(b'^') {
+            let m = p.identifier()?;
+            if m != "x" && m != "X" {
+                return Err(p.error(format!("unknown atom marker '^{m}', expected '^x'")));
+            }
+            exo = true;
+        }
+        p.skip_ws();
+        p.expect(b'(')?;
+        let mut args: Vec<String> = Vec::new();
+        loop {
+            p.skip_ws();
+            let v = p.identifier()?;
+            if !v.starts_with(|c: char| c.is_ascii_lowercase()) {
+                return Err(p.error(format!(
+                    "variable '{v}' must start with a lowercase letter"
+                )));
+            }
+            args.push(v.to_string());
+            p.skip_ws();
+            if p.eat(b',') {
+                continue;
+            }
+            p.expect(b')')?;
+            break;
+        }
+        let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        builder = if exo {
+            builder.exogenous_atom(rel, &arg_refs)
+        } else {
+            builder.atom(rel, &arg_refs)
+        };
+
+        p.skip_ws();
+        if p.eat(b',') {
+            continue;
+        }
+        break;
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing input after query body"));
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_named_query() {
+        let q = parse_query("q_triangle :- R(x,y), S(y,z), T(z,x)").unwrap();
+        assert_eq!(q.name(), Some("q_triangle"));
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.num_vars(), 3);
+        assert!(q.is_self_join_free());
+    }
+
+    #[test]
+    fn parses_headless_body() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        assert_eq!(q.name(), None);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.self_join_relations().len(), 1);
+    }
+
+    #[test]
+    fn parses_head_with_parens() {
+        let q = parse_query("q() :- R(x,y), R(y,z)").unwrap();
+        assert_eq!(q.name(), Some("q"));
+        assert_eq!(q.num_atoms(), 2);
+    }
+
+    #[test]
+    fn parses_exogenous_marker() {
+        let q = parse_query("q :- R^x(x,y), A(x), T^x(z,x), S(y,z)").unwrap();
+        assert!(q.atom(0).exogenous);
+        assert!(!q.atom(1).exogenous);
+        assert!(q.atom(2).exogenous);
+        assert_eq!(q.exogenous_atoms(), vec![0, 2]);
+    }
+
+    #[test]
+    fn parses_repeated_variables() {
+        let q = parse_query("R(x,x), R(x,y), A(y)").unwrap();
+        assert!(q.atom(0).has_repeated_var());
+        assert_eq!(q.num_vars(), 2);
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let text = "q_vc :- R(x), S(x,y), R(y)";
+        let q = parse_query(text).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_query("   ").is_err());
+    }
+
+    #[test]
+    fn rejects_lowercase_relation() {
+        let err = parse_query("r(x,y)").unwrap_err();
+        assert!(err.message.contains("uppercase"));
+    }
+
+    #[test]
+    fn rejects_uppercase_variable() {
+        let err = parse_query("R(X,y)").unwrap_err();
+        assert!(err.message.contains("lowercase"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("R(x,y) extra").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_marker() {
+        assert!(parse_query("R^y(x,y)").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(parse_query("R(x,y), S(x").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_position() {
+        let err = parse_query("R(x,y) junk").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("parse error"));
+    }
+}

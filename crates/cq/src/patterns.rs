@@ -1,0 +1,527 @@
+//! Self-join pattern analysis (Sections 6–8).
+//!
+//! For a single-self-join (ssj) binary query with repeated relation `R`, the
+//! paper classifies how two `R`-atoms can interact:
+//!
+//! * **Path** — disjoint variable sets (Theorems 27 and 28): always hard;
+//! * **Chain** — one shared variable joining at *different* attribute
+//!   positions, e.g. `R(x,y), R(y,z)` (Section 7.1): always hard;
+//! * **Confluence** — one shared variable joining at the *same* position,
+//!   e.g. `R(x,y), R(z,y)` (Section 7.2): hard iff an exogenous path connects
+//!   the outer variables while avoiding the shared one (Proposition 32);
+//! * **Permutation** — both variables shared at swapped positions,
+//!   `R(x,y), R(y,x)` (Section 7.3): hard iff the permutation is *bound*
+//!   (Proposition 35);
+//! * **REP** — a repeated variable inside an `R`-atom, e.g. `R(x,x)`
+//!   (Section 7.4): in `P` when the atoms share a variable (Proposition 36),
+//!   otherwise it is a path and therefore hard.
+//!
+//! This module provides the pairwise analysis plus the query-level predicates
+//! the dichotomy classifier needs (paths, k-chains, boundedness, exogenous
+//! paths, and the Section 8 three-atom shapes).
+
+use crate::ids::{RelId, Var};
+use crate::hypergraph::DualHypergraph;
+use crate::query::Query;
+use std::collections::{HashSet, VecDeque};
+
+/// How two atoms over the same (binary) relation relate to each other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairKind {
+    /// Identical argument lists — removed by minimization.
+    Duplicate,
+    /// At least one of the two atoms repeats a variable (`R(x,x)`).
+    Rep,
+    /// Disjoint variable sets (a binary path, Theorem 28).
+    Path,
+    /// One shared variable at different positions (`R(x,y), R(y,z)`).
+    Chain,
+    /// One shared variable at the same position (`R(x,y), R(z,y)` or
+    /// `R(x,y), R(x,z)`).
+    Confluence,
+    /// Both variables shared at swapped positions (`R(x,y), R(y,x)`).
+    Permutation,
+}
+
+/// Result of analysing one pair of self-join atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairAnalysis {
+    /// Indices of the two atoms in the query.
+    pub atoms: (usize, usize),
+    /// The kind of interaction.
+    pub kind: PairKind,
+    /// Variables shared by the two atoms.
+    pub shared: Vec<Var>,
+}
+
+/// Relations occurring in more than one atom, with their atom indices.
+pub fn repeated_relations(q: &Query) -> Vec<(RelId, Vec<usize>)> {
+    q.self_join_relations()
+        .into_iter()
+        .map(|r| (r, q.atoms_of(r)))
+        .collect()
+}
+
+/// The single repeated relation of an ssj query (with its atoms), if the
+/// query has a self-join at all.
+pub fn single_self_join_relation(q: &Query) -> Option<(RelId, Vec<usize>)> {
+    let rep = repeated_relations(q);
+    match rep.len() {
+        0 => None,
+        1 => Some(rep.into_iter().next().unwrap()),
+        _ => None,
+    }
+}
+
+/// Analyses how the two atoms `i` and `j` (assumed to be over the same
+/// relation) interact.
+pub fn analyze_pair(q: &Query, i: usize, j: usize) -> PairAnalysis {
+    let a = q.atom(i);
+    let b = q.atom(j);
+    let shared: Vec<Var> = a
+        .var_set()
+        .into_iter()
+        .filter(|v| b.contains_var(*v))
+        .collect();
+    let kind = if a.args == b.args {
+        PairKind::Duplicate
+    } else if a.has_repeated_var() || b.has_repeated_var() {
+        if shared.is_empty() {
+            PairKind::Path
+        } else {
+            PairKind::Rep
+        }
+    } else if shared.is_empty() {
+        PairKind::Path
+    } else if shared.len() == 2 {
+        PairKind::Permutation
+    } else {
+        // Exactly one shared variable in two binary atoms without repeats.
+        let v = shared[0];
+        let pos_a = a.positions_of(v)[0];
+        let pos_b = b.positions_of(v)[0];
+        if pos_a == pos_b {
+            PairKind::Confluence
+        } else {
+            PairKind::Chain
+        }
+    };
+    PairAnalysis {
+        atoms: (i, j),
+        kind,
+        shared,
+    }
+}
+
+/// Theorem 27: the query contains a *unary path* — the self-join relation is
+/// unary and occurs in two distinct *endogenous* atoms.
+pub fn has_unary_path(q: &Query) -> bool {
+    repeated_relations(q).iter().any(|(r, atoms)| {
+        let atoms: Vec<usize> = atoms
+            .iter()
+            .copied()
+            .filter(|&i| !q.atom(i).exogenous)
+            .collect();
+        q.schema().arity(*r) == 1
+            && atoms.len() >= 2
+            && atoms
+                .iter()
+                .any(|&i| atoms.iter().any(|&j| j != i && q.atom(i).args != q.atom(j).args))
+    })
+}
+
+/// Theorem 28: the query contains a *binary path* — two consecutive atoms of
+/// a binary self-join relation with disjoint variable sets. "Consecutive"
+/// means connected in the dual hypergraph by a path with no intervening atom
+/// of the same relation. Returns the witnessing pair if found.
+pub fn find_binary_path(q: &Query) -> Option<(usize, usize)> {
+    let h = DualHypergraph::new(q);
+    for (r, atoms) in repeated_relations(q) {
+        if q.schema().arity(r) != 2 {
+            continue;
+        }
+        let atoms: Vec<usize> = atoms
+            .iter()
+            .copied()
+            .filter(|&i| !q.atom(i).exogenous)
+            .collect();
+        for ai in 0..atoms.len() {
+            for aj in (ai + 1)..atoms.len() {
+                let (i, j) = (atoms[ai], atoms[aj]);
+                let analysis = analyze_pair(q, i, j);
+                if analysis.kind != PairKind::Path {
+                    continue;
+                }
+                // Consecutive: a connecting path that avoids the *other*
+                // atoms of the same relation as intermediate vertices.
+                let forbidden_atoms: HashSet<usize> = atoms
+                    .iter()
+                    .copied()
+                    .filter(|&k| k != i && k != j)
+                    .collect();
+                if h.has_path_avoiding(i, j, &HashSet::new(), &forbidden_atoms) {
+                    return Some((i, j));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the query contains a path (unary or binary) between self-join
+/// atoms; either kind forces NP-completeness.
+pub fn has_path(q: &Query) -> bool {
+    has_unary_path(q) || find_binary_path(q).is_some()
+}
+
+/// Detects whether the atoms of the self-join relation form a *k-chain*
+/// `R(x_0,x_1), R(x_1,x_2), ..., R(x_{k-1},x_k)` with all `x_i` distinct
+/// (Sections 7.1 and 8.1). Returns `k` (the number of R-atoms) if so.
+pub fn k_chain_length(q: &Query) -> Option<usize> {
+    let (r, atoms) = single_self_join_relation(q)?;
+    if q.schema().arity(r) != 2 || atoms.len() < 2 {
+        return None;
+    }
+    // No repeated variables allowed inside the chain atoms.
+    if atoms.iter().any(|&i| q.atom(i).has_repeated_var()) {
+        return None;
+    }
+    // Try every ordering of the (few) R-atoms and check the chain shape.
+    let mut order: Vec<usize> = atoms.clone();
+    permute_check(q, &mut order, 0)
+}
+
+fn permute_check(q: &Query, order: &mut Vec<usize>, from: usize) -> Option<usize> {
+    if from == order.len() {
+        return chain_shape_ok(q, order).then_some(order.len());
+    }
+    for i in from..order.len() {
+        order.swap(from, i);
+        if let Some(k) = permute_check(q, order, from + 1) {
+            order.swap(from, i);
+            return Some(k);
+        }
+        order.swap(from, i);
+    }
+    None
+}
+
+fn chain_shape_ok(q: &Query, order: &[usize]) -> bool {
+    let mut seen_vars: HashSet<Var> = HashSet::new();
+    let first = q.atom(order[0]);
+    seen_vars.insert(first.args[0]);
+    seen_vars.insert(first.args[1]);
+    if first.args[0] == first.args[1] {
+        return false;
+    }
+    let mut prev_target = first.args[1];
+    for &idx in &order[1..] {
+        let a = q.atom(idx);
+        if a.args[0] != prev_target {
+            return false;
+        }
+        let fresh = a.args[1];
+        if seen_vars.contains(&fresh) {
+            return false;
+        }
+        seen_vars.insert(fresh);
+        prev_target = fresh;
+    }
+    true
+}
+
+/// Proposition 35's criterion for a 2-permutation `R(x,y), R(y,x)`: the
+/// permutation is *bound* when the query has an endogenous atom containing
+/// `x` but not `y` and an endogenous atom containing `y` but not `x`
+/// (other than the permutation atoms themselves).
+pub fn permutation_is_bound(q: &Query, i: usize, j: usize) -> bool {
+    let a = q.atom(i);
+    let x = a.args[0];
+    let y = a.args[1];
+    let side = |keep: Var, avoid: Var| {
+        q.atoms().iter().enumerate().any(|(k, atom)| {
+            k != i && k != j
+                && !atom.exogenous
+                && atom.contains_var(keep)
+                && !atom.contains_var(avoid)
+        })
+    };
+    side(x, y) && side(y, x)
+}
+
+/// Proposition 32's criterion for a 2-confluence `R(x,y), R(z,y)` (shared
+/// variable `y`, outer variables `x` and `z`): is there an *exogenous path*
+/// from `x` to `z` that does not involve `y`?
+///
+/// The path walks from variable to variable through exogenous atoms only and
+/// never touches `y`.
+pub fn confluence_has_exogenous_path(q: &Query, x: Var, z: Var, y: Var) -> bool {
+    if x == z {
+        return false;
+    }
+    let mut visited: HashSet<Var> = HashSet::new();
+    visited.insert(x);
+    let mut queue = VecDeque::new();
+    queue.push_back(x);
+    while let Some(v) = queue.pop_front() {
+        for atom in q.atoms() {
+            if !atom.exogenous || !atom.contains_var(v) || atom.contains_var(y) {
+                continue;
+            }
+            for &w in &atom.args {
+                if w == y || visited.contains(&w) {
+                    continue;
+                }
+                if w == z {
+                    return true;
+                }
+                visited.insert(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// The outer/shared variables of a 2-confluence pair: returns `(x, z, y)`
+/// where `y` is the shared variable and `x`, `z` the outer ones.
+pub fn confluence_variables(q: &Query, i: usize, j: usize) -> Option<(Var, Var, Var)> {
+    let analysis = analyze_pair(q, i, j);
+    if analysis.kind != PairKind::Confluence {
+        return None;
+    }
+    let y = analysis.shared[0];
+    let a = q.atom(i);
+    let b = q.atom(j);
+    let x = *a.args.iter().find(|&&v| v != y)?;
+    let z = *b.args.iter().find(|&&v| v != y)?;
+    Some((x, z, y))
+}
+
+/// Shapes a set of exactly three binary self-join atoms can take (Section 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreeAtomShape {
+    /// `R(x,y), R(y,z), R(z,w)` — a 3-chain (Section 8.1).
+    Chain3,
+    /// `R(x,y), R(z,y), R(z,w)` — a 3-confluence (Section 8.2).
+    Confluence3,
+    /// A 2-chain and a 2-confluence at once (Section 8.3).
+    ChainConfluence,
+    /// `R(x,y), R(y,z), R(z,y)` — a permutation plus one more atom
+    /// (Section 8.4).
+    PermutationPlusR,
+    /// At least one atom with a repeated variable (Section 8.5).
+    Rep3,
+    /// Anything else (includes triads of R-atoms such as the triangle).
+    Other,
+}
+
+/// Classifies the shape of exactly three self-join atoms.
+pub fn three_atom_shape(q: &Query, atoms: &[usize]) -> ThreeAtomShape {
+    assert_eq!(atoms.len(), 3, "three_atom_shape needs exactly 3 atoms");
+    if atoms.iter().any(|&i| q.atom(i).has_repeated_var()) {
+        return ThreeAtomShape::Rep3;
+    }
+    let mut kinds = Vec::new();
+    for a in 0..3 {
+        for b in (a + 1)..3 {
+            kinds.push(analyze_pair(q, atoms[a], atoms[b]).kind);
+        }
+    }
+    let count = |k: PairKind| kinds.iter().filter(|&&x| x == k).count();
+    let chains = count(PairKind::Chain);
+    let confs = count(PairKind::Confluence);
+    let perms = count(PairKind::Permutation);
+    let paths = count(PairKind::Path);
+
+    if perms == 1 && (chains + confs) >= 1 && paths <= 1 {
+        return ThreeAtomShape::PermutationPlusR;
+    }
+    if k_chain_length(q) == Some(3) {
+        return ThreeAtomShape::Chain3;
+    }
+    if chains >= 1 && confs >= 1 && perms == 0 {
+        return ThreeAtomShape::ChainConfluence;
+    }
+    if confs == 2 && chains == 0 && perms == 0 {
+        return ThreeAtomShape::Confluence3;
+    }
+    if chains == 2 && confs == 0 && perms == 0 && paths == 1 {
+        // R(x,y),R(y,z),R(z,w) when the fast k-chain check did not match due
+        // to ordering is still a 3-chain.
+        return ThreeAtomShape::Chain3;
+    }
+    ThreeAtomShape::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn pair_kind(text: &str) -> PairKind {
+        let q = parse_query(text).unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        analyze_pair(&q, atoms[0], atoms[1]).kind
+    }
+
+    #[test]
+    fn chain_pair_detected() {
+        assert_eq!(pair_kind("R(x,y), R(y,z)"), PairKind::Chain);
+    }
+
+    #[test]
+    fn confluence_pair_detected_in_and_out() {
+        assert_eq!(pair_kind("A(x), R(x,y), R(z,y), C(z)"), PairKind::Confluence);
+        assert_eq!(pair_kind("A(y), R(x,y), R(x,z), C(z)"), PairKind::Confluence);
+    }
+
+    #[test]
+    fn permutation_pair_detected() {
+        assert_eq!(pair_kind("R(x,y), R(y,x)"), PairKind::Permutation);
+    }
+
+    #[test]
+    fn path_pair_detected() {
+        assert_eq!(pair_kind("R(x,y), S(y,z), R(z2,w)"), PairKind::Path);
+    }
+
+    #[test]
+    fn rep_pair_detected() {
+        // z3 :- R(x,x), R(x,y), A(y)
+        assert_eq!(pair_kind("R(x,x), R(x,y), A(y)"), PairKind::Rep);
+        // z1 :- R(x,x), S(x,y), R(y,y): disjoint variable sets -> Path.
+        assert_eq!(pair_kind("R(x,x), S(x,y), R(y,y)"), PairKind::Path);
+    }
+
+    #[test]
+    fn duplicate_pair_detected() {
+        assert_eq!(pair_kind("R(x,y), R(x,y), S(y,z)"), PairKind::Duplicate);
+    }
+
+    #[test]
+    fn unary_path_detection() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        assert!(has_unary_path(&q));
+        assert!(has_path(&q));
+        let q2 = parse_query("R(x,y), R(y,z)").unwrap();
+        assert!(!has_unary_path(&q2));
+    }
+
+    #[test]
+    fn binary_path_detection() {
+        // z2 :- R(x,x), S(x,y), R(y,z): the two R-atoms have disjoint vars and
+        // are connected through S only.
+        let q = parse_query("R(x,x), S(x,y), R(y,z)").unwrap();
+        assert!(find_binary_path(&q).is_some());
+        assert!(has_path(&q));
+        // q_chain shares a variable, so it is not a path.
+        let q2 = parse_query("R(x,y), R(y,z)").unwrap();
+        assert!(find_binary_path(&q2).is_none());
+        assert!(!has_path(&q2));
+    }
+
+    #[test]
+    fn binary_path_requires_consecutive_atoms() {
+        // Three R-atoms in a row: R(x,y), R(y,z), R(z,w). The outer pair
+        // (R(x,y), R(z,w)) has disjoint variables but every connecting path
+        // goes through the middle R-atom, so it is not "consecutive" and the
+        // query is a 3-chain rather than a path.
+        let q = parse_query("R(x,y), R(y,z), R(z,w)").unwrap();
+        assert!(find_binary_path(&q).is_none());
+        assert_eq!(k_chain_length(&q), Some(3));
+    }
+
+    #[test]
+    fn two_chain_length() {
+        let q = parse_query("A(x), R(x,y), R(y,z), C(z)").unwrap();
+        assert_eq!(k_chain_length(&q), Some(2));
+    }
+
+    #[test]
+    fn k_chain_rejects_confluence_and_permutation() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        assert_eq!(k_chain_length(&q), None);
+        let q = parse_query("A(x), R(x,y), R(y,x)").unwrap();
+        assert_eq!(k_chain_length(&q), None);
+    }
+
+    #[test]
+    fn bound_and_unbound_permutations() {
+        // q_ABperm :- A(x), R(x,y), R(y,x), B(y) is bound.
+        let q = parse_query("A(x), R(x,y), R(y,x), B(y)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert!(permutation_is_bound(&q, atoms[0], atoms[1]));
+        // q_Aperm :- A(x), R(x,y), R(y,x) is not bound.
+        let q = parse_query("A(x), R(x,y), R(y,x)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert!(!permutation_is_bound(&q, atoms[0], atoms[1]));
+        // Exogenous bounding atoms do not count.
+        let q = parse_query("A(x), R(x,y), R(y,x), B^x(y)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert!(!permutation_is_bound(&q, atoms[0], atoms[1]));
+    }
+
+    #[test]
+    fn confluence_exogenous_path() {
+        // cfp :- R(x,y), H^x(x,z), R(z,y): exogenous path from x to z.
+        let q = parse_query("R(x,y), H^x(x,z), R(z,y)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        let (x, z, y) = confluence_variables(&q, atoms[0], atoms[1]).unwrap();
+        assert!(confluence_has_exogenous_path(&q, x, z, y));
+        // q_ACconf :- A(x), R(x,y), R(z,y), C(z): no exogenous atoms at all.
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        let (x, z, y) = confluence_variables(&q, atoms[0], atoms[1]).unwrap();
+        assert!(!confluence_has_exogenous_path(&q, x, z, y));
+    }
+
+    #[test]
+    fn exogenous_path_may_use_multiple_hops() {
+        let q = parse_query("R(x,y), H^x(x,w), G^x(w,z), R(z,y)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        let (x, z, y) = confluence_variables(&q, atoms[0], atoms[1]).unwrap();
+        assert!(confluence_has_exogenous_path(&q, x, z, y));
+        // If an intermediate exogenous atom touches y it cannot be used.
+        let q = parse_query("R(x,y), H^x(x,y), R(z,y)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        let (x, z, y) = confluence_variables(&q, atoms[0], atoms[1]).unwrap();
+        assert!(!confluence_has_exogenous_path(&q, x, z, y));
+    }
+
+    #[test]
+    fn three_atom_shapes() {
+        let q = parse_query("A(x), R(x,y), R(y,z), R(z,w), C(w)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::Chain3);
+
+        let q = parse_query("A(x), R(x,y), R(z,y), R(z,w), C(w)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::Confluence3);
+
+        let q = parse_query("A(x), R(x,y), R(y,z), R(w,z), C(w)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::ChainConfluence);
+
+        let q = parse_query("A(x), R(x,y), R(y,z), R(z,y)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::PermutationPlusR);
+
+        let q = parse_query("A(x), R(x,y), R(y,z), R(z,z)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::Rep3);
+
+        // The triangle of R-atoms is none of the named shapes.
+        let q = parse_query("R(x,y), R(y,z), R(z,x)").unwrap();
+        let (_, atoms) = single_self_join_relation(&q).unwrap();
+        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::Other);
+    }
+
+    #[test]
+    fn repeated_relations_lists_all() {
+        let q = parse_query("R(x,y), R(y,z), S(z,w), S(w,u)").unwrap();
+        let rep = repeated_relations(&q);
+        assert_eq!(rep.len(), 2);
+        assert!(single_self_join_relation(&q).is_none());
+    }
+}

@@ -1,0 +1,496 @@
+//! Boolean conjunctive queries.
+
+use crate::atom::Atom;
+use crate::ids::{RelId, Var};
+use crate::schema::Schema;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A Boolean conjunctive query `q :- g_1, ..., g_m`.
+///
+/// All variables are existential (the paper studies Boolean queries). Each
+/// atom is either endogenous or exogenous; see [`Atom`]. Queries own their
+/// [`Schema`] and a table of variable names used for display and parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    schema: Schema,
+    atoms: Vec<Atom>,
+    var_names: Vec<String>,
+    name: Option<String>,
+}
+
+impl Query {
+    /// Starts building a query with an empty schema.
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::new()
+    }
+
+    /// The vocabulary of the query.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All atoms in order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The atom at position `idx`.
+    pub fn atom(&self, idx: usize) -> &Atom {
+        &self.atoms[idx]
+    }
+
+    /// Number of atoms (`m` in the paper).
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// All variables of the query.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.var_names.len() as u32).map(Var)
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Looks up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
+    }
+
+    /// Optional human-readable query name (e.g. `"q_chain"`).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Returns a copy of the query with a (new) name.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Indices of all atoms over relation `rel`.
+    pub fn atoms_of(&self, rel: RelId) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (a.relation == rel).then_some(i))
+            .collect()
+    }
+
+    /// Indices of all endogenous atoms.
+    pub fn endogenous_atoms(&self) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (!a.exogenous).then_some(i))
+            .collect()
+    }
+
+    /// Indices of all exogenous atoms.
+    pub fn exogenous_atoms(&self) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.exogenous.then_some(i))
+            .collect()
+    }
+
+    /// Relations that occur in more than one atom (the self-join relations).
+    pub fn self_join_relations(&self) -> Vec<RelId> {
+        let mut counts: HashMap<RelId, usize> = HashMap::new();
+        for a in &self.atoms {
+            *counts.entry(a.relation).or_insert(0) += 1;
+        }
+        let mut out: Vec<RelId> = counts
+            .into_iter()
+            .filter_map(|(r, c)| (c > 1).then_some(r))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` if no relation symbol is repeated (a *self-join-free* CQ).
+    pub fn is_self_join_free(&self) -> bool {
+        self.self_join_relations().is_empty()
+    }
+
+    /// `true` if at most one relation symbol is repeated (a *single-self-join*
+    /// query, ssj).
+    pub fn is_single_self_join(&self) -> bool {
+        self.self_join_relations().len() <= 1
+    }
+
+    /// `true` if every relation in the query is unary or binary (a *binary
+    /// query* in the paper's sense).
+    pub fn is_binary(&self) -> bool {
+        self.atoms.iter().all(|a| a.arity() <= 2)
+    }
+
+    /// Variables of atom `idx` as a sorted, deduplicated set.
+    pub fn atom_var_set(&self, idx: usize) -> Vec<Var> {
+        self.atoms[idx].var_set()
+    }
+
+    /// All atoms (indices) in which variable `v` occurs.
+    pub fn atoms_with_var(&self, v: Var) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.contains_var(v).then_some(i))
+            .collect()
+    }
+
+    /// Partitions the atoms into connected components (Section 4.2): two atoms
+    /// are connected when they share an existential variable. Returns each
+    /// component as a sorted list of atom indices.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for v in self.vars() {
+            let touching = self.atoms_with_var(v);
+            for w in touching.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(i);
+        }
+        let mut comps: Vec<Vec<usize>> = groups.into_values().collect();
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort();
+        comps
+    }
+
+    /// `true` if the query is connected (a single component).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Builds a sub-query restricted to the given atom indices, dropping
+    /// variables that no longer occur. Used by minimization and by the
+    /// component decomposition.
+    pub fn subquery(&self, atom_indices: &[usize]) -> Query {
+        let mut b = QueryBuilder::new();
+        if let Some(n) = &self.name {
+            b = b.name(n);
+        }
+        // Preserve original variable names where possible.
+        let mut used: BTreeSet<Var> = BTreeSet::new();
+        for &i in atom_indices {
+            for &v in &self.atoms[i].args {
+                used.insert(v);
+            }
+        }
+        let mut rename: HashMap<Var, String> = HashMap::new();
+        for &v in &used {
+            rename.insert(v, self.var_name(v).to_string());
+        }
+        for &i in atom_indices {
+            let a = &self.atoms[i];
+            let name = self.schema.name(a.relation).to_string();
+            let args: Vec<String> = a.args.iter().map(|v| rename[v].clone()).collect();
+            let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+            if a.exogenous {
+                b = b.exogenous_atom(&name, &arg_refs);
+            } else {
+                b = b.atom(&name, &arg_refs);
+            }
+        }
+        b.build()
+    }
+
+    /// Returns a copy of the query in which the atoms at `indices` are marked
+    /// exogenous (used by the domination normal form).
+    pub fn with_exogenous(&self, indices: &[usize]) -> Query {
+        let mut q = self.clone();
+        for &i in indices {
+            q.atoms[i].exogenous = true;
+        }
+        q
+    }
+
+    /// Checks internal consistency: every atom's arity matches its relation
+    /// declaration, and every variable id is in range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, a) in self.atoms.iter().enumerate() {
+            let decl = self.schema.relation(a.relation);
+            if decl.arity != a.args.len() {
+                return Err(format!(
+                    "atom #{i} over {} has {} arguments, expected {}",
+                    decl.name,
+                    a.args.len(),
+                    decl.arity
+                ));
+            }
+            for &v in &a.args {
+                if v.index() >= self.var_names.len() {
+                    return Err(format!("atom #{i} references unknown variable {v:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn from_parts(
+        schema: Schema,
+        atoms: Vec<Atom>,
+        var_names: Vec<String>,
+        name: Option<String>,
+    ) -> Self {
+        let q = Query {
+            schema,
+            atoms,
+            var_names,
+            name,
+        };
+        debug_assert!(q.validate().is_ok(), "{:?}", q.validate());
+        q
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            write!(f, "{n} :- ")?;
+        } else {
+            write!(f, "q :- ")?;
+        }
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.schema.name(a.relation))?;
+            if a.exogenous {
+                write!(f, "^x")?;
+            }
+            write!(f, "(")?;
+            let mut first_arg = true;
+            for &v in &a.args {
+                if !first_arg {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.var_name(v))?;
+                first_arg = false;
+            }
+            write!(f, ")")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Query`] values.
+///
+/// ```
+/// use cq::Query;
+/// let q = Query::builder()
+///     .name("q_chain")
+///     .atom("R", &["x", "y"])
+///     .atom("R", &["y", "z"])
+///     .build();
+/// assert_eq!(q.num_atoms(), 2);
+/// assert_eq!(q.num_vars(), 3);
+/// assert!(!q.is_self_join_free());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QueryBuilder {
+    schema: Schema,
+    atoms: Vec<Atom>,
+    var_names: Vec<String>,
+    var_ids: HashMap<String, Var>,
+    name: Option<String>,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the query name.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.var_ids.get(name) {
+            return v;
+        }
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        self.var_ids.insert(name.to_string(), v);
+        v
+    }
+
+    fn push_atom(&mut self, rel: &str, args: &[&str], exogenous: bool) {
+        let arity = args.len();
+        let rel = self.schema.add_relation(rel, arity);
+        let args: Vec<Var> = args.iter().map(|a| self.var(a)).collect();
+        self.atoms.push(Atom {
+            relation: rel,
+            args,
+            exogenous,
+        });
+    }
+
+    /// Adds an endogenous atom `rel(args...)`.
+    pub fn atom(mut self, rel: &str, args: &[&str]) -> Self {
+        self.push_atom(rel, args, false);
+        self
+    }
+
+    /// Adds an exogenous atom `rel^x(args...)`.
+    pub fn exogenous_atom(mut self, rel: &str, args: &[&str]) -> Self {
+        self.push_atom(rel, args, true);
+        self
+    }
+
+    /// Finalizes the query.
+    pub fn build(self) -> Query {
+        Query::from_parts(self.schema, self.atoms, self.var_names, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Query {
+        Query::builder()
+            .name("q_chain")
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build()
+    }
+
+    #[test]
+    fn builder_constructs_chain() {
+        let q = chain();
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.name(), Some("q_chain"));
+        assert!(q.validate().is_ok());
+        assert_eq!(q.to_string(), "q_chain :- R(x,y), R(y,z)");
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let q = chain();
+        assert!(!q.is_self_join_free());
+        assert!(q.is_single_self_join());
+        assert!(q.is_binary());
+        let r = q.schema().relation_id("R").unwrap();
+        assert_eq!(q.self_join_relations(), vec![r]);
+        assert_eq!(q.atoms_of(r), vec![0, 1]);
+    }
+
+    #[test]
+    fn sj_free_triangle() {
+        let q = Query::builder()
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .atom("T", &["z", "x"])
+            .build();
+        assert!(q.is_self_join_free());
+        assert!(q.is_single_self_join());
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn components_of_disconnected_query() {
+        // q_comp :- A(x), R(x,y), R(z,w), B(w)   (Section 4.2)
+        let q = Query::builder()
+            .atom("A", &["x"])
+            .atom("R", &["x", "y"])
+            .atom("R", &["z", "w"])
+            .atom("B", &["w"])
+            .build();
+        let comps = q.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2, 3]);
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn subquery_preserves_names_and_flags() {
+        let q = Query::builder()
+            .atom("A", &["x"])
+            .exogenous_atom("W", &["x", "y", "z"])
+            .atom("B", &["y"])
+            .build();
+        let sub = q.subquery(&[0, 1]);
+        assert_eq!(sub.num_atoms(), 2);
+        assert_eq!(sub.num_vars(), 3);
+        assert!(sub.atom(1).exogenous);
+        assert_eq!(sub.schema().name(sub.atom(0).relation), "A");
+    }
+
+    #[test]
+    fn with_exogenous_marks_atoms() {
+        let q = chain().with_exogenous(&[1]);
+        assert!(!q.atom(0).exogenous);
+        assert!(q.atom(1).exogenous);
+        assert_eq!(q.endogenous_atoms(), vec![0]);
+        assert_eq!(q.exogenous_atoms(), vec![1]);
+    }
+
+    #[test]
+    fn vars_and_lookup() {
+        let q = chain();
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(q.var_name(y), "y");
+        assert_eq!(q.atoms_with_var(y), vec![0, 1]);
+        assert!(q.var_by_name("nope").is_none());
+        assert_eq!(q.vars().count(), 3);
+    }
+
+    #[test]
+    fn ternary_relation_allowed() {
+        let q = Query::builder()
+            .atom("A", &["x"])
+            .atom("B", &["y"])
+            .atom("C", &["z"])
+            .atom("W", &["x", "y", "z"])
+            .build();
+        assert!(!q.is_binary());
+        assert!(q.is_self_join_free());
+    }
+
+    #[test]
+    fn display_marks_exogenous() {
+        let q = Query::builder()
+            .name("q")
+            .atom("A", &["x"])
+            .exogenous_atom("T", &["z", "x"])
+            .build();
+        assert_eq!(q.to_string(), "q :- A(x), T^x(z,x)");
+    }
+}

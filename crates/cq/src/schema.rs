@@ -1,0 +1,171 @@
+//! Relational vocabulary: relation symbols with names and arities.
+
+use crate::ids::RelId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Declaration of a single relation symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDecl {
+    /// Human-readable name, e.g. `"R"`, `"S"`, `"A"`.
+    pub name: String,
+    /// Number of attributes. The paper's *binary* queries only use arities 1
+    /// and 2, but the substrate supports arbitrary arity (the tripod query
+    /// `q_T` uses a ternary relation `W`).
+    pub arity: usize,
+}
+
+/// A relational vocabulary `R = (R_1, ..., R_l)`.
+///
+/// Schemas intern relation names to [`RelId`]s so that atoms and tuples can
+/// refer to relations by a `Copy` id. A schema is owned by a [`crate::Query`]
+/// and cloned into database instances built against that query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelationDecl>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation, or returns the existing id if a relation with the
+    /// same name was already declared.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name but a *different* arity was
+    /// already declared — the vocabulary fixes one arity per symbol.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = &self.relations[id.index()];
+            assert_eq!(
+                existing.arity, arity,
+                "relation {name} declared with conflicting arities {} and {arity}",
+                existing.arity
+            );
+            return id;
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(RelationDecl {
+            name: name.to_string(),
+            arity,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the declaration of `id`.
+    pub fn relation(&self, id: RelId) -> &RelationDecl {
+        &self.relations[id.index()]
+    }
+
+    /// Returns the name of `id`.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.relations[id.index()].name
+    }
+
+    /// Returns the arity of `id`.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.relations[id.index()].arity
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether no relation has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over all relation ids in declaration order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// Iterates over `(id, decl)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationDecl)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId(i as u32), d))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for decl in &self.relations {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", decl.name, decl.arity)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2);
+        let a = s.add_relation("A", 1);
+        assert_eq!(s.relation_id("R"), Some(r));
+        assert_eq!(s.relation_id("A"), Some(a));
+        assert_eq!(s.relation_id("Z"), None);
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.name(a), "A");
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn re_adding_same_relation_returns_same_id() {
+        let mut s = Schema::new();
+        let r1 = s.add_relation("R", 2);
+        let r2 = s.add_relation("R", 2);
+        assert_eq!(r1, r2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting arities")]
+    fn conflicting_arity_panics() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2);
+        s.add_relation("R", 1);
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2);
+        s.add_relation("A", 1);
+        assert_eq!(format!("{s}"), "R/2, A/1");
+    }
+
+    #[test]
+    fn iteration_orders_match_declaration() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2);
+        s.add_relation("S", 2);
+        s.add_relation("A", 1);
+        let names: Vec<_> = s.iter().map(|(_, d)| d.name.clone()).collect();
+        assert_eq!(names, vec!["R", "S", "A"]);
+        assert_eq!(s.relation_ids().count(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Triads (Definition 5): the structure responsible for hardness of
+//! self-join-free queries, which Theorem 24 shows remains a hardness
+//! criterion in the presence of self-joins.
+//!
+//! A *triad* is a set of three endogenous atoms `{S0, S1, S2}` such that for
+//! every pair `i, j` there is a path from `S_i` to `S_j` in the dual
+//! hypergraph `H(q)` that uses no variable occurring in the third atom.
+
+use crate::hypergraph::DualHypergraph;
+use crate::ids::Var;
+use crate::query::Query;
+use std::collections::HashSet;
+
+/// A triad, reported as the three atom indices (sorted ascending).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Triad {
+    /// Indices of the three endogenous atoms forming the triad.
+    pub atoms: [usize; 3],
+}
+
+/// Checks whether the specific triple of endogenous atoms forms a triad.
+pub fn is_triad(q: &Query, h: &DualHypergraph, triple: [usize; 3]) -> bool {
+    for i in 0..3 {
+        if q.atom(triple[i]).exogenous {
+            return false;
+        }
+    }
+    // Distinctness.
+    if triple[0] == triple[1] || triple[1] == triple[2] || triple[0] == triple[2] {
+        return false;
+    }
+    for i in 0..3 {
+        for j in 0..3 {
+            if i == j {
+                continue;
+            }
+            let other = 3 - i - j;
+            let forbidden: HashSet<Var> = q.atom_var_set(triple[other]).into_iter().collect();
+            if !h.has_path_avoiding(triple[i], triple[j], &forbidden, &HashSet::new()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Finds one triad of `q` if any exists.
+///
+/// Triads should be searched for on the *normal form* of the query (all
+/// dominated relations exogenous, see [`crate::domination::normalize`]);
+/// this function works on whatever labelling `q` carries.
+pub fn find_triad(q: &Query) -> Option<Triad> {
+    let endo = q.endogenous_atoms();
+    if endo.len() < 3 {
+        return None;
+    }
+    let h = DualHypergraph::new(q);
+    for a in 0..endo.len() {
+        for b in (a + 1)..endo.len() {
+            for c in (b + 1)..endo.len() {
+                let triple = [endo[a], endo[b], endo[c]];
+                if is_triad(q, &h, triple) {
+                    return Some(Triad { atoms: triple });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Convenience wrapper: does `q` contain a triad?
+pub fn has_triad(q: &Query) -> bool {
+    find_triad(q).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domination::normalize;
+    use crate::parse_query;
+
+    #[test]
+    fn triangle_has_triad() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let t = find_triad(&q).expect("triangle must have a triad");
+        assert_eq!(t.atoms, [0, 1, 2]);
+    }
+
+    #[test]
+    fn tripod_has_triad_after_normalization() {
+        // q_T :- A(x), B(y), C(z), W(x,y,z): the triad is {A, B, C}, visible
+        // once W is exogenous (it is dominated by A).
+        let q = parse_query("A(x), B(y), C(z), W(x,y,z)").unwrap();
+        let n = normalize(&q);
+        let t = find_triad(&n).expect("tripod must have a triad");
+        assert_eq!(t.atoms, [0, 1, 2]);
+    }
+
+    #[test]
+    fn rats_has_no_triad_after_normalization() {
+        // q_rats: A dominates R and T, so only two endogenous atoms remain.
+        let q = parse_query("R(x,y), A(x), T(z,x), S(y,z)").unwrap();
+        let n = normalize(&q);
+        assert!(find_triad(&n).is_none());
+        // Without normalization the raw query *looks* like it has a triad,
+        // which is exactly the subtlety of Figure 1c.
+        assert!(find_triad(&q).is_some());
+    }
+
+    #[test]
+    fn linear_query_has_no_triad() {
+        let q = parse_query("A(x), R(x,y), S(y,z), C(z)").unwrap();
+        assert!(!has_triad(&q));
+    }
+
+    #[test]
+    fn sj1_rats_has_triad() {
+        // q_sj1rats :- A(x), R(x,y), R(y,z), R(z,x): the three R-atoms form a
+        // triad and are not dominated (Section 5.1).
+        let q = parse_query("A(x), R(x,y), R(y,z), R(z,x)").unwrap();
+        let n = normalize(&q);
+        let t = find_triad(&n).expect("self-join variation of rats has a triad");
+        assert_eq!(t.atoms, [1, 2, 3]);
+    }
+
+    #[test]
+    fn sj1_brats_has_triad() {
+        let q = parse_query("B(y), R(x,y), A(x), R(z,x), R(y,z)").unwrap();
+        let n = normalize(&q);
+        assert!(has_triad(&n));
+    }
+
+    #[test]
+    fn chain_query_has_no_triad() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        assert!(!has_triad(&q));
+    }
+
+    #[test]
+    fn exogenous_atoms_cannot_be_triad_members() {
+        let q = parse_query("R^x(x,y), S(y,z), T(z,x)").unwrap();
+        assert!(!has_triad(&q));
+    }
+
+    #[test]
+    fn is_triad_rejects_duplicate_indices() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let h = DualHypergraph::new(&q);
+        assert!(!is_triad(&q, &h, [0, 0, 1]));
+    }
+
+    #[test]
+    fn triad_requires_robust_connectivity() {
+        // A star query: S0, S1, S2 all share the single variable x, so every
+        // path between two of them must use x which occurs in the third atom.
+        let q = parse_query("A(x), B(x), C(x)").unwrap();
+        assert!(!has_triad(&q));
+    }
+
+    #[test]
+    fn four_atom_query_with_embedded_triangle() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x), U(x,w)").unwrap();
+        let t = find_triad(&q).unwrap();
+        assert_eq!(t.atoms, [0, 1, 2]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Boolean evaluation and witness enumeration for conjunctive queries.
+//!
+//! A *witness* (Section 2.1) is a valuation of all existential variables that
+//! makes the query true; it determines one tuple per atom (tuples may repeat
+//! across atoms when the query has self-joins — that sharing is exactly what
+//! makes resilience with self-joins subtle).
+
+use crate::instance::Database;
+use crate::tuple::{Constant, TupleId};
+use cq::{Query, RelId, Var};
+use std::collections::HashMap;
+
+/// A valuation of the query's variables (indexed by `Var`).
+pub type Valuation = Vec<Constant>;
+
+/// One witness of `D |= q`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// The value assigned to each variable of the query.
+    pub valuation: Valuation,
+    /// For each atom of the query (in atom order), the tuple it matched.
+    pub atom_tuples: Vec<TupleId>,
+}
+
+impl Witness {
+    /// The distinct tuples used by this witness, sorted.
+    pub fn tuple_set(&self) -> Vec<TupleId> {
+        let mut ts = self.atom_tuples.clone();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+}
+
+/// Maps the relation ids of `q`'s schema onto the relation ids of `db`'s
+/// schema by name. Panics if a relation of the query is missing from the
+/// database schema.
+fn relation_translation(q: &Query, db: &Database) -> Vec<RelId> {
+    q.schema()
+        .relation_ids()
+        .map(|r| {
+            let name = q.schema().name(r);
+            db.schema()
+                .relation_id(name)
+                .unwrap_or_else(|| panic!("database schema is missing relation {name}"))
+        })
+        .collect()
+}
+
+/// Does `db |= q`? Short-circuits on the first witness.
+pub fn evaluate(q: &Query, db: &Database) -> bool {
+    let mut found = false;
+    enumerate(q, db, &mut |_| {
+        found = true;
+        false // stop
+    });
+    found
+}
+
+/// Enumerates all witnesses of `db |= q`.
+pub fn witnesses(q: &Query, db: &Database) -> Vec<Witness> {
+    let mut out = Vec::new();
+    enumerate(q, db, &mut |w| {
+        out.push(w);
+        true // keep going
+    });
+    out
+}
+
+/// Core backtracking join. Calls `sink` for each witness; `sink` returns
+/// `false` to stop the enumeration early.
+fn enumerate(q: &Query, db: &Database, sink: &mut dyn FnMut(Witness) -> bool) {
+    if q.num_atoms() == 0 {
+        return;
+    }
+    let translation = relation_translation(q, db);
+    // Order atoms by number of tuples in their relation (smallest first) for
+    // a cheap join-order heuristic; selection-by-bound-variable still uses
+    // the per-position index at each step.
+    let mut order: Vec<usize> = (0..q.num_atoms()).collect();
+    order.sort_by_key(|&i| db.tuples_of(translation[q.atom(i).relation.index()]).len());
+
+    let mut assignment: HashMap<Var, Constant> = HashMap::new();
+    let mut chosen: Vec<TupleId> = vec![TupleId(0); q.num_atoms()];
+    let mut running = true;
+    search(
+        q,
+        db,
+        &translation,
+        &order,
+        0,
+        &mut assignment,
+        &mut chosen,
+        sink,
+        &mut running,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    q: &Query,
+    db: &Database,
+    translation: &[RelId],
+    order: &[usize],
+    depth: usize,
+    assignment: &mut HashMap<Var, Constant>,
+    chosen: &mut Vec<TupleId>,
+    sink: &mut dyn FnMut(Witness) -> bool,
+    running: &mut bool,
+) {
+    if !*running {
+        return;
+    }
+    if depth == order.len() {
+        let valuation: Valuation = q
+            .vars()
+            .map(|v| *assignment.get(&v).expect("all variables bound"))
+            .collect();
+        let witness = Witness {
+            valuation,
+            atom_tuples: chosen.clone(),
+        };
+        if !sink(witness) {
+            *running = false;
+        }
+        return;
+    }
+    let atom_idx = order[depth];
+    let atom = q.atom(atom_idx);
+    let rel = translation[atom.relation.index()];
+
+    // Candidate tuples: use the position index for the first already-bound
+    // variable, otherwise scan the whole relation.
+    let candidates: Vec<TupleId> = match atom
+        .args
+        .iter()
+        .enumerate()
+        .find_map(|(pos, v)| assignment.get(v).map(|&c| (pos, c)))
+    {
+        Some((pos, c)) => db.tuples_matching(rel, pos, c).to_vec(),
+        None => db.tuples_of(rel).to_vec(),
+    };
+
+    'tuples: for id in candidates {
+        let values = db.values_of(id);
+        // Check consistency and collect newly bound variables.
+        let mut newly_bound: Vec<Var> = Vec::new();
+        for (pos, &var) in atom.args.iter().enumerate() {
+            match assignment.get(&var) {
+                Some(&c) if c != values[pos] => {
+                    for v in newly_bound.drain(..) {
+                        assignment.remove(&v);
+                    }
+                    continue 'tuples;
+                }
+                Some(_) => {}
+                None => {
+                    assignment.insert(var, values[pos]);
+                    newly_bound.push(var);
+                }
+            }
+        }
+        chosen[atom_idx] = id;
+        search(
+            q,
+            db,
+            translation,
+            order,
+            depth + 1,
+            assignment,
+            chosen,
+            sink,
+            running,
+        );
+        for v in newly_bound {
+            assignment.remove(&v);
+        }
+        if !*running {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    #[test]
+    fn paper_chain_example_has_three_witnesses() {
+        // Section 2.1: q_chain over D = {R(1,2), R(2,3), R(3,3)} has witnesses
+        // (1,2,3), (2,3,3), (3,3,3).
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        db.insert_named("R", &[3, 3]);
+        assert!(evaluate(&q, &db));
+        let ws = witnesses(&q, &db);
+        assert_eq!(ws.len(), 3);
+        let mut vals: Vec<Vec<u64>> = ws
+            .iter()
+            .map(|w| w.valuation.iter().map(|c| c.value()).collect())
+            .collect();
+        vals.sort();
+        // Variable order is x, y, z as they appear in the query.
+        assert_eq!(vals, vec![vec![1, 2, 3], vec![2, 3, 3], vec![3, 3, 3]]);
+    }
+
+    #[test]
+    fn witness_tuple_sets_match_the_paper() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        let t1 = db.insert_named("R", &[1, 2]);
+        let t2 = db.insert_named("R", &[2, 3]);
+        let t3 = db.insert_named("R", &[3, 3]);
+        let ws = witnesses(&q, &db);
+        let mut sets: Vec<Vec<TupleId>> = ws.iter().map(|w| w.tuple_set()).collect();
+        sets.sort();
+        let mut expected = vec![vec![t1, t2], vec![t2, t3], vec![t3]];
+        expected.sort();
+        assert_eq!(sets, expected);
+    }
+
+    #[test]
+    fn unsatisfied_query_has_no_witnesses() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        assert!(!evaluate(&q, &db));
+        assert!(witnesses(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn triangle_witnesses() {
+        let q = parse_query("R(x,y), S(y,z), T(z,x)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("S", &[2, 3]);
+        db.insert_named("T", &[3, 1]);
+        db.insert_named("T", &[3, 9]); // does not close the triangle
+        let ws = witnesses(&q, &db);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(
+            ws[0].valuation,
+            vec![Constant(1), Constant(2), Constant(3)]
+        );
+    }
+
+    #[test]
+    fn repeated_variable_atoms_bind_correctly() {
+        let q = parse_query("R(x,x), R(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 1]);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        let ws = witnesses(&q, &db);
+        // x must be 1 (the only loop); y can be 1 or 2.
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert_eq!(w.valuation[0], Constant(1));
+        }
+    }
+
+    #[test]
+    fn unary_relations_evaluate() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1]);
+        db.insert_named("R", &[2]);
+        db.insert_named("S", &[1, 2]);
+        db.insert_named("S", &[1, 3]);
+        let ws = witnesses(&q, &db);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].valuation, vec![Constant(1), Constant(2)]);
+    }
+
+    #[test]
+    fn self_join_witness_can_reuse_one_tuple() {
+        // The witness (3,3,3) uses R(3,3) for both atoms: its tuple set has
+        // size 1, which is the crux of Example in Section 2.1.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        let t = db.insert_named("R", &[3, 3]);
+        let ws = witnesses(&q, &db);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].atom_tuples, vec![t, t]);
+        assert_eq!(ws[0].tuple_set(), vec![t]);
+    }
+
+    #[test]
+    fn exogenous_atoms_still_join() {
+        let q = parse_query("A(x), R^x(x,y), B(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("A", &[1]);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("B", &[2]);
+        assert!(evaluate(&q, &db));
+        assert_eq!(witnesses(&q, &db).len(), 1);
+    }
+
+    #[test]
+    fn evaluation_scales_to_moderate_cross_products() {
+        // 30x30 joins through a shared middle value; ensure enumeration
+        // produces the full cross product without issue.
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for i in 0..30u64 {
+            db.insert_named("R", &[i, 1000]);
+            db.insert_named("S", &[1000, 2000 + i]);
+        }
+        let ws = witnesses(&q, &db);
+        assert_eq!(ws.len(), 900);
+    }
+
+    #[test]
+    fn empty_query_is_never_satisfied() {
+        // A query with no atoms is outside the paper's scope; we treat it as
+        // unsatisfiable rather than vacuously true.
+        let q = cq::Query::builder().build();
+        let db = Database::new(q.schema().clone());
+        assert!(!evaluate(&q, &db));
+    }
+}

@@ -1,0 +1,318 @@
+//! Database instances.
+
+use crate::tuple::{Constant, TupleId};
+use cq::{Query, RelId, Schema};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A stored tuple: its relation and its values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct StoredTuple {
+    relation: RelId,
+    values: Vec<Constant>,
+}
+
+/// A finite database instance over a [`Schema`].
+///
+/// Tuples are identified by dense [`TupleId`]s assigned at insertion time
+/// (duplicates are deduplicated and return the original id). Following the
+/// paper we treat `D` as the disjoint union of its relations, so `|D|` is the
+/// total number of tuples.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    schema: Schema,
+    tuples: Vec<StoredTuple>,
+    /// Exact-match lookup: (relation, values) -> id.
+    dedup: HashMap<(RelId, Vec<Constant>), TupleId>,
+    /// Per relation, the ids of its tuples in insertion order.
+    by_relation: Vec<Vec<TupleId>>,
+    /// Join index: (relation, position, constant) -> tuple ids.
+    index: HashMap<(RelId, usize, Constant), Vec<TupleId>>,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let by_relation = vec![Vec::new(); schema.len()];
+        Database {
+            schema,
+            tuples: Vec::new(),
+            dedup: HashMap::new(),
+            by_relation,
+            index: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty database using the schema of `q`.
+    pub fn for_query(q: &Query) -> Self {
+        Database::new(q.schema().clone())
+    }
+
+    /// The schema of the database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Inserts a tuple, returning its id. Inserting the same tuple twice
+    /// returns the original id.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the relation declaration.
+    pub fn insert<C: Into<Constant> + Copy>(&mut self, rel: RelId, values: &[C]) -> TupleId {
+        let values: Vec<Constant> = values.iter().map(|&c| c.into()).collect();
+        assert_eq!(
+            values.len(),
+            self.schema.arity(rel),
+            "arity mismatch inserting into {}",
+            self.schema.name(rel)
+        );
+        if let Some(&id) = self.dedup.get(&(rel, values.clone())) {
+            return id;
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        for (pos, &c) in values.iter().enumerate() {
+            self.index.entry((rel, pos, c)).or_default().push(id);
+        }
+        self.by_relation[rel.index()].push(id);
+        self.dedup.insert((rel, values.clone()), id);
+        self.tuples.push(StoredTuple {
+            relation: rel,
+            values,
+        });
+        id
+    }
+
+    /// Convenience: inserts into the relation named `rel_name`.
+    ///
+    /// # Panics
+    /// Panics if the relation does not exist in the schema.
+    pub fn insert_named<C: Into<Constant> + Copy>(&mut self, rel_name: &str, values: &[C]) -> TupleId {
+        let rel = self
+            .schema
+            .relation_id(rel_name)
+            .unwrap_or_else(|| panic!("unknown relation {rel_name}"));
+        self.insert(rel, values)
+    }
+
+    /// Total number of tuples (`n = |D|`).
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the database holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The relation a tuple belongs to.
+    pub fn relation_of(&self, id: TupleId) -> RelId {
+        self.tuples[id.index()].relation
+    }
+
+    /// The values of a tuple.
+    pub fn values_of(&self, id: TupleId) -> &[Constant] {
+        &self.tuples[id.index()].values
+    }
+
+    /// Ids of all tuples of `rel`, in insertion order.
+    pub fn tuples_of(&self, rel: RelId) -> &[TupleId] {
+        &self.by_relation[rel.index()]
+    }
+
+    /// Ids of all tuples.
+    pub fn all_tuples(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.tuples.len() as u32).map(TupleId)
+    }
+
+    /// Looks up a specific tuple.
+    pub fn lookup<C: Into<Constant> + Copy>(&self, rel: RelId, values: &[C]) -> Option<TupleId> {
+        let values: Vec<Constant> = values.iter().map(|&c| c.into()).collect();
+        self.dedup.get(&(rel, values)).copied()
+    }
+
+    /// Whether the database contains the given tuple.
+    pub fn contains<C: Into<Constant> + Copy>(&self, rel: RelId, values: &[C]) -> bool {
+        self.lookup(rel, values).is_some()
+    }
+
+    /// Tuples of `rel` whose attribute at `pos` equals `value`
+    /// (index-accelerated).
+    pub fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId] {
+        self.index
+            .get(&(rel, pos, value))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The active domain: every constant occurring in some tuple.
+    pub fn active_domain(&self) -> BTreeSet<Constant> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.values.iter().copied())
+            .collect()
+    }
+
+    /// Removes the given tuples, returning a new database. Tuple ids are
+    /// *not* preserved — use this for end-state checks, not for bookkeeping
+    /// against the original ids.
+    pub fn without(&self, deleted: &HashSet<TupleId>) -> Database {
+        let mut out = Database::new(self.schema.clone());
+        for id in self.all_tuples() {
+            if !deleted.contains(&id) {
+                let t = &self.tuples[id.index()];
+                out.insert(t.relation, &t.values);
+            }
+        }
+        out
+    }
+
+    /// Returns the ids of all tuples whose relation is *endogenous with
+    /// respect to `q`*, i.e. the relation has at least one endogenous atom in
+    /// `q`. These are the tuples a contingency set may delete.
+    pub fn endogenous_tuples(&self, q: &Query) -> Vec<TupleId> {
+        let endo_rels: HashSet<RelId> = q
+            .endogenous_atoms()
+            .into_iter()
+            .map(|i| q.atom(i).relation)
+            .collect();
+        // Relations are matched by name because query and database may hold
+        // structurally identical but separately-built schemas.
+        let endo_names: HashSet<&str> = endo_rels.iter().map(|&r| q.schema().name(r)).collect();
+        self.all_tuples()
+            .filter(|&id| endo_names.contains(self.schema.name(self.relation_of(id))))
+            .collect()
+    }
+
+    /// Pretty, deterministic rendering of the instance (sorted by relation
+    /// then values); used by examples and debugging output.
+    pub fn display_sorted(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for rel in self.schema.relation_ids() {
+            let mut rows: Vec<&StoredTuple> = self
+                .tuples_of(rel)
+                .iter()
+                .map(|&id| &self.tuples[id.index()])
+                .collect();
+            rows.sort_by(|a, b| a.values.cmp(&b.values));
+            for row in rows {
+                let vals: Vec<String> = row.values.iter().map(|c| c.to_string()).collect();
+                lines.push(format!("{}({})", self.schema.name(rel), vals.join(",")));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_sorted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    fn chain_db() -> (cq::Query, Database) {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        let r = db.schema().relation_id("R").unwrap();
+        db.insert(r, &[1, 2]);
+        db.insert(r, &[2, 3]);
+        db.insert(r, &[3, 3]);
+        (q, db)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (_, db) = chain_db();
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.num_tuples(), 3);
+        assert!(db.contains(r, &[1, 2]));
+        assert!(!db.contains(r, &[2, 1]));
+        assert_eq!(db.tuples_of(r).len(), 3);
+        assert_eq!(db.values_of(TupleId(0)), &[Constant(1), Constant(2)]);
+        assert_eq!(db.relation_of(TupleId(0)), r);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_returns_same_id() {
+        let q = parse_query("R(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        let r = db.schema().relation_id("R").unwrap();
+        let a = db.insert(r, &[1, 2]);
+        let b = db.insert(r, &[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn index_lookup_by_position() {
+        let (_, db) = chain_db();
+        let r = db.schema().relation_id("R").unwrap();
+        let hits = db.tuples_matching(r, 1, Constant(3));
+        assert_eq!(hits.len(), 2); // R(2,3) and R(3,3)
+        let none = db.tuples_matching(r, 0, Constant(9));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn active_domain_collects_all_constants() {
+        let (_, db) = chain_db();
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Constant(1)));
+        assert!(dom.contains(&Constant(3)));
+    }
+
+    #[test]
+    fn without_removes_tuples() {
+        let (_, db) = chain_db();
+        let deleted: HashSet<TupleId> = [TupleId(1)].into_iter().collect();
+        let smaller = db.without(&deleted);
+        assert_eq!(smaller.num_tuples(), 2);
+        let r = smaller.schema().relation_id("R").unwrap();
+        assert!(!smaller.contains(r, &[2, 3]));
+        assert!(smaller.contains(r, &[1, 2]));
+    }
+
+    #[test]
+    fn endogenous_tuples_respect_exogenous_relations() {
+        let q = parse_query("A(x), R^x(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("A", &[1]);
+        db.insert_named("R", &[1, 2]);
+        let endo = db.endogenous_tuples(&q);
+        assert_eq!(endo.len(), 1);
+        let a = db.schema().relation_id("A").unwrap();
+        assert_eq!(db.relation_of(endo[0]), a);
+    }
+
+    #[test]
+    fn insert_named_panics_on_unknown_relation() {
+        let q = parse_query("A(x)").unwrap();
+        let mut db = Database::for_query(&q);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            db.insert_named("Z", &[1]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let q = parse_query("R(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        let r = db.schema().relation_id("R").unwrap();
+        db.insert(r, &[1]);
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let (_, db) = chain_db();
+        let s = db.to_string();
+        assert_eq!(s, "R(1,2)\nR(2,3)\nR(3,3)");
+    }
+}

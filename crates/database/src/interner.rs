@@ -1,0 +1,105 @@
+//! String-to-constant interning for readable gadget constructions.
+//!
+//! The paper's reductions use structured constant names such as `⟨ab⟩_v`,
+//! `x_i^j` or `a'_j`. Gadget code builds these names as strings and interns
+//! them here, which keeps the constructions close to the paper's notation
+//! while the database only ever sees opaque [`Constant`] values.
+
+use crate::tuple::Constant;
+use std::collections::HashMap;
+
+/// An interner mapping string labels to fresh [`Constant`] values.
+#[derive(Clone, Debug, Default)]
+pub struct ConstPool {
+    by_label: HashMap<String, Constant>,
+    labels: Vec<String>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `label`, returning the same constant for the same label.
+    pub fn intern(&mut self, label: impl AsRef<str>) -> Constant {
+        let label = label.as_ref();
+        if let Some(&c) = self.by_label.get(label) {
+            return c;
+        }
+        let c = Constant(self.labels.len() as u64);
+        self.by_label.insert(label.to_string(), c);
+        self.labels.push(label.to_string());
+        c
+    }
+
+    /// Returns the label of a constant previously produced by this pool.
+    pub fn label(&self, c: Constant) -> Option<&str> {
+        self.labels.get(c.0 as usize).map(|s| s.as_str())
+    }
+
+    /// Returns the constant for `label` if it was interned before.
+    pub fn lookup(&self, label: impl AsRef<str>) -> Option<Constant> {
+        self.by_label.get(label.as_ref()).copied()
+    }
+
+    /// Allocates a fresh anonymous constant, guaranteed distinct from every
+    /// interned label.
+    pub fn fresh(&mut self, hint: &str) -> Constant {
+        let mut i = 0usize;
+        loop {
+            let candidate = format!("{hint}#{i}");
+            if !self.by_label.contains_key(&candidate) {
+                return self.intern(candidate);
+            }
+            i += 1;
+        }
+    }
+
+    /// Number of interned constants.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = ConstPool::new();
+        let a = pool.intern("a");
+        let a2 = pool.intern("a");
+        let b = pool.intern("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let mut pool = ConstPool::new();
+        let ab = pool.intern("<ab>_v");
+        assert_eq!(pool.label(ab), Some("<ab>_v"));
+        assert_eq!(pool.lookup("<ab>_v"), Some(ab));
+        assert_eq!(pool.lookup("missing"), None);
+        assert_eq!(pool.label(Constant(99)), None);
+    }
+
+    #[test]
+    fn fresh_constants_never_collide() {
+        let mut pool = ConstPool::new();
+        pool.intern("extra#0");
+        let f0 = pool.fresh("extra");
+        let f1 = pool.fresh("extra");
+        assert_ne!(f0, f1);
+        assert_ne!(pool.lookup("extra#0"), Some(f0));
+    }
+}

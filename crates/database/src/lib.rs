@@ -1,0 +1,29 @@
+//! Database-instance substrate for the resilience library.
+//!
+//! The paper studies Boolean conjunctive queries over finite database
+//! instances `D = (R_1^D, ..., R_l^D)` and defines resilience in terms of the
+//! *witnesses* of `D |= q`: valuations of the existential variables that make
+//! the query true, each of which pins down a set of at most `m` tuples
+//! (Section 2.1). This crate provides:
+//!
+//! * [`Constant`] values and an optional string interner ([`ConstPool`]) for
+//!   readable gadget constructions;
+//! * [`Database`] instances keyed by the owning query's [`cq::Schema`], with
+//!   per-position hash indexes for join evaluation;
+//! * Boolean evaluation and full witness enumeration ([`eval`]);
+//! * the *witness hypergraph* ([`witness::WitnessSet`]) — every witness
+//!   reduced to its set of deletable (endogenous) tuples — which is the
+//!   common input of the exact solver, the flow algorithms and the IJP
+//!   machinery.
+
+pub mod eval;
+pub mod instance;
+pub mod interner;
+pub mod tuple;
+pub mod witness;
+
+pub use eval::{evaluate, witnesses, Valuation, Witness};
+pub use instance::Database;
+pub use interner::ConstPool;
+pub use tuple::{Constant, TupleId};
+pub use witness::WitnessSet;

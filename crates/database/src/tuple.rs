@@ -1,0 +1,109 @@
+//! Constants and tuple identifiers.
+
+use std::fmt;
+
+/// A constant of the active domain.
+///
+/// Constants are opaque 64-bit values. Gadget constructions that want
+/// readable constants (`⟨ab⟩_v`-style values from the paper's reductions) can
+/// intern strings through [`crate::ConstPool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Constant(pub u64);
+
+impl Constant {
+    /// Returns the raw value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Constant {
+    fn from(v: u64) -> Self {
+        Constant(v)
+    }
+}
+
+impl From<u32> for Constant {
+    fn from(v: u32) -> Self {
+        Constant(v as u64)
+    }
+}
+
+impl From<usize> for Constant {
+    fn from(v: usize) -> Self {
+        Constant(v as u64)
+    }
+}
+
+impl From<i32> for Constant {
+    fn from(v: i32) -> Self {
+        debug_assert!(v >= 0, "constants must be non-negative");
+        Constant(v as u64)
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a tuple within a [`crate::Database`].
+///
+/// Tuple ids are dense indices assigned in insertion order; they index the
+/// database's tuple arena and are the currency of witness sets, contingency
+/// sets and flow networks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Constant::from(5u64), Constant(5));
+        assert_eq!(Constant::from(5u32), Constant(5));
+        assert_eq!(Constant::from(5usize), Constant(5));
+        assert_eq!(Constant::from(5i32), Constant(5));
+        assert_eq!(Constant(7).value(), 7);
+    }
+
+    #[test]
+    fn ordering_and_hashing() {
+        assert!(Constant(1) < Constant(2));
+        assert!(TupleId(0) < TupleId(1));
+        let set: HashSet<_> = [TupleId(1), TupleId(1), TupleId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Constant(3)), "3");
+        assert_eq!(format!("{:?}", Constant(3)), "c3");
+        assert_eq!(format!("{:?}", TupleId(4)), "t4");
+        assert_eq!(TupleId(4).index(), 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! The witness hypergraph: witnesses reduced to their deletable tuples.
+//!
+//! Resilience is the minimum number of *endogenous* tuples whose deletion
+//! destroys every witness (Definition 1). Once the witnesses are enumerated,
+//! the rest of the problem only depends on, for each witness, the set of
+//! endogenous tuples it uses — a hypergraph over tuple ids. The exact solver
+//! (minimum hitting set), the IJP conditions and gadget validation all work
+//! on this representation.
+
+use crate::eval::{witnesses, Witness};
+use crate::instance::Database;
+use crate::tuple::TupleId;
+use cq::Query;
+use std::collections::{HashMap, HashSet};
+
+/// The witnesses of `D |= q` projected to endogenous tuples.
+#[derive(Clone, Debug)]
+pub struct WitnessSet {
+    /// The raw witnesses (valuations and per-atom tuples).
+    pub witnesses: Vec<Witness>,
+    /// For each witness (same order), the sorted set of endogenous tuples it
+    /// uses. A witness with an empty set cannot be destroyed by deletions.
+    pub endogenous_sets: Vec<Vec<TupleId>>,
+    /// All endogenous tuples appearing in at least one witness.
+    pub relevant_tuples: Vec<TupleId>,
+}
+
+impl WitnessSet {
+    /// Enumerates witnesses of `db |= q` and projects each one to its
+    /// endogenous tuples (the relations with at least one endogenous atom in
+    /// `q`).
+    pub fn build(q: &Query, db: &Database) -> Self {
+        let ws = witnesses(q, db);
+        let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+        let mut endogenous_sets = Vec::with_capacity(ws.len());
+        let mut relevant: HashSet<TupleId> = HashSet::new();
+        for w in &ws {
+            let mut set: Vec<TupleId> = w
+                .tuple_set()
+                .into_iter()
+                .filter(|t| endo.contains(t))
+                .collect();
+            set.sort_unstable();
+            set.dedup();
+            for &t in &set {
+                relevant.insert(t);
+            }
+            endogenous_sets.push(set);
+        }
+        let mut relevant_tuples: Vec<TupleId> = relevant.into_iter().collect();
+        relevant_tuples.sort_unstable();
+        WitnessSet {
+            witnesses: ws,
+            endogenous_sets,
+            relevant_tuples,
+        }
+    }
+
+    /// Number of witnesses.
+    pub fn len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Whether there are no witnesses (i.e. `D ̸|= q`).
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// `true` if some witness uses no endogenous tuple at all, in which case
+    /// no contingency set exists and the resilience is undefined (infinite).
+    pub fn has_undeletable_witness(&self) -> bool {
+        self.endogenous_sets.iter().any(|s| s.is_empty())
+    }
+
+    /// Does deleting the tuples in `gamma` make the query false?
+    pub fn is_contingency_set(&self, gamma: &HashSet<TupleId>) -> bool {
+        self.endogenous_sets
+            .iter()
+            .all(|set| set.iter().any(|t| gamma.contains(t)))
+    }
+
+    /// For each relevant tuple, how many witnesses it participates in.
+    pub fn participation_counts(&self) -> HashMap<TupleId, usize> {
+        let mut counts: HashMap<TupleId, usize> = HashMap::new();
+        for set in &self.endogenous_sets {
+            for &t in set {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The witnesses (indices) in which tuple `t` participates.
+    pub fn witnesses_of_tuple(&self, t: TupleId) -> Vec<usize> {
+        self.endogenous_sets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, set)| set.contains(&t).then_some(i))
+            .collect()
+    }
+
+    /// A deduplicated copy of the endogenous witness sets: repeated sets are
+    /// collapsed and supersets of other sets are dropped (hitting a subset
+    /// automatically hits its supersets). This is a safe preprocessing step
+    /// for minimum hitting set.
+    pub fn reduced_sets(&self) -> Vec<Vec<TupleId>> {
+        let mut sets: Vec<Vec<TupleId>> = self.endogenous_sets.clone();
+        sets.sort_by_key(|s| s.len());
+        sets.dedup();
+        let mut kept: Vec<Vec<TupleId>> = Vec::new();
+        'outer: for s in sets {
+            for k in &kept {
+                if k.iter().all(|t| s.binary_search(t).is_ok()) {
+                    // s is a superset of an already-kept set.
+                    continue 'outer;
+                }
+            }
+            kept.push(s);
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    fn chain_setup() -> (Query, Database) {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        db.insert_named("R", &[3, 3]);
+        (q, db)
+    }
+
+    #[test]
+    fn builds_endogenous_sets() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        assert_eq!(ws.len(), 3);
+        assert!(!ws.is_empty());
+        assert!(!ws.has_undeletable_witness());
+        assert_eq!(ws.relevant_tuples.len(), 3);
+    }
+
+    #[test]
+    fn contingency_check_matches_deletion_semantics() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        // Deleting R(3,3) and R(1,2) destroys all witnesses.
+        let t12 = db.lookup(db.schema().relation_id("R").unwrap(), &[1, 2]).unwrap();
+        let t33 = db.lookup(db.schema().relation_id("R").unwrap(), &[3, 3]).unwrap();
+        let gamma: HashSet<TupleId> = [t12, t33].into_iter().collect();
+        assert!(ws.is_contingency_set(&gamma));
+        // Deleting only R(1,2) leaves the witness (2,3,3).
+        let gamma: HashSet<TupleId> = [t12].into_iter().collect();
+        assert!(!ws.is_contingency_set(&gamma));
+        // Cross-check against real deletion + re-evaluation.
+        let smaller = db.without(&gamma);
+        assert!(crate::evaluate(&q, &smaller));
+    }
+
+    #[test]
+    fn exogenous_relations_are_excluded() {
+        let q = parse_query("A(x), R^x(x,y), B(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("A", &[1]);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("B", &[2]);
+        let ws = WitnessSet::build(&q, &db);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.endogenous_sets[0].len(), 2); // A(1) and B(2) only
+        assert!(!ws.has_undeletable_witness());
+    }
+
+    #[test]
+    fn undeletable_witness_detected() {
+        let q = parse_query("R^x(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        let ws = WitnessSet::build(&q, &db);
+        assert!(ws.has_undeletable_witness());
+        assert!(!ws.is_contingency_set(&HashSet::new()));
+    }
+
+    #[test]
+    fn participation_counts_and_tuple_witnesses() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        let r = db.schema().relation_id("R").unwrap();
+        let t2 = db.lookup(r, &[2, 3]).unwrap();
+        let counts = ws.participation_counts();
+        assert_eq!(counts[&t2], 2); // witnesses (1,2,3) and (2,3,3)
+        assert_eq!(ws.witnesses_of_tuple(t2).len(), 2);
+    }
+
+    #[test]
+    fn reduced_sets_drop_supersets() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        // {R(3,3)} is a subset of {R(2,3), R(3,3)}, so the reduction keeps
+        // only the singleton plus the disjoint pair {R(1,2), R(2,3)}.
+        let reduced = ws.reduced_sets();
+        assert_eq!(reduced.len(), 2);
+        assert!(reduced.iter().any(|s| s.len() == 1));
+        assert!(reduced.iter().any(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn empty_database_yields_empty_witness_set() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = Database::for_query(&q);
+        let ws = WitnessSet::build(&q, &db);
+        assert!(ws.is_empty());
+        assert!(ws.is_contingency_set(&HashSet::new()));
+    }
+}

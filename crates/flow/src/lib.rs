@@ -1,0 +1,25 @@
+//! Network-flow substrate.
+//!
+//! Every polynomial-time case in the paper reduces to a minimum cut: linear
+//! sj-free queries (Section 2.4), 2-confluences (Proposition 31), the
+//! permutation-plus-R queries (Propositions 13 and 44), REP queries
+//! (Proposition 36) and `q_TS3conf` (Proposition 41). This crate provides the
+//! flow machinery those algorithms share:
+//!
+//! * [`FlowNetwork`] — a directed network with integer capacities and two
+//!   max-flow implementations (Dinic's algorithm and Edmonds–Karp, the latter
+//!   kept as an independently-implemented cross-check);
+//! * s–t minimum cut extraction (edges crossing the cut and the source-side
+//!   reachable set);
+//! * [`VertexCutNetwork`] — minimum *vertex* cuts via the standard
+//!   node-splitting construction, which is the shape resilience reductions
+//!   naturally take (tuples are nodes: endogenous tuples have capacity 1,
+//!   exogenous tuples are uncuttable).
+
+pub mod mincut;
+pub mod network;
+pub mod vertex_cut;
+
+pub use mincut::MinCut;
+pub use network::{EdgeId, FlowNetwork, NodeId, INF};
+pub use vertex_cut::{VertexCut, VertexCutNetwork};

@@ -1,0 +1,127 @@
+//! s–t minimum cut extraction on top of max flow.
+
+use crate::network::{EdgeId, FlowNetwork, NodeId};
+
+/// A minimum s–t cut.
+#[derive(Clone, Debug)]
+pub struct MinCut {
+    /// The value of the cut (equals the maximum flow).
+    pub value: u64,
+    /// The (forward) edges crossing from the source side to the sink side.
+    pub cut_edges: Vec<EdgeId>,
+    /// `source_side[v]` is `true` when node `v` is reachable from the source
+    /// in the residual network.
+    pub source_side: Vec<bool>,
+}
+
+impl MinCut {
+    /// Computes a minimum s–t cut of `network` (running Dinic's algorithm).
+    pub fn compute(network: &mut FlowNetwork, s: NodeId, t: NodeId) -> MinCut {
+        let value = network.max_flow_dinic(s, t);
+        let source_side = network.residual_reachable(s);
+        let mut cut_edges = Vec::new();
+        for i in 0..network.num_edges() {
+            let id = EdgeId(i as u32);
+            let (from, to, cap) = network.edge(id);
+            if cap == 0 {
+                continue;
+            }
+            if source_side[from.index()] && !source_side[to.index()] {
+                cut_edges.push(id);
+            }
+        }
+        MinCut {
+            value,
+            cut_edges,
+            source_side,
+        }
+    }
+
+    /// Sum of the original capacities of the reported cut edges.
+    pub fn cut_capacity(&self, network: &FlowNetwork) -> u64 {
+        self.cut_edges
+            .iter()
+            .map(|&e| network.edge(e).2)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::INF;
+
+    #[test]
+    fn cut_edges_match_flow_value() {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (1)
+        // max flow = 5; the min cut is {a->t (2), s->b (2), a->b (1)} or an
+        // equivalent 5-capacity selection.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 3);
+        g.add_edge(s, b, 2);
+        g.add_edge(a, t, 2);
+        g.add_edge(b, t, 3);
+        g.add_edge(a, b, 1);
+        let cut = MinCut::compute(&mut g, s, t);
+        assert_eq!(cut.value, 5);
+        assert_eq!(cut.cut_capacity(&g), 5);
+        assert!(cut.source_side[s.index()]);
+        assert!(!cut.source_side[t.index()]);
+    }
+
+    #[test]
+    fn unit_capacity_path_cut_has_one_edge() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m, 1);
+        g.add_edge(m, t, INF);
+        let cut = MinCut::compute(&mut g, s, t);
+        assert_eq!(cut.value, 1);
+        assert_eq!(cut.cut_edges.len(), 1);
+        let (from, to, _) = g.edge(cut.cut_edges[0]);
+        assert_eq!((from, to), (s, m));
+    }
+
+    #[test]
+    fn disconnected_cut_is_empty() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let cut = MinCut::compute(&mut g, s, t);
+        assert_eq!(cut.value, 0);
+        assert!(cut.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn parallel_paths_require_multiple_cut_edges() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let mids = g.add_nodes(3);
+        for &m in &mids {
+            g.add_edge(s, m, INF);
+            g.add_edge(m, t, 1);
+        }
+        let cut = MinCut::compute(&mut g, s, t);
+        assert_eq!(cut.value, 3);
+        assert_eq!(cut.cut_edges.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_edges_never_appear_in_cut() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, 0);
+        g.add_edge(s, t, 2);
+        let cut = MinCut::compute(&mut g, s, t);
+        assert_eq!(cut.value, 2);
+        assert_eq!(cut.cut_edges.len(), 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Directed flow networks with integer capacities and max-flow algorithms.
+
+use std::collections::VecDeque;
+
+/// Effectively-infinite capacity (large enough to never be the bottleneck,
+/// small enough that sums cannot overflow `u64`).
+pub const INF: u64 = u64::MAX / 4;
+
+/// A node of a [`FlowNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A (forward) edge of a [`FlowNetwork`], identified by the order of
+/// `add_edge` calls.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Internal residual edge: `cap` is the *remaining* capacity; the original
+/// capacity is kept separately so flows can be reset and reported.
+#[derive(Clone, Debug)]
+struct InternalEdge {
+    to: u32,
+    cap: u64,
+    original_cap: u64,
+}
+
+/// A directed network with integer capacities.
+///
+/// Residual edges are stored explicitly: every `add_edge` creates a forward
+/// edge and a zero-capacity reverse edge at adjacent indices (`i` and
+/// `i ^ 1`), the classic pairing both max-flow implementations rely on.
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    /// Adjacency: per node, indices into `edges`.
+    adjacency: Vec<Vec<u32>>,
+    edges: Vec<InternalEdge>,
+    /// Maps public [`EdgeId`]s to the index of their forward internal edge.
+    public_edges: Vec<u32>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId(self.adjacency.len() as u32 - 1)
+    }
+
+    /// Adds `n` nodes and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (forward) edges.
+    pub fn num_edges(&self) -> usize {
+        self.public_edges.len()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        let forward = self.edges.len() as u32;
+        self.edges.push(InternalEdge {
+            to: to.0,
+            cap,
+            original_cap: cap,
+        });
+        self.edges.push(InternalEdge {
+            to: from.0,
+            cap: 0,
+            original_cap: 0,
+        });
+        self.adjacency[from.index()].push(forward);
+        self.adjacency[to.index()].push(forward + 1);
+        self.public_edges.push(forward);
+        EdgeId(self.public_edges.len() as u32 - 1)
+    }
+
+    /// The endpoints and (original) capacity of a (forward) edge.
+    pub fn edge(&self, id: EdgeId) -> (NodeId, NodeId, u64) {
+        let fwd = self.public_edges[id.index()];
+        let to = self.edges[fwd as usize].to;
+        let from = self.edges[(fwd ^ 1) as usize].to;
+        (NodeId(from), NodeId(to), self.edges[fwd as usize].original_cap)
+    }
+
+    /// Flow currently routed through a (forward) edge (valid after a
+    /// max-flow run).
+    pub fn edge_flow(&self, id: EdgeId) -> u64 {
+        let fwd = self.public_edges[id.index()];
+        let e = &self.edges[fwd as usize];
+        e.original_cap - e.cap
+    }
+
+    /// Restores every edge to its original capacity (zero flow).
+    pub fn reset_flow(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.original_cap;
+        }
+    }
+
+    /// Computes the maximum s–t flow with Dinic's algorithm.
+    pub fn max_flow_dinic(&mut self, s: NodeId, t: NodeId) -> u64 {
+        self.reset_flow();
+        if s == t {
+            return 0;
+        }
+        let n = self.num_nodes();
+        let mut total = 0u64;
+        loop {
+            // BFS to build the level graph on the residual network.
+            let mut level = vec![u32::MAX; n];
+            level[s.index()] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(s.0);
+            while let Some(u) = queue.pop_front() {
+                for &ei in &self.adjacency[u as usize] {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && level[e.to as usize] == u32::MAX {
+                        level[e.to as usize] = level[u as usize] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[t.index()] == u32::MAX {
+                break;
+            }
+            // Repeated DFS to find a blocking flow.
+            let mut iter = vec![0usize; n];
+            loop {
+                let pushed = self.dinic_dfs(s.0, t.0, INF, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    fn dinic_dfs(&mut self, u: u32, t: u32, limit: u64, level: &[u32], iter: &mut [usize]) -> u64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u as usize] < self.adjacency[u as usize].len() {
+            let ei = self.adjacency[u as usize][iter[u as usize]];
+            let (to, residual) = {
+                let e = &self.edges[ei as usize];
+                (e.to, e.cap)
+            };
+            if residual > 0 && level[to as usize] == level[u as usize] + 1 {
+                let pushed = self.dinic_dfs(to, t, limit.min(residual), level, iter);
+                if pushed > 0 {
+                    self.edges[ei as usize].cap -= pushed;
+                    self.edges[(ei ^ 1) as usize].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[u as usize] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum s–t flow with the Edmonds–Karp algorithm
+    /// (BFS augmenting paths). Kept as an independent implementation used to
+    /// cross-check Dinic in tests and benchmarks.
+    pub fn max_flow_edmonds_karp(&mut self, s: NodeId, t: NodeId) -> u64 {
+        self.reset_flow();
+        if s == t {
+            return 0;
+        }
+        let n = self.num_nodes();
+        let mut total = 0u64;
+        loop {
+            let mut parent_edge: Vec<Option<u32>> = vec![None; n];
+            let mut visited = vec![false; n];
+            visited[s.index()] = true;
+            let mut queue = VecDeque::new();
+            queue.push_back(s.0);
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &ei in &self.adjacency[u as usize] {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && !visited[e.to as usize] {
+                        visited[e.to as usize] = true;
+                        parent_edge[e.to as usize] = Some(ei);
+                        if e.to == t.0 {
+                            break 'bfs;
+                        }
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if !visited[t.index()] {
+                break;
+            }
+            // Bottleneck along the found path.
+            let mut bottleneck = INF;
+            let mut v = t.0;
+            while v != s.0 {
+                let ei = parent_edge[v as usize].unwrap();
+                bottleneck = bottleneck.min(self.edges[ei as usize].cap);
+                v = self.edges[(ei ^ 1) as usize].to;
+            }
+            // Augment.
+            let mut v = t.0;
+            while v != s.0 {
+                let ei = parent_edge[v as usize].unwrap();
+                self.edges[ei as usize].cap -= bottleneck;
+                self.edges[(ei ^ 1) as usize].cap += bottleneck;
+                v = self.edges[(ei ^ 1) as usize].to;
+            }
+            total += bottleneck;
+        }
+        total
+    }
+
+    /// Nodes reachable from `s` in the residual network (valid after a
+    /// max-flow run); this is the source side of a minimum cut.
+    pub fn residual_reachable(&self, s: NodeId) -> Vec<bool> {
+        let n = self.num_nodes();
+        let mut visited = vec![false; n];
+        visited[s.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(s.0);
+        while let Some(u) = queue.pop_front() {
+            for &ei in &self.adjacency[u as usize] {
+                let e = &self.edges[ei as usize];
+                if e.cap > 0 && !visited[e.to as usize] {
+                    visited[e.to as usize] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (FlowNetwork, NodeId, NodeId) {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (1)
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 3);
+        g.add_edge(s, b, 2);
+        g.add_edge(a, t, 2);
+        g.add_edge(b, t, 3);
+        g.add_edge(a, b, 1);
+        (g, s, t)
+    }
+
+    #[test]
+    fn dinic_computes_max_flow_on_diamond() {
+        let (mut g, s, t) = diamond();
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+    }
+
+    #[test]
+    fn edmonds_karp_agrees_with_dinic() {
+        let (mut g, s, t) = diamond();
+        let d = g.max_flow_dinic(s, t);
+        let ek = g.max_flow_edmonds_karp(s, t);
+        assert_eq!(d, ek);
+    }
+
+    #[test]
+    fn single_edge_network() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, 7);
+        assert_eq!(g.max_flow_dinic(s, t), 7);
+    }
+
+    #[test]
+    fn disconnected_source_and_sink_have_zero_flow() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let _ = g.add_node();
+        assert_eq!(g.max_flow_dinic(s, t), 0);
+        assert_eq!(g.max_flow_edmonds_karp(s, t), 0);
+    }
+
+    #[test]
+    fn infinite_capacity_edges_are_never_bottlenecks() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m, INF);
+        g.add_edge(m, t, 4);
+        assert_eq!(g.max_flow_dinic(s, t), 4);
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, 2);
+        g.add_edge(s, t, 3);
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+        assert_eq!(g.max_flow_edmonds_karp(s, t), 5);
+    }
+
+    #[test]
+    fn edge_metadata_round_trips() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let e = g.add_edge(s, t, 9);
+        assert_eq!(g.edge(e), (s, t, 9));
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        g.max_flow_dinic(s, t);
+        assert_eq!(g.edge_flow(e), 9);
+    }
+
+    #[test]
+    fn residual_reachability_identifies_cut_side() {
+        // s -> a (1) -> t (10): the cut is the s->a edge, so only s is
+        // reachable in the residual graph.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 1);
+        g.add_edge(a, t, 10);
+        g.max_flow_dinic(s, t);
+        let reach = g.residual_reachable(s);
+        assert!(reach[s.index()]);
+        assert!(!reach[a.index()]);
+        assert!(!reach[t.index()]);
+    }
+
+    #[test]
+    fn classic_cut_example() {
+        // CLRS figure 26.6: maximum flow value 23.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let v1 = g.add_node();
+        let v2 = g.add_node();
+        let v3 = g.add_node();
+        let v4 = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, v1, 16);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v1, v2, 10);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v3, t, 20);
+        g.add_edge(v4, t, 4);
+        assert_eq!(g.max_flow_dinic(s, t), 23);
+        assert_eq!(g.max_flow_edmonds_karp(s, t), 23);
+    }
+
+    #[test]
+    fn rerunning_max_flow_is_deterministic() {
+        let (mut g, s, t) = diamond();
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+        assert_eq!(g.max_flow_edmonds_karp(s, t), 5);
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+    }
+
+    #[test]
+    fn source_equals_sink_is_zero() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        g.add_edge(s, s, 10);
+        assert_eq!(g.max_flow_dinic(s, s), 0);
+    }
+
+    #[test]
+    fn flow_conservation_on_reported_edge_flows() {
+        let (mut g, s, t) = diamond();
+        let total = g.max_flow_dinic(s, t);
+        // Flow out of s equals total.
+        let mut out_of_s = 0;
+        for i in 0..g.num_edges() {
+            let id = EdgeId(i as u32);
+            let (from, _, _) = g.edge(id);
+            if from == s {
+                out_of_s += g.edge_flow(id);
+            }
+        }
+        assert_eq!(out_of_s, total);
+    }
+}

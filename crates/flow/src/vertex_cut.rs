@@ -1,0 +1,211 @@
+//! Minimum vertex cuts via node splitting.
+//!
+//! The resilience-to-flow reductions in the paper place *tuples* on the
+//! nodes of a network: an endogenous tuple may be deleted at cost 1, an
+//! exogenous tuple may never be deleted, and witnesses become s–t paths.
+//! A minimum contingency set is then a minimum *vertex* cut. The classic
+//! reduction to edge cuts splits every vertex `v` into `v_in -> v_out` with
+//! the vertex capacity on that internal edge; all original edges get infinite
+//! capacity.
+
+use crate::mincut::MinCut;
+use crate::network::{EdgeId, FlowNetwork, NodeId, INF};
+use std::collections::HashMap;
+
+/// A network whose *vertices* carry capacities.
+#[derive(Clone, Debug, Default)]
+pub struct VertexCutNetwork {
+    /// Per vertex: its capacity (use [`INF`] for uncuttable vertices).
+    capacities: Vec<u64>,
+    /// Directed edges between vertices.
+    edges: Vec<(u32, u32)>,
+}
+
+/// Result of a minimum vertex cut computation.
+#[derive(Clone, Debug)]
+pub struct VertexCut {
+    /// Total capacity of the cut (equals the max flow).
+    pub value: u64,
+    /// The vertices whose internal edge is cut, in ascending order.
+    pub cut_vertices: Vec<usize>,
+}
+
+impl VertexCutNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex with the given capacity, returning its index.
+    pub fn add_vertex(&mut self, capacity: u64) -> usize {
+        self.capacities.push(capacity);
+        self.capacities.len() - 1
+    }
+
+    /// Adds a directed edge between two vertices.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.edges.push((from as u32, to as u32));
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Computes a minimum vertex cut separating `source` from `target`.
+    ///
+    /// The source and target vertices themselves are treated as uncuttable
+    /// (their capacity is ignored), matching the paper's constructions where
+    /// s and t are artificial endpoints.
+    pub fn min_vertex_cut(&self, source: usize, target: usize) -> VertexCut {
+        let mut g = FlowNetwork::new();
+        // v_in = 2v, v_out = 2v + 1.
+        let n = self.num_vertices();
+        let nodes: Vec<NodeId> = g.add_nodes(2 * n);
+        let mut internal_edge: HashMap<usize, EdgeId> = HashMap::new();
+        for v in 0..n {
+            let cap = if v == source || v == target {
+                INF
+            } else {
+                self.capacities[v]
+            };
+            let e = g.add_edge(nodes[2 * v], nodes[2 * v + 1], cap);
+            internal_edge.insert(v, e);
+        }
+        for &(from, to) in &self.edges {
+            g.add_edge(nodes[2 * from as usize + 1], nodes[2 * to as usize], INF);
+        }
+        let cut = MinCut::compute(&mut g, nodes[2 * source], nodes[2 * target + 1]);
+        let mut cut_vertices: Vec<usize> = internal_edge
+            .iter()
+            .filter_map(|(&v, &e)| cut.cut_edges.contains(&e).then_some(v))
+            .collect();
+        cut_vertices.sort_unstable();
+        VertexCut {
+            value: cut.value,
+            cut_vertices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_cuts_cheapest_vertex() {
+        // s - a(5) - b(1) - c(7) - t : the cut is {b}.
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let a = g.add_vertex(5);
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(7);
+        let t = g.add_vertex(INF);
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, t);
+        let cut = g.min_vertex_cut(s, t);
+        assert_eq!(cut.value, 1);
+        assert_eq!(cut.cut_vertices, vec![b]);
+    }
+
+    #[test]
+    fn parallel_paths_need_one_vertex_each() {
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let t = g.add_vertex(INF);
+        let mut mids = Vec::new();
+        for _ in 0..4 {
+            let m = g.add_vertex(1);
+            g.add_edge(s, m);
+            g.add_edge(m, t);
+            mids.push(m);
+        }
+        let cut = g.min_vertex_cut(s, t);
+        assert_eq!(cut.value, 4);
+        assert_eq!(cut.cut_vertices, mids);
+    }
+
+    #[test]
+    fn shared_vertex_is_cut_once() {
+        // Two paths share the middle vertex m: cutting m (capacity 1) breaks
+        // both, so the cut value is 1 even though there are 2 paths.
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let a = g.add_vertex(1);
+        let b = g.add_vertex(1);
+        let m = g.add_vertex(1);
+        let c = g.add_vertex(1);
+        let d = g.add_vertex(1);
+        let t = g.add_vertex(INF);
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, m);
+        g.add_edge(b, m);
+        g.add_edge(m, c);
+        g.add_edge(m, d);
+        g.add_edge(c, t);
+        g.add_edge(d, t);
+        let cut = g.min_vertex_cut(s, t);
+        assert_eq!(cut.value, 1);
+        assert_eq!(cut.cut_vertices, vec![m]);
+    }
+
+    #[test]
+    fn uncuttable_vertices_are_routed_around() {
+        // s -> x(INF) -> t and s -> y(1) -> t through x? No: make a single
+        // path with an exogenous (INF) vertex followed by an endogenous one;
+        // the cut must pick the endogenous vertex.
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let exo = g.add_vertex(INF);
+        let endo = g.add_vertex(1);
+        let t = g.add_vertex(INF);
+        g.add_edge(s, exo);
+        g.add_edge(exo, endo);
+        g.add_edge(endo, t);
+        let cut = g.min_vertex_cut(s, t);
+        assert_eq!(cut.value, 1);
+        assert_eq!(cut.cut_vertices, vec![endo]);
+    }
+
+    #[test]
+    fn disconnected_graph_needs_no_cut() {
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let t = g.add_vertex(INF);
+        let a = g.add_vertex(1);
+        g.add_edge(s, a);
+        let cut = g.min_vertex_cut(s, t);
+        assert_eq!(cut.value, 0);
+        assert!(cut.cut_vertices.is_empty());
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn weighted_vertices_choose_cheaper_side() {
+        // Path s - a(3) - t and s - b(2) - t and s - c(4) - t: all three must
+        // be cut; value is 9. Then make one of them INF and ensure the cut
+        // value becomes INF-free by routing... instead verify total.
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let t = g.add_vertex(INF);
+        let a = g.add_vertex(3);
+        let b = g.add_vertex(2);
+        let c = g.add_vertex(4);
+        for &v in &[a, b, c] {
+            g.add_edge(s, v);
+            g.add_edge(v, t);
+        }
+        let cut = g.min_vertex_cut(s, t);
+        assert_eq!(cut.value, 9);
+        assert_eq!(cut.cut_vertices.len(), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Theorems 27 and 28: queries containing a unary or binary *path* between
+//! self-join atoms are NP-complete, via reductions from Vertex Cover.
+//!
+//! The theorems apply to arbitrary ssj binary queries; this module
+//! instantiates the constructions for the path queries the paper names —
+//! the unary path query `q_vc` (Proposition 9, re-exported from
+//! [`crate::vc_qvc`]) and the binary path queries `z1` and `z2` of Section
+//! 7.4 — exactly as the Theorem 28 proof prescribes: vertices become
+//! diagonal `R(a,a)` tuples and edges become `S(a,b)` tuples, so the
+//! resilience of the constructed database equals the minimum vertex cover of
+//! the source graph.
+
+use cq::catalogue::{z1, z2};
+use cq::Query;
+use database::Database;
+use satgad::UndirectedGraph;
+
+/// Which binary path query to target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryPathTarget {
+    /// `z1 :- R(x,x), S(x,y), R(y,y)`
+    Z1,
+    /// `z2 :- R(x,x), S(x,y), R(y,z)`
+    Z2,
+}
+
+/// Output of the Vertex Cover → binary-path reduction.
+#[derive(Clone, Debug)]
+pub struct BinaryPathGadget {
+    /// The target query (`z1` or `z2`).
+    pub query: Query,
+    /// The constructed database; its resilience equals the minimum vertex
+    /// cover size of the source graph.
+    pub database: Database,
+}
+
+/// Builds the Theorem 28 construction for `z1` or `z2`.
+pub fn binary_path_gadget(graph: &UndirectedGraph, target: BinaryPathTarget) -> BinaryPathGadget {
+    let query = match target {
+        BinaryPathTarget::Z1 => z1().query,
+        BinaryPathTarget::Z2 => z2().query,
+    };
+    let mut db = Database::for_query(&query);
+    for v in 0..graph.num_vertices() {
+        db.insert_named("R", &[v as u64, v as u64]);
+    }
+    for (u, v) in graph.edges() {
+        db.insert_named("S", &[u as u64, v as u64]);
+    }
+    BinaryPathGadget {
+        query,
+        database: db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::ExactSolver;
+    use satgad::min_vertex_cover_size;
+
+    fn validate(graph: &UndirectedGraph, target: BinaryPathTarget) {
+        let gadget = binary_path_gadget(graph, target);
+        let vc = min_vertex_cover_size(graph);
+        let resilience = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .expect("finite");
+        assert_eq!(resilience, vc, "{target:?}");
+    }
+
+    #[test]
+    fn z1_reduction_matches_vertex_cover() {
+        for n in 3..=7 {
+            let mut cycle = UndirectedGraph::new(n);
+            for i in 0..n {
+                cycle.add_edge(i, (i + 1) % n);
+            }
+            validate(&cycle, BinaryPathTarget::Z1);
+        }
+    }
+
+    #[test]
+    fn z2_reduction_matches_vertex_cover() {
+        let mut star = UndirectedGraph::new(6);
+        for leaf in 1..6 {
+            star.add_edge(0, leaf);
+        }
+        validate(&star, BinaryPathTarget::Z2);
+
+        let mut complete = UndirectedGraph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                complete.add_edge(i, j);
+            }
+        }
+        validate(&complete, BinaryPathTarget::Z2);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_resilience() {
+        let g = UndirectedGraph::new(3);
+        let gadget = binary_path_gadget(&g, BinaryPathTarget::Z1);
+        assert_eq!(
+            ExactSolver::new().resilience_value(&gadget.query, &gadget.database),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn gadget_shape_mirrors_the_proof() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let gadget = binary_path_gadget(&g, BinaryPathTarget::Z1);
+        // All R-tuples are diagonal; S-tuples are the edges.
+        let r = gadget.database.schema().relation_id("R").unwrap();
+        for &t in gadget.database.tuples_of(r) {
+            let v = gadget.database.values_of(t);
+            assert_eq!(v[0], v[1]);
+        }
+        let s = gadget.database.schema().relation_id("S").unwrap();
+        assert_eq!(gadget.database.tuples_of(s).len(), 2);
+    }
+}

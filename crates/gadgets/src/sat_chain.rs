@@ -1,0 +1,354 @@
+//! Proposition 10 and Lemmas 52–54: 3SAT ≤ RES(q_chain) and its unary
+//! expansions (Figures 10–12).
+//!
+//! The construction follows the paper's Figure 10. A database for
+//! `q_chain :- R(x,y), R(y,z)` is a directed graph whose witnesses are the
+//! directed 2-paths:
+//!
+//! * **Variable gadget** — for each variable a directed cycle of `2m` edges
+//!   alternating "blue" edges `x_i^j → x̄_i^j` and "red" edges
+//!   `x̄_i^j → x_i^{j+1}`; the only minimum contingency sets of the cycle
+//!   pick all blue edges (variable = true) or all red edges (variable =
+//!   false), costing `m` per variable.
+//! * **Clause gadget** — a directed triangle `a_j → b_j → c_j → a_j`, three
+//!   spokes `a'_j → a_j`, … and three connector edges that attach each spoke
+//!   to the head of the variable edge whose deletion encodes "this literal is
+//!   true". The gadget costs 5 deletions when at least one attached literal
+//!   is true and 6 otherwise.
+//!
+//! Altogether `ψ ∈ 3SAT ⇔ (D_ψ, nm + 5m) ∈ RES(q_chain)`; this equivalence is
+//! validated end-to-end against DPLL and the exact solver.
+//!
+//! The unary expansions of Lemmas 52–54 ([`chain_expansion_gadget`]) reuse
+//! the same edge structure and add one unary tuple per domain value, which
+//! preserves every witness. Note that the *threshold accounting* of the
+//! plain gadget does **not** carry over verbatim: the paper's lemmas modify
+//! the clause gadgets so that unary tuples are never strictly better choices,
+//! and we have not reproduced those modified gadgets — the exact resilience
+//! of an expansion instance can be below `nm + 5m` (the
+//! [`ChainGadget::threshold_is_exact`] flag records this). The
+//! NP-completeness of the expansions themselves is still reproduced by the
+//! dichotomy classifier (experiment E5 / `tests/dichotomy.rs`).
+
+use cq::catalogue;
+use cq::Query;
+use database::{ConstPool, Database};
+use satgad::CnfFormula;
+
+/// Which unary expansion of `q_chain` to target (Section 7.1, Figure 6a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainExpansion {
+    /// Plain `q_chain :- R(x,y), R(y,z)` (Proposition 10).
+    Plain,
+    /// `q_achain :- A(x), R(x,y), R(y,z)`.
+    A,
+    /// `q_bchain :- R(x,y), B(y), R(y,z)`.
+    B,
+    /// `q_cchain :- R(x,y), R(y,z), C(z)`.
+    C,
+    /// `q_abchain`.
+    AB,
+    /// `q_bcchain`.
+    BC,
+    /// `q_acchain`.
+    AC,
+    /// `q_abcchain`.
+    ABC,
+}
+
+impl ChainExpansion {
+    /// All eight expansions, in the order of Section 7.1.
+    pub fn all() -> [ChainExpansion; 8] {
+        [
+            ChainExpansion::Plain,
+            ChainExpansion::A,
+            ChainExpansion::B,
+            ChainExpansion::C,
+            ChainExpansion::AB,
+            ChainExpansion::BC,
+            ChainExpansion::AC,
+            ChainExpansion::ABC,
+        ]
+    }
+
+    /// The catalogue query this expansion targets.
+    pub fn query(self) -> Query {
+        match self {
+            ChainExpansion::Plain => catalogue::q_chain().query,
+            ChainExpansion::A => catalogue::q_achain().query,
+            ChainExpansion::B => catalogue::q_bchain().query,
+            ChainExpansion::C => catalogue::q_cchain().query,
+            ChainExpansion::AB => catalogue::q_abchain().query,
+            ChainExpansion::BC => catalogue::q_bcchain().query,
+            ChainExpansion::AC => catalogue::q_acchain().query,
+            ChainExpansion::ABC => catalogue::q_abcchain().query,
+        }
+    }
+
+    fn has_a(self) -> bool {
+        matches!(
+            self,
+            ChainExpansion::A | ChainExpansion::AB | ChainExpansion::AC | ChainExpansion::ABC
+        )
+    }
+
+    fn has_b(self) -> bool {
+        matches!(
+            self,
+            ChainExpansion::B | ChainExpansion::AB | ChainExpansion::BC | ChainExpansion::ABC
+        )
+    }
+
+    fn has_c(self) -> bool {
+        matches!(
+            self,
+            ChainExpansion::C | ChainExpansion::BC | ChainExpansion::AC | ChainExpansion::ABC
+        )
+    }
+}
+
+/// The output of the 3SAT → chain reduction.
+#[derive(Clone, Debug)]
+pub struct ChainGadget {
+    /// The target query.
+    pub query: Query,
+    /// The constructed database `D_ψ`.
+    pub database: Database,
+    /// The threshold `n·m + 5m` of the plain gadget: for
+    /// [`ChainExpansion::Plain`], `ψ` is satisfiable iff the resilience
+    /// equals `threshold` (and is never smaller).
+    pub threshold: usize,
+    /// Whether the iff-accounting above applies (`true` only for the plain
+    /// gadget; the unary expansions reuse the structure but their exact
+    /// thresholds would need the modified gadgets of Lemmas 52–54).
+    pub threshold_is_exact: bool,
+    /// The constant pool used, so callers can decode constants back to the
+    /// paper's names (e.g. `x1^2`, `a'3`).
+    pub pool: ConstPool,
+}
+
+/// Builds the Proposition 10 gadget for a 3-CNF formula.
+///
+/// # Panics
+/// Panics if some clause does not have exactly three literals.
+pub fn chain_gadget(formula: &CnfFormula) -> ChainGadget {
+    chain_expansion_gadget(formula, ChainExpansion::Plain)
+}
+
+/// Builds the gadget targeting one of the eight unary expansions of
+/// `q_chain` (Lemmas 52–54).
+pub fn chain_expansion_gadget(formula: &CnfFormula, expansion: ChainExpansion) -> ChainGadget {
+    assert!(
+        formula.is_3cnf(),
+        "the chain gadget expects a 3-CNF formula"
+    );
+    let query = expansion.query();
+    let mut db = Database::for_query(&query);
+    let mut pool = ConstPool::new();
+    let n = formula.num_vars;
+    let m = formula.num_clauses().max(1);
+
+    let pos = |pool: &mut ConstPool, var: usize, j: usize| pool.intern(format!("x{var}^{j}"));
+    let neg = |pool: &mut ConstPool, var: usize, j: usize| pool.intern(format!("nx{var}^{j}"));
+
+    // Variable gadgets: cycles of 2m edges.
+    for var in 0..n {
+        for j in 0..m {
+            let p = pos(&mut pool, var, j);
+            let q_ = neg(&mut pool, var, j);
+            let p_next = pos(&mut pool, var, (j + 1) % m);
+            // Blue edge (delete all of these <=> variable is TRUE).
+            db.insert_named("R", &[p, q_]);
+            // Red edge (delete all of these <=> variable is FALSE).
+            db.insert_named("R", &[q_, p_next]);
+        }
+    }
+
+    // Clause gadgets.
+    for (j, clause) in formula.clauses.iter().enumerate() {
+        let a = pool.intern(format!("a{j}"));
+        let b = pool.intern(format!("b{j}"));
+        let c = pool.intern(format!("c{j}"));
+        let spokes = [
+            pool.intern(format!("a'{j}")),
+            pool.intern(format!("b'{j}")),
+            pool.intern(format!("c'{j}")),
+        ];
+        // Central triangle.
+        db.insert_named("R", &[a, b]);
+        db.insert_named("R", &[b, c]);
+        db.insert_named("R", &[c, a]);
+        // Spokes into the triangle.
+        db.insert_named("R", &[spokes[0], a]);
+        db.insert_named("R", &[spokes[1], b]);
+        db.insert_named("R", &[spokes[2], c]);
+        // Connectors: attach each spoke to the head of the designated
+        // variable edge (blue for a positive literal, red for a negative
+        // one) of this clause's segment.
+        for (p, lit) in clause.iter().enumerate() {
+            let head = if lit.positive {
+                neg(&mut pool, lit.var, j)
+            } else {
+                pos(&mut pool, lit.var, (j + 1) % m)
+            };
+            db.insert_named("R", &[head, spokes[p]]);
+        }
+    }
+
+    // Unary expansions: one tuple per domain value for each unary relation
+    // present in the target query, preserving all witnesses.
+    let domain: Vec<database::Constant> = db.active_domain().into_iter().collect();
+    for value in domain {
+        if expansion.has_a() {
+            db.insert_named("A", &[value]);
+        }
+        if expansion.has_b() {
+            db.insert_named("B", &[value]);
+        }
+        if expansion.has_c() {
+            db.insert_named("C", &[value]);
+        }
+    }
+
+    let threshold = n * m + 5 * formula.num_clauses();
+    ChainGadget {
+        query,
+        database: db,
+        threshold,
+        threshold_is_exact: expansion == ChainExpansion::Plain,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::ExactSolver;
+    use satgad::CnfFormula;
+
+    /// Small satisfiable 3-CNF formula.
+    fn sat_formula() -> CnfFormula {
+        // (x0 | x1 | x2) & (!x0 | x1 | !x2) & (x0 | !x1 | x2)
+        CnfFormula::from_clauses(
+            3,
+            &[
+                &[(0, true), (1, true), (2, true)],
+                &[(0, false), (1, true), (2, false)],
+                &[(0, true), (1, false), (2, true)],
+            ],
+        )
+    }
+
+    /// Small unsatisfiable 3-CNF formula: all eight sign patterns over three
+    /// variables.
+    fn unsat_formula() -> CnfFormula {
+        let mut f = CnfFormula::new(3);
+        for mask in 0..8u8 {
+            f.add_clause(
+                (0..3)
+                    .map(|v| satgad::Literal {
+                        var: v,
+                        positive: mask & (1 << v) != 0,
+                    })
+                    .collect(),
+            );
+        }
+        f
+    }
+
+    /// Tiny unsatisfiable formula over two variables (padded to width 3 by
+    /// repeating a literal? no — use 3 distinct vars to stay 3-CNF).
+    fn small_sat_formula() -> CnfFormula {
+        CnfFormula::from_clauses(3, &[&[(0, true), (1, false), (2, true)]])
+    }
+
+    fn validate(formula: &CnfFormula, expansion: ChainExpansion) {
+        let gadget = chain_expansion_gadget(formula, expansion);
+        let resilience = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .expect("finite resilience");
+        let satisfiable = formula.is_satisfiable();
+        assert!(
+            resilience >= gadget.threshold,
+            "{expansion:?}: resilience {resilience} below threshold {}",
+            gadget.threshold
+        );
+        assert_eq!(
+            satisfiable,
+            resilience == gadget.threshold,
+            "{expansion:?}: satisfiable={satisfiable} but resilience={resilience}, threshold={}",
+            gadget.threshold
+        );
+    }
+
+    #[test]
+    fn plain_chain_gadget_satisfiable() {
+        validate(&sat_formula(), ChainExpansion::Plain);
+        validate(&small_sat_formula(), ChainExpansion::Plain);
+    }
+
+    #[test]
+    #[ignore = "expensive: the smallest unsatisfiable 3-CNF core has 8 clauses and the \
+                exact hitting-set search on the 120-tuple gadget takes minutes; run with \
+                `cargo test -- --ignored` to exercise the unsatisfiable direction"]
+    fn plain_chain_gadget_unsatisfiable() {
+        validate(&unsat_formula(), ChainExpansion::Plain);
+    }
+
+    #[test]
+    fn plain_gadget_witness_structure_matches_the_figure() {
+        // Structural check on the (large) unsatisfiable-core gadget that is
+        // cheap to verify: 2m witnesses per variable cycle and 12 witnesses
+        // per clause component (3 triangle pairs, 3 spoke-triangle, 3
+        // connector-spoke, 3 variable-connector), exactly as in Figure 10.
+        let formula = unsat_formula();
+        let gadget = chain_gadget(&formula);
+        let ws = database::WitnessSet::build(&gadget.query, &gadget.database);
+        let n = formula.num_vars;
+        let m = formula.num_clauses();
+        assert_eq!(ws.len(), 2 * n * m + 12 * m);
+        assert!(!ws.has_undeletable_witness());
+        // The greedy upper bound is a valid contingency set and is at least
+        // the threshold (the unsatisfiable core can never reach it).
+        let bounds = resilience_core::ResilienceBounds::from_witnesses(&ws);
+        assert!(bounds.upper.unwrap() >= gadget.threshold);
+        assert!(bounds.lower <= bounds.upper.unwrap());
+    }
+
+    #[test]
+    fn unary_expansions_preserve_witness_structure() {
+        // The expansions reuse the plain gadget's edges and add unary tuples
+        // for every domain value, so every plain witness extends to exactly
+        // one expansion witness. (The exact threshold accounting is *not*
+        // claimed for expansions; see the module docs.)
+        let f = small_sat_formula();
+        let plain = chain_expansion_gadget(&f, ChainExpansion::Plain);
+        let plain_witnesses =
+            database::witnesses(&plain.query, &plain.database).len();
+        for expansion in ChainExpansion::all() {
+            let gadget = chain_expansion_gadget(&f, expansion);
+            assert!(!gadget.threshold_is_exact || expansion == ChainExpansion::Plain);
+            let count = database::witnesses(&gadget.query, &gadget.database).len();
+            assert_eq!(count, plain_witnesses, "{expansion:?}");
+            // Resilience can only go down when more deletion choices exist.
+            let rho = ExactSolver::new()
+                .resilience_value(&gadget.query, &gadget.database)
+                .unwrap();
+            assert!(rho <= gadget.threshold, "{expansion:?}");
+        }
+    }
+
+    #[test]
+    fn gadget_size_accounting() {
+        let f = sat_formula();
+        let gadget = chain_gadget(&f);
+        let n = f.num_vars;
+        let m = f.num_clauses();
+        // 2m edges per variable + 9 edges per clause.
+        assert_eq!(gadget.database.num_tuples(), 2 * n * m + 9 * m);
+        assert_eq!(gadget.threshold, n * m + 5 * m);
+        // Constants decode back to readable names.
+        assert!(gadget.pool.lookup("x0^0").is_some());
+        assert!(gadget.pool.lookup("a'1").is_some());
+    }
+}

@@ -1,0 +1,163 @@
+//! Lemma 21: self-joins can only make resilience harder.
+//!
+//! Given a self-join-free query `q`, a minimal self-join variation `q_sj`
+//! (some relations of `q` replaced by a repeated relation) and a database `D`
+//! for `q`, the lemma builds a database `D'` for `q_sj` by *tagging every
+//! constant with the variable position it instantiates*. The witnesses — and
+//! therefore the contingency sets — of `(D, q)` and `(D', q_sj)` are in 1:1
+//! correspondence, so the resiliences coincide.
+
+use cq::Query;
+use database::{witnesses, ConstPool, Database};
+
+/// Output of the Lemma 21 tagging construction.
+#[derive(Clone, Debug)]
+pub struct TaggedVariation {
+    /// The self-join variation query.
+    pub query: Query,
+    /// The constructed database `D'` with variable-tagged constants.
+    pub database: Database,
+    /// The constant pool mapping tagged constants back to readable labels.
+    pub pool: ConstPool,
+}
+
+/// Builds `D'` from a database `D` of the self-join-free query `original`.
+///
+/// `variation` must have the same number of atoms as `original` with the same
+/// argument lists (only relation names may differ); this mirrors
+/// Definition 19's notion of a self-join variation.
+///
+/// # Panics
+/// Panics if the two queries do not have matching atom structure.
+pub fn tag_self_join_variation(
+    original: &Query,
+    variation: &Query,
+    db: &Database,
+) -> TaggedVariation {
+    assert_eq!(
+        original.num_atoms(),
+        variation.num_atoms(),
+        "a self-join variation has the same atoms as the original query"
+    );
+    for i in 0..original.num_atoms() {
+        assert_eq!(
+            original.atom(i).args,
+            variation.atom(i).args,
+            "atom #{i} must keep its argument list"
+        );
+    }
+    let mut pool = ConstPool::new();
+    let mut out = Database::for_query(variation);
+    for w in witnesses(original, db) {
+        for atom in variation.atoms() {
+            let rel = out
+                .schema()
+                .relation_id(variation.schema().name(atom.relation))
+                .expect("schema");
+            let values: Vec<database::Constant> = atom
+                .args
+                .iter()
+                .map(|v| {
+                    let value = w.valuation[v.index()];
+                    pool.intern(format!("{value}@{}", variation.var_name(*v)))
+                })
+                .collect();
+            out.insert(rel, &values);
+        }
+    }
+    TaggedVariation {
+        query: variation.clone(),
+        database: out,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::triangle_gadget_from_vc;
+    use cq::parse_query;
+    use resilience_core::ExactSolver;
+    use satgad::UndirectedGraph;
+
+    #[test]
+    fn triangle_to_sj1_triangle_preserves_resilience() {
+        // Build a triangle-query instance from a small VC graph, then tag it
+        // into the all-R self-join variation q_sj1△ :- R(x,y), R(y,z), R(z,x).
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let triangle = triangle_gadget_from_vc(&g);
+        let variation = parse_query("R(x,y), R(y,z), R(z,x)").unwrap();
+        let tagged = tag_self_join_variation(&triangle.query, &variation, &triangle.database);
+        let solver = ExactSolver::new();
+        let rho_original = solver
+            .resilience_value(&triangle.query, &triangle.database)
+            .unwrap();
+        let rho_variation = solver
+            .resilience_value(&tagged.query, &tagged.database)
+            .unwrap();
+        assert_eq!(rho_original, rho_variation);
+    }
+
+    #[test]
+    fn triangle_to_sj2_variation_preserves_resilience() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let triangle = triangle_gadget_from_vc(&g);
+        let variation = parse_query("R(x,y), R(y,z), T(z,x)").unwrap();
+        let tagged = tag_self_join_variation(&triangle.query, &variation, &triangle.database);
+        let solver = ExactSolver::new();
+        assert_eq!(
+            solver.resilience_value(&triangle.query, &triangle.database),
+            solver.resilience_value(&tagged.query, &tagged.database)
+        );
+    }
+
+    #[test]
+    fn tagged_witnesses_use_the_same_tuple_sets() {
+        // The tagged database may have *more* witnesses than the original
+        // (the all-R variation reads each original witness from three
+        // starting atoms, as Lemma 50 notes), but every tagged witness uses
+        // a tuple set that corresponds to an original witness, which is why
+        // contingency sets are in 1:1 correspondence.
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let triangle = triangle_gadget_from_vc(&g);
+        let variation = parse_query("R(x,y), R(y,z), R(z,x)").unwrap();
+        let tagged = tag_self_join_variation(&triangle.query, &variation, &triangle.database);
+        let original = witnesses(&triangle.query, &triangle.database).len();
+        let tagged_count = witnesses(&tagged.query, &tagged.database).len();
+        assert!(tagged_count >= original);
+        assert!(tagged_count <= 3 * original);
+    }
+
+    #[test]
+    fn simple_two_atom_variation() {
+        // q :- R(x,y), S(y,z) tagged into q_chain :- R(x,y), R(y,z).
+        let original = parse_query("R(x,y), S(y,z)").unwrap();
+        let variation = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&original);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[4, 2]);
+        db.insert_named("S", &[2, 3]);
+        db.insert_named("S", &[2, 5]);
+        let tagged = tag_self_join_variation(&original, &variation, &db);
+        let solver = ExactSolver::new();
+        assert_eq!(
+            solver.resilience_value(&original, &db),
+            solver.resilience_value(&tagged.query, &tagged.database)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same atoms")]
+    fn mismatched_variation_is_rejected() {
+        let original = parse_query("R(x,y), S(y,z)").unwrap();
+        let variation = parse_query("R(x,y)").unwrap();
+        let db = Database::for_query(&original);
+        tag_self_join_variation(&original, &variation, &db);
+    }
+}

@@ -1,0 +1,224 @@
+//! Hardness constructions around the triangle query `q_△` and the tripod
+//! query `q_T` (Propositions 56 and 57), realized through the Independent
+//! Join Path template of Section 9.
+//!
+//! * [`triangle_gadget_from_vc`] reduces Vertex Cover to `RES(q_△)` by
+//!   replacing every edge of the input graph with the triangle IJP of
+//!   Example 59 (Figure 18): the two endpoint `R`-tuples are shared between
+//!   all edges incident to the same vertex, and every edge contributes one
+//!   extra forced deletion. `G` has a vertex cover of size `k` iff
+//!   `(D_G, k + |E|) ∈ RES(q_△)`.
+//! * [`tripod_from_triangle`] is the Proposition 57 construction turning a
+//!   triangle-query instance into a tripod-query instance of equal
+//!   resilience.
+
+use cq::catalogue::{q_triangle, q_tripod};
+use cq::Query;
+use database::{witnesses, ConstPool, Database};
+use satgad::UndirectedGraph;
+
+/// Output of the Vertex Cover → `RES(q_△)` reduction.
+#[derive(Clone, Debug)]
+pub struct TriangleGadget {
+    /// The triangle query.
+    pub query: Query,
+    /// The constructed database.
+    pub database: Database,
+    /// Number of edges of the source graph: the resilience equals
+    /// `min-vertex-cover + num_edges`.
+    pub num_edges: usize,
+    /// The constant pool used for readable constants.
+    pub pool: ConstPool,
+}
+
+impl TriangleGadget {
+    /// The decision threshold corresponding to a vertex cover of size `k`.
+    pub fn threshold_for_cover(&self, k: usize) -> usize {
+        k + self.num_edges
+    }
+}
+
+/// Builds the IJP-based Vertex Cover reduction for the triangle query.
+pub fn triangle_gadget_from_vc(graph: &UndirectedGraph) -> TriangleGadget {
+    let query = q_triangle().query;
+    let mut db = Database::for_query(&query);
+    let mut pool = ConstPool::new();
+
+    // One endpoint R-tuple per vertex: R(u1, u2).
+    let v1 = |pool: &mut ConstPool, u: usize| pool.intern(format!("v{u}_1"));
+    let v2 = |pool: &mut ConstPool, u: usize| pool.intern(format!("v{u}_2"));
+    for u in 0..graph.num_vertices() {
+        let a = v1(&mut pool, u);
+        let b = v2(&mut pool, u);
+        db.insert_named("R", &[a, b]);
+    }
+    // One Example-59 IJP per edge, sharing the endpoint tuples.
+    for (idx, (u, v)) in graph.edges().enumerate() {
+        let u1 = v1(&mut pool, u);
+        let u2 = v2(&mut pool, u);
+        let vv1 = v1(&mut pool, v);
+        let vv2 = v2(&mut pool, v);
+        let mid = pool.intern(format!("e{idx}"));
+        db.insert_named("R", &[vv1, u2]);
+        db.insert_named("S", &[u2, mid]);
+        db.insert_named("S", &[vv2, mid]);
+        db.insert_named("T", &[mid, u1]);
+        db.insert_named("T", &[mid, vv1]);
+    }
+    TriangleGadget {
+        query,
+        database: db,
+        num_edges: graph.num_edges(),
+        pool,
+    }
+}
+
+/// Output of the Proposition 57 construction.
+#[derive(Clone, Debug)]
+pub struct TripodGadget {
+    /// The tripod query `q_T`.
+    pub query: Query,
+    /// The constructed database, with the same resilience as the input
+    /// triangle instance.
+    pub database: Database,
+}
+
+/// Proposition 57: maps a `q_△` instance to a `q_T` instance of equal
+/// resilience. `A`, `B`, `C` are copies of `R`, `S`, `T` over pair-constants
+/// `<ab>`, `<bc>`, `<ca>`; `W` connects exactly the pair-constants that come
+/// from a triangle witness, which keeps the witness sets in 1:1
+/// correspondence while `W` is dominated by `A`.
+pub fn tripod_from_triangle(triangle_query: &Query, triangle_db: &Database) -> TripodGadget {
+    let query = q_tripod().query;
+    let mut db = Database::for_query(&query);
+    let mut pool = ConstPool::new();
+
+    let pair = |pool: &mut ConstPool, tag: &str, a: database::Constant, b: database::Constant| {
+        pool.intern(format!("<{tag}:{a},{b}>"))
+    };
+
+    let r = triangle_db.schema().relation_id("R").expect("R");
+    let s = triangle_db.schema().relation_id("S").expect("S");
+    let t = triangle_db.schema().relation_id("T").expect("T");
+    for &id in triangle_db.tuples_of(r) {
+        let v = triangle_db.values_of(id);
+        let c = pair(&mut pool, "ab", v[0], v[1]);
+        db.insert_named("A", &[c]);
+    }
+    for &id in triangle_db.tuples_of(s) {
+        let v = triangle_db.values_of(id);
+        let c = pair(&mut pool, "bc", v[0], v[1]);
+        db.insert_named("B", &[c]);
+    }
+    for &id in triangle_db.tuples_of(t) {
+        let v = triangle_db.values_of(id);
+        let c = pair(&mut pool, "ca", v[0], v[1]);
+        db.insert_named("C", &[c]);
+    }
+    // W connects the pair-constants of each triangle witness (a, b, c).
+    for w in witnesses(triangle_query, triangle_db) {
+        let a = w.valuation[0];
+        let b = w.valuation[1];
+        let c = w.valuation[2];
+        let ab = pair(&mut pool, "ab", a, b);
+        let bc = pair(&mut pool, "bc", b, c);
+        let ca = pair(&mut pool, "ca", c, a);
+        db.insert_named("W", &[ab, bc, ca]);
+    }
+    TripodGadget {
+        query,
+        database: db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::ExactSolver;
+    use satgad::min_vertex_cover_size;
+
+    fn cycle(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn path(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn validate_triangle(graph: &UndirectedGraph) {
+        let gadget = triangle_gadget_from_vc(graph);
+        let vc = min_vertex_cover_size(graph);
+        let resilience = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .expect("finite");
+        assert_eq!(
+            resilience,
+            gadget.threshold_for_cover(vc),
+            "resilience must equal VC + |E| (VC = {vc}, |E| = {})",
+            gadget.num_edges
+        );
+    }
+
+    #[test]
+    fn single_edge_matches_example_59() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(0, 1);
+        let gadget = triangle_gadget_from_vc(&g);
+        assert_eq!(gadget.database.num_tuples(), 2 + 5);
+        validate_triangle(&g);
+        // The single-edge gadget is exactly an Independent Join Path.
+        assert!(resilience_core::ijp::check_ijp(&gadget.query, &gadget.database));
+    }
+
+    #[test]
+    fn triangle_gadget_on_cycles_and_paths() {
+        validate_triangle(&cycle(3));
+        validate_triangle(&cycle(4));
+        validate_triangle(&cycle(5));
+        validate_triangle(&path(4));
+        validate_triangle(&path(5));
+    }
+
+    #[test]
+    fn triangle_gadget_on_star() {
+        let mut g = UndirectedGraph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        validate_triangle(&g);
+    }
+
+    #[test]
+    fn tripod_construction_preserves_resilience() {
+        for graph in [cycle(3), cycle(4), path(4)] {
+            let triangle = triangle_gadget_from_vc(&graph);
+            let tripod = tripod_from_triangle(&triangle.query, &triangle.database);
+            let solver = ExactSolver::new();
+            let rho_triangle = solver
+                .resilience_value(&triangle.query, &triangle.database)
+                .unwrap();
+            let rho_tripod = solver
+                .resilience_value(&tripod.query, &tripod.database)
+                .unwrap();
+            assert_eq!(rho_triangle, rho_tripod);
+        }
+    }
+
+    #[test]
+    fn tripod_witnesses_are_in_bijection() {
+        let graph = cycle(4);
+        let triangle = triangle_gadget_from_vc(&graph);
+        let tripod = tripod_from_triangle(&triangle.query, &triangle.database);
+        let w1 = witnesses(&triangle.query, &triangle.database).len();
+        let w2 = witnesses(&tripod.query, &tripod.database).len();
+        assert_eq!(w1, w2);
+    }
+}

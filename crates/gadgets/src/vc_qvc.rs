@@ -1,0 +1,120 @@
+//! Proposition 9: Vertex Cover ≤ RES(q_vc).
+//!
+//! A directed-graph database for `q_vc :- R(x), S(x,y), R(y)` is built from
+//! an undirected graph `G`: every vertex `v` becomes a tuple `R(v)` and every
+//! edge `{u, v}` becomes a tuple `S(u, v)`. Then `G` has a vertex cover of
+//! size `k` iff `(D_G, k) ∈ RES(q_vc)` — in fact the minimum vertex cover
+//! size *equals* the resilience.
+
+use cq::catalogue::q_vc;
+use cq::Query;
+use database::Database;
+use satgad::UndirectedGraph;
+
+/// The output of the reduction: the query, the constructed database, and the
+/// threshold that makes the iff-statement true.
+#[derive(Clone, Debug)]
+pub struct VcGadget {
+    /// The query `q_vc`.
+    pub query: Query,
+    /// The constructed database `D_G`.
+    pub database: Database,
+    /// Number of edges of the source graph (for reporting).
+    pub num_edges: usize,
+}
+
+/// Builds the Proposition 9 database for a Vertex Cover instance.
+pub fn vc_to_qvc(graph: &UndirectedGraph) -> VcGadget {
+    let query = q_vc().query;
+    let mut database = Database::for_query(&query);
+    for v in 0..graph.num_vertices() {
+        database.insert_named("R", &[v as u64]);
+    }
+    for (u, v) in graph.edges() {
+        database.insert_named("S", &[u as u64, v as u64]);
+    }
+    VcGadget {
+        query,
+        database,
+        num_edges: graph.num_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::ExactSolver;
+    use satgad::min_vertex_cover_size;
+
+    fn validate(graph: &UndirectedGraph) {
+        let gadget = vc_to_qvc(graph);
+        let vc = min_vertex_cover_size(graph);
+        let resilience = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .expect("finite resilience");
+        assert_eq!(
+            resilience, vc,
+            "resilience must equal the minimum vertex cover size"
+        );
+        // Decision-version iff, for every k around the optimum.
+        let solver = ExactSolver::new();
+        for k in vc.saturating_sub(1)..=vc + 1 {
+            let in_res = solver.decide(&gadget.query, &gadget.database, k)
+                || graph.num_edges() == 0;
+            let has_cover = k >= vc;
+            if graph.num_edges() > 0 {
+                assert_eq!(in_res, has_cover, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_graphs() {
+        for n in 3..=8 {
+            let mut g = UndirectedGraph::new(n);
+            for i in 0..n {
+                g.add_edge(i, (i + 1) % n);
+            }
+            validate(&g);
+        }
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in 2..=6 {
+            let mut g = UndirectedGraph::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    g.add_edge(i, j);
+                }
+            }
+            validate(&g);
+        }
+    }
+
+    #[test]
+    fn star_and_path_graphs() {
+        let mut star = UndirectedGraph::new(7);
+        for leaf in 1..7 {
+            star.add_edge(0, leaf);
+        }
+        validate(&star);
+
+        let mut path = UndirectedGraph::new(9);
+        for i in 0..8 {
+            path.add_edge(i, i + 1);
+        }
+        validate(&path);
+    }
+
+    #[test]
+    fn empty_graph_produces_false_query() {
+        let g = UndirectedGraph::new(4);
+        let gadget = vc_to_qvc(&g);
+        assert_eq!(
+            ExactSolver::new().resilience_value(&gadget.query, &gadget.database),
+            Some(0)
+        );
+        assert_eq!(gadget.num_edges, 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! CNF formulas and a DPLL satisfiability solver.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A literal: a variable index (0-based) with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// The propositional variable, 0-based.
+    pub var: usize,
+    /// `true` for the positive literal, `false` for the negation.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal of variable `var`.
+    pub fn pos(var: usize) -> Self {
+        Literal {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of variable `var`.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Self {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "!x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Literal>;
+
+/// A CNF formula over `num_vars` propositional variables.
+#[derive(Clone, Debug, Default)]
+pub struct CnfFormula {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates a formula with `num_vars` variables and no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause (and grows `num_vars` if the clause mentions a larger
+    /// variable index).
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            if lit.var >= self.num_vars {
+                self.num_vars = lit.var + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Convenience constructor from `(var, polarity)` triples, one clause per
+    /// inner slice.
+    pub fn from_clauses(num_vars: usize, clauses: &[&[(usize, bool)]]) -> Self {
+        let mut f = CnfFormula::new(num_vars);
+        for c in clauses {
+            f.add_clause(
+                c.iter()
+                    .map(|&(v, p)| Literal {
+                        var: v,
+                        positive: p,
+                    })
+                    .collect(),
+            );
+        }
+        f
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` when every clause has exactly three literals.
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() == 3)
+    }
+
+    /// Evaluates the formula under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Number of clauses satisfied by an assignment.
+    pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.iter().any(|l| l.eval(assignment)))
+            .count()
+    }
+
+    /// Decides satisfiability with DPLL (unit propagation + pure-literal
+    /// elimination) and returns a satisfying assignment if one exists.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        // Assignment: None = unassigned.
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            Some(
+                assignment
+                    .into_iter()
+                    .map(|a| a.unwrap_or(false))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// `true` iff the formula is satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation and conflict detection.
+        loop {
+            let mut unit: Option<Literal> = None;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Literal> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &lit in clause {
+                    match assignment[lit.var] {
+                        Some(v) if v == lit.positive => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false, // conflict
+                    1 => {
+                        unit = unassigned;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            match unit {
+                Some(lit) => assignment[lit.var] = Some(lit.positive),
+                None => break,
+            }
+        }
+
+        // Pure literal elimination.
+        let mut seen_pos: HashSet<usize> = HashSet::new();
+        let mut seen_neg: HashSet<usize> = HashSet::new();
+        for clause in &self.clauses {
+            let satisfied = clause
+                .iter()
+                .any(|l| assignment[l.var] == Some(l.positive));
+            if satisfied {
+                continue;
+            }
+            for &lit in clause {
+                if assignment[lit.var].is_none() {
+                    if lit.positive {
+                        seen_pos.insert(lit.var);
+                    } else {
+                        seen_neg.insert(lit.var);
+                    }
+                }
+            }
+        }
+        for &v in &seen_pos {
+            if !seen_neg.contains(&v) && assignment[v].is_none() {
+                assignment[v] = Some(true);
+            }
+        }
+        for &v in &seen_neg {
+            if !seen_pos.contains(&v) && assignment[v].is_none() {
+                assignment[v] = Some(false);
+            }
+        }
+
+        // Check whether all clauses are satisfied / find a branching variable.
+        let mut branch_var: Option<usize> = None;
+        for clause in &self.clauses {
+            let satisfied = clause
+                .iter()
+                .any(|l| assignment[l.var] == Some(l.positive));
+            if satisfied {
+                continue;
+            }
+            let unassigned: Vec<usize> = clause
+                .iter()
+                .filter(|l| assignment[l.var].is_none())
+                .map(|l| l.var)
+                .collect();
+            if unassigned.is_empty() {
+                return false;
+            }
+            branch_var = Some(unassigned[0]);
+        }
+        let Some(v) = branch_var else {
+            return true; // every clause satisfied
+        };
+        for value in [true, false] {
+            let mut next = assignment.clone();
+            next[v] = Some(value);
+            if self.dpll(&mut next) {
+                *assignment = next;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let clause_strs: Vec<String> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let lits: Vec<String> = c.iter().map(|l| format!("{l:?}")).collect();
+                format!("({})", lits.join(" | "))
+            })
+            .collect();
+        write!(f, "{}", clause_strs.join(" & "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let l = Literal::pos(3);
+        assert_eq!(l.negated(), Literal::neg(3));
+        assert!(l.eval(&[false, false, false, true]));
+        assert!(!l.negated().eval(&[false, false, false, true]));
+        assert_eq!(format!("{:?}", Literal::neg(1)), "!x1");
+    }
+
+    #[test]
+    fn trivially_satisfiable_formula() {
+        let f = CnfFormula::from_clauses(2, &[&[(0, true), (1, false)]]);
+        let a = f.solve().unwrap();
+        assert!(f.eval(&a));
+        assert!(f.is_satisfiable());
+    }
+
+    #[test]
+    fn simple_unsatisfiable_formula() {
+        // (x) & (!x)
+        let f = CnfFormula::from_clauses(1, &[&[(0, true)], &[(0, false)]]);
+        assert!(!f.is_satisfiable());
+    }
+
+    #[test]
+    fn pigeonhole_like_unsat() {
+        // (x | y) & (!x | y) & (x | !y) & (!x | !y) is unsatisfiable.
+        let f = CnfFormula::from_clauses(
+            2,
+            &[
+                &[(0, true), (1, true)],
+                &[(0, false), (1, true)],
+                &[(0, true), (1, false)],
+                &[(0, false), (1, false)],
+            ],
+        );
+        assert!(!f.is_satisfiable());
+    }
+
+    #[test]
+    fn three_cnf_detection_and_solution() {
+        // (x0 | x1 | x2) & (!x0 | !x1 | x2) & (x0 | !x2 | x3)
+        let f = CnfFormula::from_clauses(
+            4,
+            &[
+                &[(0, true), (1, true), (2, true)],
+                &[(0, false), (1, false), (2, true)],
+                &[(0, true), (2, false), (3, true)],
+            ],
+        );
+        assert!(f.is_3cnf());
+        let a = f.solve().unwrap();
+        assert!(f.eval(&a));
+        assert_eq!(f.count_satisfied(&a), 3);
+    }
+
+    #[test]
+    fn unsatisfiable_3cnf_core() {
+        // All eight clauses over three variables: unsatisfiable.
+        let mut f = CnfFormula::new(3);
+        for mask in 0..8u8 {
+            f.add_clause(
+                (0..3)
+                    .map(|v| Literal {
+                        var: v,
+                        positive: mask & (1 << v) != 0,
+                    })
+                    .collect(),
+            );
+        }
+        assert!(f.is_3cnf());
+        assert!(!f.is_satisfiable());
+        // Any assignment satisfies exactly 7 of the 8 clauses.
+        assert_eq!(f.count_satisfied(&[true, false, true]), 7);
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_small_formulas() {
+        // DPLL agrees with brute force on a fixed family of small formulas.
+        let formulas = vec![
+            CnfFormula::from_clauses(
+                3,
+                &[
+                    &[(0, true), (1, true), (2, false)],
+                    &[(0, false), (1, false), (2, false)],
+                    &[(1, true), (2, true), (0, false)],
+                ],
+            ),
+            CnfFormula::from_clauses(
+                4,
+                &[
+                    &[(0, true), (1, false), (3, true)],
+                    &[(2, true), (1, true), (3, false)],
+                    &[(0, false), (2, false), (3, true)],
+                    &[(0, false), (1, false), (2, true)],
+                ],
+            ),
+        ];
+        for f in formulas {
+            let brute = (0..1u32 << f.num_vars).any(|mask| {
+                let assignment: Vec<bool> =
+                    (0..f.num_vars).map(|i| mask & (1 << i) != 0).collect();
+                f.eval(&assignment)
+            });
+            assert_eq!(f.is_satisfiable(), brute);
+        }
+    }
+
+    #[test]
+    fn add_clause_grows_num_vars() {
+        let mut f = CnfFormula::new(0);
+        f.add_clause(vec![Literal::pos(5)]);
+        assert_eq!(f.num_vars, 6);
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = CnfFormula::from_clauses(2, &[&[(0, true), (1, false)]]);
+        assert_eq!(f.to_string(), "(x0 | !x1)");
+    }
+}

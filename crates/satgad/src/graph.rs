@@ -1,0 +1,171 @@
+//! Simple undirected graphs used as Vertex Cover instances.
+
+use std::collections::BTreeSet;
+
+/// An undirected graph on vertices `0..num_vertices` with a set of edges.
+///
+/// Parallel edges are collapsed and self-loops are rejected (a self-loop
+/// would force its vertex into every cover, which none of the reductions in
+/// the paper use).
+#[derive(Clone, Debug, Default)]
+pub struct UndirectedGraph {
+    num_vertices: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `num_vertices` vertices and no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        UndirectedGraph {
+            num_vertices,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Adds an undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loops are not supported");
+        assert!(
+            u < self.num_vertices && v < self.num_vertices,
+            "vertex out of range"
+        );
+        let e = (u.min(v), u.max(v));
+        self.edges.insert(e);
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (distinct) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges as normalized `(min, max)` pairs, in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// The degree of a vertex.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+
+    /// Whether `cover` (a set of vertices) covers every edge.
+    pub fn is_vertex_cover(&self, cover: &BTreeSet<usize>) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
+    }
+
+    /// Attempts to 2-colour the graph; returns the colouring if the graph is
+    /// bipartite.
+    pub fn bipartition(&self) -> Option<Vec<bool>> {
+        let mut colour: Vec<Option<bool>> = vec![None; self.num_vertices];
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.num_vertices];
+        for &(u, v) in &self.edges {
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+        for start in 0..self.num_vertices {
+            if colour[start].is_some() {
+                continue;
+            }
+            colour[start] = Some(false);
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                let cu = colour[u].unwrap();
+                for &v in &adjacency[u] {
+                    match colour[v] {
+                        None => {
+                            colour[v] = Some(!cu);
+                            stack.push(v);
+                        }
+                        Some(cv) if cv == cu => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        Some(colour.into_iter().map(|c| c.unwrap_or(false)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // duplicate collapses
+        g.add_edge(2, 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn vertex_cover_check() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let cover: BTreeSet<usize> = [1].into_iter().collect();
+        assert!(g.is_vertex_cover(&cover));
+        let bad: BTreeSet<usize> = [0].into_iter().collect();
+        assert!(!g.is_vertex_cover(&bad));
+    }
+
+    #[test]
+    fn bipartition_of_even_cycle() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let colouring = g.bipartition().unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(colouring[u], colouring[v]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_is_not_bipartite() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(g.bipartition().is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_bipartition() {
+        let mut g = UndirectedGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        assert!(g.bipartition().is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! SAT and Vertex Cover substrate for the hardness reductions.
+//!
+//! The paper's NP-hardness proofs reduce from three source problems:
+//!
+//! * **3SAT** (Propositions 10, 23, 34, 45, 56 and the chain-expansion
+//!   lemmas) — [`cnf`] provides CNF formulas and a DPLL solver;
+//! * **Max-2-SAT** (Propositions 39, 43, 47) — [`max2sat`] provides an exact
+//!   (exponential, but small-instance) maximiser;
+//! * **Vertex Cover** (Proposition 9, Theorems 27–28 and the Independent
+//!   Join Path template of Section 9) — [`vertex_cover`] provides exact
+//!   minimum vertex cover, a 2-approximation and the bipartite special case
+//!   via network flow (König's theorem).
+//!
+//! Having exact solvers for the *source* problems is what lets the test
+//! suite and benchmarks validate each gadget experimentally: a reduction is
+//! correct on an instance iff the source optimum and the resilience of the
+//! constructed database line up exactly as the paper's accounting predicts.
+
+pub mod cnf;
+pub mod graph;
+pub mod max2sat;
+pub mod vertex_cover;
+
+pub use cnf::{CnfFormula, Clause, Literal};
+pub use graph::UndirectedGraph;
+pub use max2sat::{max_2sat, max_2sat_value};
+pub use vertex_cover::{
+    bipartite_min_vertex_cover, greedy_vertex_cover, min_vertex_cover, min_vertex_cover_size,
+};

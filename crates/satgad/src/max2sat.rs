@@ -1,0 +1,121 @@
+//! Exact Max-2-SAT.
+//!
+//! Proposition 39 (and the related Propositions 43 and 47) reduce Max-2-SAT
+//! to resilience: a 2CNF formula has an assignment satisfying at least `r`
+//! clauses iff the constructed database has a contingency set of a size
+//! determined by `r`. Validating those gadgets requires the exact maximum
+//! number of simultaneously satisfiable clauses, which this module computes
+//! by exhaustive search over assignments (the validation instances have at
+//! most ~20 variables).
+
+use crate::cnf::CnfFormula;
+
+/// Returns the maximum number of clauses of `formula` satisfiable by a single
+/// assignment, together with one optimal assignment.
+///
+/// # Panics
+/// Panics if the formula has more than 26 variables (exhaustive search would
+/// be unreasonable) or if some clause has more than 2 literals.
+pub fn max_2sat(formula: &CnfFormula) -> (usize, Vec<bool>) {
+    assert!(
+        formula.num_vars <= 26,
+        "exhaustive Max-2-SAT limited to 26 variables, got {}",
+        formula.num_vars
+    );
+    assert!(
+        formula.clauses.iter().all(|c| c.len() <= 2),
+        "max_2sat expects clauses of size at most 2"
+    );
+    let n = formula.num_vars;
+    let mut best = 0usize;
+    let mut best_assignment = vec![false; n];
+    for mask in 0..(1u64 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        let sat = formula.count_satisfied(&assignment);
+        if sat > best {
+            best = sat;
+            best_assignment = assignment;
+            if best == formula.num_clauses() {
+                break;
+            }
+        }
+    }
+    (best, best_assignment)
+}
+
+/// Convenience: just the optimum value.
+pub fn max_2sat_value(formula: &CnfFormula) -> usize {
+    max_2sat(formula).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfFormula;
+
+    #[test]
+    fn satisfiable_2cnf_attains_all_clauses() {
+        let f = CnfFormula::from_clauses(
+            3,
+            &[
+                &[(0, true), (1, true)],
+                &[(1, false), (2, true)],
+                &[(0, false), (2, true)],
+            ],
+        );
+        let (value, assignment) = max_2sat(&f);
+        assert_eq!(value, 3);
+        assert_eq!(f.count_satisfied(&assignment), 3);
+    }
+
+    #[test]
+    fn contradictory_pair_loses_exactly_one() {
+        // (x) & (!x) as unit clauses: best is 1 of 2.
+        let f = CnfFormula::from_clauses(1, &[&[(0, true)], &[(0, false)]]);
+        assert_eq!(max_2sat_value(&f), 1);
+    }
+
+    #[test]
+    fn classic_unsatisfiable_2cnf() {
+        // (x|y) & (x|!y) & (!x|y) & (!x|!y): max is 3.
+        let f = CnfFormula::from_clauses(
+            2,
+            &[
+                &[(0, true), (1, true)],
+                &[(0, true), (1, false)],
+                &[(0, false), (1, true)],
+                &[(0, false), (1, false)],
+            ],
+        );
+        assert_eq!(max_2sat_value(&f), 3);
+    }
+
+    #[test]
+    fn duplicate_clauses_count_individually() {
+        let f = CnfFormula::from_clauses(2, &[&[(0, true)], &[(0, true)], &[(0, false)]]);
+        assert_eq!(max_2sat_value(&f), 2);
+    }
+
+    #[test]
+    fn empty_formula_has_value_zero() {
+        let f = CnfFormula::new(2);
+        assert_eq!(max_2sat_value(&f), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2")]
+    fn three_literal_clause_rejected() {
+        let f = CnfFormula::from_clauses(3, &[&[(0, true), (1, true), (2, true)]]);
+        max_2sat(&f);
+    }
+
+    #[test]
+    fn mixed_unit_and_binary_clauses() {
+        // (x0) & (!x0 | x1) & (!x1) — best assignment satisfies 2.
+        let f = CnfFormula::from_clauses(
+            2,
+            &[&[(0, true)], &[(0, false), (1, true)], &[(1, false)]],
+        );
+        assert_eq!(max_2sat_value(&f), 2);
+    }
+}

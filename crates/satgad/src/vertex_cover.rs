@@ -1,0 +1,224 @@
+//! Minimum vertex cover: exact branch-and-bound, a greedy 2-approximation,
+//! and the bipartite special case via maximum flow (König's theorem).
+//!
+//! Vertex Cover is the source problem of the `q_vc` reduction (Proposition 9),
+//! the path reductions (Theorems 27–28) and the generalized reduction behind
+//! Independent Join Paths (Section 9); the exact solver provides the ground
+//! truth those reductions are validated against.
+
+use crate::graph::UndirectedGraph;
+use flow::{FlowNetwork, INF};
+use std::collections::BTreeSet;
+
+/// Computes a minimum vertex cover exactly via branch and bound on edges.
+///
+/// Exponential in the worst case, but the branching is on uncovered edges
+/// (branching factor 2, depth at most the cover size), which comfortably
+/// handles the instance sizes used to validate gadgets (tens of vertices).
+pub fn min_vertex_cover(g: &UndirectedGraph) -> BTreeSet<usize> {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut best: Option<BTreeSet<usize>> = None;
+    let mut current: BTreeSet<usize> = BTreeSet::new();
+    branch(&edges, 0, &mut current, &mut best);
+    best.unwrap_or_default()
+}
+
+fn branch(
+    edges: &[(usize, usize)],
+    from: usize,
+    current: &mut BTreeSet<usize>,
+    best: &mut Option<BTreeSet<usize>>,
+) {
+    if let Some(b) = best {
+        if current.len() >= b.len() {
+            return; // cannot improve
+        }
+    }
+    // Find the first uncovered edge.
+    let uncovered = edges[from..]
+        .iter()
+        .position(|&(u, v)| !current.contains(&u) && !current.contains(&v))
+        .map(|i| from + i);
+    let Some(idx) = uncovered else {
+        // All edges covered: record if better.
+        if best.as_ref().map_or(true, |b| current.len() < b.len()) {
+            *best = Some(current.clone());
+        }
+        return;
+    };
+    let (u, v) = edges[idx];
+    for pick in [u, v] {
+        current.insert(pick);
+        branch(edges, idx + 1, current, best);
+        current.remove(&pick);
+    }
+}
+
+/// Size of a minimum vertex cover.
+pub fn min_vertex_cover_size(g: &UndirectedGraph) -> usize {
+    min_vertex_cover(g).len()
+}
+
+/// Classic maximal-matching 2-approximation.
+pub fn greedy_vertex_cover(g: &UndirectedGraph) -> BTreeSet<usize> {
+    let mut cover = BTreeSet::new();
+    for (u, v) in g.edges() {
+        if !cover.contains(&u) && !cover.contains(&v) {
+            cover.insert(u);
+            cover.insert(v);
+        }
+    }
+    cover
+}
+
+/// Minimum vertex cover of a *bipartite* graph via maximum matching /
+/// maximum flow (König's theorem). Returns `None` when the graph is not
+/// bipartite.
+pub fn bipartite_min_vertex_cover(g: &UndirectedGraph) -> Option<usize> {
+    let colouring = g.bipartition()?;
+    let n = g.num_vertices();
+    let mut network = FlowNetwork::new();
+    let s = network.add_node();
+    let t = network.add_node();
+    let nodes = network.add_nodes(n);
+    for v in 0..n {
+        if colouring[v] {
+            network.add_edge(nodes[v], t, 1);
+        } else {
+            network.add_edge(s, nodes[v], 1);
+        }
+    }
+    for (u, v) in g.edges() {
+        let (left, right) = if colouring[u] { (v, u) } else { (u, v) };
+        network.add_edge(nodes[left], nodes[right], INF);
+    }
+    Some(network.max_flow_dinic(s, t) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn cycle_graph(n: usize) -> UndirectedGraph {
+        let mut g = path_graph(n);
+        if n > 2 {
+            g.add_edge(n - 1, 0);
+        }
+        g
+    }
+
+    fn complete_graph(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn single_edge_cover_is_one() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(0, 1);
+        assert_eq!(min_vertex_cover_size(&g), 1);
+    }
+
+    #[test]
+    fn path_cover_sizes() {
+        // A path on n vertices needs floor(n/2) cover vertices.
+        assert_eq!(min_vertex_cover_size(&path_graph(2)), 1);
+        assert_eq!(min_vertex_cover_size(&path_graph(3)), 1);
+        assert_eq!(min_vertex_cover_size(&path_graph(4)), 2);
+        assert_eq!(min_vertex_cover_size(&path_graph(5)), 2);
+        assert_eq!(min_vertex_cover_size(&path_graph(7)), 3);
+    }
+
+    #[test]
+    fn cycle_cover_sizes() {
+        // A cycle on n vertices needs ceil(n/2).
+        assert_eq!(min_vertex_cover_size(&cycle_graph(4)), 2);
+        assert_eq!(min_vertex_cover_size(&cycle_graph(5)), 3);
+        assert_eq!(min_vertex_cover_size(&cycle_graph(6)), 3);
+        assert_eq!(min_vertex_cover_size(&cycle_graph(7)), 4);
+    }
+
+    #[test]
+    fn complete_graph_cover() {
+        // K_n needs n-1 vertices.
+        assert_eq!(min_vertex_cover_size(&complete_graph(4)), 3);
+        assert_eq!(min_vertex_cover_size(&complete_graph(5)), 4);
+    }
+
+    #[test]
+    fn star_graph_cover_is_center() {
+        let mut g = UndirectedGraph::new(6);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf);
+        }
+        let cover = min_vertex_cover(&g);
+        assert_eq!(cover.len(), 1);
+        assert!(cover.contains(&0));
+    }
+
+    #[test]
+    fn exact_cover_is_a_cover() {
+        let g = cycle_graph(7);
+        let cover = min_vertex_cover(&g);
+        assert!(g.is_vertex_cover(&cover));
+    }
+
+    #[test]
+    fn greedy_is_a_cover_and_at_most_twice_optimal() {
+        for g in [path_graph(7), cycle_graph(8), complete_graph(5)] {
+            let greedy = greedy_vertex_cover(&g);
+            assert!(g.is_vertex_cover(&greedy));
+            let opt = min_vertex_cover_size(&g);
+            assert!(greedy.len() <= 2 * opt);
+        }
+    }
+
+    #[test]
+    fn bipartite_cover_matches_exact_on_bipartite_graphs() {
+        // Even cycles and paths are bipartite; König must agree with B&B.
+        for g in [path_graph(6), cycle_graph(6), cycle_graph(8), path_graph(9)] {
+            let exact = min_vertex_cover_size(&g);
+            let koenig = bipartite_min_vertex_cover(&g).expect("bipartite");
+            assert_eq!(exact, koenig);
+        }
+    }
+
+    #[test]
+    fn bipartite_solver_rejects_odd_cycles() {
+        assert!(bipartite_min_vertex_cover(&cycle_graph(5)).is_none());
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = UndirectedGraph::new(5);
+        assert_eq!(min_vertex_cover_size(&g), 0);
+        assert!(greedy_vertex_cover(&g).is_empty());
+        assert_eq!(bipartite_min_vertex_cover(&g), Some(0));
+    }
+
+    #[test]
+    fn complete_bipartite_graph() {
+        // K_{3,4}: minimum cover is the smaller side, size 3.
+        let mut g = UndirectedGraph::new(7);
+        for left in 0..3 {
+            for right in 3..7 {
+                g.add_edge(left, right);
+            }
+        }
+        assert_eq!(min_vertex_cover_size(&g), 3);
+        assert_eq!(bipartite_min_vertex_cover(&g), Some(3));
+    }
+}

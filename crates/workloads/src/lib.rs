@@ -1,0 +1,253 @@
+//! Reproducible workload generators for tests and benchmarks.
+//!
+//! Every generator is driven by a seeded [`rand::rngs::StdRng`], so each
+//! benchmark and experiment in the harness regenerates exactly the same
+//! inputs run after run. The generators cover the three kinds of inputs the
+//! evaluation needs:
+//!
+//! * random database instances conforming to a query's schema (uniform
+//!   tuples over a bounded active domain, with tunable density);
+//! * random directed-graph relations (for the chain, permutation and
+//!   confluence workloads);
+//! * random 3-CNF formulas and random undirected graphs (sources for the
+//!   hardness gadgets).
+
+use cq::Query;
+use database::Database;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use satgad::{CnfFormula, Literal, UndirectedGraph};
+
+/// A seeded workload generator.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    rng: StdRng,
+}
+
+impl Workload {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates a random database for `q`: each relation receives
+    /// `tuples_per_relation` uniform tuples over the domain
+    /// `0..domain_size` (duplicates collapse, so relations may end up
+    /// slightly smaller).
+    pub fn random_database(
+        &mut self,
+        q: &Query,
+        tuples_per_relation: usize,
+        domain_size: u64,
+    ) -> Database {
+        let mut db = Database::for_query(q);
+        let domain = domain_size.max(1);
+        for rel in q.schema().relation_ids() {
+            let arity = q.schema().arity(rel);
+            let db_rel = db
+                .schema()
+                .relation_id(q.schema().name(rel))
+                .expect("same schema");
+            for _ in 0..tuples_per_relation {
+                let values: Vec<u64> = (0..arity).map(|_| self.rng.gen_range(0..domain)).collect();
+                db.insert(db_rel, &values);
+            }
+        }
+        db
+    }
+
+    /// Generates a random binary relation (directed graph) with `nodes`
+    /// vertices where each ordered pair is present independently with
+    /// probability `density`. The tuples are inserted into relation
+    /// `rel_name` of a fresh database for `q`.
+    pub fn random_graph_relation(
+        &mut self,
+        q: &Query,
+        rel_name: &str,
+        nodes: u64,
+        density: f64,
+    ) -> Database {
+        let mut db = Database::for_query(q);
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if self.rng.gen_bool(density.clamp(0.0, 1.0)) {
+                    db.insert_named(rel_name, &[a, b]);
+                }
+            }
+        }
+        db
+    }
+
+    /// Fills every *unary* relation of `q` with all values of `0..domain`,
+    /// on top of an existing database. Useful for the unary-anchored
+    /// workloads (`q_achain`, `q_ACconf`, `q_ABperm`, …).
+    pub fn saturate_unary_relations(&mut self, q: &Query, db: &mut Database, domain: u64) {
+        for rel in q.schema().relation_ids() {
+            if q.schema().arity(rel) != 1 {
+                continue;
+            }
+            let name = q.schema().name(rel).to_string();
+            for v in 0..domain {
+                db.insert_named(&name, &[v]);
+            }
+        }
+    }
+
+    /// Random symmetric-heavy binary relation: with probability
+    /// `symmetric_bias`, the reverse tuple of every generated edge is added
+    /// too. Exercises the permutation workloads, which are only interesting
+    /// when symmetric pairs exist.
+    pub fn random_symmetric_relation(
+        &mut self,
+        q: &Query,
+        rel_name: &str,
+        nodes: u64,
+        edges: usize,
+        symmetric_bias: f64,
+    ) -> Database {
+        let mut db = Database::for_query(q);
+        for _ in 0..edges {
+            let a = self.rng.gen_range(0..nodes);
+            let b = self.rng.gen_range(0..nodes);
+            db.insert_named(rel_name, &[a, b]);
+            if self.rng.gen_bool(symmetric_bias.clamp(0.0, 1.0)) {
+                db.insert_named(rel_name, &[b, a]);
+            }
+        }
+        db
+    }
+
+    /// Random Erdős–Rényi undirected graph `G(n, p)`.
+    pub fn random_undirected_graph(&mut self, n: usize, p: f64) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Random 3-CNF formula with `num_vars` variables and `num_clauses`
+    /// clauses; each clause has three distinct variables with random signs.
+    pub fn random_3cnf(&mut self, num_vars: usize, num_clauses: usize) -> CnfFormula {
+        assert!(num_vars >= 3, "need at least 3 variables for 3-CNF clauses");
+        let mut formula = CnfFormula::new(num_vars);
+        let mut vars: Vec<usize> = (0..num_vars).collect();
+        for _ in 0..num_clauses {
+            vars.shuffle(&mut self.rng);
+            let clause: Vec<Literal> = vars[..3]
+                .iter()
+                .map(|&v| Literal {
+                    var: v,
+                    positive: self.rng.gen_bool(0.5),
+                })
+                .collect();
+            formula.add_clause(clause);
+        }
+        formula
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    #[test]
+    fn same_seed_reproduces_the_same_database() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let a = Workload::new(7).random_database(&q, 30, 10);
+        let b = Workload::new(7).random_database(&q, 30, 10);
+        assert_eq!(a.num_tuples(), b.num_tuples());
+        for t in a.all_tuples() {
+            assert_eq!(a.values_of(t), b.values_of(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let a = Workload::new(1).random_database(&q, 40, 20);
+        let b = Workload::new(2).random_database(&q, 40, 20);
+        let same = a.num_tuples() == b.num_tuples()
+            && a.all_tuples().all(|t| {
+                b.all_tuples()
+                    .any(|u| a.values_of(t) == b.values_of(u) && a.relation_of(t) == b.relation_of(u))
+            });
+        assert!(!same, "two different seeds produced identical databases");
+    }
+
+    #[test]
+    fn random_database_respects_domain_and_arity() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let db = Workload::new(3).random_database(&q, 25, 8);
+        for t in db.all_tuples() {
+            for c in db.values_of(t) {
+                assert!(c.value() < 8);
+            }
+        }
+        let a = db.schema().relation_id("A").unwrap();
+        assert!(db.tuples_of(a).len() <= 25);
+    }
+
+    #[test]
+    fn graph_relation_density_bounds() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = Workload::new(11).random_graph_relation(&q, "R", 10, 0.3);
+        assert!(db.num_tuples() <= 100);
+        let empty = Workload::new(11).random_graph_relation(&q, "R", 10, 0.0);
+        assert_eq!(empty.num_tuples(), 0);
+        let full = Workload::new(11).random_graph_relation(&q, "R", 5, 1.0);
+        assert_eq!(full.num_tuples(), 25);
+    }
+
+    #[test]
+    fn saturate_unary_relations_adds_all_values() {
+        let q = parse_query("A(x), R(x,y), R(y,x), B(y)").unwrap();
+        let mut db = Workload::new(5).random_graph_relation(&q, "R", 6, 0.4);
+        Workload::new(5).saturate_unary_relations(&q, &mut db, 6);
+        let a = db.schema().relation_id("A").unwrap();
+        let b = db.schema().relation_id("B").unwrap();
+        assert_eq!(db.tuples_of(a).len(), 6);
+        assert_eq!(db.tuples_of(b).len(), 6);
+    }
+
+    #[test]
+    fn symmetric_relation_produces_pairs() {
+        let q = parse_query("R(x,y), R(y,x)").unwrap();
+        let db = Workload::new(9).random_symmetric_relation(&q, "R", 8, 30, 1.0);
+        let r = db.schema().relation_id("R").unwrap();
+        for &t in db.tuples_of(r) {
+            let v = db.values_of(t);
+            assert!(db.contains(r, &[v[1], v[0]]), "missing inverse of {v:?}");
+        }
+    }
+
+    #[test]
+    fn random_3cnf_shape() {
+        let f = Workload::new(13).random_3cnf(6, 10);
+        assert_eq!(f.num_clauses(), 10);
+        assert!(f.is_3cnf());
+        for clause in &f.clauses {
+            let mut vars: Vec<usize> = clause.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "clause variables must be distinct");
+        }
+    }
+
+    #[test]
+    fn random_undirected_graph_shape() {
+        let g = Workload::new(17).random_undirected_graph(12, 0.25);
+        assert_eq!(g.num_vertices(), 12);
+        assert!(g.num_edges() <= 12 * 11 / 2);
+        let empty = Workload::new(17).random_undirected_graph(5, 0.0);
+        assert_eq!(empty.num_edges(), 0);
+    }
+}

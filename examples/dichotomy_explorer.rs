@@ -1,0 +1,70 @@
+//! Dichotomy explorer: classify every named query of the paper and print a
+//! table comparing the classifier's verdict with the paper's claim — the
+//! executable version of Figure 5 and the Section 8 case analysis
+//! (experiment E10 of DESIGN.md).
+//!
+//! Run with `cargo run --example dichotomy_explorer`.
+
+use cq::binary_graph::BinaryGraph;
+use cq::catalogue::{all_named_queries, PaperClass};
+use resilience::prelude::*;
+
+fn verdict(c: &Complexity) -> &'static str {
+    match c {
+        Complexity::PTime(_) => "PTIME",
+        Complexity::NpComplete(_) => "NP-complete",
+        Complexity::Open => "open",
+    }
+}
+
+fn paper(c: PaperClass) -> &'static str {
+    match c {
+        PaperClass::PTime => "PTIME",
+        PaperClass::NpComplete => "NP-complete",
+        PaperClass::Open => "open",
+    }
+}
+
+fn main() {
+    println!(
+        "{:<18} {:<14} {:<14} {:<7} {}",
+        "query", "paper", "classifier", "agree", "evidence"
+    );
+    println!("{}", "-".repeat(110));
+    let mut agreements = 0usize;
+    let all = all_named_queries();
+    let total = all.len();
+    for nq in all {
+        let classification = classify(&nq.query);
+        let ours = verdict(&classification.complexity);
+        let theirs = paper(nq.paper_class);
+        let agree = ours == theirs;
+        if agree {
+            agreements += 1;
+        }
+        let evidence = classification
+            .evidence
+            .notes
+            .last()
+            .cloned()
+            .unwrap_or_default();
+        println!(
+            "{:<18} {:<14} {:<14} {:<7} {}",
+            nq.name,
+            theirs,
+            ours,
+            if agree { "yes" } else { "NO" },
+            evidence
+        );
+    }
+    println!("{}", "-".repeat(110));
+    println!("agreement: {agreements}/{total}");
+
+    // Binary graphs (Definition 8) rendered as Graphviz DOT for the two
+    // queries Figure 2 contrasts.
+    for name in ["q_vc", "q_chain"] {
+        let nq = cq::catalogue::by_name(name).unwrap();
+        let graph = BinaryGraph::new(&nq.query);
+        println!("\n// binary graph of {name}\n{}", graph.to_dot(&nq.query));
+    }
+}

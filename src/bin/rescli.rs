@@ -1,0 +1,180 @@
+//! `rescli` — a small command-line front end for the resilience library.
+//!
+//! ```text
+//! rescli classify "<query>"             classify a query (Theorem 37 + Secs. 5-8)
+//! rescli solve    "<query>" <file>      compute resilience over a database file
+//! rescli ijp      "<query>" [joins] [partitions]
+//!                                        search for an Independent Join Path
+//! rescli catalogue                       print the named-query catalogue
+//! ```
+//!
+//! The database file format is one tuple per line, `Rel(c1,c2,...)`, with
+//! `#` comments; constants are non-negative integers or arbitrary labels
+//! (labels are interned).
+
+use resilience::prelude::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rescli classify \"<query>\"\n  rescli solve \"<query>\" <database-file>\n  \
+         rescli ijp \"<query>\" [max-joins] [max-partitions]\n  rescli catalogue"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("classify") if args.len() == 2 => classify_cmd(&args[1]),
+        Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2]),
+        Some("ijp") if (2..=4).contains(&args.len()) => {
+            let joins = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+            let partitions = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+            ijp_cmd(&args[1], joins, partitions)
+        }
+        Some("catalogue") if args.len() == 1 => catalogue_cmd(),
+        _ => usage(),
+    }
+}
+
+fn parse_or_exit(text: &str) -> Result<Query, ExitCode> {
+    match parse_query(text) {
+        Ok(q) => Ok(q),
+        Err(e) => {
+            eprintln!("could not parse query: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn classify_cmd(text: &str) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let c = classify(&q);
+    println!("query      : {q}");
+    println!("complexity : {}", c.complexity);
+    println!("normal form: {}", c.evidence.normalized);
+    if let Some(t) = &c.evidence.triad {
+        println!("triad      : atoms {:?}", t.atoms);
+    }
+    for note in &c.evidence.notes {
+        println!("note       : {note}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses a database file: one `Rel(c1,...,ck)` fact per line.
+fn load_database(q: &Query, path: &str) -> Result<Database, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut db = Database::for_query(q);
+    let mut interner: HashMap<String, u64> = HashMap::new();
+    let mut next_constant = 1_000_000u64;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let open = line
+            .find('(')
+            .ok_or_else(|| format!("line {}: expected Rel(...)", lineno + 1))?;
+        let close = line
+            .rfind(')')
+            .ok_or_else(|| format!("line {}: missing ')'", lineno + 1))?;
+        let rel = line[..open].trim();
+        let values: Result<Vec<u64>, String> = line[open + 1..close]
+            .split(',')
+            .map(|v| {
+                let v = v.trim();
+                if let Ok(n) = v.parse::<u64>() {
+                    Ok(n)
+                } else if v.is_empty() {
+                    Err(format!("line {}: empty constant", lineno + 1))
+                } else {
+                    Ok(*interner.entry(v.to_string()).or_insert_with(|| {
+                        next_constant += 1;
+                        next_constant
+                    }))
+                }
+            })
+            .collect();
+        let values = values?;
+        if db.schema().relation_id(rel).is_none() {
+            return Err(format!("line {}: relation {rel} not in the query", lineno + 1));
+        }
+        db.insert_named(rel, &values);
+    }
+    Ok(db)
+}
+
+fn solve_cmd(text: &str, path: &str) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let db = match load_database(&q, path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let solver = ResilienceSolver::new(&q);
+    let outcome = solver.solve(&db);
+    println!("query        : {q}");
+    println!("complexity   : {}", solver.classification().complexity);
+    println!("tuples       : {}", db.num_tuples());
+    match outcome.resilience {
+        Some(r) => println!("resilience   : {r}  (method {:?})", outcome.method),
+        None => println!("resilience   : unbounded (the query cannot be made false)"),
+    }
+    if let Some(gamma) = &outcome.contingency {
+        let mut rendered = String::new();
+        for &t in gamma {
+            let rel = db.schema().name(db.relation_of(t));
+            let vals: Vec<String> = db.values_of(t).iter().map(|c| c.to_string()).collect();
+            let _ = write!(rendered, "{rel}({}) ", vals.join(","));
+        }
+        println!("contingency  : {rendered}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn ijp_cmd(text: &str, joins: usize, partitions: usize) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    println!("searching for an Independent Join Path for {q}");
+    println!("(up to {joins} joins, {partitions} partitions per join count)");
+    match ijp::search_ijp(&q, joins, partitions) {
+        Some(found) => {
+            println!(
+                "found after {} partitions with {} joins; distinguished relation {} (resilience {})",
+                found.partitions_tried,
+                found.joins,
+                found.certificate.relation,
+                found.certificate.resilience
+            );
+            println!("database:\n{}", found.database);
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("no IJP found within the budget");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn catalogue_cmd() -> ExitCode {
+    for nq in catalogue::all_named_queries() {
+        let c = classify(&nq.query);
+        println!("{:<18} {:<12} {}", nq.name, format!("{:?}", nq.paper_class), c.complexity);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,61 @@
+//! # Resilience for Binary Conjunctive Queries with Self-Joins
+//!
+//! Facade crate for the reproduction of *"New Results for the Complexity of
+//! Resilience for Binary Conjunctive Queries with Self-Joins"* (Freire,
+//! Gatterbauer, Immerman, Meliou; PODS 2020).
+//!
+//! The workspace is organised into focused crates, all re-exported here:
+//!
+//! * [`cq`] — conjunctive-query substrate: data model, parser, minimization,
+//!   hypergraphs, domination, triads, self-join patterns and the dichotomy
+//!   classifier (Theorem 37).
+//! * [`database`] — database instances, Boolean query evaluation and witness
+//!   enumeration.
+//! * [`flow`] — max-flow / min-cut substrate used by every PTIME algorithm.
+//! * [`satgad`] — 3SAT, Max-2-SAT and Vertex Cover substrate used to build
+//!   and validate hardness gadgets.
+//! * [`core`](resilience_core) — the resilience solvers themselves: exact
+//!   hitting-set search, the flow-based polynomial algorithms, the unified
+//!   dispatcher and Independent Join Paths (Section 9).
+//! * [`gadgets`] — executable hardness reductions (Propositions 9, 10, 34,
+//!   39, 56, 57 and the path/chain constructions).
+//! * [`workloads`] — reproducible random workload generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resilience::prelude::*;
+//!
+//! // The chain query q_chain :- R(x,y), R(y,z)  (NP-complete, Proposition 10).
+//! let q = parse_query("R(x,y), R(y,z)").unwrap();
+//! assert!(classify(&q).complexity.is_np_complete());
+//!
+//! // Build a tiny database and compute its resilience exactly.
+//! let mut db = Database::new(q.schema().clone());
+//! let r = db.schema().relation_id("R").unwrap();
+//! db.insert(r, &[1, 2]);
+//! db.insert(r, &[2, 3]);
+//! db.insert(r, &[3, 3]);
+//! let solver = ResilienceSolver::new(&q);
+//! let result = solver.solve(&db);
+//! assert_eq!(result.resilience, Some(2));
+//! ```
+
+pub use cq;
+pub use database;
+pub use flow;
+pub use gadgets;
+pub use resilience_core as core;
+pub use satgad;
+pub use workloads;
+
+/// Convenience prelude re-exporting the most frequently used items.
+pub mod prelude {
+    pub use cq::catalogue;
+    pub use cq::{classify, parse_query, Classification, Complexity, Query, QueryBuilder};
+    pub use database::{Constant, Database, TupleId};
+    pub use resilience_core::{
+        exact::ExactSolver, ijp, solver::ResilienceSolver, solver::SolveOutcome,
+    };
+    pub use workloads::Workload;
+}

@@ -1,0 +1,98 @@
+//! Integration test for experiment E10: the dichotomy classifier agrees with
+//! the paper's published classification on every named query, and the
+//! classification is invariant under renaming of variables and relations.
+
+use cq::catalogue::{all_named_queries, PaperClass};
+use cq::{classify, parse_query, Complexity};
+
+#[test]
+fn classifier_reproduces_the_papers_classification_table() {
+    let mut mismatches = Vec::new();
+    for nq in all_named_queries() {
+        let got = classify(&nq.query).complexity;
+        let ok = match nq.paper_class {
+            PaperClass::PTime => got.is_ptime(),
+            PaperClass::NpComplete => got.is_np_complete(),
+            PaperClass::Open => got.is_open(),
+        };
+        if !ok {
+            mismatches.push(format!(
+                "{}: paper {:?}, classifier {}",
+                nq.name, nq.paper_class, got
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "classification mismatches:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn classification_is_invariant_under_renaming() {
+    let pairs = [
+        ("R(x,y), R(y,z)", "Edge(u,v), Edge(v,w)"),
+        (
+            "A(x), R(x,y), R(z,y), C(z)",
+            "Left(p), Link(p,q), Link(r,q), Right(r)",
+        ),
+        (
+            "A(x), R(x,y), R(y,x), B(y)",
+            "P(s), F(s,t), F(t,s), Q(t)",
+        ),
+        ("R(x), S(x,y), R(y)", "Node(a), Arc(a,b), Node(b)"),
+    ];
+    for (original, renamed) in pairs {
+        let a = classify(&parse_query(original).unwrap()).complexity;
+        let b = classify(&parse_query(renamed).unwrap()).complexity;
+        let same = matches!(
+            (&a, &b),
+            (Complexity::PTime(_), Complexity::PTime(_))
+                | (Complexity::NpComplete(_), Complexity::NpComplete(_))
+                | (Complexity::Open, Complexity::Open)
+        );
+        assert!(same, "{original} vs {renamed}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn figure_five_rows_are_reproduced() {
+    // The PTIME / NP-hard columns of Figure 5 (two R-atom patterns).
+    let np_hard = [
+        "R(x,y), R(y,z)",                     // chain
+        "A(x), R(x,y), R(y,z), B(y), C(z)",   // chain with all unary anchors
+        "R(x,y), H^x(x,z), R(z,y)",           // confluence with exogenous path
+        "A(x), R(x,y), R(y,x), B(y)",         // bound permutation
+    ];
+    let ptime = [
+        "A(x), R(x,y), R(z,y), C(z)", // confluence without exogenous path
+        "R(x,y), R(y,x)",             // unbound permutation
+        "A(x), R(x,y), R(y,x)",       // unbound permutation with one anchor
+        "R(x,x), R(x,y), A(y)",       // REP (z3)
+    ];
+    for text in np_hard {
+        let c = classify(&parse_query(text).unwrap()).complexity;
+        assert!(c.is_np_complete(), "{text} should be NP-complete, got {c}");
+    }
+    for text in ptime {
+        let c = classify(&parse_query(text).unwrap()).complexity;
+        assert!(c.is_ptime(), "{text} should be PTIME, got {c}");
+    }
+}
+
+#[test]
+fn preprocessing_steps_are_visible_in_the_evidence() {
+    // q_brats: domination leaves only B and A endogenous; the evidence
+    // reports the normal form.
+    let q = parse_query("B(y), R(x,y), A(x), T(z,x), S(y,z)").unwrap();
+    let c = classify(&q);
+    assert!(c.complexity.is_ptime());
+    let normalized = &c.evidence.normalized;
+    let endo: Vec<&str> = normalized
+        .endogenous_atoms()
+        .into_iter()
+        .map(|i| normalized.schema().name(normalized.atom(i).relation))
+        .collect();
+    assert_eq!(endo, vec!["B", "A"]);
+}

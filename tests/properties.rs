@@ -1,0 +1,201 @@
+//! Property-based tests (proptest) over the core invariants of the library:
+//!
+//! * witness semantics: a reported contingency set really falsifies the
+//!   query; resilience never exceeds the number of relevant tuples;
+//! * monotonicity: deleting a tuple never increases resilience and never
+//!   decreases it by more than one;
+//! * flow/exact agreement on random instances of PTIME queries;
+//! * minimization is idempotent and preserves equivalence;
+//! * domination normal form preserves resilience (Proposition 18);
+//! * gadget soundness on random vertex-cover instances.
+
+use cq::domination::normalize;
+use cq::homomorphism::{are_equivalent, is_minimal, minimize};
+use cq::{classify, parse_query};
+use database::{Database, TupleId, WitnessSet};
+use proptest::prelude::*;
+use resilience_core::solver::ResilienceSolver;
+use resilience_core::ExactSolver;
+use satgad::{min_vertex_cover_size, UndirectedGraph};
+use std::collections::HashSet;
+
+/// Strategy: a random small directed graph given as an edge list over
+/// `0..domain`.
+fn edges_strategy(domain: u64, max_edges: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..domain, 0..domain), 0..max_edges)
+}
+
+fn chain_db(edges: &[(u64, u64)]) -> (cq::Query, Database) {
+    let q = parse_query("R(x,y), R(y,z)").unwrap();
+    let mut db = Database::for_query(&q);
+    for &(a, b) in edges {
+        db.insert_named("R", &[a, b]);
+    }
+    (q, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_contingency_sets_falsify_the_query(edges in edges_strategy(6, 14)) {
+        let (q, db) = chain_db(&edges);
+        let result = ExactSolver::new().resilience(&q, &db);
+        if let Some(value) = result.resilience {
+            let gamma: HashSet<TupleId> = result.contingency.iter().copied().collect();
+            prop_assert_eq!(gamma.len(), value);
+            let ws = WitnessSet::build(&q, &db);
+            prop_assert!(ws.is_contingency_set(&gamma));
+            prop_assert!(!database::evaluate(&q, &db.without(&gamma)));
+            prop_assert!(value <= ws.relevant_tuples.len());
+        }
+    }
+
+    #[test]
+    fn deleting_one_tuple_changes_resilience_by_at_most_one(edges in edges_strategy(5, 12)) {
+        let (q, db) = chain_db(&edges);
+        let solver = ExactSolver::new();
+        let full = solver.resilience_value(&q, &db).unwrap();
+        for t in db.all_tuples() {
+            let deleted: HashSet<TupleId> = [t].into_iter().collect();
+            let reduced = solver.resilience_value(&q, &db.without(&deleted)).unwrap();
+            prop_assert!(reduced <= full);
+            prop_assert!(full <= reduced + 1);
+        }
+    }
+
+    #[test]
+    fn acconf_flow_equals_exact_on_random_instances(
+        edges in edges_strategy(6, 12),
+        a_vals in prop::collection::vec(0..6u64, 0..6),
+        c_vals in prop::collection::vec(0..6u64, 0..6),
+    ) {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        for &a in &a_vals {
+            db.insert_named("A", &[a]);
+        }
+        for &c in &c_vals {
+            db.insert_named("C", &[c]);
+        }
+        let solver = ResilienceSolver::new(&q);
+        let flow = solver.resilience(&db);
+        let exact = ExactSolver::new().resilience_value(&q, &db);
+        prop_assert_eq!(flow, exact);
+    }
+
+    #[test]
+    fn permutation_flow_equals_exact_on_random_instances(
+        edges in edges_strategy(6, 14),
+        a_vals in prop::collection::vec(0..6u64, 0..6),
+    ) {
+        let q = parse_query("A(x), R(x,y), R(y,x)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        for &a in &a_vals {
+            db.insert_named("A", &[a]);
+        }
+        let solver = ResilienceSolver::new(&q);
+        prop_assert_eq!(solver.resilience(&db), ExactSolver::new().resilience_value(&q, &db));
+    }
+
+    #[test]
+    fn rep_flow_equals_exact_on_random_instances(
+        edges in edges_strategy(5, 12),
+        a_vals in prop::collection::vec(0..5u64, 0..5),
+    ) {
+        let q = parse_query("R(x,x), R(x,y), A(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        for &a in &a_vals {
+            db.insert_named("A", &[a]);
+        }
+        let solver = ResilienceSolver::new(&q);
+        prop_assert_eq!(solver.resilience(&db), ExactSolver::new().resilience_value(&q, &db));
+    }
+
+    #[test]
+    fn domination_normal_form_preserves_resilience(
+        edges in edges_strategy(5, 10),
+        a_vals in prop::collection::vec(0..5u64, 1..5),
+    ) {
+        // q2 of Example 17: A dominates both R and S.
+        let q = parse_query("R(x,y), A(y), R(z,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+            db.insert_named("S", &[b, a]);
+        }
+        for &a in &a_vals {
+            db.insert_named("A", &[a]);
+        }
+        let normalized = normalize(&q);
+        let solver = ExactSolver::new();
+        let rho_original = solver.resilience_value(&q, &db);
+        let rho_normalized = solver.resilience_value(&normalized, &db);
+        prop_assert_eq!(rho_original, rho_normalized);
+    }
+
+    #[test]
+    fn minimization_is_idempotent_and_preserves_equivalence(
+        extra in prop::collection::vec((0..3usize, 0..3usize), 0..4)
+    ) {
+        // Build a query with a fixed core plus duplicated atoms over a small
+        // variable pool; minimization must be idempotent and equivalent.
+        let vars = ["x", "y", "z"];
+        let mut builder = cq::Query::builder().atom("R", &["x", "y"]).atom("S", &["y", "z"]);
+        for (a, b) in extra {
+            builder = builder.atom("R", &[vars[a], vars[b]]);
+        }
+        let q = builder.build();
+        let m1 = minimize(&q);
+        let m2 = minimize(&m1);
+        prop_assert_eq!(m1.num_atoms(), m2.num_atoms());
+        prop_assert!(is_minimal(&m1));
+        prop_assert!(are_equivalent(&q, &m1));
+    }
+
+    #[test]
+    fn vc_gadget_is_sound_on_random_graphs(
+        edge_pairs in prop::collection::vec((0..7usize, 0..7usize), 1..12)
+    ) {
+        let mut graph = UndirectedGraph::new(7);
+        for (u, v) in edge_pairs {
+            if u != v {
+                graph.add_edge(u, v);
+            }
+        }
+        prop_assume!(graph.num_edges() > 0);
+        let gadget = gadgets::vc_qvc::vc_to_qvc(&graph);
+        let vc = min_vertex_cover_size(&graph);
+        let rho = ExactSolver::new()
+            .resilience_value(&gadget.query, &gadget.database)
+            .unwrap();
+        prop_assert_eq!(rho, vc);
+    }
+
+    #[test]
+    fn classification_does_not_panic_on_random_two_atom_queries(
+        args in prop::collection::vec(0..4usize, 4)
+    ) {
+        // Random two-atom self-join queries over up to four variables: the
+        // classifier must always return a verdict without panicking, and the
+        // verdict must be stable across calls.
+        let vars = ["x", "y", "z", "w"];
+        let q = cq::Query::builder()
+            .atom("R", &[vars[args[0]], vars[args[1]]])
+            .atom("R", &[vars[args[2]], vars[args[3]]])
+            .atom("A", &[vars[args[0]]])
+            .build();
+        let c1 = classify(&q).complexity;
+        let c2 = classify(&q).complexity;
+        prop_assert_eq!(c1, c2);
+    }
+}

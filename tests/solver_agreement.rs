@@ -1,0 +1,132 @@
+//! Integration test for experiments E1, E3 and E6: on randomized workloads,
+//! the polynomial algorithms selected by `ResilienceSolver` agree with the
+//! exact branch-and-bound solver for every PTIME query of the paper, and the
+//! contingency sets they report are genuine contingency sets.
+
+use cq::catalogue;
+use database::{evaluate, Database, TupleId, WitnessSet};
+use resilience_core::solver::{ResilienceSolver, SolveMethod};
+use resilience_core::ExactSolver;
+use std::collections::HashSet;
+use workloads::Workload;
+
+/// Builds a randomized instance for `q`: a random R-graph, saturated unary
+/// relations, and a sprinkling of tuples for every other binary relation.
+fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    let mut db = workload.random_graph_relation(q, "R", nodes, density);
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        if q.schema().arity(rel) == 2 && name != "R" {
+            // Deterministic pseudo-random extra relation.
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed) % 4 == 0 {
+                        db.insert_named(&name, &[a, b]);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+fn check_agreement(name: &str, query_text_or_catalogue: &cq::Query, seeds: &[u64], nodes: u64) {
+    let solver = ResilienceSolver::new(query_text_or_catalogue);
+    assert!(
+        solver.classification().complexity.is_ptime(),
+        "{name} should be PTIME"
+    );
+    let exact = ExactSolver::new();
+    for &seed in seeds {
+        let db = random_instance(query_text_or_catalogue, seed, nodes, 0.22);
+        let outcome = solver.solve(&db);
+        assert_ne!(
+            outcome.method,
+            SolveMethod::ExactBranchAndBound,
+            "{name}: the solver should not fall back to exact search"
+        );
+        let truth = exact.resilience_value(query_text_or_catalogue, &db);
+        assert_eq!(
+            outcome.resilience, truth,
+            "{name} (seed {seed}): flow={:?} exact={truth:?}",
+            outcome.resilience
+        );
+        // Contingency sets, when reported, must actually falsify the query.
+        if let (Some(gamma), Some(value)) = (&outcome.contingency, outcome.resilience) {
+            let gamma: HashSet<TupleId> = gamma.iter().copied().collect();
+            assert_eq!(gamma.len(), value, "{name}: contingency size mismatch");
+            let ws = WitnessSet::build(query_text_or_catalogue, &db);
+            assert!(ws.is_contingency_set(&gamma), "{name}: invalid contingency");
+            assert!(!evaluate(query_text_or_catalogue, &db.without(&gamma)));
+        }
+    }
+}
+
+#[test]
+fn acconf_flow_agrees_with_exact() {
+    check_agreement("q_ACconf", &catalogue::q_acconf().query, &[1, 2, 3, 4], 9);
+}
+
+#[test]
+fn a3perm_r_flow_agrees_with_exact() {
+    check_agreement("q_A3perm-R", &catalogue::q_a3perm_r().query, &[5, 6, 7, 8], 8);
+}
+
+#[test]
+fn permutation_flows_agree_with_exact() {
+    check_agreement("q_perm", &catalogue::q_perm().query, &[9, 10, 11], 10);
+    check_agreement("q_Aperm", &catalogue::q_aperm().query, &[12, 13, 14], 9);
+}
+
+#[test]
+fn rep_flow_agrees_with_exact() {
+    check_agreement("z3", &catalogue::z3().query, &[15, 16, 17, 18], 9);
+}
+
+#[test]
+fn sjfree_queries_agree_with_exact() {
+    check_agreement("q_rats", &catalogue::q_rats().query, &[19, 20, 21], 7);
+    check_agreement("q_brats", &catalogue::q_brats().query, &[22, 23], 7);
+}
+
+#[test]
+fn swx3perm_r_flow_agrees_with_exact() {
+    check_agreement("q_Swx3perm-R", &catalogue::q_swx3perm_r().query, &[24, 25, 26], 7);
+}
+
+#[test]
+fn ts3conf_flow_agrees_with_exact() {
+    check_agreement("q_TS3conf", &catalogue::q_ts3conf().query, &[27, 28, 29, 30], 7);
+}
+
+#[test]
+fn hard_queries_still_get_exact_answers() {
+    // For NP-complete queries the solver uses branch and bound; verify it on
+    // moderate random chain instances against a direct exact call.
+    let q = catalogue::q_chain().query;
+    let solver = ResilienceSolver::new(&q);
+    let exact = ExactSolver::new();
+    for seed in [31u64, 32, 33] {
+        let db = random_instance(&q, seed, 9, 0.2);
+        let outcome = solver.solve(&db);
+        assert_eq!(outcome.method, SolveMethod::ExactBranchAndBound);
+        assert_eq!(outcome.resilience, exact.resilience_value(&q, &db));
+    }
+}
+
+#[test]
+fn resilience_is_monotone_under_tuple_deletion() {
+    // Deleting a tuple can never increase resilience.
+    let q = catalogue::q_acconf().query;
+    let exact = ExactSolver::new();
+    let db = random_instance(&q, 99, 7, 0.3);
+    let full = exact.resilience_value(&q, &db).unwrap();
+    for t in db.all_tuples().take(12) {
+        let deleted: HashSet<TupleId> = [t].into_iter().collect();
+        let reduced = exact.resilience_value(&q, &db.without(&deleted)).unwrap();
+        assert!(reduced <= full, "deleting a tuple increased resilience");
+        assert!(full - reduced <= 1, "one deletion dropped resilience by more than one");
+    }
+}
