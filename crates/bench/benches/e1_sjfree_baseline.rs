@@ -6,8 +6,8 @@
 //! instances of growing size.
 
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::catalogue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use resilience_core::solver::ResilienceSolver;
 use resilience_core::ExactSolver;
 
@@ -39,7 +39,10 @@ fn rats_flow_vs_exact(c: &mut Criterion) {
     for &nodes in &SWEEP_NODES {
         let db = standard_instance(&nq.query, 11, nodes, SWEEP_DENSITY);
         // Correctness of the series (who wins must be meaningful).
-        assert_eq!(solver.resilience(&db), exact.resilience_value(&nq.query, &db));
+        assert_eq!(
+            solver.resilience(&db),
+            exact.resilience_value(&nq.query, &db)
+        );
         group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
             b.iter(|| solver.resilience(db))
         });

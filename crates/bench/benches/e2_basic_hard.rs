@@ -44,11 +44,9 @@ fn qchain_gadget(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for clauses in [2usize, 3] {
         let formula = Workload::new(7).random_3cnf(4, clauses);
-        group.bench_with_input(
-            BenchmarkId::new("construct", clauses),
-            &formula,
-            |b, f| b.iter(|| chain_gadget(f)),
-        );
+        group.bench_with_input(BenchmarkId::new("construct", clauses), &formula, |b, f| {
+            b.iter(|| chain_gadget(f))
+        });
         let gadget = chain_gadget(&formula);
         group.bench_with_input(
             BenchmarkId::new("exact_resilience", clauses),

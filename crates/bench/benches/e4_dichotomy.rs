@@ -5,9 +5,9 @@
 //! and over a synthetic family of two-atom self-join queries; asserts that
 //! the classification matches the paper before timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cq::catalogue::{all_named_queries, PaperClass};
 use cq::{classify, QueryBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn classify_catalogue(c: &mut Criterion) {
     let catalogue = all_named_queries();

@@ -7,8 +7,8 @@
 //! solver only, which is the expected exponential-versus-polynomial contrast.
 
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::catalogue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use resilience_core::solver::ResilienceSolver;
 use resilience_core::ExactSolver;
 

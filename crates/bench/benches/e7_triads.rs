@@ -5,8 +5,8 @@
 //! tagging construction for the all-R self-join variation, and measures
 //! construction plus exact resilience as the source graph grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gadgets::sj_variation::tag_self_join_variation;
 use gadgets::triangle::{triangle_gadget_from_vc, tripod_from_triangle};
 use resilience_core::ExactSolver;

@@ -6,8 +6,8 @@
 //! illustrates the complexity landscape of Figure 7.
 
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::catalogue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use resilience_core::solver::{ResilienceSolver, SolveMethod};
 use resilience_core::ExactSolver;
 
@@ -22,8 +22,8 @@ fn ptime_three_atom_cases(c: &mut Criterion) {
         let exact = ExactSolver::new();
         let mut group = c.benchmark_group(format!("e8/{label}"));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
         for &nodes in &SWEEP_NODES {
             let db = standard_instance(&nq.query, 700 + nodes, nodes, SWEEP_DENSITY);
             let outcome = solver.solve(&db);
@@ -50,8 +50,8 @@ fn hard_and_open_three_atom_cases(c: &mut Criterion) {
         let solver = ResilienceSolver::new(&nq.query);
         let mut group = c.benchmark_group(format!("e8/{label}"));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
         for &nodes in &SWEEP_NODES[..2] {
             let db = standard_instance(&nq.query, 800 + nodes, nodes, SWEEP_DENSITY);
             group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {

@@ -4,8 +4,8 @@
 //! databases and the automated partition-enumeration search of Appendix C.2
 //! on `q_vc` and `q_chain`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cq::parse_query;
+use criterion::{criterion_group, criterion_main, Criterion};
 use database::Database;
 use resilience_core::ijp::{check_ijp, search_ijp};
 

@@ -1,0 +1,135 @@
+//! `perfbench` — merges two `CRITERION_JSON` capture files (benchmark JSONL
+//! emitted by the criterion shim, see `vendor/README.md`) into a single
+//! before/after baseline report such as the committed `BENCH_PR1.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! CRITERION_JSON=before.jsonl cargo bench -p bench            # on the old tree
+//! CRITERION_JSON=after.jsonl  cargo bench -p bench            # on the new tree
+//! cargo run -p bench --bin perfbench -- \
+//!     --before before.jsonl --after after.jsonl --out BENCH_PR1.json
+//! ```
+//!
+//! Experiments present in only one capture are kept with a `null` partner so
+//! later PRs can extend the suite without losing history.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::process::ExitCode;
+
+/// Pulls `"median_ns":<digits>` and `"bench":"<name>"` out of one shim JSONL
+/// line without a JSON dependency (the shim's format is fixed).
+fn parse_line(line: &str) -> Option<(String, u64)> {
+    let name_start = line.find("\"bench\":\"")? + "\"bench\":\"".len();
+    let name_end = name_start + line[name_start..].find('"')?;
+    let median_start = line.find("\"median_ns\":")? + "\"median_ns\":".len();
+    let median_end = median_start
+        + line[median_start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(line.len() - median_start);
+    let median = line[median_start..median_end].parse().ok()?;
+    Some((line[name_start..name_end].to_string(), median))
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_line(line) {
+            // Later captures of the same benchmark overwrite earlier ones.
+            Some((name, median)) => {
+                out.insert(name, median);
+            }
+            None => return Err(format!("{path}: malformed line: {line}")),
+        }
+    }
+    Ok(out)
+}
+
+fn json_u64_opt(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |n| n.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut before_path = None;
+    let mut after_path = None;
+    let mut out_path = None;
+    let mut label = "BENCH".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--before" => before_path = it.next().cloned(),
+            "--after" => after_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            "--label" => label = it.next().cloned().unwrap_or(label),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(before_path), Some(after_path), Some(out_path)) = (before_path, after_path, out_path)
+    else {
+        eprintln!(
+            "usage: perfbench --before <jsonl> --after <jsonl> --out <json> [--label <name>]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let before = match load(&before_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let after = match load(&after_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut names: Vec<&String> = before.keys().chain(after.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    let mut rows = Vec::new();
+    let mut summary = String::new();
+    for name in &names {
+        let b = before.get(*name).copied();
+        let a = after.get(*name).copied();
+        let speedup = match (b, a) {
+            (Some(b), Some(a)) if a > 0 => format!("{:.2}", b as f64 / a as f64),
+            _ => "null".to_string(),
+        };
+        rows.push(format!(
+            "    {{\"bench\": \"{name}\", \"before_median_ns\": {}, \"after_median_ns\": {}, \"speedup\": {speedup}}}",
+            json_u64_opt(b),
+            json_u64_opt(a),
+        ));
+        if let (Some(b), Some(a)) = (b, a) {
+            summary.push_str(&format!(
+                "{name:<50} {b:>14} -> {a:>12} ns  ({:.2}x)\n",
+                b as f64 / a as f64
+            ));
+        }
+    }
+    let doc = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"unit\": \"ns_per_iter_median\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Write the report before touching stdout: a closed pipe downstream
+    // (e.g. `perfbench | head`) must not lose the output file.
+    if let Err(e) = fs::write(&out_path, doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    summary.push_str(&format!("wrote {out_path}\n"));
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(summary.as_bytes());
+    ExitCode::SUCCESS
+}

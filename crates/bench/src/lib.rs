@@ -22,7 +22,7 @@ pub fn standard_instance(q: &Query, seed: u64, nodes: u64, density: f64) -> Data
         if q.schema().arity(rel) == 2 && name != "R" {
             for a in 0..nodes {
                 for b in 0..nodes {
-                    if (a * 13 + b * 7 + seed) % 4 == 0 {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
                         db.insert_named(&name, &[a, b]);
                     }
                 }

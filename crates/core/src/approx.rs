@@ -14,8 +14,8 @@
 //!   instances and is how the branch-and-bound solver prunes).
 
 use crate::exact::greedy_hitting_set;
-use database::{Database, TupleId, WitnessSet};
 use cq::Query;
+use database::{Database, TupleId, WitnessSet};
 use std::collections::HashSet;
 
 /// Greedy hitting-set upper bound with the witnessing contingency set.

@@ -10,14 +10,18 @@
 //! * branching picks an uncovered witness with the fewest remaining tuples
 //!   and tries each of its tuples in turn.
 //!
+//! Internally the relevant tuples are renumbered into a dense `0..k` space
+//! and every witness set becomes a packed `u64` bitset, so the cover and
+//! packing checks at every branch-and-bound node are word operations over
+//! flat arrays rather than hash probes.
+//!
 //! The solver is exponential in the worst case — the paper proves the
 //! problem NP-complete for most self-join queries — but it comfortably
 //! handles the instance sizes used to validate the polynomial algorithms and
 //! the hardness gadgets (hundreds of tuples, thousands of witnesses).
 
-use database::{Database, TupleId, WitnessSet};
 use cq::Query;
-use std::collections::HashSet;
+use database::{Database, FxHashMap, TupleId, WitnessSet};
 
 /// Result of an exact resilience computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,16 +86,47 @@ impl ExactSolver {
                 nodes_explored: 0,
             };
         }
-        let sets = ws.reduced_sets();
+        // Dense renumbering of the relevant tuples; all bitsets below are
+        // indexed in this space.
+        let universe = &ws.relevant_tuples;
+        let dense: FxHashMap<TupleId, u32> = universe
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        let blocks = universe.len().div_ceil(64);
+
+        let reduced = ws.reduced_sets();
+        let sets_elems: Vec<Vec<u32>> = reduced
+            .iter()
+            .map(|s| s.iter().map(|t| dense[t]).collect())
+            .collect();
+        let sets_bits: Vec<Vec<u64>> = sets_elems
+            .iter()
+            .map(|s| {
+                let mut bits = vec![0u64; blocks];
+                for &e in s {
+                    bits[(e / 64) as usize] |= 1u64 << (e % 64);
+                }
+                bits
+            })
+            .collect();
+
+        let best = greedy_hitting_set_dense(&sets_elems, universe.len());
         let mut state = SearchState {
-            sets,
-            best: greedy_hitting_set(&ws.reduced_sets()),
+            sets_elems,
+            sets_bits,
+            chosen: vec![0u64; blocks],
+            scratch: vec![0u64; blocks],
+            best,
             node_limit: self.node_limit,
             nodes: 0,
         };
-        let mut current: Vec<TupleId> = Vec::new();
+        let mut current: Vec<u32> = Vec::new();
         state.branch(&mut current);
-        let mut contingency = state.best;
+
+        let mut contingency: Vec<TupleId> =
+            state.best.iter().map(|&e| universe[e as usize]).collect();
         contingency.sort_unstable();
         ExactResult {
             resilience: Some(contingency.len()),
@@ -121,95 +156,141 @@ impl ExactSolver {
     }
 }
 
+/// Does the bitset intersect the current selection? One AND per word.
+#[inline]
+fn intersects(bits: &[u64], chosen: &[u64]) -> bool {
+    bits.iter().zip(chosen).any(|(&b, &c)| b & c != 0)
+}
+
 struct SearchState {
-    sets: Vec<Vec<TupleId>>,
-    best: Vec<TupleId>,
+    /// Per reduced witness set, its dense elements (for branching).
+    sets_elems: Vec<Vec<u32>>,
+    /// Per reduced witness set, the same elements as a packed bitset.
+    sets_bits: Vec<Vec<u64>>,
+    /// Bitset of the tuples selected along the current branch.
+    chosen: Vec<u64>,
+    /// Scratch buffer for the lower-bound packing (no per-node allocation).
+    scratch: Vec<u64>,
+    best: Vec<u32>,
     node_limit: usize,
     nodes: usize,
 }
 
 impl SearchState {
-    fn branch(&mut self, current: &mut Vec<TupleId>) {
+    fn branch(&mut self, current: &mut Vec<u32>) {
         self.nodes += 1;
         assert!(
             self.nodes <= self.node_limit,
             "exact resilience search exceeded {} nodes",
             self.node_limit
         );
-        if current.len() + self.lower_bound(current) >= self.best.len() {
+        if current.len() + self.lower_bound() >= self.best.len() {
             return;
         }
         // Pick the uncovered set with the fewest tuples.
-        let chosen: HashSet<TupleId> = current.iter().copied().collect();
-        let mut pick: Option<&Vec<TupleId>> = None;
-        for set in &self.sets {
-            if set.iter().any(|t| chosen.contains(t)) {
+        let mut pick: Option<usize> = None;
+        for (i, bits) in self.sets_bits.iter().enumerate() {
+            if intersects(bits, &self.chosen) {
                 continue;
             }
             match pick {
-                Some(p) if p.len() <= set.len() => {}
-                _ => pick = Some(set),
+                Some(p) if self.sets_elems[p].len() <= self.sets_elems[i].len() => {}
+                _ => pick = Some(i),
             }
         }
-        let Some(pick) = pick.cloned() else {
+        let Some(pick) = pick else {
             // Everything covered: `current` is a hitting set.
             if current.len() < self.best.len() {
                 self.best = current.clone();
             }
             return;
         };
-        for t in pick {
-            current.push(t);
+        for j in 0..self.sets_elems[pick].len() {
+            let e = self.sets_elems[pick][j];
+            current.push(e);
+            self.chosen[(e / 64) as usize] |= 1u64 << (e % 64);
             self.branch(current);
+            self.chosen[(e / 64) as usize] &= !(1u64 << (e % 64));
             current.pop();
         }
     }
 
     /// Lower bound: greedily pack witness sets that are pairwise disjoint and
     /// disjoint from the current selection — each needs its own deletion.
-    fn lower_bound(&self, current: &[TupleId]) -> usize {
-        let chosen: HashSet<TupleId> = current.iter().copied().collect();
-        let mut used: HashSet<TupleId> = HashSet::new();
+    fn lower_bound(&mut self) -> usize {
+        self.scratch.copy_from_slice(&self.chosen);
         let mut bound = 0usize;
-        for set in &self.sets {
-            if set.iter().any(|t| chosen.contains(t)) {
-                continue;
-            }
-            if set.iter().any(|t| used.contains(t)) {
+        for bits in &self.sets_bits {
+            if intersects(bits, &self.scratch) {
                 continue;
             }
             bound += 1;
-            for &t in set {
-                used.insert(t);
+            for (s, &b) in self.scratch.iter_mut().zip(bits) {
+                *s |= b;
             }
         }
         bound
     }
 }
 
+/// Greedy hitting set over dense element ids: repeatedly pick the element
+/// covering the most uncovered sets (ties broken towards the smaller id).
+fn greedy_hitting_set_dense(sets: &[Vec<u32>], universe: usize) -> Vec<u32> {
+    let mut covered = vec![false; sets.len()];
+    let mut remaining = sets.len();
+    let mut counts = vec![0u32; universe];
+    let mut result: Vec<u32> = Vec::new();
+    while remaining > 0 {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for (i, set) in sets.iter().enumerate() {
+            if covered[i] {
+                continue;
+            }
+            for &e in set {
+                counts[e as usize] += 1;
+            }
+        }
+        let (best, &best_count) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(e, &c)| (c, std::cmp::Reverse(e)))
+            .expect("non-empty universe while sets remain uncovered");
+        // A zero count means every remaining uncovered set is empty and can
+        // never be hit.
+        assert!(best_count > 0, "uncovered sets are non-empty");
+        let best = best as u32;
+        result.push(best);
+        for (i, set) in sets.iter().enumerate() {
+            if !covered[i] && set.contains(&best) {
+                covered[i] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    result
+}
+
 /// Greedy hitting set: repeatedly pick the tuple covering the most uncovered
 /// witness sets. Provides the initial upper bound for branch and bound and a
 /// standalone approximation useful for large hard instances.
 pub fn greedy_hitting_set(sets: &[Vec<TupleId>]) -> Vec<TupleId> {
-    let mut uncovered: Vec<&Vec<TupleId>> = sets.iter().collect();
-    let mut result: Vec<TupleId> = Vec::new();
-    while !uncovered.is_empty() {
-        let mut counts: std::collections::HashMap<TupleId, usize> = std::collections::HashMap::new();
-        for set in &uncovered {
-            for &t in set.iter() {
-                *counts.entry(t).or_insert(0) += 1;
-            }
-        }
-        // Deterministic tie-break on tuple id.
-        let best = counts
-            .into_iter()
-            .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t)))
-            .map(|(t, _)| t)
-            .expect("uncovered sets are non-empty");
-        result.push(best);
-        uncovered.retain(|set| !set.contains(&best));
-    }
-    result
+    // Renumber into a dense space, run the dense greedy, map back.
+    let mut universe: Vec<TupleId> = sets.iter().flatten().copied().collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let dense: FxHashMap<TupleId, u32> = universe
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u32))
+        .collect();
+    let dense_sets: Vec<Vec<u32>> = sets
+        .iter()
+        .map(|s| s.iter().map(|t| dense[t]).collect())
+        .collect();
+    greedy_hitting_set_dense(&dense_sets, universe.len())
+        .into_iter()
+        .map(|e| universe[e as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -270,7 +351,13 @@ mod tests {
         // participating in a witness must go.
         let r = solve(
             "A(x), R^x(x,y)",
-            &[("A", &[1]), ("A", &[2]), ("A", &[3]), ("R", &[1, 10]), ("R", &[2, 20])],
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("A", &[3]),
+                ("R", &[1, 10]),
+                ("R", &[2, 20]),
+            ],
         );
         assert_eq!(r, Some(2));
     }
@@ -375,6 +462,31 @@ mod tests {
             assert!(set.iter().any(|t| hs.contains(t)));
         }
         assert!(hs.len() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncovered sets are non-empty")]
+    fn greedy_hitting_set_panics_on_unhittable_empty_set() {
+        // An empty set can never be hit; a silent hang or wrong answer here
+        // would poison every caller, so the contract is a loud panic.
+        greedy_hitting_set(&[vec![], vec![TupleId(1)]]);
+    }
+
+    #[test]
+    fn bitsets_span_more_than_one_block() {
+        // >64 relevant tuples forces multi-block bitsets: a star of 70
+        // disjoint witnesses has resilience 70.
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for i in 1..=70u64 {
+            db.insert_named("R", &[i, 1000 + i]);
+            db.insert_named("S", &[1000 + i, 2000 + i]);
+        }
+        let result = ExactSolver::new().resilience(&q, &db);
+        assert_eq!(result.resilience, Some(70));
+        let gamma: std::collections::HashSet<TupleId> =
+            result.contingency.iter().copied().collect();
+        assert!(WitnessSet::build(&q, &db).is_contingency_set(&gamma));
     }
 
     #[test]

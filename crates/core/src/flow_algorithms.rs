@@ -23,9 +23,61 @@
 use cq::linear::linear_order_all;
 use cq::patterns::single_self_join_relation;
 use cq::Query;
-use database::{Database, TupleId, WitnessSet};
+use database::{Database, FxHashMap, TupleId, WitnessSet};
 use flow::{VertexCutNetwork, INF};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// Dense tuple -> network-node map (indexed by `TupleId`), allocated once
+/// per construction instead of hashing tuples at every witness step.
+struct NodeMap {
+    /// `node_of[t]` is the node of tuple `t`, or `u32::MAX` when unmapped.
+    node_of: Vec<u32>,
+    /// `tuple_of[n]` is the tuple placed on node `n` (valid for tuple nodes).
+    tuple_of: Vec<Option<TupleId>>,
+}
+
+impl NodeMap {
+    fn new(num_tuples: usize, reserved_nodes: usize) -> NodeMap {
+        NodeMap {
+            node_of: vec![u32::MAX; num_tuples],
+            tuple_of: vec![None; reserved_nodes],
+        }
+    }
+
+    /// The node of `t`, creating it with `capacity` on first use.
+    fn node(&mut self, t: TupleId, network: &mut VertexCutNetwork, capacity: u64) -> usize {
+        let slot = &mut self.node_of[t.index()];
+        if *slot != u32::MAX {
+            return *slot as usize;
+        }
+        let n = network.add_vertex(capacity);
+        *slot = n as u32;
+        if self.tuple_of.len() <= n {
+            self.tuple_of.resize(n + 1, None);
+        }
+        self.tuple_of[n] = Some(t);
+        n
+    }
+
+    /// Records that `node` (created outside [`NodeMap::node`], e.g. a pair
+    /// node) stands for tuple `t`.
+    fn register(&mut self, node: usize, t: TupleId) {
+        if self.tuple_of.len() <= node {
+            self.tuple_of.resize(node + 1, None);
+        }
+        self.tuple_of[node] = Some(t);
+    }
+
+    fn tuple(&self, node: usize) -> Option<TupleId> {
+        self.tuple_of.get(node).copied().flatten()
+    }
+}
+
+/// Deduplicates a directed edge list in place (sort + dedup; no hashing).
+fn dedup_edges(edges: &mut Vec<(u32, u32)>) {
+    edges.sort_unstable();
+    edges.dedup();
+}
 
 /// Result of a flow-based resilience computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,54 +111,44 @@ pub fn witness_path_flow(
             contingency: Vec::new(),
         });
     }
-    let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+    // Dense cuttability mask: endogenous and not frozen by the caller.
+    let mut cuttable_mask = db.endogenous_mask(q);
+    for t in uncuttable {
+        cuttable_mask[t.index()] = false;
+    }
 
     let mut network = VertexCutNetwork::new();
     let source = network.add_vertex(INF);
     let target = network.add_vertex(INF);
-    let mut node_of: HashMap<TupleId, usize> = HashMap::new();
-    let mut tuple_of: HashMap<usize, TupleId> = HashMap::new();
+    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples.len());
 
-    let mut node = |t: TupleId, network: &mut VertexCutNetwork| -> usize {
-        if let Some(&n) = node_of.get(&t) {
-            return n;
-        }
-        let cuttable = endo.contains(&t) && !uncuttable.contains(&t);
-        let n = network.add_vertex(if cuttable { 1 } else { INF });
-        node_of.insert(t, n);
-        tuple_of.insert(n, t);
-        n
-    };
-
-    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
     for w in &ws.witnesses {
         // Check the witness can be destroyed at all.
-        let cuttable = w
-            .tuple_set()
-            .into_iter()
-            .any(|t| endo.contains(&t) && !uncuttable.contains(&t));
-        if !cuttable {
+        if !w.atom_tuples.iter().any(|t| cuttable_mask[t.index()]) {
             return None;
         }
         let mut prev = source;
         for &atom_idx in atom_order {
             let t = w.atom_tuples[atom_idx];
-            let n = node(t, &mut network);
+            let cap = if cuttable_mask[t.index()] { 1 } else { INF };
+            let n = nodes.node(t, &mut network, cap);
             if n != prev {
-                edges.insert((prev, n));
+                edges.push((prev as u32, n as u32));
             }
             prev = n;
         }
-        edges.insert((prev, target));
+        edges.push((prev as u32, target as u32));
     }
+    dedup_edges(&mut edges);
     for (from, to) in edges {
-        network.add_edge(from, to);
+        network.add_edge(from as usize, to as usize);
     }
     let cut = network.min_vertex_cut(source, target);
     let contingency: Vec<TupleId> = cut
         .cut_vertices
         .iter()
-        .filter_map(|v| tuple_of.get(v).copied())
+        .filter_map(|&v| nodes.tuple(v))
         .collect();
     Some(FlowResult {
         resilience: cut.value as usize,
@@ -130,7 +172,7 @@ pub fn linear_query_flow(q: &Query, db: &Database) -> Option<FlowResult> {
 pub fn pairwise_bipartite_resilience(ws: &WitnessSet) -> Option<usize> {
     use satgad::UndirectedGraph;
 
-    let mut tuple_index: HashMap<TupleId, usize> = HashMap::new();
+    let mut tuple_index: FxHashMap<TupleId, usize> = FxHashMap::default();
     for &t in &ws.relevant_tuples {
         let next = tuple_index.len();
         tuple_index.insert(t, next);
@@ -180,7 +222,7 @@ pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResul
             contingency: Vec::new(),
         });
     }
-    let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+    let endo = db.endogenous_mask(q);
     let r_is_endogenous = r_atoms.iter().any(|&i| !q.atom(i).exogenous);
 
     // Order of the non-R atoms: keep query order restricted to endogenous
@@ -192,29 +234,20 @@ pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResul
     let mut network = VertexCutNetwork::new();
     let source = network.add_vertex(INF);
     let target = network.add_vertex(INF);
-    let mut tuple_node: HashMap<TupleId, usize> = HashMap::new();
-    let mut pair_node: HashMap<(TupleId, TupleId), usize> = HashMap::new();
-    let mut node_tuple: HashMap<usize, TupleId> = HashMap::new();
-    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples.len());
+    let mut pair_node: FxHashMap<(TupleId, TupleId), u32> = FxHashMap::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
 
-    let db_rel = db
-        .schema()
-        .relation_id(q.schema().name(rel))
-        .expect("database schema mismatch");
-    let _ = db_rel;
+    let _ = rel; // the relation id is implied by `r_atoms`
 
     for w in &ws.witnesses {
         let mut prev = source;
         for &atom_idx in &left_atoms {
             let t = w.atom_tuples[atom_idx];
-            let n = *tuple_node.entry(t).or_insert_with(|| {
-                let cap = if endo.contains(&t) { 1 } else { INF };
-                let n = network.add_vertex(cap);
-                node_tuple.insert(n, t);
-                n
-            });
+            let cap = if endo[t.index()] { 1 } else { INF };
+            let n = nodes.node(t, &mut network, cap);
             if n != prev {
-                edges.insert((prev, n));
+                edges.push((prev as u32, n as u32));
             }
             prev = n;
         }
@@ -222,35 +255,39 @@ pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResul
         let t1 = w.atom_tuples[r_atoms[0]];
         let t2 = w.atom_tuples[r_atoms[1]];
         let key = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
-        let n = *pair_node.entry(key).or_insert_with(|| {
-            let cap = if r_is_endogenous && endo.contains(&key.0) {
-                1
-            } else {
-                INF
-            };
-            let n = network.add_vertex(cap);
-            node_tuple.insert(n, key.0);
-            n
-        });
+        let n = match pair_node.get(&key) {
+            Some(&n) => n as usize,
+            None => {
+                let cap = if r_is_endogenous && endo[key.0.index()] {
+                    1
+                } else {
+                    INF
+                };
+                let n = network.add_vertex(cap);
+                pair_node.insert(key, n as u32);
+                nodes.register(n, key.0);
+                n
+            }
+        };
         if n != prev {
-            edges.insert((prev, n));
+            edges.push((prev as u32, n as u32));
         }
-        edges.insert((n, target));
+        edges.push((n as u32, target as u32));
 
         // Guard against unfalsifiable witnesses.
-        let any_cuttable = w.tuple_set().into_iter().any(|t| endo.contains(&t));
-        if !any_cuttable {
+        if !w.atom_tuples.iter().any(|t| endo[t.index()]) {
             return None;
         }
     }
+    dedup_edges(&mut edges);
     for (from, to) in edges {
-        network.add_edge(from, to);
+        network.add_edge(from as usize, to as usize);
     }
     let cut = network.min_vertex_cut(source, target);
     let contingency: Vec<TupleId> = cut
         .cut_vertices
         .iter()
-        .filter_map(|v| node_tuple.get(v).copied())
+        .filter_map(|&v| nodes.tuple(v))
         .collect();
     Some(FlowResult {
         resilience: cut.value as usize,
@@ -496,8 +533,12 @@ mod tests {
         let ws = WitnessSet::build(&q, &db);
         let order = vec![0, 1, 2];
         // Making both A(1) and B(2) uncuttable leaves only R(1,2).
-        let a = db.lookup(db.schema().relation_id("A").unwrap(), &[1u64]).unwrap();
-        let b = db.lookup(db.schema().relation_id("B").unwrap(), &[2u64]).unwrap();
+        let a = db
+            .lookup(db.schema().relation_id("A").unwrap(), &[1u64])
+            .unwrap();
+        let b = db
+            .lookup(db.schema().relation_id("B").unwrap(), &[2u64])
+            .unwrap();
         let uncuttable: HashSet<TupleId> = [a, b].into_iter().collect();
         let flow = witness_path_flow(&q, &db, &ws, &order, &uncuttable).unwrap();
         assert_eq!(flow.resilience, 1);

@@ -58,7 +58,12 @@ fn value_set(db: &Database, t: TupleId) -> BTreeSet<Constant> {
 
 /// Checks whether the specific pair `(a, b)` (two tuples of the same
 /// endogenous relation) satisfies Definition 48 on `db`.
-pub fn check_pair(q: &Query, db: &Database, a: TupleId, b: TupleId) -> Result<IjpCertificate, IjpViolation> {
+pub fn check_pair(
+    q: &Query,
+    db: &Database,
+    a: TupleId,
+    b: TupleId,
+) -> Result<IjpCertificate, IjpViolation> {
     let rel = db.relation_of(a);
     if db.relation_of(b) != rel || a == b {
         return Err(IjpViolation::NotApplicable);
@@ -101,8 +106,7 @@ pub fn check_pair(q: &Query, db: &Database, a: TupleId, b: TupleId) -> Result<Ij
             continue;
         }
         let vt = value_set(db, t);
-        let strictly_inside =
-            |big: &BTreeSet<Constant>| vt.is_subset(big) && vt.len() < big.len();
+        let strictly_inside = |big: &BTreeSet<Constant>| vt.is_subset(big) && vt.len() < big.len();
         if strictly_inside(&va) || strictly_inside(&vb) {
             return Err(IjpViolation::EndogenousSubsetTuple);
         }
@@ -407,10 +411,16 @@ mod tests {
         assert_eq!(solver.resilience_value(&q, &db), Some(4));
         // ...and so is the ρ = 3 claim for removing A(9)...
         let remove_a9: HashSet<TupleId> = [a9].into_iter().collect();
-        assert_eq!(solver.resilience_value(&q, &db.without(&remove_a9)), Some(3));
+        assert_eq!(
+            solver.resilience_value(&q, &db.without(&remove_a9)),
+            Some(3)
+        );
         // ...but removing A(13) leaves ρ = 4, contradicting condition (5).
         let remove_a13: HashSet<TupleId> = [a13].into_iter().collect();
-        assert_eq!(solver.resilience_value(&q, &db.without(&remove_a13)), Some(4));
+        assert_eq!(
+            solver.resilience_value(&q, &db.without(&remove_a13)),
+            Some(4)
+        );
     }
 
     #[test]
@@ -444,7 +454,10 @@ mod tests {
         let a = db.lookup(r, &[1u64, 2]).unwrap();
         let b = db.lookup(r, &[2u64, 2]).unwrap();
         // {2} ⊆ {1,2}: condition 1 fails.
-        assert_eq!(check_pair(&q, &db, a, b).unwrap_err(), IjpViolation::TuplesComparable);
+        assert_eq!(
+            check_pair(&q, &db, a, b).unwrap_err(),
+            IjpViolation::TuplesComparable
+        );
     }
 
     #[test]
@@ -464,7 +477,10 @@ mod tests {
         let a = db.lookup(r, &[1u64]).unwrap();
         let b = db.lookup(r, &[2u64]).unwrap();
         // R(1) participates in two witnesses: condition 2 fails.
-        assert_eq!(check_pair(&q, &db, a, b).unwrap_err(), IjpViolation::WitnessShape);
+        assert_eq!(
+            check_pair(&q, &db, a, b).unwrap_err(),
+            IjpViolation::WitnessShape
+        );
     }
 
     #[test]
@@ -496,7 +512,10 @@ mod tests {
 
     #[test]
     fn index_vectors_enumerate_combinations() {
-        assert_eq!(index_vectors(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(
+            index_vectors(3, 2),
+            vec![vec![0, 1], vec![0, 2], vec![1, 2]]
+        );
         assert_eq!(index_vectors(2, 3), Vec::<Vec<usize>>::new());
         assert_eq!(index_vectors(3, 0), vec![Vec::<usize>::new()]);
     }

@@ -208,15 +208,36 @@ impl ResilienceSolver {
     fn solve_componentwise(&self, db: &Database) -> SolveOutcome {
         let minimized = &self.classification.evidence.minimized;
         let components = minimized.components();
+        // Components are independent subproblems (Lemma 14): solve them on
+        // scoped threads. (The build environment has no rayon; see
+        // vendor/README.md. std::thread::scope gives the same fork-join
+        // shape without a dependency.)
+        let outcomes: Vec<SolveOutcome> = if components.len() <= 1 {
+            components
+                .iter()
+                .map(|comp| ResilienceSolver::new(&minimized.subquery(comp)).solve(db))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = components
+                    .iter()
+                    .map(|comp| {
+                        let sub = minimized.subquery(comp);
+                        scope.spawn(move || ResilienceSolver::new(&sub).solve(db))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("component solver panicked"))
+                    .collect()
+            })
+        };
         let mut best: Option<(usize, Vec<TupleId>)> = None;
-        for comp in &components {
-            let sub = minimized.subquery(comp);
-            let sub_solver = ResilienceSolver::new(&sub);
-            let outcome = sub_solver.solve(db);
+        for outcome in outcomes {
             match outcome.resilience {
                 None => continue,
                 Some(r) => {
-                    let better = best.as_ref().map_or(true, |(b, _)| r < *b);
+                    let better = best.as_ref().is_none_or(|(b, _)| r < *b);
                     if better {
                         best = Some((r, outcome.contingency.unwrap_or_default()));
                     }
@@ -483,7 +504,10 @@ mod tests {
         if let Some(gamma) = &outcome.contingency {
             for &t in gamma {
                 let name = db.schema().name(db.relation_of(t));
-                assert!(name == "A" || name == "S", "unexpected deletion from {name}");
+                assert!(
+                    name == "A" || name == "S",
+                    "unexpected deletion from {name}"
+                );
             }
         }
     }

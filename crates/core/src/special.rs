@@ -10,8 +10,8 @@
 //! randomized instances.
 
 use crate::flow_algorithms::FlowResult;
-use database::{Constant, Database, TupleId, WitnessSet};
 use cq::Query;
+use database::{Constant, Database, TupleId, WitnessSet};
 use flow::{FlowNetwork, MinCut, INF};
 use std::collections::{HashMap, HashSet};
 
@@ -113,13 +113,10 @@ fn perm_r_flow(db: &Database, left: PermLeft, r_rel: cq::RelId) -> FlowResult {
         for &pair in &two_way_pairs {
             let (u, v) = pair;
             let direct = anchor == u || anchor == v;
-            let via_one_way: Option<TupleId> = one_way
-                .iter()
-                .copied()
-                .find(|&ot| {
-                    let vals = db.values_of(ot);
-                    vals[0] == anchor && (vals[1] == u || vals[1] == v)
-                });
+            let via_one_way: Option<TupleId> = one_way.iter().copied().find(|&ot| {
+                let vals = db.values_of(ot);
+                vals[0] == anchor && (vals[1] == u || vals[1] == v)
+            });
             if direct {
                 network.add_edge(n_out, pair_in[&pair], INF);
             } else if let Some(ot) = via_one_way {
@@ -187,7 +184,8 @@ pub fn ts3conf_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
 
     let order = cq::linear::linear_order_all(q)?;
     let ws = WitnessSet::build(q, &reduced);
-    let flow = crate::flow_algorithms::witness_path_flow(q, &reduced, &ws, &order, &HashSet::new())?;
+    let flow =
+        crate::flow_algorithms::witness_path_flow(q, &reduced, &ws, &order, &HashSet::new())?;
     // Tuple ids of `reduced` are not comparable to the original database, so
     // translate the contingency back by value.
     let mut contingency = forced;
@@ -328,12 +326,7 @@ mod tests {
         let q = parse_query("A(x), R(x,y), R(y,z), R(z,y)").unwrap();
         let db = build_db(
             &q,
-            &[
-                ("A", &[5]),
-                ("R", &[5, 1]),
-                ("R", &[1, 2]),
-                ("R", &[2, 1]),
-            ],
+            &[("A", &[5]), ("R", &[5, 1]), ("R", &[1, 2]), ("R", &[2, 1])],
         );
         let flow = a3perm_r_resilience(&q, &db).unwrap();
         let exact = ExactSolver::new().resilience_value(&q, &db).unwrap();

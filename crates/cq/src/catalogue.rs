@@ -210,7 +210,11 @@ mod tests {
     #[test]
     fn catalogue_parses_and_is_well_formed() {
         let all = all_named_queries();
-        assert!(all.len() >= 40, "expected a large catalogue, got {}", all.len());
+        assert!(
+            all.len() >= 40,
+            "expected a large catalogue, got {}",
+            all.len()
+        );
         for nq in &all {
             assert!(nq.query.validate().is_ok(), "{} invalid", nq.name);
             assert!(nq.query.num_atoms() >= 1);
@@ -278,8 +282,14 @@ mod tests {
             .iter()
             .filter(|n| n.paper_class == PaperClass::NpComplete)
             .count();
-        let easy = all.iter().filter(|n| n.paper_class == PaperClass::PTime).count();
-        let open = all.iter().filter(|n| n.paper_class == PaperClass::Open).count();
+        let easy = all
+            .iter()
+            .filter(|n| n.paper_class == PaperClass::PTime)
+            .count();
+        let open = all
+            .iter()
+            .filter(|n| n.paper_class == PaperClass::Open)
+            .count();
         assert!(hard >= 20, "hard = {hard}");
         assert!(easy >= 10, "easy = {easy}");
         assert!(open >= 5, "open = {open}");

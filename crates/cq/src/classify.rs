@@ -321,7 +321,9 @@ fn classify_connected(minimized: &Query, mut notes: Vec<String>) -> Classificati
 
     // k-chains are hard for every k >= 2 (Propositions 10, 30, 38).
     if let Some(k) = k_chain_length(&normalized) {
-        notes.push(format!("the self-join atoms form a {k}-chain (Proposition 38)"));
+        notes.push(format!(
+            "the self-join atoms form a {k}-chain (Proposition 38)"
+        ));
         return make(
             Complexity::NpComplete(HardnessReason::Chain(k)),
             notes,
@@ -409,9 +411,7 @@ fn classify_connected(minimized: &Query, mut notes: Vec<String>) -> Classificati
         notes.push(format!("matched catalogue query {name} (Section 8)"));
         let complexity = match class {
             PaperClass::PTime => Complexity::PTime(PtimeAlgorithm::CatalogueMatch(name)),
-            PaperClass::NpComplete => {
-                Complexity::NpComplete(HardnessReason::CatalogueMatch(name))
-            }
+            PaperClass::NpComplete => Complexity::NpComplete(HardnessReason::CatalogueMatch(name)),
             PaperClass::Open => Complexity::Open,
         };
         return make(complexity, notes, triad);

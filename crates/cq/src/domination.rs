@@ -113,10 +113,7 @@ fn function_witnesses_domination(
         let b_args = &q.atom(gb).args;
         a_atoms.iter().any(|&ha| {
             let a_args = &q.atom(ha).args;
-            a_args
-                .iter()
-                .enumerate()
-                .all(|(i, &av)| av == b_args[f[i]])
+            a_args.iter().enumerate().all(|(i, &av)| av == b_args[f[i]])
         })
     })
 }

@@ -205,7 +205,11 @@ mod tests {
             if positions.len() > 1 {
                 let min = *positions.first().unwrap();
                 let max = *positions.last().unwrap();
-                assert_eq!(max - min + 1, positions.len(), "variable {v:?} not contiguous");
+                assert_eq!(
+                    max - min + 1,
+                    positions.len(),
+                    "variable {v:?} not contiguous"
+                );
             }
         }
     }

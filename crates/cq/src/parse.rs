@@ -181,9 +181,7 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
             p.skip_ws();
             let v = p.identifier()?;
             if !v.starts_with(|c: char| c.is_ascii_lowercase()) {
-                return Err(p.error(format!(
-                    "variable '{v}' must start with a lowercase letter"
-                )));
+                return Err(p.error(format!("variable '{v}' must start with a lowercase letter")));
             }
             args.push(v.to_string());
             p.skip_ws();

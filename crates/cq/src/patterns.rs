@@ -20,8 +20,8 @@
 //! the dichotomy classifier needs (paths, k-chains, boundedness, exogenous
 //! paths, and the Section 8 three-atom shapes).
 
-use crate::ids::{RelId, Var};
 use crate::hypergraph::DualHypergraph;
+use crate::ids::{RelId, Var};
 use crate::query::Query;
 use std::collections::{HashSet, VecDeque};
 
@@ -124,9 +124,11 @@ pub fn has_unary_path(q: &Query) -> bool {
             .collect();
         q.schema().arity(*r) == 1
             && atoms.len() >= 2
-            && atoms
-                .iter()
-                .any(|&i| atoms.iter().any(|&j| j != i && q.atom(i).args != q.atom(j).args))
+            && atoms.iter().any(|&i| {
+                atoms
+                    .iter()
+                    .any(|&j| j != i && q.atom(i).args != q.atom(j).args)
+            })
     })
 }
 
@@ -240,7 +242,8 @@ pub fn permutation_is_bound(q: &Query, i: usize, j: usize) -> bool {
     let y = a.args[1];
     let side = |keep: Var, avoid: Var| {
         q.atoms().iter().enumerate().any(|(k, atom)| {
-            k != i && k != j
+            k != i
+                && k != j
                 && !atom.exogenous
                 && atom.contains_var(keep)
                 && !atom.contains_var(avoid)
@@ -372,8 +375,14 @@ mod tests {
 
     #[test]
     fn confluence_pair_detected_in_and_out() {
-        assert_eq!(pair_kind("A(x), R(x,y), R(z,y), C(z)"), PairKind::Confluence);
-        assert_eq!(pair_kind("A(y), R(x,y), R(x,z), C(z)"), PairKind::Confluence);
+        assert_eq!(
+            pair_kind("A(x), R(x,y), R(z,y), C(z)"),
+            PairKind::Confluence
+        );
+        assert_eq!(
+            pair_kind("A(y), R(x,y), R(x,z), C(z)"),
+            PairKind::Confluence
+        );
     }
 
     #[test]
@@ -501,11 +510,17 @@ mod tests {
 
         let q = parse_query("A(x), R(x,y), R(y,z), R(w,z), C(w)").unwrap();
         let (_, atoms) = single_self_join_relation(&q).unwrap();
-        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::ChainConfluence);
+        assert_eq!(
+            three_atom_shape(&q, &atoms),
+            ThreeAtomShape::ChainConfluence
+        );
 
         let q = parse_query("A(x), R(x,y), R(y,z), R(z,y)").unwrap();
         let (_, atoms) = single_self_join_relation(&q).unwrap();
-        assert_eq!(three_atom_shape(&q, &atoms), ThreeAtomShape::PermutationPlusR);
+        assert_eq!(
+            three_atom_shape(&q, &atoms),
+            ThreeAtomShape::PermutationPlusR
+        );
 
         let q = parse_query("A(x), R(x,y), R(y,z), R(z,z)").unwrap();
         let (_, atoms) = single_self_join_relation(&q).unwrap();

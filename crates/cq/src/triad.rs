@@ -20,8 +20,8 @@ pub struct Triad {
 
 /// Checks whether the specific triple of endogenous atoms forms a triad.
 pub fn is_triad(q: &Query, h: &DualHypergraph, triple: [usize; 3]) -> bool {
-    for i in 0..3 {
-        if q.atom(triple[i]).exogenous {
+    for &atom_idx in &triple {
+        if q.atom(atom_idx).exogenous {
             return false;
         }
     }

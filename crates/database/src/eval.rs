@@ -4,11 +4,18 @@
 //! makes the query true; it determines one tuple per atom (tuples may repeat
 //! across atoms when the query has self-joins — that sharing is exactly what
 //! makes resilience with self-joins subtle).
+//!
+//! The enumerator compiles the query once per call into a [`JoinPlan`]: a
+//! join order plus, per atom, the statically-resolved list of positions that
+//! *check* an already-bound variable and positions that *bind* a fresh one,
+//! and the index probe to use for candidate selection. The inner loop then
+//! touches only flat arrays — a `Vec<Option<Constant>>` valuation indexed by
+//! `Var` and borrowed candidate slices from the database's per-position
+//! bucket index — and performs no per-tuple allocation or hashing.
 
 use crate::instance::Database;
 use crate::tuple::{Constant, TupleId};
-use cq::{Query, RelId, Var};
-use std::collections::HashMap;
+use cq::{Query, RelId};
 
 /// A valuation of the query's variables (indexed by `Var`).
 pub type Valuation = Vec<Constant>;
@@ -47,6 +54,112 @@ fn relation_translation(q: &Query, db: &Database) -> Vec<RelId> {
         .collect()
 }
 
+/// What to do with one argument position of an atom when matching a
+/// candidate tuple, resolved at plan-compile time.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// The variable is already bound (by an earlier atom, or by an earlier
+    /// position of this atom): the tuple value must equal it.
+    Check { pos: u32, var: u32 },
+    /// First occurrence of the variable along the join order: bind it.
+    Bind { pos: u32, var: u32 },
+}
+
+/// The compiled matching procedure for one atom at its place in the join
+/// order.
+#[derive(Clone, Debug)]
+struct AtomPlan {
+    /// Index of the atom in the query (for `Witness::atom_tuples`).
+    atom_idx: u32,
+    /// The *database-side* relation of the atom.
+    rel: RelId,
+    /// `(pos, var)` of the first argument whose variable is bound by earlier
+    /// atoms — candidates come from the position index; `None` means no
+    /// argument is pre-bound and the whole relation is scanned.
+    probe: Option<(u32, u32)>,
+    /// Check/bind steps in argument order (the probe position is skipped:
+    /// index candidates match it by construction).
+    steps: Vec<Step>,
+    /// Variables newly bound by this atom; reset on backtrack.
+    binds: Vec<u32>,
+}
+
+/// A compiled join: atom order plus per-atom matching steps.
+#[derive(Clone, Debug)]
+struct JoinPlan {
+    order: Vec<AtomPlan>,
+    num_vars: usize,
+}
+
+impl JoinPlan {
+    /// Compiles `q` against `db`: greedy join order (smallest relation
+    /// first, then prefer index-probeable atoms), then per-atom steps.
+    fn compile(q: &Query, db: &Database) -> JoinPlan {
+        let translation = relation_translation(q, db);
+        let num_atoms = q.num_atoms();
+
+        // Greedy order: among remaining atoms prefer one with an already
+        // bound variable (it can use the position index), breaking ties by
+        // relation size; the first atom is simply the one with the smallest
+        // relation.
+        let mut bound = vec![false; q.num_vars()];
+        let mut remaining: Vec<usize> = (0..num_atoms).collect();
+        let mut order: Vec<AtomPlan> = Vec::with_capacity(num_atoms);
+        while !remaining.is_empty() {
+            let (choice, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &i)| {
+                    let atom = q.atom(i);
+                    let has_bound = atom.args.iter().any(|v| bound[v.index()]);
+                    let size = db.tuples_of(translation[atom.relation.index()]).len();
+                    (!has_bound, size, i)
+                })
+                .expect("remaining is non-empty");
+            let atom_idx = remaining.swap_remove(choice);
+            let atom = q.atom(atom_idx);
+
+            let probe = atom
+                .args
+                .iter()
+                .enumerate()
+                .find(|(_, v)| bound[v.index()])
+                .map(|(pos, v)| (pos as u32, v.0));
+            let mut steps = Vec::with_capacity(atom.args.len());
+            let mut binds = Vec::new();
+            for (pos, &var) in atom.args.iter().enumerate() {
+                if probe == Some((pos as u32, var.0)) {
+                    continue; // index candidates already match this position
+                }
+                if bound[var.index()] {
+                    steps.push(Step::Check {
+                        pos: pos as u32,
+                        var: var.0,
+                    });
+                } else {
+                    bound[var.index()] = true;
+                    binds.push(var.0);
+                    steps.push(Step::Bind {
+                        pos: pos as u32,
+                        var: var.0,
+                    });
+                }
+            }
+            order.push(AtomPlan {
+                atom_idx: atom_idx as u32,
+                rel: translation[atom.relation.index()],
+                probe,
+                steps,
+                binds,
+            });
+        }
+        JoinPlan {
+            order,
+            num_vars: q.num_vars(),
+        }
+    }
+}
+
 /// Does `db |= q`? Short-circuits on the first witness.
 pub fn evaluate(q: &Query, db: &Database) -> bool {
     let mut found = false;
@@ -73,112 +186,156 @@ fn enumerate(q: &Query, db: &Database, sink: &mut dyn FnMut(Witness) -> bool) {
     if q.num_atoms() == 0 {
         return;
     }
-    let translation = relation_translation(q, db);
-    // Order atoms by number of tuples in their relation (smallest first) for
-    // a cheap join-order heuristic; selection-by-bound-variable still uses
-    // the per-position index at each step.
-    let mut order: Vec<usize> = (0..q.num_atoms()).collect();
-    order.sort_by_key(|&i| db.tuples_of(translation[q.atom(i).relation.index()]).len());
-
-    let mut assignment: HashMap<Var, Constant> = HashMap::new();
+    let plan = JoinPlan::compile(q, db);
+    let mut valuation: Vec<Option<Constant>> = vec![None; plan.num_vars];
     let mut chosen: Vec<TupleId> = vec![TupleId(0); q.num_atoms()];
     let mut running = true;
     search(
-        q,
+        &plan,
         db,
-        &translation,
-        &order,
         0,
-        &mut assignment,
+        &mut valuation,
         &mut chosen,
         sink,
         &mut running,
     );
 }
 
-#[allow(clippy::too_many_arguments)]
 fn search(
-    q: &Query,
+    plan: &JoinPlan,
     db: &Database,
-    translation: &[RelId],
-    order: &[usize],
     depth: usize,
-    assignment: &mut HashMap<Var, Constant>,
-    chosen: &mut Vec<TupleId>,
+    valuation: &mut [Option<Constant>],
+    chosen: &mut [TupleId],
     sink: &mut dyn FnMut(Witness) -> bool,
     running: &mut bool,
 ) {
-    if !*running {
-        return;
-    }
-    if depth == order.len() {
-        let valuation: Valuation = q
-            .vars()
-            .map(|v| *assignment.get(&v).expect("all variables bound"))
+    if depth == plan.order.len() {
+        let full: Valuation = valuation
+            .iter()
+            .map(|v| v.expect("all variables bound at a leaf"))
             .collect();
         let witness = Witness {
-            valuation,
-            atom_tuples: chosen.clone(),
+            valuation: full,
+            atom_tuples: chosen.to_vec(),
         };
         if !sink(witness) {
             *running = false;
         }
         return;
     }
-    let atom_idx = order[depth];
-    let atom = q.atom(atom_idx);
-    let rel = translation[atom.relation.index()];
-
-    // Candidate tuples: use the position index for the first already-bound
-    // variable, otherwise scan the whole relation.
-    let candidates: Vec<TupleId> = match atom
-        .args
-        .iter()
-        .enumerate()
-        .find_map(|(pos, v)| assignment.get(v).map(|&c| (pos, c)))
-    {
-        Some((pos, c)) => db.tuples_matching(rel, pos, c).to_vec(),
-        None => db.tuples_of(rel).to_vec(),
+    let ap = &plan.order[depth];
+    let candidates: &[TupleId] = match ap.probe {
+        Some((pos, var)) => {
+            let value = valuation[var as usize].expect("probe variable is bound");
+            db.tuples_matching(ap.rel, pos as usize, value)
+        }
+        None => db.tuples_of(ap.rel),
     };
 
-    'tuples: for id in candidates {
+    for &id in candidates {
         let values = db.values_of(id);
-        // Check consistency and collect newly bound variables.
-        let mut newly_bound: Vec<Var> = Vec::new();
-        for (pos, &var) in atom.args.iter().enumerate() {
-            match assignment.get(&var) {
-                Some(&c) if c != values[pos] => {
-                    for v in newly_bound.drain(..) {
-                        assignment.remove(&v);
+        let mut ok = true;
+        for step in &ap.steps {
+            match *step {
+                Step::Check { pos, var } => {
+                    if valuation[var as usize] != Some(values[pos as usize]) {
+                        ok = false;
+                        break;
                     }
-                    continue 'tuples;
                 }
-                Some(_) => {}
-                None => {
-                    assignment.insert(var, values[pos]);
-                    newly_bound.push(var);
+                Step::Bind { pos, var } => {
+                    valuation[var as usize] = Some(values[pos as usize]);
                 }
             }
         }
-        chosen[atom_idx] = id;
-        search(
-            q,
-            db,
-            translation,
-            order,
-            depth + 1,
-            assignment,
-            chosen,
-            sink,
-            running,
-        );
-        for v in newly_bound {
-            assignment.remove(&v);
+        if ok {
+            chosen[ap.atom_idx as usize] = id;
+            search(plan, db, depth + 1, valuation, chosen, sink, running);
+        }
+        for &var in &ap.binds {
+            valuation[var as usize] = None;
         }
         if !*running {
             return;
         }
     }
+}
+
+/// Reference witness enumerator: plain nested loops over every atom's
+/// relation with a straightforward consistency check, no join ordering, no
+/// indexes. Exponentially slower than [`witnesses`] but obviously correct —
+/// the differential tests assert the two agree on random inputs.
+pub fn reference_witnesses(q: &Query, db: &Database) -> Vec<Witness> {
+    let mut out = Vec::new();
+    if q.num_atoms() == 0 {
+        return out;
+    }
+    let translation = relation_translation(q, db);
+    let mut chosen: Vec<TupleId> = vec![TupleId(0); q.num_atoms()];
+    reference_search(q, db, &translation, 0, &mut chosen, &mut out);
+    out
+}
+
+fn reference_search(
+    q: &Query,
+    db: &Database,
+    translation: &[RelId],
+    depth: usize,
+    chosen: &mut Vec<TupleId>,
+    out: &mut Vec<Witness>,
+) {
+    if depth == q.num_atoms() {
+        // Recompute the valuation from scratch; inconsistent combinations
+        // were already rejected below.
+        let mut assignment: Vec<Option<Constant>> = vec![None; q.num_vars()];
+        for (i, &id) in chosen.iter().enumerate() {
+            let values = db.values_of(id);
+            for (pos, &var) in q.atom(i).args.iter().enumerate() {
+                assignment[var.index()] = Some(values[pos]);
+            }
+        }
+        out.push(Witness {
+            valuation: assignment.into_iter().map(|v| v.unwrap()).collect(),
+            atom_tuples: chosen.clone(),
+        });
+        return;
+    }
+    let rel = translation[q.atom(depth).relation.index()];
+    for &id in db.tuples_of(rel) {
+        chosen[depth] = id;
+        if reference_consistent(q, db, &chosen[..depth + 1]) {
+            reference_search(q, db, translation, depth + 1, chosen, out);
+        }
+    }
+}
+
+/// Is the partial tuple choice consistent (every variable maps to a single
+/// constant across all chosen atoms)?
+fn reference_consistent(q: &Query, db: &Database, chosen: &[TupleId]) -> bool {
+    let mut assignment: Vec<Option<Constant>> = vec![None; q.num_vars()];
+    for (i, &id) in chosen.iter().enumerate() {
+        let values = db.values_of(id);
+        for (pos, &var) in q.atom(i).args.iter().enumerate() {
+            match assignment[var.index()] {
+                Some(c) if c != values[pos] => return false,
+                Some(_) => {}
+                None => assignment[var.index()] = Some(values[pos]),
+            }
+        }
+    }
+    true
+}
+
+/// Convenience for tests: the sorted multiset of `(valuation, atom_tuples)`
+/// pairs, a canonical form for comparing two enumerators.
+pub fn canonical_witnesses(ws: &[Witness]) -> Vec<(Vec<Constant>, Vec<TupleId>)> {
+    let mut canon: Vec<(Vec<Constant>, Vec<TupleId>)> = ws
+        .iter()
+        .map(|w| (w.valuation.clone(), w.atom_tuples.clone()))
+        .collect();
+    canon.sort();
+    canon
 }
 
 #[cfg(test)]
@@ -241,10 +398,7 @@ mod tests {
         db.insert_named("T", &[3, 9]); // does not close the triangle
         let ws = witnesses(&q, &db);
         assert_eq!(ws.len(), 1);
-        assert_eq!(
-            ws[0].valuation,
-            vec![Constant(1), Constant(2), Constant(3)]
-        );
+        assert_eq!(ws[0].valuation, vec![Constant(1), Constant(2), Constant(3)]);
     }
 
     #[test]
@@ -320,5 +474,46 @@ mod tests {
         let q = cq::Query::builder().build();
         let db = Database::new(q.schema().clone());
         assert!(!evaluate(&q, &db));
+        assert!(reference_witnesses(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn reference_enumerator_agrees_on_the_paper_examples() {
+        for (query, rows) in [
+            (
+                "R(x,y), R(y,z)",
+                vec![("R", vec![1u64, 2]), ("R", vec![2, 3]), ("R", vec![3, 3])],
+            ),
+            (
+                "R(x,x), R(x,y)",
+                vec![("R", vec![1, 1]), ("R", vec![1, 2]), ("R", vec![2, 3])],
+            ),
+            (
+                "R(x), S(x,y), R(y)",
+                vec![("R", vec![1]), ("R", vec![2]), ("S", vec![1, 2])],
+            ),
+        ] {
+            let q = parse_query(query).unwrap();
+            let mut db = Database::for_query(&q);
+            for (rel, vals) in rows {
+                db.insert_named(rel, &vals);
+            }
+            assert_eq!(
+                canonical_witnesses(&witnesses(&q, &db)),
+                canonical_witnesses(&reference_witnesses(&q, &db)),
+                "{query}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_uses_index_probe_for_joined_atoms() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        let plan = JoinPlan::compile(&q, &db);
+        // The first atom scans; the second must probe on its bound variable.
+        assert!(plan.order[0].probe.is_none());
+        assert!(plan.order[1].probe.is_some());
     }
 }

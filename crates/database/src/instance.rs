@@ -1,15 +1,29 @@
 //! Database instances.
+//!
+//! Storage is flat and index-dense: tuple values live in one contiguous
+//! arena (`values_flat`), each tuple is `(relation, start offset)`, and the
+//! join index is a per-relation, per-position array of constant buckets, so
+//! an index probe hashes a single `u64` and returns a **borrowed** slice of
+//! tuple ids — the witness enumerator never copies candidate lists.
 
+use crate::fx::FxHashMap;
 use crate::tuple::{Constant, TupleId};
 use cq::{Query, RelId, Schema};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
-/// A stored tuple: its relation and its values.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A stored tuple: its relation and the offset of its values in the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct StoredTuple {
     relation: RelId,
-    values: Vec<Constant>,
+    start: u32,
+}
+
+/// One attribute position of one relation: constant -> ids of the tuples
+/// holding that constant at this position (insertion order).
+#[derive(Clone, Debug, Default)]
+struct PositionIndex {
+    buckets: FxHashMap<Constant, Vec<TupleId>>,
 }
 
 /// A finite database instance over a [`Schema`].
@@ -22,24 +36,38 @@ struct StoredTuple {
 pub struct Database {
     schema: Schema,
     tuples: Vec<StoredTuple>,
+    /// All tuple values, concatenated in insertion order.
+    values_flat: Vec<Constant>,
     /// Exact-match lookup: (relation, values) -> id.
-    dedup: HashMap<(RelId, Vec<Constant>), TupleId>,
+    dedup: FxHashMap<(RelId, Vec<Constant>), TupleId>,
     /// Per relation, the ids of its tuples in insertion order.
     by_relation: Vec<Vec<TupleId>>,
-    /// Join index: (relation, position, constant) -> tuple ids.
-    index: HashMap<(RelId, usize, Constant), Vec<TupleId>>,
+    /// Flattened join index: `index[pos_base[rel] + pos]` is the bucket map
+    /// of attribute `pos` of `rel`.
+    index: Vec<PositionIndex>,
+    /// Prefix sums of relation arities into `index`.
+    pos_base: Vec<u32>,
 }
 
 impl Database {
     /// Creates an empty database over `schema`.
     pub fn new(schema: Schema) -> Self {
         let by_relation = vec![Vec::new(); schema.len()];
+        let mut pos_base = Vec::with_capacity(schema.len() + 1);
+        let mut total = 0u32;
+        for rel in schema.relation_ids() {
+            pos_base.push(total);
+            total += schema.arity(rel) as u32;
+        }
+        pos_base.push(total);
         Database {
             schema,
             tuples: Vec::new(),
-            dedup: HashMap::new(),
+            values_flat: Vec::new(),
+            dedup: FxHashMap::default(),
             by_relation,
-            index: HashMap::new(),
+            index: vec![PositionIndex::default(); total as usize],
+            pos_base,
         }
     }
 
@@ -66,18 +94,26 @@ impl Database {
             "arity mismatch inserting into {}",
             self.schema.name(rel)
         );
-        if let Some(&id) = self.dedup.get(&(rel, values.clone())) {
+        let key = (rel, values);
+        if let Some(&id) = self.dedup.get(&key) {
             return id;
         }
         let id = TupleId(self.tuples.len() as u32);
-        for (pos, &c) in values.iter().enumerate() {
-            self.index.entry((rel, pos, c)).or_default().push(id);
+        let base = self.pos_base[rel.index()] as usize;
+        for (pos, &c) in key.1.iter().enumerate() {
+            self.index[base + pos]
+                .buckets
+                .entry(c)
+                .or_default()
+                .push(id);
         }
         self.by_relation[rel.index()].push(id);
-        self.dedup.insert((rel, values.clone()), id);
+        let start = self.values_flat.len() as u32;
+        self.values_flat.extend_from_slice(&key.1);
+        self.dedup.insert(key, id);
         self.tuples.push(StoredTuple {
             relation: rel,
-            values,
+            start,
         });
         id
     }
@@ -86,7 +122,11 @@ impl Database {
     ///
     /// # Panics
     /// Panics if the relation does not exist in the schema.
-    pub fn insert_named<C: Into<Constant> + Copy>(&mut self, rel_name: &str, values: &[C]) -> TupleId {
+    pub fn insert_named<C: Into<Constant> + Copy>(
+        &mut self,
+        rel_name: &str,
+        values: &[C],
+    ) -> TupleId {
         let rel = self
             .schema
             .relation_id(rel_name)
@@ -110,8 +150,11 @@ impl Database {
     }
 
     /// The values of a tuple.
+    #[inline]
     pub fn values_of(&self, id: TupleId) -> &[Constant] {
-        &self.tuples[id.index()].values
+        let t = self.tuples[id.index()];
+        let start = t.start as usize;
+        &self.values_flat[start..start + self.schema.arity(t.relation)]
     }
 
     /// Ids of all tuples of `rel`, in insertion order.
@@ -135,21 +178,20 @@ impl Database {
         self.lookup(rel, values).is_some()
     }
 
-    /// Tuples of `rel` whose attribute at `pos` equals `value`
-    /// (index-accelerated).
+    /// Tuples of `rel` whose attribute at `pos` equals `value`, as a borrowed
+    /// slice from the per-relation, per-position bucket index.
+    #[inline]
     pub fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId] {
-        self.index
-            .get(&(rel, pos, value))
+        self.index[self.pos_base[rel.index()] as usize + pos]
+            .buckets
+            .get(&value)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
 
     /// The active domain: every constant occurring in some tuple.
     pub fn active_domain(&self) -> BTreeSet<Constant> {
-        self.tuples
-            .iter()
-            .flat_map(|t| t.values.iter().copied())
-            .collect()
+        self.values_flat.iter().copied().collect()
     }
 
     /// Removes the given tuples, returning a new database. Tuple ids are
@@ -159,8 +201,7 @@ impl Database {
         let mut out = Database::new(self.schema.clone());
         for id in self.all_tuples() {
             if !deleted.contains(&id) {
-                let t = &self.tuples[id.index()];
-                out.insert(t.relation, &t.values);
+                out.insert(self.relation_of(id), self.values_of(id));
             }
         }
         out
@@ -170,16 +211,25 @@ impl Database {
     /// respect to `q`*, i.e. the relation has at least one endogenous atom in
     /// `q`. These are the tuples a contingency set may delete.
     pub fn endogenous_tuples(&self, q: &Query) -> Vec<TupleId> {
-        let endo_rels: HashSet<RelId> = q
-            .endogenous_atoms()
-            .into_iter()
-            .map(|i| q.atom(i).relation)
-            .collect();
+        let mask = self.endogenous_mask(q);
+        self.all_tuples().filter(|&id| mask[id.index()]).collect()
+    }
+
+    /// Dense variant of [`Database::endogenous_tuples`]: `mask[t]` is `true`
+    /// iff tuple `t` may be deleted by a contingency set for `q`.
+    pub fn endogenous_mask(&self, q: &Query) -> Vec<bool> {
         // Relations are matched by name because query and database may hold
         // structurally identical but separately-built schemas.
-        let endo_names: HashSet<&str> = endo_rels.iter().map(|&r| q.schema().name(r)).collect();
-        self.all_tuples()
-            .filter(|&id| endo_names.contains(self.schema.name(self.relation_of(id))))
+        let mut endo_rel = vec![false; self.schema.len()];
+        for i in q.endogenous_atoms() {
+            let name = q.schema().name(q.atom(i).relation);
+            if let Some(r) = self.schema.relation_id(name) {
+                endo_rel[r.index()] = true;
+            }
+        }
+        self.tuples
+            .iter()
+            .map(|t| endo_rel[t.relation.index()])
             .collect()
     }
 
@@ -188,14 +238,14 @@ impl Database {
     pub fn display_sorted(&self) -> String {
         let mut lines: Vec<String> = Vec::new();
         for rel in self.schema.relation_ids() {
-            let mut rows: Vec<&StoredTuple> = self
+            let mut rows: Vec<&[Constant]> = self
                 .tuples_of(rel)
                 .iter()
-                .map(|&id| &self.tuples[id.index()])
+                .map(|&id| self.values_of(id))
                 .collect();
-            rows.sort_by(|a, b| a.values.cmp(&b.values));
+            rows.sort();
             for row in rows {
-                let vals: Vec<String> = row.values.iter().map(|c| c.to_string()).collect();
+                let vals: Vec<String> = row.iter().map(|c| c.to_string()).collect();
                 lines.push(format!("{}({})", self.schema.name(rel), vals.join(",")));
             }
         }
@@ -259,6 +309,23 @@ mod tests {
     }
 
     #[test]
+    fn index_is_partitioned_by_relation_and_position() {
+        // Two relations sharing constants must not leak into each other's
+        // buckets, and neither must the two positions of one relation.
+        let q = parse_query("R(x,y), S(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        let r = db.schema().relation_id("R").unwrap();
+        let s = db.schema().relation_id("S").unwrap();
+        let t_r = db.insert(r, &[1, 2]);
+        let t_s = db.insert(s, &[1, 2]);
+        db.insert(s, &[2, 1]);
+        assert_eq!(db.tuples_matching(r, 0, Constant(1)), &[t_r]);
+        assert_eq!(db.tuples_matching(s, 0, Constant(1)), &[t_s]);
+        assert_eq!(db.tuples_matching(r, 1, Constant(1)), &[] as &[TupleId]);
+        assert_eq!(db.tuples_matching(s, 1, Constant(1)).len(), 1);
+    }
+
+    #[test]
     fn active_domain_collects_all_constants() {
         let (_, db) = chain_db();
         let dom = db.active_domain();
@@ -288,6 +355,8 @@ mod tests {
         assert_eq!(endo.len(), 1);
         let a = db.schema().relation_id("A").unwrap();
         assert_eq!(db.relation_of(endo[0]), a);
+        let mask = db.endogenous_mask(&q);
+        assert_eq!(mask, vec![true, false]);
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //!   machinery.
 
 pub mod eval;
+pub mod fx;
 pub mod instance;
 pub mod interner;
 pub mod tuple;
 pub mod witness;
 
-pub use eval::{evaluate, witnesses, Valuation, Witness};
+pub use eval::{canonical_witnesses, evaluate, reference_witnesses, witnesses, Valuation, Witness};
+pub use fx::{FxHashMap, FxHashSet};
 pub use instance::Database;
 pub use interner::ConstPool;
 pub use tuple::{Constant, TupleId};

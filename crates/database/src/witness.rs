@@ -31,24 +31,29 @@ impl WitnessSet {
     /// `q`).
     pub fn build(q: &Query, db: &Database) -> Self {
         let ws = witnesses(q, db);
-        let endo: HashSet<TupleId> = db.endogenous_tuples(q).into_iter().collect();
+        let endo = db.endogenous_mask(q);
+        let mut relevant_mask = vec![false; db.num_tuples()];
         let mut endogenous_sets = Vec::with_capacity(ws.len());
-        let mut relevant: HashSet<TupleId> = HashSet::new();
         for w in &ws {
             let mut set: Vec<TupleId> = w
-                .tuple_set()
-                .into_iter()
-                .filter(|t| endo.contains(t))
+                .atom_tuples
+                .iter()
+                .copied()
+                .filter(|t| endo[t.index()])
                 .collect();
             set.sort_unstable();
             set.dedup();
             for &t in &set {
-                relevant.insert(t);
+                relevant_mask[t.index()] = true;
             }
             endogenous_sets.push(set);
         }
-        let mut relevant_tuples: Vec<TupleId> = relevant.into_iter().collect();
-        relevant_tuples.sort_unstable();
+        // Already sorted: the mask is scanned in tuple-id order.
+        let relevant_tuples: Vec<TupleId> = relevant_mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(TupleId(i as u32)))
+            .collect();
         WitnessSet {
             witnesses: ws,
             endogenous_sets,
@@ -150,8 +155,12 @@ mod tests {
         let (q, db) = chain_setup();
         let ws = WitnessSet::build(&q, &db);
         // Deleting R(3,3) and R(1,2) destroys all witnesses.
-        let t12 = db.lookup(db.schema().relation_id("R").unwrap(), &[1, 2]).unwrap();
-        let t33 = db.lookup(db.schema().relation_id("R").unwrap(), &[3, 3]).unwrap();
+        let t12 = db
+            .lookup(db.schema().relation_id("R").unwrap(), &[1, 2])
+            .unwrap();
+        let t33 = db
+            .lookup(db.schema().relation_id("R").unwrap(), &[3, 3])
+            .unwrap();
         let gamma: HashSet<TupleId> = [t12, t33].into_iter().collect();
         assert!(ws.is_contingency_set(&gamma));
         // Deleting only R(1,2) leaves the witness (2,3,3).

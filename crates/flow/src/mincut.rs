@@ -39,10 +39,7 @@ impl MinCut {
 
     /// Sum of the original capacities of the reported cut edges.
     pub fn cut_capacity(&self, network: &FlowNetwork) -> u64 {
-        self.cut_edges
-            .iter()
-            .map(|&e| network.edge(e).2)
-            .sum()
+        self.cut_edges.iter().map(|&e| network.edge(e).2).sum()
     }
 }
 

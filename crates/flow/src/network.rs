@@ -1,10 +1,20 @@
 //! Directed flow networks with integer capacities and max-flow algorithms.
+//!
+//! The adjacency structure is *compressed sparse row* (CSR): a single
+//! offsets array plus a single edge-index array, built lazily from the
+//! residual edge list the first time a traversal needs it and invalidated by
+//! mutation. Both max-flow implementations and the residual BFS walk the CSR
+//! arrays; Dinic additionally reuses its level / queue / stack scratch
+//! buffers across phases and across runs, so a solve performs no allocation
+//! after the first call on a given network.
 
 use std::collections::VecDeque;
 
 /// Effectively-infinite capacity (large enough to never be the bottleneck,
 /// small enough that sums cannot overflow `u64`).
 pub const INF: u64 = u64::MAX / 4;
+
+const UNREACHED: u32 = u32::MAX;
 
 /// A node of a [`FlowNetwork`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -40,6 +50,16 @@ struct InternalEdge {
     original_cap: u64,
 }
 
+/// Reusable traversal scratch (level graph, BFS queue, DFS path, current-arc
+/// cursors). Lives in the network so repeated solves allocate nothing.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    level: Vec<u32>,
+    queue: Vec<u32>,
+    iter: Vec<u32>,
+    path: Vec<u32>,
+}
+
 /// A directed network with integer capacities.
 ///
 /// Residual edges are stored explicitly: every `add_edge` creates a forward
@@ -47,11 +67,16 @@ struct InternalEdge {
 /// `i ^ 1`), the classic pairing both max-flow implementations rely on.
 #[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
-    /// Adjacency: per node, indices into `edges`.
-    adjacency: Vec<Vec<u32>>,
+    num_nodes: usize,
     edges: Vec<InternalEdge>,
     /// Maps public [`EdgeId`]s to the index of their forward internal edge.
     public_edges: Vec<u32>,
+    /// CSR adjacency over `edges`: node `u`'s incident residual edges are
+    /// `csr_edges[csr_offsets[u]..csr_offsets[u + 1]]`. Rebuilt lazily.
+    csr_offsets: Vec<u32>,
+    csr_edges: Vec<u32>,
+    csr_valid: bool,
+    scratch: Scratch,
 }
 
 impl FlowNetwork {
@@ -62,8 +87,9 @@ impl FlowNetwork {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adjacency.push(Vec::new());
-        NodeId(self.adjacency.len() as u32 - 1)
+        self.num_nodes += 1;
+        self.csr_valid = false;
+        NodeId(self.num_nodes as u32 - 1)
     }
 
     /// Adds `n` nodes and returns their ids.
@@ -73,7 +99,7 @@ impl FlowNetwork {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adjacency.len()
+        self.num_nodes
     }
 
     /// Number of (forward) edges.
@@ -83,6 +109,7 @@ impl FlowNetwork {
 
     /// Adds a directed edge `from -> to` with capacity `cap`.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        assert!(from.index() < self.num_nodes && to.index() < self.num_nodes);
         let forward = self.edges.len() as u32;
         self.edges.push(InternalEdge {
             to: to.0,
@@ -94,9 +121,8 @@ impl FlowNetwork {
             cap: 0,
             original_cap: 0,
         });
-        self.adjacency[from.index()].push(forward);
-        self.adjacency[to.index()].push(forward + 1);
         self.public_edges.push(forward);
+        self.csr_valid = false;
         EdgeId(self.public_edges.len() as u32 - 1)
     }
 
@@ -105,7 +131,11 @@ impl FlowNetwork {
         let fwd = self.public_edges[id.index()];
         let to = self.edges[fwd as usize].to;
         let from = self.edges[(fwd ^ 1) as usize].to;
-        (NodeId(from), NodeId(to), self.edges[fwd as usize].original_cap)
+        (
+            NodeId(from),
+            NodeId(to),
+            self.edges[fwd as usize].original_cap,
+        )
     }
 
     /// Flow currently routed through a (forward) edge (valid after a
@@ -123,77 +153,161 @@ impl FlowNetwork {
         }
     }
 
-    /// Computes the maximum s–t flow with Dinic's algorithm.
+    /// Tail (source node) of an internal edge: the head of its twin.
+    #[inline]
+    fn tail(&self, ei: u32) -> u32 {
+        self.edges[(ei ^ 1) as usize].to
+    }
+
+    /// (Re)builds the CSR adjacency by counting sort over edge tails.
+    fn ensure_csr(&mut self) {
+        if self.csr_valid {
+            return;
+        }
+        let n = self.num_nodes;
+        let m = self.edges.len();
+        let mut offsets = vec![0u32; n + 1];
+        for ei in 0..m as u32 {
+            offsets[self.tail(ei) as usize + 1] += 1;
+        }
+        for u in 0..n {
+            offsets[u + 1] += offsets[u];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0u32; m];
+        for ei in 0..m as u32 {
+            let u = self.tail(ei) as usize;
+            adj[cursor[u] as usize] = ei;
+            cursor[u] += 1;
+        }
+        self.csr_offsets = offsets;
+        self.csr_edges = adj;
+        self.csr_valid = true;
+    }
+
+    /// Incident residual edges of `u` (valid CSR required).
+    #[inline]
+    fn incident(&self, u: u32) -> &[u32] {
+        &self.csr_edges
+            [self.csr_offsets[u as usize] as usize..self.csr_offsets[u as usize + 1] as usize]
+    }
+
+    /// Computes the maximum s–t flow with Dinic's algorithm (iterative
+    /// blocking-flow DFS with the current-arc optimization).
     pub fn max_flow_dinic(&mut self, s: NodeId, t: NodeId) -> u64 {
+        self.ensure_csr();
         self.reset_flow();
         if s == t {
             return 0;
         }
-        let n = self.num_nodes();
+        let n = self.num_nodes;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.level.resize(n, UNREACHED);
+        scratch.iter.resize(n, 0);
         let mut total = 0u64;
         loop {
             // BFS to build the level graph on the residual network.
-            let mut level = vec![u32::MAX; n];
-            level[s.index()] = 0;
-            let mut queue = VecDeque::new();
-            queue.push_back(s.0);
-            while let Some(u) = queue.pop_front() {
-                for &ei in &self.adjacency[u as usize] {
+            scratch.level.iter_mut().for_each(|l| *l = UNREACHED);
+            scratch.level[s.index()] = 0;
+            scratch.queue.clear();
+            scratch.queue.push(s.0);
+            let mut head = 0;
+            while head < scratch.queue.len() {
+                let u = scratch.queue[head];
+                head += 1;
+                for &ei in self.incident(u) {
                     let e = &self.edges[ei as usize];
-                    if e.cap > 0 && level[e.to as usize] == u32::MAX {
-                        level[e.to as usize] = level[u as usize] + 1;
-                        queue.push_back(e.to);
+                    if e.cap > 0 && scratch.level[e.to as usize] == UNREACHED {
+                        scratch.level[e.to as usize] = scratch.level[u as usize] + 1;
+                        scratch.queue.push(e.to);
                     }
                 }
             }
-            if level[t.index()] == u32::MAX {
+            if scratch.level[t.index()] == UNREACHED {
                 break;
             }
-            // Repeated DFS to find a blocking flow.
-            let mut iter = vec![0usize; n];
-            loop {
-                let pushed = self.dinic_dfs(s.0, t.0, INF, &level, &mut iter);
-                if pushed == 0 {
-                    break;
-                }
-                total += pushed;
-            }
+            total += self.blocking_flow(s.0, t.0, &mut scratch);
         }
+        self.scratch = scratch;
         total
     }
 
-    fn dinic_dfs(&mut self, u: u32, t: u32, limit: u64, level: &[u32], iter: &mut [usize]) -> u64 {
-        if u == t {
-            return limit;
-        }
-        while iter[u as usize] < self.adjacency[u as usize].len() {
-            let ei = self.adjacency[u as usize][iter[u as usize]];
-            let (to, residual) = {
-                let e = &self.edges[ei as usize];
-                (e.to, e.cap)
-            };
-            if residual > 0 && level[to as usize] == level[u as usize] + 1 {
-                let pushed = self.dinic_dfs(to, t, limit.min(residual), level, iter);
-                if pushed > 0 {
-                    self.edges[ei as usize].cap -= pushed;
-                    self.edges[(ei ^ 1) as usize].cap += pushed;
-                    return pushed;
+    /// Finds a blocking flow in the current level graph: an iterative DFS
+    /// keeping the partial path on an explicit stack, advancing each node's
+    /// current arc so saturated or level-inconsistent edges are never
+    /// revisited within the phase.
+    fn blocking_flow(&mut self, s: u32, t: u32, scratch: &mut Scratch) -> u64 {
+        scratch.iter.iter_mut().for_each(|i| *i = 0);
+        scratch.path.clear();
+        let mut total = 0u64;
+        let mut u = s;
+        loop {
+            if u == t {
+                // Augment along the path, then roll the path back to the
+                // tail of the first edge that saturated and continue the
+                // search from there.
+                let mut bottleneck = INF;
+                for &ei in &scratch.path {
+                    bottleneck = bottleneck.min(self.edges[ei as usize].cap);
                 }
+                total += bottleneck;
+                let mut first_saturated = scratch.path.len() - 1;
+                for &ei in &scratch.path {
+                    self.edges[ei as usize].cap -= bottleneck;
+                    self.edges[(ei ^ 1) as usize].cap += bottleneck;
+                }
+                for (i, &ei) in scratch.path.iter().enumerate() {
+                    if self.edges[ei as usize].cap == 0 {
+                        first_saturated = i;
+                        break;
+                    }
+                }
+                u = self.tail(scratch.path[first_saturated]);
+                scratch.path.truncate(first_saturated);
+                continue;
             }
-            iter[u as usize] += 1;
+            // Advance the current arc of `u` to the next admissible edge.
+            let incident_start = self.csr_offsets[u as usize];
+            let incident_end = self.csr_offsets[u as usize + 1];
+            let mut advanced = false;
+            while scratch.iter[u as usize] < incident_end - incident_start {
+                let ei = self.csr_edges[(incident_start + scratch.iter[u as usize]) as usize];
+                let e = &self.edges[ei as usize];
+                if e.cap > 0 && scratch.level[e.to as usize] == scratch.level[u as usize] + 1 {
+                    scratch.path.push(ei);
+                    u = e.to;
+                    advanced = true;
+                    break;
+                }
+                scratch.iter[u as usize] += 1;
+            }
+            if advanced {
+                continue;
+            }
+            // Dead end: remove `u` from the level graph and backtrack.
+            scratch.level[u as usize] = UNREACHED;
+            match scratch.path.pop() {
+                Some(ei) => {
+                    u = self.tail(ei);
+                    // The popped edge is `u`'s current arc; move past it.
+                    scratch.iter[u as usize] += 1;
+                }
+                None => break, // the source itself is exhausted
+            }
         }
-        0
+        total
     }
 
     /// Computes the maximum s–t flow with the Edmonds–Karp algorithm
     /// (BFS augmenting paths). Kept as an independent implementation used to
     /// cross-check Dinic in tests and benchmarks.
     pub fn max_flow_edmonds_karp(&mut self, s: NodeId, t: NodeId) -> u64 {
+        self.ensure_csr();
         self.reset_flow();
         if s == t {
             return 0;
         }
-        let n = self.num_nodes();
+        let n = self.num_nodes;
         let mut total = 0u64;
         loop {
             let mut parent_edge: Vec<Option<u32>> = vec![None; n];
@@ -202,7 +316,7 @@ impl FlowNetwork {
             let mut queue = VecDeque::new();
             queue.push_back(s.0);
             'bfs: while let Some(u) = queue.pop_front() {
-                for &ei in &self.adjacency[u as usize] {
+                for &ei in self.incident(u) {
                     let e = &self.edges[ei as usize];
                     if e.cap > 0 && !visited[e.to as usize] {
                         visited[e.to as usize] = true;
@@ -241,17 +355,30 @@ impl FlowNetwork {
     /// Nodes reachable from `s` in the residual network (valid after a
     /// max-flow run); this is the source side of a minimum cut.
     pub fn residual_reachable(&self, s: NodeId) -> Vec<bool> {
-        let n = self.num_nodes();
+        let n = self.num_nodes;
         let mut visited = vec![false; n];
         visited[s.index()] = true;
         let mut queue = VecDeque::new();
         queue.push_back(s.0);
-        while let Some(u) = queue.pop_front() {
-            for &ei in &self.adjacency[u as usize] {
-                let e = &self.edges[ei as usize];
-                if e.cap > 0 && !visited[e.to as usize] {
-                    visited[e.to as usize] = true;
-                    queue.push_back(e.to);
+        if self.csr_valid {
+            while let Some(u) = queue.pop_front() {
+                for &ei in self.incident(u) {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && !visited[e.to as usize] {
+                        visited[e.to as usize] = true;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+        } else {
+            // No CSR yet (no max-flow run): scan the edge list per BFS level.
+            while let Some(u) = queue.pop_front() {
+                for ei in 0..self.edges.len() as u32 {
+                    let e = &self.edges[ei as usize];
+                    if self.tail(ei) == u && e.cap > 0 && !visited[e.to as usize] {
+                        visited[e.to as usize] = true;
+                        queue.push_back(e.to);
+                    }
                 }
             }
         }
@@ -364,6 +491,19 @@ mod tests {
     }
 
     #[test]
+    fn residual_reachability_works_before_any_flow_run() {
+        // Without a max-flow call there is no CSR; the fallback path must
+        // still report plain reachability.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(s, a, 1);
+        let reach = g.residual_reachable(s);
+        assert!(reach[s.index()] && reach[a.index()] && !reach[b.index()]);
+    }
+
+    #[test]
     fn classic_cut_example() {
         // CLRS figure 26.6: maximum flow value 23.
         let mut g = FlowNetwork::new();
@@ -397,6 +537,20 @@ mod tests {
     }
 
     #[test]
+    fn mutation_after_a_run_invalidates_the_csr() {
+        let (mut g, s, t) = diamond();
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+        // Widen the a -> t edge; the rebuilt CSR must see the new edge too.
+        let a = NodeId(1);
+        g.add_edge(a, t, 10);
+        assert_eq!(g.max_flow_dinic(s, t), 5); // still limited by s-edges
+        g.add_edge(s, a, 100);
+        // a -> t now carries 12, a -> b -> t carries 1, s -> b -> t carries 2.
+        assert_eq!(g.max_flow_dinic(s, t), 15);
+        assert_eq!(g.max_flow_edmonds_karp(s, t), 15);
+    }
+
+    #[test]
     fn source_equals_sink_is_zero() {
         let mut g = FlowNetwork::new();
         let s = g.add_node();
@@ -418,5 +572,29 @@ mod tests {
             }
         }
         assert_eq!(out_of_s, total);
+    }
+
+    #[test]
+    fn dinic_handles_layered_ladders() {
+        // A ladder with cross edges stresses the iterative blocking-flow
+        // bookkeeping (multiple augmenting paths per phase).
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let k = 12;
+        let top = g.add_nodes(k);
+        let bottom = g.add_nodes(k);
+        for i in 0..k {
+            g.add_edge(s, top[i], 2);
+            g.add_edge(top[i], bottom[i], 1);
+            g.add_edge(bottom[i], t, 2);
+            if i > 0 {
+                g.add_edge(top[i - 1], bottom[i], 1);
+                g.add_edge(bottom[i - 1], top[i], 1);
+            }
+        }
+        let d = g.max_flow_dinic(s, t);
+        let ek = g.max_flow_edmonds_karp(s, t);
+        assert_eq!(d, ek);
     }
 }

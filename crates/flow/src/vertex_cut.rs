@@ -9,8 +9,7 @@
 //! capacity.
 
 use crate::mincut::MinCut;
-use crate::network::{EdgeId, FlowNetwork, NodeId, INF};
-use std::collections::HashMap;
+use crate::network::{FlowNetwork, NodeId, INF};
 
 /// A network whose *vertices* carry capacities.
 #[derive(Clone, Debug, Default)]
@@ -67,23 +66,24 @@ impl VertexCutNetwork {
         // v_in = 2v, v_out = 2v + 1.
         let n = self.num_vertices();
         let nodes: Vec<NodeId> = g.add_nodes(2 * n);
-        let mut internal_edge: HashMap<usize, EdgeId> = HashMap::new();
+        // The internal edge of vertex `v` is added v-th, so its EdgeId is
+        // exactly `v` — no explicit map needed.
         for v in 0..n {
             let cap = if v == source || v == target {
                 INF
             } else {
                 self.capacities[v]
             };
-            let e = g.add_edge(nodes[2 * v], nodes[2 * v + 1], cap);
-            internal_edge.insert(v, e);
+            g.add_edge(nodes[2 * v], nodes[2 * v + 1], cap);
         }
         for &(from, to) in &self.edges {
             g.add_edge(nodes[2 * from as usize + 1], nodes[2 * to as usize], INF);
         }
         let cut = MinCut::compute(&mut g, nodes[2 * source], nodes[2 * target + 1]);
-        let mut cut_vertices: Vec<usize> = internal_edge
+        let mut cut_vertices: Vec<usize> = cut
+            .cut_edges
             .iter()
-            .filter_map(|(&v, &e)| cut.cut_edges.contains(&e).then_some(v))
+            .filter_map(|e| (e.index() < n).then_some(e.index()))
             .collect();
         cut_vertices.sort_unstable();
         VertexCut {

@@ -323,8 +323,7 @@ mod tests {
         // claimed for expansions; see the module docs.)
         let f = small_sat_formula();
         let plain = chain_expansion_gadget(&f, ChainExpansion::Plain);
-        let plain_witnesses =
-            database::witnesses(&plain.query, &plain.database).len();
+        let plain_witnesses = database::witnesses(&plain.query, &plain.database).len();
         for expansion in ChainExpansion::all() {
             let gadget = chain_expansion_gadget(&f, expansion);
             assert!(!gadget.threshold_is_exact || expansion == ChainExpansion::Plain);

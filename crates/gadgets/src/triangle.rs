@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(gadget.database.num_tuples(), 2 + 5);
         validate_triangle(&g);
         // The single-edge gadget is exactly an Independent Join Path.
-        assert!(resilience_core::ijp::check_ijp(&gadget.query, &gadget.database));
+        assert!(resilience_core::ijp::check_ijp(
+            &gadget.query,
+            &gadget.database
+        ));
     }
 
     #[test]

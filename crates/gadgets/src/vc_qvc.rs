@@ -59,8 +59,8 @@ mod tests {
         // Decision-version iff, for every k around the optimum.
         let solver = ExactSolver::new();
         for k in vc.saturating_sub(1)..=vc + 1 {
-            let in_res = solver.decide(&gadget.query, &gadget.database, k)
-                || graph.num_edges() == 0;
+            let in_res =
+                solver.decide(&gadget.query, &gadget.database, k) || graph.num_edges() == 0;
             let has_cover = k >= vc;
             if graph.num_edges() > 0 {
                 assert_eq!(in_res, has_cover, "k = {k}");

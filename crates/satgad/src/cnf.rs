@@ -133,12 +133,7 @@ impl CnfFormula {
         // Assignment: None = unassigned.
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
         if self.dpll(&mut assignment) {
-            Some(
-                assignment
-                    .into_iter()
-                    .map(|a| a.unwrap_or(false))
-                    .collect(),
-            )
+            Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
         } else {
             None
         }
@@ -192,9 +187,7 @@ impl CnfFormula {
         let mut seen_pos: HashSet<usize> = HashSet::new();
         let mut seen_neg: HashSet<usize> = HashSet::new();
         for clause in &self.clauses {
-            let satisfied = clause
-                .iter()
-                .any(|l| assignment[l.var] == Some(l.positive));
+            let satisfied = clause.iter().any(|l| assignment[l.var] == Some(l.positive));
             if satisfied {
                 continue;
             }
@@ -222,9 +215,7 @@ impl CnfFormula {
         // Check whether all clauses are satisfied / find a branching variable.
         let mut branch_var: Option<usize> = None;
         for clause in &self.clauses {
-            let satisfied = clause
-                .iter()
-                .any(|l| assignment[l.var] == Some(l.positive));
+            let satisfied = clause.iter().any(|l| assignment[l.var] == Some(l.positive));
             if satisfied {
                 continue;
             }
@@ -371,8 +362,7 @@ mod tests {
         ];
         for f in formulas {
             let brute = (0..1u32 << f.num_vars).any(|mask| {
-                let assignment: Vec<bool> =
-                    (0..f.num_vars).map(|i| mask & (1 << i) != 0).collect();
+                let assignment: Vec<bool> = (0..f.num_vars).map(|i| mask & (1 << i) != 0).collect();
                 f.eval(&assignment)
             });
             assert_eq!(f.is_satisfiable(), brute);

@@ -21,7 +21,7 @@ pub mod graph;
 pub mod max2sat;
 pub mod vertex_cover;
 
-pub use cnf::{CnfFormula, Clause, Literal};
+pub use cnf::{Clause, CnfFormula, Literal};
 pub use graph::UndirectedGraph;
 pub use max2sat::{max_2sat, max_2sat_value};
 pub use vertex_cover::{

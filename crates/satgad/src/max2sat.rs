@@ -112,10 +112,8 @@ mod tests {
     #[test]
     fn mixed_unit_and_binary_clauses() {
         // (x0) & (!x0 | x1) & (!x1) — best assignment satisfies 2.
-        let f = CnfFormula::from_clauses(
-            2,
-            &[&[(0, true)], &[(0, false), (1, true)], &[(1, false)]],
-        );
+        let f =
+            CnfFormula::from_clauses(2, &[&[(0, true)], &[(0, false), (1, true)], &[(1, false)]]);
         assert_eq!(max_2sat_value(&f), 2);
     }
 }

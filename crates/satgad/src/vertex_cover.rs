@@ -41,7 +41,7 @@ fn branch(
         .map(|i| from + i);
     let Some(idx) = uncovered else {
         // All edges covered: record if better.
-        if best.as_ref().map_or(true, |b| current.len() < b.len()) {
+        if best.as_ref().is_none_or(|b| current.len() < b.len()) {
             *best = Some(current.clone());
         }
         return;

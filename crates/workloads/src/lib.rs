@@ -177,8 +177,9 @@ mod tests {
         let b = Workload::new(2).random_database(&q, 40, 20);
         let same = a.num_tuples() == b.num_tuples()
             && a.all_tuples().all(|t| {
-                b.all_tuples()
-                    .any(|u| a.values_of(t) == b.values_of(u) && a.relation_of(t) == b.relation_of(u))
+                b.all_tuples().any(|u| {
+                    a.values_of(t) == b.values_of(u) && a.relation_of(t) == b.relation_of(u)
+                })
             });
         assert!(!same, "two different seeds produced identical databases");
     }

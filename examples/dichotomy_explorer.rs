@@ -27,8 +27,8 @@ fn paper(c: PaperClass) -> &'static str {
 
 fn main() {
     println!(
-        "{:<18} {:<14} {:<14} {:<7} {}",
-        "query", "paper", "classifier", "agree", "evidence"
+        "{:<18} {:<14} {:<14} {:<7} evidence",
+        "query", "paper", "classifier", "agree"
     );
     println!("{}", "-".repeat(110));
     let mut agreements = 0usize;

@@ -53,7 +53,10 @@ fn main() {
                 .collect(),
         );
     }
-    for (label, formula) in [("satisfiable", &satisfiable), ("unsatisfiable", &unsatisfiable)] {
+    for (label, formula) in [
+        ("satisfiable", &satisfiable),
+        ("unsatisfiable", &unsatisfiable),
+    ] {
         let g = chain_expansion_gadget(formula, ChainExpansion::Plain);
         let rho = exact.resilience_value(&g.query, &g.database).unwrap();
         println!(

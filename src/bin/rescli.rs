@@ -105,7 +105,10 @@ fn load_database(q: &Query, path: &str) -> Result<Database, String> {
             .collect();
         let values = values?;
         if db.schema().relation_id(rel).is_none() {
-            return Err(format!("line {}: relation {rel} not in the query", lineno + 1));
+            return Err(format!(
+                "line {}: relation {rel} not in the query",
+                lineno + 1
+            ));
         }
         db.insert_named(rel, &values);
     }
@@ -174,7 +177,12 @@ fn ijp_cmd(text: &str, joins: usize, partitions: usize) -> ExitCode {
 fn catalogue_cmd() -> ExitCode {
     for nq in catalogue::all_named_queries() {
         let c = classify(&nq.query);
-        println!("{:<18} {:<12} {}", nq.name, format!("{:?}", nq.paper_class), c.complexity);
+        println!(
+            "{:<18} {:<12} {}",
+            nq.name,
+            format!("{:?}", nq.paper_class),
+            c.complexity
+        );
     }
     ExitCode::SUCCESS
 }

@@ -37,10 +37,7 @@ fn classification_is_invariant_under_renaming() {
             "A(x), R(x,y), R(z,y), C(z)",
             "Left(p), Link(p,q), Link(r,q), Right(r)",
         ),
-        (
-            "A(x), R(x,y), R(y,x), B(y)",
-            "P(s), F(s,t), F(t,s), Q(t)",
-        ),
+        ("A(x), R(x,y), R(y,x), B(y)", "P(s), F(s,t), F(t,s), Q(t)"),
         ("R(x), S(x,y), R(y)", "Node(a), Arc(a,b), Node(b)"),
     ];
     for (original, renamed) in pairs {
@@ -60,10 +57,10 @@ fn classification_is_invariant_under_renaming() {
 fn figure_five_rows_are_reproduced() {
     // The PTIME / NP-hard columns of Figure 5 (two R-atom patterns).
     let np_hard = [
-        "R(x,y), R(y,z)",                     // chain
-        "A(x), R(x,y), R(y,z), B(y), C(z)",   // chain with all unary anchors
-        "R(x,y), H^x(x,z), R(z,y)",           // confluence with exogenous path
-        "A(x), R(x,y), R(y,x), B(y)",         // bound permutation
+        "R(x,y), R(y,z)",                   // chain
+        "A(x), R(x,y), R(y,z), B(y), C(z)", // chain with all unary anchors
+        "R(x,y), H^x(x,z), R(z,y)",         // confluence with exogenous path
+        "A(x), R(x,y), R(y,x), B(y)",       // bound permutation
     ];
     let ptime = [
         "A(x), R(x,y), R(z,y), C(z)", // confluence without exogenous path

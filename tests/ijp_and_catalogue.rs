@@ -72,7 +72,11 @@ fn every_catalogue_query_solves_a_small_random_instance() {
         let solver = ResilienceSolver::new(&nq.query);
         let outcome = solver.solve(&db);
         let truth = exact.resilience_value(&nq.query, &db);
-        assert_eq!(outcome.resilience, truth, "{} disagrees on random instance", nq.name);
+        assert_eq!(
+            outcome.resilience, truth,
+            "{} disagrees on random instance",
+            nq.name
+        );
     }
 }
 

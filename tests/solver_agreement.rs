@@ -22,7 +22,7 @@ fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Databa
             // Deterministic pseudo-random extra relation.
             for a in 0..nodes {
                 for b in 0..nodes {
-                    if (a * 13 + b * 7 + seed) % 4 == 0 {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
                         db.insert_named(&name, &[a, b]);
                     }
                 }
@@ -71,7 +71,12 @@ fn acconf_flow_agrees_with_exact() {
 
 #[test]
 fn a3perm_r_flow_agrees_with_exact() {
-    check_agreement("q_A3perm-R", &catalogue::q_a3perm_r().query, &[5, 6, 7, 8], 8);
+    check_agreement(
+        "q_A3perm-R",
+        &catalogue::q_a3perm_r().query,
+        &[5, 6, 7, 8],
+        8,
+    );
 }
 
 #[test]
@@ -93,12 +98,22 @@ fn sjfree_queries_agree_with_exact() {
 
 #[test]
 fn swx3perm_r_flow_agrees_with_exact() {
-    check_agreement("q_Swx3perm-R", &catalogue::q_swx3perm_r().query, &[24, 25, 26], 7);
+    check_agreement(
+        "q_Swx3perm-R",
+        &catalogue::q_swx3perm_r().query,
+        &[24, 25, 26],
+        7,
+    );
 }
 
 #[test]
 fn ts3conf_flow_agrees_with_exact() {
-    check_agreement("q_TS3conf", &catalogue::q_ts3conf().query, &[27, 28, 29, 30], 7);
+    check_agreement(
+        "q_TS3conf",
+        &catalogue::q_ts3conf().query,
+        &[27, 28, 29, 30],
+        7,
+    );
 }
 
 #[test]
@@ -127,6 +142,9 @@ fn resilience_is_monotone_under_tuple_deletion() {
         let deleted: HashSet<TupleId> = [t].into_iter().collect();
         let reduced = exact.resilience_value(&q, &db.without(&deleted)).unwrap();
         assert!(reduced <= full, "deleting a tuple increased resilience");
-        assert!(full - reduced <= 1, "one deletion dropped resilience by more than one");
+        assert!(
+            full - reduced <= 1,
+            "one deletion dropped resilience by more than one"
+        );
     }
 }

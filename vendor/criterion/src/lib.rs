@@ -1,0 +1,305 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the API surface the `bench` crate uses: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`] /
+//! [`Criterion::bench_function`], [`BenchmarkGroup`] timing knobs,
+//! [`BenchmarkId`], [`Bencher::iter`] and [`black_box`]. Each benchmark is
+//! warmed up, then sampled a fixed number of times; the median / min / max
+//! per-iteration wall time is printed, and when the `CRITERION_JSON`
+//! environment variable names a file one JSON line per benchmark is appended
+//! to it — that is how the repository's `BENCH_*.json` baselines are made.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting the
+/// computation of its argument.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: Vec<u64>,
+    iters_per_sample: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration nanoseconds across samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once) and
+        // estimate the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+
+        // Size each sample so the whole measurement roughly fits the budget.
+        let budget = self.measurement_time.as_nanos() as u64;
+        let total_iters = (budget / per_iter.max(1)).clamp(self.sample_count as u64, 1_000_000);
+        self.iters_per_sample = (total_iters / self.sample_count as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as u64 / self.iters_per_sample;
+            self.samples.push(ns);
+        }
+    }
+}
+
+/// Records one finished benchmark to stdout and (optionally) a JSON file.
+fn report(bench_name: &str, bencher: &Bencher) {
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let (median, min, max) = if sorted.is_empty() {
+        (0, 0, 0)
+    } else {
+        (
+            sorted[sorted.len() / 2],
+            sorted[0],
+            sorted[sorted.len() - 1],
+        )
+    };
+    println!(
+        "{bench_name:<50} median {median:>12} ns/iter  (min {min}, max {max}, {} samples x {} iters)",
+        sorted.len(),
+        bencher.iters_per_sample
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"bench\":\"{bench_name}\",\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                sorted.len(),
+                bencher.iters_per_sample
+            );
+            let _ = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut fh| fh.write_all(line.as_bytes()));
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_count: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        warm_up_time,
+        measurement_time,
+        sample_count,
+    };
+    f(&mut bencher);
+    report(name, &bencher);
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a shared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(
+            &name,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_count,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(
+            &name,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_count,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_count: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(
+            name,
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+            20,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            sample_count: 5,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("flow", 12);
+        assert_eq!(id.id, "flow/12");
+        let from: BenchmarkId = "plain".into();
+        assert_eq!(from.id, "plain");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(3));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
