@@ -5,6 +5,10 @@
 //! polynomial algorithms scale against the exact solver on `q_rats`
 //! instances of growing size.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -6,6 +6,10 @@
 //! timing both; the bound permutation (`q_ABperm`) is solved with the exact
 //! solver only, which is the expected exponential-versus-polynomial contrast.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

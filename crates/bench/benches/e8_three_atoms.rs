@@ -5,6 +5,10 @@
 //! case `q_AC3conf` and the open case `q_AS3conf` are solved exactly, which
 //! illustrates the complexity landscape of Figure 7.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,8 +1,9 @@
-//! `perfbench` — merges two `CRITERION_JSON` capture files (benchmark JSONL
-//! emitted by the criterion shim, see `vendor/README.md`) into a single
-//! before/after baseline report such as the committed `BENCH_PR1.json`.
+//! `perfbench` — performance baseline tooling. Two modes:
 //!
-//! Usage:
+//! **Merge mode** (default) merges two `CRITERION_JSON` capture files
+//! (benchmark JSONL emitted by the criterion shim, see `vendor/README.md`)
+//! into a single before/after baseline report such as the committed
+//! `BENCH_PR1.json`:
 //!
 //! ```text
 //! CRITERION_JSON=before.jsonl cargo bench -p bench            # on the old tree
@@ -13,10 +14,30 @@
 //!
 //! Experiments present in only one capture are kept with a `null` partner so
 //! later PRs can extend the suite without losing history.
+//!
+//! **Batch mode** times the compiled, batched engine against the legacy
+//! per-instance loop (`ResilienceSolver::new(..).solve(..)` for every
+//! instance) on the e2/e5-style workloads, asserts the two paths produce
+//! identical results on every instance, and writes a throughput report such
+//! as the committed `BENCH_PR2.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- batch \
+//!     --instances 100 --out BENCH_PR2.json
+//! ```
 
+// The legacy loop is exactly what batch mode benchmarks against.
+#![allow(deprecated)]
+
+use cq::parse_query;
+use database::{Database, FrozenDb};
+use resilience_core::engine::{Engine, SolveOptions};
+use resilience_core::solver::ResilienceSolver;
 use std::collections::BTreeMap;
 use std::fs;
 use std::process::ExitCode;
+use std::time::Instant;
+use workloads::Workload;
 
 /// Pulls `"median_ns":<digits>` and `"bench":"<name>"` out of one shim JSONL
 /// line without a JSON dependency (the shim's format is fixed).
@@ -51,8 +72,179 @@ fn json_u64_opt(v: Option<u64>) -> String {
     v.map_or("null".to_string(), |n| n.to_string())
 }
 
+/// One batch-vs-loop workload: a query plus a per-seed instance generator.
+struct BatchWorkload {
+    name: &'static str,
+    query_text: &'static str,
+    nodes: u64,
+    density: f64,
+    saturate_unary: bool,
+}
+
+/// The e2 (basic hard chain) and e5 (unary chain expansion) workloads the
+/// committed baselines track.
+const BATCH_WORKLOADS: [BatchWorkload; 2] = [
+    BatchWorkload {
+        name: "e2/qchain_batch",
+        query_text: "R(x,y), R(y,z)",
+        nodes: 9,
+        density: 0.2,
+        saturate_unary: false,
+    },
+    BatchWorkload {
+        name: "e5/achain_batch",
+        query_text: "A(x), R(x,y), R(y,z)",
+        nodes: 9,
+        density: 0.2,
+        saturate_unary: true,
+    },
+];
+
+fn batch_instances(w: &BatchWorkload, count: usize) -> (cq::Query, Vec<Database>) {
+    let q = parse_query(w.query_text).expect("workload query parses");
+    let dbs = (0..count as u64)
+        .map(|seed| {
+            let mut workload = Workload::new(seed);
+            let mut db = workload.random_graph_relation(&q, "R", w.nodes, w.density);
+            if w.saturate_unary {
+                workload.saturate_unary_relations(&q, &mut db, w.nodes);
+            }
+            db
+        })
+        .collect();
+    (q, dbs)
+}
+
+fn batch_mode(args: &[String]) -> ExitCode {
+    let mut instances = 100usize;
+    let mut out_path: Option<String> = None;
+    let mut label = "PR2-batch-engine".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--instances" => {
+                instances = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--instances needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => out_path = it.next().cloned(),
+            "--label" => label = it.next().cloned().unwrap_or(label),
+            other => {
+                eprintln!("unknown batch argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!("usage: perfbench batch [--instances N] [--label name] --out <json>");
+        return ExitCode::FAILURE;
+    };
+
+    // Best-of-N wall-clock timing: one untimed warm-up, then the minimum
+    // over `REPS` timed repetitions per path (single-shot wall times are too
+    // noisy for a committed baseline).
+    const REPS: usize = 5;
+    let mut rows = Vec::new();
+    let mut summary = String::new();
+    for w in &BATCH_WORKLOADS {
+        let (q, dbs) = batch_instances(w, instances);
+
+        // Legacy path: a fresh solver (re-classification) per instance, the
+        // incremental-index database, sequential.
+        let run_loop = || -> Vec<_> {
+            dbs.iter()
+                .map(|db| ResilienceSolver::new(&q).solve(db))
+                .collect()
+        };
+        // Engine path: compile once, freeze every instance, solve the batch
+        // through the shared plan (compile + freeze inside the timed
+        // region — they are the amortized per-query/per-instance setup).
+        let run_batch = || {
+            let compiled = Engine::compile(&q);
+            let frozen: Vec<FrozenDb> = dbs.iter().map(|db| db.freeze()).collect();
+            let reports = compiled.solve_batch(&frozen, &SolveOptions::new());
+            (compiled, frozen, reports)
+        };
+
+        let loop_outcomes = run_loop(); // warm-up, kept for the differential check
+        let mut loop_ns = u64::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let outcomes = run_loop();
+            loop_ns = loop_ns.min(start.elapsed().as_nanos() as u64);
+            assert_eq!(outcomes.len(), instances);
+        }
+
+        let _ = run_batch(); // warm-up
+        let mut batch_ns = u64::MAX;
+        let mut reports = Vec::new();
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let (_, _, r) = run_batch();
+            batch_ns = batch_ns.min(start.elapsed().as_nanos() as u64);
+            reports = r;
+        }
+
+        // Differential check: identical results on every instance.
+        let mut identical = true;
+        for (i, (outcome, report)) in loop_outcomes.iter().zip(&reports).enumerate() {
+            let report = match report {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{}: instance {i} failed in batch mode: {e}", w.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if outcome.resilience != report.resilience.as_finite()
+                || outcome.contingency != report.contingency
+                || outcome.method != report.method
+            {
+                eprintln!("{}: instance {i} differs between loop and batch", w.name);
+                identical = false;
+            }
+        }
+        if !identical {
+            return ExitCode::FAILURE;
+        }
+
+        let speedup = loop_ns as f64 / batch_ns.max(1) as f64;
+        rows.push(format!(
+            "    {{\"bench\": \"{}\", \"instances\": {instances}, \
+             \"loop_total_ns\": {loop_ns}, \"batch_total_ns\": {batch_ns}, \
+             \"loop_ns_per_instance\": {}, \"batch_ns_per_instance\": {}, \
+             \"speedup\": {speedup:.2}, \"identical_results\": true}}",
+            w.name,
+            loop_ns / instances.max(1) as u64,
+            batch_ns / instances.max(1) as u64,
+        ));
+        summary.push_str(&format!(
+            "{:<24} {instances} instances: loop {:>12} ns -> batch {:>12} ns  ({speedup:.2}x)\n",
+            w.name, loop_ns, batch_ns
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"batch_vs_loop\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = fs::write(&out_path, doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    summary.push_str(&format!("wrote {out_path}\n"));
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(summary.as_bytes());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("batch") {
+        return batch_mode(&args[1..]);
+    }
     let mut before_path = None;
     let mut after_path = None;
     let mut out_path = None;

@@ -22,8 +22,9 @@ use cq::{classify, Complexity};
 use gadgets::sat_chain::{chain_expansion_gadget, ChainExpansion};
 use gadgets::triangle::{triangle_gadget_from_vc, tripod_from_triangle};
 use gadgets::vc_qvc::vc_to_qvc;
+use resilience_core::engine::{Engine, SolveOptions};
 use resilience_core::ijp;
-use resilience_core::solver::{ResilienceSolver, SolveMethod};
+use resilience_core::solver::SolveMethod;
 use resilience_core::ExactSolver;
 use satgad::{min_vertex_cover_size, CnfFormula};
 use workloads::Workload;
@@ -162,13 +163,16 @@ fn section_flow_vs_exact(sizes: &[u64], json_path: Option<&str>) {
     );
     let mut json_rows: Vec<String> = Vec::new();
     for (label, nq) in cases {
-        let solver = ResilienceSolver::new(&nq.query);
+        let compiled = Engine::compile(&nq.query);
         let exact = ExactSolver::new();
         for &nodes in sizes {
             let db = standard_instance(&nq.query, 1000 + nodes, nodes, 0.22);
-            let outcome = solver.solve(&db);
+            let outcome = compiled
+                .solve(&db.freeze(), &SolveOptions::new())
+                .unwrap_or_else(|e| panic!("{label}: engine solve failed: {e}"));
+            let resilience = outcome.resilience.as_finite();
             let truth = exact.resilience_value(&nq.query, &db);
-            assert_eq!(outcome.resilience, truth, "{label} disagreement");
+            assert_eq!(resilience, truth, "{label} disagreement");
             let method = match outcome.method {
                 SolveMethod::LinearFlow => "linear",
                 SolveMethod::BipartiteCover => "könig",
@@ -182,16 +186,14 @@ fn section_flow_vs_exact(sizes: &[u64], json_path: Option<&str>) {
                 label,
                 nodes,
                 db.num_tuples(),
-                outcome.resilience.map_or(-1i64, |v| v as i64),
+                resilience.map_or(-1i64, |v| v as i64),
                 method
             );
             json_rows.push(format!(
                 "    {{\"query\": \"{label}\", \"nodes\": {nodes}, \"tuples\": {}, \
                  \"resilience\": {}, \"method\": \"{method}\", \"agrees_with_exact\": true}}",
                 db.num_tuples(),
-                outcome
-                    .resilience
-                    .map_or("null".to_string(), |v| v.to_string()),
+                resilience.map_or("null".to_string(), |v| v.to_string()),
             ));
         }
     }

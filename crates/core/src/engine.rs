@@ -1,0 +1,853 @@
+//! The compiled, batched solve engine.
+//!
+//! The paper's dichotomy (Theorem 37) makes classification a *per-query*
+//! cost while resilience is a *per-instance* cost. The engine mirrors that
+//! split in the API:
+//!
+//! * [`Engine::compile`] runs the classifier and join-plan compilation once
+//!   per query, producing a reusable [`CompiledQuery`];
+//! * [`CompiledQuery::solve`] executes one instance — a [`FrozenDb`], i.e.
+//!   an instance whose mutation phase is over — against the compiled
+//!   artifacts;
+//! * [`CompiledQuery::solve_batch`] fans a slice of instances out over
+//!   scoped threads, sharing the compiled plan and classification while each
+//!   thread reuses its own [`SolveScratch`].
+//!
+//! Results are structured: [`Resilience`] distinguishes `Finite(k)` from
+//! `Unfalsifiable` (instead of an ambiguous `Option`), [`SolveOptions`]
+//! carries the exact-search node budget and the `want_contingency` toggle
+//! (flow methods skip min-cut extraction when it is off), and fallible paths
+//! return [`SolveError`] instead of panicking.
+//!
+//! ```
+//! use cq::parse_query;
+//! use database::Database;
+//! use resilience_core::engine::{Engine, Resilience, SolveOptions};
+//!
+//! let q = parse_query("R(x,y), R(y,z)").unwrap();
+//! let compiled = Engine::compile(&q);
+//! let mut db = Database::for_query(&q);
+//! db.insert_named("R", &[1u64, 2]);
+//! db.insert_named("R", &[2u64, 3]);
+//! db.insert_named("R", &[3u64, 3]);
+//! let frozen = db.freeze();
+//! let report = compiled.solve(&frozen, &SolveOptions::new()).unwrap();
+//! assert_eq!(report.resilience, Resilience::Finite(2));
+//! ```
+
+use crate::exact::ExactSolver;
+use crate::flow_algorithms::{
+    pairwise_bipartite_resilience, permutation_flow_with, rep_flow_with, witness_path_flow_opts,
+    FlowResult,
+};
+use crate::special::{
+    a3perm_r_resilience_opts, swx3perm_r_resilience_opts, ts3conf_resilience_opts,
+};
+use cq::linear::{linear_order_all, pseudo_linear_order};
+use cq::{classify, Classification, Complexity, PtimeAlgorithm, Query};
+use database::eval::Witness;
+use database::{
+    try_relation_translation, witnesses_with_plan_into, FrozenDb, QueryPlan, TupleId, TupleStore,
+    WitnessSet,
+};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Which algorithm produced a solve result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// The database does not satisfy the query; resilience is 0.
+    AlreadyFalse,
+    /// Some witness uses only exogenous tuples; no contingency set exists.
+    Unfalsifiable,
+    /// Witness-path network flow over a linear atom order.
+    LinearFlow,
+    /// König bipartite vertex cover over two-tuple witnesses.
+    BipartiteCover,
+    /// Pair-node flow for unbound permutations.
+    PermutationFlow,
+    /// Proposition 36 flow with off-diagonal tuples frozen.
+    RepFlow,
+    /// One of the dedicated Section 8 constructions (`q_A3perm-R`,
+    /// `q_Swx3perm-R`, `q_TS3conf`).
+    SpecialFlow(&'static str),
+    /// Component-wise minimum (Lemma 14).
+    ComponentMinimum,
+    /// Exact branch-and-bound over the witness hypergraph (used for
+    /// NP-complete and open queries, and as a fallback when a polynomial
+    /// construction does not apply to the instance).
+    ExactBranchAndBound,
+}
+
+/// The resilience of a query over one instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resilience {
+    /// `ρ(q, D) = k`: deleting `k` endogenous tuples falsifies the query.
+    Finite(usize),
+    /// The query cannot be falsified by deleting endogenous tuples (some
+    /// witness uses only exogenous tuples).
+    Unfalsifiable,
+}
+
+impl Resilience {
+    /// The finite value, or `None` when unfalsifiable.
+    pub fn as_finite(self) -> Option<usize> {
+        match self {
+            Resilience::Finite(k) => Some(k),
+            Resilience::Unfalsifiable => None,
+        }
+    }
+
+    /// Whether the resilience is a finite value.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Resilience::Finite(_))
+    }
+
+    /// Whether the query cannot be falsified on this instance.
+    pub fn is_unfalsifiable(self) -> bool {
+        matches!(self, Resilience::Unfalsifiable)
+    }
+}
+
+impl From<Option<usize>> for Resilience {
+    fn from(value: Option<usize>) -> Self {
+        match value {
+            Some(k) => Resilience::Finite(k),
+            None => Resilience::Unfalsifiable,
+        }
+    }
+}
+
+impl fmt::Display for Resilience {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resilience::Finite(k) => write!(f, "{k}"),
+            Resilience::Unfalsifiable => write!(f, "unfalsifiable"),
+        }
+    }
+}
+
+/// Per-solve options (builder style).
+///
+/// ```
+/// use resilience_core::engine::SolveOptions;
+/// let opts = SolveOptions::new()
+///     .node_budget(1_000_000)
+///     .want_contingency(false);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    node_budget: usize,
+    want_contingency: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            node_budget: ExactSolver::default().node_limit,
+            want_contingency: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Default options: the exact solver's default node budget, contingency
+    /// extraction enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Upper limit on exact-search branch-and-bound nodes; exceeding it
+    /// yields [`SolveError::BudgetExhausted`] instead of a silently wrong
+    /// answer.
+    pub fn node_budget(mut self, nodes: usize) -> Self {
+        self.node_budget = nodes;
+        self
+    }
+
+    /// Whether to extract a minimum contingency set. Turning this off lets
+    /// the flow methods skip min-cut extraction (only the cut *value* is
+    /// computed) and the report's `contingency` is `None`.
+    pub fn want_contingency(mut self, want: bool) -> Self {
+        self.want_contingency = want;
+        self
+    }
+}
+
+/// A failed solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The exact branch-and-bound search hit the node budget
+    /// ([`SolveOptions::node_budget`]) before proving optimality.
+    BudgetExhausted {
+        /// Nodes explored before the search was cut off.
+        nodes_explored: usize,
+    },
+    /// The instance's schema is missing a relation the query refers to.
+    SchemaMismatch {
+        /// Name of the missing relation.
+        relation: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::BudgetExhausted { nodes_explored } => {
+                write!(f, "exact resilience search exceeded {nodes_explored} nodes")
+            }
+            SolveError::SchemaMismatch { relation } => {
+                write!(f, "database schema is missing relation {relation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Result of solving one instance through a [`CompiledQuery`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolveReport {
+    /// The resilience `ρ(q, D)`.
+    pub resilience: Resilience,
+    /// A minimum contingency set achieving the value. `None` when the
+    /// algorithm does not produce one, when the resilience is unfalsifiable,
+    /// or when [`SolveOptions::want_contingency`] is off.
+    pub contingency: Option<Vec<TupleId>>,
+    /// The algorithm used.
+    pub method: SolveMethod,
+    /// Number of witnesses of `D |= q` (after domination normalization).
+    pub witnesses: usize,
+    /// Branch-and-bound nodes explored (0 for the polynomial methods).
+    pub nodes_explored: usize,
+}
+
+/// Reusable per-thread buffers for [`CompiledQuery::solve_with_scratch`]:
+/// the witness vector's allocation survives across instances, so a batch
+/// loop does not re-grow it for every solve.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    witness_buf: Vec<Witness>,
+}
+
+impl SolveScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The engine's compile entry point; see the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine;
+
+impl Engine {
+    /// Compiles `q` once: classification (Theorem 37 + Sections 5–8),
+    /// domination normalization, the instance-free join plan for witness
+    /// enumeration and, for disconnected queries, the compiled subqueries of
+    /// every connected component.
+    pub fn compile(q: &Query) -> CompiledQuery {
+        let classification = classify(q);
+        let normalized = &classification.evidence.normalized;
+        let plan = QueryPlan::compile(normalized);
+        // Per-query atom orders used by the flow dispatches, derived once
+        // here instead of on every solve.
+        let linear_order = linear_order_all(normalized);
+        let rep_order = linear_order
+            .clone()
+            .or_else(|| pseudo_linear_order(normalized))
+            .unwrap_or_else(|| (0..normalized.num_atoms()).collect());
+        let components = match &classification.complexity {
+            Complexity::PTime(PtimeAlgorithm::ComponentWise) => {
+                let minimized = &classification.evidence.minimized;
+                minimized
+                    .components()
+                    .iter()
+                    .map(|comp| Engine::compile(&minimized.subquery(comp)))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        CompiledQuery {
+            query: q.clone(),
+            classification,
+            plan,
+            linear_order,
+            rep_order,
+            components,
+        }
+    }
+}
+
+/// A query compiled for repeated solving: classification, domination normal
+/// form and join plan are computed once and shared by every
+/// [`solve`](CompiledQuery::solve) / [`solve_batch`](CompiledQuery::solve_batch)
+/// call.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    query: Query,
+    classification: Classification,
+    plan: QueryPlan,
+    /// Linear order of all atoms of the normalized query, when one exists
+    /// (drives the witness-path flow).
+    linear_order: Option<Vec<usize>>,
+    /// Atom order for the Proposition 36 REP flow: linear, else
+    /// pseudo-linear, else query order.
+    rep_order: Vec<usize>,
+    /// Compiled subqueries, one per connected component (non-empty only for
+    /// the Lemma 14 component-wise dispatch).
+    components: Vec<CompiledQuery>,
+}
+
+impl CompiledQuery {
+    /// The query this compilation answers resilience for.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The classification computed at compile time.
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// Solves one frozen instance.
+    pub fn solve(&self, db: &FrozenDb, opts: &SolveOptions) -> Result<SolveReport, SolveError> {
+        let mut scratch = SolveScratch::new();
+        self.solve_store(db, opts, &mut scratch)
+    }
+
+    /// Solves one frozen instance, reusing the caller's scratch buffers
+    /// (the batch fast path; equivalent to [`CompiledQuery::solve`]).
+    pub fn solve_with_scratch(
+        &self,
+        db: &FrozenDb,
+        opts: &SolveOptions,
+        scratch: &mut SolveScratch,
+    ) -> Result<SolveReport, SolveError> {
+        self.solve_store(db, opts, scratch)
+    }
+
+    /// Solves many frozen instances through the shared compiled plan.
+    ///
+    /// Instances are distributed over scoped threads (at most one hardware
+    /// thread each); every worker keeps its own [`SolveScratch`]. The result
+    /// vector is index-aligned with `dbs` and each entry equals what a
+    /// sequential [`solve`](CompiledQuery::solve) of that instance returns.
+    pub fn solve_batch(
+        &self,
+        dbs: &[FrozenDb],
+        opts: &SolveOptions,
+    ) -> Vec<Result<SolveReport, SolveError>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(dbs.len())
+            .max(1);
+        if threads <= 1 {
+            let mut scratch = SolveScratch::new();
+            return dbs
+                .iter()
+                .map(|db| self.solve_store(db, opts, &mut scratch))
+                .collect();
+        }
+        let chunk = dbs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = dbs
+                .chunks(chunk)
+                .map(|chunk_dbs| {
+                    scope.spawn(move || {
+                        let mut scratch = SolveScratch::new();
+                        chunk_dbs
+                            .iter()
+                            .map(|db| self.solve_store(db, opts, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch solver thread panicked"))
+                .collect()
+        })
+    }
+
+    /// The store-generic solve core (shared by the public `FrozenDb` entry
+    /// points and the deprecated [`crate::solver::ResilienceSolver`] shim).
+    pub(crate) fn solve_store<S: TupleStore + Sync + ?Sized>(
+        &self,
+        db: &S,
+        opts: &SolveOptions,
+        scratch: &mut SolveScratch,
+    ) -> Result<SolveReport, SolveError> {
+        // All algorithms work on the domination normal form: it has the same
+        // resilience (Proposition 18) and its exogenous labelling is what the
+        // polynomial constructions rely on.
+        let q = &self.classification.evidence.normalized;
+        let translation = try_relation_translation(q, db)
+            .map_err(|relation| SolveError::SchemaMismatch { relation })?;
+        let mut buf = std::mem::take(&mut scratch.witness_buf);
+        witnesses_with_plan_into(&self.plan, &translation, db, &mut buf);
+        let ws = WitnessSet::from_witnesses(q, db, buf);
+        let result = self.dispatch(q, db, &ws, opts);
+        scratch.witness_buf = ws.into_witnesses();
+        scratch.witness_buf.clear();
+        result
+    }
+
+    fn dispatch<S: TupleStore + Sync + ?Sized>(
+        &self,
+        q: &Query,
+        db: &S,
+        ws: &WitnessSet,
+        opts: &SolveOptions,
+    ) -> Result<SolveReport, SolveError> {
+        if ws.is_empty() {
+            return Ok(SolveReport {
+                resilience: Resilience::Finite(0),
+                contingency: opts.want_contingency.then(Vec::new),
+                method: SolveMethod::AlreadyFalse,
+                witnesses: 0,
+                nodes_explored: 0,
+            });
+        }
+        if ws.has_undeletable_witness() {
+            return Ok(self.unfalsifiable_report(ws));
+        }
+        match &self.classification.complexity {
+            Complexity::PTime(alg) => self.solve_ptime(alg, q, db, ws, opts),
+            Complexity::NpComplete(_) | Complexity::Open => self.solve_exact(ws, opts),
+        }
+    }
+
+    fn unfalsifiable_report(&self, ws: &WitnessSet) -> SolveReport {
+        SolveReport {
+            resilience: Resilience::Unfalsifiable,
+            contingency: None,
+            method: SolveMethod::Unfalsifiable,
+            witnesses: ws.len(),
+            nodes_explored: 0,
+        }
+    }
+
+    fn solve_exact(&self, ws: &WitnessSet, opts: &SolveOptions) -> Result<SolveReport, SolveError> {
+        let solver = ExactSolver::with_node_limit(opts.node_budget);
+        let result =
+            solver
+                .try_resilience_of_witnesses(ws)
+                .map_err(|e| SolveError::BudgetExhausted {
+                    nodes_explored: e.nodes_explored,
+                })?;
+        Ok(SolveReport {
+            resilience: result.resilience.into(),
+            contingency: (opts.want_contingency && result.resilience.is_some())
+                .then_some(result.contingency),
+            method: SolveMethod::ExactBranchAndBound,
+            witnesses: ws.len(),
+            nodes_explored: result.nodes_explored,
+        })
+    }
+
+    fn finish_flow(
+        &self,
+        flow: FlowResult,
+        method: SolveMethod,
+        ws: &WitnessSet,
+        opts: &SolveOptions,
+    ) -> SolveReport {
+        SolveReport {
+            resilience: Resilience::Finite(flow.resilience),
+            contingency: opts.want_contingency.then_some(flow.contingency),
+            method,
+            witnesses: ws.len(),
+            nodes_explored: 0,
+        }
+    }
+
+    fn solve_ptime<S: TupleStore + Sync + ?Sized>(
+        &self,
+        alg: &PtimeAlgorithm,
+        q: &Query,
+        db: &S,
+        ws: &WitnessSet,
+        opts: &SolveOptions,
+    ) -> Result<SolveReport, SolveError> {
+        match alg {
+            PtimeAlgorithm::Unfalsifiable => Ok(self.unfalsifiable_report(ws)),
+            PtimeAlgorithm::ComponentWise => self.solve_componentwise(db, ws, opts),
+            PtimeAlgorithm::SjFreeLinearFlow | PtimeAlgorithm::ConfluenceFlow => {
+                if let Some(order) = &self.linear_order {
+                    if let Some(flow) = witness_path_flow_opts(
+                        q,
+                        db,
+                        ws,
+                        order,
+                        &HashSet::new(),
+                        opts.want_contingency,
+                    ) {
+                        return Ok(self.finish_flow(flow, SolveMethod::LinearFlow, ws, opts));
+                    }
+                }
+                if let Some(value) = pairwise_bipartite_resilience(ws) {
+                    return Ok(SolveReport {
+                        resilience: Resilience::Finite(value),
+                        contingency: None,
+                        method: SolveMethod::BipartiteCover,
+                        witnesses: ws.len(),
+                        nodes_explored: 0,
+                    });
+                }
+                self.solve_exact(ws, opts)
+            }
+            PtimeAlgorithm::UnboundPermutation => {
+                match permutation_flow_with(q, db, ws, opts.want_contingency) {
+                    Some(flow) => {
+                        Ok(self.finish_flow(flow, SolveMethod::PermutationFlow, ws, opts))
+                    }
+                    None => self.solve_exact(ws, opts),
+                }
+            }
+            PtimeAlgorithm::RepeatedVariableFlow => {
+                match rep_flow_with(q, db, ws, &self.rep_order, opts.want_contingency) {
+                    Some(flow) => Ok(self.finish_flow(flow, SolveMethod::RepFlow, ws, opts)),
+                    None => self.solve_exact(ws, opts),
+                }
+            }
+            PtimeAlgorithm::CatalogueMatch(name) => self.solve_catalogue(name, q, db, ws, opts),
+        }
+    }
+
+    fn solve_catalogue<S: TupleStore + Sync + ?Sized>(
+        &self,
+        name: &str,
+        q: &Query,
+        db: &S,
+        ws: &WitnessSet,
+        opts: &SolveOptions,
+    ) -> Result<SolveReport, SolveError> {
+        let want = opts.want_contingency;
+        let special = match name {
+            "q_A3perm-R" => a3perm_r_resilience_opts(q, db, want).map(|f| (f, "q_A3perm-R")),
+            "q_Swx3perm-R" => swx3perm_r_resilience_opts(q, db, want).map(|f| (f, "q_Swx3perm-R")),
+            "q_TS3conf" => ts3conf_resilience_opts(q, db, want).map(|f| (f, "q_TS3conf")),
+            "q_perm" | "q_Aperm" => {
+                return match permutation_flow_with(q, db, ws, want) {
+                    Some(flow) => {
+                        Ok(self.finish_flow(flow, SolveMethod::PermutationFlow, ws, opts))
+                    }
+                    None => self.solve_exact(ws, opts),
+                }
+            }
+            _ => None,
+        };
+        match special {
+            Some((flow, tag)) => {
+                Ok(self.finish_flow(flow, SolveMethod::SpecialFlow(tag), ws, opts))
+            }
+            None => {
+                // The query matched a catalogue entry structurally but uses
+                // different relation names than the dedicated construction
+                // expects; fall back to the exact solver (still correct, just
+                // not polynomial-by-construction).
+                self.solve_exact(ws, opts)
+            }
+        }
+    }
+
+    fn solve_componentwise<S: TupleStore + Sync + ?Sized>(
+        &self,
+        db: &S,
+        ws: &WitnessSet,
+        opts: &SolveOptions,
+    ) -> Result<SolveReport, SolveError> {
+        // Components are independent subproblems (Lemma 14), each with its
+        // own precompiled subquery: solve them on scoped threads. (The build
+        // environment has no rayon; see vendor/README.md. std::thread::scope
+        // gives the same fork-join shape without a dependency.)
+        let reports: Vec<Result<SolveReport, SolveError>> = if self.components.len() <= 1 {
+            self.components
+                .iter()
+                .map(|sub| sub.solve_store(db, opts, &mut SolveScratch::new()))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .components
+                    .iter()
+                    .map(|sub| {
+                        scope.spawn(move || sub.solve_store(db, opts, &mut SolveScratch::new()))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("component solver panicked"))
+                    .collect()
+            })
+        };
+        let mut nodes_explored = 0usize;
+        let mut best: Option<(usize, Option<Vec<TupleId>>)> = None;
+        for report in reports {
+            let report = report?;
+            nodes_explored += report.nodes_explored;
+            if let Resilience::Finite(r) = report.resilience {
+                let better = best.as_ref().is_none_or(|(b, _)| r < *b);
+                if better {
+                    best = Some((r, report.contingency));
+                }
+            }
+        }
+        Ok(match best {
+            Some((r, gamma)) => SolveReport {
+                resilience: Resilience::Finite(r),
+                // Propagate the winning component's certificate as-is: if its
+                // method produced no contingency set (e.g. BipartiteCover),
+                // the report must say `None`, not claim an empty set.
+                contingency: if opts.want_contingency { gamma } else { None },
+                method: SolveMethod::ComponentMinimum,
+                witnesses: ws.len(),
+                nodes_explored,
+            },
+            None => self.unfalsifiable_report(ws),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::catalogue;
+    use cq::parse_query;
+    use database::Database;
+
+    fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
+        let mut db = Database::for_query(q);
+        for (rel, vals) in rows {
+            db.insert_named(rel, vals);
+        }
+        db
+    }
+
+    fn chain_instances(n: usize) -> (Query, Vec<FrozenDb>) {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let dbs = (0..n)
+            .map(|i| {
+                let mut db = Database::for_query(&q);
+                for j in 0..5u64 {
+                    db.insert_named("R", &[j, (j + 1 + i as u64) % 6]);
+                }
+                db.freeze()
+            })
+            .collect();
+        (q, dbs)
+    }
+
+    #[test]
+    fn compile_once_solve_many() {
+        let (q, dbs) = chain_instances(8);
+        let compiled = Engine::compile(&q);
+        let opts = SolveOptions::new();
+        let reports = compiled.solve_batch(&dbs, &opts);
+        assert_eq!(reports.len(), dbs.len());
+        for (db, report) in dbs.iter().zip(&reports) {
+            let report = report.as_ref().unwrap();
+            let sequential = compiled.solve(db, &opts).unwrap();
+            assert_eq!(report, &sequential);
+        }
+    }
+
+    #[test]
+    fn report_matches_exact_on_the_paper_example() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+        let compiled = Engine::compile(&q);
+        let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+        assert_eq!(report.resilience, Resilience::Finite(2));
+        assert_eq!(report.method, SolveMethod::ExactBranchAndBound);
+        assert_eq!(report.witnesses, 3);
+        assert!(report.nodes_explored > 0);
+        assert_eq!(report.contingency.as_ref().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn want_contingency_off_skips_extraction_but_keeps_values() {
+        // Covers every flow family: linear, permutation, REP, and the three
+        // dedicated Section 8 constructions (whose value-only paths compute
+        // the resilience without translating the cut back to tuples).
+        for nq in [
+            catalogue::q_acconf(),
+            catalogue::q_aperm(),
+            catalogue::z3(),
+            catalogue::q_a3perm_r(),
+            catalogue::q_swx3perm_r(),
+            catalogue::q_ts3conf(),
+        ] {
+            let compiled = Engine::compile(&nq.query);
+            let mut db = Database::for_query(&nq.query);
+            for rel in nq.query.schema().relation_ids() {
+                let name = nq.query.schema().name(rel).to_string();
+                match nq.query.schema().arity(rel) {
+                    1 => {
+                        for v in 0..4u64 {
+                            db.insert_named(&name, &[v]);
+                        }
+                    }
+                    _ => {
+                        for (a, b) in [(0u64, 1u64), (1, 0), (1, 2), (2, 2), (3, 1)] {
+                            db.insert_named(&name, &[a, b]);
+                        }
+                    }
+                }
+            }
+            let frozen = db.freeze();
+            let with = compiled
+                .solve(&frozen, &SolveOptions::new().want_contingency(true))
+                .unwrap();
+            let without = compiled
+                .solve(&frozen, &SolveOptions::new().want_contingency(false))
+                .unwrap();
+            assert_eq!(with.resilience, without.resilience, "{}", nq.name);
+            assert_eq!(with.method, without.method, "{}", nq.name);
+            assert!(without.contingency.is_none(), "{}", nq.name);
+        }
+    }
+
+    #[test]
+    fn node_budget_is_a_result_not_a_panic() {
+        let q = parse_query("R(x), S(x,y), R(y)").unwrap();
+        let mut db = Database::for_query(&q);
+        for v in 0..12u64 {
+            db.insert_named("R", &[v]);
+            for w in 0..12u64 {
+                if v < w {
+                    db.insert_named("S", &[v, w]);
+                }
+            }
+        }
+        let compiled = Engine::compile(&q);
+        let err = compiled
+            .solve(&db.freeze(), &SolveOptions::new().node_budget(3))
+            .unwrap_err();
+        assert_eq!(err, SolveError::BudgetExhausted { nodes_explored: 3 });
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_result_not_a_panic() {
+        let q = parse_query("R(x,y), Z(y)").unwrap();
+        let q_r_only = parse_query("R(x,y)").unwrap();
+        let mut db = Database::for_query(&q_r_only);
+        db.insert_named("R", &[1, 2]);
+        let compiled = Engine::compile(&q);
+        let err = compiled
+            .solve(&db.freeze(), &SolveOptions::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::SchemaMismatch {
+                relation: "Z".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn disconnected_query_uses_precompiled_components() {
+        let q = parse_query("A(x), R(x,y), B(u), S(u,v)").unwrap();
+        let compiled = Engine::compile(&q);
+        assert_eq!(compiled.components.len(), 2);
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("B", &[5]),
+                ("S", &[5, 50]),
+            ],
+        );
+        let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+        assert_eq!(report.method, SolveMethod::ComponentMinimum);
+        assert_eq!(report.resilience, Resilience::Finite(1));
+    }
+
+    #[test]
+    fn component_minimum_never_fabricates_an_empty_certificate() {
+        // q_rats joined with an unrelated component: the winning component
+        // may solve via a method with no certificate (BipartiteCover). The
+        // report must then say `contingency: None` — an empty set would be a
+        // wrong certificate for a positive resilience.
+        let q = parse_query("R^x(x,y), A(x), T^x(z,x), S(y,z), B(u), V(u,v)").unwrap();
+        let compiled = Engine::compile(&q);
+        assert_eq!(compiled.components.len(), 2);
+        let db = build_db(
+            &q,
+            &[
+                // q_rats component: pairwise witnesses, König path.
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("T", &[20, 1]),
+                ("T", &[21, 2]),
+                ("S", &[10, 20]),
+                ("S", &[11, 21]),
+                ("S", &[10, 21]),
+                // B/V component: resilience 3 (three disjoint witnesses), so
+                // the rats component wins the minimum.
+                ("B", &[5]),
+                ("B", &[6]),
+                ("B", &[7]),
+                ("V", &[5, 50]),
+                ("V", &[6, 60]),
+                ("V", &[7, 70]),
+            ],
+        );
+        let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+        assert_eq!(report.method, SolveMethod::ComponentMinimum);
+        let value = report.resilience.as_finite().unwrap();
+        assert!(value > 0);
+        if let Some(gamma) = &report.contingency {
+            assert_eq!(gamma.len(), value, "certificate must match the value");
+        }
+    }
+
+    #[test]
+    fn unfalsifiable_and_already_false_reports() {
+        let q = parse_query("R^x(x,y)").unwrap();
+        let compiled = Engine::compile(&q);
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+        assert_eq!(report.resilience, Resilience::Unfalsifiable);
+        assert!(report.resilience.is_unfalsifiable());
+        assert_eq!(report.resilience.as_finite(), None);
+
+        let empty = Database::for_query(&q).freeze();
+        let report = compiled.solve(&empty, &SolveOptions::new()).unwrap();
+        assert_eq!(report.resilience, Resilience::Finite(0));
+        assert_eq!(report.method, SolveMethod::AlreadyFalse);
+        assert_eq!(report.contingency, Some(Vec::new()));
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_solves() {
+        let (q, dbs) = chain_instances(5);
+        let compiled = Engine::compile(&q);
+        let opts = SolveOptions::new();
+        let mut scratch = SolveScratch::new();
+        for db in &dbs {
+            let reused = compiled
+                .solve_with_scratch(db, &opts, &mut scratch)
+                .unwrap();
+            let fresh = compiled.solve(db, &opts).unwrap();
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn resilience_display_and_conversions() {
+        assert_eq!(Resilience::Finite(3).to_string(), "3");
+        assert_eq!(Resilience::Unfalsifiable.to_string(), "unfalsifiable");
+        assert_eq!(Resilience::from(Some(2)), Resilience::Finite(2));
+        assert_eq!(Resilience::from(None), Resilience::Unfalsifiable);
+        assert!(Resilience::Finite(0).is_finite());
+    }
+}

@@ -21,7 +21,29 @@
 //! the hardness gadgets (hundreds of tuples, thousands of witnesses).
 
 use cq::Query;
-use database::{Database, FxHashMap, TupleId, WitnessSet};
+use database::{FxHashMap, TupleId, TupleStore, WitnessSet};
+
+/// The branch-and-bound search hit its node budget before proving
+/// optimality. Returned by the fallible [`ExactSolver::try_resilience`]
+/// family; the panicking wrappers keep the legacy contract (a loud panic
+/// rather than a silently wrong answer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Nodes explored before the search was cut off (equals the budget).
+    pub nodes_explored: usize,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exact resilience search exceeded {} nodes",
+            self.nodes_explored
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
 
 /// Result of an exact resilience computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,26 +87,53 @@ impl ExactSolver {
     }
 
     /// Computes the exact resilience of `q` over `db`.
-    pub fn resilience(&self, q: &Query, db: &Database) -> ExactResult {
+    pub fn resilience<S: TupleStore + ?Sized>(&self, q: &Query, db: &S) -> ExactResult {
         let ws = WitnessSet::build(q, db);
         self.resilience_of_witnesses(&ws)
     }
 
+    /// Fallible variant of [`ExactSolver::resilience`]: returns
+    /// `Err(BudgetExhausted)` instead of panicking when the node budget runs
+    /// out.
+    pub fn try_resilience<S: TupleStore + ?Sized>(
+        &self,
+        q: &Query,
+        db: &S,
+    ) -> Result<ExactResult, BudgetExhausted> {
+        let ws = WitnessSet::build(q, db);
+        self.try_resilience_of_witnesses(&ws)
+    }
+
     /// Computes a minimum hitting set of the witness hypergraph directly.
+    ///
+    /// # Panics
+    /// Panics if the node budget is exhausted (see
+    /// [`ExactSolver::try_resilience_of_witnesses`] for the fallible form).
     pub fn resilience_of_witnesses(&self, ws: &WitnessSet) -> ExactResult {
+        self.try_resilience_of_witnesses(ws)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible minimum hitting set over the witness hypergraph: returns
+    /// `Err(BudgetExhausted)` when the branch-and-bound search would exceed
+    /// the solver's node budget.
+    pub fn try_resilience_of_witnesses(
+        &self,
+        ws: &WitnessSet,
+    ) -> Result<ExactResult, BudgetExhausted> {
         if ws.is_empty() {
-            return ExactResult {
+            return Ok(ExactResult {
                 resilience: Some(0),
                 contingency: Vec::new(),
                 nodes_explored: 0,
-            };
+            });
         }
         if ws.has_undeletable_witness() {
-            return ExactResult {
+            return Ok(ExactResult {
                 resilience: None,
                 contingency: Vec::new(),
                 nodes_explored: 0,
-            };
+            });
         }
         // Dense renumbering of the relevant tuples; all bitsets below are
         // indexed in this space.
@@ -123,20 +172,24 @@ impl ExactSolver {
             nodes: 0,
         };
         let mut current: Vec<u32> = Vec::new();
-        state.branch(&mut current);
+        if !state.branch(&mut current) {
+            return Err(BudgetExhausted {
+                nodes_explored: state.nodes,
+            });
+        }
 
         let mut contingency: Vec<TupleId> =
             state.best.iter().map(|&e| universe[e as usize]).collect();
         contingency.sort_unstable();
-        ExactResult {
+        Ok(ExactResult {
             resilience: Some(contingency.len()),
             contingency,
             nodes_explored: state.nodes,
-        }
+        })
     }
 
     /// Convenience: just the numeric resilience.
-    pub fn resilience_value(&self, q: &Query, db: &Database) -> Option<usize> {
+    pub fn resilience_value<S: TupleStore + ?Sized>(&self, q: &Query, db: &S) -> Option<usize> {
         self.resilience(q, db).resilience
     }
 
@@ -144,7 +197,7 @@ impl ExactSolver {
     ///
     /// Requires `D |= q` (otherwise the instance is not in the decision
     /// problem at all, mirroring the paper's definition).
-    pub fn decide(&self, q: &Query, db: &Database, k: usize) -> bool {
+    pub fn decide<S: TupleStore + ?Sized>(&self, q: &Query, db: &S, k: usize) -> bool {
         let ws = WitnessSet::build(q, db);
         if ws.is_empty() {
             return false; // D does not satisfy q
@@ -177,15 +230,15 @@ struct SearchState {
 }
 
 impl SearchState {
-    fn branch(&mut self, current: &mut Vec<u32>) {
+    /// Explores one branch-and-bound node. Returns `false` when the node
+    /// budget is exhausted (the search is then abandoned wholesale).
+    fn branch(&mut self, current: &mut Vec<u32>) -> bool {
+        if self.nodes >= self.node_limit {
+            return false;
+        }
         self.nodes += 1;
-        assert!(
-            self.nodes <= self.node_limit,
-            "exact resilience search exceeded {} nodes",
-            self.node_limit
-        );
         if current.len() + self.lower_bound() >= self.best.len() {
-            return;
+            return true;
         }
         // Pick the uncovered set with the fewest tuples.
         let mut pick: Option<usize> = None;
@@ -203,16 +256,20 @@ impl SearchState {
             if current.len() < self.best.len() {
                 self.best = current.clone();
             }
-            return;
+            return true;
         };
         for j in 0..self.sets_elems[pick].len() {
             let e = self.sets_elems[pick][j];
             current.push(e);
             self.chosen[(e / 64) as usize] |= 1u64 << (e % 64);
-            self.branch(current);
+            let alive = self.branch(current);
             self.chosen[(e / 64) as usize] &= !(1u64 << (e % 64));
             current.pop();
+            if !alive {
+                return false;
+            }
         }
+        true
     }
 
     /// Lower bound: greedily pack witness sets that are pairwise disjoint and

@@ -23,7 +23,7 @@
 use cq::linear::linear_order_all;
 use cq::patterns::single_self_join_relation;
 use cq::Query;
-use database::{Database, FxHashMap, TupleId, WitnessSet};
+use database::{FxHashMap, TupleId, TupleStore, WitnessSet};
 use flow::{VertexCutNetwork, INF};
 use std::collections::HashSet;
 
@@ -98,12 +98,27 @@ pub struct FlowResult {
 /// itself a witness, so the minimum vertex cut equals the resilience.
 ///
 /// Returns `None` if some witness has no cuttable tuple at all.
-pub fn witness_path_flow(
+pub fn witness_path_flow<S: TupleStore + ?Sized>(
     q: &Query,
-    db: &Database,
+    db: &S,
     ws: &WitnessSet,
     atom_order: &[usize],
     uncuttable: &HashSet<TupleId>,
+) -> Option<FlowResult> {
+    witness_path_flow_opts(q, db, ws, atom_order, uncuttable, true)
+}
+
+/// [`witness_path_flow`] with contingency extraction made optional: with
+/// `want_contingency = false` only the cut *value* is computed (the
+/// residual-reachability sweep and cut translation are skipped) and the
+/// returned contingency is empty.
+pub fn witness_path_flow_opts<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    ws: &WitnessSet,
+    atom_order: &[usize],
+    uncuttable: &HashSet<TupleId>,
+    want_contingency: bool,
 ) -> Option<FlowResult> {
     if ws.is_empty() {
         return Some(FlowResult {
@@ -144,6 +159,12 @@ pub fn witness_path_flow(
     for (from, to) in edges {
         network.add_edge(from as usize, to as usize);
     }
+    if !want_contingency {
+        return Some(FlowResult {
+            resilience: network.min_vertex_cut_value(source, target) as usize,
+            contingency: Vec::new(),
+        });
+    }
     let cut = network.min_vertex_cut(source, target);
     let contingency: Vec<TupleId> = cut
         .cut_vertices
@@ -158,7 +179,7 @@ pub fn witness_path_flow(
 
 /// Witness-path flow using the query's own linear order of all atoms.
 /// Returns `None` if the query is not linear or some witness is uncuttable.
-pub fn linear_query_flow(q: &Query, db: &Database) -> Option<FlowResult> {
+pub fn linear_query_flow<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<FlowResult> {
     let order = linear_order_all(q)?;
     let ws = WitnessSet::build(q, db);
     witness_path_flow(q, db, &ws, &order, &HashSet::new())
@@ -210,12 +231,27 @@ pub fn pairwise_bipartite_resilience(ws: &WitnessSet) -> Option<usize> {
 /// destroyed further left. The construction collapses each symmetric pair to
 /// a single unit-capacity "pair node" placed after the remaining endogenous
 /// tuples of the witness (taken in the query's pseudo-linear order).
-pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+pub fn permutation_flow_resilience<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+) -> Option<FlowResult> {
+    let ws = WitnessSet::build(q, db);
+    permutation_flow_with(q, db, &ws, true)
+}
+
+/// [`permutation_flow_resilience`] over an already-built witness set, with
+/// optional contingency extraction. Used by the engine so the per-instance
+/// witness enumeration is shared with the dispatcher.
+pub fn permutation_flow_with<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    ws: &WitnessSet,
+    want_contingency: bool,
+) -> Option<FlowResult> {
     let (rel, r_atoms) = single_self_join_relation(q)?;
     if r_atoms.len() != 2 {
         return None;
     }
-    let ws = WitnessSet::build(q, db);
     if ws.is_empty() {
         return Some(FlowResult {
             resilience: 0,
@@ -283,6 +319,12 @@ pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResul
     for (from, to) in edges {
         network.add_edge(from as usize, to as usize);
     }
+    if !want_contingency {
+        return Some(FlowResult {
+            resilience: network.min_vertex_cut_value(source, target) as usize,
+            contingency: Vec::new(),
+        });
+    }
     let cut = network.min_vertex_cut(source, target);
     let contingency: Vec<TupleId> = cut
         .cut_vertices
@@ -299,7 +341,31 @@ pub fn permutation_flow_resilience(q: &Query, db: &Database) -> Option<FlowResul
 /// `R(a,b)` with `a != b` are never needed in a minimum contingency set, so
 /// they are treated as uncuttable and the witness-path flow applies over the
 /// pseudo-linear order of the endogenous atoms.
-pub fn rep_flow_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+pub fn rep_flow_resilience<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<FlowResult> {
+    let ws = WitnessSet::build(q, db);
+    let order = rep_atom_order(q);
+    rep_flow_with(q, db, &ws, &order, true)
+}
+
+/// The atom order the REP flow walks: linear, else pseudo-linear, else
+/// query order. Depends only on the query, so batch callers (the engine)
+/// compute it once per compilation.
+pub fn rep_atom_order(q: &Query) -> Vec<usize> {
+    cq::linear::linear_order_all(q)
+        .or_else(|| cq::linear::pseudo_linear_order(q))
+        .unwrap_or_else(|| (0..q.num_atoms()).collect())
+}
+
+/// [`rep_flow_resilience`] over an already-built witness set and a
+/// precomputed [`rep_atom_order`], with optional contingency extraction
+/// (engine entry point).
+pub fn rep_flow_with<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    ws: &WitnessSet,
+    atom_order: &[usize],
+    want_contingency: bool,
+) -> Option<FlowResult> {
     let (rel, _) = single_self_join_relation(q)?;
     let db_rel = db.schema().relation_id(q.schema().name(rel))?;
     let mut uncuttable: HashSet<TupleId> = HashSet::new();
@@ -309,11 +375,7 @@ pub fn rep_flow_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
             uncuttable.insert(t);
         }
     }
-    let ws = WitnessSet::build(q, db);
-    let order = cq::linear::linear_order_all(q)
-        .or_else(|| cq::linear::pseudo_linear_order(q))
-        .unwrap_or_else(|| (0..q.num_atoms()).collect());
-    witness_path_flow(q, db, &ws, &order, &uncuttable)
+    witness_path_flow_opts(q, db, ws, atom_order, &uncuttable, want_contingency)
 }
 
 #[cfg(test)]
@@ -321,6 +383,7 @@ mod tests {
     use super::*;
     use crate::exact::ExactSolver;
     use cq::parse_query;
+    use database::Database;
 
     fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
         let mut db = Database::for_query(q);

@@ -13,9 +13,13 @@
 //!   Proposition 36 REP flow);
 //! * [`special`] — the dedicated flow graphs of Propositions 13, 41 and 44
 //!   (`q_A3perm-R`, `q_TS3conf`, `q_Swx3perm-R`);
-//! * [`solver`] — [`solver::ResilienceSolver`], which classifies the query
-//!   with `cq::classify` (Theorem 37 + Sections 5–8) and dispatches each
-//!   instance to the matching algorithm;
+//! * [`engine`] — the compiled, batched API: [`engine::Engine::compile`]
+//!   runs classification + join-plan compilation once per query, and the
+//!   resulting [`engine::CompiledQuery`] solves one frozen instance
+//!   ([`engine::CompiledQuery::solve`]) or many in parallel
+//!   ([`engine::CompiledQuery::solve_batch`]);
+//! * [`solver`] — the legacy one-call [`solver::ResilienceSolver`] facade,
+//!   kept as a deprecated shim over the engine;
 //! * [`ijp`] — Independent Join Paths (Section 9): verification of
 //!   Definition 48 and the automated partition-enumeration search of
 //!   Appendix C.2.
@@ -23,20 +27,23 @@
 //! ```
 //! use cq::parse_query;
 //! use database::Database;
-//! use resilience_core::solver::ResilienceSolver;
+//! use resilience_core::engine::{Engine, Resilience, SolveOptions};
 //!
 //! let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap(); // q_ACconf
+//! let compiled = Engine::compile(&q);
+//! assert!(compiled.classification().complexity.is_ptime());
+//!
 //! let mut db = Database::for_query(&q);
 //! db.insert_named("A", &[1u64]);
 //! db.insert_named("R", &[1u64, 2]);
 //! db.insert_named("R", &[3u64, 2]);
 //! db.insert_named("C", &[3u64]);
-//! let solver = ResilienceSolver::new(&q);
-//! assert!(solver.classification().complexity.is_ptime());
-//! assert_eq!(solver.resilience(&db), Some(1));
+//! let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+//! assert_eq!(report.resilience, Resilience::Finite(1));
 //! ```
 
 pub mod approx;
+pub mod engine;
 pub mod exact;
 pub mod flow_algorithms;
 pub mod ijp;
@@ -44,6 +51,11 @@ pub mod solver;
 pub mod special;
 
 pub use approx::ResilienceBounds;
-pub use exact::{ExactResult, ExactSolver};
+pub use engine::{
+    CompiledQuery, Engine, Resilience, SolveError, SolveOptions, SolveReport, SolveScratch,
+};
+pub use exact::{BudgetExhausted, ExactResult, ExactSolver};
 pub use flow_algorithms::FlowResult;
-pub use solver::{ResilienceSolver, SolveMethod, SolveOutcome};
+#[allow(deprecated)]
+pub use solver::ResilienceSolver;
+pub use solver::{SolveMethod, SolveOutcome};

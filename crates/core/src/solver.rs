@@ -1,44 +1,29 @@
-//! The unified resilience solver: classify the query, then dispatch to the
-//! matching polynomial algorithm or to the exact branch-and-bound solver.
+//! The legacy one-call solver facade, kept as a thin shim over the
+//! [`engine`](crate::engine).
+//!
+//! [`ResilienceSolver`] predates the compiled API: it classified the query
+//! at construction and re-planned everything else on every
+//! [`solve`](ResilienceSolver::solve) call. It now simply forwards to a
+//! [`CompiledQuery`] so existing callers keep working, but new code should
+//! use the engine directly:
+//!
+//! * `ResilienceSolver::new(&q)` → [`Engine::compile(&q)`](crate::engine::Engine::compile)
+//! * `solver.solve(&db)` → `compiled.solve(&db.freeze(), &SolveOptions::new())`
+//! * `solver.resilience(&db)` → `report.resilience.as_finite()`
+//!
+//! The shim preserves the legacy panicking contract: an exhausted exact
+//! node budget or a schema mismatch panics here, whereas the engine returns
+//! a [`SolveError`](crate::engine::SolveError).
 
-use crate::exact::ExactSolver;
-use crate::flow_algorithms::{
-    pairwise_bipartite_resilience, permutation_flow_resilience, rep_flow_resilience,
-    witness_path_flow, FlowResult,
-};
-use crate::special::{a3perm_r_resilience, swx3perm_r_resilience, ts3conf_resilience};
-use cq::linear::linear_order_all;
-use cq::{classify, Classification, Complexity, PtimeAlgorithm, Query};
-use database::{Database, TupleId, WitnessSet};
-use std::collections::HashSet;
+#![allow(deprecated)]
 
-/// Which algorithm produced a [`SolveOutcome`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SolveMethod {
-    /// The database does not satisfy the query; resilience is 0.
-    AlreadyFalse,
-    /// Some witness uses only exogenous tuples; no contingency set exists.
-    Unfalsifiable,
-    /// Witness-path network flow over a linear atom order.
-    LinearFlow,
-    /// König bipartite vertex cover over two-tuple witnesses.
-    BipartiteCover,
-    /// Pair-node flow for unbound permutations.
-    PermutationFlow,
-    /// Proposition 36 flow with off-diagonal tuples frozen.
-    RepFlow,
-    /// One of the dedicated Section 8 constructions (`q_A3perm-R`,
-    /// `q_Swx3perm-R`, `q_TS3conf`).
-    SpecialFlow(&'static str),
-    /// Component-wise minimum (Lemma 14).
-    ComponentMinimum,
-    /// Exact branch-and-bound over the witness hypergraph (used for
-    /// NP-complete and open queries, and as a fallback when a polynomial
-    /// construction does not apply to the instance).
-    ExactBranchAndBound,
-}
+use crate::engine::{CompiledQuery, Engine, SolveOptions, SolveScratch};
+use cq::{Classification, Query};
+use database::{Database, TupleId};
 
-/// Result of solving one resilience instance.
+pub use crate::engine::SolveMethod;
+
+/// Result of solving one resilience instance through the legacy facade.
 #[derive(Clone, Debug)]
 pub struct SolveOutcome {
     /// The resilience `ρ(q, D)`, or `None` when the query cannot be
@@ -51,63 +36,60 @@ pub struct SolveOutcome {
     pub method: SolveMethod,
 }
 
-/// A resilience solver specialized to one query.
+/// A resilience solver specialized to one query (legacy facade).
 ///
 /// Construction runs the dichotomy classifier once; each call to
 /// [`ResilienceSolver::solve`] then dispatches to the right algorithm for the
 /// given database instance.
+#[deprecated(
+    since = "0.2.0",
+    note = "use resilience_core::engine::Engine::compile and CompiledQuery::solve / solve_batch"
+)]
 #[derive(Clone, Debug)]
 pub struct ResilienceSolver {
-    query: Query,
-    classification: Classification,
-    exact: ExactSolver,
+    compiled: CompiledQuery,
 }
 
 impl ResilienceSolver {
-    /// Builds a solver for `q`.
+    /// Builds a solver for `q` (compiles the query through the engine).
     pub fn new(q: &Query) -> Self {
         ResilienceSolver {
-            query: q.clone(),
-            classification: classify(q),
-            exact: ExactSolver::new(),
+            compiled: Engine::compile(q),
         }
     }
 
     /// The classification computed at construction time.
     pub fn classification(&self) -> &Classification {
-        &self.classification
+        self.compiled.classification()
     }
 
     /// The query this solver answers resilience for.
     pub fn query(&self) -> &Query {
-        &self.query
+        self.compiled.query()
+    }
+
+    /// The underlying compiled query, for incremental migration.
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
     }
 
     /// Computes the resilience of the query over `db`.
+    ///
+    /// # Panics
+    /// Panics if the exact search exceeds its node budget or `db` is missing
+    /// a relation of the query (the engine returns these as errors instead).
     pub fn solve(&self, db: &Database) -> SolveOutcome {
-        // All algorithms work on the domination normal form: it has the same
-        // resilience (Proposition 18) and its exogenous labelling is what the
-        // polynomial constructions rely on.
-        let q = &self.classification.evidence.normalized;
-        let ws = WitnessSet::build(q, db);
-        if ws.is_empty() {
-            return SolveOutcome {
-                resilience: Some(0),
-                contingency: Some(Vec::new()),
-                method: SolveMethod::AlreadyFalse,
-            };
-        }
-        if ws.has_undeletable_witness() {
-            return SolveOutcome {
-                resilience: None,
-                contingency: None,
-                method: SolveMethod::Unfalsifiable,
-            };
-        }
-
-        match &self.classification.complexity {
-            Complexity::PTime(alg) => self.solve_ptime(alg, q, db, &ws),
-            Complexity::NpComplete(_) | Complexity::Open => self.solve_exact(&ws),
+        let mut scratch = SolveScratch::new();
+        match self
+            .compiled
+            .solve_store(db, &SolveOptions::new(), &mut scratch)
+        {
+            Ok(report) => SolveOutcome {
+                resilience: report.resilience.as_finite(),
+                contingency: report.contingency,
+                method: report.method,
+            },
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -115,155 +97,16 @@ impl ResilienceSolver {
     pub fn resilience(&self, db: &Database) -> Option<usize> {
         self.solve(db).resilience
     }
-
-    fn solve_exact(&self, ws: &WitnessSet) -> SolveOutcome {
-        let result = self.exact.resilience_of_witnesses(ws);
-        SolveOutcome {
-            resilience: result.resilience,
-            contingency: Some(result.contingency),
-            method: SolveMethod::ExactBranchAndBound,
-        }
-    }
-
-    fn finish_flow(&self, flow: FlowResult, method: SolveMethod) -> SolveOutcome {
-        SolveOutcome {
-            resilience: Some(flow.resilience),
-            contingency: Some(flow.contingency),
-            method,
-        }
-    }
-
-    fn solve_ptime(
-        &self,
-        alg: &PtimeAlgorithm,
-        q: &Query,
-        db: &Database,
-        ws: &WitnessSet,
-    ) -> SolveOutcome {
-        match alg {
-            PtimeAlgorithm::Unfalsifiable => SolveOutcome {
-                resilience: None,
-                contingency: None,
-                method: SolveMethod::Unfalsifiable,
-            },
-            PtimeAlgorithm::ComponentWise => self.solve_componentwise(db),
-            PtimeAlgorithm::SjFreeLinearFlow | PtimeAlgorithm::ConfluenceFlow => {
-                if let Some(order) = linear_order_all(q) {
-                    if let Some(flow) = witness_path_flow(q, db, ws, &order, &HashSet::new()) {
-                        return self.finish_flow(flow, SolveMethod::LinearFlow);
-                    }
-                }
-                if let Some(value) = pairwise_bipartite_resilience(ws) {
-                    return SolveOutcome {
-                        resilience: Some(value),
-                        contingency: None,
-                        method: SolveMethod::BipartiteCover,
-                    };
-                }
-                self.solve_exact(ws)
-            }
-            PtimeAlgorithm::UnboundPermutation => match permutation_flow_resilience(q, db) {
-                Some(flow) => self.finish_flow(flow, SolveMethod::PermutationFlow),
-                None => self.solve_exact(ws),
-            },
-            PtimeAlgorithm::RepeatedVariableFlow => match rep_flow_resilience(q, db) {
-                Some(flow) => self.finish_flow(flow, SolveMethod::RepFlow),
-                None => self.solve_exact(ws),
-            },
-            PtimeAlgorithm::CatalogueMatch(name) => self.solve_catalogue(name, q, db, ws),
-        }
-    }
-
-    fn solve_catalogue(
-        &self,
-        name: &str,
-        q: &Query,
-        db: &Database,
-        ws: &WitnessSet,
-    ) -> SolveOutcome {
-        let special = match name {
-            "q_A3perm-R" => a3perm_r_resilience(q, db).map(|f| (f, "q_A3perm-R")),
-            "q_Swx3perm-R" => swx3perm_r_resilience(q, db).map(|f| (f, "q_Swx3perm-R")),
-            "q_TS3conf" => ts3conf_resilience(q, db).map(|f| (f, "q_TS3conf")),
-            "q_perm" | "q_Aperm" => {
-                return match permutation_flow_resilience(q, db) {
-                    Some(flow) => self.finish_flow(flow, SolveMethod::PermutationFlow),
-                    None => self.solve_exact(ws),
-                }
-            }
-            _ => None,
-        };
-        match special {
-            Some((flow, tag)) => self.finish_flow(flow, SolveMethod::SpecialFlow(tag)),
-            None => {
-                // The query matched a catalogue entry structurally but uses
-                // different relation names than the dedicated construction
-                // expects; fall back to the exact solver (still correct, just
-                // not polynomial-by-construction).
-                self.solve_exact(ws)
-            }
-        }
-    }
-
-    fn solve_componentwise(&self, db: &Database) -> SolveOutcome {
-        let minimized = &self.classification.evidence.minimized;
-        let components = minimized.components();
-        // Components are independent subproblems (Lemma 14): solve them on
-        // scoped threads. (The build environment has no rayon; see
-        // vendor/README.md. std::thread::scope gives the same fork-join
-        // shape without a dependency.)
-        let outcomes: Vec<SolveOutcome> = if components.len() <= 1 {
-            components
-                .iter()
-                .map(|comp| ResilienceSolver::new(&minimized.subquery(comp)).solve(db))
-                .collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = components
-                    .iter()
-                    .map(|comp| {
-                        let sub = minimized.subquery(comp);
-                        scope.spawn(move || ResilienceSolver::new(&sub).solve(db))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("component solver panicked"))
-                    .collect()
-            })
-        };
-        let mut best: Option<(usize, Vec<TupleId>)> = None;
-        for outcome in outcomes {
-            match outcome.resilience {
-                None => continue,
-                Some(r) => {
-                    let better = best.as_ref().is_none_or(|(b, _)| r < *b);
-                    if better {
-                        best = Some((r, outcome.contingency.unwrap_or_default()));
-                    }
-                }
-            }
-        }
-        match best {
-            Some((r, gamma)) => SolveOutcome {
-                resilience: Some(r),
-                contingency: Some(gamma),
-                method: SolveMethod::ComponentMinimum,
-            },
-            None => SolveOutcome {
-                resilience: None,
-                contingency: None,
-                method: SolveMethod::Unfalsifiable,
-            },
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::ExactSolver;
     use cq::catalogue;
     use cq::parse_query;
+    use database::WitnessSet;
+    use std::collections::HashSet;
 
     fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
         let mut db = Database::for_query(q);
@@ -510,5 +353,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shim_agrees_with_the_engine() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        let report = solver
+            .compiled()
+            .solve(&db.freeze(), &SolveOptions::new())
+            .unwrap();
+        assert_eq!(outcome.resilience, report.resilience.as_finite());
+        assert_eq!(outcome.contingency, report.contingency);
+        assert_eq!(outcome.method, report.method);
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::flow_algorithms::FlowResult;
 use cq::Query;
-use database::{Constant, Database, TupleId, WitnessSet};
+use database::{copy_without, Constant, TupleId, TupleStore, WitnessSet};
 use flow::{FlowNetwork, MinCut, INF};
 use std::collections::{HashMap, HashSet};
 
@@ -21,10 +21,24 @@ use std::collections::{HashMap, HashSet};
 /// included) become unit-capacity pair edges on the right; `A`-tuples become
 /// unit-capacity edges on the left; 1-way `R`-tuples act as infinite-weight
 /// connectors (an `A`-tuple is always at least as good a choice).
-pub fn a3perm_r_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+pub fn a3perm_r_resilience<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<FlowResult> {
+    a3perm_r_resilience_opts(q, db, true)
+}
+
+/// [`a3perm_r_resilience`] with optional contingency extraction.
+pub fn a3perm_r_resilience_opts<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    want_contingency: bool,
+) -> Option<FlowResult> {
     let a_rel = db.schema().relation_id(resolve_name(q, "A")?)?;
     let r_rel = db.schema().relation_id(resolve_name(q, "R")?)?;
-    Some(perm_r_flow(db, PermLeft::Unary(a_rel), r_rel))
+    Some(perm_r_flow(
+        db,
+        PermLeft::Unary(a_rel),
+        r_rel,
+        want_contingency,
+    ))
 }
 
 /// Resilience of `q_Swx3perm-R :- S(w,x), R(x,y), R(y,z), R(z,y)`
@@ -32,10 +46,24 @@ pub fn a3perm_r_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
 /// left-hand tuples are the binary `S(e, a)` tuples (joining on their second
 /// attribute) and 1-way `R`-tuples now cost 1 (they are not dominated by
 /// `S`).
-pub fn swx3perm_r_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+pub fn swx3perm_r_resilience<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<FlowResult> {
+    swx3perm_r_resilience_opts(q, db, true)
+}
+
+/// [`swx3perm_r_resilience`] with optional contingency extraction.
+pub fn swx3perm_r_resilience_opts<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    want_contingency: bool,
+) -> Option<FlowResult> {
     let s_rel = db.schema().relation_id(resolve_name(q, "S")?)?;
     let r_rel = db.schema().relation_id(resolve_name(q, "R")?)?;
-    Some(perm_r_flow(db, PermLeft::BinarySecond(s_rel), r_rel))
+    Some(perm_r_flow(
+        db,
+        PermLeft::BinarySecond(s_rel),
+        r_rel,
+        want_contingency,
+    ))
 }
 
 /// Which relation anchors the left end of the permutation-plus-R query and
@@ -55,14 +83,19 @@ fn resolve_name<'n>(q: &Query, name: &'n str) -> Option<&'n str> {
     q.schema().relation_id(name).map(|_| name)
 }
 
-fn perm_r_flow(db: &Database, left: PermLeft, r_rel: cq::RelId) -> FlowResult {
+fn perm_r_flow<S: TupleStore + ?Sized>(
+    db: &S,
+    left: PermLeft,
+    r_rel: cq::RelId,
+    want_contingency: bool,
+) -> FlowResult {
     // Classify R-tuples into 2-way pairs and 1-way tuples.
     let mut two_way_pairs: HashSet<(Constant, Constant)> = HashSet::new();
     let mut one_way: Vec<TupleId> = Vec::new();
     for &t in db.tuples_of(r_rel) {
         let v = db.values_of(t);
         let (a, b) = (v[0], v[1]);
-        if db.contains(r_rel, &[b, a]) {
+        if db.contains_values(r_rel, &[b, a]) {
             let key = if a <= b { (a, b) } else { (b, a) };
             two_way_pairs.insert(key);
         } else {
@@ -128,6 +161,12 @@ fn perm_r_flow(db: &Database, left: PermLeft, r_rel: cq::RelId) -> FlowResult {
         }
     }
 
+    if !want_contingency {
+        return FlowResult {
+            resilience: MinCut::compute_value(&mut network, s, t_sink) as usize,
+            contingency: Vec::new(),
+        };
+    }
     let cut = MinCut::compute(&mut network, s, t_sink);
 
     // Translate the cut back to tuples: a cut left edge deletes that left
@@ -141,7 +180,7 @@ fn perm_r_flow(db: &Database, left: PermLeft, r_rel: cq::RelId) -> FlowResult {
     }
     for (&pair, &e) in &pair_edge {
         if cut.cut_edges.contains(&e) {
-            if let Some(t) = db.lookup(r_rel, &[pair.0, pair.1]) {
+            if let Some(t) = db.lookup_values(r_rel, &[pair.0, pair.1]) {
                 contingency.push(t);
             }
         }
@@ -167,7 +206,18 @@ fn perm_r_flow(db: &Database, left: PermLeft, r_rel: cq::RelId) -> FlowResult {
 /// contingency set. After removing the forced tuples, the query behaves like
 /// a linear query and the witness-path flow is exact (Lemma 55-style
 /// argument in the paper).
-pub fn ts3conf_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
+pub fn ts3conf_resilience<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<FlowResult> {
+    ts3conf_resilience_opts(q, db, true)
+}
+
+/// [`ts3conf_resilience`] with optional contingency extraction. The forced
+/// tuples still have to be identified either way (they contribute to the
+/// value); only the flow-cut translation is skipped.
+pub fn ts3conf_resilience_opts<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    want_contingency: bool,
+) -> Option<FlowResult> {
     let t_rel = db.schema().relation_id("T")?;
     let s_rel = db.schema().relation_id("S")?;
     let r_rel = db.schema().relation_id("R")?;
@@ -175,17 +225,29 @@ pub fn ts3conf_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
     let mut forced: Vec<TupleId> = Vec::new();
     for &rt in db.tuples_of(r_rel) {
         let v = db.values_of(rt);
-        if db.contains(t_rel, &[v[0], v[1]]) && db.contains(s_rel, &[v[0], v[1]]) {
+        if db.contains_values(t_rel, &[v[0], v[1]]) && db.contains_values(s_rel, &[v[0], v[1]]) {
             forced.push(rt);
         }
     }
     let forced_set: HashSet<TupleId> = forced.iter().copied().collect();
-    let reduced = db.without(&forced_set);
+    let reduced = copy_without(db, &forced_set);
 
     let order = cq::linear::linear_order_all(q)?;
     let ws = WitnessSet::build(q, &reduced);
-    let flow =
-        crate::flow_algorithms::witness_path_flow(q, &reduced, &ws, &order, &HashSet::new())?;
+    let flow = crate::flow_algorithms::witness_path_flow_opts(
+        q,
+        &reduced,
+        &ws,
+        &order,
+        &HashSet::new(),
+        want_contingency,
+    )?;
+    if !want_contingency {
+        return Some(FlowResult {
+            resilience: forced.len() + flow.resilience,
+            contingency: Vec::new(),
+        });
+    }
     // Tuple ids of `reduced` are not comparable to the original database, so
     // translate the contingency back by value.
     let mut contingency = forced;
@@ -194,7 +256,7 @@ pub fn ts3conf_resilience(q: &Query, db: &Database) -> Option<FlowResult> {
         let name = reduced.schema().name(rel).to_string();
         let vals = reduced.values_of(t).to_vec();
         let orig_rel = db.schema().relation_id(&name)?;
-        if let Some(orig) = db.lookup(orig_rel, &vals) {
+        if let Some(orig) = db.lookup_values(orig_rel, &vals) {
             contingency.push(orig);
         }
     }
@@ -212,6 +274,7 @@ mod tests {
     use crate::exact::ExactSolver;
     use cq::catalogue;
     use cq::parse_query;
+    use database::Database;
 
     fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
         let mut db = Database::for_query(q);

@@ -21,7 +21,7 @@
 //!   confluences, permutations and repeated-variable (REP) patterns
 //!   ([`patterns`]);
 //! * the dichotomy classifier of Theorem 37 extended with the Section 8
-//!   catalogue ([`classify`]);
+//!   catalogue ([`mod@classify`]);
 //! * a catalogue of every named query appearing in the paper
 //!   ([`catalogue`]).
 //!

@@ -5,15 +5,25 @@
 //! across atoms when the query has self-joins — that sharing is exactly what
 //! makes resilience with self-joins subtle).
 //!
-//! The enumerator compiles the query once per call into a [`JoinPlan`]: a
-//! join order plus, per atom, the statically-resolved list of positions that
-//! *check* an already-bound variable and positions that *bind* a fresh one,
-//! and the index probe to use for candidate selection. The inner loop then
-//! touches only flat arrays — a `Vec<Option<Constant>>` valuation indexed by
-//! `Var` and borrowed candidate slices from the database's per-position
-//! bucket index — and performs no per-tuple allocation or hashing.
+//! The enumerator runs a compiled [`QueryPlan`]: a join order plus, per atom,
+//! the statically-resolved list of positions that *check* an already-bound
+//! variable and positions that *bind* a fresh one, and the index probe to use
+//! for candidate selection. The inner loop then touches only flat arrays — a
+//! `Vec<Option<Constant>>` valuation indexed by `Var` and borrowed candidate
+//! slices from the store's per-position bucket index — and performs no
+//! per-tuple allocation or hashing.
+//!
+//! Plans come in two flavours. [`QueryPlan::compile`] is *instance-free*: the
+//! join order is chosen from the query structure alone, so one plan can be
+//! compiled per query and shared across many instances (this is what the
+//! engine's batch API does). The per-call convenience entry points
+//! ([`witnesses`], [`evaluate`]) instead use [`QueryPlan::compile_scaled`],
+//! which additionally orders atoms by relation cardinality in the concrete
+//! instance. All enumeration is generic over [`TupleStore`], so it runs
+//! unchanged on a mutable [`Database`](crate::Database) or a compacted
+//! [`FrozenDb`](crate::FrozenDb).
 
-use crate::instance::Database;
+use crate::store::TupleStore;
 use crate::tuple::{Constant, TupleId};
 use cq::{Query, RelId};
 
@@ -40,18 +50,27 @@ impl Witness {
 }
 
 /// Maps the relation ids of `q`'s schema onto the relation ids of `db`'s
-/// schema by name. Panics if a relation of the query is missing from the
-/// database schema.
-fn relation_translation(q: &Query, db: &Database) -> Vec<RelId> {
+/// schema by name, or reports the first missing relation name.
+pub fn try_relation_translation<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+) -> Result<Vec<RelId>, String> {
     q.schema()
         .relation_ids()
         .map(|r| {
             let name = q.schema().name(r);
             db.schema()
                 .relation_id(name)
-                .unwrap_or_else(|| panic!("database schema is missing relation {name}"))
+                .ok_or_else(|| name.to_string())
         })
         .collect()
+}
+
+/// Infallible [`try_relation_translation`]: panics if a relation of the
+/// query is missing from the store schema.
+fn relation_translation<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Vec<RelId> {
+    try_relation_translation(q, db)
+        .unwrap_or_else(|name| panic!("database schema is missing relation {name}"))
 }
 
 /// What to do with one argument position of an atom when matching a
@@ -71,7 +90,8 @@ enum Step {
 struct AtomPlan {
     /// Index of the atom in the query (for `Witness::atom_tuples`).
     atom_idx: u32,
-    /// The *database-side* relation of the atom.
+    /// The *query-side* relation of the atom; resolved against the concrete
+    /// store through the translation table at enumeration time.
     rel: RelId,
     /// `(pos, var)` of the first argument whose variable is bound by earlier
     /// atoms — candidates come from the position index; `None` means no
@@ -85,23 +105,39 @@ struct AtomPlan {
 }
 
 /// A compiled join: atom order plus per-atom matching steps.
+///
+/// Compile once with [`QueryPlan::compile`] and reuse across every instance
+/// of the query; the plan holds no reference to any store.
 #[derive(Clone, Debug)]
-struct JoinPlan {
+pub struct QueryPlan {
     order: Vec<AtomPlan>,
     num_vars: usize,
+    num_atoms: usize,
 }
 
-impl JoinPlan {
-    /// Compiles `q` against `db`: greedy join order (smallest relation
-    /// first, then prefer index-probeable atoms), then per-atom steps.
-    fn compile(q: &Query, db: &Database) -> JoinPlan {
-        let translation = relation_translation(q, db);
-        let num_atoms = q.num_atoms();
+impl QueryPlan {
+    /// Compiles an instance-free plan for `q`: greedy join order preferring
+    /// atoms with an already-bound variable (they can use the position
+    /// index), breaking ties towards lower arity (unary anchors first) and
+    /// then query order.
+    pub fn compile(q: &Query) -> QueryPlan {
+        Self::compile_with(q, |_| 0)
+    }
 
-        // Greedy order: among remaining atoms prefer one with an already
-        // bound variable (it can use the position index), breaking ties by
-        // relation size; the first atom is simply the one with the smallest
-        // relation.
+    /// Compiles a plan ordered by the relation cardinalities of a concrete
+    /// store: among remaining atoms, prefer one with an already-bound
+    /// variable, then the smallest relation. This is the per-call heuristic
+    /// used by [`witnesses`] and [`evaluate`].
+    pub fn compile_scaled<S: TupleStore + ?Sized>(q: &Query, db: &S) -> QueryPlan {
+        let translation = relation_translation(q, db);
+        Self::compile_with(q, |atom_idx| {
+            db.tuples_of(translation[q.atom(atom_idx).relation.index()])
+                .len()
+        })
+    }
+
+    fn compile_with(q: &Query, size_of_atom: impl Fn(usize) -> usize) -> QueryPlan {
+        let num_atoms = q.num_atoms();
         let mut bound = vec![false; q.num_vars()];
         let mut remaining: Vec<usize> = (0..num_atoms).collect();
         let mut order: Vec<AtomPlan> = Vec::with_capacity(num_atoms);
@@ -112,8 +148,7 @@ impl JoinPlan {
                 .min_by_key(|&(_, &i)| {
                     let atom = q.atom(i);
                     let has_bound = atom.args.iter().any(|v| bound[v.index()]);
-                    let size = db.tuples_of(translation[atom.relation.index()]).len();
-                    (!has_bound, size, i)
+                    (!has_bound, size_of_atom(i), atom.args.len(), i)
                 })
                 .expect("remaining is non-empty");
             let atom_idx = remaining.swap_remove(choice);
@@ -147,21 +182,27 @@ impl JoinPlan {
             }
             order.push(AtomPlan {
                 atom_idx: atom_idx as u32,
-                rel: translation[atom.relation.index()],
+                rel: atom.relation,
                 probe,
                 steps,
                 binds,
             });
         }
-        JoinPlan {
+        QueryPlan {
             order,
             num_vars: q.num_vars(),
+            num_atoms,
         }
+    }
+
+    /// Number of atoms covered by the plan.
+    pub fn num_atoms(&self) -> usize {
+        self.num_atoms
     }
 }
 
 /// Does `db |= q`? Short-circuits on the first witness.
-pub fn evaluate(q: &Query, db: &Database) -> bool {
+pub fn evaluate<S: TupleStore + ?Sized>(q: &Query, db: &S) -> bool {
     let mut found = false;
     enumerate(q, db, &mut |_| {
         found = true;
@@ -171,7 +212,7 @@ pub fn evaluate(q: &Query, db: &Database) -> bool {
 }
 
 /// Enumerates all witnesses of `db |= q`.
-pub fn witnesses(q: &Query, db: &Database) -> Vec<Witness> {
+pub fn witnesses<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Vec<Witness> {
     let mut out = Vec::new();
     enumerate(q, db, &mut |w| {
         out.push(w);
@@ -180,18 +221,49 @@ pub fn witnesses(q: &Query, db: &Database) -> Vec<Witness> {
     out
 }
 
-/// Core backtracking join. Calls `sink` for each witness; `sink` returns
-/// `false` to stop the enumeration early.
-fn enumerate(q: &Query, db: &Database, sink: &mut dyn FnMut(Witness) -> bool) {
+/// Enumerates all witnesses through a precompiled plan into `out` (which is
+/// cleared first, so its allocation can be reused across instances).
+pub fn witnesses_with_plan_into<S: TupleStore + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
+    out: &mut Vec<Witness>,
+) {
+    out.clear();
+    enumerate_with_plan(plan, translation, db, &mut |w| {
+        out.push(w);
+        true
+    });
+}
+
+/// Core backtracking join with a per-call plan. Calls `sink` for each
+/// witness; `sink` returns `false` to stop the enumeration early.
+fn enumerate<S: TupleStore + ?Sized>(q: &Query, db: &S, sink: &mut dyn FnMut(Witness) -> bool) {
     if q.num_atoms() == 0 {
         return;
     }
-    let plan = JoinPlan::compile(q, db);
+    let plan = QueryPlan::compile_scaled(q, db);
+    let translation = relation_translation(q, db);
+    enumerate_with_plan(&plan, &translation, db, sink);
+}
+
+/// Core backtracking join over a precompiled plan. `translation` maps the
+/// query-side relation ids to the store's (see [`try_relation_translation`]).
+pub fn enumerate_with_plan<S: TupleStore + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
+    sink: &mut dyn FnMut(Witness) -> bool,
+) {
+    if plan.num_atoms == 0 {
+        return;
+    }
     let mut valuation: Vec<Option<Constant>> = vec![None; plan.num_vars];
-    let mut chosen: Vec<TupleId> = vec![TupleId(0); q.num_atoms()];
+    let mut chosen: Vec<TupleId> = vec![TupleId(0); plan.num_atoms];
     let mut running = true;
     search(
-        &plan,
+        plan,
+        translation,
         db,
         0,
         &mut valuation,
@@ -201,9 +273,11 @@ fn enumerate(q: &Query, db: &Database, sink: &mut dyn FnMut(Witness) -> bool) {
     );
 }
 
-fn search(
-    plan: &JoinPlan,
-    db: &Database,
+#[allow(clippy::too_many_arguments)]
+fn search<S: TupleStore + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
     depth: usize,
     valuation: &mut [Option<Constant>],
     chosen: &mut [TupleId],
@@ -225,12 +299,13 @@ fn search(
         return;
     }
     let ap = &plan.order[depth];
+    let rel = translation[ap.rel.index()];
     let candidates: &[TupleId] = match ap.probe {
         Some((pos, var)) => {
             let value = valuation[var as usize].expect("probe variable is bound");
-            db.tuples_matching(ap.rel, pos as usize, value)
+            db.tuples_matching(rel, pos as usize, value)
         }
-        None => db.tuples_of(ap.rel),
+        None => db.tuples_of(rel),
     };
 
     for &id in candidates {
@@ -251,7 +326,16 @@ fn search(
         }
         if ok {
             chosen[ap.atom_idx as usize] = id;
-            search(plan, db, depth + 1, valuation, chosen, sink, running);
+            search(
+                plan,
+                translation,
+                db,
+                depth + 1,
+                valuation,
+                chosen,
+                sink,
+                running,
+            );
         }
         for &var in &ap.binds {
             valuation[var as usize] = None;
@@ -266,7 +350,7 @@ fn search(
 /// relation with a straightforward consistency check, no join ordering, no
 /// indexes. Exponentially slower than [`witnesses`] but obviously correct —
 /// the differential tests assert the two agree on random inputs.
-pub fn reference_witnesses(q: &Query, db: &Database) -> Vec<Witness> {
+pub fn reference_witnesses<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Vec<Witness> {
     let mut out = Vec::new();
     if q.num_atoms() == 0 {
         return out;
@@ -277,9 +361,9 @@ pub fn reference_witnesses(q: &Query, db: &Database) -> Vec<Witness> {
     out
 }
 
-fn reference_search(
+fn reference_search<S: TupleStore + ?Sized>(
     q: &Query,
-    db: &Database,
+    db: &S,
     translation: &[RelId],
     depth: usize,
     chosen: &mut Vec<TupleId>,
@@ -312,7 +396,7 @@ fn reference_search(
 
 /// Is the partial tuple choice consistent (every variable maps to a single
 /// constant across all chosen atoms)?
-fn reference_consistent(q: &Query, db: &Database, chosen: &[TupleId]) -> bool {
+fn reference_consistent<S: TupleStore + ?Sized>(q: &Query, db: &S, chosen: &[TupleId]) -> bool {
     let mut assignment: Vec<Option<Constant>> = vec![None; q.num_vars()];
     for (i, &id) in chosen.iter().enumerate() {
         let values = db.values_of(id);
@@ -341,6 +425,7 @@ pub fn canonical_witnesses(ws: &[Witness]) -> Vec<(Vec<Constant>, Vec<TupleId>)>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::Database;
     use cq::parse_query;
 
     #[test]
@@ -511,9 +596,49 @@ mod tests {
         let q = parse_query("R(x,y), R(y,z)").unwrap();
         let mut db = Database::for_query(&q);
         db.insert_named("R", &[1, 2]);
-        let plan = JoinPlan::compile(&q, &db);
-        // The first atom scans; the second must probe on its bound variable.
-        assert!(plan.order[0].probe.is_none());
-        assert!(plan.order[1].probe.is_some());
+        for plan in [QueryPlan::compile(&q), QueryPlan::compile_scaled(&q, &db)] {
+            // The first atom scans; the second must probe on its bound
+            // variable.
+            assert!(plan.order[0].probe.is_none());
+            assert!(plan.order[1].probe.is_some());
+            assert_eq!(plan.num_atoms(), 2);
+        }
+    }
+
+    #[test]
+    fn static_plan_enumerates_the_same_witnesses() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for (a, b) in [(1u64, 2u64), (4, 2), (5, 2), (1, 3), (5, 3)] {
+            db.insert_named("R", &[a, b]);
+        }
+        for a in [1u64, 4] {
+            db.insert_named("A", &[a]);
+        }
+        for c in [1u64, 5] {
+            db.insert_named("C", &[c]);
+        }
+        let plan = QueryPlan::compile(&q);
+        let translation = try_relation_translation(&q, &db).unwrap();
+        let mut via_plan = Vec::new();
+        witnesses_with_plan_into(&plan, &translation, &db, &mut via_plan);
+        assert_eq!(
+            canonical_witnesses(&via_plan),
+            canonical_witnesses(&witnesses(&q, &db))
+        );
+        // The same plan works against the frozen copy and yields identical
+        // witnesses in identical order.
+        let frozen = db.freeze();
+        let mut via_frozen = Vec::new();
+        witnesses_with_plan_into(&plan, &translation, &frozen, &mut via_frozen);
+        assert_eq!(via_plan, via_frozen);
+    }
+
+    #[test]
+    fn translation_reports_missing_relations() {
+        let q = parse_query("R(x,y), Z(y)").unwrap();
+        let q_r_only = parse_query("R(x,y)").unwrap();
+        let db = Database::for_query(&q_r_only);
+        assert_eq!(try_relation_translation(&q, &db), Err("Z".to_string()));
     }
 }

@@ -1,0 +1,371 @@
+//! Compacted, immutable database instances.
+//!
+//! [`Database`] is built for incremental loading: its join index grows one
+//! bucket `Vec` at a time as tuples arrive. [`FrozenDb`] is the query-phase
+//! counterpart produced by [`Database::freeze`]: the per-relation tuple
+//! lists and the per-relation/per-position bucket index are batch-built as
+//! true CSR — a counting sort lays every bucket out in **one flat arena**
+//! (`index_arena`), and each `(relation, position, constant)` probe resolves
+//! to a `(start, len)` range into it. Freezing preserves [`TupleId`]s
+//! verbatim, so contingency sets computed against a `FrozenDb` reference the
+//! same tuples as the source database.
+//!
+//! Taking `&FrozenDb` in the solve path (instead of `&Database`) separates
+//! the mutation phase from the query phase in the type system: once an
+//! instance is frozen nothing can invalidate a compiled plan's assumptions
+//! about it, which is what makes sharing one instance across the batch
+//! solver's threads sound.
+
+use crate::fx::FxHashMap;
+use crate::instance::Database;
+use crate::store::TupleStore;
+use crate::tuple::{Constant, TupleId};
+use cq::{RelId, Schema};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A bucket of the CSR join index: a `(start, len)` range into the arena.
+/// During the counting-sort build, `start` doubles as the fill cursor (it is
+/// rewound by `len` once the arena is filled), so one map per slot carries
+/// the whole build.
+#[derive(Clone, Copy, Debug)]
+struct BucketRange {
+    start: u32,
+    len: u32,
+}
+
+/// An immutable, CSR-compacted database instance.
+///
+/// Produced by [`Database::freeze`]; see the module docs. All read accessors
+/// mirror [`Database`] and tuple ids are preserved, so the two stores are
+/// interchangeable behind [`TupleStore`].
+#[derive(Clone, Debug)]
+pub struct FrozenDb {
+    schema: Schema,
+    /// Per tuple: its relation.
+    tuple_rel: Vec<RelId>,
+    /// Per tuple: offset of its values in `values_flat`.
+    tuple_start: Vec<u32>,
+    /// All tuple values, concatenated in tuple-id order.
+    values_flat: Vec<Constant>,
+    /// CSR tuple lists: `rel_tuples[rel_offsets[r]..rel_offsets[r+1]]` are
+    /// the tuples of relation `r` in insertion order.
+    rel_tuples: Vec<TupleId>,
+    rel_offsets: Vec<u32>,
+    /// One bucket map per `(relation, position)` slot: constant → range into
+    /// `index_arena`.
+    slot_buckets: Vec<FxHashMap<Constant, BucketRange>>,
+    /// The single flat arena holding every bucket of every slot.
+    index_arena: Vec<TupleId>,
+    /// Prefix sums of relation arities into `slot_buckets`.
+    pos_base: Vec<u32>,
+    /// Exact-match lookup: (relation, values) → id. Built lazily on the
+    /// first [`FrozenDb::lookup`] — most solve paths never probe by value,
+    /// so freezing does not pay for it.
+    dedup: OnceLock<FxHashMap<(RelId, Vec<Constant>), TupleId>>,
+}
+
+impl FrozenDb {
+    /// Batch-builds a frozen copy of `db`. Tuple ids are preserved.
+    pub fn from_database(db: &Database) -> FrozenDb {
+        let schema = db.schema().clone();
+        let n = db.num_tuples();
+
+        // Flat tuple arena, in id order.
+        let mut tuple_rel = Vec::with_capacity(n);
+        let mut tuple_start = Vec::with_capacity(n);
+        let mut values_flat = Vec::new();
+        for id in db.all_tuples() {
+            let rel = db.relation_of(id);
+            tuple_rel.push(rel);
+            tuple_start.push(values_flat.len() as u32);
+            values_flat.extend_from_slice(db.values_of(id));
+        }
+
+        // CSR per-relation tuple lists.
+        let mut rel_offsets = Vec::with_capacity(schema.len() + 1);
+        let mut rel_tuples = Vec::with_capacity(n);
+        let mut pos_base = Vec::with_capacity(schema.len() + 1);
+        let mut total_slots = 0u32;
+        for rel in schema.relation_ids() {
+            rel_offsets.push(rel_tuples.len() as u32);
+            rel_tuples.extend_from_slice(db.tuples_of(rel));
+            pos_base.push(total_slots);
+            total_slots += schema.arity(rel) as u32;
+        }
+        rel_offsets.push(rel_tuples.len() as u32);
+        pos_base.push(total_slots);
+
+        // Counting sort of the join index into one flat arena, one bucket
+        // map per slot. Pass 1 counts per-constant occurrences; the prefix
+        // walk turns counts into arena ranges; pass 2 places tuple ids using
+        // `start` as the fill cursor; the fix-up walk rewinds the cursors.
+        // Scanning tuples in ascending id order both times keeps every
+        // bucket in insertion order, exactly matching the incremental index
+        // of `Database`.
+        let mut slot_buckets: Vec<FxHashMap<Constant, BucketRange>> =
+            vec![FxHashMap::default(); total_slots as usize];
+        for id in db.all_tuples() {
+            let base = pos_base[db.relation_of(id).index()] as usize;
+            for (pos, &c) in db.values_of(id).iter().enumerate() {
+                slot_buckets[base + pos]
+                    .entry(c)
+                    .or_insert(BucketRange { start: 0, len: 0 })
+                    .len += 1;
+            }
+        }
+        let mut next_start = 0u32;
+        for buckets in &mut slot_buckets {
+            for range in buckets.values_mut() {
+                range.start = next_start;
+                next_start += range.len;
+            }
+        }
+        let mut index_arena = vec![TupleId(0); next_start as usize];
+        for id in db.all_tuples() {
+            let base = pos_base[db.relation_of(id).index()] as usize;
+            for (pos, c) in db.values_of(id).iter().enumerate() {
+                let range = slot_buckets[base + pos]
+                    .get_mut(c)
+                    .expect("constant counted in pass 1");
+                index_arena[range.start as usize] = id;
+                range.start += 1;
+            }
+        }
+        for buckets in &mut slot_buckets {
+            for range in buckets.values_mut() {
+                range.start -= range.len;
+            }
+        }
+
+        FrozenDb {
+            schema,
+            tuple_rel,
+            tuple_start,
+            values_flat,
+            rel_tuples,
+            rel_offsets,
+            slot_buckets,
+            index_arena,
+            pos_base,
+            dedup: OnceLock::new(),
+        }
+    }
+
+    /// The schema of the instance.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of tuples.
+    pub fn num_tuples(&self) -> usize {
+        self.tuple_rel.len()
+    }
+
+    /// Whether the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_rel.is_empty()
+    }
+
+    /// The relation a tuple belongs to.
+    #[inline]
+    pub fn relation_of(&self, id: TupleId) -> RelId {
+        self.tuple_rel[id.index()]
+    }
+
+    /// The values of a tuple.
+    #[inline]
+    pub fn values_of(&self, id: TupleId) -> &[Constant] {
+        let start = self.tuple_start[id.index()] as usize;
+        let arity = self.schema.arity(self.tuple_rel[id.index()]);
+        &self.values_flat[start..start + arity]
+    }
+
+    /// Ids of all tuples of `rel`, in insertion order.
+    #[inline]
+    pub fn tuples_of(&self, rel: RelId) -> &[TupleId] {
+        let lo = self.rel_offsets[rel.index()] as usize;
+        let hi = self.rel_offsets[rel.index() + 1] as usize;
+        &self.rel_tuples[lo..hi]
+    }
+
+    /// Tuples of `rel` whose attribute at `pos` equals `value`, as a slice of
+    /// the flat index arena.
+    #[inline]
+    pub fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId] {
+        match self.slot_buckets[self.pos_base[rel.index()] as usize + pos].get(&value) {
+            Some(range) => {
+                &self.index_arena[range.start as usize..(range.start + range.len) as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// Looks up a specific tuple. The exact-match map is built lazily on
+    /// the first call (and then cached), so solve paths that never probe by
+    /// value do not pay for it at freeze time.
+    pub fn lookup(&self, rel: RelId, values: &[Constant]) -> Option<TupleId> {
+        let dedup = self.dedup.get_or_init(|| {
+            (0..self.num_tuples() as u32)
+                .map(|i| {
+                    let id = TupleId(i);
+                    ((self.relation_of(id), self.values_of(id).to_vec()), id)
+                })
+                .collect()
+        });
+        // The dedup key owns its values; borrow-keyed lookup would need a
+        // custom Equivalent impl, so allocate the small probe key.
+        dedup.get(&(rel, values.to_vec())).copied()
+    }
+
+    /// Thaws back into a mutable [`Database`] (tuple ids are preserved
+    /// because insertion replays in id order).
+    pub fn thaw(&self) -> Database {
+        let mut out = Database::new(self.schema.clone());
+        for id in 0..self.num_tuples() as u32 {
+            out.insert(self.relation_of(TupleId(id)), self.values_of(TupleId(id)));
+        }
+        out
+    }
+}
+
+impl TupleStore for FrozenDb {
+    fn schema(&self) -> &Schema {
+        FrozenDb::schema(self)
+    }
+
+    fn num_tuples(&self) -> usize {
+        FrozenDb::num_tuples(self)
+    }
+
+    fn relation_of(&self, id: TupleId) -> RelId {
+        FrozenDb::relation_of(self, id)
+    }
+
+    fn values_of(&self, id: TupleId) -> &[Constant] {
+        FrozenDb::values_of(self, id)
+    }
+
+    fn tuples_of(&self, rel: RelId) -> &[TupleId] {
+        FrozenDb::tuples_of(self, rel)
+    }
+
+    fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId] {
+        FrozenDb::tuples_matching(self, rel, pos, value)
+    }
+
+    fn lookup_values(&self, rel: RelId, values: &[Constant]) -> Option<TupleId> {
+        FrozenDb::lookup(self, rel, values)
+    }
+}
+
+impl fmt::Display for FrozenDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lines: Vec<String> = Vec::new();
+        for rel in self.schema.relation_ids() {
+            let mut rows: Vec<&[Constant]> = self
+                .tuples_of(rel)
+                .iter()
+                .map(|&id| self.values_of(id))
+                .collect();
+            rows.sort();
+            for row in rows {
+                let vals: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+                lines.push(format!("{}({})", self.schema.name(rel), vals.join(",")));
+            }
+        }
+        write!(f, "{}", lines.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    fn sample_db() -> Database {
+        let q = parse_query("R(x,y), S(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        db.insert_named("R", &[3, 3]);
+        db.insert_named("S", &[1, 2]);
+        db.insert_named("S", &[2, 1]);
+        db
+    }
+
+    #[test]
+    fn freeze_preserves_tuples_and_ids() {
+        let db = sample_db();
+        let frozen = db.freeze();
+        assert_eq!(frozen.num_tuples(), db.num_tuples());
+        assert!(!frozen.is_empty());
+        for id in db.all_tuples() {
+            assert_eq!(frozen.relation_of(id), db.relation_of(id));
+            assert_eq!(frozen.values_of(id), db.values_of(id));
+        }
+        for rel in db.schema().relation_ids() {
+            assert_eq!(frozen.tuples_of(rel), db.tuples_of(rel));
+        }
+    }
+
+    #[test]
+    fn csr_index_matches_incremental_index() {
+        let db = sample_db();
+        let frozen = db.freeze();
+        for rel in db.schema().relation_ids() {
+            for pos in 0..db.schema().arity(rel) {
+                for value in 0..5u64 {
+                    assert_eq!(
+                        frozen.tuples_matching(rel, pos, Constant(value)),
+                        db.tuples_matching(rel, pos, Constant(value)),
+                        "relation {} position {pos} value {value}",
+                        db.schema().name(rel)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_arena_is_one_flat_allocation() {
+        let db = sample_db();
+        let frozen = db.freeze();
+        // Every tuple contributes one arena entry per attribute position.
+        let expected: usize = db.all_tuples().map(|t| db.values_of(t).len()).sum();
+        assert_eq!(frozen.index_arena.len(), expected);
+    }
+
+    #[test]
+    fn lookup_and_display_match_database() {
+        let db = sample_db();
+        let frozen = db.freeze();
+        let r = db.schema().relation_id("R").unwrap();
+        let expect = db.lookup(r, &[2, 3]);
+        assert!(expect.is_some());
+        assert_eq!(frozen.lookup(r, &[Constant(2), Constant(3)]), expect);
+        assert_eq!(frozen.lookup(r, &[Constant(9), Constant(9)]), None);
+        assert_eq!(frozen.to_string(), db.to_string());
+    }
+
+    #[test]
+    fn thaw_round_trips() {
+        let db = sample_db();
+        let thawed = db.freeze().thaw();
+        assert_eq!(thawed.num_tuples(), db.num_tuples());
+        for id in db.all_tuples() {
+            assert_eq!(thawed.values_of(id), db.values_of(id));
+            assert_eq!(thawed.relation_of(id), db.relation_of(id));
+        }
+    }
+
+    #[test]
+    fn empty_database_freezes() {
+        let q = parse_query("R(x,y)").unwrap();
+        let frozen = Database::for_query(&q).freeze();
+        assert!(frozen.is_empty());
+        let r = frozen.schema().relation_id("R").unwrap();
+        assert!(frozen.tuples_of(r).is_empty());
+        assert!(frozen.tuples_matching(r, 0, Constant(1)).is_empty());
+    }
+}

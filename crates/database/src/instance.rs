@@ -233,6 +233,14 @@ impl Database {
             .collect()
     }
 
+    /// Batch-builds an immutable, CSR-compacted copy of this instance for
+    /// the query phase (see [`crate::FrozenDb`]). Tuple ids are preserved, so
+    /// contingency sets computed on the frozen copy reference the same
+    /// tuples.
+    pub fn freeze(&self) -> crate::FrozenDb {
+        crate::FrozenDb::from_database(self)
+    }
+
     /// Pretty, deterministic rendering of the instance (sorted by relation
     /// then values); used by examples and debugging output.
     pub fn display_sorted(&self) -> String {

@@ -9,23 +9,35 @@
 //! * [`Constant`] values and an optional string interner ([`ConstPool`]) for
 //!   readable gadget constructions;
 //! * [`Database`] instances keyed by the owning query's [`cq::Schema`], with
-//!   per-position hash indexes for join evaluation;
-//! * Boolean evaluation and full witness enumeration ([`eval`]);
+//!   per-position hash indexes for join evaluation, and their immutable
+//!   CSR-compacted counterpart [`FrozenDb`] ([`Database::freeze`]) used by
+//!   the engine's solve path;
+//! * the [`TupleStore`] trait, the shared read surface both instance types
+//!   expose to the solvers;
+//! * Boolean evaluation and full witness enumeration ([`eval`]), driven by
+//!   reusable compiled [`QueryPlan`]s;
 //! * the *witness hypergraph* ([`witness::WitnessSet`]) — every witness
 //!   reduced to its set of deletable (endogenous) tuples — which is the
 //!   common input of the exact solver, the flow algorithms and the IJP
 //!   machinery.
 
 pub mod eval;
+pub mod frozen;
 pub mod fx;
 pub mod instance;
 pub mod interner;
+pub mod store;
 pub mod tuple;
 pub mod witness;
 
-pub use eval::{canonical_witnesses, evaluate, reference_witnesses, witnesses, Valuation, Witness};
+pub use eval::{
+    canonical_witnesses, evaluate, reference_witnesses, try_relation_translation, witnesses,
+    witnesses_with_plan_into, QueryPlan, Valuation, Witness,
+};
+pub use frozen::FrozenDb;
 pub use fx::{FxHashMap, FxHashSet};
 pub use instance::Database;
 pub use interner::ConstPool;
+pub use store::{copy_without, TupleStore};
 pub use tuple::{Constant, TupleId};
 pub use witness::WitnessSet;

@@ -1,0 +1,197 @@
+//! The read-side abstraction over database instances.
+//!
+//! The solve pipeline never mutates an instance: it only probes the schema,
+//! the tuple arena and the per-position join index. [`TupleStore`] captures
+//! exactly that read surface, so every algorithm (witness enumeration, the
+//! flow constructions, the exact solver) is written once and runs unchanged
+//! over both the mutable [`Database`] and the compacted
+//! [`FrozenDb`](crate::FrozenDb). Generic call sites monomorphize, so the
+//! abstraction costs nothing in the inner loops.
+
+use crate::instance::Database;
+use crate::tuple::{Constant, TupleId};
+use cq::{Query, RelId, Schema};
+use std::collections::HashSet;
+
+/// Read-only access to a stored instance: schema, tuples and the
+/// per-relation/per-position join index.
+///
+/// Implementations must use the same dense [`TupleId`] space semantics as
+/// [`Database`]: ids are `0..num_tuples()` and
+/// [`tuples_matching`](TupleStore::tuples_matching) returns candidates in
+/// insertion order.
+pub trait TupleStore {
+    /// The schema of the instance.
+    fn schema(&self) -> &Schema;
+
+    /// Total number of tuples (`n = |D|`).
+    fn num_tuples(&self) -> usize;
+
+    /// The relation a tuple belongs to.
+    fn relation_of(&self, id: TupleId) -> RelId;
+
+    /// The values of a tuple.
+    fn values_of(&self, id: TupleId) -> &[Constant];
+
+    /// Ids of all tuples of `rel`, in insertion order.
+    fn tuples_of(&self, rel: RelId) -> &[TupleId];
+
+    /// Tuples of `rel` whose attribute at `pos` equals `value` (insertion
+    /// order), served from the per-relation, per-position index.
+    fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId];
+
+    /// Looks up the id of an exact tuple, if present.
+    fn lookup_values(&self, rel: RelId, values: &[Constant]) -> Option<TupleId>;
+
+    /// Whether the store contains the given tuple.
+    fn contains_values(&self, rel: RelId, values: &[Constant]) -> bool {
+        self.lookup_values(rel, values).is_some()
+    }
+
+    /// Whether the store holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.num_tuples() == 0
+    }
+
+    /// Iterates over all tuple ids.
+    fn iter_tuples(&self) -> TupleIdIter {
+        TupleIdIter {
+            next: 0,
+            end: self.num_tuples() as u32,
+        }
+    }
+
+    /// Dense deletability mask: `mask[t]` is `true` iff tuple `t` belongs to
+    /// a relation with at least one endogenous atom in `q` (the tuples a
+    /// contingency set may delete). Relations are matched by name because
+    /// query and store may hold structurally identical but separately-built
+    /// schemas.
+    fn endogenous_mask(&self, q: &Query) -> Vec<bool> {
+        let schema = self.schema();
+        let mut endo_rel = vec![false; schema.len()];
+        for i in q.endogenous_atoms() {
+            let name = q.schema().name(q.atom(i).relation);
+            if let Some(r) = schema.relation_id(name) {
+                endo_rel[r.index()] = true;
+            }
+        }
+        (0..self.num_tuples() as u32)
+            .map(|i| endo_rel[self.relation_of(TupleId(i)).index()])
+            .collect()
+    }
+}
+
+/// Iterator over the dense tuple-id space of a store.
+#[derive(Clone, Debug)]
+pub struct TupleIdIter {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for TupleIdIter {
+    type Item = TupleId;
+
+    fn next(&mut self) -> Option<TupleId> {
+        if self.next < self.end {
+            let id = TupleId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TupleIdIter {}
+
+/// Copies a store into a fresh mutable [`Database`], skipping the tuples in
+/// `deleted`. Tuple ids are *not* preserved — this mirrors
+/// [`Database::without`] for arbitrary stores and is used by constructions
+/// that solve on a reduced instance (e.g. `q_TS3conf`).
+pub fn copy_without<S: TupleStore + ?Sized>(store: &S, deleted: &HashSet<TupleId>) -> Database {
+    let mut out = Database::new(store.schema().clone());
+    for id in store.iter_tuples() {
+        if !deleted.contains(&id) {
+            out.insert(store.relation_of(id), store.values_of(id));
+        }
+    }
+    out
+}
+
+impl TupleStore for Database {
+    fn schema(&self) -> &Schema {
+        Database::schema(self)
+    }
+
+    fn num_tuples(&self) -> usize {
+        Database::num_tuples(self)
+    }
+
+    fn relation_of(&self, id: TupleId) -> RelId {
+        Database::relation_of(self, id)
+    }
+
+    fn values_of(&self, id: TupleId) -> &[Constant] {
+        Database::values_of(self, id)
+    }
+
+    fn tuples_of(&self, rel: RelId) -> &[TupleId] {
+        Database::tuples_of(self, rel)
+    }
+
+    fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId] {
+        Database::tuples_matching(self, rel, pos, value)
+    }
+
+    fn lookup_values(&self, rel: RelId, values: &[Constant]) -> Option<TupleId> {
+        Database::lookup(self, rel, values)
+    }
+
+    fn endogenous_mask(&self, q: &Query) -> Vec<bool> {
+        Database::endogenous_mask(self, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    fn generic_probe<S: TupleStore>(db: &S) -> usize {
+        let r = db.schema().relation_id("R").unwrap();
+        db.tuples_matching(r, 1, Constant(3)).len()
+    }
+
+    #[test]
+    fn database_implements_the_store_trait() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        db.insert_named("R", &[3, 3]);
+        assert_eq!(generic_probe(&db), 2);
+        assert_eq!(TupleStore::num_tuples(&db), 3);
+        assert_eq!(db.iter_tuples().count(), 3);
+        let r = TupleStore::schema(&db).relation_id("R").unwrap();
+        assert!(db.contains_values(r, &[Constant(1), Constant(2)]));
+        assert!(!db.contains_values(r, &[Constant(2), Constant(1)]));
+    }
+
+    #[test]
+    fn copy_without_matches_database_without() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        let keep = db.insert_named("R", &[2, 3]);
+        let deleted: HashSet<TupleId> = db.iter_tuples().filter(|&t| t != keep).collect();
+        let reduced = copy_without(&db, &deleted);
+        assert_eq!(reduced.num_tuples(), 1);
+        let r = reduced.schema().relation_id("R").unwrap();
+        assert!(reduced.contains(r, &[2, 3]));
+    }
+}

@@ -8,7 +8,7 @@
 //! on this representation.
 
 use crate::eval::{witnesses, Witness};
-use crate::instance::Database;
+use crate::store::TupleStore;
 use crate::tuple::TupleId;
 use cq::Query;
 use std::collections::{HashMap, HashSet};
@@ -29,8 +29,15 @@ impl WitnessSet {
     /// Enumerates witnesses of `db |= q` and projects each one to its
     /// endogenous tuples (the relations with at least one endogenous atom in
     /// `q`).
-    pub fn build(q: &Query, db: &Database) -> Self {
-        let ws = witnesses(q, db);
+    pub fn build<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Self {
+        Self::from_witnesses(q, db, witnesses(q, db))
+    }
+
+    /// Projects already-enumerated witnesses (e.g. produced through a shared
+    /// [`crate::QueryPlan`]) to their endogenous tuples. Takes the witness
+    /// vector by value so a batch caller can recycle its allocation through
+    /// [`WitnessSet::into_witnesses`] afterwards.
+    pub fn from_witnesses<S: TupleStore + ?Sized>(q: &Query, db: &S, ws: Vec<Witness>) -> Self {
         let endo = db.endogenous_mask(q);
         let mut relevant_mask = vec![false; db.num_tuples()];
         let mut endogenous_sets = Vec::with_capacity(ws.len());
@@ -59,6 +66,12 @@ impl WitnessSet {
             endogenous_sets,
             relevant_tuples,
         }
+    }
+
+    /// Consumes the set, returning the raw witness vector (so its allocation
+    /// can be reused for the next instance of a batch).
+    pub fn into_witnesses(self) -> Vec<Witness> {
+        self.witnesses
     }
 
     /// Number of witnesses.
@@ -129,6 +142,7 @@ impl WitnessSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::Database;
     use cq::parse_query;
 
     fn chain_setup() -> (Query, Database) {

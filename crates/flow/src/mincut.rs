@@ -37,6 +37,14 @@ impl MinCut {
         }
     }
 
+    /// Computes only the *value* of a minimum s–t cut (the max flow),
+    /// skipping the residual-reachability sweep and cut-edge extraction.
+    /// Callers that do not need the cut certificate (e.g. resilience solves
+    /// with contingency reporting disabled) save the extraction pass.
+    pub fn compute_value(network: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
+        network.max_flow_dinic(s, t)
+    }
+
     /// Sum of the original capacities of the reported cut edges.
     pub fn cut_capacity(&self, network: &FlowNetwork) -> u64 {
         self.cut_edges.iter().map(|&e| network.edge(e).2).sum()

@@ -62,12 +62,35 @@ impl VertexCutNetwork {
     /// (their capacity is ignored), matching the paper's constructions where
     /// s and t are artificial endpoints.
     pub fn min_vertex_cut(&self, source: usize, target: usize) -> VertexCut {
+        let (mut g, s, t) = self.split_network(source, target);
+        let cut = MinCut::compute(&mut g, s, t);
+        let n = self.num_vertices();
+        let mut cut_vertices: Vec<usize> = cut
+            .cut_edges
+            .iter()
+            .filter_map(|e| (e.index() < n).then_some(e.index()))
+            .collect();
+        cut_vertices.sort_unstable();
+        VertexCut {
+            value: cut.value,
+            cut_vertices,
+        }
+    }
+
+    /// Computes only the value of a minimum vertex cut, skipping the
+    /// cut-vertex extraction (see [`MinCut::compute_value`]).
+    pub fn min_vertex_cut_value(&self, source: usize, target: usize) -> u64 {
+        let (mut g, s, t) = self.split_network(source, target);
+        MinCut::compute_value(&mut g, s, t)
+    }
+
+    /// Builds the node-split flow network: `v_in = 2v`, `v_out = 2v + 1`,
+    /// with the internal edge of vertex `v` added v-th so its `EdgeId` is
+    /// exactly `v` — no explicit map needed.
+    fn split_network(&self, source: usize, target: usize) -> (FlowNetwork, NodeId, NodeId) {
         let mut g = FlowNetwork::new();
-        // v_in = 2v, v_out = 2v + 1.
         let n = self.num_vertices();
         let nodes: Vec<NodeId> = g.add_nodes(2 * n);
-        // The internal edge of vertex `v` is added v-th, so its EdgeId is
-        // exactly `v` — no explicit map needed.
         for v in 0..n {
             let cap = if v == source || v == target {
                 INF
@@ -79,17 +102,7 @@ impl VertexCutNetwork {
         for &(from, to) in &self.edges {
             g.add_edge(nodes[2 * from as usize + 1], nodes[2 * to as usize], INF);
         }
-        let cut = MinCut::compute(&mut g, nodes[2 * source], nodes[2 * target + 1]);
-        let mut cut_vertices: Vec<usize> = cut
-            .cut_edges
-            .iter()
-            .filter_map(|e| (e.index() < n).then_some(e.index()))
-            .collect();
-        cut_vertices.sort_unstable();
-        VertexCut {
-            value: cut.value,
-            cut_vertices,
-        }
+        (g, nodes[2 * source], nodes[2 * target + 1])
     }
 }
 
@@ -187,6 +200,19 @@ mod tests {
         assert!(cut.cut_vertices.is_empty());
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn value_only_cut_matches_full_extraction() {
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let t = g.add_vertex(INF);
+        for _ in 0..3 {
+            let m = g.add_vertex(1);
+            g.add_edge(s, m);
+            g.add_edge(m, t);
+        }
+        assert_eq!(g.min_vertex_cut_value(s, t), g.min_vertex_cut(s, t).value);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() {
     );
     for (name, text) in cases {
         let q = parse_query(text).unwrap();
-        let solver = ResilienceSolver::new(&q);
+        let compiled = Engine::compile(&q);
         let exact = ExactSolver::new();
         for nodes in [6u64, 10, 14] {
             let mut workload = Workload::new(42 + nodes);
@@ -43,9 +43,12 @@ fn main() {
                 }
             }
             let witnesses = database::witnesses(&q, &db).len();
+            let frozen = db.freeze();
 
             let start = Instant::now();
-            let flow_outcome = solver.solve(&db);
+            let flow_report = compiled
+                .solve(&frozen, &SolveOptions::new())
+                .expect("flow solve failed");
             let flow_time = start.elapsed().as_micros();
 
             let start = Instant::now();
@@ -60,14 +63,15 @@ fn main() {
                 witnesses,
                 flow_time,
                 exact_time,
-                if flow_outcome.resilience == exact_value {
+                if flow_report.resilience.as_finite() == exact_value {
                     "yes"
                 } else {
                     "NO"
                 }
             );
             assert_eq!(
-                flow_outcome.resilience, exact_value,
+                flow_report.resilience.as_finite(),
+                exact_value,
                 "{name}: flow and exact disagree"
             );
         }

@@ -1,5 +1,5 @@
-//! Quickstart: parse a query, classify its resilience complexity, build a
-//! small database and compute its resilience.
+//! Quickstart: parse a query, classify its resilience complexity, compile it
+//! once, build and freeze a small database, and compute its resilience.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -30,23 +30,30 @@ fn main() {
     }
 
     // ---------------------------------------------------------------
-    // 3. Databases are built against the query's schema. This is the
+    // 3. `Engine::compile` runs classification and join-plan compilation
+    //    once per query; the result is reusable across every instance.
+    //    Databases are built against the query's schema and *frozen*
+    //    (compacted to immutable CSR) before solving. This is the
     //    three-tuple example of Section 2.1: witnesses (1,2,3), (2,3,3),
-    //    (3,3,3); the resilience is 2 (delete R(3,3) and either other tuple).
+    //    (3,3,3); the resilience is 2 (delete R(3,3) and either other
+    //    tuple).
     // ---------------------------------------------------------------
+    let compiled = Engine::compile(&chain);
     let mut db = Database::for_query(&chain);
     db.insert_named("R", &[1u64, 2]);
     db.insert_named("R", &[2u64, 3]);
     db.insert_named("R", &[3u64, 3]);
+    let frozen = db.freeze();
 
-    let solver = ResilienceSolver::new(&chain);
-    let outcome = solver.solve(&db);
+    let report = compiled
+        .solve(&frozen, &SolveOptions::new())
+        .expect("solve failed");
     println!("database:\n{db}\n");
     println!(
-        "resilience of q_chain over D = {:?} (method: {:?})",
-        outcome.resilience, outcome.method
+        "resilience of q_chain over D = {} (method: {:?})",
+        report.resilience, report.method
     );
-    if let Some(gamma) = &outcome.contingency {
+    if let Some(gamma) = &report.contingency {
         let tuples: Vec<String> = gamma
             .iter()
             .map(|&t| {
@@ -59,22 +66,35 @@ fn main() {
     }
 
     // ---------------------------------------------------------------
-    // 4. For PTIME queries the solver dispatches to a flow algorithm; the
-    //    exact branch-and-bound solver is always available as ground truth.
+    // 4. The same compiled query solves many instances at once:
+    //    `solve_batch` shares the plan across scoped threads. For PTIME
+    //    queries the engine dispatches to a flow algorithm; the exact
+    //    branch-and-bound solver is always available as ground truth.
     // ---------------------------------------------------------------
-    let mut db2 = Database::for_query(&acconf);
-    db2.insert_named("A", &[1u64]);
-    db2.insert_named("A", &[4u64]);
-    db2.insert_named("C", &[5u64]);
-    db2.insert_named("R", &[1u64, 2]);
-    db2.insert_named("R", &[4u64, 2]);
-    db2.insert_named("R", &[5u64, 2]);
-    let solver2 = ResilienceSolver::new(&acconf);
-    let outcome2 = solver2.solve(&db2);
-    let exact = ExactSolver::new().resilience_value(&acconf, &db2);
+    let compiled2 = Engine::compile(&acconf);
+    let instances: Vec<_> = (0..4u64)
+        .map(|shift| {
+            let mut db2 = Database::for_query(&acconf);
+            db2.insert_named("A", &[1u64]);
+            db2.insert_named("A", &[4u64]);
+            db2.insert_named("C", &[5u64]);
+            db2.insert_named("R", &[1u64, 2 + shift]);
+            db2.insert_named("R", &[4u64, 2 + shift]);
+            db2.insert_named("R", &[5u64, 2 + shift]);
+            db2.freeze()
+        })
+        .collect();
+    let reports = compiled2.solve_batch(&instances, &SolveOptions::new());
     println!();
-    println!(
-        "resilience of q_ACconf over D2 = {:?} via {:?} (exact check: {:?})",
-        outcome2.resilience, outcome2.method, exact
-    );
+    for (i, report) in reports.iter().enumerate() {
+        let report = report.as_ref().expect("batch solve failed");
+        // The exact solver is generic over the store: it cross-checks the
+        // frozen instance directly.
+        let exact = ExactSolver::new().resilience_value(&acconf, &instances[i]);
+        println!(
+            "resilience of q_ACconf over D{i} = {} via {:?} (exact check: {:?})",
+            report.resilience, report.method, exact
+        );
+        assert_eq!(report.resilience.as_finite(), exact);
+    }
 }

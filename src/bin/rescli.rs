@@ -1,36 +1,46 @@
 //! `rescli` — a small command-line front end for the resilience library.
 //!
 //! ```text
-//! rescli classify "<query>"             classify a query (Theorem 37 + Secs. 5-8)
-//! rescli solve    "<query>" <file>      compute resilience over a database file
+//! rescli classify "<query>"              classify a query (Theorem 37 + Secs. 5-8)
+//! rescli solve    "<query>" <file>       compute resilience over a database file
+//! rescli batch    "<query>" <file>...    compile once, solve every file in parallel
 //! rescli ijp      "<query>" [joins] [partitions]
-//!                                        search for an Independent Join Path
-//! rescli catalogue                       print the named-query catalogue
+//!                                         search for an Independent Join Path
+//! rescli catalogue                        print the named-query catalogue
 //! ```
 //!
+//! `solve` and `batch` accept `--json` for machine-readable output.
+//!
 //! The database file format is one tuple per line, `Rel(c1,c2,...)`, with
-//! `#` comments; constants are non-negative integers or arbitrary labels
-//! (labels are interned).
+//! `#` comments; constants are non-negative integers or arbitrary labels.
+//! Labels are interned through the shared [`database::ConstPool`] and then
+//! offset past the largest numeric constant of the file, so a label can
+//! never collide with an explicit numeric constant.
 
+use resilience::core::engine::{CompiledQuery, Engine, Resilience, SolveOptions, SolveReport};
+use resilience::database::ConstPool;
 use resilience::prelude::*;
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rescli classify \"<query>\"\n  rescli solve \"<query>\" <database-file>\n  \
+        "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] \"<query>\" <database-file>\n  \
+         rescli batch [--json] \"<query>\" <database-file>...\n  \
          rescli ijp \"<query>\" [max-joins] [max-partitions]\n  rescli catalogue"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     match args.first().map(|s| s.as_str()) {
         Some("classify") if args.len() == 2 => classify_cmd(&args[1]),
-        Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2]),
+        Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2], json),
+        Some("batch") if args.len() >= 3 => batch_cmd(&args[1], &args[2..], json),
         Some("ijp") if (2..=4).contains(&args.len()) => {
             let joins = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
             let partitions = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -69,12 +79,22 @@ fn classify_cmd(text: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses a database file: one `Rel(c1,...,ck)` fact per line.
-fn load_database(q: &Query, path: &str) -> Result<Database, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut db = Database::for_query(q);
-    let mut interner: HashMap<String, u64> = HashMap::new();
-    let mut next_constant = 1_000_000u64;
+/// One parsed constant of a database file: a numeric literal or a label to
+/// be interned.
+enum RawConstant {
+    Number(u64),
+    Label(String),
+}
+
+/// Parses the textual database format: one `Rel(c1,...,ck)` fact per line.
+///
+/// Labels are interned through [`ConstPool`] and offset past the largest
+/// numeric constant in `text`, so explicit numbers and interned labels can
+/// never collide (the previous implementation started labels at a fixed
+/// 1,000,000, which silently aliased files using constants ≥ 1,000,000).
+fn parse_database(q: &Query, text: &str) -> Result<Database, String> {
+    let mut facts: Vec<(String, Vec<RawConstant>)> = Vec::new();
+    let mut max_number = 0u64;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -87,35 +107,130 @@ fn load_database(q: &Query, path: &str) -> Result<Database, String> {
             .rfind(')')
             .ok_or_else(|| format!("line {}: missing ')'", lineno + 1))?;
         let rel = line[..open].trim();
-        let values: Result<Vec<u64>, String> = line[open + 1..close]
-            .split(',')
-            .map(|v| {
-                let v = v.trim();
-                if let Ok(n) = v.parse::<u64>() {
-                    Ok(n)
-                } else if v.is_empty() {
-                    Err(format!("line {}: empty constant", lineno + 1))
-                } else {
-                    Ok(*interner.entry(v.to_string()).or_insert_with(|| {
-                        next_constant += 1;
-                        next_constant
-                    }))
-                }
-            })
-            .collect();
-        let values = values?;
-        if db.schema().relation_id(rel).is_none() {
+        if q.schema().relation_id(rel).is_none() {
             return Err(format!(
                 "line {}: relation {rel} not in the query",
                 lineno + 1
             ));
         }
-        db.insert_named(rel, &values);
+        let values: Result<Vec<RawConstant>, String> = line[open + 1..close]
+            .split(',')
+            .map(|v| {
+                let v = v.trim();
+                if let Ok(n) = v.parse::<u64>() {
+                    max_number = max_number.max(n);
+                    Ok(RawConstant::Number(n))
+                } else if v.is_empty() {
+                    Err(format!("line {}: empty constant", lineno + 1))
+                } else {
+                    Ok(RawConstant::Label(v.to_string()))
+                }
+            })
+            .collect();
+        facts.push((rel.to_string(), values?));
+    }
+
+    // Second pass: labels become `offset + pool index`, strictly above every
+    // numeric constant seen in the file.
+    let offset = max_number
+        .checked_add(1)
+        .ok_or_else(|| "constant u64::MAX leaves no room for labels".to_string())?;
+    let mut pool = ConstPool::new();
+    let mut db = Database::for_query(q);
+    for (rel, values) in facts {
+        let resolved: Result<Vec<u64>, String> = values
+            .iter()
+            .map(|value| match value {
+                RawConstant::Number(n) => Ok(*n),
+                RawConstant::Label(label) => offset
+                    .checked_add(pool.intern(label).value())
+                    .ok_or_else(|| format!("too many labels to intern past {max_number}")),
+            })
+            .collect();
+        db.insert_named(&rel, &resolved?);
     }
     Ok(db)
 }
 
-fn solve_cmd(text: &str, path: &str) -> ExitCode {
+/// Reads and parses a database file.
+fn load_database(q: &Query, path: &str) -> Result<Database, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_database(q, &text)
+}
+
+fn render_contingency(db: &Database, gamma: &[TupleId]) -> Vec<String> {
+    gamma
+        .iter()
+        .map(|&t| {
+            let rel = db.schema().name(db.relation_of(t));
+            let vals: Vec<String> = db.values_of(t).iter().map(|c| c.to_string()).collect();
+            format!("{rel}({})", vals.join(","))
+        })
+        .collect()
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one solve report as a JSON object (no trailing newline).
+fn report_json(file: &str, db: &Database, report: &SolveReport) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"file\": \"{}\"", json_escape(file));
+    let _ = write!(out, ", \"tuples\": {}", db.num_tuples());
+    let _ = write!(out, ", \"witnesses\": {}", report.witnesses);
+    match report.resilience {
+        Resilience::Finite(k) => {
+            let _ = write!(out, ", \"resilience\": {k}, \"unfalsifiable\": false");
+        }
+        Resilience::Unfalsifiable => {
+            let _ = write!(out, ", \"resilience\": null, \"unfalsifiable\": true");
+        }
+    }
+    let _ = write!(
+        out,
+        ", \"method\": \"{}\"",
+        json_escape(&format!("{:?}", report.method))
+    );
+    if let Some(gamma) = &report.contingency {
+        let rendered: Vec<String> = render_contingency(db, gamma)
+            .into_iter()
+            .map(|t| format!("\"{}\"", json_escape(&t)))
+            .collect();
+        let _ = write!(out, ", \"contingency\": [{}]", rendered.join(", "));
+    } else {
+        let _ = write!(out, ", \"contingency\": null");
+    }
+    out.push('}');
+    out
+}
+
+fn print_report_text(db: &Database, report: &SolveReport) {
+    println!("tuples       : {}", db.num_tuples());
+    match report.resilience {
+        Resilience::Finite(r) => println!("resilience   : {r}  (method {:?})", report.method),
+        Resilience::Unfalsifiable => {
+            println!("resilience   : unbounded (the query cannot be made false)")
+        }
+    }
+    if let Some(gamma) = &report.contingency {
+        println!("contingency  : {}", render_contingency(db, gamma).join(" "));
+    }
+}
+
+fn solve_cmd(text: &str, path: &str, json: bool) -> ExitCode {
     let q = match parse_or_exit(text) {
         Ok(q) => q,
         Err(code) => return code,
@@ -127,25 +242,101 @@ fn solve_cmd(text: &str, path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let solver = ResilienceSolver::new(&q);
-    let outcome = solver.solve(&db);
-    println!("query        : {q}");
-    println!("complexity   : {}", solver.classification().complexity);
-    println!("tuples       : {}", db.num_tuples());
-    match outcome.resilience {
-        Some(r) => println!("resilience   : {r}  (method {:?})", outcome.method),
-        None => println!("resilience   : unbounded (the query cannot be made false)"),
-    }
-    if let Some(gamma) = &outcome.contingency {
-        let mut rendered = String::new();
-        for &t in gamma {
-            let rel = db.schema().name(db.relation_of(t));
-            let vals: Vec<String> = db.values_of(t).iter().map(|c| c.to_string()).collect();
-            let _ = write!(rendered, "{rel}({}) ", vals.join(","));
+    let compiled = Engine::compile(&q);
+    let report = match compiled.solve(&db.freeze(), &SolveOptions::new()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            return ExitCode::FAILURE;
         }
-        println!("contingency  : {rendered}");
+    };
+    if json {
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"results\": [{}]}}",
+            json_escape(&q.to_string()),
+            json_escape(&compiled.classification().complexity.to_string()),
+            report_json(path, &db, &report)
+        );
+    } else {
+        println!("query        : {q}");
+        println!("complexity   : {}", compiled.classification().complexity);
+        print_report_text(&db, &report);
     }
     ExitCode::SUCCESS
+}
+
+fn batch_cmd(text: &str, paths: &[String], json: bool) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    // Compile once; load and freeze every instance; solve the whole batch
+    // through the shared plan.
+    let compiled: CompiledQuery = Engine::compile(&q);
+    let mut dbs = Vec::with_capacity(paths.len());
+    for path in paths {
+        match load_database(&q, path) {
+            Ok(db) => dbs.push(db),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let frozen: Vec<_> = dbs.iter().map(|db| db.freeze()).collect();
+    let reports = compiled.solve_batch(&frozen, &SolveOptions::new());
+
+    let mut failed = false;
+    if json {
+        let mut rows = Vec::with_capacity(reports.len());
+        for ((path, db), report) in paths.iter().zip(&dbs).zip(&reports) {
+            match report {
+                Ok(report) => rows.push(report_json(path, db, report)),
+                Err(e) => {
+                    rows.push(format!(
+                        "{{\"file\": \"{}\", \"error\": \"{}\"}}",
+                        json_escape(path),
+                        json_escape(&e.to_string())
+                    ));
+                    failed = true;
+                }
+            }
+        }
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"results\": [{}]}}",
+            json_escape(&q.to_string()),
+            json_escape(&compiled.classification().complexity.to_string()),
+            rows.join(", ")
+        );
+    } else {
+        println!("query        : {q}");
+        println!("complexity   : {}", compiled.classification().complexity);
+        println!("instances    : {}", paths.len());
+        for ((path, db), report) in paths.iter().zip(&dbs).zip(&reports) {
+            match report {
+                Ok(report) => {
+                    let value = match report.resilience {
+                        Resilience::Finite(r) => r.to_string(),
+                        Resilience::Unfalsifiable => "unbounded".to_string(),
+                    };
+                    println!(
+                        "{path:<30} tuples {:>5}  resilience {value:>9}  ({:?})",
+                        db.num_tuples(),
+                        report.method
+                    );
+                }
+                Err(e) => {
+                    println!("{path:<30} error: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn ijp_cmd(text: &str, joins: usize, partitions: usize) -> ExitCode {
@@ -185,4 +376,90 @@ fn catalogue_cmd() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_do_not_collide_with_large_numeric_constants() {
+        // Regression: the old loader started label interning at the fixed
+        // constant 1,000,000, so the label "alpha" aliased an explicit
+        // 1000001 in the same file and the two tuples below collapsed into
+        // one, changing the resilience.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let text = "R(1000001, 7)\nR(alpha, 7)\nR(7, 9)\n";
+        let db = parse_database(&q, text).unwrap();
+        assert_eq!(db.num_tuples(), 3, "label collided with numeric constant");
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.tuples_of(r).len(), 3);
+    }
+
+    #[test]
+    fn repeated_labels_intern_to_the_same_constant() {
+        let q = parse_query("R(x,y)").unwrap();
+        let db = parse_database(&q, "R(alice, bob)\nR(alice, bob)\nR(bob, alice)\n").unwrap();
+        // The duplicate fact deduplicates; alice/bob are stable across lines.
+        assert_eq!(db.num_tuples(), 2);
+    }
+
+    #[test]
+    fn labels_are_offset_past_the_file_maximum() {
+        let q = parse_query("R(x,y)").unwrap();
+        let db = parse_database(&q, "R(42, alpha)\nR(7, beta)\n").unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        // Numbers stay verbatim; alpha interns first => 43, beta => 44.
+        assert!(db.contains(r, &[42u64, 43]));
+        assert!(db.contains(r, &[7u64, 44]));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_line_numbers() {
+        let q = parse_query("R(x,y)").unwrap();
+        assert!(parse_database(&q, "R(1, 2\n")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_database(&q, "# ok\nZ(1, 2)\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse_database(&q, "R(1, )\n")
+            .unwrap_err()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let q = parse_query("R(x,y)").unwrap();
+        let db = parse_database(&q, "# header\n\nR(1, 2) # trailing\n").unwrap();
+        assert_eq!(db.num_tuples(), 1);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_for_both_outcomes() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = parse_database(&q, "R(1,2)\nR(2,3)\nR(3,3)\n").unwrap();
+        let compiled = Engine::compile(&q);
+        let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+        let json = report_json("test.db", &db, &report);
+        assert!(json.contains("\"resilience\": 2"));
+        assert!(json.contains("\"unfalsifiable\": false"));
+        assert!(json.contains("\"contingency\": ["));
+
+        let q2 = parse_query("R^x(x,y)").unwrap();
+        let db2 = parse_database(&q2, "R(1,2)\n").unwrap();
+        let compiled2 = Engine::compile(&q2);
+        let report2 = compiled2
+            .solve(&db2.freeze(), &SolveOptions::new())
+            .unwrap();
+        let json2 = report_json("test.db", &db2, &report2);
+        assert!(json2.contains("\"resilience\": null"));
+        assert!(json2.contains("\"unfalsifiable\": true"));
+    }
 }

@@ -9,19 +9,26 @@
 //! * [`cq`] — conjunctive-query substrate: data model, parser, minimization,
 //!   hypergraphs, domination, triads, self-join patterns and the dichotomy
 //!   classifier (Theorem 37).
-//! * [`database`] — database instances, Boolean query evaluation and witness
-//!   enumeration.
+//! * [`database`] — database instances ([`database::Database`] for loading,
+//!   [`database::FrozenDb`] for solving), Boolean query evaluation and
+//!   witness enumeration over compiled [`database::QueryPlan`]s.
 //! * [`flow`] — max-flow / min-cut substrate used by every PTIME algorithm.
 //! * [`satgad`] — 3SAT, Max-2-SAT and Vertex Cover substrate used to build
 //!   and validate hardness gadgets.
-//! * [`core`](resilience_core) — the resilience solvers themselves: exact
-//!   hitting-set search, the flow-based polynomial algorithms, the unified
-//!   dispatcher and Independent Join Paths (Section 9).
+//! * [`core`] — the resilience solvers themselves: the compiled
+//!   [`engine`](resilience_core::engine), exact hitting-set search, the
+//!   flow-based polynomial algorithms and Independent Join Paths
+//!   (Section 9).
 //! * [`gadgets`] — executable hardness reductions (Propositions 9, 10, 34,
 //!   39, 56, 57 and the path/chain constructions).
 //! * [`workloads`] — reproducible random workload generators.
 //!
 //! ## Quick start
+//!
+//! The paper's dichotomy makes *classification* a per-query cost and
+//! *resilience* a per-instance cost; the API mirrors that split. Compile a
+//! query once, then solve as many (frozen) instances as you like through the
+//! compiled artifact:
 //!
 //! ```
 //! use resilience::prelude::*;
@@ -30,16 +37,56 @@
 //! let q = parse_query("R(x,y), R(y,z)").unwrap();
 //! assert!(classify(&q).complexity.is_np_complete());
 //!
-//! // Build a tiny database and compute its resilience exactly.
+//! // Compile once: classification + join-plan compilation.
+//! let compiled = Engine::compile(&q);
+//!
+//! // Build a tiny database, freeze it, and compute its resilience exactly.
 //! let mut db = Database::new(q.schema().clone());
 //! let r = db.schema().relation_id("R").unwrap();
 //! db.insert(r, &[1, 2]);
 //! db.insert(r, &[2, 3]);
 //! db.insert(r, &[3, 3]);
-//! let solver = ResilienceSolver::new(&q);
-//! let result = solver.solve(&db);
-//! assert_eq!(result.resilience, Some(2));
+//! let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+//! assert_eq!(report.resilience, Resilience::Finite(2));
 //! ```
+//!
+//! ## Batching
+//!
+//! Many instances of the same query go through
+//! [`CompiledQuery::solve_batch`](resilience_core::engine::CompiledQuery::solve_batch),
+//! which shares the compiled plan across scoped threads (one reusable
+//! scratch per thread):
+//!
+//! ```
+//! use resilience::prelude::*;
+//!
+//! let q = parse_query("R(x,y), R(y,z)").unwrap();
+//! let compiled = Engine::compile(&q);
+//! let instances: Vec<FrozenDb> = (0..8u64)
+//!     .map(|i| {
+//!         let mut db = Database::for_query(&q);
+//!         db.insert_named("R", &[i, i + 1]);
+//!         db.insert_named("R", &[i + 1, i + 2]);
+//!         db.freeze()
+//!     })
+//!     .collect();
+//! for report in compiled.solve_batch(&instances, &SolveOptions::new()) {
+//!     assert_eq!(report.unwrap().resilience, Resilience::Finite(1));
+//! }
+//! ```
+//!
+//! ## Migrating from `ResilienceSolver`
+//!
+//! The legacy one-call facade is kept as a deprecated shim; the mapping is
+//! mechanical:
+//!
+//! | legacy | engine |
+//! |---|---|
+//! | `ResilienceSolver::new(&q)` | `Engine::compile(&q)` |
+//! | `solver.solve(&db)` | `compiled.solve(&db.freeze(), &SolveOptions::new())?` |
+//! | `outcome.resilience: Option<usize>` | `report.resilience: Resilience` (`as_finite()`) |
+//! | panic on exhausted node budget | `Err(SolveError::BudgetExhausted { .. })` |
+//! | loop over instances | `compiled.solve_batch(&frozen_instances, &opts)` |
 
 pub use cq;
 pub use database;
@@ -53,9 +100,14 @@ pub use workloads;
 pub mod prelude {
     pub use cq::catalogue;
     pub use cq::{classify, parse_query, Classification, Complexity, Query, QueryBuilder};
-    pub use database::{Constant, Database, TupleId};
-    pub use resilience_core::{
-        exact::ExactSolver, ijp, solver::ResilienceSolver, solver::SolveOutcome,
+    pub use database::{ConstPool, Constant, Database, FrozenDb, TupleId, TupleStore};
+    pub use resilience_core::engine::{
+        CompiledQuery, Engine, Resilience, SolveError, SolveMethod, SolveOptions, SolveReport,
+        SolveScratch,
     };
+    #[allow(deprecated)]
+    pub use resilience_core::solver::ResilienceSolver;
+    pub use resilience_core::solver::SolveOutcome;
+    pub use resilience_core::{exact::ExactSolver, ijp};
     pub use workloads::Workload;
 }

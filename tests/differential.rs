@@ -8,6 +8,10 @@
 //! * the full solver pipeline (flow dispatch, bitset branch-and-bound)
 //!   computes identical resilience values and valid contingency sets.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use database::{canonical_witnesses, reference_witnesses, witnesses, TupleId, WitnessSet};
 use flow::FlowNetwork;
 use resilience_core::solver::ResilienceSolver;

@@ -1,0 +1,271 @@
+//! Differential and property tests for the compiled engine API:
+//!
+//! * (a) solving a `FrozenDb` through `CompiledQuery` returns exactly the
+//!   same results as the legacy `Database` path (the deprecated
+//!   `ResilienceSolver` shim), on random workloads;
+//! * (b) `solve_batch` equals a sequential `solve` loop instance-by-instance;
+//! * (c) the deprecated shim agrees with the engine on the full named-query
+//!   catalogue;
+//! * structured-result invariants: `Resilience::Unfalsifiable` appears
+//!   exactly where the legacy `None` did, and `want_contingency(false)`
+//!   never changes the computed value.
+
+// The shim is exercised on purpose: these tests prove it matches the engine.
+#![allow(deprecated)]
+
+use cq::catalogue;
+use cq::parse_query;
+use database::{Database, FrozenDb, TupleId, WitnessSet};
+use proptest::prelude::*;
+use resilience_core::engine::{Engine, Resilience, SolveOptions, SolveReport};
+use resilience_core::solver::{ResilienceSolver, SolveOutcome};
+use std::collections::HashSet;
+use workloads::Workload;
+
+/// Builds the standard randomized instance used across the test-suite: a
+/// random `R`-graph, saturated unary relations, and a deterministic
+/// sprinkling of tuples for every other binary relation of the query.
+fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    let r_is_binary = q
+        .schema()
+        .relation_id("R")
+        .is_some_and(|r| q.schema().arity(r) == 2);
+    let mut db = if r_is_binary {
+        workload.random_graph_relation(q, "R", nodes, density)
+    } else {
+        Database::for_query(q)
+    };
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        let arity = q.schema().arity(rel);
+        if arity >= 2 && !(name == "R" && r_is_binary) {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
+                        // Deterministic pseudo-random tuples of any arity.
+                        let values: Vec<u64> = (0..arity as u64)
+                            .map(|pos| match pos {
+                                0 => a,
+                                1 => b,
+                                _ => (a + b + pos) % nodes.max(1),
+                            })
+                            .collect();
+                        db.insert_named(&name, &values);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+/// Asserts the legacy shim outcome and an engine report describe the same
+/// result.
+fn assert_outcome_matches_report(name: &str, outcome: &SolveOutcome, report: &SolveReport) {
+    assert_eq!(
+        outcome.resilience,
+        report.resilience.as_finite(),
+        "{name}: value mismatch between legacy and engine paths"
+    );
+    assert_eq!(
+        outcome.contingency, report.contingency,
+        "{name}: contingency mismatch between legacy and engine paths"
+    );
+    assert_eq!(
+        outcome.method, report.method,
+        "{name}: method mismatch between legacy and engine paths"
+    );
+}
+
+#[test]
+fn shim_agrees_with_engine_on_the_full_catalogue() {
+    // (c): every named query of the paper's catalogue, on two random
+    // instances each: the deprecated facade and the engine must agree
+    // exactly (value, contingency, method).
+    for nq in catalogue::all_named_queries() {
+        let solver = ResilienceSolver::new(&nq.query);
+        let compiled = Engine::compile(&nq.query);
+        for seed in [3u64, 11] {
+            let db = random_instance(&nq.query, seed, 6, 0.25);
+            let outcome = solver.solve(&db);
+            let report = compiled
+                .solve(&db.freeze(), &SolveOptions::new())
+                .unwrap_or_else(|e| panic!("{}: engine failed: {e}", nq.name));
+            assert_outcome_matches_report(nq.name, &outcome, &report);
+        }
+    }
+}
+
+#[test]
+fn batch_equals_sequential_loop_on_catalogue_queries() {
+    // (b) at catalogue scale: a mixed bag of PTIME and NP-complete queries.
+    for nq in [
+        catalogue::q_chain(),
+        catalogue::q_acconf(),
+        catalogue::q_aperm(),
+        catalogue::z3(),
+    ] {
+        let compiled = Engine::compile(&nq.query);
+        let opts = SolveOptions::new();
+        let frozen: Vec<FrozenDb> = (0..24u64)
+            .map(|seed| random_instance(&nq.query, seed, 6, 0.22).freeze())
+            .collect();
+        let batch = compiled.solve_batch(&frozen, &opts);
+        assert_eq!(batch.len(), frozen.len());
+        for (i, (db, from_batch)) in frozen.iter().zip(&batch).enumerate() {
+            let sequential = compiled.solve(db, &opts);
+            assert_eq!(
+                from_batch, &sequential,
+                "{} instance {i}: batch and sequential solves disagree",
+                nq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn contingency_sets_from_the_frozen_path_are_valid() {
+    for nq in [catalogue::q_acconf(), catalogue::q_aperm()] {
+        let compiled = Engine::compile(&nq.query);
+        for seed in [1u64, 2, 3] {
+            let db = random_instance(&nq.query, seed, 7, 0.3);
+            let report = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+            if let (Resilience::Finite(value), Some(gamma)) =
+                (report.resilience, &report.contingency)
+            {
+                let gamma: HashSet<TupleId> = gamma.iter().copied().collect();
+                assert_eq!(gamma.len(), value, "{}: contingency size", nq.name);
+                // Frozen tuple ids reference the original database verbatim.
+                let ws = WitnessSet::build(&nq.query, &db);
+                assert!(
+                    ws.is_contingency_set(&gamma),
+                    "{}: invalid contingency from the frozen path",
+                    nq.name
+                );
+                assert!(!database::evaluate(&nq.query, &db.without(&gamma)));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn frozen_and_legacy_paths_agree_on_random_chain_instances(
+        edges in prop::collection::vec((0..6u64, 0..6u64), 0..14)
+    ) {
+        // (a) on the NP-complete chain query: exact branch and bound through
+        // both paths.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        let report = Engine::compile(&q)
+            .solve(&db.freeze(), &SolveOptions::new())
+            .unwrap();
+        prop_assert_eq!(outcome.resilience, report.resilience.as_finite());
+        prop_assert_eq!(outcome.contingency, report.contingency);
+        prop_assert_eq!(outcome.method, report.method);
+    }
+
+    #[test]
+    fn frozen_and_legacy_paths_agree_on_random_acconf_instances(
+        edges in prop::collection::vec((0..6u64, 0..6u64), 0..12),
+        a_vals in prop::collection::vec(0..6u64, 0..6),
+        c_vals in prop::collection::vec(0..6u64, 0..6),
+    ) {
+        // (a) on a PTIME flow query.
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        for &a in &a_vals {
+            db.insert_named("A", &[a]);
+        }
+        for &c in &c_vals {
+            db.insert_named("C", &[c]);
+        }
+        let solver = ResilienceSolver::new(&q);
+        let outcome = solver.solve(&db);
+        let report = Engine::compile(&q)
+            .solve(&db.freeze(), &SolveOptions::new())
+            .unwrap();
+        prop_assert_eq!(outcome.resilience, report.resilience.as_finite());
+        prop_assert_eq!(outcome.contingency, report.contingency);
+        prop_assert_eq!(outcome.method, report.method);
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_random_instance_sets(
+        seeds in prop::collection::vec(0..1000u64, 1..10)
+    ) {
+        // (b): every batch entry equals its sequential counterpart, for
+        // arbitrary batch sizes (including size 1).
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let opts = SolveOptions::new();
+        let frozen: Vec<FrozenDb> = seeds
+            .iter()
+            .map(|&s| random_instance(&q, s, 5, 0.3).freeze())
+            .collect();
+        let batch = compiled.solve_batch(&frozen, &opts);
+        for (db, from_batch) in frozen.iter().zip(&batch) {
+            prop_assert_eq!(from_batch, &compiled.solve(db, &opts));
+        }
+    }
+
+    #[test]
+    fn want_contingency_off_never_changes_the_value(
+        edges in prop::collection::vec((0..6u64, 0..6u64), 0..12),
+        a_vals in prop::collection::vec(0..6u64, 0..6),
+    ) {
+        let q = parse_query("A(x), R(x,y), R(y,x)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        for &a in &a_vals {
+            db.insert_named("A", &[a]);
+        }
+        let compiled = Engine::compile(&q);
+        let frozen = db.freeze();
+        let with = compiled
+            .solve(&frozen, &SolveOptions::new().want_contingency(true))
+            .unwrap();
+        let without = compiled
+            .solve(&frozen, &SolveOptions::new().want_contingency(false))
+            .unwrap();
+        prop_assert_eq!(with.resilience, without.resilience);
+        prop_assert_eq!(with.method, without.method);
+        prop_assert!(without.contingency.is_none());
+    }
+
+    #[test]
+    fn unfalsifiable_maps_exactly_to_legacy_none(
+        edges in prop::collection::vec((0..5u64, 0..5u64), 0..10)
+    ) {
+        // The exogenous query is unfalsifiable whenever it has a witness.
+        let q = parse_query("R^x(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        for &(a, b) in &edges {
+            db.insert_named("R", &[a, b]);
+        }
+        let outcome = ResilienceSolver::new(&q).solve(&db);
+        let report = Engine::compile(&q)
+            .solve(&db.freeze(), &SolveOptions::new())
+            .unwrap();
+        prop_assert_eq!(outcome.resilience.is_none(), report.resilience.is_unfalsifiable());
+        if db.num_tuples() > 0 {
+            prop_assert_eq!(report.resilience, Resilience::Unfalsifiable);
+        } else {
+            prop_assert_eq!(report.resilience, Resilience::Finite(0));
+        }
+    }
+}

@@ -1,6 +1,10 @@
 //! Integration tests for experiment E9 (Independent Join Paths) and for
 //! cross-crate consistency of the named-query catalogue.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use cq::catalogue::{self, PaperClass};
 use cq::{classify, parse_query};
 use database::Database;

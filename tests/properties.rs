@@ -9,6 +9,10 @@
 //! * domination normal form preserves resilience (Proposition 18);
 //! * gadget soundness on random vertex-cover instances.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use cq::domination::normalize;
 use cq::homomorphism::{are_equivalent, is_minimal, minimize};
 use cq::{classify, parse_query};

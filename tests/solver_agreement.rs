@@ -3,6 +3,10 @@
 //! exact branch-and-bound solver for every PTIME query of the paper, and the
 //! contingency sets they report are genuine contingency sets.
 
+// The legacy `ResilienceSolver` facade is exercised on purpose here; the
+// engine API has its own coverage (tests/engine.rs).
+#![allow(deprecated)]
+
 use cq::catalogue;
 use database::{evaluate, Database, TupleId, WitnessSet};
 use resilience_core::solver::{ResilienceSolver, SolveMethod};
