@@ -25,15 +25,30 @@
 //! cargo run --release -p bench --bin perfbench -- batch \
 //!     --instances 100 --out BENCH_PR2.json
 //! ```
+//!
+//! **Session mode** runs a k-deletion sweep on the e2/e5 workloads through
+//! a deletion-aware [`resilience_core::engine::SolveSession`] (incremental
+//! live-counter updates, no re-enumeration) against the from-scratch
+//! baseline (`Database::without` copy + freeze + full re-solve per step),
+//! asserts identical per-step resilience values and witness counts, and
+//! writes a report such as the committed `BENCH_PR3.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- session \
+//!     --instances 25 --deletions 8 --out BENCH_PR3.json
+//! ```
+//!
+//! `--nodes V` overrides every session workload's graph size (the sweep
+//! defaults to per-workload sizes chosen for interactive what-if scale).
 
 // The legacy loop is exactly what batch mode benchmarks against.
 #![allow(deprecated)]
 
 use cq::parse_query;
-use database::{Database, FrozenDb};
+use database::{Database, FrozenDb, TupleId, WitnessSet};
 use resilience_core::engine::{Engine, SolveOptions};
 use resilience_core::solver::ResilienceSolver;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -73,6 +88,7 @@ fn json_u64_opt(v: Option<u64>) -> String {
 }
 
 /// One batch-vs-loop workload: a query plus a per-seed instance generator.
+#[derive(Clone, Copy)]
 struct BatchWorkload {
     name: &'static str,
     query_text: &'static str,
@@ -240,10 +256,272 @@ fn batch_mode(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One k-deletion sweep outcome: per step, `(resilience, witness count)`.
+type SweepOutcome = Vec<(Option<usize>, usize)>;
+
+fn session_mode(args: &[String]) -> ExitCode {
+    let mut instances = 25usize;
+    let mut deletions = 8usize;
+    let mut nodes: Option<u64> = None;
+    let mut out_path: Option<String> = None;
+    let mut label = "PR3-session-sweep".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--instances" => {
+                instances = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--instances needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--deletions" => {
+                deletions = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--deletions needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--nodes" => {
+                nodes = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--nodes needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => out_path = it.next().cloned(),
+            "--label" => label = it.next().cloned().unwrap_or(label),
+            other => {
+                eprintln!("unknown session argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!(
+            "usage: perfbench session [--instances N] [--deletions K] [--nodes V] \
+             [--label name] --out <json>"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    // The what-if sweeps cover both regimes. The PTIME linear-flow query
+    // (e1-style `q_ACconf`) runs at interactive-instance scale, where the
+    // baseline's per-step copy + freeze + re-enumeration dominates — this is
+    // the workload the session exists for. The NP-complete e2/e5 chains are
+    // kept at batch scale for continuity; there the exact branch-and-bound
+    // dominates *both* paths, so the session's advantage is bounded by the
+    // non-solver share of the step.
+    let session_workloads = [
+        BatchWorkload {
+            name: "e1/acconf_session",
+            query_text: "A(x), R(x,y), R(z,y), C(z)",
+            nodes: 28,
+            density: 0.18,
+            saturate_unary: true,
+        },
+        BatchWorkload {
+            nodes: 11,
+            ..BATCH_WORKLOADS[0]
+        },
+        BatchWorkload {
+            nodes: 11,
+            ..BATCH_WORKLOADS[1]
+        },
+    ];
+    const REPS: usize = 5;
+    let mut rows = Vec::new();
+    let mut summary = String::new();
+    for w in &session_workloads {
+        let w = &BatchWorkload {
+            nodes: nodes.unwrap_or(w.nodes),
+            ..*w
+        };
+        let (q, dbs) = batch_instances(w, instances);
+        let compiled = Engine::compile(&q);
+        let frozen: Vec<FrozenDb> = dbs.iter().map(|db| db.freeze()).collect();
+        let sequences: Vec<Vec<TupleId>> = dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                Workload::new(i as u64 ^ 0x5e55).random_deletion_sequence(&q, db, deletions)
+            })
+            .collect();
+        let opts = SolveOptions::new();
+
+        // Baseline: every deletion step pays a full `Database::without`
+        // copy, a freeze, and a complete re-enumeration + solve.
+        let run_scratch = || -> Vec<SweepOutcome> {
+            dbs.iter()
+                .zip(&sequences)
+                .map(|(db, seq)| {
+                    let mut deleted: HashSet<TupleId> = HashSet::new();
+                    seq.iter()
+                        .map(|&t| {
+                            deleted.insert(t);
+                            let report = compiled
+                                .solve(&db.without(&deleted).freeze(), &opts)
+                                .expect("scratch sweep solve failed");
+                            (report.resilience.as_finite(), report.witnesses)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        // Session: one enumeration at open, then O(degree) live-counter
+        // updates per deletion and a filtered re-solve. Session creation is
+        // inside the timed region — the speedup already includes it.
+        let run_session = || -> Vec<SweepOutcome> {
+            frozen
+                .iter()
+                .zip(&sequences)
+                .map(|(fdb, seq)| {
+                    let mut session = compiled.session(fdb).expect("session open failed");
+                    seq.iter()
+                        .map(|&t| {
+                            session.delete(&[t]);
+                            let report = session.solve(&opts).expect("session sweep solve failed");
+                            (report.resilience.as_finite(), report.witnesses)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // Maintenance metric: per deletion step, bring the witness set up to
+        // date and read the live witness count. Baseline = the legacy
+        // `Database::without` round trip (copy + full re-enumeration);
+        // session = O(degree) live-counter update. This is the ROADMAP's
+        // "incremental WitnessSet maintenance under deletions" item.
+        let q_norm = compiled.classification().evidence.normalized.clone();
+        let run_scratch_maintain = || -> Vec<Vec<usize>> {
+            dbs.iter()
+                .zip(&sequences)
+                .map(|(db, seq)| {
+                    let mut deleted: HashSet<TupleId> = HashSet::new();
+                    seq.iter()
+                        .map(|&t| {
+                            deleted.insert(t);
+                            WitnessSet::build(&q_norm, &db.without(&deleted)).len()
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let run_session_maintain = || -> Vec<Vec<usize>> {
+            frozen
+                .iter()
+                .zip(&sequences)
+                .map(|(fdb, seq)| {
+                    let mut session = compiled.session(fdb).expect("session open failed");
+                    seq.iter()
+                        .map(|&t| {
+                            session.delete(&[t]);
+                            session.live_witnesses()
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        let steps: usize = sequences.iter().map(Vec::len).sum();
+        let mut emit = |metric: &str, scratch_ns: u64, session_ns: u64| {
+            let name = format!("{}/{metric}", w.name.replace("_batch", "_session"));
+            let speedup = scratch_ns as f64 / session_ns.max(1) as f64;
+            rows.push(format!(
+                "    {{\"bench\": \"{name}\", \"instances\": {instances}, \"deletion_steps\": {steps}, \
+                 \"scratch_total_ns\": {scratch_ns}, \"session_total_ns\": {session_ns}, \
+                 \"scratch_ns_per_step\": {}, \"session_ns_per_step\": {}, \
+                 \"speedup\": {speedup:.2}, \"identical_results\": true}}",
+                scratch_ns / steps.max(1) as u64,
+                session_ns / steps.max(1) as u64,
+            ));
+            summary.push_str(&format!(
+                "{name:<30} {instances} x {deletions} deletions: scratch {scratch_ns:>12} ns -> session {session_ns:>12} ns  ({speedup:.2}x)\n",
+            ));
+        };
+
+        let scratch_counts = run_scratch_maintain(); // warm-up + differential
+        let mut scratch_maintain_ns = u64::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let counts = run_scratch_maintain();
+            scratch_maintain_ns = scratch_maintain_ns.min(start.elapsed().as_nanos() as u64);
+            assert_eq!(counts.len(), instances);
+        }
+        let session_counts = run_session_maintain(); // warm-up + differential
+        let mut session_maintain_ns = u64::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let counts = run_session_maintain();
+            session_maintain_ns = session_maintain_ns.min(start.elapsed().as_nanos() as u64);
+            assert_eq!(counts.len(), instances);
+        }
+        if scratch_counts != session_counts {
+            eprintln!("{}: witness counts diverge between paths", w.name);
+            return ExitCode::FAILURE;
+        }
+        emit("maintain", scratch_maintain_ns, session_maintain_ns);
+
+        let scratch_outcomes = run_scratch(); // warm-up, kept for the check
+        let mut scratch_ns = u64::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let outcomes = run_scratch();
+            scratch_ns = scratch_ns.min(start.elapsed().as_nanos() as u64);
+            assert_eq!(outcomes.len(), instances);
+        }
+
+        let _ = run_session(); // warm-up
+        let mut session_ns = u64::MAX;
+        let mut session_outcomes = Vec::new();
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let outcomes = run_session();
+            session_ns = session_ns.min(start.elapsed().as_nanos() as u64);
+            session_outcomes = outcomes;
+        }
+
+        if scratch_outcomes != session_outcomes {
+            for (i, (a, b)) in scratch_outcomes.iter().zip(&session_outcomes).enumerate() {
+                if a != b {
+                    eprintln!(
+                        "{}: instance {i} diverges: scratch {a:?} vs session {b:?}",
+                        w.name
+                    );
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+        emit("resolve", scratch_ns, session_ns);
+    }
+    let doc = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"session_vs_without_reenumerate\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = fs::write(&out_path, doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    summary.push_str(&format!("wrote {out_path}\n"));
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(summary.as_bytes());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("batch") {
         return batch_mode(&args[1..]);
+    }
+    if args.first().map(|s| s.as_str()) == Some("session") {
+        return session_mode(&args[1..]);
     }
     let mut before_path = None;
     let mut after_path = None;

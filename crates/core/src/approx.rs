@@ -13,35 +13,47 @@
 //!   they already coincide (which happens surprisingly often on sparse
 //!   instances and is how the branch-and-bound solver prunes).
 
-use crate::exact::greedy_hitting_set;
+use crate::exact::greedy_hitting_set_dense;
 use cq::Query;
 use database::{Database, TupleId, WitnessSet};
-use std::collections::HashSet;
 
 /// Greedy hitting-set upper bound with the witnessing contingency set.
+///
+/// Runs entirely in the witness set's dense tuple space (CSR index): no
+/// per-call renumbering map is built, and membership checks are array
+/// lookups.
 pub fn greedy_upper_bound(ws: &WitnessSet) -> Option<Vec<TupleId>> {
     if ws.has_undeletable_witness() {
         return None;
     }
-    Some(greedy_hitting_set(&ws.reduced_sets()))
+    let universe = ws.relevant_tuples();
+    let dense_sets = ws.reduced_dense_sets();
+    Some(
+        greedy_hitting_set_dense(&dense_sets, universe.len())
+            .into_iter()
+            .map(|d| universe[d as usize])
+            .collect(),
+    )
 }
 
 /// Lower bound from a greedy maximal packing of pairwise-disjoint witnesses.
 pub fn disjoint_packing_lower_bound(ws: &WitnessSet) -> usize {
-    let mut used: HashSet<TupleId> = HashSet::new();
+    // Dense-space packing: `used` is a flat bitmap over the relevant tuples
+    // instead of a hash set. `reduced_dense_sets` already yields smallest
+    // sets first (they are the hardest to pack around).
+    let mut used = vec![false; ws.relevant_tuples().len()];
     let mut bound = 0usize;
-    // Smallest witnesses first: they are the hardest to pack around.
-    let mut sets = ws.reduced_sets();
-    sets.sort_by_key(|s| s.len());
-    for set in sets {
+    for set in ws.reduced_dense_sets() {
         if set.is_empty() {
             continue;
         }
-        if set.iter().any(|t| used.contains(t)) {
+        if set.iter().any(|&d| used[d as usize]) {
             continue;
         }
         bound += 1;
-        used.extend(set);
+        for &d in &set {
+            used[d as usize] = true;
+        }
     }
     bound
 }
@@ -98,6 +110,7 @@ mod tests {
     use crate::exact::ExactSolver;
     use cq::parse_query;
     use database::Database;
+    use std::collections::HashSet;
     use workloads::Workload;
 
     fn chain_instance(seed: u64, nodes: u64, density: f64) -> (Query, Database) {

@@ -11,7 +11,11 @@
 //!   artifacts;
 //! * [`CompiledQuery::solve_batch`] fans a slice of instances out over
 //!   scoped threads, sharing the compiled plan and classification while each
-//!   thread reuses its own [`SolveScratch`].
+//!   thread reuses its own [`SolveScratch`];
+//! * [`CompiledQuery::session`] opens a deletion-aware [`SolveSession`] on
+//!   one instance: witnesses are enumerated once and what-if deletions /
+//!   restores re-solve through live counters over the tuple → witness CSR
+//!   instead of `Database::without` copies and re-enumeration.
 //!
 //! Results are structured: [`Resilience`] distinguishes `Finite(k)` from
 //! `Unfalsifiable` (instead of an ambiguous `Option`), [`SolveOptions`]
@@ -47,7 +51,8 @@ use cq::linear::{linear_order_all, pseudo_linear_order};
 use cq::{classify, Classification, Complexity, PtimeAlgorithm, Query};
 use database::eval::Witness;
 use database::{
-    try_relation_translation, witnesses_with_plan_into, FrozenDb, QueryPlan, TupleId, TupleStore,
+    copy_without_mask, try_relation_translation, witnesses_with_plan_into,
+    witnesses_with_plan_parallel_into, FrozenDb, QueryPlan, TupleId, TupleStore, WitnessIndex,
     WitnessSet,
 };
 use std::collections::HashSet;
@@ -139,6 +144,7 @@ impl fmt::Display for Resilience {
 pub struct SolveOptions {
     node_budget: usize,
     want_contingency: bool,
+    enumeration_threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -146,13 +152,14 @@ impl Default for SolveOptions {
         SolveOptions {
             node_budget: ExactSolver::default().node_limit,
             want_contingency: true,
+            enumeration_threads: 1,
         }
     }
 }
 
 impl SolveOptions {
     /// Default options: the exact solver's default node budget, contingency
-    /// extraction enabled.
+    /// extraction enabled, sequential witness enumeration.
     pub fn new() -> Self {
         Self::default()
     }
@@ -170,6 +177,17 @@ impl SolveOptions {
     /// computed) and the report's `contingency` is `None`.
     pub fn want_contingency(mut self, want: bool) -> Self {
         self.want_contingency = want;
+        self
+    }
+
+    /// Maximum threads for witness enumeration (default 1 = sequential).
+    /// Parallel enumeration partitions the first join step's candidate scan
+    /// across scoped threads and merges the results deterministically, so
+    /// solve output is identical at any thread count. Use > 1 for large
+    /// single instances; leave at 1 inside [`CompiledQuery::solve_batch`]
+    /// workloads, which already parallelize across instances.
+    pub fn enumeration_threads(mut self, threads: usize) -> Self {
+        self.enumeration_threads = threads.max(1);
         self
     }
 }
@@ -316,6 +334,46 @@ impl CompiledQuery {
         self.solve_store(db, opts, &mut scratch)
     }
 
+    /// Opens a deletion-aware [`SolveSession`] on one frozen instance: the
+    /// witnesses are enumerated once, and subsequent what-if deletions /
+    /// restores re-solve without copying the database or re-running the
+    /// join. See the [`SolveSession`] docs for the live-view semantics.
+    pub fn session<'a>(&'a self, db: &'a FrozenDb) -> Result<SolveSession<'a>, SolveError> {
+        self.session_opts(db, &SolveOptions::new())
+    }
+
+    /// [`CompiledQuery::session`] with explicit options; in particular
+    /// [`SolveOptions::enumeration_threads`] parallelizes the one-time
+    /// witness enumeration for large instances.
+    pub fn session_opts<'a>(
+        &'a self,
+        db: &'a FrozenDb,
+        opts: &SolveOptions,
+    ) -> Result<SolveSession<'a>, SolveError> {
+        let q = &self.classification.evidence.normalized;
+        let translation = try_relation_translation(q, db)
+            .map_err(|relation| SolveError::SchemaMismatch { relation })?;
+        let mut buf = Vec::new();
+        self.enumerate_witnesses(&translation, db, opts, &mut buf);
+        let ws = WitnessSet::from_witnesses(q, db, buf);
+        // Full incidence over *all* tuples a witness touches (exogenous
+        // included): a deletion of any tuple must kill exactly the witnesses
+        // using it.
+        let keep_all = vec![true; db.num_tuples()];
+        let full = WitnessIndex::from_witnesses(&ws.witnesses, &keep_all);
+        let live = ws.len();
+        Ok(SolveSession {
+            compiled: self,
+            db,
+            ws,
+            full,
+            dead_hits: vec![0; live],
+            deleted: vec![false; db.num_tuples()],
+            deleted_count: 0,
+            live,
+        })
+    }
+
     /// Solves one frozen instance, reusing the caller's scratch buffers
     /// (the batch fast path; equivalent to [`CompiledQuery::solve`]).
     pub fn solve_with_scratch(
@@ -386,12 +444,62 @@ impl CompiledQuery {
         let translation = try_relation_translation(q, db)
             .map_err(|relation| SolveError::SchemaMismatch { relation })?;
         let mut buf = std::mem::take(&mut scratch.witness_buf);
-        witnesses_with_plan_into(&self.plan, &translation, db, &mut buf);
+        self.enumerate_witnesses(&translation, db, opts, &mut buf);
         let ws = WitnessSet::from_witnesses(q, db, buf);
         let result = self.dispatch(q, db, &ws, opts);
         scratch.witness_buf = ws.into_witnesses();
         scratch.witness_buf.clear();
         result
+    }
+
+    /// Runs the compiled plan into `buf`, sequentially or across
+    /// [`SolveOptions::enumeration_threads`] scoped threads (identical
+    /// output either way). Single dispatch point shared by the solve and
+    /// session entry paths.
+    fn enumerate_witnesses<S: TupleStore + Sync + ?Sized>(
+        &self,
+        translation: &[cq::RelId],
+        db: &S,
+        opts: &SolveOptions,
+        buf: &mut Vec<Witness>,
+    ) {
+        if opts.enumeration_threads > 1 {
+            witnesses_with_plan_parallel_into(
+                &self.plan,
+                translation,
+                db,
+                opts.enumeration_threads,
+                buf,
+            );
+        } else {
+            witnesses_with_plan_into(&self.plan, translation, db, buf);
+        }
+    }
+
+    /// Whether this query's dispatch target reads raw relations of the
+    /// store (rather than working purely off the witness set). Deletion
+    /// sessions must materialize a reduced copy for such targets; witness-
+    /// driven targets solve correctly over the original store with a
+    /// filtered witness set, because deleted tuples appear in no live
+    /// witness.
+    ///
+    /// Keep this in sync with [`CompiledQuery::dispatch`] /
+    /// [`CompiledQuery::solve_catalogue`]: the component-wise path
+    /// re-enumerates witnesses per component against the store, and the
+    /// dedicated Section 8 constructions scan relations directly (2-way
+    /// pair detection, forced-tuple scans) — only `q_perm`/`q_Aperm` route
+    /// to the witness-driven permutation flow. Everything else (exact
+    /// branch-and-bound, witness-path/permutation flows, bipartite cover,
+    /// and the REP flow, whose relation scan only *adds* uncuttable tuples
+    /// that no live witness references) is witness-driven.
+    pub(crate) fn dispatch_scans_raw_store(&self) -> bool {
+        match &self.classification.complexity {
+            Complexity::PTime(PtimeAlgorithm::ComponentWise) => true,
+            Complexity::PTime(PtimeAlgorithm::CatalogueMatch(name)) => {
+                !matches!(*name, "q_perm" | "q_Aperm")
+            }
+            _ => false,
+        }
     }
 
     fn dispatch<S: TupleStore + Sync + ?Sized>(
@@ -608,6 +716,215 @@ impl CompiledQuery {
             },
             None => self.unfalsifiable_report(ws),
         })
+    }
+}
+
+/// A deletion-aware solve session over one compiled query and one frozen
+/// instance.
+///
+/// Creating a session enumerates the witnesses **once** and builds a full
+/// tuple → witness CSR incidence. [`SolveSession::delete`] and
+/// [`SolveSession::restore`] then maintain, per witness, a *live counter*
+/// (how many of the tuples it uses are currently deleted) in time
+/// proportional to the touched tuples' witness degrees — no database copy,
+/// no re-enumeration. [`SolveSession::solve`] answers resilience for the
+/// current deletion state, equal to solving `Database::without(deleted)`
+/// from scratch.
+///
+/// # Live-counter semantics
+///
+/// * The deletion state is a **set**: deleting an already-deleted tuple and
+///   restoring a never-deleted tuple are no-ops, so any interleaving of
+///   `delete`/`restore` calls that leaves the same set deleted yields the
+///   same live view — restore order does not matter.
+/// * A witness is *live* iff its counter is zero, i.e. none of the tuples it
+///   uses (endogenous **or** exogenous) is deleted. This matches
+///   `Database::without`: deleting a tuple referenced only by exogenous
+///   atoms also destroys the witnesses through it.
+/// * Deleting a tuple used by no witness only affects the materialized
+///   fallback below (the tuple is still absent from the reduced copy).
+///
+/// # Solve semantics
+///
+/// For witness-driven methods (exact branch-and-bound, witness-path /
+/// permutation / REP flows, bipartite cover) the solver runs directly over
+/// the original store with the filtered witness set — deleted tuples appear
+/// in no live witness, so they cannot appear in any flow network or hitting
+/// set. The component-wise dispatch and the dedicated Section 8 catalogue
+/// constructions scan raw relations, so for those the session materializes
+/// the reduced instance once per solve and translates the resulting
+/// contingency back to the session's original tuple ids.
+///
+/// ```
+/// use cq::parse_query;
+/// use database::Database;
+/// use resilience_core::engine::{Engine, Resilience, SolveOptions};
+///
+/// let q = parse_query("R(x,y), R(y,z)").unwrap();
+/// let compiled = Engine::compile(&q);
+/// let mut db = Database::for_query(&q);
+/// db.insert_named("R", &[1u64, 2]);
+/// db.insert_named("R", &[2u64, 3]);
+/// let t33 = db.insert_named("R", &[3u64, 3]);
+/// let frozen = db.freeze();
+/// let mut session = compiled.session(&frozen).unwrap();
+/// let opts = SolveOptions::new();
+/// assert_eq!(session.solve(&opts).unwrap().resilience, Resilience::Finite(2));
+/// session.delete(&[t33]);
+/// assert_eq!(session.live_witnesses(), 1);
+/// assert_eq!(session.solve(&opts).unwrap().resilience, Resilience::Finite(1));
+/// session.restore(&[t33]);
+/// assert_eq!(session.solve(&opts).unwrap().resilience, Resilience::Finite(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SolveSession<'a> {
+    compiled: &'a CompiledQuery,
+    db: &'a FrozenDb,
+    /// The witness set of the *full* instance (endogenous projection).
+    ws: WitnessSet,
+    /// Full incidence: witness → every distinct tuple it uses.
+    full: WitnessIndex,
+    /// Per witness: number of its used tuples currently deleted.
+    dead_hits: Vec<u32>,
+    /// Per store tuple: currently deleted?
+    deleted: Vec<bool>,
+    deleted_count: usize,
+    /// Number of witnesses with `dead_hits == 0`.
+    live: usize,
+}
+
+impl<'a> SolveSession<'a> {
+    /// Marks the given tuples deleted; returns how many witnesses died as a
+    /// result. Already-deleted tuples and ids outside the store are ignored.
+    pub fn delete(&mut self, tuples: &[TupleId]) -> usize {
+        let mut newly_dead = 0usize;
+        for &t in tuples {
+            if t.index() >= self.deleted.len() || self.deleted[t.index()] {
+                continue;
+            }
+            self.deleted[t.index()] = true;
+            self.deleted_count += 1;
+            for &w in self.full.witnesses_of(t) {
+                self.dead_hits[w as usize] += 1;
+                if self.dead_hits[w as usize] == 1 {
+                    self.live -= 1;
+                    newly_dead += 1;
+                }
+            }
+        }
+        newly_dead
+    }
+
+    /// Un-deletes the given tuples; returns how many witnesses came back to
+    /// life. Tuples that are not currently deleted are ignored, so restores
+    /// may arrive in any order relative to the deletes that preceded them.
+    pub fn restore(&mut self, tuples: &[TupleId]) -> usize {
+        let mut revived = 0usize;
+        for &t in tuples {
+            if t.index() >= self.deleted.len() || !self.deleted[t.index()] {
+                continue;
+            }
+            self.deleted[t.index()] = false;
+            self.deleted_count -= 1;
+            for &w in self.full.witnesses_of(t) {
+                self.dead_hits[w as usize] -= 1;
+                if self.dead_hits[w as usize] == 0 {
+                    self.live += 1;
+                    revived += 1;
+                }
+            }
+        }
+        revived
+    }
+
+    /// Restores every deleted tuple (back to the full instance).
+    pub fn reset(&mut self) {
+        self.deleted.iter_mut().for_each(|d| *d = false);
+        self.dead_hits.iter_mut().for_each(|c| *c = 0);
+        self.deleted_count = 0;
+        self.live = self.ws.len();
+    }
+
+    /// Number of witnesses alive under the current deletion state (`O(1)`).
+    pub fn live_witnesses(&self) -> usize {
+        self.live
+    }
+
+    /// Number of witnesses of the full (undeleted) instance.
+    pub fn total_witnesses(&self) -> usize {
+        self.ws.len()
+    }
+
+    /// Whether tuple `t` is currently deleted.
+    pub fn is_deleted(&self, t: TupleId) -> bool {
+        self.deleted.get(t.index()).copied().unwrap_or(false)
+    }
+
+    /// The currently deleted tuples, ascending.
+    pub fn deleted_tuples(&self) -> Vec<TupleId> {
+        self.deleted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(TupleId(i as u32)))
+            .collect()
+    }
+
+    /// Number of currently deleted tuples (`O(1)`).
+    pub fn deleted_count(&self) -> usize {
+        self.deleted_count
+    }
+
+    /// The instance this session solves over.
+    pub fn store(&self) -> &'a FrozenDb {
+        self.db
+    }
+
+    /// The compiled query this session was opened from.
+    pub fn compiled(&self) -> &'a CompiledQuery {
+        self.compiled
+    }
+
+    /// Solves the live view: the result equals compiling-and-solving
+    /// `db.without(deleted_tuples())` from scratch (same resilience, same
+    /// witness count), with contingency tuples referencing the session's
+    /// original tuple ids.
+    pub fn solve(&self, opts: &SolveOptions) -> Result<SolveReport, SolveError> {
+        let q = &self.compiled.classification.evidence.normalized;
+        if self.deleted_count == 0 {
+            // Nothing deleted: dispatch on the session's own witness set —
+            // no clone, no index rebuild, no store copy.
+            return self.compiled.dispatch(q, self.db, &self.ws, opts);
+        }
+        if self.compiled.dispatch_scans_raw_store() {
+            // The dispatch target needs the deletions to be physically
+            // absent. Materialize the reduced instance and translate the
+            // certificate back (surviving tuples are renumbered densely in
+            // scan order).
+            let reduced = copy_without_mask(self.db, &self.deleted).freeze();
+            let mut report = self.compiled.solve(&reduced, opts)?;
+            if let Some(gamma) = &mut report.contingency {
+                let survivors: Vec<TupleId> = (0..self.db.num_tuples() as u32)
+                    .map(TupleId)
+                    .filter(|t| !self.deleted[t.index()])
+                    .collect();
+                for t in gamma.iter_mut() {
+                    *t = survivors[t.index()];
+                }
+            }
+            return Ok(report);
+        }
+        // The live counters already know which witnesses survive — derive
+        // the live view from them directly instead of rescanning every
+        // witness's tuples (`without_mask`).
+        let survivors: Vec<u32> = self
+            .dead_hits
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &hits)| (hits == 0).then_some(w as u32))
+            .collect();
+        debug_assert_eq!(survivors.len(), self.live);
+        let live_ws = self.ws.select(&survivors);
+        self.compiled.dispatch(q, self.db, &live_ws, opts)
     }
 }
 
@@ -839,6 +1156,167 @@ mod tests {
                 .unwrap();
             let fresh = compiled.solve(db, &opts).unwrap();
             assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn session_matches_from_scratch_on_the_paper_example() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        let mut session = compiled.session(&frozen).unwrap();
+        assert_eq!(session.total_witnesses(), 3);
+        assert_eq!(session.live_witnesses(), 3);
+
+        let r = db.schema().relation_id("R").unwrap();
+        let t33 = db.lookup(r, &[3u64, 3]).unwrap();
+        let dead = session.delete(&[t33]);
+        assert_eq!(dead, 2); // (2,3,3) and (3,3,3)
+        assert!(session.is_deleted(t33));
+        assert_eq!(session.deleted_tuples(), vec![t33]);
+
+        let report = session.solve(&opts).unwrap();
+        let gamma: std::collections::HashSet<TupleId> = [t33].into_iter().collect();
+        let scratch_report = compiled.solve(&db.without(&gamma).freeze(), &opts).unwrap();
+        assert_eq!(report.resilience, scratch_report.resilience);
+        assert_eq!(report.witnesses, scratch_report.witnesses);
+        assert_eq!(report.resilience, Resilience::Finite(1));
+
+        // Deleting an already-deleted tuple is a no-op; restores revive.
+        assert_eq!(session.delete(&[t33]), 0);
+        assert_eq!(session.restore(&[t33]), 2);
+        assert_eq!(session.live_witnesses(), 3);
+        assert_eq!(
+            session.solve(&opts).unwrap(),
+            compiled.solve(&frozen, &opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn session_reset_and_exogenous_deletions() {
+        // Deleting a tuple referenced only through an exogenous atom still
+        // destroys its witnesses (Database::without semantics), even though
+        // it can never be in a contingency set.
+        let q = parse_query("A(x), R^x(x,y), B(y)").unwrap();
+        let compiled = Engine::compile(&q);
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("B", &[10]),
+                ("B", &[11]),
+            ],
+        );
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        let mut session = compiled.session(&frozen).unwrap();
+        assert_eq!(session.live_witnesses(), 2);
+        let r = db.schema().relation_id("R").unwrap();
+        let r1 = db.lookup(r, &[1u64, 10]).unwrap();
+        session.delete(&[r1]);
+        assert_eq!(session.live_witnesses(), 1);
+        let report = session.solve(&opts).unwrap();
+        assert_eq!(report.resilience, Resilience::Finite(1));
+        session.reset();
+        assert_eq!(session.deleted_count(), 0);
+        assert_eq!(session.live_witnesses(), 2);
+        assert_eq!(
+            session.solve(&opts).unwrap(),
+            compiled.solve(&frozen, &opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn session_rebuild_path_translates_contingency_ids() {
+        // A disconnected query dispatches component-wise, which forces the
+        // session's materialized-copy fallback; the certificate must still
+        // reference the ORIGINAL tuple ids.
+        let q = parse_query("A(x), R(x,y), B(u), S(u,v)").unwrap();
+        let compiled = Engine::compile(&q);
+        let db = build_db(
+            &q,
+            &[
+                ("A", &[1]),
+                ("A", &[2]),
+                ("R", &[1, 10]),
+                ("R", &[2, 11]),
+                ("B", &[5]),
+                ("B", &[6]),
+                ("S", &[5, 50]),
+                ("S", &[6, 60]),
+            ],
+        );
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        let mut session = compiled.session(&frozen).unwrap();
+        // Delete one B-side witness: the B/S component now needs 1 deletion,
+        // the A/R component 2, so B/S still wins.
+        let b = db.schema().relation_id("B").unwrap();
+        let b5 = db.lookup(b, &[5u64]).unwrap();
+        session.delete(&[b5]);
+        let report = session.solve(&opts).unwrap();
+        assert_eq!(report.method, SolveMethod::ComponentMinimum);
+        assert_eq!(report.resilience, Resilience::Finite(1));
+        if let Some(gamma) = &report.contingency {
+            // Every certificate tuple must exist in the ORIGINAL store and
+            // falsify the live view when removed.
+            let mut deleted: HashSet<TupleId> = gamma.iter().copied().collect();
+            assert!(
+                !deleted.contains(&b5),
+                "deleted tuple cannot be deleted again"
+            );
+            deleted.insert(b5);
+            assert!(!database::evaluate(&q, &db.without(&deleted)));
+        }
+    }
+
+    #[test]
+    fn session_on_catalogue_special_query_matches_from_scratch() {
+        // q_TS3conf dispatches to a raw-store-scanning construction: the
+        // session must transparently fall back to the materialized copy.
+        let nq = catalogue::q_ts3conf();
+        let compiled = Engine::compile(&nq.query);
+        let db = build_db(
+            &nq.query,
+            &[
+                ("T", &[1, 2]),
+                ("S", &[1, 2]),
+                ("R", &[1, 2]),
+                ("T", &[3, 4]),
+                ("R", &[3, 4]),
+                ("R", &[5, 4]),
+                ("R", &[5, 6]),
+                ("S", &[5, 6]),
+            ],
+        );
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        let mut session = compiled.session(&frozen).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let forced = db.lookup(r, &[1u64, 2]).unwrap();
+        session.delete(&[forced]);
+        let report = session.solve(&opts).unwrap();
+        let gamma: HashSet<TupleId> = [forced].into_iter().collect();
+        let scratch_report = compiled.solve(&db.without(&gamma).freeze(), &opts).unwrap();
+        assert_eq!(report.resilience, scratch_report.resilience);
+        assert_eq!(report.witnesses, scratch_report.witnesses);
+    }
+
+    #[test]
+    fn parallel_enumeration_solves_identically() {
+        let (q, dbs) = chain_instances(3);
+        let compiled = Engine::compile(&q);
+        for db in &dbs {
+            let sequential = compiled.solve(db, &SolveOptions::new()).unwrap();
+            let parallel = compiled
+                .solve(db, &SolveOptions::new().enumeration_threads(4))
+                .unwrap();
+            assert_eq!(sequential, parallel);
         }
     }
 

@@ -10,10 +10,11 @@
 //! * branching picks an uncovered witness with the fewest remaining tuples
 //!   and tries each of its tuples in turn.
 //!
-//! Internally the relevant tuples are renumbered into a dense `0..k` space
-//! and every witness set becomes a packed `u64` bitset, so the cover and
-//! packing checks at every branch-and-bound node are word operations over
-//! flat arrays rather than hash probes.
+//! Internally the solver works in the dense `0..k` tuple space maintained by
+//! the witness set's CSR index (no per-solve renumbering map), and every
+//! witness set becomes a packed `u64` bitset, so the cover and packing
+//! checks at every branch-and-bound node are word operations over flat
+//! arrays rather than hash probes.
 //!
 //! The solver is exponential in the worst case — the paper proves the
 //! problem NP-complete for most self-join queries — but it comfortably
@@ -135,21 +136,12 @@ impl ExactSolver {
                 nodes_explored: 0,
             });
         }
-        // Dense renumbering of the relevant tuples; all bitsets below are
-        // indexed in this space.
-        let universe = &ws.relevant_tuples;
-        let dense: FxHashMap<TupleId, u32> = universe
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i as u32))
-            .collect();
+        // The witness set's CSR index already renumbers the relevant tuples
+        // into a dense `0..k` space; all bitsets below are indexed in it.
+        let universe = ws.relevant_tuples();
         let blocks = universe.len().div_ceil(64);
 
-        let reduced = ws.reduced_sets();
-        let sets_elems: Vec<Vec<u32>> = reduced
-            .iter()
-            .map(|s| s.iter().map(|t| dense[t]).collect())
-            .collect();
+        let sets_elems: Vec<Vec<u32>> = ws.reduced_dense_sets();
         let sets_bits: Vec<Vec<u64>> = sets_elems
             .iter()
             .map(|s| {
@@ -292,7 +284,7 @@ impl SearchState {
 
 /// Greedy hitting set over dense element ids: repeatedly pick the element
 /// covering the most uncovered sets (ties broken towards the smaller id).
-fn greedy_hitting_set_dense(sets: &[Vec<u32>], universe: usize) -> Vec<u32> {
+pub(crate) fn greedy_hitting_set_dense(sets: &[Vec<u32>], universe: usize) -> Vec<u32> {
     let mut covered = vec![false; sets.len()];
     let mut remaining = sets.len();
     let mut counts = vec![0u32; universe];
@@ -330,6 +322,11 @@ fn greedy_hitting_set_dense(sets: &[Vec<u32>], universe: usize) -> Vec<u32> {
 /// Greedy hitting set: repeatedly pick the tuple covering the most uncovered
 /// witness sets. Provides the initial upper bound for branch and bound and a
 /// standalone approximation useful for large hard instances.
+#[deprecated(
+    since = "0.1.0",
+    note = "use resilience_core::approx::greedy_upper_bound, which runs in the witness set's \
+            dense tuple space without building a renumbering map"
+)]
 pub fn greedy_hitting_set(sets: &[Vec<TupleId>]) -> Vec<TupleId> {
     // Renumber into a dense space, run the dense greedy, map back.
     let mut universe: Vec<TupleId> = sets.iter().flatten().copied().collect();
@@ -508,6 +505,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn greedy_hitting_set_hits_everything() {
         let sets = vec![
             vec![TupleId(1), TupleId(2)],
@@ -523,6 +521,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "uncovered sets are non-empty")]
+    #[allow(deprecated)]
     fn greedy_hitting_set_panics_on_unhittable_empty_set() {
         // An empty set can never be hit; a silent hang or wrong answer here
         // would poison every caller, so the contract is a loud panic.

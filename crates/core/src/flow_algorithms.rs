@@ -135,7 +135,7 @@ pub fn witness_path_flow_opts<S: TupleStore + ?Sized>(
     let mut network = VertexCutNetwork::new();
     let source = network.add_vertex(INF);
     let target = network.add_vertex(INF);
-    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples.len());
+    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples().len());
 
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for w in &ws.witnesses {
@@ -193,28 +193,27 @@ pub fn linear_query_flow<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<Fl
 pub fn pairwise_bipartite_resilience(ws: &WitnessSet) -> Option<usize> {
     use satgad::UndirectedGraph;
 
-    let mut tuple_index: FxHashMap<TupleId, usize> = FxHashMap::default();
-    for &t in &ws.relevant_tuples {
-        let next = tuple_index.len();
-        tuple_index.insert(t, next);
-    }
-    let mut graph = UndirectedGraph::new(tuple_index.len());
+    // The witness set's CSR index already renumbers the relevant tuples into
+    // a dense `0..k` space; use it as the vertex numbering directly.
+    let num_vertices = ws.relevant_tuples().len();
+    let dense = |t: TupleId| ws.dense_id_of(t).expect("relevant tuple has a dense id") as usize;
+    let mut graph = UndirectedGraph::new(num_vertices);
     let mut forced: HashSet<usize> = HashSet::new();
-    for set in &ws.endogenous_sets {
+    for set in ws.endogenous_sets() {
         match set.len() {
             0 => return None,
             1 => {
-                forced.insert(tuple_index[&set[0]]);
+                forced.insert(dense(set[0]));
             }
             2 => {
-                graph.add_edge(tuple_index[&set[0]], tuple_index[&set[1]]);
+                graph.add_edge(dense(set[0]), dense(set[1]));
             }
             _ => return None,
         }
     }
     // Forced vertices (singleton witnesses) must be deleted; remove their
     // incident edges by solving VC on the residual graph.
-    let mut residual = UndirectedGraph::new(tuple_index.len());
+    let mut residual = UndirectedGraph::new(num_vertices);
     for (u, v) in graph.edges() {
         if !forced.contains(&u) && !forced.contains(&v) {
             residual.add_edge(u, v);
@@ -270,7 +269,7 @@ pub fn permutation_flow_with<S: TupleStore + ?Sized>(
     let mut network = VertexCutNetwork::new();
     let source = network.add_vertex(INF);
     let target = network.add_vertex(INF);
-    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples.len());
+    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples().len());
     let mut pair_node: FxHashMap<(TupleId, TupleId), u32> = FxHashMap::default();
     let mut edges: Vec<(u32, u32)> = Vec::new();
 

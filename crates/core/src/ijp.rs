@@ -64,11 +64,42 @@ pub fn check_pair(
     a: TupleId,
     b: TupleId,
 ) -> Result<IjpCertificate, IjpViolation> {
+    let ws = WitnessSet::build(q, db);
+    check_pair_with(q, db, &ws, a, b)
+}
+
+/// [`check_pair`] over a prebuilt witness set, so a caller scanning many
+/// candidate pairs (e.g. [`find_ijp_pair`]) enumerates the witnesses once
+/// instead of once per pair. The resilience drops of condition 5 are checked
+/// by *filtering* the witness set ([`WitnessSet::without_tuples`]) rather
+/// than copying the database and re-running the join.
+///
+/// Definition 48 requires the distinguished pair to come from an
+/// *endogenous* relation; tuples of exogenous relations are rejected with
+/// [`IjpViolation::NotApplicable`] up front.
+pub fn check_pair_with(
+    q: &Query,
+    db: &Database,
+    ws: &WitnessSet,
+    a: TupleId,
+    b: TupleId,
+) -> Result<IjpCertificate, IjpViolation> {
     let rel = db.relation_of(a);
     if db.relation_of(b) != rel || a == b {
         return Err(IjpViolation::NotApplicable);
     }
-    let ws = WitnessSet::build(q, db);
+    // The CSR-backed condition-2 check below reads the endogenous
+    // projection, so an exogenous pair must be ruled out explicitly. This is
+    // a relation-level property, checked in O(atoms) — callers like
+    // `find_ijp_pair` hit this in an O(n²) pair loop.
+    let rel_name = db.schema().name(rel);
+    let rel_is_endogenous = q
+        .endogenous_atoms()
+        .into_iter()
+        .any(|i| q.schema().name(q.atom(i).relation) == rel_name);
+    if !rel_is_endogenous {
+        return Err(IjpViolation::NotApplicable);
+    }
     if ws.is_empty() || ws.has_undeletable_witness() {
         return Err(IjpViolation::NotApplicable);
     }
@@ -81,19 +112,17 @@ pub fn check_pair(
     }
 
     // Condition 2: each participates in exactly one witness, and that
-    // witness uses exactly m distinct tuples.
+    // witness uses exactly m distinct tuples. `a` and `b` belong to an
+    // endogenous relation, so membership in a witness's full tuple set is
+    // equivalent to membership in its endogenous projection — which the CSR
+    // index answers as a borrowed row instead of a scan over all witnesses.
     let m = q.num_atoms();
     for &t in &[a, b] {
-        let participating: Vec<usize> = ws
-            .witnesses
-            .iter()
-            .enumerate()
-            .filter_map(|(i, w)| w.tuple_set().contains(&t).then_some(i))
-            .collect();
+        let participating = ws.witnesses_of(t);
         if participating.len() != 1 {
             return Err(IjpViolation::WitnessShape);
         }
-        let w = &ws.witnesses[participating[0]];
+        let w = &ws.witnesses[participating[0] as usize];
         if w.tuple_set().len() != m {
             return Err(IjpViolation::WitnessShape);
         }
@@ -140,9 +169,13 @@ pub fn check_pair(
     }
 
     // Condition 5: resilience drops by exactly one under all three removals.
+    // Each removal is answered by filtering the already-enumerated witness
+    // set (deletion-aware view) instead of `Database::without` + a full
+    // re-enumeration: the witnesses of `D \ Γ` are exactly the witnesses of
+    // `D` using no tuple of `Γ`.
     let solver = ExactSolver::new();
     let full = solver
-        .resilience_of_witnesses(&ws)
+        .resilience_of_witnesses(ws)
         .resilience
         .ok_or(IjpViolation::NotApplicable)?;
     if full == 0 {
@@ -150,9 +183,10 @@ pub fn check_pair(
     }
     for removal in [vec![a], vec![b], vec![a, b]] {
         let deleted: HashSet<TupleId> = removal.into_iter().collect();
-        let reduced = db.without(&deleted);
+        let filtered = ws.without_tuples(&deleted);
         let r = solver
-            .resilience_value(q, &reduced)
+            .resilience_of_witnesses(&filtered)
+            .resilience
             .ok_or(IjpViolation::NotApplicable)?;
         if r != full - 1 {
             return Err(IjpViolation::ResilienceDropWrong);
@@ -198,15 +232,17 @@ fn index_vectors(n: usize, k: usize) -> Vec<Vec<usize>> {
 }
 
 /// Searches all pairs of tuples of endogenous relations for one satisfying
-/// Definition 48; returns the first certificate found.
+/// Definition 48; returns the first certificate found. The witness set is
+/// enumerated once and shared across every candidate pair.
 pub fn find_ijp_pair(q: &Query, db: &Database) -> Option<IjpCertificate> {
+    let ws = WitnessSet::build(q, db);
     let endo: Vec<TupleId> = db.endogenous_tuples(q);
     for (i, &a) in endo.iter().enumerate() {
         for &b in endo.iter().skip(i + 1) {
             if db.relation_of(a) != db.relation_of(b) {
                 continue;
             }
-            if let Ok(cert) = check_pair(q, db, a, b) {
+            if let Ok(cert) = check_pair_with(q, db, &ws, a, b) {
                 return Some(cert);
             }
         }

@@ -53,6 +53,7 @@ pub mod special;
 pub use approx::ResilienceBounds;
 pub use engine::{
     CompiledQuery, Engine, Resilience, SolveError, SolveOptions, SolveReport, SolveScratch,
+    SolveSession,
 };
 pub use exact::{BudgetExhausted, ExactResult, ExactSolver};
 pub use flow_algorithms::FlowResult;

@@ -11,7 +11,7 @@
 
 use crate::flow_algorithms::FlowResult;
 use cq::Query;
-use database::{copy_without, Constant, TupleId, TupleStore, WitnessSet};
+use database::{Constant, TupleId, TupleStore, WitnessSet};
 use flow::{FlowNetwork, MinCut, INF};
 use std::collections::{HashMap, HashSet};
 
@@ -213,6 +213,13 @@ pub fn ts3conf_resilience<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<F
 /// [`ts3conf_resilience`] with optional contingency extraction. The forced
 /// tuples still have to be identified either way (they contribute to the
 /// value); only the flow-cut translation is skipped.
+///
+/// The post-reduction instance is expressed as a *deletion-aware view*: the
+/// witnesses of `D \ forced` are exactly the witnesses of `D` using no
+/// forced tuple ([`WitnessSet::without_tuples`]), so no database copy or
+/// re-enumeration happens, and the flow's contingency tuples reference the
+/// original store directly (the old implementation had to translate ids back
+/// by value).
 pub fn ts3conf_resilience_opts<S: TupleStore + ?Sized>(
     q: &Query,
     db: &S,
@@ -230,13 +237,15 @@ pub fn ts3conf_resilience_opts<S: TupleStore + ?Sized>(
         }
     }
     let forced_set: HashSet<TupleId> = forced.iter().copied().collect();
-    let reduced = copy_without(db, &forced_set);
 
     let order = cq::linear::linear_order_all(q)?;
-    let ws = WitnessSet::build(q, &reduced);
+    let ws = WitnessSet::build(q, db).without_tuples(&forced_set);
+    // The forced tuples are deleted from the view, so the witness-path flow
+    // never creates nodes for them: cutting is decided among the survivors
+    // only, exactly as on a physically reduced instance.
     let flow = crate::flow_algorithms::witness_path_flow_opts(
         q,
-        &reduced,
+        db,
         &ws,
         &order,
         &HashSet::new(),
@@ -248,18 +257,8 @@ pub fn ts3conf_resilience_opts<S: TupleStore + ?Sized>(
             contingency: Vec::new(),
         });
     }
-    // Tuple ids of `reduced` are not comparable to the original database, so
-    // translate the contingency back by value.
     let mut contingency = forced;
-    for t in flow.contingency {
-        let rel = reduced.relation_of(t);
-        let name = reduced.schema().name(rel).to_string();
-        let vals = reduced.values_of(t).to_vec();
-        let orig_rel = db.schema().relation_id(&name)?;
-        if let Some(orig) = db.lookup_values(orig_rel, &vals) {
-            contingency.push(orig);
-        }
-    }
+    contingency.extend(flow.contingency);
     contingency.sort_unstable();
     contingency.dedup();
     Some(FlowResult {

@@ -22,6 +22,12 @@
 //! instance. All enumeration is generic over [`TupleStore`], so it runs
 //! unchanged on a mutable [`Database`](crate::Database) or a compacted
 //! [`FrozenDb`](crate::FrozenDb).
+//!
+//! Large instances can enumerate in parallel:
+//! [`witnesses_with_plan_parallel_into`] partitions the first join step's
+//! candidate scan across scoped threads and merges the per-thread results in
+//! deterministic (chunk) order, producing output bit-identical to the
+//! sequential enumerator.
 
 use crate::store::TupleStore;
 use crate::tuple::{Constant, TupleId};
@@ -236,6 +242,83 @@ pub fn witnesses_with_plan_into<S: TupleStore + ?Sized>(
     });
 }
 
+/// Parallel [`witnesses_with_plan_into`]: the candidate list of the *first*
+/// join step (a whole-relation scan — the first atom of a plan never has a
+/// bound variable to probe) is partitioned into contiguous chunks, one
+/// scoped thread enumerates each chunk into its own `Vec<Witness>`, and the
+/// per-thread vectors are concatenated in chunk order.
+///
+/// Because the sequential enumerator visits the first atom's candidates in
+/// exactly that slice order and the deeper levels are unaffected by the
+/// split, the merged output is **bit-identical** to the sequential one — the
+/// engine, the deletion sessions and the differential tests all rely on this
+/// determinism.
+///
+/// `threads` is an upper bound; it is clamped to the candidate count and a
+/// value of 0 or 1 (or a plan whose first atom probes, which only a
+/// hand-built plan could produce) falls back to the sequential path.
+pub fn witnesses_with_plan_parallel_into<S: TupleStore + Sync + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
+    threads: usize,
+    out: &mut Vec<Witness>,
+) {
+    out.clear();
+    if plan.num_atoms == 0 {
+        return;
+    }
+    let first = &plan.order[0];
+    let candidates: &[TupleId] = match first.probe {
+        None => db.tuples_of(translation[first.rel.index()]),
+        Some(_) => {
+            witnesses_with_plan_into(plan, translation, db, out);
+            return;
+        }
+    };
+    let threads = threads.min(candidates.len()).max(1);
+    if threads <= 1 {
+        witnesses_with_plan_into(plan, translation, db, out);
+        return;
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let parts: Vec<Vec<Witness>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk_candidates| {
+                scope.spawn(move || {
+                    let mut local: Vec<Witness> = Vec::new();
+                    let mut valuation: Vec<Option<Constant>> = vec![None; plan.num_vars];
+                    let mut chosen: Vec<TupleId> = vec![TupleId(0); plan.num_atoms];
+                    let mut running = true;
+                    search_candidates(
+                        plan,
+                        translation,
+                        db,
+                        0,
+                        chunk_candidates,
+                        &mut valuation,
+                        &mut chosen,
+                        &mut |w| {
+                            local.push(w);
+                            true
+                        },
+                        &mut running,
+                    );
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("witness enumeration thread panicked"))
+            .collect()
+    });
+    for mut part in parts {
+        out.append(&mut part);
+    }
+}
+
 /// Core backtracking join with a per-call plan. Calls `sink` for each
 /// witness; `sink` returns `false` to stop the enumeration early.
 fn enumerate<S: TupleStore + ?Sized>(q: &Query, db: &S, sink: &mut dyn FnMut(Witness) -> bool) {
@@ -307,7 +390,35 @@ fn search<S: TupleStore + ?Sized>(
         }
         None => db.tuples_of(rel),
     };
+    search_candidates(
+        plan,
+        translation,
+        db,
+        depth,
+        candidates,
+        valuation,
+        chosen,
+        sink,
+        running,
+    );
+}
 
+/// The candidate loop of [`search`] at one depth, with an explicit candidate
+/// slice. The parallel enumerator calls this directly at depth 0 with one
+/// chunk of the first atom's scan per thread.
+#[allow(clippy::too_many_arguments)]
+fn search_candidates<S: TupleStore + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
+    depth: usize,
+    candidates: &[TupleId],
+    valuation: &mut [Option<Constant>],
+    chosen: &mut [TupleId],
+    sink: &mut dyn FnMut(Witness) -> bool,
+    running: &mut bool,
+) {
+    let ap = &plan.order[depth];
     for &id in candidates {
         let values = db.values_of(id);
         let mut ok = true;
@@ -632,6 +743,54 @@ mod tests {
         let mut via_frozen = Vec::new();
         witnesses_with_plan_into(&plan, &translation, &frozen, &mut via_frozen);
         assert_eq!(via_plan, via_frozen);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_sequential() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let mut db = Database::for_query(&q);
+        for a in 0..12u64 {
+            for b in 0..12u64 {
+                if (a * 7 + b * 3) % 4 == 0 {
+                    db.insert_named("R", &[a, b]);
+                }
+            }
+            db.insert_named("A", &[a]);
+            db.insert_named("C", &[a]);
+        }
+        let plan = QueryPlan::compile(&q);
+        let translation = try_relation_translation(&q, &db).unwrap();
+        let mut sequential = Vec::new();
+        witnesses_with_plan_into(&plan, &translation, &db, &mut sequential);
+        assert!(!sequential.is_empty());
+        let frozen = db.freeze();
+        for threads in [1usize, 2, 3, 8, 1000] {
+            let mut parallel = Vec::new();
+            witnesses_with_plan_parallel_into(&plan, &translation, &db, threads, &mut parallel);
+            assert_eq!(sequential, parallel, "threads={threads}");
+            // Same guarantee over the frozen store.
+            witnesses_with_plan_parallel_into(&plan, &translation, &frozen, threads, &mut parallel);
+            assert_eq!(sequential, parallel, "frozen, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_handles_empty_and_tiny_inputs() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let db = Database::for_query(&q);
+        let plan = QueryPlan::compile(&q);
+        let translation = try_relation_translation(&q, &db).unwrap();
+        let mut out = vec![Witness {
+            valuation: Vec::new(),
+            atom_tuples: Vec::new(),
+        }];
+        witnesses_with_plan_parallel_into(&plan, &translation, &db, 4, &mut out);
+        assert!(out.is_empty());
+        // One candidate: clamps to a single thread.
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 1]);
+        witnesses_with_plan_parallel_into(&plan, &translation, &db, 4, &mut out);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! * Boolean evaluation and full witness enumeration ([`eval`]), driven by
 //!   reusable compiled [`QueryPlan`]s;
 //! * the *witness hypergraph* ([`witness::WitnessSet`]) — every witness
-//!   reduced to its set of deletable (endogenous) tuples — which is the
-//!   common input of the exact solver, the flow algorithms and the IJP
-//!   machinery.
+//!   reduced to its set of deletable (endogenous) tuples, stored as flat CSR
+//!   incidence in both directions ([`witness::WitnessIndex`]) — which is the
+//!   common input of the exact solver, the flow algorithms, the IJP
+//!   machinery and the engine's deletion-aware solve sessions.
 
 pub mod eval;
 pub mod frozen;
@@ -32,12 +33,12 @@ pub mod witness;
 
 pub use eval::{
     canonical_witnesses, evaluate, reference_witnesses, try_relation_translation, witnesses,
-    witnesses_with_plan_into, QueryPlan, Valuation, Witness,
+    witnesses_with_plan_into, witnesses_with_plan_parallel_into, QueryPlan, Valuation, Witness,
 };
 pub use frozen::FrozenDb;
 pub use fx::{FxHashMap, FxHashSet};
 pub use instance::Database;
 pub use interner::ConstPool;
-pub use store::{copy_without, TupleStore};
+pub use store::{copy_without, copy_without_mask, TupleStore};
 pub use tuple::{Constant, TupleId};
-pub use witness::WitnessSet;
+pub use witness::{WitnessIndex, WitnessSet};

@@ -123,6 +123,22 @@ pub fn copy_without<S: TupleStore + ?Sized>(store: &S, deleted: &HashSet<TupleId
     out
 }
 
+/// [`copy_without`] with the deleted set given as a dense mask over the
+/// store's tuple-id space (`deleted.len() == store.num_tuples()`): no hash
+/// set to build or probe. Because insertion replays the surviving tuples in
+/// ascending id order, the new id of the `k`-th surviving tuple is exactly
+/// `k` — callers (the engine's deletion sessions) use this to translate
+/// results back to the original ids.
+pub fn copy_without_mask<S: TupleStore + ?Sized>(store: &S, deleted: &[bool]) -> Database {
+    let mut out = Database::new(store.schema().clone());
+    for id in store.iter_tuples() {
+        if !deleted[id.index()] {
+            out.insert(store.relation_of(id), store.values_of(id));
+        }
+    }
+    out
+}
+
 impl TupleStore for Database {
     fn schema(&self) -> &Schema {
         Database::schema(self)
@@ -180,6 +196,24 @@ mod tests {
         let r = TupleStore::schema(&db).relation_id("R").unwrap();
         assert!(db.contains_values(r, &[Constant(1), Constant(2)]));
         assert!(!db.contains_values(r, &[Constant(2), Constant(1)]));
+    }
+
+    #[test]
+    fn copy_without_mask_renumbers_survivors_densely() {
+        let q = parse_query("R(x,y), S(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]); // id 0, deleted
+        db.insert_named("R", &[2, 3]); // id 1 -> new id 0
+        db.insert_named("S", &[9, 9]); // id 2, deleted
+        db.insert_named("S", &[7, 8]); // id 3 -> new id 1
+        let reduced = copy_without_mask(&db, &[true, false, true, false]);
+        assert_eq!(reduced.num_tuples(), 2);
+        assert_eq!(reduced.values_of(TupleId(0)), db.values_of(TupleId(1)));
+        assert_eq!(reduced.values_of(TupleId(1)), db.values_of(TupleId(3)));
+        // And a frozen store goes through the same generic path.
+        let reduced2 = copy_without_mask(&db.freeze(), &[true, false, true, false]);
+        assert_eq!(reduced2.num_tuples(), 2);
+        assert_eq!(reduced2.values_of(TupleId(0)), db.values_of(TupleId(1)));
     }
 
     #[test]

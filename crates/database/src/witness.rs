@@ -6,6 +6,14 @@
 //! endogenous tuples it uses — a hypergraph over tuple ids. The exact solver
 //! (minimum hitting set), the IJP conditions and gadget validation all work
 //! on this representation.
+//!
+//! The hypergraph is stored as a [`WitnessIndex`]: flat CSR incidence in
+//! *both* directions (witness → endogenous tuples and tuple → witnesses),
+//! built by counting sort into single arenas, with the relevant tuples
+//! renumbered into a dense `0..k` space. Every accessor the solvers use in
+//! their inner loops — per-witness tuple sets, per-tuple witness lists,
+//! participation degrees — is a borrowed slice or an `O(1)` lookup; nothing
+//! hashes or scans.
 
 use crate::eval::{witnesses, Witness};
 use crate::store::TupleStore;
@@ -13,16 +21,240 @@ use crate::tuple::TupleId;
 use cq::Query;
 use std::collections::{HashMap, HashSet};
 
+/// Flat CSR incidence between witnesses and the tuples they use.
+///
+/// One index instance covers one fixed list of witnesses over one store. Two
+/// directions are materialized:
+///
+/// * **witness → tuples**: `set_offsets`/`set_arena` hold, for each witness,
+///   the sorted, deduplicated tuple ids it uses (restricted to the tuples
+///   selected by the build mask — endogenous tuples for [`WitnessSet`], all
+///   tuples for the engine's deletion sessions);
+/// * **tuple → witnesses**: the tuples appearing in at least one set are
+///   renumbered densely (`relevant` / `dense_of`), and
+///   `tup_offsets`/`tup_arena` hold, per dense tuple, the ascending list of
+///   witness indices it participates in.
+///
+/// Invariants relied upon by consumers:
+///
+/// * `relevant` is sorted ascending, so dense ids are monotone in
+///   [`TupleId`] and per-witness rows are sorted in *both* id spaces;
+/// * per-tuple witness lists are ascending (the counting-sort fill scans
+///   witnesses in order);
+/// * the index never mutates — deletion-aware views are expressed by
+///   *selecting* rows ([`WitnessIndex::select`]) or by live counters layered
+///   on top (the engine's `SolveSession`), never by editing arenas.
+#[derive(Clone, Debug)]
+pub struct WitnessIndex {
+    /// Size of the tuple-id space of the originating store (`|D|`).
+    num_store_tuples: u32,
+    /// CSR witness → tuples: row `w` is
+    /// `set_arena[set_offsets[w]..set_offsets[w + 1]]`, sorted + deduped.
+    set_offsets: Vec<u32>,
+    set_arena: Vec<TupleId>,
+    /// Tuples appearing in at least one row, ascending (dense id = position).
+    relevant: Vec<TupleId>,
+    /// `dense_of[t]` is the dense id of tuple `t`, or `u32::MAX`.
+    dense_of: Vec<u32>,
+    /// CSR tuple → witnesses: row `d` (dense) is
+    /// `tup_arena[tup_offsets[d]..tup_offsets[d + 1]]`, ascending.
+    tup_offsets: Vec<u32>,
+    tup_arena: Vec<u32>,
+    /// Number of witnesses whose row is empty (used no selected tuple).
+    empty_rows: u32,
+}
+
+impl WitnessIndex {
+    /// Builds the index for `witnesses`, keeping only the tuples `t` with
+    /// `keep[t]` in each row. `keep.len()` must equal the store's tuple
+    /// count.
+    pub fn from_witnesses(witnesses: &[Witness], keep: &[bool]) -> WitnessIndex {
+        let mut set_offsets = Vec::with_capacity(witnesses.len() + 1);
+        let mut set_arena: Vec<TupleId> = Vec::new();
+        let mut relevant_mask = vec![false; keep.len()];
+        let mut empty_rows = 0u32;
+        set_offsets.push(0);
+        for w in witnesses {
+            let row_start = set_arena.len();
+            set_arena.extend(w.atom_tuples.iter().copied().filter(|t| keep[t.index()]));
+            set_arena[row_start..].sort_unstable();
+            // Dedup the freshly appended row in place.
+            let mut write = row_start;
+            for read in row_start..set_arena.len() {
+                if write == row_start || set_arena[write - 1] != set_arena[read] {
+                    set_arena[write] = set_arena[read];
+                    write += 1;
+                }
+            }
+            set_arena.truncate(write);
+            if write == row_start {
+                empty_rows += 1;
+            }
+            for &t in &set_arena[row_start..] {
+                relevant_mask[t.index()] = true;
+            }
+            set_offsets.push(set_arena.len() as u32);
+        }
+        Self::finish(
+            keep.len(),
+            set_offsets,
+            set_arena,
+            &relevant_mask,
+            empty_rows,
+        )
+    }
+
+    /// Builds a new index holding only the rows in `rows` (in the given
+    /// order). Used to express a deletion: surviving witnesses keep their
+    /// tuple sets verbatim, and the dense renumbering + tuple → witness CSR
+    /// are rebuilt over the survivors.
+    pub fn select(&self, rows: &[u32]) -> WitnessIndex {
+        let mut set_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut set_arena: Vec<TupleId> = Vec::new();
+        let mut relevant_mask = vec![false; self.num_store_tuples as usize];
+        let mut empty_rows = 0u32;
+        set_offsets.push(0);
+        for &w in rows {
+            let row = self.row(w as usize);
+            if row.is_empty() {
+                empty_rows += 1;
+            }
+            set_arena.extend_from_slice(row);
+            for &t in row {
+                relevant_mask[t.index()] = true;
+            }
+            set_offsets.push(set_arena.len() as u32);
+        }
+        Self::finish(
+            self.num_store_tuples as usize,
+            set_offsets,
+            set_arena,
+            &relevant_mask,
+            empty_rows,
+        )
+    }
+
+    /// Shared tail of the builders: dense renumbering + counting-sort of the
+    /// tuple → witness direction into one flat arena.
+    fn finish(
+        num_store_tuples: usize,
+        set_offsets: Vec<u32>,
+        set_arena: Vec<TupleId>,
+        relevant_mask: &[bool],
+        empty_rows: u32,
+    ) -> WitnessIndex {
+        // The mask is scanned in tuple-id order, so `relevant` is sorted and
+        // dense ids are monotone in TupleId.
+        let mut relevant: Vec<TupleId> = Vec::new();
+        let mut dense_of = vec![u32::MAX; num_store_tuples];
+        for (i, &m) in relevant_mask.iter().enumerate() {
+            if m {
+                dense_of[i] = relevant.len() as u32;
+                relevant.push(TupleId(i as u32));
+            }
+        }
+        // Counting sort: pass 1 counts per-tuple degrees, the prefix walk
+        // turns counts into arena offsets, pass 2 places witness indices in
+        // ascending witness order (rows are scanned in order both times).
+        let mut tup_offsets = vec![0u32; relevant.len() + 1];
+        for &t in &set_arena {
+            tup_offsets[dense_of[t.index()] as usize + 1] += 1;
+        }
+        for i in 1..tup_offsets.len() {
+            tup_offsets[i] += tup_offsets[i - 1];
+        }
+        let mut cursor = tup_offsets.clone();
+        let mut tup_arena = vec![0u32; set_arena.len()];
+        for w in 0..set_offsets.len() - 1 {
+            for &t in &set_arena[set_offsets[w] as usize..set_offsets[w + 1] as usize] {
+                let d = dense_of[t.index()] as usize;
+                tup_arena[cursor[d] as usize] = w as u32;
+                cursor[d] += 1;
+            }
+        }
+        WitnessIndex {
+            num_store_tuples: num_store_tuples as u32,
+            set_offsets,
+            set_arena,
+            relevant,
+            dense_of,
+            tup_offsets,
+            tup_arena,
+            empty_rows,
+        }
+    }
+
+    /// Number of witnesses (rows).
+    pub fn num_rows(&self) -> usize {
+        self.set_offsets.len() - 1
+    }
+
+    /// Size of the tuple-id space of the originating store.
+    pub fn num_store_tuples(&self) -> usize {
+        self.num_store_tuples as usize
+    }
+
+    /// The (sorted, deduplicated) tuples of row `w`.
+    #[inline]
+    pub fn row(&self, w: usize) -> &[TupleId] {
+        &self.set_arena[self.set_offsets[w] as usize..self.set_offsets[w + 1] as usize]
+    }
+
+    /// Whether some row is empty (a witness using none of the selected
+    /// tuples).
+    pub fn has_empty_row(&self) -> bool {
+        self.empty_rows > 0
+    }
+
+    /// Tuples appearing in at least one row, ascending; position = dense id.
+    pub fn relevant(&self) -> &[TupleId] {
+        &self.relevant
+    }
+
+    /// Dense id of `t`, or `None` when `t` appears in no row.
+    #[inline]
+    pub fn dense_of(&self, t: TupleId) -> Option<u32> {
+        match self.dense_of.get(t.index()) {
+            Some(&d) if d != u32::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The witnesses (row indices, ascending) tuple `t` participates in.
+    /// Empty when `t` appears in no row.
+    #[inline]
+    pub fn witnesses_of(&self, t: TupleId) -> &[u32] {
+        match self.dense_of(t) {
+            Some(d) => self.witnesses_of_dense(d),
+            None => &[],
+        }
+    }
+
+    /// The witnesses of the tuple with dense id `d`.
+    #[inline]
+    pub fn witnesses_of_dense(&self, d: u32) -> &[u32] {
+        &self.tup_arena
+            [self.tup_offsets[d as usize] as usize..self.tup_offsets[d as usize + 1] as usize]
+    }
+
+    /// In how many witnesses tuple `t` participates (`O(1)`).
+    #[inline]
+    pub fn degree(&self, t: TupleId) -> usize {
+        self.witnesses_of(t).len()
+    }
+}
+
 /// The witnesses of `D |= q` projected to endogenous tuples.
+///
+/// The raw witnesses stay addressable (`witnesses[i]` matches row `i` of the
+/// index); the projection to deletable tuples lives in the CSR
+/// [`WitnessIndex`] behind the accessors below.
 #[derive(Clone, Debug)]
 pub struct WitnessSet {
     /// The raw witnesses (valuations and per-atom tuples).
     pub witnesses: Vec<Witness>,
-    /// For each witness (same order), the sorted set of endogenous tuples it
-    /// uses. A witness with an empty set cannot be destroyed by deletions.
-    pub endogenous_sets: Vec<Vec<TupleId>>,
-    /// All endogenous tuples appearing in at least one witness.
-    pub relevant_tuples: Vec<TupleId>,
+    /// CSR incidence between witnesses and their endogenous tuples.
+    index: WitnessIndex,
 }
 
 impl WitnessSet {
@@ -39,32 +271,10 @@ impl WitnessSet {
     /// [`WitnessSet::into_witnesses`] afterwards.
     pub fn from_witnesses<S: TupleStore + ?Sized>(q: &Query, db: &S, ws: Vec<Witness>) -> Self {
         let endo = db.endogenous_mask(q);
-        let mut relevant_mask = vec![false; db.num_tuples()];
-        let mut endogenous_sets = Vec::with_capacity(ws.len());
-        for w in &ws {
-            let mut set: Vec<TupleId> = w
-                .atom_tuples
-                .iter()
-                .copied()
-                .filter(|t| endo[t.index()])
-                .collect();
-            set.sort_unstable();
-            set.dedup();
-            for &t in &set {
-                relevant_mask[t.index()] = true;
-            }
-            endogenous_sets.push(set);
-        }
-        // Already sorted: the mask is scanned in tuple-id order.
-        let relevant_tuples: Vec<TupleId> = relevant_mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &m)| m.then_some(TupleId(i as u32)))
-            .collect();
+        let index = WitnessIndex::from_witnesses(&ws, &endo);
         WitnessSet {
             witnesses: ws,
-            endogenous_sets,
-            relevant_tuples,
+            index,
         }
     }
 
@@ -72,6 +282,11 @@ impl WitnessSet {
     /// can be reused for the next instance of a batch).
     pub fn into_witnesses(self) -> Vec<Witness> {
         self.witnesses
+    }
+
+    /// The underlying CSR incidence.
+    pub fn index(&self) -> &WitnessIndex {
+        &self.index
     }
 
     /// Number of witnesses.
@@ -84,37 +299,115 @@ impl WitnessSet {
         self.witnesses.is_empty()
     }
 
+    /// The sorted set of endogenous tuples witness `i` uses, as a borrowed
+    /// CSR row.
+    #[inline]
+    pub fn endogenous_set(&self, i: usize) -> &[TupleId] {
+        self.index.row(i)
+    }
+
+    /// Iterates the per-witness endogenous tuple sets in witness order.
+    pub fn endogenous_sets(&self) -> impl Iterator<Item = &[TupleId]> + '_ {
+        (0..self.len()).map(|i| self.index.row(i))
+    }
+
+    /// All endogenous tuples appearing in at least one witness, sorted
+    /// ascending; the position of a tuple is its dense id.
+    pub fn relevant_tuples(&self) -> &[TupleId] {
+        self.index.relevant()
+    }
+
+    /// Dense id (position in [`WitnessSet::relevant_tuples`]) of `t`, or
+    /// `None` when `t` participates in no witness.
+    #[inline]
+    pub fn dense_id_of(&self, t: TupleId) -> Option<u32> {
+        self.index.dense_of(t)
+    }
+
+    /// The witnesses (indices, ascending) in which tuple `t` participates,
+    /// as a borrowed CSR row (`O(degree)` to consume, `O(1)` to obtain).
+    #[inline]
+    pub fn witnesses_of(&self, t: TupleId) -> &[u32] {
+        self.index.witnesses_of(t)
+    }
+
+    /// In how many witnesses tuple `t` participates (`O(1)`).
+    #[inline]
+    pub fn degree(&self, t: TupleId) -> usize {
+        self.index.degree(t)
+    }
+
     /// `true` if some witness uses no endogenous tuple at all, in which case
     /// no contingency set exists and the resilience is undefined (infinite).
     pub fn has_undeletable_witness(&self) -> bool {
-        self.endogenous_sets.iter().any(|s| s.is_empty())
+        self.index.has_empty_row()
     }
 
     /// Does deleting the tuples in `gamma` make the query false?
     pub fn is_contingency_set(&self, gamma: &HashSet<TupleId>) -> bool {
-        self.endogenous_sets
-            .iter()
+        self.endogenous_sets()
             .all(|set| set.iter().any(|t| gamma.contains(t)))
     }
 
-    /// For each relevant tuple, how many witnesses it participates in.
-    pub fn participation_counts(&self) -> HashMap<TupleId, usize> {
-        let mut counts: HashMap<TupleId, usize> = HashMap::new();
-        for set in &self.endogenous_sets {
-            for &t in set {
-                *counts.entry(t).or_insert(0) += 1;
+    /// The witness set of the instance with `deleted` removed: keeps exactly
+    /// the witnesses none of whose tuples (endogenous *or* exogenous) are
+    /// deleted. This is the deletion semantics of [`crate::Database::without`]
+    /// without copying the store or re-running the join.
+    pub fn without_tuples(&self, deleted: &HashSet<TupleId>) -> WitnessSet {
+        let mut mask = vec![false; self.index.num_store_tuples()];
+        for t in deleted {
+            if t.index() < mask.len() {
+                mask[t.index()] = true;
             }
         }
-        counts
+        self.without_mask(&mask)
+    }
+
+    /// [`WitnessSet::without_tuples`] with the deleted set given as a dense
+    /// mask over the store's tuple-id space.
+    pub fn without_mask(&self, deleted: &[bool]) -> WitnessSet {
+        let survivors: Vec<u32> = self
+            .witnesses
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.atom_tuples.iter().all(|t| !deleted[t.index()]))
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.select(&survivors)
+    }
+
+    /// The witness set restricted to the given witness indices (in the given
+    /// order). Callers that already know which witnesses survive a deletion
+    /// (the engine's sessions track this in live counters) use this instead
+    /// of re-deriving liveness through [`WitnessSet::without_mask`].
+    pub fn select(&self, rows: &[u32]) -> WitnessSet {
+        let witnesses = rows
+            .iter()
+            .map(|&i| self.witnesses[i as usize].clone())
+            .collect();
+        let index = self.index.select(rows);
+        WitnessSet { witnesses, index }
+    }
+
+    /// For each relevant tuple, how many witnesses it participates in.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use WitnessSet::degree (O(1), no HashMap build) or iterate relevant_tuples()"
+    )]
+    pub fn participation_counts(&self) -> HashMap<TupleId, usize> {
+        self.relevant_tuples()
+            .iter()
+            .map(|&t| (t, self.degree(t)))
+            .collect()
     }
 
     /// The witnesses (indices) in which tuple `t` participates.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use WitnessSet::witnesses_of (borrowed CSR row, no scan/alloc)"
+    )]
     pub fn witnesses_of_tuple(&self, t: TupleId) -> Vec<usize> {
-        self.endogenous_sets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, set)| set.contains(&t).then_some(i))
-            .collect()
+        self.witnesses_of(t).iter().map(|&w| w as usize).collect()
     }
 
     /// A deduplicated copy of the endogenous witness sets: repeated sets are
@@ -122,17 +415,49 @@ impl WitnessSet {
     /// automatically hits its supersets). This is a safe preprocessing step
     /// for minimum hitting set.
     pub fn reduced_sets(&self) -> Vec<Vec<TupleId>> {
-        let mut sets: Vec<Vec<TupleId>> = self.endogenous_sets.clone();
-        sets.sort_by_key(|s| s.len());
+        let relevant = self.relevant_tuples();
+        self.reduced_dense_sets()
+            .into_iter()
+            .map(|s| s.iter().map(|&d| relevant[d as usize]).collect())
+            .collect()
+    }
+
+    /// [`WitnessSet::reduced_sets`] over dense tuple ids (positions in
+    /// [`WitnessSet::relevant_tuples`]); the form the exact solver packs
+    /// into bitsets directly.
+    ///
+    /// Superset dropping buckets the kept sets by their smallest element: a
+    /// kept subset of a candidate must have its minimum among the candidate's
+    /// elements, so only those buckets are scanned instead of every kept set
+    /// (the previous implementation was `O(n²)` subset checks across all
+    /// pairs, which dominated solve time on many-witness instances).
+    pub fn reduced_dense_sets(&self) -> Vec<Vec<u32>> {
+        let dense = &self.index.dense_of;
+        let mut sets: Vec<Vec<u32>> = self
+            .endogenous_sets()
+            .map(|row| row.iter().map(|t| dense[t.index()]).collect())
+            .collect();
+        // An empty set subsumes everything (and can never be hit).
+        if sets.iter().any(|s| s.is_empty()) {
+            return vec![Vec::new()];
+        }
+        // Dense ids are monotone in TupleId, so rows are already sorted.
+        sets.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
         sets.dedup();
-        let mut kept: Vec<Vec<TupleId>> = Vec::new();
+        let mut kept: Vec<Vec<u32>> = Vec::new();
+        // For each dense id, the kept sets whose smallest element it is.
+        let mut by_min: Vec<Vec<u32>> = vec![Vec::new(); self.relevant_tuples().len()];
         'outer: for s in sets {
-            for k in &kept {
-                if k.iter().all(|t| s.binary_search(t).is_ok()) {
-                    // s is a superset of an already-kept set.
-                    continue 'outer;
+            for &e in &s {
+                for &ki in &by_min[e as usize] {
+                    let k = &kept[ki as usize];
+                    if k.len() <= s.len() && k.iter().all(|t| s.binary_search(t).is_ok()) {
+                        // s is a superset of an already-kept set.
+                        continue 'outer;
+                    }
                 }
             }
+            by_min[s[0] as usize].push(kept.len() as u32);
             kept.push(s);
         }
         kept
@@ -161,7 +486,7 @@ mod tests {
         assert_eq!(ws.len(), 3);
         assert!(!ws.is_empty());
         assert!(!ws.has_undeletable_witness());
-        assert_eq!(ws.relevant_tuples.len(), 3);
+        assert_eq!(ws.relevant_tuples().len(), 3);
     }
 
     #[test]
@@ -194,7 +519,7 @@ mod tests {
         db.insert_named("B", &[2]);
         let ws = WitnessSet::build(&q, &db);
         assert_eq!(ws.len(), 1);
-        assert_eq!(ws.endogenous_sets[0].len(), 2); // A(1) and B(2) only
+        assert_eq!(ws.endogenous_set(0).len(), 2); // A(1) and B(2) only
         assert!(!ws.has_undeletable_witness());
     }
 
@@ -209,6 +534,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn participation_counts_and_tuple_witnesses() {
         let (q, db) = chain_setup();
         let ws = WitnessSet::build(&q, &db);
@@ -217,6 +543,51 @@ mod tests {
         let counts = ws.participation_counts();
         assert_eq!(counts[&t2], 2); // witnesses (1,2,3) and (2,3,3)
         assert_eq!(ws.witnesses_of_tuple(t2).len(), 2);
+        assert_eq!(ws.degree(t2), 2);
+        assert_eq!(ws.witnesses_of(t2).len(), 2);
+    }
+
+    #[test]
+    fn csr_index_is_consistent_in_both_directions() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        // Every (witness, tuple) incidence is present in both directions.
+        for (i, set) in ws.endogenous_sets().enumerate() {
+            for &t in set {
+                assert!(ws.witnesses_of(t).contains(&(i as u32)));
+            }
+        }
+        for &t in ws.relevant_tuples() {
+            let d = ws.dense_id_of(t).unwrap();
+            assert_eq!(ws.relevant_tuples()[d as usize], t);
+            for &w in ws.witnesses_of(t) {
+                assert!(ws.endogenous_set(w as usize).contains(&t));
+            }
+            // Witness lists are ascending (deterministic CSR fill).
+            assert!(ws.witnesses_of(t).windows(2).all(|p| p[0] < p[1]));
+        }
+        // A tuple outside every witness has no dense id and degree 0.
+        assert_eq!(ws.dense_id_of(TupleId(999)), None);
+        assert_eq!(ws.degree(TupleId(999)), 0);
+    }
+
+    #[test]
+    fn without_tuples_matches_rebuild_after_deletion() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        let r = db.schema().relation_id("R").unwrap();
+        let t33 = db.lookup(r, &[3, 3]).unwrap();
+        let deleted: HashSet<TupleId> = [t33].into_iter().collect();
+        let filtered = ws.without_tuples(&deleted);
+        let rebuilt = WitnessSet::build(&q, &db.without(&deleted));
+        assert_eq!(filtered.len(), rebuilt.len());
+        assert_eq!(filtered.len(), 1); // only (1,2,3) survives
+        assert_eq!(
+            filtered.relevant_tuples().len(),
+            rebuilt.relevant_tuples().len()
+        );
+        // Filtering preserves original tuple ids (rebuild does not).
+        assert!(!filtered.relevant_tuples().contains(&t33));
     }
 
     #[test]
@@ -229,6 +600,49 @@ mod tests {
         assert_eq!(reduced.len(), 2);
         assert!(reduced.iter().any(|s| s.len() == 1));
         assert!(reduced.iter().any(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn reduced_sets_handle_pathological_many_sets_instances() {
+        // A hub join producing ~n² witnesses whose endogenous sets are all
+        // distinct pairs: the old all-pairs superset check was quadratic in
+        // the number of sets; the bucketed version only scans sets sharing
+        // the candidate's minimum. This must finish instantly and keep every
+        // pairwise-incomparable set.
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        let n = 60u64;
+        for i in 0..n {
+            db.insert_named("R", &[i, 1000]);
+            db.insert_named("S", &[1000, 2000 + i]);
+        }
+        let ws = WitnessSet::build(&q, &db);
+        assert_eq!(ws.len(), (n * n) as usize);
+        let reduced = ws.reduced_dense_sets();
+        // All n² pair-sets are pairwise incomparable, so none is dropped.
+        assert_eq!(reduced.len(), (n * n) as usize);
+        // A singleton subset must still subsume its supersets: a loop tuple
+        // yields a one-tuple witness through the chain query.
+        let q2 = parse_query("R(x,y), R(y,z)").unwrap();
+        let mut db2 = Database::for_query(&q2);
+        for i in 0..n {
+            db2.insert_named("R", &[i, 1000]);
+            db2.insert_named("R", &[1000, 2000 + i]);
+        }
+        db2.insert_named("R", &[1000, 1000]); // loop: singleton witness set
+        let ws2 = WitnessSet::build(&q2, &db2);
+        let reduced2 = ws2.reduced_sets();
+        // The loop's singleton set subsumes every witness that passes
+        // through it.
+        assert!(reduced2.iter().any(|s| s.len() == 1));
+        for s in &reduced2 {
+            if s.len() > 1 {
+                let loop_t = db2
+                    .lookup(db2.schema().relation_id("R").unwrap(), &[1000, 1000])
+                    .unwrap();
+                assert!(!s.contains(&loop_t), "superset of the singleton kept");
+            }
+        }
     }
 
     #[test]

@@ -133,6 +133,22 @@ impl Workload {
         g
     }
 
+    /// A random sequence of distinct endogenous tuples of `db` (with respect
+    /// to `q`), up to `len` long: the k-deletion sweeps of the what-if
+    /// benchmarks and the session differential tests delete these one by
+    /// one. Deterministic for a given seed, like every generator here.
+    pub fn random_deletion_sequence(
+        &mut self,
+        q: &Query,
+        db: &Database,
+        len: usize,
+    ) -> Vec<database::TupleId> {
+        let mut candidates = db.endogenous_tuples(q);
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(len);
+        candidates
+    }
+
     /// Random 3-CNF formula with `num_vars` variables and `num_clauses`
     /// clauses; each clause has three distinct variables with random signs.
     pub fn random_3cnf(&mut self, num_vars: usize, num_clauses: usize) -> CnfFormula {
@@ -228,6 +244,32 @@ mod tests {
             let v = db.values_of(t);
             assert!(db.contains(r, &[v[1], v[0]]), "missing inverse of {v:?}");
         }
+    }
+
+    #[test]
+    fn deletion_sequence_is_distinct_endogenous_and_reproducible() {
+        let q = parse_query("A(x), R^x(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        for v in 0..8u64 {
+            db.insert_named("A", &[v]);
+            db.insert_named("R", &[v, v + 1]);
+        }
+        let seq = Workload::new(21).random_deletion_sequence(&q, &db, 5);
+        assert_eq!(seq.len(), 5);
+        let mut dedup = seq.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5, "tuples must be distinct");
+        let a = db.schema().relation_id("A").unwrap();
+        for &t in &seq {
+            assert_eq!(db.relation_of(t), a, "R is exogenous, only A deletable");
+        }
+        assert_eq!(seq, Workload::new(21).random_deletion_sequence(&q, &db, 5));
+        // Requesting more than available clamps.
+        assert_eq!(
+            Workload::new(3).random_deletion_sequence(&q, &db, 99).len(),
+            8
+        );
     }
 
     #[test]

@@ -4,12 +4,23 @@
 //! rescli classify "<query>"              classify a query (Theorem 37 + Secs. 5-8)
 //! rescli solve    "<query>" <file>       compute resilience over a database file
 //! rescli batch    "<query>" <file>...    compile once, solve every file in parallel
+//! rescli whatif   "<query>" <file> <script>
+//!                                         interactive what-if analysis: script
+//!                                         delete/restore/solve steps against one
+//!                                         loaded instance (deletion-aware session)
 //! rescli ijp      "<query>" [joins] [partitions]
 //!                                         search for an Independent Join Path
 //! rescli catalogue                        print the named-query catalogue
 //! ```
 //!
-//! `solve` and `batch` accept `--json` for machine-readable output.
+//! `solve`, `batch` and `whatif` accept `--json` for machine-readable
+//! output.
+//!
+//! A what-if script is one command per line (`#` comments allowed):
+//! `delete Rel(c1,...)`, `restore Rel(c1,...)`, `solve`, `reset`. The
+//! instance is loaded and its witnesses enumerated exactly once; every
+//! `solve` answers the current deletion state through the engine's
+//! [`SolveSession`] live counters instead of copying the database.
 //!
 //! The database file format is one tuple per line, `Rel(c1,c2,...)`, with
 //! `#` comments; constants are non-negative integers or arbitrary labels.
@@ -17,9 +28,12 @@
 //! offset past the largest numeric constant of the file, so a label can
 //! never collide with an explicit numeric constant.
 
-use resilience::core::engine::{CompiledQuery, Engine, Resilience, SolveOptions, SolveReport};
+use resilience::core::engine::{
+    CompiledQuery, Engine, Resilience, SolveOptions, SolveReport, SolveSession,
+};
 use resilience::database::ConstPool;
 use resilience::prelude::*;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
@@ -28,6 +42,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] \"<query>\" <database-file>\n  \
          rescli batch [--json] \"<query>\" <database-file>...\n  \
+         rescli whatif [--json] \"<query>\" <database-file> <script-file>\n  \
          rescli ijp \"<query>\" [max-joins] [max-partitions]\n  rescli catalogue"
     );
     ExitCode::from(2)
@@ -41,6 +56,7 @@ fn main() -> ExitCode {
         Some("classify") if args.len() == 2 => classify_cmd(&args[1]),
         Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2], json),
         Some("batch") if args.len() >= 3 => batch_cmd(&args[1], &args[2..], json),
+        Some("whatif") if args.len() == 4 => whatif_cmd(&args[1], &args[2], &args[3], json),
         Some("ijp") if (2..=4).contains(&args.len()) => {
             let joins = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
             let partitions = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -86,6 +102,27 @@ enum RawConstant {
     Label(String),
 }
 
+/// Splits one `Rel(c1,...,ck)` fact into its relation name and the raw
+/// constant texts, validating the parenthesis shape and that the relation
+/// exists in the query. Shared by the database loader and the what-if
+/// script parser so the fact syntax cannot drift between the two; errors
+/// carry no line number (callers prefix their own).
+fn split_fact<'l>(q: &Query, line: &'l str) -> Result<(&'l str, Vec<&'l str>), String> {
+    let open = line.find('(').ok_or("expected Rel(...)")?;
+    let close = line
+        .rfind(')')
+        .filter(|&close| close > open)
+        .ok_or("missing ')'")?;
+    let rel = line[..open].trim();
+    if q.schema().relation_id(rel).is_none() {
+        return Err(format!("relation {rel} not in the query"));
+    }
+    Ok((
+        rel,
+        line[open + 1..close].split(',').map(str::trim).collect(),
+    ))
+}
+
 /// Parses the textual database format: one `Rel(c1,...,ck)` fact per line.
 ///
 /// Labels are interned through [`ConstPool`] and offset past the largest
@@ -93,6 +130,16 @@ enum RawConstant {
 /// never collide (the previous implementation started labels at a fixed
 /// 1,000,000, which silently aliased files using constants ≥ 1,000,000).
 fn parse_database(q: &Query, text: &str) -> Result<Database, String> {
+    parse_database_with_labels(q, text).map(|(db, _)| db)
+}
+
+/// [`parse_database`] that also returns the label → constant resolution, so
+/// follow-up inputs referencing the same labels (what-if scripts) resolve
+/// identically to the loaded file.
+fn parse_database_with_labels(
+    q: &Query,
+    text: &str,
+) -> Result<(Database, HashMap<String, u64>), String> {
     let mut facts: Vec<(String, Vec<RawConstant>)> = Vec::new();
     let mut max_number = 0u64;
     for (lineno, raw) in text.lines().enumerate() {
@@ -100,23 +147,11 @@ fn parse_database(q: &Query, text: &str) -> Result<Database, String> {
         if line.is_empty() {
             continue;
         }
-        let open = line
-            .find('(')
-            .ok_or_else(|| format!("line {}: expected Rel(...)", lineno + 1))?;
-        let close = line
-            .rfind(')')
-            .ok_or_else(|| format!("line {}: missing ')'", lineno + 1))?;
-        let rel = line[..open].trim();
-        if q.schema().relation_id(rel).is_none() {
-            return Err(format!(
-                "line {}: relation {rel} not in the query",
-                lineno + 1
-            ));
-        }
-        let values: Result<Vec<RawConstant>, String> = line[open + 1..close]
-            .split(',')
-            .map(|v| {
-                let v = v.trim();
+        let (rel, raw_values) =
+            split_fact(q, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let values: Result<Vec<RawConstant>, String> = raw_values
+            .iter()
+            .map(|&v| {
                 if let Ok(n) = v.parse::<u64>() {
                     max_number = max_number.max(n);
                     Ok(RawConstant::Number(n))
@@ -136,20 +171,25 @@ fn parse_database(q: &Query, text: &str) -> Result<Database, String> {
         .checked_add(1)
         .ok_or_else(|| "constant u64::MAX leaves no room for labels".to_string())?;
     let mut pool = ConstPool::new();
+    let mut labels: HashMap<String, u64> = HashMap::new();
     let mut db = Database::for_query(q);
     for (rel, values) in facts {
         let resolved: Result<Vec<u64>, String> = values
             .iter()
             .map(|value| match value {
                 RawConstant::Number(n) => Ok(*n),
-                RawConstant::Label(label) => offset
-                    .checked_add(pool.intern(label).value())
-                    .ok_or_else(|| format!("too many labels to intern past {max_number}")),
+                RawConstant::Label(label) => {
+                    let c = offset
+                        .checked_add(pool.intern(label).value())
+                        .ok_or_else(|| format!("too many labels to intern past {max_number}"))?;
+                    labels.entry(label.clone()).or_insert(c);
+                    Ok(c)
+                }
             })
             .collect();
         db.insert_named(&rel, &resolved?);
     }
-    Ok(db)
+    Ok((db, labels))
 }
 
 /// Reads and parses a database file.
@@ -339,6 +379,261 @@ fn batch_cmd(text: &str, paths: &[String], json: bool) -> ExitCode {
     }
 }
 
+/// One parsed what-if script step.
+#[derive(Debug)]
+enum WhatIfOp {
+    Delete(String, Vec<u64>),
+    Restore(String, Vec<u64>),
+    Solve,
+    Reset,
+}
+
+/// Parses a what-if script: one command per line, `#` comments, blank lines
+/// ignored. Labels resolve through the same map as the database file.
+fn parse_whatif_script(
+    q: &Query,
+    labels: &HashMap<String, u64>,
+    text: &str,
+) -> Result<Vec<WhatIfOp>, String> {
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if line == "solve" {
+            ops.push(WhatIfOp::Solve);
+            continue;
+        }
+        if line == "reset" {
+            ops.push(WhatIfOp::Reset);
+            continue;
+        }
+        let (verb, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("line {lineno}: expected delete/restore/solve/reset"))?;
+        let (rel, raw_values) =
+            split_fact(q, rest.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        let rel = rel.to_string();
+        let values: Result<Vec<u64>, String> = raw_values
+            .iter()
+            .map(|&v| {
+                if let Ok(n) = v.parse::<u64>() {
+                    Ok(n)
+                } else if let Some(&c) = labels.get(v) {
+                    Ok(c)
+                } else if v.is_empty() {
+                    Err(format!("line {lineno}: empty constant"))
+                } else {
+                    Err(format!(
+                        "line {lineno}: label {v} does not occur in the database file"
+                    ))
+                }
+            })
+            .collect();
+        let values = values?;
+        match verb {
+            "delete" => ops.push(WhatIfOp::Delete(rel, values)),
+            "restore" => ops.push(WhatIfOp::Restore(rel, values)),
+            other => return Err(format!("line {lineno}: unknown command {other}")),
+        }
+    }
+    Ok(ops)
+}
+
+/// Runs a parsed script against a session, rendering one output line (text)
+/// or one JSON object per step.
+fn run_whatif_ops(
+    session: &mut SolveSession<'_>,
+    db: &Database,
+    ops: &[WhatIfOp],
+    json: bool,
+) -> Result<Vec<String>, String> {
+    let opts = SolveOptions::new();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            WhatIfOp::Delete(rel, values) | WhatIfOp::Restore(rel, values) => {
+                let is_delete = matches!(op, WhatIfOp::Delete(..));
+                let verb = if is_delete { "delete" } else { "restore" };
+                let rel_id = db.schema().relation_id(rel).expect("validated at parse");
+                let t = db
+                    .lookup(rel_id, values)
+                    .ok_or_else(|| format!("{verb}: no such tuple {rel}{values:?}"))?;
+                let changed = if is_delete {
+                    session.delete(&[t])
+                } else {
+                    session.restore(&[t])
+                };
+                let rendered = render_contingency(db, &[t]).remove(0);
+                if json {
+                    out.push(format!(
+                        "{{\"op\": \"{verb}\", \"tuple\": \"{}\", \"witnesses_changed\": {changed}, \
+                         \"live_witnesses\": {}, \"deleted_count\": {}}}",
+                        json_escape(&rendered),
+                        session.live_witnesses(),
+                        session.deleted_count(),
+                    ));
+                } else {
+                    out.push(format!(
+                        "{verb:<8} {rendered:<20} {changed} witnesses {} -> live {} (deleted tuples: {})",
+                        if is_delete { "killed" } else { "revived" },
+                        session.live_witnesses(),
+                        session.deleted_count(),
+                    ));
+                }
+            }
+            WhatIfOp::Reset => {
+                session.reset();
+                if json {
+                    out.push(format!(
+                        "{{\"op\": \"reset\", \"live_witnesses\": {}}}",
+                        session.live_witnesses()
+                    ));
+                } else {
+                    out.push(format!(
+                        "reset    all tuples restored, live witnesses {}",
+                        session.live_witnesses()
+                    ));
+                }
+            }
+            WhatIfOp::Solve => {
+                let report = session.solve(&opts).map_err(|e| format!("solve: {e}"))?;
+                if json {
+                    let mut obj = String::from("{\"op\": \"solve\"");
+                    match report.resilience {
+                        Resilience::Finite(k) => {
+                            let _ = write!(obj, ", \"resilience\": {k}, \"unfalsifiable\": false");
+                        }
+                        Resilience::Unfalsifiable => {
+                            let _ = write!(obj, ", \"resilience\": null, \"unfalsifiable\": true");
+                        }
+                    }
+                    let _ = write!(
+                        obj,
+                        ", \"witnesses\": {}, \"method\": \"{}\"",
+                        report.witnesses,
+                        json_escape(&format!("{:?}", report.method))
+                    );
+                    if let Some(gamma) = &report.contingency {
+                        let rendered: Vec<String> = render_contingency(db, gamma)
+                            .into_iter()
+                            .map(|t| format!("\"{}\"", json_escape(&t)))
+                            .collect();
+                        let _ = write!(obj, ", \"contingency\": [{}]", rendered.join(", "));
+                    } else {
+                        let _ = write!(obj, ", \"contingency\": null");
+                    }
+                    obj.push('}');
+                    out.push(obj);
+                } else {
+                    let value = match report.resilience {
+                        Resilience::Finite(k) => k.to_string(),
+                        Resilience::Unfalsifiable => "unbounded".to_string(),
+                    };
+                    let gamma = report
+                        .contingency
+                        .as_deref()
+                        .map(|g| render_contingency(db, g).join(" "))
+                        .unwrap_or_default();
+                    out.push(format!(
+                        "solve    resilience {value:<9} witnesses {:<6} ({:?}) {gamma}",
+                        report.witnesses, report.method
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn whatif_cmd(text: &str, db_path: &str, script_path: &str, json: bool) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let file_text = match fs::read_to_string(db_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {db_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (db, labels) = match parse_database_with_labels(&q, &file_text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script_text = match fs::read_to_string(script_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {script_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ops = match parse_whatif_script(&q, &labels, &script_text) {
+        Ok(ops) => ops,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let compiled = Engine::compile(&q);
+    let frozen = db.freeze();
+    // Large instances parallelize the one-time witness enumeration; the
+    // per-step deletes/restores/solves are incremental either way.
+    let threads = if db.num_tuples() >= 2048 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    let session_opts = SolveOptions::new().enumeration_threads(threads);
+    let mut session = match compiled.session_opts(&frozen, &session_opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !json {
+        println!("query        : {q}");
+        println!("complexity   : {}", compiled.classification().complexity);
+        println!("tuples       : {}", db.num_tuples());
+        println!("witnesses    : {}", session.total_witnesses());
+    }
+    match run_whatif_ops(&mut session, &db, &ops, json) {
+        Ok(lines) => {
+            if json {
+                println!(
+                    "{{\"query\": \"{}\", \"complexity\": \"{}\", \"tuples\": {}, \
+                     \"witnesses\": {}, \"events\": [{}]}}",
+                    json_escape(&q.to_string()),
+                    json_escape(&compiled.classification().complexity.to_string()),
+                    db.num_tuples(),
+                    session.total_witnesses(),
+                    lines.join(", ")
+                );
+            } else {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn ijp_cmd(text: &str, joins: usize, partitions: usize) -> ExitCode {
     let q = match parse_or_exit(text) {
         Ok(q) => q,
@@ -439,6 +734,74 @@ mod tests {
     fn json_escape_handles_quotes_and_controls() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn whatif_script_runs_delete_solve_restore() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let (db, labels) = parse_database_with_labels(&q, "R(1,2)\nR(2,3)\nR(3,3)\n").unwrap();
+        let script = "solve\ndelete R(3,3)\nsolve\nrestore R(3,3)\n# comment\nsolve\n";
+        let ops = parse_whatif_script(&q, &labels, script).unwrap();
+        assert_eq!(ops.len(), 5);
+        let compiled = Engine::compile(&q);
+        let frozen = db.freeze();
+        let mut session = compiled.session(&frozen).unwrap();
+        let lines = run_whatif_ops(&mut session, &db, &ops, true).unwrap();
+        assert!(lines[0].contains("\"resilience\": 2"));
+        assert!(lines[1].contains("\"op\": \"delete\""));
+        assert!(lines[1].contains("\"witnesses_changed\": 2"));
+        assert!(lines[2].contains("\"resilience\": 1"));
+        assert!(lines[4].contains("\"resilience\": 2"));
+    }
+
+    #[test]
+    fn whatif_script_resolves_labels_like_the_loader() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let (db, labels) = parse_database_with_labels(&q, "R(a,b)\nR(b,c)\nR(7,9)\n").unwrap();
+        let ops = parse_whatif_script(&q, &labels, "delete R(a,b)\nsolve\n").unwrap();
+        let compiled = Engine::compile(&q);
+        let frozen = db.freeze();
+        let mut session = compiled.session(&frozen).unwrap();
+        let lines = run_whatif_ops(&mut session, &db, &ops, false).unwrap();
+        assert_eq!(lines.len(), 2);
+        // Unknown labels are parse errors, not silent fresh constants.
+        assert!(parse_whatif_script(&q, &labels, "delete R(zz,b)\n")
+            .unwrap_err()
+            .contains("label zz"));
+        // Unknown relations too.
+        assert!(parse_whatif_script(&q, &labels, "delete Z(1,2)\n")
+            .unwrap_err()
+            .contains("relation Z"));
+        // Malformed parenthesis order is a parse error, not a panic.
+        assert!(parse_whatif_script(&q, &labels, "delete R)2(\n")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_database(&q, "R)2(\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn whatif_session_matches_batch_of_reduced_files() {
+        // A delete script must answer exactly what `solve` answers on the
+        // physically reduced file.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let (db, labels) =
+            parse_database_with_labels(&q, "R(1,2)\nR(2,3)\nR(3,3)\nR(3,4)\nR(4,4)\n").unwrap();
+        let (reduced_db, _) =
+            parse_database_with_labels(&q, "R(1,2)\nR(2,3)\nR(3,4)\nR(4,4)\n").unwrap();
+        let compiled = Engine::compile(&q);
+        let frozen = db.freeze();
+        let mut session = compiled.session(&frozen).unwrap();
+        let ops = parse_whatif_script(&q, &labels, "delete R(3,3)\nsolve\n").unwrap();
+        let lines = run_whatif_ops(&mut session, &db, &ops, true).unwrap();
+        let scratch = compiled
+            .solve(&reduced_db.freeze(), &SolveOptions::new())
+            .unwrap();
+        let expected = match scratch.resilience {
+            Resilience::Finite(k) => format!("\"resilience\": {k}"),
+            Resilience::Unfalsifiable => "\"resilience\": null".to_string(),
+        };
+        assert!(lines[1].contains(&expected), "{} vs {expected}", lines[1]);
+        assert!(lines[1].contains(&format!("\"witnesses\": {}", scratch.witnesses)));
     }
 
     #[test]

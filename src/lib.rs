@@ -103,7 +103,7 @@ pub mod prelude {
     pub use database::{ConstPool, Constant, Database, FrozenDb, TupleId, TupleStore};
     pub use resilience_core::engine::{
         CompiledQuery, Engine, Resilience, SolveError, SolveMethod, SolveOptions, SolveReport,
-        SolveScratch,
+        SolveScratch, SolveSession,
     };
     #[allow(deprecated)]
     pub use resilience_core::solver::ResilienceSolver;

@@ -51,7 +51,7 @@ proptest! {
             let ws = WitnessSet::build(&q, &db);
             prop_assert!(ws.is_contingency_set(&gamma));
             prop_assert!(!database::evaluate(&q, &db.without(&gamma)));
-            prop_assert!(value <= ws.relevant_tuples.len());
+            prop_assert!(value <= ws.relevant_tuples().len());
         }
     }
 

@@ -1,0 +1,209 @@
+//! Differential tests for the deletion-aware [`SolveSession`] and parallel
+//! witness enumeration:
+//!
+//! * any random delete/restore sequence through a session yields the same
+//!   resilience and witness count as solving `Database::without(deleted)`
+//!   from scratch (full re-enumeration), across the named-query catalogue;
+//! * session contingency sets reference the *original* tuple ids and really
+//!   falsify the live view;
+//! * restore order does not matter (set semantics of the deletion state);
+//! * parallel enumeration (2, 4 threads) is bit-identical to sequential on
+//!   catalogue queries, over both store types.
+
+use cq::catalogue;
+use database::{
+    try_relation_translation, witnesses_with_plan_into, witnesses_with_plan_parallel_into,
+    Database, QueryPlan, TupleId,
+};
+use resilience_core::engine::{Engine, Resilience, SolveOptions};
+use std::collections::HashSet;
+use workloads::Workload;
+
+/// The standard randomized instance used across the test-suite (mirrors
+/// tests/engine.rs): a random `R`-graph, saturated unary relations, and a
+/// deterministic sprinkling of tuples for every other non-unary relation.
+fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    let r_is_binary = q
+        .schema()
+        .relation_id("R")
+        .is_some_and(|r| q.schema().arity(r) == 2);
+    let mut db = if r_is_binary {
+        workload.random_graph_relation(q, "R", nodes, density)
+    } else {
+        Database::for_query(q)
+    };
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        let arity = q.schema().arity(rel);
+        if arity >= 2 && !(name == "R" && r_is_binary) {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
+                        let values: Vec<u64> = (0..arity as u64)
+                            .map(|pos| match pos {
+                                0 => a,
+                                1 => b,
+                                _ => (a + b + pos) % nodes.max(1),
+                            })
+                            .collect();
+                        db.insert_named(&name, &values);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+#[test]
+fn session_equals_from_scratch_on_random_delete_restore_sequences() {
+    let opts = SolveOptions::new();
+    for nq in catalogue::all_named_queries() {
+        let compiled = Engine::compile(&nq.query);
+        for seed in [5u64, 17] {
+            let db = random_instance(&nq.query, seed, 5, 0.3);
+            let frozen = db.freeze();
+            let mut session = compiled
+                .session(&frozen)
+                .unwrap_or_else(|e| panic!("{}: cannot open session: {e}", nq.name));
+            assert_eq!(session.total_witnesses(), session.live_witnesses());
+
+            let sequence = Workload::new(seed ^ 0xdead).random_deletion_sequence(&nq.query, &db, 6);
+            let mut deleted: HashSet<TupleId> = HashSet::new();
+            for (step, &t) in sequence.iter().enumerate() {
+                session.delete(&[t]);
+                deleted.insert(t);
+                // Interleave restores of earlier deletions: the session must
+                // track the *set*, not the order.
+                if step % 2 == 1 {
+                    let back = sequence[step / 2];
+                    session.restore(&[back]);
+                    deleted.remove(&back);
+                }
+
+                let scratch = compiled.solve(&db.without(&deleted).freeze(), &opts);
+                let via_session = session.solve(&opts);
+                match (&via_session, &scratch) {
+                    (Ok(s), Ok(f)) => {
+                        assert_eq!(
+                            s.resilience, f.resilience,
+                            "{} seed {seed} step {step}: session vs from-scratch value",
+                            nq.name
+                        );
+                        assert_eq!(
+                            s.witnesses, f.witnesses,
+                            "{} seed {seed} step {step}: session vs from-scratch witness count",
+                            nq.name
+                        );
+                        assert_eq!(s.witnesses, session.live_witnesses());
+                        // A session certificate references original ids,
+                        // avoids deleted tuples, and falsifies the live view.
+                        if let (Resilience::Finite(k), Some(gamma)) = (s.resilience, &s.contingency)
+                        {
+                            assert_eq!(gamma.len(), k, "{} step {step}", nq.name);
+                            let mut removal = deleted.clone();
+                            for &g in gamma {
+                                assert!(
+                                    !deleted.contains(&g),
+                                    "{} step {step}: certificate re-deletes a deleted tuple",
+                                    nq.name
+                                );
+                                removal.insert(g);
+                            }
+                            assert!(
+                                !database::evaluate(&nq.query, &db.without(&removal)),
+                                "{} seed {seed} step {step}: certificate does not falsify",
+                                nq.name
+                            );
+                        }
+                    }
+                    (Err(_), Err(_)) => {} // both budgets exhausted: agree
+                    _ => panic!(
+                        "{} seed {seed} step {step}: one path failed, the other did not: \
+                         session {via_session:?} vs scratch {scratch:?}",
+                        nq.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn session_restore_order_does_not_matter() {
+    let q = cq::parse_query("R(x,y), R(y,z)").unwrap();
+    let compiled = Engine::compile(&q);
+    let db = random_instance(&q, 9, 6, 0.35);
+    let frozen = db.freeze();
+    let opts = SolveOptions::new();
+    let seq = Workload::new(4).random_deletion_sequence(&q, &db, 4);
+    if seq.len() < 4 {
+        return; // degenerate random instance
+    }
+    let (a, b, c, d) = (seq[0], seq[1], seq[2], seq[3]);
+
+    let mut forward = compiled.session(&frozen).unwrap();
+    forward.delete(&[a, b, c, d]);
+    forward.restore(&[a, b]);
+
+    let mut scrambled = compiled.session(&frozen).unwrap();
+    scrambled.delete(&[d]);
+    scrambled.delete(&[a, a, b]); // duplicate delete is a no-op
+    scrambled.delete(&[c]);
+    scrambled.restore(&[b, a]); // reversed restore order
+    scrambled.restore(&[b]); // double restore is a no-op
+
+    assert_eq!(forward.live_witnesses(), scrambled.live_witnesses());
+    assert_eq!(forward.deleted_tuples(), scrambled.deleted_tuples());
+    assert_eq!(
+        forward.solve(&opts).unwrap(),
+        scrambled.solve(&opts).unwrap()
+    );
+
+    let expected: HashSet<TupleId> = [c, d].into_iter().collect();
+    let scratch = compiled
+        .solve(&db.without(&expected).freeze(), &opts)
+        .unwrap();
+    let via = forward.solve(&opts).unwrap();
+    assert_eq!(via.resilience, scratch.resilience);
+    assert_eq!(via.witnesses, scratch.witnesses);
+}
+
+#[test]
+fn parallel_enumeration_is_deterministic_on_the_catalogue() {
+    // The CI determinism gate: 1-thread and N-thread enumeration must be
+    // bit-identical (same witnesses, same order) for every catalogue query,
+    // over both the mutable and the frozen store.
+    for nq in catalogue::all_named_queries() {
+        let db = random_instance(&nq.query, 23, 6, 0.3);
+        let plan = QueryPlan::compile(&nq.query);
+        let translation = try_relation_translation(&nq.query, &db).unwrap();
+        let mut sequential = Vec::new();
+        witnesses_with_plan_into(&plan, &translation, &db, &mut sequential);
+        let frozen = db.freeze();
+        for threads in [2usize, 4] {
+            let mut parallel = Vec::new();
+            witnesses_with_plan_parallel_into(&plan, &translation, &db, threads, &mut parallel);
+            assert_eq!(sequential, parallel, "{} threads {threads}", nq.name);
+            witnesses_with_plan_parallel_into(&plan, &translation, &frozen, threads, &mut parallel);
+            assert_eq!(
+                sequential, parallel,
+                "{} threads {threads} (frozen)",
+                nq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_enumeration_solves_catalogue_queries_identically() {
+    for nq in [catalogue::q_chain(), catalogue::q_acconf(), catalogue::z3()] {
+        let compiled = Engine::compile(&nq.query);
+        let db = random_instance(&nq.query, 31, 6, 0.3).freeze();
+        let sequential = compiled.solve(&db, &SolveOptions::new());
+        let parallel = compiled.solve(&db, &SolveOptions::new().enumeration_threads(3));
+        assert_eq!(sequential, parallel, "{}", nq.name);
+    }
+}
