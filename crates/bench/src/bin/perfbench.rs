@@ -40,6 +40,18 @@
 //!
 //! `--nodes V` overrides every session workload's graph size (the sweep
 //! defaults to per-workload sizes chosen for interactive what-if scale).
+//!
+//! Session mode emits three rows per workload: `maintain` (witness-set
+//! upkeep), `resolve` (scratch re-solve vs warm session re-solve) and
+//! `resolve_warm` (cold session re-solve vs warm session re-solve — the
+//! isolated contribution of the solver warm starts). **Resolve-warm mode**
+//! (`perfbench resolve-warm ...`, same flags as session mode) runs only the
+//! cold-vs-warm comparison:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- resolve-warm \
+//!     --instances 25 --deletions 8 --out WARM.json
+//! ```
 
 // The legacy loop is exactly what batch mode benchmarks against.
 #![allow(deprecated)]
@@ -259,12 +271,19 @@ fn batch_mode(args: &[String]) -> ExitCode {
 /// One k-deletion sweep outcome: per step, `(resilience, witness count)`.
 type SweepOutcome = Vec<(Option<usize>, usize)>;
 
-fn session_mode(args: &[String]) -> ExitCode {
+fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
     let mut instances = 25usize;
-    let mut deletions = 8usize;
+    // Default sweep length: 16 steps — the scale of a realistic interactive
+    // what-if script, and long enough that the session's one-time costs
+    // (open + first cold solve) amortize the way they do in actual use.
+    let mut deletions = 16usize;
     let mut nodes: Option<u64> = None;
     let mut out_path: Option<String> = None;
-    let mut label = "PR3-session-sweep".to_string();
+    let mut label = if warm_only {
+        "PR4-resolve-warm".to_string()
+    } else {
+        "PR4-session-sweep".to_string()
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -375,9 +394,12 @@ fn session_mode(args: &[String]) -> ExitCode {
                 .collect()
         };
         // Session: one enumeration at open, then O(degree) live-counter
-        // updates per deletion and a filtered re-solve. Session creation is
-        // inside the timed region — the speedup already includes it.
-        let run_session = || -> Vec<SweepOutcome> {
+        // updates per deletion and a warm-started re-solve over the live
+        // view (reduced sets from the CSR arena, incumbent-seeded search).
+        // Session creation is inside the timed region — the speedup already
+        // includes it. `cold` disables the warm starts, isolating their
+        // contribution.
+        let run_session_with = |step_opts: &SolveOptions| -> Vec<SweepOutcome> {
             frozen
                 .iter()
                 .zip(&sequences)
@@ -386,13 +408,18 @@ fn session_mode(args: &[String]) -> ExitCode {
                     seq.iter()
                         .map(|&t| {
                             session.delete(&[t]);
-                            let report = session.solve(&opts).expect("session sweep solve failed");
+                            let report = session
+                                .solve(step_opts)
+                                .expect("session sweep solve failed");
                             (report.resilience.as_finite(), report.witnesses)
                         })
                         .collect()
                 })
                 .collect()
         };
+        let cold_opts = SolveOptions::new().warm_start(false);
+        let run_session = || run_session_with(&opts);
+        let run_session_cold = || run_session_with(&cold_opts);
 
         // Maintenance metric: per deletion step, bring the witness set up to
         // date and read the live witness count. Baseline = the legacy
@@ -447,35 +474,28 @@ fn session_mode(args: &[String]) -> ExitCode {
             ));
         };
 
-        let scratch_counts = run_scratch_maintain(); // warm-up + differential
-        let mut scratch_maintain_ns = u64::MAX;
-        for _ in 0..REPS {
-            let start = Instant::now();
-            let counts = run_scratch_maintain();
-            scratch_maintain_ns = scratch_maintain_ns.min(start.elapsed().as_nanos() as u64);
-            assert_eq!(counts.len(), instances);
-        }
-        let session_counts = run_session_maintain(); // warm-up + differential
-        let mut session_maintain_ns = u64::MAX;
-        for _ in 0..REPS {
-            let start = Instant::now();
-            let counts = run_session_maintain();
-            session_maintain_ns = session_maintain_ns.min(start.elapsed().as_nanos() as u64);
-            assert_eq!(counts.len(), instances);
-        }
-        if scratch_counts != session_counts {
-            eprintln!("{}: witness counts diverge between paths", w.name);
-            return ExitCode::FAILURE;
-        }
-        emit("maintain", scratch_maintain_ns, session_maintain_ns);
-
-        let scratch_outcomes = run_scratch(); // warm-up, kept for the check
-        let mut scratch_ns = u64::MAX;
-        for _ in 0..REPS {
-            let start = Instant::now();
-            let outcomes = run_scratch();
-            scratch_ns = scratch_ns.min(start.elapsed().as_nanos() as u64);
-            assert_eq!(outcomes.len(), instances);
+        if !warm_only {
+            let scratch_counts = run_scratch_maintain(); // warm-up + differential
+            let mut scratch_maintain_ns = u64::MAX;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let counts = run_scratch_maintain();
+                scratch_maintain_ns = scratch_maintain_ns.min(start.elapsed().as_nanos() as u64);
+                assert_eq!(counts.len(), instances);
+            }
+            let session_counts = run_session_maintain(); // warm-up + differential
+            let mut session_maintain_ns = u64::MAX;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let counts = run_session_maintain();
+                session_maintain_ns = session_maintain_ns.min(start.elapsed().as_nanos() as u64);
+                assert_eq!(counts.len(), instances);
+            }
+            if scratch_counts != session_counts {
+                eprintln!("{}: witness counts diverge between paths", w.name);
+                return ExitCode::FAILURE;
+            }
+            emit("maintain", scratch_maintain_ns, session_maintain_ns);
         }
 
         let _ = run_session(); // warm-up
@@ -488,21 +508,53 @@ fn session_mode(args: &[String]) -> ExitCode {
             session_outcomes = outcomes;
         }
 
-        if scratch_outcomes != session_outcomes {
-            for (i, (a, b)) in scratch_outcomes.iter().zip(&session_outcomes).enumerate() {
-                if a != b {
-                    eprintln!(
-                        "{}: instance {i} diverges: scratch {a:?} vs session {b:?}",
-                        w.name
-                    );
-                }
+        if !warm_only {
+            let scratch_outcomes = run_scratch(); // warm-up, kept for the check
+            let mut scratch_ns = u64::MAX;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let outcomes = run_scratch();
+                scratch_ns = scratch_ns.min(start.elapsed().as_nanos() as u64);
+                assert_eq!(outcomes.len(), instances);
             }
+            if scratch_outcomes != session_outcomes {
+                for (i, (a, b)) in scratch_outcomes.iter().zip(&session_outcomes).enumerate() {
+                    if a != b {
+                        eprintln!(
+                            "{}: instance {i} diverges: scratch {a:?} vs session {b:?}",
+                            w.name
+                        );
+                    }
+                }
+                return ExitCode::FAILURE;
+            }
+            emit("resolve", scratch_ns, session_ns);
+        }
+
+        // Cold-vs-warm per-step solve: identical sweeps through the same
+        // session machinery, with the warm starts switched off on the cold
+        // side. Isolates what the incumbent/replay machinery buys.
+        let cold_outcomes = run_session_cold(); // warm-up + differential
+        let mut cold_ns = u64::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let outcomes = run_session_cold();
+            cold_ns = cold_ns.min(start.elapsed().as_nanos() as u64);
+            assert_eq!(outcomes.len(), instances);
+        }
+        if cold_outcomes != session_outcomes {
+            eprintln!("{}: cold and warm session sweeps diverge", w.name);
             return ExitCode::FAILURE;
         }
-        emit("resolve", scratch_ns, session_ns);
+        emit("resolve_warm", cold_ns, session_ns);
     }
+    let mode = if warm_only {
+        "cold_session_vs_warm_session"
+    } else {
+        "session_vs_without_reenumerate"
+    };
     let doc = format!(
-        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"session_vs_without_reenumerate\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"{mode}\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     if let Err(e) = fs::write(&out_path, doc) {
@@ -521,7 +573,10 @@ fn main() -> ExitCode {
         return batch_mode(&args[1..]);
     }
     if args.first().map(|s| s.as_str()) == Some("session") {
-        return session_mode(&args[1..]);
+        return session_mode(&args[1..], false);
+    }
+    if args.first().map(|s| s.as_str()) == Some("resolve-warm") {
+        return session_mode(&args[1..], true);
     }
     let mut before_path = None;
     let mut after_path = None;

@@ -13,49 +13,43 @@
 //!   they already coincide (which happens surprisingly often on sparse
 //!   instances and is how the branch-and-bound solver prunes).
 
-use crate::exact::greedy_hitting_set_dense;
+use crate::exact::{greedy_hitting_set_dense, ExactScratch};
 use cq::Query;
-use database::{Database, TupleId, WitnessSet};
+use database::{Database, ReducedSets, TupleId, WitnessSet};
 
 /// Greedy hitting-set upper bound with the witnessing contingency set.
 ///
-/// Runs entirely in the witness set's dense tuple space (CSR index): no
-/// per-call renumbering map is built, and membership checks are array
-/// lookups.
+/// Runs entirely in the witness set's dense tuple space (CSR index and
+/// [`ReducedSets`] arena): no per-call renumbering map is built, and
+/// membership checks are array lookups.
 pub fn greedy_upper_bound(ws: &WitnessSet) -> Option<Vec<TupleId>> {
     if ws.has_undeletable_witness() {
         return None;
     }
     let universe = ws.relevant_tuples();
-    let dense_sets = ws.reduced_dense_sets();
+    let reduced = ws.reduced();
+    let mut scratch = ExactScratch::new();
     Some(
-        greedy_hitting_set_dense(&dense_sets, universe.len())
-            .into_iter()
-            .map(|d| universe[d as usize])
+        greedy_hitting_set_dense(&reduced, &mut scratch)
+            .iter()
+            .map(|&d| universe[d as usize])
             .collect(),
     )
 }
 
 /// Lower bound from a greedy maximal packing of pairwise-disjoint witnesses.
 pub fn disjoint_packing_lower_bound(ws: &WitnessSet) -> usize {
-    // Dense-space packing: `used` is a flat bitmap over the relevant tuples
-    // instead of a hash set. `reduced_dense_sets` already yields smallest
-    // sets first (they are the hardest to pack around).
-    let mut used = vec![false; ws.relevant_tuples().len()];
-    let mut bound = 0usize;
-    for set in ws.reduced_dense_sets() {
-        if set.is_empty() {
-            continue;
-        }
-        if set.iter().any(|&d| used[d as usize]) {
-            continue;
-        }
-        bound += 1;
-        for &d in &set {
-            used[d as usize] = true;
-        }
-    }
-    bound
+    packing_lower_bound(&ws.reduced())
+}
+
+/// [`disjoint_packing_lower_bound`] over prebuilt [`ReducedSets`].
+///
+/// Dense-space packing over a flat bool mask; the reduced sets already come
+/// smallest-first (they are the hardest to pack around). Delegates to the
+/// exact solver's implementation — the same bound drives its warm-start
+/// short-circuit, so the two can never drift apart.
+pub fn packing_lower_bound(reduced: &ReducedSets) -> usize {
+    crate::exact::csr_packing_bound(reduced, &mut Vec::new())
 }
 
 /// Upper and lower bounds on the resilience of one instance.
@@ -163,6 +157,10 @@ mod tests {
         let bounds = ResilienceBounds::compute(&q, &db);
         assert_eq!(bounds.upper, None);
         assert!(bounds.exact_if_tight().is_none());
+        // The single empty reduced set forces nothing deletable: the packing
+        // lower bound must stay 0 (regression: an empty set once counted as
+        // a packed set).
+        assert_eq!(bounds.lower, 0);
     }
 
     #[test]

@@ -11,10 +11,21 @@
 //!   and tries each of its tuples in turn.
 //!
 //! Internally the solver works in the dense `0..k` tuple space maintained by
-//! the witness set's CSR index (no per-solve renumbering map), and every
-//! witness set becomes a packed `u64` bitset, so the cover and packing
-//! checks at every branch-and-bound node are word operations over flat
-//! arrays rather than hash probes.
+//! the witness set's CSR index (no per-solve renumbering map) and consumes
+//! the reduced sets straight from the flat [`ReducedSets`] arena; every
+//! witness set becomes a packed `u64` bitset in one flat arena, so the cover
+//! and packing checks at every branch-and-bound node are word operations
+//! over flat arrays rather than hash probes. All per-solve buffers live in a
+//! caller-owned [`ExactScratch`], so repeated solves (deletion-session
+//! steps, batches) allocate nothing per witness.
+//!
+//! [`ExactSolver::solve_with_incumbent`] additionally accepts an *incumbent*
+//! — a known feasible hitting set, e.g. the previous step's contingency set
+//! restricted to live tuples in a deletion session. A feasible incumbent is
+//! an upper bound by definition, so it can seed the search bound; when its
+//! size already matches the disjoint-packing lower bound the search is
+//! skipped entirely. An infeasible ("stale") incumbent is detected and
+//! ignored, so it can never prune the true optimum.
 //!
 //! The solver is exponential in the worst case — the paper proves the
 //! problem NP-complete for most self-join queries — but it comfortably
@@ -22,7 +33,7 @@
 //! the hardness gadgets (hundreds of tuples, thousands of witnesses).
 
 use cq::Query;
-use database::{FxHashMap, TupleId, TupleStore, WitnessSet};
+use database::{ReducedSets, TupleId, TupleStore, WitnessSet};
 
 /// The branch-and-bound search hit its node budget before proving
 /// optimality. Returned by the fallible [`ExactSolver::try_resilience`]
@@ -57,6 +68,56 @@ pub struct ExactResult {
     pub contingency: Vec<TupleId>,
     /// Number of branch-and-bound nodes explored.
     pub nodes_explored: usize,
+}
+
+/// Outcome of a dense-space exact solve
+/// ([`ExactSolver::solve_with_incumbent`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DenseExactOutcome {
+    /// The resilience, or `None` when some reduced set is empty (the query
+    /// cannot be falsified).
+    pub resilience: Option<usize>,
+    /// A minimum hitting set in dense ids, sorted ascending.
+    pub contingency: Vec<u32>,
+    /// Branch-and-bound nodes explored (0 when the search was skipped).
+    pub nodes_explored: usize,
+    /// Whether a verified-feasible incumbent seeded the search bound.
+    pub incumbent_seeded: bool,
+    /// Whether the incumbent matched the fresh packing lower bound, proving
+    /// it optimal without any search.
+    pub short_circuit: bool,
+}
+
+/// Reusable buffers for [`ExactSolver::solve_with_incumbent`]: bitsets,
+/// greedy working state and the branch stack all survive across solves, so a
+/// warm caller (the engine's sessions and batches) performs no per-witness
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ExactScratch {
+    /// Flat bitset arena (`num_sets * blocks` words).
+    bits: Vec<u64>,
+    /// Tuples selected along the current branch (one block span).
+    chosen: Vec<u64>,
+    /// Packing scratch for the lower bound / incumbent check.
+    pack: Vec<u64>,
+    /// Greedy: per-set covered flags and per-element uncovered counts.
+    covered: Vec<bool>,
+    counts: Vec<u32>,
+    /// Greedy result (the cold initial bound).
+    greedy: Vec<u32>,
+    /// Branch stack.
+    current: Vec<u32>,
+    /// Best hitting set found so far.
+    best: Vec<u32>,
+    /// Bool mask over the dense universe (incumbent screening / packing).
+    marks: Vec<bool>,
+}
+
+impl ExactScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Exact resilience solver.
@@ -122,61 +183,156 @@ impl ExactSolver {
         &self,
         ws: &WitnessSet,
     ) -> Result<ExactResult, BudgetExhausted> {
-        if ws.is_empty() {
-            return Ok(ExactResult {
-                resilience: Some(0),
-                contingency: Vec::new(),
-                nodes_explored: 0,
-            });
-        }
-        if ws.has_undeletable_witness() {
-            return Ok(ExactResult {
-                resilience: None,
-                contingency: Vec::new(),
-                nodes_explored: 0,
-            });
-        }
         // The witness set's CSR index already renumbers the relevant tuples
-        // into a dense `0..k` space; all bitsets below are indexed in it.
+        // into a dense `0..k` space; the reduced sets and all bitsets are
+        // indexed in it.
+        let reduced = ws.reduced();
+        let dense = self.solve_with_incumbent(&reduced, None, &mut ExactScratch::default())?;
         let universe = ws.relevant_tuples();
-        let blocks = universe.len().div_ceil(64);
+        Ok(ExactResult {
+            resilience: dense.resilience,
+            contingency: dense
+                .contingency
+                .iter()
+                .map(|&e| universe[e as usize])
+                .collect(),
+            nodes_explored: dense.nodes_explored,
+        })
+    }
 
-        let sets_elems: Vec<Vec<u32>> = ws.reduced_dense_sets();
-        let sets_bits: Vec<Vec<u64>> = sets_elems
-            .iter()
-            .map(|s| {
-                let mut bits = vec![0u64; blocks];
-                for &e in s {
-                    bits[(e / 64) as usize] |= 1u64 << (e % 64);
+    /// Minimum hitting set over prebuilt [`ReducedSets`], in dense tuple-id
+    /// space, with an optional **incumbent** warm start and caller-owned
+    /// scratch buffers (no per-witness allocation).
+    ///
+    /// `incumbent` is a candidate feasible hitting set in dense ids (sorted
+    /// ascending). It is *verified* against `reduced` before use: if it hits
+    /// every set it is by definition an upper bound on the optimum, so it
+    /// seeds the branch-and-bound bound (and is returned outright when its
+    /// size matches the disjoint-packing lower bound — the search is then
+    /// skipped). If it misses some set — a stale incumbent from a state the
+    /// current sets did not evolve from monotonically — it is ignored
+    /// entirely, so a stale incumbent can never prune the true optimum.
+    ///
+    /// Without an incumbent this is exactly the cold solve: the greedy
+    /// hitting set seeds the bound and the search always runs.
+    pub fn solve_with_incumbent(
+        &self,
+        reduced: &ReducedSets,
+        incumbent: Option<&[u32]>,
+        scratch: &mut ExactScratch,
+    ) -> Result<DenseExactOutcome, BudgetExhausted> {
+        if reduced.is_empty() {
+            return Ok(DenseExactOutcome {
+                resilience: Some(0),
+                ..DenseExactOutcome::default()
+            });
+        }
+        if reduced.has_unhittable_set() {
+            return Ok(DenseExactOutcome::default());
+        }
+        let universe = reduced.universe();
+        let blocks = universe.div_ceil(64);
+        let num_sets = reduced.len();
+
+        // Incumbent screening runs BEFORE any bitset or greedy work: a
+        // short-circuited step then costs two O(total-elements) passes over
+        // the CSR arena and nothing else.
+        let mut feasible_incumbent: Option<&[u32]> = None;
+        let mut skip_greedy = false;
+        if let Some(inc) = incumbent {
+            if incumbent_is_feasible(reduced, inc, &mut scratch.marks) {
+                feasible_incumbent = Some(inc);
+                // Fresh lower bound: a maximal packing of pairwise-disjoint
+                // sets. If the incumbent already matches it, it is optimal
+                // and the search (and its setup) are skipped entirely.
+                let lb = csr_packing_bound(reduced, &mut scratch.marks);
+                if inc.len() == lb {
+                    let mut contingency = inc.to_vec();
+                    contingency.sort_unstable();
+                    return Ok(DenseExactOutcome {
+                        resilience: Some(contingency.len()),
+                        contingency,
+                        nodes_explored: 0,
+                        incumbent_seeded: true,
+                        short_circuit: true,
+                    });
                 }
-                bits
-            })
-            .collect();
+                // An incumbent within a couple of deletions of the lower
+                // bound is already a near-optimal seed: the greedy pass
+                // cannot tighten the bound by much, so skip it.
+                skip_greedy = inc.len() <= lb + 2;
+            }
+        }
 
-        let best = greedy_hitting_set_dense(&sets_elems, universe.len());
+        // Flat bitset arena: set `i` occupies `bits[i*blocks..(i+1)*blocks]`.
+        scratch.bits.clear();
+        scratch.bits.resize(num_sets * blocks, 0);
+        for (i, s) in reduced.iter().enumerate() {
+            let row = &mut scratch.bits[i * blocks..(i + 1) * blocks];
+            for &e in s {
+                row[(e / 64) as usize] |= 1u64 << (e % 64);
+            }
+        }
+        scratch.chosen.clear();
+        scratch.chosen.resize(blocks, 0);
+        scratch.pack.clear();
+        scratch.pack.resize(blocks, 0);
+
+        // A verified-feasible incumbent of at most the greedy's size takes
+        // over as the initial bound (ties prefer the incumbent so unchanged
+        // optima are reused across session steps); near-optimal incumbents
+        // replace the greedy pass outright.
+        let mut incumbent_seeded = false;
+        scratch.best.clear();
+        match feasible_incumbent {
+            Some(inc) if skip_greedy => {
+                incumbent_seeded = true;
+                scratch.best.extend_from_slice(inc);
+            }
+            Some(inc) => {
+                greedy_hitting_set_dense(reduced, scratch);
+                if inc.len() <= scratch.greedy.len() {
+                    incumbent_seeded = true;
+                    scratch.best.extend_from_slice(inc);
+                } else {
+                    scratch.best.extend_from_slice(&scratch.greedy);
+                }
+            }
+            None => {
+                greedy_hitting_set_dense(reduced, scratch);
+                scratch.best.extend_from_slice(&scratch.greedy);
+            }
+        }
+
         let mut state = SearchState {
-            sets_elems,
-            sets_bits,
-            chosen: vec![0u64; blocks],
-            scratch: vec![0u64; blocks],
-            best,
+            sets: reduced,
+            bits: &scratch.bits,
+            blocks,
+            chosen: &mut scratch.chosen,
+            pack: &mut scratch.pack,
+            best: &mut scratch.best,
             node_limit: self.node_limit,
             nodes: 0,
         };
-        let mut current: Vec<u32> = Vec::new();
-        if !state.branch(&mut current) {
+        scratch.current.clear();
+        let mut current = std::mem::take(&mut scratch.current);
+        let alive = state.branch(&mut current);
+        let nodes = state.nodes;
+        scratch.current = current;
+        if !alive {
             return Err(BudgetExhausted {
-                nodes_explored: state.nodes,
+                nodes_explored: nodes,
             });
         }
 
-        let mut contingency: Vec<TupleId> =
-            state.best.iter().map(|&e| universe[e as usize]).collect();
+        let mut contingency = scratch.best.clone();
         contingency.sort_unstable();
-        Ok(ExactResult {
+        Ok(DenseExactOutcome {
             resilience: Some(contingency.len()),
             contingency,
-            nodes_explored: state.nodes,
+            nodes_explored: nodes,
+            incumbent_seeded,
+            short_circuit: false,
         })
     }
 
@@ -207,51 +363,122 @@ fn intersects(bits: &[u64], chosen: &[u64]) -> bool {
     bits.iter().zip(chosen).any(|(&b, &c)| b & c != 0)
 }
 
-struct SearchState {
-    /// Per reduced witness set, its dense elements (for branching).
-    sets_elems: Vec<Vec<u32>>,
-    /// Per reduced witness set, the same elements as a packed bitset.
-    sets_bits: Vec<Vec<u64>>,
+/// Does the incumbent hit every set? Runs on the CSR arena directly with a
+/// reusable bool mask — no bitsets are built for rejected (or
+/// short-circuited) incumbents.
+fn incumbent_is_feasible(reduced: &ReducedSets, incumbent: &[u32], marks: &mut Vec<bool>) -> bool {
+    marks.clear();
+    marks.resize(reduced.universe(), false);
+    for &e in incumbent {
+        if (e as usize) >= reduced.universe() {
+            return false;
+        }
+        marks[e as usize] = true;
+    }
+    reduced.iter().all(|s| s.iter().any(|&e| marks[e as usize]))
+}
+
+/// Maximal greedy packing of pairwise-disjoint sets over the CSR arena (the
+/// root lower bound, bool-array form for the pre-search short-circuit).
+/// Shared with [`crate::approx::packing_lower_bound`] so the approximation
+/// module and the short-circuit decision can never disagree on the bound.
+pub(crate) fn csr_packing_bound(reduced: &ReducedSets, marks: &mut Vec<bool>) -> usize {
+    marks.clear();
+    marks.resize(reduced.universe(), false);
+    let mut bound = 0usize;
+    for s in reduced.iter() {
+        // An empty set forces nothing deletable and must not count (it can
+        // only appear on unfalsifiable instances, which the solver screens
+        // out before calling; the public approx wrapper does not).
+        if s.is_empty() || s.iter().any(|&e| marks[e as usize]) {
+            continue;
+        }
+        bound += 1;
+        for &e in s {
+            marks[e as usize] = true;
+        }
+    }
+    bound
+}
+
+struct SearchState<'a> {
+    /// The reduced witness sets (dense elements, for branching).
+    sets: &'a ReducedSets,
+    /// Flat bitset arena: set `i` is `bits[i*blocks..(i+1)*blocks]`.
+    bits: &'a [u64],
+    blocks: usize,
     /// Bitset of the tuples selected along the current branch.
-    chosen: Vec<u64>,
+    chosen: &'a mut [u64],
     /// Scratch buffer for the lower-bound packing (no per-node allocation).
-    scratch: Vec<u64>,
-    best: Vec<u32>,
+    pack: &'a mut [u64],
+    best: &'a mut Vec<u32>,
     node_limit: usize,
     nodes: usize,
 }
 
-impl SearchState {
+impl SearchState<'_> {
     /// Explores one branch-and-bound node. Returns `false` when the node
     /// budget is exhausted (the search is then abandoned wholesale).
+    ///
+    /// One merged pass over the sets computes both the packing lower bound
+    /// (pairwise-disjoint uncovered sets each force a deletion) and the
+    /// branch pick (the uncovered set with the fewest tuples); universes of
+    /// at most 64 dense ids take a single-word fast path.
     fn branch(&mut self, current: &mut Vec<u32>) -> bool {
         if self.nodes >= self.node_limit {
             return false;
         }
         self.nodes += 1;
-        if current.len() + self.lower_bound() >= self.best.len() {
-            return true;
-        }
-        // Pick the uncovered set with the fewest tuples.
+        let mut bound = 0usize;
         let mut pick: Option<usize> = None;
-        for (i, bits) in self.sets_bits.iter().enumerate() {
-            if intersects(bits, &self.chosen) {
-                continue;
+        if self.blocks == 1 {
+            let chosen0 = self.chosen[0];
+            let mut pack0 = chosen0;
+            for (i, &b) in self.bits.iter().enumerate() {
+                if b & chosen0 != 0 {
+                    continue;
+                }
+                match pick {
+                    Some(p) if self.sets.set(p).len() <= self.sets.set(i).len() => {}
+                    _ => pick = Some(i),
+                }
+                if b & pack0 == 0 {
+                    bound += 1;
+                    pack0 |= b;
+                }
             }
-            match pick {
-                Some(p) if self.sets_elems[p].len() <= self.sets_elems[i].len() => {}
-                _ => pick = Some(i),
+        } else {
+            self.pack.copy_from_slice(self.chosen);
+            for i in 0..self.sets.len() {
+                let row = &self.bits[i * self.blocks..(i + 1) * self.blocks];
+                if intersects(row, self.chosen) {
+                    continue;
+                }
+                match pick {
+                    Some(p) if self.sets.set(p).len() <= self.sets.set(i).len() => {}
+                    _ => pick = Some(i),
+                }
+                if !intersects(row, self.pack) {
+                    bound += 1;
+                    for (s, &b) in self.pack.iter_mut().zip(row) {
+                        *s |= b;
+                    }
+                }
             }
+        }
+        if current.len() + bound >= self.best.len() {
+            return true;
         }
         let Some(pick) = pick else {
             // Everything covered: `current` is a hitting set.
             if current.len() < self.best.len() {
-                self.best = current.clone();
+                self.best.clear();
+                self.best.extend_from_slice(current);
             }
             return true;
         };
-        for j in 0..self.sets_elems[pick].len() {
-            let e = self.sets_elems[pick][j];
+        for j in 0..self.sets.set(pick).len() {
+            let e = self.sets.set(pick)[j];
             current.push(e);
             self.chosen[(e / 64) as usize] |= 1u64 << (e % 64);
             let alive = self.branch(current);
@@ -263,32 +490,26 @@ impl SearchState {
         }
         true
     }
-
-    /// Lower bound: greedily pack witness sets that are pairwise disjoint and
-    /// disjoint from the current selection — each needs its own deletion.
-    fn lower_bound(&mut self) -> usize {
-        self.scratch.copy_from_slice(&self.chosen);
-        let mut bound = 0usize;
-        for bits in &self.sets_bits {
-            if intersects(bits, &self.scratch) {
-                continue;
-            }
-            bound += 1;
-            for (s, &b) in self.scratch.iter_mut().zip(bits) {
-                *s |= b;
-            }
-        }
-        bound
-    }
 }
 
-/// Greedy hitting set over dense element ids: repeatedly pick the element
-/// covering the most uncovered sets (ties broken towards the smaller id).
-pub(crate) fn greedy_hitting_set_dense(sets: &[Vec<u32>], universe: usize) -> Vec<u32> {
-    let mut covered = vec![false; sets.len()];
+/// Greedy hitting set over the reduced sets' dense element ids: repeatedly
+/// pick the element covering the most uncovered sets (ties broken towards
+/// the smaller id). The result lands in `scratch.greedy`; all working
+/// buffers are reused.
+pub(crate) fn greedy_hitting_set_dense<'a>(
+    sets: &ReducedSets,
+    scratch: &'a mut ExactScratch,
+) -> &'a [u32] {
+    let universe = sets.universe();
+    scratch.covered.clear();
+    scratch.covered.resize(sets.len(), false);
+    scratch.counts.clear();
+    scratch.counts.resize(universe, 0);
+    scratch.greedy.clear();
+    let covered = &mut scratch.covered;
+    let counts = &mut scratch.counts;
+    let result = &mut scratch.greedy;
     let mut remaining = sets.len();
-    let mut counts = vec![0u32; universe];
-    let mut result: Vec<u32> = Vec::new();
     while remaining > 0 {
         counts.iter_mut().for_each(|c| *c = 0);
         for (i, set) in sets.iter().enumerate() {
@@ -319,39 +540,11 @@ pub(crate) fn greedy_hitting_set_dense(sets: &[Vec<u32>], universe: usize) -> Ve
     result
 }
 
-/// Greedy hitting set: repeatedly pick the tuple covering the most uncovered
-/// witness sets. Provides the initial upper bound for branch and bound and a
-/// standalone approximation useful for large hard instances.
-#[deprecated(
-    since = "0.1.0",
-    note = "use resilience_core::approx::greedy_upper_bound, which runs in the witness set's \
-            dense tuple space without building a renumbering map"
-)]
-pub fn greedy_hitting_set(sets: &[Vec<TupleId>]) -> Vec<TupleId> {
-    // Renumber into a dense space, run the dense greedy, map back.
-    let mut universe: Vec<TupleId> = sets.iter().flatten().copied().collect();
-    universe.sort_unstable();
-    universe.dedup();
-    let dense: FxHashMap<TupleId, u32> = universe
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| (t, i as u32))
-        .collect();
-    let dense_sets: Vec<Vec<u32>> = sets
-        .iter()
-        .map(|s| s.iter().map(|t| dense[t]).collect())
-        .collect();
-    greedy_hitting_set_dense(&dense_sets, universe.len())
-        .into_iter()
-        .map(|e| universe[e as usize])
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use cq::parse_query;
-    use database::Database;
+    use database::{Database, ReducedSets};
 
     fn solve(q: &str, rows: &[(&str, &[u64])]) -> Option<usize> {
         let q = parse_query(q).unwrap();
@@ -505,15 +698,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn greedy_hitting_set_hits_everything() {
-        let sets = vec![
-            vec![TupleId(1), TupleId(2)],
-            vec![TupleId(2), TupleId(3)],
-            vec![TupleId(4)],
-        ];
-        let hs = greedy_hitting_set(&sets);
-        for set in &sets {
+        let reduced = ReducedSets::from_sets([vec![1u32, 2], vec![2, 3], vec![4]], 5);
+        let mut scratch = ExactScratch::new();
+        greedy_hitting_set_dense(&reduced, &mut scratch);
+        let hs = scratch.greedy.clone();
+        for set in reduced.iter() {
             assert!(set.iter().any(|t| hs.contains(t)));
         }
         assert!(hs.len() <= 3);
@@ -521,11 +711,112 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "uncovered sets are non-empty")]
-    #[allow(deprecated)]
     fn greedy_hitting_set_panics_on_unhittable_empty_set() {
         // An empty set can never be hit; a silent hang or wrong answer here
-        // would poison every caller, so the contract is a loud panic.
-        greedy_hitting_set(&[vec![], vec![TupleId(1)]]);
+        // would poison every caller, so the contract is a loud panic. (All
+        // production callers screen empty sets out through
+        // `ReducedSets::has_unhittable_set` first.)
+        let reduced = ReducedSets::from_sets([vec![], vec![1u32]], 2);
+        greedy_hitting_set_dense(&reduced, &mut ExactScratch::new());
+    }
+
+    /// The reduced sets of the paper's chain example in dense space:
+    /// universe {R(1,2)=0, R(2,3)=1, R(3,3)=2}, sets {2} and {0,1}
+    /// (the singleton subsumes both witnesses through R(3,3)).
+    fn chain_reduced() -> ReducedSets {
+        ReducedSets::from_sets([vec![2u32], vec![0, 1]], 3)
+    }
+
+    #[test]
+    fn feasible_incumbent_seeds_and_short_circuits() {
+        let solver = ExactSolver::new();
+        let mut scratch = ExactScratch::new();
+        // Cold solve: optimum 2.
+        let cold = solver
+            .solve_with_incumbent(&chain_reduced(), None, &mut scratch)
+            .unwrap();
+        assert_eq!(cold.resilience, Some(2));
+        assert!(!cold.incumbent_seeded && !cold.short_circuit);
+        assert!(cold.nodes_explored > 0);
+        // Warm solve with the previous optimum as incumbent: the packing
+        // lower bound is also 2 ({2} and {0,1} are disjoint), so the search
+        // is skipped entirely and the incumbent is returned verbatim.
+        let incumbent = cold.contingency.clone();
+        let warm = solver
+            .solve_with_incumbent(&chain_reduced(), Some(&incumbent), &mut scratch)
+            .unwrap();
+        assert_eq!(warm.resilience, cold.resilience);
+        assert_eq!(warm.contingency, incumbent);
+        assert!(warm.incumbent_seeded && warm.short_circuit);
+        assert_eq!(warm.nodes_explored, 0);
+    }
+
+    #[test]
+    fn stale_incumbent_never_prunes_the_true_optimum() {
+        let solver = ExactSolver::new();
+        let mut scratch = ExactScratch::new();
+        // {0} misses the set {2}: an infeasible ("stale") incumbent. If it
+        // were trusted as an upper bound of 1 it would prune the true
+        // optimum (2); the feasibility check must reject it.
+        let stale = vec![0u32];
+        let out = solver
+            .solve_with_incumbent(&chain_reduced(), Some(&stale), &mut scratch)
+            .unwrap();
+        assert_eq!(out.resilience, Some(2));
+        assert!(!out.incumbent_seeded, "stale incumbent must be ignored");
+        assert!(!out.short_circuit);
+        // A stale incumbent referencing ids outside the universe is also
+        // rejected rather than indexing out of bounds.
+        let out_of_range = vec![7u32];
+        let out2 = solver
+            .solve_with_incumbent(&chain_reduced(), Some(&out_of_range), &mut scratch)
+            .unwrap();
+        assert_eq!(out2.resilience, Some(2));
+        assert!(!out2.incumbent_seeded);
+    }
+
+    #[test]
+    fn suboptimal_feasible_incumbent_still_finds_the_optimum() {
+        let solver = ExactSolver::new();
+        let mut scratch = ExactScratch::new();
+        // {0,1,2} hits everything but is larger than the optimum: the search
+        // must still find the 2-element optimum. (The greedy bound is
+        // already <= 3, so the oversized incumbent is simply not seeded.)
+        let fat = vec![0u32, 1, 2];
+        let out = solver
+            .solve_with_incumbent(&chain_reduced(), Some(&fat), &mut scratch)
+            .unwrap();
+        assert_eq!(out.resilience, Some(2));
+    }
+
+    #[test]
+    fn incumbent_outcomes_match_cold_solves_on_random_instances() {
+        // Differential: warm (with the cold optimum as incumbent) and cold
+        // dense solves agree on the value for randomized chain instances.
+        use workloads::Workload;
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        for seed in 0..6u64 {
+            let db = Workload::new(seed).random_graph_relation(&q, "R", 8, 0.3);
+            let ws = WitnessSet::build(&q, &db);
+            let reduced = ws.reduced();
+            let solver = ExactSolver::new();
+            let mut scratch = ExactScratch::new();
+            let cold = solver
+                .solve_with_incumbent(&reduced, None, &mut scratch)
+                .unwrap();
+            let warm = solver
+                .solve_with_incumbent(&reduced, Some(&cold.contingency.clone()), &mut scratch)
+                .unwrap();
+            assert_eq!(cold.resilience, warm.resilience, "seed {seed}");
+            // The warm result is a valid hitting set of the same size.
+            assert_eq!(warm.contingency.len(), cold.contingency.len());
+            for set in reduced.iter() {
+                assert!(
+                    set.iter().any(|e| warm.contingency.contains(e)),
+                    "seed {seed}: warm result misses a set"
+                );
+            }
+        }
     }
 
     #[test]

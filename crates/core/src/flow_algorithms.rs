@@ -23,24 +23,65 @@
 use cq::linear::linear_order_all;
 use cq::patterns::single_self_join_relation;
 use cq::Query;
-use database::{FxHashMap, TupleId, TupleStore, WitnessSet};
+use database::{FxHashMap, TupleId, TupleStore, WitnessSet, WitnessView};
 use flow::{VertexCutNetwork, INF};
 use std::collections::HashSet;
 
-/// Dense tuple -> network-node map (indexed by `TupleId`), allocated once
-/// per construction instead of hashing tuples at every witness step.
-struct NodeMap {
+/// Reusable buffers for the flow constructions: the tuple → node map, the
+/// edge list, the vertex-cut network and the cuttability mask all survive
+/// across solves, so a deletion-session step re-runs a flow without
+/// allocating per witness (or per tuple, after the first solve).
+#[derive(Clone, Debug, Default)]
+pub struct FlowScratch {
     /// `node_of[t]` is the node of tuple `t`, or `u32::MAX` when unmapped.
     node_of: Vec<u32>,
+    /// Tuples assigned a node in the current run (for cheap reset).
+    touched: Vec<TupleId>,
     /// `tuple_of[n]` is the tuple placed on node `n` (valid for tuple nodes).
     tuple_of: Vec<Option<TupleId>>,
+    /// Edge list under construction (deduplicated before insertion).
+    edges: Vec<(u32, u32)>,
+    /// Combined cuttability mask buffer (endogenous minus frozen tuples).
+    cuttable: Vec<bool>,
+    /// Pair-node lookup for the permutation construction.
+    pair_node: FxHashMap<(TupleId, TupleId), u32>,
+    /// The vertex-capacitated network (cleared, not reallocated).
+    network: VertexCutNetwork,
 }
 
-impl NodeMap {
-    fn new(num_tuples: usize, reserved_nodes: usize) -> NodeMap {
+impl FlowScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Dense tuple -> network-node map over borrowed scratch buffers; resetting
+/// touches only the tuples mapped by the previous run.
+struct NodeMap<'s> {
+    node_of: &'s mut Vec<u32>,
+    touched: &'s mut Vec<TupleId>,
+    tuple_of: &'s mut Vec<Option<TupleId>>,
+}
+
+impl<'s> NodeMap<'s> {
+    fn prepare(
+        node_of: &'s mut Vec<u32>,
+        touched: &'s mut Vec<TupleId>,
+        tuple_of: &'s mut Vec<Option<TupleId>>,
+        num_tuples: usize,
+    ) -> NodeMap<'s> {
+        if node_of.len() < num_tuples {
+            node_of.resize(num_tuples, u32::MAX);
+        }
+        for t in touched.drain(..) {
+            node_of[t.index()] = u32::MAX;
+        }
+        tuple_of.clear();
         NodeMap {
-            node_of: vec![u32::MAX; num_tuples],
-            tuple_of: vec![None; reserved_nodes],
+            node_of,
+            touched,
+            tuple_of,
         }
     }
 
@@ -52,6 +93,7 @@ impl NodeMap {
         }
         let n = network.add_vertex(capacity);
         *slot = n as u32;
+        self.touched.push(t);
         if self.tuple_of.len() <= n {
             self.tuple_of.resize(n + 1, None);
         }
@@ -120,34 +162,81 @@ pub fn witness_path_flow_opts<S: TupleStore + ?Sized>(
     uncuttable: &HashSet<TupleId>,
     want_contingency: bool,
 ) -> Option<FlowResult> {
-    if ws.is_empty() {
+    let mut scratch = FlowScratch::new();
+    // Dense cuttability mask: endogenous and not frozen by the caller.
+    scratch.cuttable = db.endogenous_mask(q);
+    for t in uncuttable {
+        scratch.cuttable[t.index()] = false;
+    }
+    witness_path_flow_core(db, ws.view(), atom_order, want_contingency, &mut scratch)
+}
+
+/// [`witness_path_flow_opts`] over a (possibly live-restricted)
+/// [`WitnessView`] with caller-owned scratch. `scratch.cuttable` must hold
+/// the cuttability mask (endogenous tuples minus any caller-frozen ones)
+/// before the call — session callers cache it across steps.
+pub fn witness_path_flow_live<S: TupleStore + ?Sized>(
+    db: &S,
+    view: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+) -> Option<FlowResult> {
+    witness_path_flow_core(db, view, atom_order, want_contingency, scratch)
+}
+
+/// Seeds `scratch.cuttable` with the endogenous mask of `q` over `db`
+/// (reusing the buffer). Callers may then freeze further tuples before
+/// running [`witness_path_flow_live`].
+pub fn seed_cuttable_mask<S: TupleStore + ?Sized>(q: &Query, db: &S, scratch: &mut FlowScratch) {
+    db.endogenous_mask_into(q, &mut scratch.cuttable);
+}
+
+/// Marks `t` uncuttable in `scratch.cuttable`.
+pub fn freeze_tuple(t: TupleId, scratch: &mut FlowScratch) {
+    if t.index() < scratch.cuttable.len() {
+        scratch.cuttable[t.index()] = false;
+    }
+}
+
+fn witness_path_flow_core<S: TupleStore + ?Sized>(
+    db: &S,
+    view: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+) -> Option<FlowResult> {
+    if view.is_empty() {
         return Some(FlowResult {
             resilience: 0,
             contingency: Vec::new(),
         });
     }
-    // Dense cuttability mask: endogenous and not frozen by the caller.
-    let mut cuttable_mask = db.endogenous_mask(q);
-    for t in uncuttable {
-        cuttable_mask[t.index()] = false;
-    }
-
-    let mut network = VertexCutNetwork::new();
+    let FlowScratch {
+        node_of,
+        touched,
+        tuple_of,
+        edges,
+        cuttable,
+        network,
+        ..
+    } = scratch;
+    network.clear();
     let source = network.add_vertex(INF);
     let target = network.add_vertex(INF);
-    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples().len());
+    let mut nodes = NodeMap::prepare(node_of, touched, tuple_of, db.num_tuples());
 
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    for w in &ws.witnesses {
+    edges.clear();
+    for w in view.witnesses() {
         // Check the witness can be destroyed at all.
-        if !w.atom_tuples.iter().any(|t| cuttable_mask[t.index()]) {
+        if !w.atom_tuples.iter().any(|t| cuttable[t.index()]) {
             return None;
         }
         let mut prev = source;
         for &atom_idx in atom_order {
             let t = w.atom_tuples[atom_idx];
-            let cap = if cuttable_mask[t.index()] { 1 } else { INF };
-            let n = nodes.node(t, &mut network, cap);
+            let cap = if cuttable[t.index()] { 1 } else { INF };
+            let n = nodes.node(t, network, cap);
             if n != prev {
                 edges.push((prev as u32, n as u32));
             }
@@ -155,8 +244,8 @@ pub fn witness_path_flow_opts<S: TupleStore + ?Sized>(
         }
         edges.push((prev as u32, target as u32));
     }
-    dedup_edges(&mut edges);
-    for (from, to) in edges {
+    dedup_edges(edges);
+    for &(from, to) in edges.iter() {
         network.add_edge(from as usize, to as usize);
     }
     if !want_contingency {
@@ -191,15 +280,22 @@ pub fn linear_query_flow<S: TupleStore + ?Sized>(q: &Query, db: &S) -> Option<Fl
 /// some witness has more than two endogenous tuples, no endogenous tuple, or
 /// the conflict graph is not bipartite.
 pub fn pairwise_bipartite_resilience(ws: &WitnessSet) -> Option<usize> {
+    pairwise_bipartite_resilience_view(ws.view())
+}
+
+/// [`pairwise_bipartite_resilience`] over a (possibly live-restricted)
+/// [`WitnessView`] — the engine's deletion sessions pass the live rows
+/// directly instead of materializing a filtered witness set.
+pub fn pairwise_bipartite_resilience_view(view: WitnessView<'_>) -> Option<usize> {
     use satgad::UndirectedGraph;
 
     // The witness set's CSR index already renumbers the relevant tuples into
     // a dense `0..k` space; use it as the vertex numbering directly.
-    let num_vertices = ws.relevant_tuples().len();
-    let dense = |t: TupleId| ws.dense_id_of(t).expect("relevant tuple has a dense id") as usize;
+    let num_vertices = view.relevant_tuples().len();
+    let dense = |t: TupleId| view.dense_id_of(t).expect("relevant tuple has a dense id") as usize;
     let mut graph = UndirectedGraph::new(num_vertices);
     let mut forced: HashSet<usize> = HashSet::new();
-    for set in ws.endogenous_sets() {
+    for set in view.endogenous_sets() {
         match set.len() {
             0 => return None,
             1 => {
@@ -247,17 +343,31 @@ pub fn permutation_flow_with<S: TupleStore + ?Sized>(
     ws: &WitnessSet,
     want_contingency: bool,
 ) -> Option<FlowResult> {
+    let mut scratch = FlowScratch::new();
+    seed_cuttable_mask(q, db, &mut scratch);
+    permutation_flow_live(q, db, ws.view(), want_contingency, &mut scratch)
+}
+
+/// [`permutation_flow_with`] over a (possibly live-restricted)
+/// [`WitnessView`] with caller-owned scratch. `scratch.cuttable` must hold
+/// the endogenous mask of `q` (see [`seed_cuttable_mask`]).
+pub fn permutation_flow_live<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    view: WitnessView<'_>,
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+) -> Option<FlowResult> {
     let (rel, r_atoms) = single_self_join_relation(q)?;
     if r_atoms.len() != 2 {
         return None;
     }
-    if ws.is_empty() {
+    if view.is_empty() {
         return Some(FlowResult {
             resilience: 0,
             contingency: Vec::new(),
         });
     }
-    let endo = db.endogenous_mask(q);
     let r_is_endogenous = r_atoms.iter().any(|&i| !q.atom(i).exogenous);
 
     // Order of the non-R atoms: keep query order restricted to endogenous
@@ -266,21 +376,30 @@ pub fn permutation_flow_with<S: TupleStore + ?Sized>(
         .filter(|i| !r_atoms.contains(i) && !q.atom(*i).exogenous)
         .collect();
 
-    let mut network = VertexCutNetwork::new();
+    let FlowScratch {
+        node_of,
+        touched,
+        tuple_of,
+        edges,
+        cuttable: endo,
+        pair_node,
+        network,
+    } = scratch;
+    network.clear();
     let source = network.add_vertex(INF);
     let target = network.add_vertex(INF);
-    let mut nodes = NodeMap::new(db.num_tuples(), 2 + ws.relevant_tuples().len());
-    let mut pair_node: FxHashMap<(TupleId, TupleId), u32> = FxHashMap::default();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut nodes = NodeMap::prepare(node_of, touched, tuple_of, db.num_tuples());
+    pair_node.clear();
+    edges.clear();
 
     let _ = rel; // the relation id is implied by `r_atoms`
 
-    for w in &ws.witnesses {
+    for w in view.witnesses() {
         let mut prev = source;
         for &atom_idx in &left_atoms {
             let t = w.atom_tuples[atom_idx];
             let cap = if endo[t.index()] { 1 } else { INF };
-            let n = nodes.node(t, &mut network, cap);
+            let n = nodes.node(t, network, cap);
             if n != prev {
                 edges.push((prev as u32, n as u32));
             }
@@ -314,8 +433,8 @@ pub fn permutation_flow_with<S: TupleStore + ?Sized>(
             return None;
         }
     }
-    dedup_edges(&mut edges);
-    for (from, to) in edges {
+    dedup_edges(edges);
+    for &(from, to) in edges.iter() {
         network.add_edge(from as usize, to as usize);
     }
     if !want_contingency {
@@ -365,16 +484,32 @@ pub fn rep_flow_with<S: TupleStore + ?Sized>(
     atom_order: &[usize],
     want_contingency: bool,
 ) -> Option<FlowResult> {
+    let mut scratch = FlowScratch::new();
+    seed_cuttable_mask(q, db, &mut scratch);
+    rep_flow_live(q, db, ws.view(), atom_order, want_contingency, &mut scratch)
+}
+
+/// [`rep_flow_with`] over a (possibly live-restricted) [`WitnessView`] with
+/// caller-owned scratch. `scratch.cuttable` must hold the endogenous mask of
+/// `q` on entry; the off-diagonal REP tuples are frozen in place here
+/// (Proposition 36: they are never needed in a minimum contingency set).
+pub fn rep_flow_live<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    view: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+) -> Option<FlowResult> {
     let (rel, _) = single_self_join_relation(q)?;
     let db_rel = db.schema().relation_id(q.schema().name(rel))?;
-    let mut uncuttable: HashSet<TupleId> = HashSet::new();
     for &t in db.tuples_of(db_rel) {
         let vals = db.values_of(t);
         if vals.len() == 2 && vals[0] != vals[1] {
-            uncuttable.insert(t);
+            freeze_tuple(t, scratch);
         }
     }
-    witness_path_flow_opts(q, db, ws, atom_order, &uncuttable, want_contingency)
+    witness_path_flow_core(db, view, atom_order, want_contingency, scratch)
 }
 
 #[cfg(test)]

@@ -41,4 +41,4 @@ pub use instance::Database;
 pub use interner::ConstPool;
 pub use store::{copy_without, copy_without_mask, TupleStore};
 pub use tuple::{Constant, TupleId};
-pub use witness::{WitnessIndex, WitnessSet};
+pub use witness::{ReducedScratch, ReducedSets, WitnessIndex, WitnessSet, WitnessView};

@@ -67,6 +67,15 @@ pub trait TupleStore {
     /// query and store may hold structurally identical but separately-built
     /// schemas.
     fn endogenous_mask(&self, q: &Query) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.endogenous_mask_into(q, &mut out);
+        out
+    }
+
+    /// [`TupleStore::endogenous_mask`] into a caller-owned buffer (cleared
+    /// first), so repeated solves — the engine's session steps — reuse the
+    /// allocation.
+    fn endogenous_mask_into(&self, q: &Query, out: &mut Vec<bool>) {
         let schema = self.schema();
         let mut endo_rel = vec![false; schema.len()];
         for i in q.endogenous_atoms() {
@@ -75,9 +84,10 @@ pub trait TupleStore {
                 endo_rel[r.index()] = true;
             }
         }
-        (0..self.num_tuples() as u32)
-            .map(|i| endo_rel[self.relation_of(TupleId(i)).index()])
-            .collect()
+        out.clear();
+        out.extend(
+            (0..self.num_tuples() as u32).map(|i| endo_rel[self.relation_of(TupleId(i)).index()]),
+        );
     }
 }
 

@@ -19,7 +19,7 @@ use crate::eval::{witnesses, Witness};
 use crate::store::TupleStore;
 use crate::tuple::TupleId;
 use cq::Query;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Flat CSR incidence between witnesses and the tuples they use.
 ///
@@ -389,79 +389,289 @@ impl WitnessSet {
         WitnessSet { witnesses, index }
     }
 
-    /// For each relevant tuple, how many witnesses it participates in.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use WitnessSet::degree (O(1), no HashMap build) or iterate relevant_tuples()"
-    )]
-    pub fn participation_counts(&self) -> HashMap<TupleId, usize> {
-        self.relevant_tuples()
+    /// A borrowed view of every witness (see [`WitnessView`]).
+    pub fn view(&self) -> WitnessView<'_> {
+        WitnessView::full(self)
+    }
+
+    /// The reduced witness sets (deduplicated, supersets dropped) as a fresh
+    /// CSR [`ReducedSets`]. Repeated solvers should prefer
+    /// [`WitnessView::reduced_into`] with caller-owned buffers; this
+    /// convenience allocates its own.
+    pub fn reduced(&self) -> ReducedSets {
+        let mut out = ReducedSets::default();
+        self.view()
+            .reduced_into(&mut out, &mut ReducedScratch::default());
+        out
+    }
+}
+
+/// A borrowed view of a [`WitnessSet`], optionally restricted to a subset of
+/// its witness rows.
+///
+/// The engine's deletion sessions know which witnesses survive the current
+/// deletion state (live counters); this view lets every solver iterate just
+/// those rows *in place* — no witness cloning, no index rebuild, no
+/// re-derivation of liveness. Dense tuple ids of a live view stay those of
+/// the **full** witness set (`relevant_tuples()` is unchanged): deleted
+/// tuples simply appear in no selected row, so solvers pay at most a few
+/// unused bitset slots instead of a renumbering pass.
+#[derive(Clone, Copy, Debug)]
+pub struct WitnessView<'a> {
+    ws: &'a WitnessSet,
+    /// Selected witness rows, ascending; `None` selects every row.
+    rows: Option<&'a [u32]>,
+}
+
+impl<'a> WitnessView<'a> {
+    /// A view of every witness of `ws`.
+    pub fn full(ws: &'a WitnessSet) -> WitnessView<'a> {
+        WitnessView { ws, rows: None }
+    }
+
+    /// A view restricted to the given witness rows (in the given order).
+    pub fn live(ws: &'a WitnessSet, rows: &'a [u32]) -> WitnessView<'a> {
+        WitnessView {
+            ws,
+            rows: Some(rows),
+        }
+    }
+
+    /// Number of selected witnesses.
+    pub fn len(&self) -> usize {
+        match self.rows {
+            Some(rows) => rows.len(),
+            None => self.ws.len(),
+        }
+    }
+
+    /// Whether no witness is selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The selected row indices, ascending.
+    pub fn row_indices(&self) -> impl Iterator<Item = u32> + 'a {
+        let all = self.rows.is_none();
+        let total = self.ws.len() as u32;
+        self.rows
+            .unwrap_or(&[])
             .iter()
-            .map(|&t| (t, self.degree(t)))
-            .collect()
+            .copied()
+            .chain(0..if all { total } else { 0 })
     }
 
-    /// The witnesses (indices) in which tuple `t` participates.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use WitnessSet::witnesses_of (borrowed CSR row, no scan/alloc)"
-    )]
-    pub fn witnesses_of_tuple(&self, t: TupleId) -> Vec<usize> {
-        self.witnesses_of(t).iter().map(|&w| w as usize).collect()
+    /// The selected raw witnesses, in row order.
+    pub fn witnesses(&self) -> impl Iterator<Item = &'a Witness> + 'a {
+        let ws = self.ws;
+        self.row_indices().map(move |w| &ws.witnesses[w as usize])
     }
 
-    /// A deduplicated copy of the endogenous witness sets: repeated sets are
-    /// collapsed and supersets of other sets are dropped (hitting a subset
-    /// automatically hits its supersets). This is a safe preprocessing step
-    /// for minimum hitting set.
-    pub fn reduced_sets(&self) -> Vec<Vec<TupleId>> {
-        let relevant = self.relevant_tuples();
-        self.reduced_dense_sets()
-            .into_iter()
-            .map(|s| s.iter().map(|&d| relevant[d as usize]).collect())
-            .collect()
+    /// The selected per-witness endogenous tuple sets (borrowed CSR rows).
+    pub fn endogenous_sets(&self) -> impl Iterator<Item = &'a [TupleId]> + 'a {
+        let ws = self.ws;
+        self.row_indices().map(move |w| ws.index.row(w as usize))
     }
 
-    /// [`WitnessSet::reduced_sets`] over dense tuple ids (positions in
-    /// [`WitnessSet::relevant_tuples`]); the form the exact solver packs
-    /// into bitsets directly.
+    /// The full set's relevant tuples (a superset of the live view's; dense
+    /// ids index into this slice).
+    pub fn relevant_tuples(&self) -> &'a [TupleId] {
+        self.ws.relevant_tuples()
+    }
+
+    /// Dense id of `t` in the full set's dense space.
+    #[inline]
+    pub fn dense_id_of(&self, t: TupleId) -> Option<u32> {
+        self.ws.dense_id_of(t)
+    }
+
+    /// `true` if some selected witness uses no endogenous tuple.
+    pub fn has_undeletable_witness(&self) -> bool {
+        match self.rows {
+            None => self.ws.has_undeletable_witness(),
+            Some(rows) => rows
+                .iter()
+                .any(|&w| self.ws.index.row(w as usize).is_empty()),
+        }
+    }
+
+    /// Builds the reduced witness sets of the view into `out`, reusing the
+    /// caller's `scratch` buffers: repeated sets are collapsed and supersets
+    /// of other sets are dropped (hitting a subset automatically hits its
+    /// supersets), a safe preprocessing step for minimum hitting set.
+    ///
+    /// Output sets are sorted ascending in dense-id space and ordered by
+    /// `(len, lexicographic)`; a witness with an empty endogenous set yields
+    /// the single unhittable empty set. After the first call on comparable
+    /// sizes, no buffer grows — a session step performs zero per-witness
+    /// allocation.
     ///
     /// Superset dropping buckets the kept sets by their smallest element: a
-    /// kept subset of a candidate must have its minimum among the candidate's
-    /// elements, so only those buckets are scanned instead of every kept set
-    /// (the previous implementation was `O(n²)` subset checks across all
-    /// pairs, which dominated solve time on many-witness instances).
-    pub fn reduced_dense_sets(&self) -> Vec<Vec<u32>> {
-        let dense = &self.index.dense_of;
-        let mut sets: Vec<Vec<u32>> = self
-            .endogenous_sets()
-            .map(|row| row.iter().map(|t| dense[t.index()]).collect())
-            .collect();
-        // An empty set subsumes everything (and can never be hit).
-        if sets.iter().any(|s| s.is_empty()) {
-            return vec![Vec::new()];
+    /// kept subset of a candidate must have its minimum among the
+    /// candidate's elements, so only those buckets are scanned instead of
+    /// every kept set (an earlier implementation was `O(n²)` subset checks
+    /// across all pairs, which dominated solve time on many-witness
+    /// instances).
+    pub fn reduced_into(&self, out: &mut ReducedSets, scratch: &mut ReducedScratch) {
+        let index = &self.ws.index;
+        let universe = index.relevant.len();
+        out.clear(universe);
+
+        // Candidate rows in dense-id space (rows are sorted in TupleId
+        // order and dense ids are monotone, so they stay sorted).
+        scratch.row_offsets.clear();
+        scratch.row_offsets.push(0);
+        scratch.row_arena.clear();
+        for row in self.endogenous_sets() {
+            if row.is_empty() {
+                // An empty set subsumes everything (and can never be hit).
+                out.clear(universe);
+                out.offsets.push(0);
+                return;
+            }
+            scratch
+                .row_arena
+                .extend(row.iter().map(|t| index.dense_of[t.index()]));
+            scratch.row_offsets.push(scratch.row_arena.len() as u32);
         }
-        // Dense ids are monotone in TupleId, so rows are already sorted.
-        sets.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-        sets.dedup();
-        let mut kept: Vec<Vec<u32>> = Vec::new();
-        // For each dense id, the kept sets whose smallest element it is.
-        let mut by_min: Vec<Vec<u32>> = vec![Vec::new(); self.relevant_tuples().len()];
-        'outer: for s in sets {
-            for &e in &s {
-                for &ki in &by_min[e as usize] {
-                    let k = &kept[ki as usize];
+        let n = scratch.row_offsets.len() - 1;
+        let row = |i: u32| -> &[u32] {
+            &scratch.row_arena[scratch.row_offsets[i as usize] as usize
+                ..scratch.row_offsets[i as usize + 1] as usize]
+        };
+
+        // Visit candidates smallest-first, lexicographic within a length.
+        scratch.order.clear();
+        scratch.order.extend(0..n as u32);
+        scratch.order.sort_unstable_by(|&a, &b| {
+            row(a)
+                .len()
+                .cmp(&row(b).len())
+                .then_with(|| row(a).cmp(row(b)))
+        });
+
+        // Per dense id, an intrusive chain of the kept sets whose smallest
+        // element it is (`u32::MAX` terminates).
+        scratch.bucket_head.clear();
+        scratch.bucket_head.resize(universe, u32::MAX);
+        scratch.bucket_next.clear();
+
+        'outer: for &i in &scratch.order {
+            let s = row(i);
+            for &e in s {
+                let mut ki = scratch.bucket_head[e as usize];
+                while ki != u32::MAX {
+                    let k = out.set(ki as usize);
                     if k.len() <= s.len() && k.iter().all(|t| s.binary_search(t).is_ok()) {
-                        // s is a superset of an already-kept set.
+                        // s is a superset (or duplicate) of a kept set.
                         continue 'outer;
                     }
+                    ki = scratch.bucket_next[ki as usize];
                 }
             }
-            by_min[s[0] as usize].push(kept.len() as u32);
-            kept.push(s);
+            let kept = out.len() as u32;
+            scratch.bucket_next.push(scratch.bucket_head[s[0] as usize]);
+            scratch.bucket_head[s[0] as usize] = kept;
+            out.arena.extend_from_slice(s);
+            out.offsets.push(out.arena.len() as u32);
         }
-        kept
     }
+}
+
+/// Reduced witness sets in one flat CSR arena over dense tuple ids
+/// (positions in [`WitnessSet::relevant_tuples`]).
+///
+/// This is the form every hitting-set style solver consumes: sets are
+/// borrowed slices of a single `u32` arena, sorted ascending, smallest sets
+/// first. Built by [`WitnessView::reduced_into`] (reusable buffers) or
+/// [`WitnessSet::reduced`] (fresh allocation).
+#[derive(Clone, Debug, Default)]
+pub struct ReducedSets {
+    /// Row `i` is `arena[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    arena: Vec<u32>,
+    /// Size of the dense tuple space the ids index into.
+    universe: u32,
+}
+
+impl ReducedSets {
+    /// Number of reduced sets.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether there are no reduced sets (the query is already false).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the dense tuple space (`relevant_tuples().len()` of the
+    /// originating witness set).
+    pub fn universe(&self) -> usize {
+        self.universe as usize
+    }
+
+    /// The `i`-th reduced set (sorted dense ids).
+    #[inline]
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates the reduced sets in order (smallest first).
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(|i| self.set(i))
+    }
+
+    /// `true` if some set is empty: no hitting set exists (the resilience is
+    /// undefined / infinite). Sets are ordered smallest-first, so only the
+    /// first needs checking.
+    pub fn has_unhittable_set(&self) -> bool {
+        !self.is_empty() && self.set(0).is_empty()
+    }
+
+    /// Empties the container and re-targets it at a `universe`-sized dense
+    /// space (allocations are kept).
+    pub fn clear(&mut self, universe: usize) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.arena.clear();
+        self.universe = universe as u32;
+    }
+
+    /// Builds directly from explicit dense-id sets — a test/bench helper; no
+    /// dedup or superset dropping is applied. Every id must be `< universe`
+    /// and each set sorted ascending.
+    pub fn from_sets<I, S>(sets: I, universe: usize) -> ReducedSets
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u32]>,
+    {
+        let mut out = ReducedSets::default();
+        out.clear(universe);
+        for s in sets {
+            let s = s.as_ref();
+            debug_assert!(s.windows(2).all(|p| p[0] < p[1]), "sets must be sorted");
+            debug_assert!(s.iter().all(|&e| (e as usize) < universe));
+            out.arena.extend_from_slice(s);
+            out.offsets.push(out.arena.len() as u32);
+        }
+        out
+    }
+}
+
+/// Reusable buffers for [`WitnessView::reduced_into`]. One instance per
+/// long-lived solver context (the engine's `SolveScratch` owns one).
+#[derive(Clone, Debug, Default)]
+pub struct ReducedScratch {
+    /// Candidate rows as a CSR over dense ids.
+    row_offsets: Vec<u32>,
+    row_arena: Vec<u32>,
+    /// Candidate visit order (sorted by `(len, lex)`).
+    order: Vec<u32>,
+    /// Per dense id, head of the kept-set chain (`u32::MAX` = empty).
+    bucket_head: Vec<u32>,
+    /// Per kept set, the next kept set sharing its smallest element.
+    bucket_next: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -534,16 +744,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn participation_counts_and_tuple_witnesses() {
+    fn degrees_and_tuple_witnesses() {
         let (q, db) = chain_setup();
         let ws = WitnessSet::build(&q, &db);
         let r = db.schema().relation_id("R").unwrap();
         let t2 = db.lookup(r, &[2, 3]).unwrap();
-        let counts = ws.participation_counts();
-        assert_eq!(counts[&t2], 2); // witnesses (1,2,3) and (2,3,3)
-        assert_eq!(ws.witnesses_of_tuple(t2).len(), 2);
-        assert_eq!(ws.degree(t2), 2);
+        assert_eq!(ws.degree(t2), 2); // witnesses (1,2,3) and (2,3,3)
         assert_eq!(ws.witnesses_of(t2).len(), 2);
     }
 
@@ -596,10 +802,66 @@ mod tests {
         let ws = WitnessSet::build(&q, &db);
         // {R(3,3)} is a subset of {R(2,3), R(3,3)}, so the reduction keeps
         // only the singleton plus the disjoint pair {R(1,2), R(2,3)}.
-        let reduced = ws.reduced_sets();
+        let reduced = ws.reduced();
         assert_eq!(reduced.len(), 2);
-        assert!(reduced.iter().any(|s| s.len() == 1));
-        assert!(reduced.iter().any(|s| s.len() == 2));
+        assert_eq!(reduced.universe(), ws.relevant_tuples().len());
+        assert!(!reduced.has_unhittable_set());
+        // Smallest sets come first and ids stay sorted inside a set.
+        assert_eq!(reduced.set(0).len(), 1);
+        assert_eq!(reduced.set(1).len(), 2);
+        assert!(reduced.iter().all(|s| s.windows(2).all(|p| p[0] < p[1])));
+    }
+
+    #[test]
+    fn live_view_reduced_sets_match_filtered_rebuild() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        let r = db.schema().relation_id("R").unwrap();
+        let t33 = db.lookup(r, &[3, 3]).unwrap();
+        // Deleting R(3,3) leaves only witness (1,2,3): rows {0}.
+        let live_rows = [0u32];
+        let mut out = ReducedSets::default();
+        let mut scratch = ReducedScratch::default();
+        WitnessView::live(&ws, &live_rows).reduced_into(&mut out, &mut scratch);
+        assert_eq!(out.len(), 1);
+        // Dense ids of a live view index the FULL relevant list, so the
+        // surviving pair maps back to the original tuples.
+        let tuples: Vec<TupleId> = out
+            .set(0)
+            .iter()
+            .map(|&d| ws.relevant_tuples()[d as usize])
+            .collect();
+        assert!(!tuples.contains(&t33));
+        assert_eq!(tuples.len(), 2);
+        // And matches what a from-scratch filtered set computes.
+        let filtered = ws.without_tuples(&[t33].into_iter().collect());
+        let rebuilt = filtered.reduced();
+        assert_eq!(out.len(), rebuilt.len());
+        assert_eq!(out.set(0).len(), rebuilt.set(0).len());
+        // Scratch reuse across calls yields identical output.
+        let mut out2 = ReducedSets::default();
+        WitnessView::live(&ws, &live_rows).reduced_into(&mut out2, &mut scratch);
+        assert_eq!(out.set(0), out2.set(0));
+    }
+
+    #[test]
+    fn view_iterates_selected_rows_only() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        let full = ws.view();
+        assert_eq!(full.len(), 3);
+        assert!(!full.is_empty());
+        assert_eq!(full.row_indices().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(full.witnesses().count(), 3);
+        let rows = [1u32, 2];
+        let live = WitnessView::live(&ws, &rows);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live.row_indices().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            live.endogenous_sets().map(|s| s.len()).collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+        assert!(!live.has_undeletable_witness());
     }
 
     #[test]
@@ -618,7 +880,7 @@ mod tests {
         }
         let ws = WitnessSet::build(&q, &db);
         assert_eq!(ws.len(), (n * n) as usize);
-        let reduced = ws.reduced_dense_sets();
+        let reduced = ws.reduced();
         // All n² pair-sets are pairwise incomparable, so none is dropped.
         assert_eq!(reduced.len(), (n * n) as usize);
         // A singleton subset must still subsume its supersets: a loop tuple
@@ -631,16 +893,17 @@ mod tests {
         }
         db2.insert_named("R", &[1000, 1000]); // loop: singleton witness set
         let ws2 = WitnessSet::build(&q2, &db2);
-        let reduced2 = ws2.reduced_sets();
+        let reduced2 = ws2.reduced();
         // The loop's singleton set subsumes every witness that passes
         // through it.
         assert!(reduced2.iter().any(|s| s.len() == 1));
-        for s in &reduced2 {
+        let loop_t = db2
+            .lookup(db2.schema().relation_id("R").unwrap(), &[1000, 1000])
+            .unwrap();
+        let loop_d = ws2.dense_id_of(loop_t).unwrap();
+        for s in reduced2.iter() {
             if s.len() > 1 {
-                let loop_t = db2
-                    .lookup(db2.schema().relation_id("R").unwrap(), &[1000, 1000])
-                    .unwrap();
-                assert!(!s.contains(&loop_t), "superset of the singleton kept");
+                assert!(!s.contains(&loop_d), "superset of the singleton kept");
             }
         }
     }

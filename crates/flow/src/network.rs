@@ -85,6 +85,17 @@ impl FlowNetwork {
         Self::default()
     }
 
+    /// Empties the network while keeping every allocation (edge arena, CSR
+    /// arrays, traversal scratch), so a caller rebuilding a similar network
+    /// each solve — the engine's session steps — allocates nothing after the
+    /// first build.
+    pub fn clear(&mut self) {
+        self.num_nodes = 0;
+        self.edges.clear();
+        self.public_edges.clear();
+        self.csr_valid = false;
+    }
+
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.num_nodes += 1;
@@ -159,27 +170,38 @@ impl FlowNetwork {
         self.edges[(ei ^ 1) as usize].to
     }
 
-    /// (Re)builds the CSR adjacency by counting sort over edge tails.
+    /// (Re)builds the CSR adjacency by counting sort over edge tails. All
+    /// three working arrays (offsets, adjacency, cursor) are reused across
+    /// rebuilds.
     fn ensure_csr(&mut self) {
         if self.csr_valid {
             return;
         }
         let n = self.num_nodes;
         let m = self.edges.len();
-        let mut offsets = vec![0u32; n + 1];
+        let mut offsets = std::mem::take(&mut self.csr_offsets);
+        offsets.clear();
+        offsets.resize(n + 1, 0);
         for ei in 0..m as u32 {
             offsets[self.tail(ei) as usize + 1] += 1;
         }
         for u in 0..n {
             offsets[u + 1] += offsets[u];
         }
-        let mut cursor = offsets.clone();
-        let mut adj = vec![0u32; m];
+        // The BFS queue buffer doubles as the counting-sort cursor between
+        // traversals (both are per-node u32 scratch).
+        let mut cursor = std::mem::take(&mut self.scratch.queue);
+        cursor.clear();
+        cursor.extend_from_slice(&offsets[..n]);
+        let mut adj = std::mem::take(&mut self.csr_edges);
+        adj.clear();
+        adj.resize(m, 0);
         for ei in 0..m as u32 {
             let u = self.tail(ei) as usize;
             adj[cursor[u] as usize] = ei;
             cursor[u] += 1;
         }
+        self.scratch.queue = cursor;
         self.csr_offsets = offsets;
         self.csr_edges = adj;
         self.csr_valid = true;

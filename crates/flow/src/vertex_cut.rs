@@ -18,6 +18,9 @@ pub struct VertexCutNetwork {
     capacities: Vec<u64>,
     /// Directed edges between vertices.
     edges: Vec<(u32, u32)>,
+    /// Reusable node-split flow network (rebuilt per cut computation, never
+    /// reallocated).
+    split: FlowNetwork,
 }
 
 /// Result of a minimum vertex cut computation.
@@ -41,6 +44,13 @@ impl VertexCutNetwork {
         self.capacities.len() - 1
     }
 
+    /// Empties the network while keeping its allocations, so repeated
+    /// constructions (the engine's session re-solves) reuse the buffers.
+    pub fn clear(&mut self) {
+        self.capacities.clear();
+        self.edges.clear();
+    }
+
     /// Adds a directed edge between two vertices.
     pub fn add_edge(&mut self, from: usize, to: usize) {
         self.edges.push((from as u32, to as u32));
@@ -61,9 +71,9 @@ impl VertexCutNetwork {
     /// The source and target vertices themselves are treated as uncuttable
     /// (their capacity is ignored), matching the paper's constructions where
     /// s and t are artificial endpoints.
-    pub fn min_vertex_cut(&self, source: usize, target: usize) -> VertexCut {
-        let (mut g, s, t) = self.split_network(source, target);
-        let cut = MinCut::compute(&mut g, s, t);
+    pub fn min_vertex_cut(&mut self, source: usize, target: usize) -> VertexCut {
+        let (s, t) = self.split_network(source, target);
+        let cut = MinCut::compute(&mut self.split, s, t);
         let n = self.num_vertices();
         let mut cut_vertices: Vec<usize> = cut
             .cut_edges
@@ -79,30 +89,34 @@ impl VertexCutNetwork {
 
     /// Computes only the value of a minimum vertex cut, skipping the
     /// cut-vertex extraction (see [`MinCut::compute_value`]).
-    pub fn min_vertex_cut_value(&self, source: usize, target: usize) -> u64 {
-        let (mut g, s, t) = self.split_network(source, target);
-        MinCut::compute_value(&mut g, s, t)
+    pub fn min_vertex_cut_value(&mut self, source: usize, target: usize) -> u64 {
+        let (s, t) = self.split_network(source, target);
+        MinCut::compute_value(&mut self.split, s, t)
     }
 
-    /// Builds the node-split flow network: `v_in = 2v`, `v_out = 2v + 1`,
-    /// with the internal edge of vertex `v` added v-th so its `EdgeId` is
-    /// exactly `v` — no explicit map needed.
-    fn split_network(&self, source: usize, target: usize) -> (FlowNetwork, NodeId, NodeId) {
-        let mut g = FlowNetwork::new();
+    /// Builds the node-split flow network into the reusable `split` buffer:
+    /// `v_in = 2v`, `v_out = 2v + 1`, with the internal edge of vertex `v`
+    /// added v-th so its `EdgeId` is exactly `v` — no explicit map needed.
+    fn split_network(&mut self, source: usize, target: usize) -> (NodeId, NodeId) {
         let n = self.num_vertices();
-        let nodes: Vec<NodeId> = g.add_nodes(2 * n);
+        self.split.clear();
+        for _ in 0..2 * n {
+            self.split.add_node();
+        }
         for v in 0..n {
             let cap = if v == source || v == target {
                 INF
             } else {
                 self.capacities[v]
             };
-            g.add_edge(nodes[2 * v], nodes[2 * v + 1], cap);
+            self.split
+                .add_edge(NodeId(2 * v as u32), NodeId(2 * v as u32 + 1), cap);
         }
         for &(from, to) in &self.edges {
-            g.add_edge(nodes[2 * from as usize + 1], nodes[2 * to as usize], INF);
+            self.split
+                .add_edge(NodeId(2 * from + 1), NodeId(2 * to), INF);
         }
-        (g, nodes[2 * source], nodes[2 * target + 1])
+        (NodeId(2 * source as u32), NodeId(2 * target as u32 + 1))
     }
 }
 

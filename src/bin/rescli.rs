@@ -500,6 +500,7 @@ fn run_whatif_ops(
             }
             WhatIfOp::Solve => {
                 let report = session.solve(&opts).map_err(|e| format!("solve: {e}"))?;
+                let stats = session.last_solve_stats();
                 if json {
                     let mut obj = String::from("{\"op\": \"solve\"");
                     match report.resilience {
@@ -515,6 +516,18 @@ fn run_whatif_ops(
                         ", \"witnesses\": {}, \"method\": \"{}\"",
                         report.witnesses,
                         json_escape(&format!("{:?}", report.method))
+                    );
+                    // Per-step solver statistics: how much the warm-start
+                    // machinery saved on this step.
+                    let _ = write!(
+                        obj,
+                        ", \"solver\": {{\"warm_start_hit\": {}, \"incumbent_reused\": {}, \
+                         \"short_circuit\": {}, \"replayed\": {}, \"nodes_explored\": {}}}",
+                        stats.warm_start_hit,
+                        stats.incumbent_reused,
+                        stats.short_circuit,
+                        stats.replayed,
+                        stats.nodes_explored,
                     );
                     if let Some(gamma) = &report.contingency {
                         let rendered: Vec<String> = render_contingency(db, gamma)
@@ -537,8 +550,19 @@ fn run_whatif_ops(
                         .as_deref()
                         .map(|g| render_contingency(db, g).join(" "))
                         .unwrap_or_default();
+                    let warm = if stats.replayed {
+                        " [replayed]"
+                    } else if stats.short_circuit {
+                        " [warm: short-circuit]"
+                    } else if stats.incumbent_reused {
+                        " [warm: incumbent reused]"
+                    } else if stats.warm_start_hit {
+                        " [warm]"
+                    } else {
+                        ""
+                    };
                     out.push(format!(
-                        "solve    resilience {value:<9} witnesses {:<6} ({:?}) {gamma}",
+                        "solve    resilience {value:<9} witnesses {:<6} ({:?}){warm} {gamma}",
                         report.witnesses, report.method
                     ));
                 }
@@ -752,6 +776,33 @@ mod tests {
         assert!(lines[1].contains("\"witnesses_changed\": 2"));
         assert!(lines[2].contains("\"resilience\": 1"));
         assert!(lines[4].contains("\"resilience\": 2"));
+    }
+
+    #[test]
+    fn whatif_json_reports_solver_stats() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let (db, labels) = parse_database_with_labels(&q, "R(1,2)\nR(2,3)\nR(3,3)\n").unwrap();
+        // solve twice (second is a replay), then delete + solve (the
+        // restricted previous contingency short-circuits the exact search).
+        let script = "solve\nsolve\ndelete R(3,3)\nsolve\n";
+        let ops = parse_whatif_script(&q, &labels, script).unwrap();
+        let compiled = Engine::compile(&q);
+        let frozen = db.freeze();
+        let mut session = compiled.session(&frozen).unwrap();
+        let lines = run_whatif_ops(&mut session, &db, &ops, true).unwrap();
+        assert!(lines[0].contains("\"solver\": {\"warm_start_hit\": false"));
+        assert!(lines[0].contains("\"replayed\": false"));
+        assert!(lines[1].contains("\"replayed\": true"));
+        // The singleton witness forces R(3,3) into the first contingency
+        // set; after deleting it the restriction matches the fresh packing
+        // lower bound, so the search is skipped entirely.
+        assert!(lines[3].contains("\"short_circuit\": true"), "{}", lines[3]);
+        assert!(lines[3].contains("\"nodes_explored\": 0"));
+        // Text mode surfaces the warm markers too.
+        let mut cold = compiled.session(&frozen).unwrap();
+        let text = run_whatif_ops(&mut cold, &db, &ops, false).unwrap();
+        assert!(text[1].contains("[replayed]"), "{}", text[1]);
+        assert!(text[3].contains("[warm"), "{}", text[3]);
     }
 
     #[test]

@@ -172,6 +172,164 @@ fn session_restore_order_does_not_matter() {
 }
 
 #[test]
+fn warm_sessions_match_cold_sessions_on_random_delete_restore_sequences() {
+    // The warm-start differential gate: a session solving every step warm
+    // (replay, exact incumbent, flow-certificate reuse) agrees with a
+    // session solving every step cold — same resilience, same witness
+    // count, same method — across the named-query catalogue on random
+    // delete/restore sequences, and every warm certificate is a valid
+    // minimum contingency set of the live view.
+    let warm_opts = SolveOptions::new().warm_start(true);
+    let cold_opts = SolveOptions::new().warm_start(false);
+    for nq in catalogue::all_named_queries() {
+        let compiled = Engine::compile(&nq.query);
+        for seed in [3u64, 29] {
+            let db = random_instance(&nq.query, seed, 5, 0.3);
+            let frozen = db.freeze();
+            let mut warm = compiled.session(&frozen).unwrap();
+            let mut cold = compiled.session(&frozen).unwrap();
+            let sequence = Workload::new(seed ^ 0xbeef).random_deletion_sequence(&nq.query, &db, 6);
+            let mut deleted: HashSet<TupleId> = HashSet::new();
+            for (step, &t) in sequence.iter().enumerate() {
+                warm.delete(&[t]);
+                cold.delete(&[t]);
+                deleted.insert(t);
+                if step % 3 == 2 {
+                    let back = sequence[step / 2];
+                    warm.restore(&[back]);
+                    cold.restore(&[back]);
+                    deleted.remove(&back);
+                }
+                // Solve the warm session twice: the second call exercises
+                // the unchanged-state replay and must be bit-identical to
+                // the first.
+                let w = warm.solve(&warm_opts);
+                let w2 = warm.solve(&warm_opts);
+                let c = cold.solve(&cold_opts);
+                match (&w, &c) {
+                    (Ok(w), Ok(c)) => {
+                        assert_eq!(w, w2.as_ref().unwrap(), "{} step {step}: replay", nq.name);
+                        assert!(warm.last_solve_stats().replayed);
+                        assert_eq!(
+                            w.resilience, c.resilience,
+                            "{} seed {seed} step {step}: warm vs cold value",
+                            nq.name
+                        );
+                        assert_eq!(w.witnesses, c.witnesses, "{} step {step}", nq.name);
+                        assert_eq!(w.method, c.method, "{} step {step}", nq.name);
+                        // Certificates may be different minimum sets, but
+                        // must have equal size and really falsify.
+                        if let (Resilience::Finite(k), Some(gw)) = (w.resilience, &w.contingency) {
+                            assert_eq!(gw.len(), k, "{} step {step}", nq.name);
+                            let mut removal = deleted.clone();
+                            removal.extend(gw.iter().copied());
+                            assert!(
+                                !database::evaluate(&nq.query, &db.without(&removal)),
+                                "{} seed {seed} step {step}: warm certificate does not falsify",
+                                nq.name
+                            );
+                        }
+                        assert_eq!(
+                            w.contingency.as_ref().map(Vec::len),
+                            c.contingency.as_ref().map(Vec::len),
+                            "{} step {step}: certificate sizes",
+                            nq.name
+                        );
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => panic!(
+                        "{} seed {seed} step {step}: warm {w:?} vs cold {c:?}",
+                        nq.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn restricted_contingency_stays_feasible_under_deletions() {
+    // The monotonicity property the warm start rests on: after any further
+    // deletions, the previous contingency set restricted to non-deleted
+    // tuples still hits every live witness (a live witness uses no deleted
+    // tuple, so whatever tuple of the set hit it is still present).
+    use database::WitnessSet;
+    for nq in [
+        catalogue::q_chain(),
+        catalogue::q_vc(),
+        catalogue::q_acconf(),
+    ] {
+        let compiled = Engine::compile(&nq.query);
+        for seed in 0..4u64 {
+            let db = random_instance(&nq.query, seed, 6, 0.3);
+            let ws = WitnessSet::build(&nq.query, &db);
+            let report = match compiled.solve(&db.freeze(), &SolveOptions::new()) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            let Some(gamma) = report.contingency else {
+                continue;
+            };
+            let sequence = Workload::new(seed ^ 0xfeed).random_deletion_sequence(&nq.query, &db, 4);
+            let mut deleted: HashSet<TupleId> = HashSet::new();
+            for &t in &sequence {
+                deleted.insert(t);
+                let live = ws.without_tuples(&deleted);
+                let restricted: HashSet<TupleId> = gamma
+                    .iter()
+                    .copied()
+                    .filter(|g| !deleted.contains(g))
+                    .collect();
+                assert!(
+                    live.is_contingency_set(&restricted),
+                    "{} seed {seed}: restricted previous contingency infeasible",
+                    nq.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_start_statistics_reflect_incumbent_use() {
+    // A monotone deletion sweep on an NP-complete chain query: once a step's
+    // incumbent survives restriction it must register as a warm-start hit,
+    // and an unchanged-state re-solve must register as a replay.
+    let q = cq::parse_query("R(x,y), R(y,z)").unwrap();
+    let compiled = Engine::compile(&q);
+    let db = random_instance(&q, 11, 7, 0.35);
+    let frozen = db.freeze();
+    let opts = SolveOptions::new();
+    let mut session = compiled.session(&frozen).unwrap();
+    let seq = Workload::new(7).random_deletion_sequence(&q, &db, 5);
+    if seq.len() < 2 {
+        return;
+    }
+    session.solve(&opts).unwrap();
+    assert!(
+        !session.last_solve_stats().warm_start_hit,
+        "first solve is cold"
+    );
+    let mut any_warm = false;
+    for &t in &seq {
+        session.delete(&[t]);
+        session.solve(&opts).unwrap();
+        any_warm |= session.last_solve_stats().warm_start_hit;
+    }
+    assert!(any_warm, "no deletion step warm-started");
+    session.solve(&opts).unwrap();
+    assert!(
+        session.last_solve_stats().replayed,
+        "unchanged state must replay"
+    );
+    // Disabling warm starts really runs cold.
+    let cold_opts = SolveOptions::new().warm_start(false);
+    session.solve(&cold_opts).unwrap();
+    let stats = session.last_solve_stats();
+    assert!(!stats.replayed && !stats.warm_start_hit && !stats.short_circuit);
+}
+
+#[test]
 fn parallel_enumeration_is_deterministic_on_the_catalogue() {
     // The CI determinism gate: 1-thread and N-thread enumeration must be
     // bit-identical (same witnesses, same order) for every catalogue query,
