@@ -41,6 +41,20 @@
 //! `--nodes V` overrides every session workload's graph size (the sweep
 //! defaults to per-workload sizes chosen for interactive what-if scale).
 //!
+//! **Serve mode** measures `resd`, the resilience service daemon, under
+//! concurrent load: for each worker-pool size it starts an in-process
+//! daemon, drives N client threads issuing `solve` requests over the
+//! newline-delimited JSON protocol, verifies every response byte-identical
+//! to the locally rendered report, and writes requests/sec scaling such as
+//! the committed `BENCH_PR5.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- serve \
+//!     --workers-list 1,2,4 --clients 8 --requests 50 --out BENCH_PR5.json
+//! ```
+//!
+//! `--smoke` shrinks the sweep for CI (still asserting identical results).
+//!
 //! Session mode emits three rows per workload: `maintain` (witness-set
 //! upkeep), `resolve` (scratch re-solve vs warm session re-solve) and
 //! `resolve_warm` (cold session re-solve vs warm session re-solve — the
@@ -567,10 +581,236 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One serve-mode measurement: `clients` threads, each issuing `requests`
+/// solve requests against a daemon with `workers` pool threads. Returns
+/// `(total_ns, total_requests)`; panics (test-style) on any response that is
+/// not byte-identical to the locally rendered report.
+fn drive_daemon(
+    w: &BatchWorkload,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+) -> (u64, usize) {
+    use server::client::Client;
+    use server::{jsonio, Server, ServerConfig};
+
+    let server =
+        Server::bind(ServerConfig::new("127.0.0.1:0").workers(workers)).expect("bind failed");
+    let addr = server.local_addr().expect("local_addr failed");
+    let flag = server.shutdown_flag();
+    let server_thread = std::thread::spawn(move || server.run().expect("daemon failed"));
+
+    let q = parse_query(w.query_text).expect("workload query parses");
+    let compiled = Engine::compile(&q);
+    let opts = SolveOptions::new();
+    // Per-client instances (distinct seeds) rendered to the wire format;
+    // the local expectation parses the same text, exactly like the daemon.
+    let setups: Vec<(String, String)> = (0..clients as u64)
+        .map(|seed| {
+            let mut workload = Workload::new(seed);
+            let mut db = workload.random_graph_relation(&q, "R", w.nodes, w.density);
+            if w.saturate_unary {
+                workload.saturate_unary_relations(&q, &mut db, w.nodes);
+            }
+            let text = server::dbtext::to_text(&db);
+            let (local_db, _) = server::dbtext::parse_database_with_labels(&q, &text)
+                .expect("round-trip parse failed");
+            let report = compiled
+                .solve(&local_db.freeze(), &opts)
+                .expect("local solve failed");
+            let tag = format!("c{seed}");
+            (text, jsonio::report_json(&tag, &local_db, &report))
+        })
+        .collect();
+
+    // Phase 1 — setup on a short-lived connection per client: register the
+    // query and upload the instance, then disconnect. The registry is
+    // shared across connections, so the handles stay valid. (Connections
+    // must not linger: the pool serves at most `workers` connections at a
+    // time — a held-open idle connection would occupy a worker.)
+    let handles: Vec<(String, String)> = setups
+        .iter()
+        .map(|(text, _)| {
+            let mut client = Client::connect(addr).expect("connect failed");
+            let (qid, _, _) = client.compile(w.query_text).expect("compile failed");
+            let (db_id, _) = client.load_text(&qid, text).expect("load failed");
+            (qid, db_id)
+        })
+        .collect();
+
+    // Phase 2 — timed: all clients pass the barrier, open a fresh
+    // connection each and fire their requests. With fewer workers than
+    // clients the surplus connections queue and drain as workers free up —
+    // exactly the admission behavior a bounded pool gives production
+    // traffic.
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let total_ns = std::thread::scope(|scope| {
+        let join_handles: Vec<_> = setups
+            .iter()
+            .zip(&handles)
+            .enumerate()
+            .map(|(i, ((_, expected), (qid, db_id)))| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let request = format!(
+                        "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\", \
+                         \"tag\": \"c{i}\"}}"
+                    );
+                    barrier.wait();
+                    let mut client = Client::connect(addr).expect("connect failed");
+                    for _ in 0..requests {
+                        let raw = client.request_raw(&request).expect("request failed");
+                        let got = jsonio::extract_raw(&raw, "result");
+                        assert_eq!(
+                            got,
+                            Some(expected.as_str()),
+                            "client {i}: response differs from local report"
+                        );
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for handle in join_handles {
+            handle.join().expect("client thread panicked");
+        }
+        start.elapsed().as_nanos() as u64
+    });
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    server_thread.join().expect("daemon thread panicked");
+    (total_ns, clients * requests)
+}
+
+fn serve_mode(args: &[String]) -> ExitCode {
+    let mut workers_list: Vec<usize> = Vec::new();
+    let mut clients = 8usize;
+    let mut requests = 50usize;
+    let mut nodes: Option<u64> = None;
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut label = "PR5-serve".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                nodes = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--nodes needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--workers-list" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .map(|s| s.split(',').map(|n| n.parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() => workers_list = list,
+                    _ => {
+                        eprintln!("--workers-list needs a comma-separated list of numbers");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--clients" => {
+                clients = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--clients needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--requests" => {
+                requests = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--requests needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().cloned(),
+            "--label" => label = it.next().cloned().unwrap_or(label),
+            other => {
+                eprintln!("unknown serve argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!(
+            "usage: perfbench serve [--workers-list 1,2,4] [--clients C] [--requests R] \
+             [--smoke] [--label name] --out <json>"
+        );
+        return ExitCode::FAILURE;
+    };
+    if smoke {
+        clients = clients.min(4);
+        requests = requests.min(8);
+        if workers_list.is_empty() {
+            workers_list = vec![1, 2];
+        }
+    } else if workers_list.is_empty() {
+        let max = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        workers_list = vec![1];
+        let mut w = 2;
+        while w <= max {
+            workers_list.push(w);
+            w *= 2;
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut summary = String::new();
+    for w in &BATCH_WORKLOADS {
+        let w = &BatchWorkload {
+            nodes: nodes.unwrap_or(w.nodes),
+            ..*w
+        };
+        for &workers in &workers_list {
+            let (total_ns, total_requests) = drive_daemon(w, workers, clients, requests);
+            let secs = (total_ns as f64 / 1e9).max(1e-9);
+            let rps = total_requests as f64 / secs;
+            let name = format!("serve/{}", w.name.replace("_batch", "_solve"));
+            rows.push(format!(
+                "    {{\"bench\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
+                 \"requests_per_client\": {requests}, \"requests\": {total_requests}, \
+                 \"total_ns\": {total_ns}, \"requests_per_sec\": {rps:.1}, \
+                 \"identical_results\": true}}"
+            ));
+            summary.push_str(&format!(
+                "{name:<24} workers {workers:>2}: {total_requests} requests in {total_ns:>12} ns  ({rps:.0} req/s)\n"
+            ));
+        }
+    }
+    let doc = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"daemon_requests_per_sec\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = fs::write(&out_path, doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    summary.push_str(&format!("wrote {out_path}\n"));
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(summary.as_bytes());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("batch") {
         return batch_mode(&args[1..]);
+    }
+    if args.first().map(|s| s.as_str()) == Some("serve") {
+        return serve_mode(&args[1..]);
     }
     if args.first().map(|s| s.as_str()) == Some("session") {
         return session_mode(&args[1..], false);

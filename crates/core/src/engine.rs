@@ -55,7 +55,9 @@ use database::{
     witnesses_with_plan_parallel_into, FrozenDb, QueryPlan, ReducedScratch, ReducedSets, TupleId,
     TupleStore, WitnessIndex, WitnessSet, WitnessView,
 };
+use std::borrow::Borrow;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which algorithm produced a solve result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -413,34 +415,20 @@ impl CompiledQuery {
         db: &'a FrozenDb,
         opts: &SolveOptions,
     ) -> Result<SolveSession<'a>, SolveError> {
-        let q = &self.classification.evidence.normalized;
-        let translation = try_relation_translation(q, db)
-            .map_err(|relation| SolveError::SchemaMismatch { relation })?;
-        let mut buf = Vec::new();
-        self.enumerate_witnesses(&translation, db, opts, &mut buf);
-        let ws = WitnessSet::from_witnesses(q, db, buf);
-        // Full incidence over *all* tuples a witness touches (exogenous
-        // included): a deletion of any tuple must kill exactly the witnesses
-        // using it.
-        let keep_all = vec![true; db.num_tuples()];
-        let full = WitnessIndex::from_witnesses(&ws.witnesses, &keep_all);
-        let live = ws.len();
-        Ok(SolveSession {
-            compiled: self,
-            db,
-            ws,
-            full,
-            dead_hits: vec![0; live],
-            deleted: vec![false; db.num_tuples()],
-            deleted_count: 0,
-            live,
-            version: 0,
-            survivors: Vec::new(),
-            incumbent_buf: Vec::new(),
-            scratch: SolveScratch::new(),
-            cache: None,
-            stats: SessionSolveStats::default(),
-        })
+        Session::open(self, db, opts)
+    }
+
+    /// Opens an owned, `'static` session over `Arc` handles — the registry
+    /// storage shape a long-lived service needs: the session can be moved
+    /// across threads and stored in maps without borrowing the compiled
+    /// query or the instance. Identical semantics to
+    /// [`CompiledQuery::session_opts`].
+    pub fn session_shared(
+        self: &Arc<Self>,
+        db: &Arc<FrozenDb>,
+        opts: &SolveOptions,
+    ) -> Result<SharedSolveSession, SolveError> {
+        Session::open(Arc::clone(self), Arc::clone(db), opts)
     }
 
     /// Solves one frozen instance, reusing the caller's scratch buffers
@@ -460,9 +448,13 @@ impl CompiledQuery {
     /// thread each); every worker keeps its own [`SolveScratch`]. The result
     /// vector is index-aligned with `dbs` and each entry equals what a
     /// sequential [`solve`](CompiledQuery::solve) of that instance returns.
-    pub fn solve_batch(
+    ///
+    /// Generic over how the instances are held: a plain `&[FrozenDb]` works
+    /// as before, and a registry can pass its `&[Arc<FrozenDb>]` handles
+    /// without copying any instance (the shape `resd`'s `batch` verb uses).
+    pub fn solve_batch<D: Borrow<FrozenDb> + Sync>(
         &self,
-        dbs: &[FrozenDb],
+        dbs: &[D],
         opts: &SolveOptions,
     ) -> Vec<Result<SolveReport, SolveError>> {
         let threads = std::thread::available_parallelism()
@@ -474,7 +466,7 @@ impl CompiledQuery {
             let mut scratch = SolveScratch::new();
             return dbs
                 .iter()
-                .map(|db| self.solve_store(db, opts, &mut scratch))
+                .map(|db| self.solve_store(db.borrow(), opts, &mut scratch))
                 .collect();
         }
         let chunk = dbs.len().div_ceil(threads);
@@ -486,7 +478,7 @@ impl CompiledQuery {
                         let mut scratch = SolveScratch::new();
                         chunk_dbs
                             .iter()
-                            .map(|db| self.solve_store(db, opts, &mut scratch))
+                            .map(|db| self.solve_store(db.borrow(), opts, &mut scratch))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -939,10 +931,22 @@ impl CompiledQuery {
 /// session.restore(&[t33]);
 /// assert_eq!(session.solve(&opts).unwrap().resilience, Resilience::Finite(2));
 /// ```
+///
+/// # Ownership shapes
+///
+/// `Session` is generic over *how* it holds the compiled query and the
+/// instance. The two useful shapes have aliases:
+///
+/// * [`SolveSession<'a>`] — borrows both (`&'a CompiledQuery`,
+///   `&'a FrozenDb`); the ergonomic shape for stack-scoped what-if scripts.
+/// * [`SharedSolveSession`] — owns `Arc` handles to both, so the session is
+///   `'static`: it can live in a registry, move across threads, and outlive
+///   the scope that created it (the shape `resd`, the resilience service
+///   daemon, stores per-connection named sessions in).
 #[derive(Clone, Debug)]
-pub struct SolveSession<'a> {
-    compiled: &'a CompiledQuery,
-    db: &'a FrozenDb,
+pub struct Session<C, D> {
+    compiled: C,
+    db: D,
     /// The witness set of the *full* instance (endogenous projection).
     ws: WitnessSet,
     /// Full incidence: witness → every distinct tuple it uses.
@@ -970,6 +974,15 @@ pub struct SolveSession<'a> {
     stats: SessionSolveStats,
 }
 
+/// A [`Session`] borrowing its compiled query and instance — the
+/// stack-scoped shape (see the `Session` docs).
+pub type SolveSession<'a> = Session<&'a CompiledQuery, &'a FrozenDb>;
+
+/// A [`Session`] owning `Arc` handles to its compiled query and instance —
+/// the `'static`, registry-storable shape (see the `Session` docs). Opened
+/// via [`CompiledQuery::session_shared`].
+pub type SharedSolveSession = Session<Arc<CompiledQuery>, Arc<FrozenDb>>;
+
 /// Cached result of the previous [`SolveSession::solve`].
 #[derive(Clone, Debug)]
 struct SessionCache {
@@ -980,7 +993,47 @@ struct SessionCache {
     report: SolveReport,
 }
 
-impl<'a> SolveSession<'a> {
+impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
+    /// Opens a session: enumerates the witnesses once and builds the full
+    /// tuple → witness incidence. Both [`CompiledQuery::session_opts`]
+    /// (borrowed shape) and [`CompiledQuery::session_shared`] (`Arc` shape)
+    /// delegate here.
+    pub fn open(compiled: C, db: D, opts: &SolveOptions) -> Result<Self, SolveError> {
+        let (ws, full, num_tuples) = {
+            let compiled_ref: &CompiledQuery = compiled.borrow();
+            let db_ref: &FrozenDb = db.borrow();
+            let q = &compiled_ref.classification.evidence.normalized;
+            let translation = try_relation_translation(q, db_ref)
+                .map_err(|relation| SolveError::SchemaMismatch { relation })?;
+            let mut buf = Vec::new();
+            compiled_ref.enumerate_witnesses(&translation, db_ref, opts, &mut buf);
+            let ws = WitnessSet::from_witnesses(q, db_ref, buf);
+            // Full incidence over *all* tuples a witness touches (exogenous
+            // included): a deletion of any tuple must kill exactly the
+            // witnesses using it.
+            let keep_all = vec![true; db_ref.num_tuples()];
+            let full = WitnessIndex::from_witnesses(&ws.witnesses, &keep_all);
+            let n = db_ref.num_tuples();
+            (ws, full, n)
+        };
+        let live = ws.len();
+        Ok(Session {
+            compiled,
+            db,
+            ws,
+            full,
+            dead_hits: vec![0; live],
+            deleted: vec![false; num_tuples],
+            deleted_count: 0,
+            live,
+            version: 0,
+            survivors: Vec::new(),
+            incumbent_buf: Vec::new(),
+            scratch: SolveScratch::new(),
+            cache: None,
+            stats: SessionSolveStats::default(),
+        })
+    }
     /// Marks the given tuples deleted; returns how many witnesses died as a
     /// result. Already-deleted tuples and ids outside the store are ignored.
     pub fn delete(&mut self, tuples: &[TupleId]) -> usize {
@@ -1052,13 +1105,22 @@ impl<'a> SolveSession<'a> {
         self.deleted.get(t.index()).copied().unwrap_or(false)
     }
 
-    /// The currently deleted tuples, ascending.
+    /// The currently deleted tuples, **sorted ascending by tuple id**.
+    ///
+    /// The ordering is guaranteed (the deletion state is kept as a dense
+    /// mask and scanned in id order), so any state echo built from this —
+    /// `rescli whatif --json`, the `resd` protocol's `deleted` arrays — is
+    /// deterministic across runs and independent of the order in which the
+    /// tuples were deleted.
     pub fn deleted_tuples(&self) -> Vec<TupleId> {
-        self.deleted
+        let out: Vec<TupleId> = self
+            .deleted
             .iter()
             .enumerate()
             .filter_map(|(i, &d)| d.then_some(TupleId(i as u32)))
-            .collect()
+            .collect();
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        out
     }
 
     /// Number of currently deleted tuples (`O(1)`).
@@ -1067,13 +1129,13 @@ impl<'a> SolveSession<'a> {
     }
 
     /// The instance this session solves over.
-    pub fn store(&self) -> &'a FrozenDb {
-        self.db
+    pub fn store(&self) -> &FrozenDb {
+        self.db.borrow()
     }
 
     /// The compiled query this session was opened from.
-    pub fn compiled(&self) -> &'a CompiledQuery {
-        self.compiled
+    pub fn compiled(&self) -> &CompiledQuery {
+        self.compiled.borrow()
     }
 
     /// Statistics of the most recent [`SolveSession::solve`] (warm-start
@@ -1141,15 +1203,17 @@ impl<'a> SolveSession<'a> {
     }
 
     fn solve_uncached(&mut self, opts: &SolveOptions) -> Result<SolveReport, SolveError> {
-        let q = &self.compiled.classification.evidence.normalized;
+        let compiled: &CompiledQuery = self.compiled.borrow();
+        let db: &FrozenDb = self.db.borrow();
+        let q = &compiled.classification.evidence.normalized;
         let mut stats = SessionSolveStats::default();
         if self.deleted_count == 0 {
             // Nothing deleted: dispatch on the session's own witness set —
             // no clone, no index rebuild, no store copy. Runs cold so the
             // report is bit-identical to `CompiledQuery::solve`.
-            let report = self.compiled.dispatch(
+            let report = compiled.dispatch(
                 q,
-                self.db,
+                db,
                 self.ws.view(),
                 opts,
                 &mut self.scratch,
@@ -1159,15 +1223,15 @@ impl<'a> SolveSession<'a> {
             self.stats = stats;
             return report;
         }
-        if self.compiled.dispatch_scans_raw_store() {
+        if compiled.dispatch_scans_raw_store() {
             // The dispatch target needs the deletions to be physically
             // absent. Materialize the reduced instance and translate the
             // certificate back (surviving tuples are renumbered densely in
             // scan order).
-            let reduced = copy_without_mask(self.db, &self.deleted).freeze();
-            let mut report = self.compiled.solve(&reduced, opts)?;
+            let reduced = copy_without_mask(db, &self.deleted).freeze();
+            let mut report = compiled.solve(&reduced, opts)?;
             if let Some(gamma) = &mut report.contingency {
-                let survivors: Vec<TupleId> = (0..self.db.num_tuples() as u32)
+                let survivors: Vec<TupleId> = (0..db.num_tuples() as u32)
                     .map(TupleId)
                     .filter(|t| !self.deleted[t.index()])
                     .collect();
@@ -1224,16 +1288,159 @@ impl<'a> SolveSession<'a> {
                 }
             }
         }
-        let report = self.compiled.dispatch(
-            q,
-            self.db,
-            view,
-            opts,
-            &mut self.scratch,
-            incumbent,
-            &mut stats,
-        );
+        let report = compiled.dispatch(q, db, view, opts, &mut self.scratch, incumbent, &mut stats);
         self.stats = stats;
+        report
+    }
+
+    /// Solves several hypothetical deletion sets of this instance in one
+    /// call, **sharing the session's witness index** across scoped threads —
+    /// the batched what-if entry point (the `resd` protocol's `batch_whatif`
+    /// verb; ROADMAP "batched what-if scripts").
+    ///
+    /// Each `sets[i]` is applied *on top of* the session's current deletion
+    /// state (tuples already deleted and ids outside the store are ignored,
+    /// exactly like [`Session::delete`]); the session itself is **not**
+    /// mutated. Result `i` equals cloning this session, deleting `sets[i]`
+    /// and solving cold:
+    ///
+    /// * witness liveness is answered from the session's one-time tuple →
+    ///   witness incidence (no re-enumeration, no index rebuild, no witness
+    ///   cloning — threads only keep a per-set hit-counter overlay);
+    /// * raw-store-scanning dispatch targets (component-wise, the dedicated
+    ///   Section 8 constructions) materialize their reduced copy per set,
+    ///   exactly as a regular session solve does, and certificates reference
+    ///   the session's original tuple ids;
+    /// * every set is solved independently (no warm starts between sets), so
+    ///   the results are deterministic and independent of the thread count
+    ///   and of the order of `sets`.
+    pub fn solve_whatif_batch(
+        &self,
+        sets: &[Vec<TupleId>],
+        opts: &SolveOptions,
+    ) -> Vec<Result<SolveReport, SolveError>>
+    where
+        C: Sync,
+        D: Sync,
+    {
+        let compiled: &CompiledQuery = self.compiled.borrow();
+        let db: &FrozenDb = self.db.borrow();
+        let solve_chunk = |chunk: &[Vec<TupleId>]| -> Vec<Result<SolveReport, SolveError>> {
+            let mut scratch = SolveScratch::new();
+            // Per-thread overlay over the shared incidence: extra dead hits
+            // per witness and the tuples they came from (for O(touched)
+            // reset between sets).
+            let mut extra = vec![0u32; self.ws.len()];
+            let mut touched: Vec<u32> = Vec::new();
+            let mut mask = self.deleted.clone();
+            let mut newly: Vec<TupleId> = Vec::new();
+            let mut survivors: Vec<u32> = Vec::new();
+            let mut out = Vec::with_capacity(chunk.len());
+            for set in chunk {
+                newly.clear();
+                for &t in set {
+                    if t.index() < mask.len() && !mask[t.index()] {
+                        mask[t.index()] = true;
+                        newly.push(t);
+                    }
+                }
+                out.push(self.solve_one_whatif(
+                    compiled,
+                    db,
+                    opts,
+                    &mask,
+                    &newly,
+                    &mut extra,
+                    &mut touched,
+                    &mut survivors,
+                    &mut scratch,
+                ));
+                for &t in &newly {
+                    mask[t.index()] = false;
+                }
+            }
+            out
+        };
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(sets.len())
+            .max(1);
+        if threads <= 1 {
+            return solve_chunk(sets);
+        }
+        let chunk = sets.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let solve_chunk = &solve_chunk;
+            let handles: Vec<_> = sets
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || solve_chunk(c)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("what-if batch thread panicked"))
+                .collect()
+        })
+    }
+
+    /// One hypothetical set of [`Session::solve_whatif_batch`]: `mask` is
+    /// the combined (session ∪ set) deletion mask, `newly` the set's tuples
+    /// not already deleted by the session. `extra`/`touched` are the
+    /// caller's per-thread witness hit overlay (zeroed on entry, zeroed
+    /// again on exit).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_one_whatif(
+        &self,
+        compiled: &CompiledQuery,
+        db: &FrozenDb,
+        opts: &SolveOptions,
+        mask: &[bool],
+        newly: &[TupleId],
+        extra: &mut [u32],
+        touched: &mut Vec<u32>,
+        survivors: &mut Vec<u32>,
+        scratch: &mut SolveScratch,
+    ) -> Result<SolveReport, SolveError> {
+        if compiled.dispatch_scans_raw_store() {
+            // Same materialized-copy fallback as a session solve, with the
+            // certificate translated back to original ids.
+            let reduced = copy_without_mask(db, mask).freeze();
+            let mut report = compiled.solve_with_scratch(&reduced, opts, scratch)?;
+            if let Some(gamma) = &mut report.contingency {
+                let original: Vec<TupleId> = (0..db.num_tuples() as u32)
+                    .map(TupleId)
+                    .filter(|t| !mask[t.index()])
+                    .collect();
+                for t in gamma.iter_mut() {
+                    *t = original[t.index()];
+                }
+            }
+            return Ok(report);
+        }
+        touched.clear();
+        for &t in newly {
+            for &w in self.full.witnesses_of(t) {
+                if extra[w as usize] == 0 {
+                    touched.push(w);
+                }
+                extra[w as usize] += 1;
+            }
+        }
+        survivors.clear();
+        survivors.extend(
+            self.dead_hits
+                .iter()
+                .zip(extra.iter())
+                .enumerate()
+                .filter_map(|(w, (&base, &add))| (base == 0 && add == 0).then_some(w as u32)),
+        );
+        let view = WitnessView::live(&self.ws, survivors);
+        let q = &compiled.classification.evidence.normalized;
+        let mut stats = SessionSolveStats::default();
+        let report = compiled.dispatch(q, db, view, opts, scratch, None, &mut stats);
+        for &w in touched.iter() {
+            extra[w as usize] = 0;
+        }
         report
     }
 }
@@ -1628,6 +1835,161 @@ mod tests {
                 .solve(db, &SolveOptions::new().enumeration_threads(4))
                 .unwrap();
             assert_eq!(sequential, parallel);
+        }
+    }
+
+    #[test]
+    fn shared_session_matches_borrowed_session() {
+        // The Arc-owning session shape (registry storage) must behave
+        // exactly like the borrowed shape, including across a thread move.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let compiled = Arc::new(Engine::compile(&q));
+        let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+        let frozen = Arc::new(db.freeze());
+        let opts = SolveOptions::new();
+        let mut shared = compiled.session_shared(&frozen, &opts).unwrap();
+        let mut borrowed = compiled.session(&frozen).unwrap();
+
+        let r = db.schema().relation_id("R").unwrap();
+        let t33 = db.lookup(r, &[3u64, 3]).unwrap();
+        assert_eq!(shared.delete(&[t33]), borrowed.delete(&[t33]));
+        assert_eq!(shared.deleted_tuples(), borrowed.deleted_tuples());
+        assert_eq!(shared.solve(&opts).unwrap(), borrowed.solve(&opts).unwrap());
+        // 'static: the session moves into a spawned thread and keeps
+        // working there (this is what lets resd store it per connection).
+        let report = std::thread::spawn(move || {
+            shared.restore(&[t33]);
+            shared.solve(&SolveOptions::new()).unwrap()
+        })
+        .join()
+        .unwrap();
+        borrowed.restore(&[t33]);
+        assert_eq!(report, borrowed.solve(&opts).unwrap());
+    }
+
+    #[test]
+    fn deleted_tuples_are_sorted_ascending() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1, 2]),
+                ("R", &[2, 3]),
+                ("R", &[3, 4]),
+                ("R", &[4, 5]),
+            ],
+        );
+        let frozen = db.freeze();
+        let mut session = compiled.session(&frozen).unwrap();
+        // Delete in descending/scrambled order; the echo must come back
+        // ascending regardless.
+        session.delete(&[TupleId(3), TupleId(0), TupleId(2)]);
+        assert_eq!(
+            session.deleted_tuples(),
+            vec![TupleId(0), TupleId(2), TupleId(3)]
+        );
+    }
+
+    #[test]
+    fn whatif_batch_matches_sequential_session_solves() {
+        // Every hypothetical set must answer exactly what a cloned session
+        // with that set deleted answers — across a witness-driven
+        // NP-complete query, a raw-store-scanning catalogue query, and a
+        // component-wise (disconnected) query.
+        for text in ["R(x,y), R(y,z)", "A(x), R(x,y), B(u), S(u,v)"] {
+            let q = parse_query(text).unwrap();
+            let compiled = Engine::compile(&q);
+            let mut db = Database::for_query(&q);
+            for rel in q.schema().relation_ids() {
+                let name = q.schema().name(rel).to_string();
+                match q.schema().arity(rel) {
+                    1 => {
+                        for v in 0..4u64 {
+                            db.insert_named(&name, &[v]);
+                        }
+                    }
+                    _ => {
+                        for (a, b) in [(0u64, 1u64), (1, 2), (2, 2), (2, 3), (3, 1)] {
+                            db.insert_named(&name, &[a, b]);
+                        }
+                    }
+                }
+            }
+            let frozen = db.freeze();
+            let opts = SolveOptions::new();
+            let session = compiled.session(&frozen).unwrap();
+            let n = frozen.num_tuples() as u32;
+            let sets: Vec<Vec<TupleId>> = (0..n)
+                .map(|i| vec![TupleId(i), TupleId((i + 3) % n)])
+                .chain([Vec::new(), (0..n).map(TupleId).collect()])
+                .collect();
+            let batch = session.solve_whatif_batch(&sets, &opts);
+            assert_eq!(batch.len(), sets.len());
+            for (set, got) in sets.iter().zip(&batch) {
+                let mut clone = session.clone();
+                clone.delete(set);
+                let expected = clone.solve(&SolveOptions::new().warm_start(false));
+                match (got, &expected) {
+                    (Ok(g), Ok(e)) => {
+                        assert_eq!(g.resilience, e.resilience, "{text} {set:?}");
+                        assert_eq!(g.witnesses, e.witnesses, "{text} {set:?}");
+                        assert_eq!(g.method, e.method, "{text} {set:?}");
+                        assert_eq!(
+                            g.contingency.as_ref().map(Vec::len),
+                            e.contingency.as_ref().map(Vec::len),
+                            "{text} {set:?}"
+                        );
+                        // Certificates reference original, non-deleted ids.
+                        if let Some(gamma) = &g.contingency {
+                            for t in gamma {
+                                assert!(!set.contains(t), "{text}: certificate re-deletes");
+                                assert!(t.index() < frozen.num_tuples());
+                            }
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("{text} {set:?}: {got:?} vs {expected:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whatif_batch_applies_on_top_of_current_deletions() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let db = build_db(
+            &q,
+            &[
+                ("R", &[1, 2]),
+                ("R", &[2, 3]),
+                ("R", &[3, 3]),
+                ("R", &[3, 4]),
+            ],
+        );
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        let mut session = compiled.session(&frozen).unwrap();
+        session.delete(&[TupleId(0)]);
+        let before = session.deleted_tuples();
+        let live_before = session.live_witnesses();
+        let sets = vec![
+            vec![TupleId(2)],
+            vec![TupleId(0)],
+            vec![TupleId(1), TupleId(3)],
+        ];
+        let batch = session.solve_whatif_batch(&sets, &opts);
+        // The session itself is untouched.
+        assert_eq!(session.deleted_tuples(), before);
+        assert_eq!(session.live_witnesses(), live_before);
+        for (set, got) in sets.iter().zip(&batch) {
+            let mut clone = session.clone();
+            clone.delete(set);
+            let expected = clone.solve(&SolveOptions::new().warm_start(false)).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.resilience, expected.resilience, "{set:?}");
+            assert_eq!(got.witnesses, expected.witnesses, "{set:?}");
         }
     }
 

@@ -52,8 +52,8 @@ pub mod special;
 
 pub use approx::ResilienceBounds;
 pub use engine::{
-    CompiledQuery, Engine, Resilience, SolveError, SolveOptions, SolveReport, SolveScratch,
-    SolveSession,
+    CompiledQuery, Engine, Resilience, Session, SharedSolveSession, SolveError, SolveOptions,
+    SolveReport, SolveScratch, SolveSession,
 };
 pub use exact::{BudgetExhausted, ExactResult, ExactSolver};
 pub use flow_algorithms::FlowResult;

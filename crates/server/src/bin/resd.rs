@@ -1,0 +1,47 @@
+//! `resd` — the resilience service daemon.
+//!
+//! ```text
+//! resd <addr> [--workers N] [--shutdown-file PATH]
+//! ```
+//!
+//! Binds `<addr>` (port 0 picks a free port; the actually bound address is
+//! printed as `resd listening on <addr>`), serves the newline-delimited
+//! JSON protocol documented in the `server` crate, and exits on the
+//! `shutdown` verb or when `--shutdown-file` appears.
+
+use server::{serve, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: resd <addr> [--workers N] [--shutdown-file PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let mut config = ServerConfig::new(addr.clone());
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config = config.workers(n),
+                None => return usage(),
+            },
+            "--shutdown-file" => match it.next() {
+                Some(path) => config = config.shutdown_file(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match serve(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("resd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! A thin blocking client for the `resd` protocol, shared by
+//! `rescli remote`, `perfbench serve` and the differential test suite.
+//!
+//! Requests and responses are single lines; [`Client::request`] returns both
+//! the parsed value and the **raw response text**, because the thin clients
+//! re-emit server-rendered report/event objects verbatim (see
+//! [`jsonio::extract_raw`]) to keep remote output byte-identical to local
+//! output.
+
+use crate::jsonio::{self, JsonValue};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads one response line (raw).
+    pub fn request_raw(&mut self, line: &str) -> Result<String, String> {
+        let stream = self.reader.get_mut();
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|_| stream.write_all(b"\n"))
+            .and_then(|_| stream.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if response.is_empty() {
+            return Err("connection closed by server".to_string());
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// [`Client::request_raw`] + parse + `ok` check: `Err` carries the
+    /// server's `error` text (or a transport/parse error).
+    pub fn request(&mut self, line: &str) -> Result<(JsonValue, String), String> {
+        let raw = self.request_raw(line)?;
+        let value = jsonio::parse_json(&raw).map_err(|e| format!("malformed response: {e}"))?;
+        match value.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => Ok((value, raw)),
+            Some(false) => Err(value
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown server error")
+                .to_string()),
+            None => Err(format!("response missing ok field: {raw}")),
+        }
+    }
+
+    /// Registers a query; returns `(query_id, query_display, complexity)`.
+    pub fn compile(&mut self, query_text: &str) -> Result<(String, String, String), String> {
+        let (v, _) = self.request(&format!(
+            "{{\"op\": \"compile\", \"query\": \"{}\"}}",
+            jsonio::json_escape(query_text)
+        ))?;
+        let field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("compile response missing {key}"))
+        };
+        Ok((field("query_id")?, field("query")?, field("complexity")?))
+    }
+
+    /// Uploads a database as inline text; returns `(db_id, tuples)`.
+    pub fn load_text(&mut self, query_id: &str, text: &str) -> Result<(String, usize), String> {
+        let (v, _) = self.request(&format!(
+            "{{\"op\": \"load\", \"query_id\": \"{}\", \"text\": \"{}\"}}",
+            jsonio::json_escape(query_id),
+            jsonio::json_escape(text)
+        ))?;
+        let id = v
+            .get("db_id")
+            .and_then(JsonValue::as_str)
+            .ok_or("load response missing db_id")?
+            .to_string();
+        let tuples = v
+            .get("tuples")
+            .and_then(JsonValue::as_usize)
+            .ok_or("load response missing tuples")?;
+        Ok((id, tuples))
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request("{\"op\": \"shutdown\"}").map(|_| ())
+    }
+}

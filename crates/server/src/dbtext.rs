@@ -1,0 +1,247 @@
+//! The textual database/fact format shared by `rescli` and `resd`.
+//!
+//! One `Rel(c1,c2,...)` fact per line, `#` comments; constants are
+//! non-negative integers or arbitrary labels. Labels are interned through
+//! the shared [`ConstPool`] and offset past the largest numeric constant of
+//! the input, so a label can never collide with an explicit numeric
+//! constant. Extracted from `rescli` so the daemon parses uploaded instances
+//! and fact references **identically** to the local CLI (same ids, same
+//! label resolution, same error messages).
+
+use cq::Query;
+use database::{ConstPool, Database, TupleId, TupleStore};
+use std::collections::HashMap;
+
+/// One parsed constant of a database file: a numeric literal or a label to
+/// be interned.
+enum RawConstant {
+    Number(u64),
+    Label(String),
+}
+
+/// Splits one `Rel(c1,...,ck)` fact into its relation name and the raw
+/// constant texts, validating the parenthesis shape and that the relation
+/// exists in the query. Shared by the database loader, the what-if script
+/// parser and the daemon's fact decoding so the fact syntax cannot drift;
+/// errors carry no line number (callers prefix their own).
+pub fn split_fact<'l>(q: &Query, line: &'l str) -> Result<(&'l str, Vec<&'l str>), String> {
+    let open = line.find('(').ok_or("expected Rel(...)")?;
+    let close = line
+        .rfind(')')
+        .filter(|&close| close > open)
+        .ok_or("missing ')'")?;
+    let rel = line[..open].trim();
+    if q.schema().relation_id(rel).is_none() {
+        return Err(format!("relation {rel} not in the query"));
+    }
+    Ok((
+        rel,
+        line[open + 1..close].split(',').map(str::trim).collect(),
+    ))
+}
+
+/// Parses the textual database format: one `Rel(c1,...,ck)` fact per line.
+///
+/// Labels are interned through [`ConstPool`] and offset past the largest
+/// numeric constant in `text`, so explicit numbers and interned labels can
+/// never collide.
+pub fn parse_database(q: &Query, text: &str) -> Result<Database, String> {
+    parse_database_with_labels(q, text).map(|(db, _)| db)
+}
+
+/// [`parse_database`] that also returns the label → constant resolution, so
+/// follow-up inputs referencing the same labels (what-if scripts, protocol
+/// fact references) resolve identically to the loaded text.
+pub fn parse_database_with_labels(
+    q: &Query,
+    text: &str,
+) -> Result<(Database, HashMap<String, u64>), String> {
+    let mut facts: Vec<(String, Vec<RawConstant>)> = Vec::new();
+    let mut max_number = 0u64;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (rel, raw_values) =
+            split_fact(q, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let values: Result<Vec<RawConstant>, String> = raw_values
+            .iter()
+            .map(|&v| {
+                if let Ok(n) = v.parse::<u64>() {
+                    max_number = max_number.max(n);
+                    Ok(RawConstant::Number(n))
+                } else if v.is_empty() {
+                    Err(format!("line {}: empty constant", lineno + 1))
+                } else {
+                    Ok(RawConstant::Label(v.to_string()))
+                }
+            })
+            .collect();
+        facts.push((rel.to_string(), values?));
+    }
+
+    // Second pass: labels become `offset + pool index`, strictly above every
+    // numeric constant seen in the input.
+    let offset = max_number
+        .checked_add(1)
+        .ok_or_else(|| "constant u64::MAX leaves no room for labels".to_string())?;
+    let mut pool = ConstPool::new();
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut db = Database::for_query(q);
+    for (rel, values) in facts {
+        let resolved: Result<Vec<u64>, String> = values
+            .iter()
+            .map(|value| match value {
+                RawConstant::Number(n) => Ok(*n),
+                RawConstant::Label(label) => {
+                    let c = offset
+                        .checked_add(pool.intern(label).value())
+                        .ok_or_else(|| format!("too many labels to intern past {max_number}"))?;
+                    labels.entry(label.clone()).or_insert(c);
+                    Ok(c)
+                }
+            })
+            .collect();
+        db.insert_named(&rel, &resolved?);
+    }
+    Ok((db, labels))
+}
+
+/// Resolves one fact text `Rel(c1,...)` against a query schema and the
+/// label resolution of a previously parsed database: numbers stay verbatim,
+/// labels must occur in the loaded text (unknown labels are errors, never
+/// silent fresh constants).
+pub fn resolve_fact(
+    q: &Query,
+    labels: &HashMap<String, u64>,
+    fact: &str,
+) -> Result<(String, Vec<u64>), String> {
+    let (rel, raw_values) = split_fact(q, fact.trim())?;
+    let values: Result<Vec<u64>, String> = raw_values
+        .iter()
+        .map(|&v| {
+            if let Ok(n) = v.parse::<u64>() {
+                Ok(n)
+            } else if let Some(&c) = labels.get(v) {
+                Ok(c)
+            } else if v.is_empty() {
+                Err("empty constant".to_string())
+            } else {
+                Err(format!("label {v} does not occur in the database file"))
+            }
+        })
+        .collect();
+    Ok((rel.to_string(), values?))
+}
+
+/// [`resolve_fact`] + tuple lookup in a store: the id of the referenced
+/// tuple, or an error naming the missing fact.
+pub fn lookup_fact<S: TupleStore + ?Sized>(
+    q: &Query,
+    labels: &HashMap<String, u64>,
+    db: &S,
+    fact: &str,
+) -> Result<TupleId, String> {
+    let (rel, values) = resolve_fact(q, labels, fact)?;
+    let rel_id = db
+        .schema()
+        .relation_id(&rel)
+        .ok_or_else(|| format!("relation {rel} not in the instance"))?;
+    let consts: Vec<database::Constant> = values.iter().map(|&v| v.into()).collect();
+    db.lookup_values(rel_id, &consts)
+        .ok_or_else(|| format!("no such tuple {rel}{values:?}"))
+}
+
+/// Renders a store back into the textual format (one fact per line, grouped
+/// by relation in schema order, insertion order within a relation). Parsing
+/// the result with [`parse_database`] reproduces the tuples; it is how thin
+/// clients upload a local instance to the daemon.
+pub fn to_text<S: TupleStore + ?Sized>(db: &S) -> String {
+    let mut out = String::new();
+    for rel in db.schema().relation_ids() {
+        let name = db.schema().name(rel);
+        for &t in db.tuples_of(rel) {
+            let vals: Vec<String> = db.values_of(t).iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!("{name}({})\n", vals.join(",")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    #[test]
+    fn labels_do_not_collide_with_large_numeric_constants() {
+        // Regression (from rescli): a fixed label-interning base aliased
+        // explicit constants ≥ 1,000,000.
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let text = "R(1000001, 7)\nR(alpha, 7)\nR(7, 9)\n";
+        let db = parse_database(&q, text).unwrap();
+        assert_eq!(db.num_tuples(), 3, "label collided with numeric constant");
+    }
+
+    #[test]
+    fn labels_are_offset_past_the_input_maximum() {
+        let q = parse_query("R(x,y)").unwrap();
+        let db = parse_database(&q, "R(42, alpha)\nR(7, beta)\n").unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        assert!(db.contains(r, &[42u64, 43]));
+        assert!(db.contains(r, &[7u64, 44]));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_line_numbers() {
+        let q = parse_query("R(x,y)").unwrap();
+        assert!(parse_database(&q, "R(1, 2\n")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_database(&q, "# ok\nZ(1, 2)\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse_database(&q, "R(1, )\n")
+            .unwrap_err()
+            .contains("empty"));
+        assert!(parse_database(&q, "R)2(\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn resolve_and_lookup_facts_match_the_loader() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let (db, labels) = parse_database_with_labels(&q, "R(a,b)\nR(b,c)\nR(7,9)\n").unwrap();
+        let frozen = db.freeze();
+        let t = lookup_fact(&q, &labels, &frozen, "R(a,b)").unwrap();
+        assert_eq!(frozen.values_of(t), db.values_of(t));
+        assert!(lookup_fact(&q, &labels, &frozen, "R(zz,b)")
+            .unwrap_err()
+            .contains("label zz"));
+        assert!(lookup_fact(&q, &labels, &frozen, "Z(1,2)")
+            .unwrap_err()
+            .contains("relation Z"));
+        assert!(lookup_fact(&q, &labels, &frozen, "R(9,7)")
+            .unwrap_err()
+            .contains("no such tuple"));
+    }
+
+    #[test]
+    fn to_text_round_trips_through_the_parser() {
+        let q = parse_query("A(x), R(x,y)").unwrap();
+        let (db, _) = parse_database_with_labels(&q, "A(1)\nR(1,2)\nR(2,3)\nA(4)\n").unwrap();
+        let text = to_text(&db);
+        let re = parse_database(&q, &text).unwrap();
+        assert_eq!(re.num_tuples(), db.num_tuples());
+        for rel in db.schema().relation_ids() {
+            let vals = |store: &Database, t: TupleId| -> Vec<u64> {
+                store.values_of(t).iter().map(|c| c.0).collect()
+            };
+            let mut a: Vec<Vec<u64>> = db.tuples_of(rel).iter().map(|&t| vals(&db, t)).collect();
+            let mut b: Vec<Vec<u64>> = re.tuples_of(rel).iter().map(|&t| vals(&re, t)).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+}

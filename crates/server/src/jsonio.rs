@@ -1,0 +1,514 @@
+//! Hand-rolled JSON: the writer/escaper shared by `rescli` and `resd`, the
+//! report/event renderers both front ends must emit **identically**, and a
+//! minimal JSON value parser for request decoding.
+//!
+//! The build environment has no network access (see `vendor/README.md`), so
+//! no serde: the protocol is small enough that a few hundred lines of
+//! recursive descent cover it. Everything the daemon sends over the wire and
+//! everything `rescli --json` prints goes through the renderers here, which
+//! is what makes the `tests/server.rs` byte-identity differentials possible.
+
+use database::{TupleId, TupleStore};
+use resilience_core::engine::{Resilience, SessionSolveStats, SolveReport};
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one tuple as the canonical fact text `Rel(c1,c2,...)` — the same
+/// form the database file format uses, so echoed state can be pasted back
+/// into scripts and requests.
+pub fn render_tuple<S: TupleStore + ?Sized>(db: &S, t: TupleId) -> String {
+    let rel = db.schema().name(db.relation_of(t));
+    let vals: Vec<String> = db.values_of(t).iter().map(|c| c.to_string()).collect();
+    format!("{rel}({})", vals.join(","))
+}
+
+/// Renders a contingency set (or any tuple list) as fact texts, in input
+/// order.
+pub fn render_contingency<S: TupleStore + ?Sized>(db: &S, gamma: &[TupleId]) -> Vec<String> {
+    gamma.iter().map(|&t| render_tuple(db, t)).collect()
+}
+
+/// Appends `"resilience": ..., "unfalsifiable": ...` (with leading comma).
+fn write_resilience_fields(out: &mut String, resilience: Resilience) {
+    match resilience {
+        Resilience::Finite(k) => {
+            let _ = write!(out, ", \"resilience\": {k}, \"unfalsifiable\": false");
+        }
+        Resilience::Unfalsifiable => {
+            let _ = write!(out, ", \"resilience\": null, \"unfalsifiable\": true");
+        }
+    }
+}
+
+/// Appends `"method": "..."` (with leading comma).
+fn write_method_field(out: &mut String, report: &SolveReport) {
+    let _ = write!(
+        out,
+        ", \"method\": \"{}\"",
+        json_escape(&format!("{:?}", report.method))
+    );
+}
+
+/// Appends `"contingency": [...]` or `"contingency": null` (with leading
+/// comma).
+fn write_contingency_field<S: TupleStore + ?Sized>(out: &mut String, db: &S, report: &SolveReport) {
+    if let Some(gamma) = &report.contingency {
+        let rendered: Vec<String> = render_contingency(db, gamma)
+            .into_iter()
+            .map(|t| format!("\"{}\"", json_escape(&t)))
+            .collect();
+        let _ = write!(out, ", \"contingency\": [{}]", rendered.join(", "));
+    } else {
+        let _ = write!(out, ", \"contingency\": null");
+    }
+}
+
+/// The inner fields of a solve report (no surrounding braces, no leading
+/// comma): `"tuples": ..., "witnesses": ..., "resilience": ...,
+/// "unfalsifiable": ..., "method": ..., "contingency": ...`. Shared by
+/// [`report_json`] and the daemon's `batch_whatif` rows.
+pub fn report_body<S: TupleStore + ?Sized>(db: &S, report: &SolveReport) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "\"tuples\": {}", db.num_tuples());
+    let _ = write!(out, ", \"witnesses\": {}", report.witnesses);
+    write_resilience_fields(&mut out, report.resilience);
+    write_method_field(&mut out, report);
+    write_contingency_field(&mut out, db, report);
+    out
+}
+
+/// Renders one solve report as a JSON object (no trailing newline), labelled
+/// with `file` — the row format of `rescli solve/batch --json` and of the
+/// daemon's `solve`/`batch` results.
+pub fn report_json<S: TupleStore + ?Sized>(file: &str, db: &S, report: &SolveReport) -> String {
+    format!(
+        "{{\"file\": \"{}\", {}}}",
+        json_escape(file),
+        report_body(db, report)
+    )
+}
+
+/// The per-step solver statistics object embedded in solve events
+/// (`"solver": {...}` in `rescli whatif --json` and `resd` `resolve`
+/// responses).
+pub fn solver_stats_json(stats: &SessionSolveStats) -> String {
+    format!(
+        "{{\"warm_start_hit\": {}, \"incumbent_reused\": {}, \"short_circuit\": {}, \
+         \"replayed\": {}, \"nodes_explored\": {}}}",
+        stats.warm_start_hit,
+        stats.incumbent_reused,
+        stats.short_circuit,
+        stats.replayed,
+        stats.nodes_explored,
+    )
+}
+
+/// One session `solve` event object — the format of `rescli whatif --json`
+/// solve steps and of the daemon's `resolve` responses.
+pub fn solve_event_json<S: TupleStore + ?Sized>(
+    db: &S,
+    report: &SolveReport,
+    stats: &SessionSolveStats,
+) -> String {
+    let mut obj = String::from("{\"op\": \"solve\"");
+    write_resilience_fields(&mut obj, report.resilience);
+    let _ = write!(obj, ", \"witnesses\": {}", report.witnesses);
+    write_method_field(&mut obj, report);
+    let _ = write!(obj, ", \"solver\": {}", solver_stats_json(stats));
+    write_contingency_field(&mut obj, db, report);
+    obj.push('}');
+    obj
+}
+
+/// One session `delete`/`restore` event object.
+pub fn mutation_event_json(
+    verb: &str,
+    rendered_tuple: &str,
+    witnesses_changed: usize,
+    live_witnesses: usize,
+    deleted_count: usize,
+) -> String {
+    format!(
+        "{{\"op\": \"{verb}\", \"tuple\": \"{}\", \"witnesses_changed\": {witnesses_changed}, \
+         \"live_witnesses\": {live_witnesses}, \"deleted_count\": {deleted_count}}}",
+        json_escape(rendered_tuple),
+    )
+}
+
+/// One session `reset` event object.
+pub fn reset_event_json(live_witnesses: usize) -> String {
+    format!("{{\"op\": \"reset\", \"live_witnesses\": {live_witnesses}}}")
+}
+
+/// A parsed JSON value. Numbers are kept as `f64` — every quantity the
+/// protocol carries (handles are strings; counts, budgets and thread counts
+/// are well under 2^53) round-trips exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    /// Insertion-ordered key/value pairs (duplicate keys keep the first).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Parses one JSON document (object, array or scalar). Trailing garbage is
+/// an error; leading/trailing whitespace is fine.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(text, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(text, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(text, bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {} (found {:?})",
+                            *pos,
+                            other.map(|&c| c as char)
+                        ))
+                    }
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']' at byte {} (found {:?})",
+                            *pos,
+                            other.map(|&c| c as char)
+                        ))
+                    }
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(text, bytes, pos)?)),
+        Some(b't') => parse_keyword(text, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(text, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(text, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(text, bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    text: &str,
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if text[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    text[start..*pos]
+        .parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = text
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape {hex}"))?;
+                        // Surrogate pairs are not needed by the protocol
+                        // (the escaper only emits \u00xx controls); reject
+                        // them loudly instead of decoding garbage.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {:?}", other.map(|&c| c as char))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 scalar from the source text.
+                let rest = &text[*pos..];
+                let c = rest.chars().next().expect("non-empty by guard");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Extracts the **raw source text** of `"key": <value>` from a JSON
+/// document: the exact byte span of the value, string-aware and
+/// brace-balanced. This is how the thin clients re-emit server-rendered
+/// report/event objects verbatim (guaranteeing remote output is
+/// byte-identical to local output) without a parse → re-serialize round
+/// trip that could reformat them.
+pub fn extract_raw<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)?;
+    let mut rest = doc[at + needle.len()..].trim_start();
+    // Scalar values end at the next comma/brace at depth 0; containers are
+    // brace-balanced.
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' if depth > 0 => {
+                depth -= 1;
+                if depth == 0 {
+                    rest = &rest[..=i];
+                    return Some(rest);
+                }
+            }
+            b',' | b'}' | b']' if depth == 0 => {
+                rest = rest[..i].trim_end();
+                return Some(rest);
+            }
+            _ => {}
+        }
+    }
+    Some(rest.trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn parse_round_trips_escaped_strings() {
+        let v = parse_json("\"a\\\"b\\\\c\\u000ad\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn parse_objects_arrays_numbers() {
+        let v = parse_json(
+            "{\"op\": \"solve\", \"n\": 42, \"neg\": -1.5, \"ok\": true, \
+             \"none\": null, \"xs\": [1, 2, 3], \"nested\": {\"k\": []}}",
+        )
+        .unwrap();
+        assert_eq!(v.get("op").and_then(JsonValue::as_str), Some("solve"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_usize), Some(42));
+        assert_eq!(v.get("neg").and_then(JsonValue::as_f64), Some(-1.5));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert!(v.get("none").unwrap().is_null());
+        assert_eq!(v.get("xs").and_then(JsonValue::as_array).unwrap().len(), 3);
+        assert!(v.get("nested").unwrap().get("k").is_some());
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("tru").is_err());
+    }
+
+    #[test]
+    fn extract_raw_returns_exact_value_spans() {
+        let doc =
+            "{\"ok\": true, \"event\": {\"op\": \"solve\", \"xs\": [1, {\"y\": \"}\"}]}, \"z\": 3}";
+        assert_eq!(
+            extract_raw(doc, "event"),
+            Some("{\"op\": \"solve\", \"xs\": [1, {\"y\": \"}\"}]}")
+        );
+        assert_eq!(extract_raw(doc, "ok"), Some("true"));
+        assert_eq!(extract_raw(doc, "z"), Some("3"));
+        let arr = "{\"results\": [{\"a\": 1}, {\"b\": \"],\"}], \"tail\": 0}";
+        assert_eq!(
+            extract_raw(arr, "results"),
+            Some("[{\"a\": 1}, {\"b\": \"],\"}]")
+        );
+        assert_eq!(extract_raw(doc, "missing"), None);
+    }
+}

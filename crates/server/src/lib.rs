@@ -1,0 +1,330 @@
+//! `resd` — a concurrent resilience service daemon over the compiled engine.
+//!
+//! The ROADMAP's north star is a production-scale system serving heavy
+//! traffic; `Engine::compile` + `CompiledQuery::solve_batch` are its natural
+//! RPC surface. This crate wraps them in a long-lived, multi-threaded TCP
+//! daemon speaking a **newline-delimited JSON** protocol over `std::net` —
+//! std-only by construction (the build environment has no network access for
+//! dependencies; see `vendor/README.md`).
+//!
+//! # Protocol
+//!
+//! One request object per line, one response object per line, in order.
+//! Every response carries `"ok": true` or
+//! `"ok": false, "kind": ..., "error": ...`.
+//!
+//! | verb | request fields | response fields |
+//! |---|---|---|
+//! | `ping` | — | `pong` |
+//! | `compile` | `query`, \[`id`\] | `query_id`, `query`, `complexity` |
+//! | `load` / `freeze` | `query_id`, `text` \| `path`, \[`id`\] | `db_id`, `tuples` |
+//! | `unload` | `query_id` and/or `db_id` | `unloaded` (evicts registry entries; open sessions keep their `Arc`s) |
+//! | `solve` | `query_id`, `db_id`, \[`tag`\], \[`options`\] | `result` (report object) |
+//! | `batch` | `query_id`, `db_ids`, \[`tags`\], \[`options`\] | `results` (report/error rows) |
+//! | `session` | `query_id`, `db_id`, \[`session_id`\], \[`options`\] | `session_id`, `query`, `complexity`, `tuples`, `witnesses` |
+//! | `delete` / `restore` | `session_id`, `tuple` | `event`, `deleted` (sorted) |
+//! | `reset` | `session_id` | `event` |
+//! | `resolve` | `session_id`, \[`options`\] | `event` (solve event with `solver` stats) |
+//! | `batch_whatif` | `session_id`, `sets`, \[`options`\] | `results` (report/error rows) |
+//! | `close` | `session_id` | `closed` |
+//! | `shutdown` | — | `shutting_down` |
+//!
+//! Databases upload as the same `Rel(c1,...)` text format `rescli` reads
+//! (inline `text` or a server-local `path`); tuples in requests and
+//! responses are fact texts resolved through the uploaded instance's label
+//! map, so a remote client sees exactly the ids a local run sees. `options`
+//! mirrors [`SolveOptions`](resilience_core::engine::SolveOptions):
+//! `node_budget`, `want_contingency`,
+//! `enumeration_threads`, `warm_start`, `adaptive_plan`.
+//!
+//! # Architecture
+//!
+//! An accept loop feeds accepted connections to a **fixed worker pool** of
+//! scoped threads over an mpsc channel. Compiled queries and frozen
+//! databases live in an `Arc`-shared registry behind an `RwLock` — handles
+//! are cloned out under a brief read lock, never held across a solve. Each
+//! worker reuses one [`SolveScratch`] across every request it serves.
+//! Named what-if sessions ([`SharedSolveSession`] — `Arc`-owning, so no
+//! borrows into the registry) are **per-connection** state; warm starts and
+//! [`SessionSolveStats`](resilience_core::engine::SessionSolveStats) work
+//! exactly as they do locally. Graceful shutdown: the `shutdown` verb or
+//! the appearance of a configured signal file stops the accept loop,
+//! workers drain their current connection (read timeouts re-check the
+//! flag), and `run` returns.
+
+pub mod client;
+pub mod dbtext;
+pub mod jsonio;
+mod proto;
+
+use resilience_core::engine::{CompiledQuery, SharedSolveSession, SolveScratch};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use database::FrozenDb;
+
+/// Configuration of a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (port 0 picks a free port —
+    /// read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Fixed worker-pool size. 0 means one worker per available hardware
+    /// thread.
+    pub workers: usize,
+    /// Optional signal file: the daemon shuts down gracefully as soon as
+    /// this path exists (checked by the accept loop).
+    pub shutdown_file: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// Config with the default worker count (one per hardware thread) and
+    /// no signal file.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            workers: 0,
+            shutdown_file: None,
+        }
+    }
+
+    /// Sets the worker-pool size (0 = one per hardware thread).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the shutdown signal file.
+    pub fn shutdown_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.shutdown_file = Some(path.into());
+        self
+    }
+}
+
+/// A compiled query registered with the daemon.
+pub(crate) struct QueryEntry {
+    pub(crate) query: cq::Query,
+    pub(crate) compiled: Arc<CompiledQuery>,
+}
+
+/// A frozen instance registered with the daemon, plus the label resolution
+/// of the text it was parsed from (so fact references in later requests
+/// resolve identically to the upload).
+pub(crate) struct DbEntry {
+    pub(crate) id: String,
+    pub(crate) frozen: Arc<FrozenDb>,
+    pub(crate) labels: HashMap<String, u64>,
+}
+
+/// The shared, append-mostly registry of compiled queries and frozen
+/// instances. Entries are `Arc`s: lookups clone a handle under a brief read
+/// lock and solve outside it.
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) queries: HashMap<String, Arc<QueryEntry>>,
+    pub(crate) dbs: HashMap<String, Arc<DbEntry>>,
+    next_query: u64,
+    next_db: u64,
+}
+
+impl Registry {
+    /// Next unused auto-generated query id. Skips ids a client registered
+    /// explicitly — an auto id must never silently replace someone else's
+    /// entry.
+    pub(crate) fn next_query_id(&mut self) -> String {
+        loop {
+            let id = format!("q{}", self.next_query);
+            self.next_query += 1;
+            if !self.queries.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Next unused auto-generated database id (same skip rule as
+    /// [`Registry::next_query_id`]).
+    pub(crate) fn next_db_id(&mut self) -> String {
+        loop {
+            let id = format!("d{}", self.next_db);
+            self.next_db += 1;
+            if !self.dbs.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+}
+
+/// One named session of a connection: the `Arc`-owning session plus the
+/// registry handles its facts resolve through.
+pub(crate) struct SessionEntry {
+    pub(crate) session: SharedSolveSession,
+    pub(crate) query: Arc<QueryEntry>,
+    pub(crate) db: Arc<DbEntry>,
+}
+
+/// Per-connection protocol state.
+#[derive(Default)]
+pub(crate) struct ConnState {
+    pub(crate) sessions: HashMap<String, SessionEntry>,
+    next_session: u64,
+}
+
+impl ConnState {
+    /// Next unused auto-generated session id (skips explicitly named
+    /// sessions, like [`Registry::next_query_id`]).
+    pub(crate) fn next_session_id(&mut self) -> String {
+        loop {
+            let id = format!("s{}", self.next_session);
+            self.next_session += 1;
+            if !self.sessions.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+}
+
+/// A bound (not yet running) daemon. `bind` + `run` are split so callers —
+/// tests, `perfbench serve`, `rescli serve` — can learn the actual address
+/// before the accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl Server {
+    /// Binds the listener. The accept loop does not start until
+    /// [`Server::run`].
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            registry: Arc::new(RwLock::new(Registry::default())),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return: set it to `true` from
+    /// any thread (the in-process equivalent of the `shutdown` verb).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the daemon: accept loop + fixed worker pool, until the
+    /// `shutdown` verb arrives, the signal file appears, or the shutdown
+    /// flag is set. Returns after all workers have drained.
+    pub fn run(self) -> io::Result<()> {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.workers
+        };
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        let shutdown = &self.shutdown;
+        let registry = &self.registry;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = &rx;
+                scope.spawn(move || worker_loop(rx, registry, shutdown));
+            }
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Some(path) = &self.config.shutdown_file {
+                    if path.exists() {
+                        shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        drop(tx);
+                        return Err(e);
+                    }
+                }
+            }
+            drop(tx);
+            Ok(())
+        })
+    }
+}
+
+/// One pool worker: pull connections off the shared channel, serve each to
+/// completion with a worker-lifetime [`SolveScratch`], exit when the accept
+/// loop hangs up.
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    registry: &RwLock<Registry>,
+    shutdown: &AtomicBool,
+) {
+    let mut scratch = SolveScratch::new();
+    loop {
+        // Take the stream *outside* the lock so one slow connection never
+        // serializes the whole pool behind the receiver mutex.
+        let stream = {
+            let guard = rx.lock().expect("worker receiver poisoned");
+            match guard.recv_timeout(Duration::from_millis(100)) {
+                Ok(stream) => Some(stream),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        match stream {
+            Some(stream) => proto::serve_connection(stream, registry, shutdown, &mut scratch),
+            None => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: bind + run in one call (the `resd` binary's body). Prints
+/// the listening line to stdout so wrapper scripts can wait for readiness.
+pub fn serve(config: ServerConfig) -> io::Result<()> {
+    let server = Server::bind(config)?;
+    let addr = server.local_addr()?;
+    println!("resd listening on {addr}");
+    use std::io::Write as _;
+    let _ = io::stdout().flush();
+    server.run()
+}
+
+/// Resolves an address string for clients (first match).
+pub fn resolve_addr(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cannot resolve {addr}"),
+        )
+    })
+}

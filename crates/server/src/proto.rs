@@ -1,0 +1,551 @@
+//! The request/response protocol of `resd`: connection serving and verb
+//! dispatch. All rendering goes through [`crate::jsonio`] so responses are
+//! byte-identical to what the local `rescli --json` paths print.
+
+use crate::dbtext;
+use crate::jsonio::{self, JsonValue};
+use crate::{ConnState, DbEntry, QueryEntry, Registry, SessionEntry};
+use cq::parse_query;
+use resilience_core::engine::{Engine, SolveError, SolveOptions, SolveScratch};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// What the connection loop should do after a request.
+pub(crate) enum Action {
+    Continue,
+    Shutdown,
+}
+
+fn err_json(kind: &str, msg: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"kind\": \"{}\", \"error\": \"{}\"}}",
+        jsonio::json_escape(kind),
+        jsonio::json_escape(msg)
+    )
+}
+
+fn solve_err_json(e: &SolveError) -> String {
+    let kind = match e {
+        SolveError::BudgetExhausted { .. } => "budget_exhausted",
+        SolveError::SchemaMismatch { .. } => "schema_mismatch",
+    };
+    err_json(kind, &e.to_string())
+}
+
+fn bad(msg: &str) -> String {
+    err_json("bad_request", msg)
+}
+
+/// Serves one accepted connection to completion: read a line, answer a
+/// line. Read timeouts re-check the shutdown flag so a long-idle client
+/// cannot hold up a graceful shutdown.
+pub(crate) fn serve_connection(
+    stream: TcpStream,
+    registry: &RwLock<Registry>,
+    shutdown: &AtomicBool,
+    scratch: &mut SolveScratch,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut conn = ConnState::default();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => return, // EOF: client done
+            Ok(_) if !buf.ends_with(b"\n") => {
+                // Timed out mid-line with partial data appended: keep
+                // accumulating (read_until documents partial reads on error,
+                // and a short read without newline means the rest is still
+                // in flight).
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(_) => {
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, action) = handle_request(registry, &mut conn, scratch, &line);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if let Action::Shutdown = action {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes [`SolveOptions`] from an optional `options` object.
+fn parse_options(req: &JsonValue) -> Result<SolveOptions, String> {
+    let mut opts = SolveOptions::new();
+    let Some(obj) = req.get("options") else {
+        return Ok(opts);
+    };
+    let fields = match obj {
+        JsonValue::Obj(fields) => fields,
+        JsonValue::Null => return Ok(opts),
+        _ => return Err("options must be an object".to_string()),
+    };
+    for (key, value) in fields {
+        match key.as_str() {
+            "node_budget" => {
+                let n = value
+                    .as_usize()
+                    .ok_or("node_budget must be a non-negative integer")?;
+                opts = opts.node_budget(n);
+            }
+            "want_contingency" => {
+                opts = opts.want_contingency(value.as_bool().ok_or("want_contingency: bool")?);
+            }
+            "enumeration_threads" => {
+                let n = value
+                    .as_usize()
+                    .ok_or("enumeration_threads must be a non-negative integer")?;
+                opts = opts.enumeration_threads(n);
+            }
+            "warm_start" => {
+                opts = opts.warm_start(value.as_bool().ok_or("warm_start: bool")?);
+            }
+            "adaptive_plan" => {
+                opts = opts.adaptive_plan(value.as_bool().ok_or("adaptive_plan: bool")?);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn req_str<'a>(req: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    req.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field {key}"))
+}
+
+fn get_query(registry: &RwLock<Registry>, id: &str) -> Result<Arc<QueryEntry>, String> {
+    registry
+        .read()
+        .expect("registry poisoned")
+        .queries
+        .get(id)
+        .cloned()
+        .ok_or_else(|| format!("unknown query_id {id}"))
+}
+
+fn get_db(registry: &RwLock<Registry>, id: &str) -> Result<Arc<DbEntry>, String> {
+    registry
+        .read()
+        .expect("registry poisoned")
+        .dbs
+        .get(id)
+        .cloned()
+        .ok_or_else(|| format!("unknown db_id {id}"))
+}
+
+/// Dispatches one request line. Always produces exactly one response line.
+pub(crate) fn handle_request(
+    registry: &RwLock<Registry>,
+    conn: &mut ConnState,
+    scratch: &mut SolveScratch,
+    line: &str,
+) -> (String, Action) {
+    let req = match jsonio::parse_json(line.trim()) {
+        Ok(v) => v,
+        Err(e) => return (err_json("parse", &e), Action::Continue),
+    };
+    let op = match req.get("op").and_then(JsonValue::as_str) {
+        Some(op) => op.to_string(),
+        None => return (bad("missing string field op"), Action::Continue),
+    };
+    if op == "shutdown" {
+        return (
+            "{\"ok\": true, \"shutting_down\": true}".to_string(),
+            Action::Shutdown,
+        );
+    }
+    let response = match op.as_str() {
+        "ping" => Ok("{\"ok\": true, \"pong\": true}".to_string()),
+        "compile" => op_compile(registry, &req),
+        "load" | "freeze" => op_load(registry, &req),
+        "unload" => op_unload(registry, &req),
+        "solve" => op_solve(registry, scratch, &req),
+        "batch" => op_batch(registry, &req),
+        "session" => op_session(registry, conn, &req),
+        "delete" | "restore" => op_mutate(conn, &req, op == "delete"),
+        "reset" => op_reset(conn, &req),
+        "resolve" => op_resolve(conn, &req),
+        "batch_whatif" => op_batch_whatif(conn, &req),
+        "close" => op_close(conn, &req),
+        other => Err(bad(&format!("unknown op {other}"))),
+    };
+    (response.unwrap_or_else(|e| e), Action::Continue)
+}
+
+fn op_compile(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+    let text = req_str(req, "query").map_err(|e| bad(&e))?;
+    let query = parse_query(text).map_err(|e| bad(&format!("could not parse query: {e}")))?;
+    let compiled = Arc::new(Engine::compile(&query));
+    let complexity = compiled.classification().complexity.to_string();
+    let display = query.to_string();
+    let id = {
+        let mut reg = registry.write().expect("registry poisoned");
+        let id = match req.get("id").and_then(JsonValue::as_str) {
+            Some(explicit) => explicit.to_string(),
+            None => reg.next_query_id(),
+        };
+        // Re-registering an id replaces the entry (idempotent clients).
+        reg.queries
+            .insert(id.clone(), Arc::new(QueryEntry { query, compiled }));
+        id
+    };
+    Ok(format!(
+        "{{\"ok\": true, \"query_id\": \"{}\", \"query\": \"{}\", \"complexity\": \"{}\"}}",
+        jsonio::json_escape(&id),
+        jsonio::json_escape(&display),
+        jsonio::json_escape(&complexity),
+    ))
+}
+
+fn op_load(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
+        .map_err(|e| err_json("unknown_handle", &e))?;
+    let text = match req.get("text").and_then(JsonValue::as_str) {
+        Some(text) => text.to_string(),
+        None => {
+            let path = req
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("load needs text or path"))?;
+            std::fs::read_to_string(path)
+                .map_err(|e| err_json("io", &format!("cannot read {path}: {e}")))?
+        }
+    };
+    let (db, labels) = dbtext::parse_database_with_labels(&query.query, &text)
+        .map_err(|e| err_json("parse", &e))?;
+    let frozen = Arc::new(db.freeze());
+    let tuples = frozen.num_tuples();
+    let id = {
+        let mut reg = registry.write().expect("registry poisoned");
+        let id = match req.get("id").and_then(JsonValue::as_str) {
+            Some(explicit) => explicit.to_string(),
+            None => reg.next_db_id(),
+        };
+        reg.dbs.insert(
+            id.clone(),
+            Arc::new(DbEntry {
+                id: id.clone(),
+                frozen,
+                labels,
+            }),
+        );
+        id
+    };
+    Ok(format!(
+        "{{\"ok\": true, \"db_id\": \"{}\", \"tuples\": {tuples}}}",
+        jsonio::json_escape(&id),
+    ))
+}
+
+/// Evicts registry entries, bounding a long-lived daemon's memory: every
+/// `load` pins an instance until someone unloads it. Open sessions hold
+/// their own `Arc`s, so unloading while a session is live is safe — the
+/// data is freed when the last session over it closes.
+fn op_unload(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+    let qid = req.get("query_id").and_then(JsonValue::as_str);
+    let did = req.get("db_id").and_then(JsonValue::as_str);
+    if qid.is_none() && did.is_none() {
+        return Err(bad("unload needs query_id and/or db_id"));
+    }
+    let mut unloaded = Vec::new();
+    {
+        // Validate both handles before removing either: an error response
+        // must mean nothing was unloaded.
+        let mut reg = registry.write().expect("registry poisoned");
+        if let Some(id) = qid {
+            if !reg.queries.contains_key(id) {
+                return Err(err_json(
+                    "unknown_handle",
+                    &format!("unknown query_id {id}"),
+                ));
+            }
+        }
+        if let Some(id) = did {
+            if !reg.dbs.contains_key(id) {
+                return Err(err_json("unknown_handle", &format!("unknown db_id {id}")));
+            }
+        }
+        if let Some(id) = qid {
+            reg.queries.remove(id);
+            unloaded.push(id);
+        }
+        if let Some(id) = did {
+            reg.dbs.remove(id);
+            unloaded.push(id);
+        }
+    }
+    let rendered: Vec<String> = unloaded
+        .iter()
+        .map(|id| format!("\"{}\"", jsonio::json_escape(id)))
+        .collect();
+    Ok(format!(
+        "{{\"ok\": true, \"unloaded\": [{}]}}",
+        rendered.join(", ")
+    ))
+}
+
+fn op_solve(
+    registry: &RwLock<Registry>,
+    scratch: &mut SolveScratch,
+    req: &JsonValue,
+) -> Result<String, String> {
+    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
+        .map_err(|e| err_json("unknown_handle", &e))?;
+    let db = get_db(registry, req_str(req, "db_id").map_err(|e| bad(&e))?)
+        .map_err(|e| err_json("unknown_handle", &e))?;
+    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let tag = req
+        .get("tag")
+        .and_then(JsonValue::as_str)
+        .unwrap_or(&db.id)
+        .to_string();
+    let report = query
+        .compiled
+        .solve_with_scratch(&db.frozen, &opts, scratch)
+        .map_err(|e| solve_err_json(&e))?;
+    Ok(format!(
+        "{{\"ok\": true, \"result\": {}}}",
+        jsonio::report_json(&tag, db.frozen.as_ref(), &report)
+    ))
+}
+
+fn op_batch(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
+        .map_err(|e| err_json("unknown_handle", &e))?;
+    let ids = req
+        .get("db_ids")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| bad("missing array field db_ids"))?;
+    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let tags: Vec<Option<String>> = match req.get("tags").and_then(JsonValue::as_array) {
+        Some(tags) if tags.len() == ids.len() => tags
+            .iter()
+            .map(|t| t.as_str().map(str::to_string))
+            .collect(),
+        Some(_) => return Err(bad("tags must match db_ids in length")),
+        None => vec![None; ids.len()],
+    };
+    let mut entries = Vec::with_capacity(ids.len());
+    for id in ids {
+        let id = id.as_str().ok_or_else(|| bad("db_ids must be strings"))?;
+        entries.push(get_db(registry, id).map_err(|e| err_json("unknown_handle", &e))?);
+    }
+    let frozen: Vec<Arc<database::FrozenDb>> =
+        entries.iter().map(|e| Arc::clone(&e.frozen)).collect();
+    let reports = query.compiled.solve_batch(&frozen, &opts);
+    let rows: Vec<String> = entries
+        .iter()
+        .zip(&tags)
+        .zip(&reports)
+        .map(|((entry, tag), report)| {
+            let tag = tag.as_deref().unwrap_or(&entry.id);
+            match report {
+                Ok(report) => jsonio::report_json(tag, entry.frozen.as_ref(), report),
+                Err(e) => format!(
+                    "{{\"file\": \"{}\", \"error\": \"{}\"}}",
+                    jsonio::json_escape(tag),
+                    jsonio::json_escape(&e.to_string())
+                ),
+            }
+        })
+        .collect();
+    Ok(format!(
+        "{{\"ok\": true, \"results\": [{}]}}",
+        rows.join(", ")
+    ))
+}
+
+fn op_session(
+    registry: &RwLock<Registry>,
+    conn: &mut ConnState,
+    req: &JsonValue,
+) -> Result<String, String> {
+    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
+        .map_err(|e| err_json("unknown_handle", &e))?;
+    let db = get_db(registry, req_str(req, "db_id").map_err(|e| bad(&e))?)
+        .map_err(|e| err_json("unknown_handle", &e))?;
+    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let session = query
+        .compiled
+        .session_shared(&db.frozen, &opts)
+        .map_err(|e| solve_err_json(&e))?;
+    let id = match req.get("session_id").and_then(JsonValue::as_str) {
+        Some(explicit) => explicit.to_string(),
+        None => conn.next_session_id(),
+    };
+    let response = format!(
+        "{{\"ok\": true, \"session_id\": \"{}\", \"query\": \"{}\", \"complexity\": \"{}\", \
+         \"tuples\": {}, \"witnesses\": {}}}",
+        jsonio::json_escape(&id),
+        jsonio::json_escape(&query.query.to_string()),
+        jsonio::json_escape(&query.compiled.classification().complexity.to_string()),
+        db.frozen.num_tuples(),
+        session.total_witnesses(),
+    );
+    conn.sessions
+        .insert(id, SessionEntry { session, query, db });
+    Ok(response)
+}
+
+fn get_session<'c>(
+    conn: &'c mut ConnState,
+    req: &JsonValue,
+) -> Result<&'c mut SessionEntry, String> {
+    let id = req_str(req, "session_id").map_err(|e| bad(&e))?;
+    conn.sessions
+        .get_mut(id)
+        .ok_or_else(|| err_json("unknown_handle", &format!("unknown session_id {id}")))
+}
+
+fn op_mutate(conn: &mut ConnState, req: &JsonValue, is_delete: bool) -> Result<String, String> {
+    let fact = req_str(req, "tuple").map_err(|e| bad(&e))?.to_string();
+    let entry = get_session(conn, req)?;
+    let verb = if is_delete { "delete" } else { "restore" };
+    let t = dbtext::lookup_fact(
+        &entry.query.query,
+        &entry.db.labels,
+        entry.db.frozen.as_ref(),
+        &fact,
+    )
+    .map_err(|e| bad(&format!("{verb}: {e}")))?;
+    let changed = if is_delete {
+        entry.session.delete(&[t])
+    } else {
+        entry.session.restore(&[t])
+    };
+    let rendered = jsonio::render_tuple(entry.db.frozen.as_ref(), t);
+    let event = jsonio::mutation_event_json(
+        verb,
+        &rendered,
+        changed,
+        entry.session.live_witnesses(),
+        entry.session.deleted_count(),
+    );
+    // Echo the full deletion state, sorted ascending by tuple id
+    // (guaranteed by `deleted_tuples`), so clients can checkpoint/replay
+    // deterministically.
+    let deleted: Vec<String> =
+        jsonio::render_contingency(entry.db.frozen.as_ref(), &entry.session.deleted_tuples())
+            .into_iter()
+            .map(|t| format!("\"{}\"", jsonio::json_escape(&t)))
+            .collect();
+    Ok(format!(
+        "{{\"ok\": true, \"event\": {event}, \"deleted\": [{}]}}",
+        deleted.join(", ")
+    ))
+}
+
+fn op_reset(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
+    let entry = get_session(conn, req)?;
+    entry.session.reset();
+    Ok(format!(
+        "{{\"ok\": true, \"event\": {}}}",
+        jsonio::reset_event_json(entry.session.live_witnesses())
+    ))
+}
+
+fn op_resolve(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
+    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let entry = get_session(conn, req)?;
+    let report = entry.session.solve(&opts).map_err(|e| solve_err_json(&e))?;
+    let stats = entry.session.last_solve_stats();
+    Ok(format!(
+        "{{\"ok\": true, \"event\": {}}}",
+        jsonio::solve_event_json(entry.db.frozen.as_ref(), &report, &stats)
+    ))
+}
+
+fn op_batch_whatif(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
+    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let sets_json = req
+        .get("sets")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| bad("missing array field sets"))?
+        .to_vec();
+    let entry = get_session(conn, req)?;
+    let mut sets = Vec::with_capacity(sets_json.len());
+    for (i, set) in sets_json.iter().enumerate() {
+        let facts = set
+            .as_array()
+            .ok_or_else(|| bad(&format!("sets[{i}] must be an array of fact strings")))?;
+        let mut ids = Vec::with_capacity(facts.len());
+        for fact in facts {
+            let fact = fact
+                .as_str()
+                .ok_or_else(|| bad(&format!("sets[{i}] must contain fact strings")))?;
+            let t = dbtext::lookup_fact(
+                &entry.query.query,
+                &entry.db.labels,
+                entry.db.frozen.as_ref(),
+                fact,
+            )
+            .map_err(|e| bad(&format!("sets[{i}]: {e}")))?;
+            ids.push(t);
+        }
+        sets.push(ids);
+    }
+    let reports = entry.session.solve_whatif_batch(&sets, &opts);
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|report| match report {
+            Ok(report) => format!(
+                "{{{}}}",
+                jsonio::report_body(entry.db.frozen.as_ref(), report)
+            ),
+            Err(e) => format!("{{\"error\": \"{}\"}}", jsonio::json_escape(&e.to_string())),
+        })
+        .collect();
+    Ok(format!(
+        "{{\"ok\": true, \"results\": [{}]}}",
+        rows.join(", ")
+    ))
+}
+
+fn op_close(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
+    let id = req_str(req, "session_id").map_err(|e| bad(&e))?;
+    match conn.sessions.remove(id) {
+        Some(_) => Ok(format!(
+            "{{\"ok\": true, \"closed\": \"{}\"}}",
+            jsonio::json_escape(id)
+        )),
+        None => Err(err_json(
+            "unknown_handle",
+            &format!("unknown session_id {id}"),
+        )),
+    }
+}

@@ -8,13 +8,23 @@
 //!                                         interactive what-if analysis: script
 //!                                         delete/restore/solve steps against one
 //!                                         loaded instance (deletion-aware session)
+//! rescli serve    <addr> [--workers N] [--shutdown-file PATH]
+//!                                         start resd, the resilience service
+//!                                         daemon, on <addr>
+//! rescli remote   <addr> solve|batch|whatif|shutdown ...
+//!                                         run a subcommand against a running
+//!                                         daemon (same arguments and output as
+//!                                         the local subcommand)
 //! rescli ijp      "<query>" [joins] [partitions]
 //!                                         search for an Independent Join Path
 //! rescli catalogue                        print the named-query catalogue
 //! ```
 //!
 //! `solve`, `batch` and `whatif` accept `--json` for machine-readable
-//! output.
+//! output — locally and through `remote`, whose output is byte-identical to
+//! the local subcommand because both render through the shared
+//! `server::jsonio` module (the daemon sends the very report/event objects
+//! the local path prints, and the thin client re-emits them verbatim).
 //!
 //! A what-if script is one command per line (`#` comments allowed):
 //! `delete Rel(c1,...)`, `restore Rel(c1,...)`, `solve`, `reset`. The
@@ -29,12 +39,16 @@
 //! never collide with an explicit numeric constant.
 
 use resilience::core::engine::{
-    CompiledQuery, Engine, Resilience, SolveOptions, SolveReport, SolveSession,
+    CompiledQuery, Engine, Resilience, SessionSolveStats, SolveOptions, SolveReport, SolveSession,
 };
-use resilience::database::ConstPool;
 use resilience::prelude::*;
+use server::client::Client;
+use server::dbtext::{parse_database, parse_database_with_labels, resolve_fact};
+use server::jsonio::{
+    self, json_escape, render_contingency, report_json, solve_event_json, JsonValue,
+};
+use server::ServerConfig;
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
 
@@ -43,6 +57,8 @@ fn usage() -> ExitCode {
         "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] \"<query>\" <database-file>\n  \
          rescli batch [--json] \"<query>\" <database-file>...\n  \
          rescli whatif [--json] \"<query>\" <database-file> <script-file>\n  \
+         rescli serve <addr> [--workers N] [--shutdown-file PATH]\n  \
+         rescli remote [--json] <addr> solve|batch|whatif|shutdown ...\n  \
          rescli ijp \"<query>\" [max-joins] [max-partitions]\n  rescli catalogue"
     );
     ExitCode::from(2)
@@ -57,6 +73,8 @@ fn main() -> ExitCode {
         Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2], json),
         Some("batch") if args.len() >= 3 => batch_cmd(&args[1], &args[2..], json),
         Some("whatif") if args.len() == 4 => whatif_cmd(&args[1], &args[2], &args[3], json),
+        Some("serve") if args.len() >= 2 => serve_cmd(&args[1..]),
+        Some("remote") if args.len() >= 3 => remote_cmd(&args[1], &args[2..], json),
         Some("ijp") if (2..=4).contains(&args.len()) => {
             let joins = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
             let partitions = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10_000);
@@ -95,166 +113,12 @@ fn classify_cmd(text: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// One parsed constant of a database file: a numeric literal or a label to
-/// be interned.
-enum RawConstant {
-    Number(u64),
-    Label(String),
-}
-
-/// Splits one `Rel(c1,...,ck)` fact into its relation name and the raw
-/// constant texts, validating the parenthesis shape and that the relation
-/// exists in the query. Shared by the database loader and the what-if
-/// script parser so the fact syntax cannot drift between the two; errors
-/// carry no line number (callers prefix their own).
-fn split_fact<'l>(q: &Query, line: &'l str) -> Result<(&'l str, Vec<&'l str>), String> {
-    let open = line.find('(').ok_or("expected Rel(...)")?;
-    let close = line
-        .rfind(')')
-        .filter(|&close| close > open)
-        .ok_or("missing ')'")?;
-    let rel = line[..open].trim();
-    if q.schema().relation_id(rel).is_none() {
-        return Err(format!("relation {rel} not in the query"));
-    }
-    Ok((
-        rel,
-        line[open + 1..close].split(',').map(str::trim).collect(),
-    ))
-}
-
-/// Parses the textual database format: one `Rel(c1,...,ck)` fact per line.
-///
-/// Labels are interned through [`ConstPool`] and offset past the largest
-/// numeric constant in `text`, so explicit numbers and interned labels can
-/// never collide (the previous implementation started labels at a fixed
-/// 1,000,000, which silently aliased files using constants ≥ 1,000,000).
-fn parse_database(q: &Query, text: &str) -> Result<Database, String> {
-    parse_database_with_labels(q, text).map(|(db, _)| db)
-}
-
-/// [`parse_database`] that also returns the label → constant resolution, so
-/// follow-up inputs referencing the same labels (what-if scripts) resolve
-/// identically to the loaded file.
-fn parse_database_with_labels(
-    q: &Query,
-    text: &str,
-) -> Result<(Database, HashMap<String, u64>), String> {
-    let mut facts: Vec<(String, Vec<RawConstant>)> = Vec::new();
-    let mut max_number = 0u64;
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (rel, raw_values) =
-            split_fact(q, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let values: Result<Vec<RawConstant>, String> = raw_values
-            .iter()
-            .map(|&v| {
-                if let Ok(n) = v.parse::<u64>() {
-                    max_number = max_number.max(n);
-                    Ok(RawConstant::Number(n))
-                } else if v.is_empty() {
-                    Err(format!("line {}: empty constant", lineno + 1))
-                } else {
-                    Ok(RawConstant::Label(v.to_string()))
-                }
-            })
-            .collect();
-        facts.push((rel.to_string(), values?));
-    }
-
-    // Second pass: labels become `offset + pool index`, strictly above every
-    // numeric constant seen in the file.
-    let offset = max_number
-        .checked_add(1)
-        .ok_or_else(|| "constant u64::MAX leaves no room for labels".to_string())?;
-    let mut pool = ConstPool::new();
-    let mut labels: HashMap<String, u64> = HashMap::new();
-    let mut db = Database::for_query(q);
-    for (rel, values) in facts {
-        let resolved: Result<Vec<u64>, String> = values
-            .iter()
-            .map(|value| match value {
-                RawConstant::Number(n) => Ok(*n),
-                RawConstant::Label(label) => {
-                    let c = offset
-                        .checked_add(pool.intern(label).value())
-                        .ok_or_else(|| format!("too many labels to intern past {max_number}"))?;
-                    labels.entry(label.clone()).or_insert(c);
-                    Ok(c)
-                }
-            })
-            .collect();
-        db.insert_named(&rel, &resolved?);
-    }
-    Ok((db, labels))
-}
-
-/// Reads and parses a database file.
+/// Reads and parses a database file. (Parsing itself — fact syntax, label
+/// interning — lives in the shared [`server::dbtext`] module, so `rescli`
+/// and the `resd` daemon load instances identically.)
 fn load_database(q: &Query, path: &str) -> Result<Database, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_database(q, &text)
-}
-
-fn render_contingency(db: &Database, gamma: &[TupleId]) -> Vec<String> {
-    gamma
-        .iter()
-        .map(|&t| {
-            let rel = db.schema().name(db.relation_of(t));
-            let vals: Vec<String> = db.values_of(t).iter().map(|c| c.to_string()).collect();
-            format!("{rel}({})", vals.join(","))
-        })
-        .collect()
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders one solve report as a JSON object (no trailing newline).
-fn report_json(file: &str, db: &Database, report: &SolveReport) -> String {
-    let mut out = String::from("{");
-    let _ = write!(out, "\"file\": \"{}\"", json_escape(file));
-    let _ = write!(out, ", \"tuples\": {}", db.num_tuples());
-    let _ = write!(out, ", \"witnesses\": {}", report.witnesses);
-    match report.resilience {
-        Resilience::Finite(k) => {
-            let _ = write!(out, ", \"resilience\": {k}, \"unfalsifiable\": false");
-        }
-        Resilience::Unfalsifiable => {
-            let _ = write!(out, ", \"resilience\": null, \"unfalsifiable\": true");
-        }
-    }
-    let _ = write!(
-        out,
-        ", \"method\": \"{}\"",
-        json_escape(&format!("{:?}", report.method))
-    );
-    if let Some(gamma) = &report.contingency {
-        let rendered: Vec<String> = render_contingency(db, gamma)
-            .into_iter()
-            .map(|t| format!("\"{}\"", json_escape(&t)))
-            .collect();
-        let _ = write!(out, ", \"contingency\": [{}]", rendered.join(", "));
-    } else {
-        let _ = write!(out, ", \"contingency\": null");
-    }
-    out.push('}');
-    out
 }
 
 fn print_report_text(db: &Database, report: &SolveReport) {
@@ -413,26 +277,8 @@ fn parse_whatif_script(
         let (verb, rest) = line
             .split_once(char::is_whitespace)
             .ok_or_else(|| format!("line {lineno}: expected delete/restore/solve/reset"))?;
-        let (rel, raw_values) =
-            split_fact(q, rest.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
-        let rel = rel.to_string();
-        let values: Result<Vec<u64>, String> = raw_values
-            .iter()
-            .map(|&v| {
-                if let Ok(n) = v.parse::<u64>() {
-                    Ok(n)
-                } else if let Some(&c) = labels.get(v) {
-                    Ok(c)
-                } else if v.is_empty() {
-                    Err(format!("line {lineno}: empty constant"))
-                } else {
-                    Err(format!(
-                        "line {lineno}: label {v} does not occur in the database file"
-                    ))
-                }
-            })
-            .collect();
-        let values = values?;
+        let (rel, values) =
+            resolve_fact(q, labels, rest).map_err(|e| format!("line {lineno}: {e}"))?;
         match verb {
             "delete" => ops.push(WhatIfOp::Delete(rel, values)),
             "restore" => ops.push(WhatIfOp::Restore(rel, values)),
@@ -442,8 +288,57 @@ fn parse_whatif_script(
     Ok(ops)
 }
 
+/// Text line of a `delete`/`restore` step (shared by the local session
+/// runner and the remote client, which rebuilds it from the daemon's event).
+fn whatif_mutation_line(
+    is_delete: bool,
+    rendered: &str,
+    changed: usize,
+    live: usize,
+    deleted_count: usize,
+) -> String {
+    let verb = if is_delete { "delete" } else { "restore" };
+    format!(
+        "{verb:<8} {rendered:<20} {changed} witnesses {} -> live {live} (deleted tuples: {deleted_count})",
+        if is_delete { "killed" } else { "revived" },
+    )
+}
+
+/// Text line of a `reset` step.
+fn whatif_reset_line(live: usize) -> String {
+    format!("reset    all tuples restored, live witnesses {live}")
+}
+
+/// The warm-start marker of a solve step's text line.
+fn warm_marker(stats: &SessionSolveStats) -> &'static str {
+    if stats.replayed {
+        " [replayed]"
+    } else if stats.short_circuit {
+        " [warm: short-circuit]"
+    } else if stats.incumbent_reused {
+        " [warm: incumbent reused]"
+    } else if stats.warm_start_hit {
+        " [warm]"
+    } else {
+        ""
+    }
+}
+
+/// Text line of a `solve` step from its plain fields.
+fn whatif_solve_line(
+    value: &str,
+    witnesses: usize,
+    method: &str,
+    warm: &str,
+    gamma: &str,
+) -> String {
+    format!("solve    resilience {value:<9} witnesses {witnesses:<6} ({method}){warm} {gamma}")
+}
+
 /// Runs a parsed script against a session, rendering one output line (text)
-/// or one JSON object per step.
+/// or one JSON object per step. JSON events come from the shared
+/// [`server::jsonio`] renderers — the very same functions the daemon uses,
+/// so local and remote `--json` output cannot drift.
 fn run_whatif_ops(
     session: &mut SolveSession<'_>,
     db: &Database,
@@ -466,19 +361,20 @@ fn run_whatif_ops(
                 } else {
                     session.restore(&[t])
                 };
-                let rendered = render_contingency(db, &[t]).remove(0);
+                let rendered = jsonio::render_tuple(db, t);
                 if json {
-                    out.push(format!(
-                        "{{\"op\": \"{verb}\", \"tuple\": \"{}\", \"witnesses_changed\": {changed}, \
-                         \"live_witnesses\": {}, \"deleted_count\": {}}}",
-                        json_escape(&rendered),
+                    out.push(jsonio::mutation_event_json(
+                        verb,
+                        &rendered,
+                        changed,
                         session.live_witnesses(),
                         session.deleted_count(),
                     ));
                 } else {
-                    out.push(format!(
-                        "{verb:<8} {rendered:<20} {changed} witnesses {} -> live {} (deleted tuples: {})",
-                        if is_delete { "killed" } else { "revived" },
+                    out.push(whatif_mutation_line(
+                        is_delete,
+                        &rendered,
+                        changed,
                         session.live_witnesses(),
                         session.deleted_count(),
                     ));
@@ -487,59 +383,16 @@ fn run_whatif_ops(
             WhatIfOp::Reset => {
                 session.reset();
                 if json {
-                    out.push(format!(
-                        "{{\"op\": \"reset\", \"live_witnesses\": {}}}",
-                        session.live_witnesses()
-                    ));
+                    out.push(jsonio::reset_event_json(session.live_witnesses()));
                 } else {
-                    out.push(format!(
-                        "reset    all tuples restored, live witnesses {}",
-                        session.live_witnesses()
-                    ));
+                    out.push(whatif_reset_line(session.live_witnesses()));
                 }
             }
             WhatIfOp::Solve => {
                 let report = session.solve(&opts).map_err(|e| format!("solve: {e}"))?;
                 let stats = session.last_solve_stats();
                 if json {
-                    let mut obj = String::from("{\"op\": \"solve\"");
-                    match report.resilience {
-                        Resilience::Finite(k) => {
-                            let _ = write!(obj, ", \"resilience\": {k}, \"unfalsifiable\": false");
-                        }
-                        Resilience::Unfalsifiable => {
-                            let _ = write!(obj, ", \"resilience\": null, \"unfalsifiable\": true");
-                        }
-                    }
-                    let _ = write!(
-                        obj,
-                        ", \"witnesses\": {}, \"method\": \"{}\"",
-                        report.witnesses,
-                        json_escape(&format!("{:?}", report.method))
-                    );
-                    // Per-step solver statistics: how much the warm-start
-                    // machinery saved on this step.
-                    let _ = write!(
-                        obj,
-                        ", \"solver\": {{\"warm_start_hit\": {}, \"incumbent_reused\": {}, \
-                         \"short_circuit\": {}, \"replayed\": {}, \"nodes_explored\": {}}}",
-                        stats.warm_start_hit,
-                        stats.incumbent_reused,
-                        stats.short_circuit,
-                        stats.replayed,
-                        stats.nodes_explored,
-                    );
-                    if let Some(gamma) = &report.contingency {
-                        let rendered: Vec<String> = render_contingency(db, gamma)
-                            .into_iter()
-                            .map(|t| format!("\"{}\"", json_escape(&t)))
-                            .collect();
-                        let _ = write!(obj, ", \"contingency\": [{}]", rendered.join(", "));
-                    } else {
-                        let _ = write!(obj, ", \"contingency\": null");
-                    }
-                    obj.push('}');
-                    out.push(obj);
+                    out.push(solve_event_json(db, &report, &stats));
                 } else {
                     let value = match report.resilience {
                         Resilience::Finite(k) => k.to_string(),
@@ -550,20 +403,12 @@ fn run_whatif_ops(
                         .as_deref()
                         .map(|g| render_contingency(db, g).join(" "))
                         .unwrap_or_default();
-                    let warm = if stats.replayed {
-                        " [replayed]"
-                    } else if stats.short_circuit {
-                        " [warm: short-circuit]"
-                    } else if stats.incumbent_reused {
-                        " [warm: incumbent reused]"
-                    } else if stats.warm_start_hit {
-                        " [warm]"
-                    } else {
-                        ""
-                    };
-                    out.push(format!(
-                        "solve    resilience {value:<9} witnesses {:<6} ({:?}){warm} {gamma}",
-                        report.witnesses, report.method
+                    out.push(whatif_solve_line(
+                        &value,
+                        report.witnesses,
+                        &format!("{:?}", report.method),
+                        warm_marker(&stats),
+                        &gamma,
                     ));
                 }
             }
@@ -654,6 +499,454 @@ fn whatif_cmd(text: &str, db_path: &str, script_path: &str, json: bool) -> ExitC
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `rescli serve <addr> [--workers N] [--shutdown-file PATH]`: start resd,
+/// the resilience service daemon, in the foreground.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let addr = &args[0];
+    if addr.starts_with("--") {
+        return usage();
+    }
+    let mut config = ServerConfig::new(addr.clone());
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config = config.workers(n),
+                None => return usage(),
+            },
+            "--shutdown-file" => match it.next() {
+                Some(path) => config = config.shutdown_file(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match server::serve(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `rescli remote <addr> <subcommand> ...`: run a subcommand against a
+/// running daemon, with the same arguments and (byte-identical) output as
+/// the local subcommand.
+fn remote_cmd(addr: &str, rest: &[String], json: bool) -> ExitCode {
+    match rest.first().map(|s| s.as_str()) {
+        Some("solve") if rest.len() == 3 => remote_solve(addr, &rest[1], &rest[2], json),
+        Some("batch") if rest.len() >= 3 => remote_batch(addr, &rest[1], &rest[2..], json),
+        Some("whatif") if rest.len() == 4 => {
+            remote_whatif(addr, &rest[1], &rest[2], &rest[3], json)
+        }
+        Some("shutdown") if rest.len() == 1 => match connect(addr) {
+            Ok(mut client) => match client.shutdown() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("shutdown: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(code) => code,
+        },
+        _ => usage(),
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, ExitCode> {
+    Client::connect(addr).map_err(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Compile the query and upload one database (already-read text); the
+/// shared preamble of every remote subcommand. Callers read the file once —
+/// `remote whatif` also validates the same text locally, and reading twice
+/// could race a concurrent file change and desynchronize the label maps.
+/// Returns `(client, query_id, query_display, complexity, db_id, tuples)`.
+#[allow(clippy::type_complexity)]
+fn remote_preamble(
+    addr: &str,
+    text: &str,
+    db_text: &str,
+) -> Result<(Client, String, String, String, String, usize), ExitCode> {
+    let mut client = connect(addr)?;
+    let (qid, qdisp, complexity) = client.compile(text).map_err(|e| {
+        eprintln!("could not parse query: {e}");
+        ExitCode::FAILURE
+    })?;
+    let (db_id, tuples) = client.load_text(&qid, db_text).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    Ok((client, qid, qdisp, complexity, db_id, tuples))
+}
+
+/// Reads one database file for a remote subcommand, reporting errors the
+/// way the local subcommands do.
+fn read_db_file(path: &str) -> Result<String, ExitCode> {
+    fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Prints one parsed report object in the local `solve` text layout.
+fn print_remote_report_text(result: &JsonValue) {
+    if let Some(tuples) = result.get("tuples").and_then(JsonValue::as_usize) {
+        println!("tuples       : {tuples}");
+    }
+    let method = result
+        .get("method")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?");
+    if result.get("unfalsifiable").and_then(JsonValue::as_bool) == Some(true) {
+        println!("resilience   : unbounded (the query cannot be made false)");
+    } else if let Some(r) = result.get("resilience").and_then(JsonValue::as_usize) {
+        println!("resilience   : {r}  (method {method})");
+    }
+    if let Some(gamma) = result.get("contingency").and_then(JsonValue::as_array) {
+        let facts: Vec<&str> = gamma.iter().filter_map(JsonValue::as_str).collect();
+        println!("contingency  : {}", facts.join(" "));
+    }
+}
+
+fn remote_solve(addr: &str, text: &str, path: &str, json: bool) -> ExitCode {
+    let db_text = match read_db_file(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (mut client, qid, qdisp, complexity, db_id, _tuples) =
+        match remote_preamble(addr, text, &db_text) {
+            Ok(parts) => parts,
+            Err(code) => return code,
+        };
+    let request = format!(
+        "{{\"op\": \"solve\", \"query_id\": \"{}\", \"db_id\": \"{}\", \"tag\": \"{}\"}}",
+        json_escape(&qid),
+        json_escape(&db_id),
+        json_escape(path),
+    );
+    let (resp, raw) = match client.request(&request) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        // The daemon rendered the report with the same shared renderer the
+        // local path uses; re-emit its raw text verbatim.
+        let row = jsonio::extract_raw(&raw, "result").unwrap_or("null");
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"results\": [{row}]}}",
+            json_escape(&qdisp),
+            json_escape(&complexity),
+        );
+    } else {
+        println!("query        : {qdisp}");
+        println!("complexity   : {complexity}");
+        if let Some(result) = resp.get("result") {
+            print_remote_report_text(result);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn remote_batch(addr: &str, text: &str, paths: &[String], json: bool) -> ExitCode {
+    let first_text = match read_db_file(&paths[0]) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (mut client, qid, qdisp, complexity, first_db, _tuples) =
+        match remote_preamble(addr, text, &first_text) {
+            Ok(parts) => parts,
+            Err(code) => return code,
+        };
+    let mut db_ids = vec![first_db];
+    for path in &paths[1..] {
+        let file_text = match read_db_file(path) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        match client.load_text(&qid, &file_text) {
+            Ok((id, _)) => db_ids.push(id),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ids: Vec<String> = db_ids
+        .iter()
+        .map(|id| format!("\"{}\"", json_escape(id)))
+        .collect();
+    let tags: Vec<String> = paths
+        .iter()
+        .map(|p| format!("\"{}\"", json_escape(p)))
+        .collect();
+    let request = format!(
+        "{{\"op\": \"batch\", \"query_id\": \"{}\", \"db_ids\": [{}], \"tags\": [{}]}}",
+        json_escape(&qid),
+        ids.join(", "),
+        tags.join(", "),
+    );
+    let (resp, raw) = match client.request(&request) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("batch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = resp.get("results").and_then(JsonValue::as_array);
+    let failed = rows.is_some_and(|rows| rows.iter().any(|r| r.get("error").is_some()));
+    if json {
+        let results = jsonio::extract_raw(&raw, "results").unwrap_or("[]");
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"results\": {results}}}",
+            json_escape(&qdisp),
+            json_escape(&complexity),
+        );
+    } else {
+        println!("query        : {qdisp}");
+        println!("complexity   : {complexity}");
+        println!("instances    : {}", paths.len());
+        for (path, row) in paths.iter().zip(rows.into_iter().flatten()) {
+            if let Some(e) = row.get("error").and_then(JsonValue::as_str) {
+                println!("{path:<30} error: {e}");
+                continue;
+            }
+            let tuples = row.get("tuples").and_then(JsonValue::as_usize).unwrap_or(0);
+            let method = row.get("method").and_then(JsonValue::as_str).unwrap_or("?");
+            let value = match row.get("resilience").and_then(JsonValue::as_usize) {
+                Some(r) => r.to_string(),
+                None => "unbounded".to_string(),
+            };
+            println!("{path:<30} tuples {tuples:>5}  resilience {value:>9}  ({method})");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn remote_whatif(addr: &str, text: &str, db_path: &str, script_path: &str, json: bool) -> ExitCode {
+    // Parse query, database and script locally first: full validation with
+    // the same error messages as the local subcommand, and the local label
+    // resolution (identical to the daemon's, both run the shared
+    // `dbtext` parser over the same text) turns script facts into the
+    // numeric form sent over the wire.
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let file_text = match fs::read_to_string(db_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {db_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let labels = match parse_database_with_labels(&q, &file_text) {
+        Ok((_, labels)) => labels,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script_text = match fs::read_to_string(script_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {script_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ops = match parse_whatif_script(&q, &labels, &script_text) {
+        Ok(ops) => ops,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Upload the very text that was validated above — one read, one parse
+    // on each side, so the label maps cannot diverge.
+    let (mut client, qid, qdisp, complexity, db_id, tuples) =
+        match remote_preamble(addr, text, &file_text) {
+            Ok(parts) => parts,
+            Err(code) => return code,
+        };
+    let (session_resp, _) = match client.request(&format!(
+        "{{\"op\": \"session\", \"query_id\": \"{}\", \"db_id\": \"{}\"}}",
+        json_escape(&qid),
+        json_escape(&db_id),
+    )) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("cannot open session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sid = session_resp
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("s0")
+        .to_string();
+    let witnesses = session_resp
+        .get("witnesses")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+
+    if !json {
+        println!("query        : {qdisp}");
+        println!("complexity   : {complexity}");
+        println!("tuples       : {tuples}");
+        println!("witnesses    : {witnesses}");
+    }
+    let mut events: Vec<String> = Vec::with_capacity(ops.len());
+    for op in &ops {
+        let request = match op {
+            WhatIfOp::Delete(rel, values) | WhatIfOp::Restore(rel, values) => {
+                let verb = if matches!(op, WhatIfOp::Delete(..)) {
+                    "delete"
+                } else {
+                    "restore"
+                };
+                let fact = format!(
+                    "{rel}({})",
+                    values
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                format!(
+                    "{{\"op\": \"{verb}\", \"session_id\": \"{}\", \"tuple\": \"{}\"}}",
+                    json_escape(&sid),
+                    json_escape(&fact),
+                )
+            }
+            WhatIfOp::Reset => format!(
+                "{{\"op\": \"reset\", \"session_id\": \"{}\"}}",
+                json_escape(&sid)
+            ),
+            WhatIfOp::Solve => format!(
+                "{{\"op\": \"resolve\", \"session_id\": \"{}\"}}",
+                json_escape(&sid)
+            ),
+        };
+        let (resp, raw) = match client.request(&request) {
+            Ok(ok) => ok,
+            Err(e) => {
+                let prefix = if matches!(op, WhatIfOp::Solve) {
+                    "solve: "
+                } else {
+                    ""
+                };
+                eprintln!("{prefix}{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if json {
+            events.push(
+                jsonio::extract_raw(&raw, "event")
+                    .unwrap_or("{}")
+                    .to_string(),
+            );
+        } else {
+            let event = resp.get("event").cloned().unwrap_or(JsonValue::Null);
+            println!("{}", remote_event_text_line(&event));
+        }
+    }
+    if json {
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"tuples\": {tuples}, \
+             \"witnesses\": {witnesses}, \"events\": [{}]}}",
+            json_escape(&qdisp),
+            json_escape(&complexity),
+            events.join(", ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Rebuilds the local what-if text line from one parsed daemon event.
+fn remote_event_text_line(event: &JsonValue) -> String {
+    let live = event
+        .get("live_witnesses")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+    match event.get("op").and_then(JsonValue::as_str) {
+        Some("delete") | Some("restore") => {
+            let is_delete = event.get("op").and_then(JsonValue::as_str) == Some("delete");
+            whatif_mutation_line(
+                is_delete,
+                event
+                    .get("tuple")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?"),
+                event
+                    .get("witnesses_changed")
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or(0),
+                live,
+                event
+                    .get("deleted_count")
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or(0),
+            )
+        }
+        Some("reset") => whatif_reset_line(live),
+        _ => {
+            let value = match event.get("resilience").and_then(JsonValue::as_usize) {
+                Some(k) => k.to_string(),
+                None => "unbounded".to_string(),
+            };
+            let witnesses = event
+                .get("witnesses")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0);
+            let method = event
+                .get("method")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?");
+            let solver = event.get("solver");
+            let flag = |key: &str| -> bool {
+                solver
+                    .and_then(|s| s.get(key))
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false)
+            };
+            let stats = SessionSolveStats {
+                replayed: flag("replayed"),
+                warm_start_hit: flag("warm_start_hit"),
+                incumbent_reused: flag("incumbent_reused"),
+                short_circuit: flag("short_circuit"),
+                nodes_explored: solver
+                    .and_then(|s| s.get("nodes_explored"))
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or(0),
+            };
+            let gamma = event
+                .get("contingency")
+                .and_then(JsonValue::as_array)
+                .map(|facts| {
+                    facts
+                        .iter()
+                        .filter_map(JsonValue::as_str)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .unwrap_or_default();
+            whatif_solve_line(&value, witnesses, method, warm_marker(&stats), &gamma)
         }
     }
 }
@@ -752,12 +1045,6 @@ mod tests {
         let q = parse_query("R(x,y)").unwrap();
         let db = parse_database(&q, "# header\n\nR(1, 2) # trailing\n").unwrap();
         assert_eq!(db.num_tuples(), 1);
-    }
-
-    #[test]
-    fn json_escape_handles_quotes_and_controls() {
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

@@ -1,0 +1,631 @@
+//! Differential tests for `resd`, the resilience service daemon:
+//!
+//! * remote `solve` responses are **byte-identical** to the locally rendered
+//!   report across the full named-query catalogue;
+//! * remote sessions (delete/restore/resolve/reset) echo byte-identical
+//!   events and deterministic (sorted) deletion state;
+//! * the `batch` and `batch_whatif` verbs match local `solve_batch` /
+//!   `Session::solve_whatif_batch` row by row;
+//! * ≥ 8 concurrent clients with interleaved sessions each see exactly what
+//!   a single-threaded local replay sees.
+//!
+//! Every comparison goes through `server::jsonio` — the same renderer both
+//! `rescli --json` and the daemon use — so "identical" here means identical
+//! bytes on the wire, not just equal values.
+
+use resilience::core::engine::{Engine, SolveOptions};
+use resilience::prelude::*;
+use server::client::Client;
+use server::dbtext::{parse_database_with_labels, to_text};
+use server::jsonio::{self, JsonValue};
+use server::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use workloads::Workload;
+
+/// The standard randomized instance used across the test-suite (mirrors
+/// tests/session.rs).
+fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    let r_is_binary = q
+        .schema()
+        .relation_id("R")
+        .is_some_and(|r| q.schema().arity(r) == 2);
+    let mut db = if r_is_binary {
+        workload.random_graph_relation(q, "R", nodes, density)
+    } else {
+        Database::for_query(q)
+    };
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        let arity = q.schema().arity(rel);
+        if arity >= 2 && !(name == "R" && r_is_binary) {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
+                        let values: Vec<u64> = (0..arity as u64)
+                            .map(|pos| match pos {
+                                0 => a,
+                                1 => b,
+                                _ => (a + b + pos) % nodes.max(1),
+                            })
+                            .collect();
+                        db.insert_named(&name, &values);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+/// The parseable body of a (possibly named) query's display form.
+fn query_text(q: &cq::Query) -> String {
+    let text = q.to_string();
+    match text.split_once(" :- ") {
+        Some((_, body)) => body.to_string(),
+        None => text,
+    }
+}
+
+/// Starts an in-process daemon on a free loopback port; returns the address
+/// and a guard that shuts it down (flag + join) on drop.
+fn start_server(workers: usize) -> (SocketAddr, ServerGuard) {
+    let server = Server::bind(ServerConfig::new("127.0.0.1:0").workers(workers)).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (
+        addr,
+        ServerGuard {
+            flag,
+            handle: Some(handle),
+        },
+    )
+}
+
+struct ServerGuard {
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[test]
+fn remote_solve_is_byte_identical_to_local_across_the_catalogue() {
+    let (addr, _guard) = start_server(4);
+    let mut client = Client::connect(addr).unwrap();
+    let opts = SolveOptions::new();
+    for nq in catalogue::all_named_queries() {
+        let text = query_text(&nq.query);
+        let q = parse_query(&text).unwrap();
+        let db_text = to_text(&random_instance(&q, 7, 5, 0.3));
+        // Local: the canonical compiled solve over the same uploaded text.
+        let (local_db, _) = parse_database_with_labels(&q, &db_text).unwrap();
+        let compiled = Engine::compile(&q);
+        let local = compiled.solve(&local_db.freeze(), &opts);
+
+        let (qid, _, complexity) = client.compile(&text).unwrap();
+        assert_eq!(
+            complexity,
+            compiled.classification().complexity.to_string(),
+            "{}",
+            nq.name
+        );
+        let (db_id, tuples) = client.load_text(&qid, &db_text).unwrap();
+        assert_eq!(tuples, local_db.num_tuples(), "{}", nq.name);
+        let request = format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\", \"tag\": \"t\"}}"
+        );
+        match (&local, client.request(&request)) {
+            (Ok(report), Ok((_, raw))) => {
+                let expected = jsonio::report_json("t", &local_db, report);
+                assert_eq!(
+                    jsonio::extract_raw(&raw, "result"),
+                    Some(expected.as_str()),
+                    "{}: remote report differs from local rendering",
+                    nq.name
+                );
+            }
+            (Err(e), Err(remote)) => {
+                assert_eq!(remote, e.to_string(), "{}", nq.name);
+            }
+            (local, remote) => panic!("{}: local {local:?} vs remote {remote:?}", nq.name),
+        }
+    }
+}
+
+#[test]
+fn remote_batch_matches_local_solve_batch() {
+    let (addr, _guard) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    let text = "R(x,y), R(y,z)";
+    let q = parse_query(text).unwrap();
+    let compiled = Engine::compile(&q);
+    let opts = SolveOptions::new();
+
+    let (qid, _, _) = client.compile(text).unwrap();
+    let mut db_ids = Vec::new();
+    let mut locals = Vec::new();
+    for seed in 0..4u64 {
+        let db_text = to_text(&random_instance(&q, seed, 6, 0.3));
+        let (local_db, _) = parse_database_with_labels(&q, &db_text).unwrap();
+        let (db_id, _) = client.load_text(&qid, &db_text).unwrap();
+        db_ids.push(db_id);
+        locals.push(local_db);
+    }
+    let frozen: Vec<FrozenDb> = locals.iter().map(Database::freeze).collect();
+    let reports = compiled.solve_batch(&frozen, &opts);
+    let ids: Vec<String> = db_ids.iter().map(|id| format!("\"{id}\"")).collect();
+    let tags: Vec<String> = (0..db_ids.len()).map(|i| format!("\"i{i}\"")).collect();
+    let (_, raw) = client
+        .request(&format!(
+            "{{\"op\": \"batch\", \"query_id\": \"{qid}\", \"db_ids\": [{}], \"tags\": [{}]}}",
+            ids.join(", "),
+            tags.join(", ")
+        ))
+        .unwrap();
+    let rows: Vec<String> = locals
+        .iter()
+        .zip(&reports)
+        .enumerate()
+        .map(|(i, (db, report))| {
+            jsonio::report_json(&format!("i{i}"), db, report.as_ref().unwrap())
+        })
+        .collect();
+    let expected = format!("[{}]", rows.join(", "));
+    assert_eq!(
+        jsonio::extract_raw(&raw, "results"),
+        Some(expected.as_str())
+    );
+}
+
+/// Replays one random delete/restore/solve sequence against a remote
+/// session and a local one, asserting byte-identical events at every step;
+/// returns the raw event texts (used by the concurrency test to compare
+/// against a single-threaded replay).
+fn replay_session_differential(
+    client: &mut Client,
+    text: &str,
+    seed: u64,
+    steps: usize,
+) -> Vec<String> {
+    let q = parse_query(text).unwrap();
+    let db = random_instance(&q, seed, 5, 0.35);
+    let db_text = to_text(&db);
+    let (local_db, _) = parse_database_with_labels(&q, &db_text).unwrap();
+    let compiled = Engine::compile(&q);
+    let frozen = local_db.freeze();
+    let opts = SolveOptions::new();
+    let mut local = compiled.session(&frozen).unwrap();
+
+    let (qid, _, _) = client.compile(text).unwrap();
+    let (db_id, _) = client.load_text(&qid, &db_text).unwrap();
+    let (resp, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\", \
+             \"session_id\": \"sess-{seed}\"}}"
+        ))
+        .unwrap();
+    assert_eq!(
+        resp.get("witnesses").and_then(JsonValue::as_usize),
+        Some(local.total_witnesses())
+    );
+    let sid = resp
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+
+    let sequence = Workload::new(seed ^ 0xabc).random_deletion_sequence(&q, &local_db, steps);
+    let mut events = Vec::new();
+    for (step, &t) in sequence.iter().enumerate() {
+        // Mutation: delete this step's tuple, with an interleaved restore of
+        // an earlier one every third step.
+        let mut mutations = vec![("delete", t)];
+        if step % 3 == 2 {
+            mutations.push(("restore", sequence[step / 2]));
+        }
+        for (verb, t) in mutations {
+            let fact = jsonio::render_tuple(&local_db, t);
+            let (resp, raw) = client
+                .request(&format!(
+                    "{{\"op\": \"{verb}\", \"session_id\": \"{sid}\", \"tuple\": \"{fact}\"}}"
+                ))
+                .unwrap();
+            let changed = if verb == "delete" {
+                local.delete(&[t])
+            } else {
+                local.restore(&[t])
+            };
+            let expected = jsonio::mutation_event_json(
+                verb,
+                &fact,
+                changed,
+                local.live_witnesses(),
+                local.deleted_count(),
+            );
+            let raw_event = jsonio::extract_raw(&raw, "event").unwrap().to_string();
+            assert_eq!(raw_event, expected, "seed {seed} step {step} {verb}");
+            // The echoed deletion state is the sorted local state.
+            let echoed: Vec<String> = resp
+                .get("deleted")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(JsonValue::as_str)
+                .map(str::to_string)
+                .collect();
+            assert_eq!(
+                echoed,
+                jsonio::render_contingency(&local_db, &local.deleted_tuples()),
+                "seed {seed} step {step}: deleted echo"
+            );
+            events.push(raw_event);
+        }
+        // Solve (twice every few steps to cover the replay path remotely).
+        let solves = if step % 4 == 3 { 2 } else { 1 };
+        for _ in 0..solves {
+            let response = client.request(&format!(
+                "{{\"op\": \"resolve\", \"session_id\": \"{sid}\"}}"
+            ));
+            match (local.solve(&opts), response) {
+                (Ok(report), Ok((_, raw))) => {
+                    let expected =
+                        jsonio::solve_event_json(&local_db, &report, &local.last_solve_stats());
+                    let raw_event = jsonio::extract_raw(&raw, "event").unwrap().to_string();
+                    assert_eq!(raw_event, expected, "seed {seed} step {step} solve");
+                    events.push(raw_event);
+                }
+                (Err(e), Err(remote)) => assert_eq!(remote, e.to_string()),
+                (local, remote) => {
+                    panic!("seed {seed} step {step}: local {local:?} vs remote {remote:?}")
+                }
+            }
+        }
+    }
+    // Reset round-trips too.
+    let (_, raw) = client
+        .request(&format!("{{\"op\": \"reset\", \"session_id\": \"{sid}\"}}"))
+        .unwrap();
+    local.reset();
+    let expected = jsonio::reset_event_json(local.live_witnesses());
+    assert_eq!(jsonio::extract_raw(&raw, "event"), Some(expected.as_str()));
+    events.push(expected);
+    let (resp, _) = client
+        .request(&format!("{{\"op\": \"close\", \"session_id\": \"{sid}\"}}"))
+        .unwrap();
+    assert_eq!(
+        resp.get("closed").and_then(JsonValue::as_str),
+        Some(sid.as_str())
+    );
+    events
+}
+
+#[test]
+fn remote_sessions_replay_byte_identically() {
+    let (addr, _guard) = start_server(2);
+    // Witness-driven (NP-complete chain), p-time flow (q_ACconf), and a
+    // raw-store-scanning catalogue construction (q_TS3conf) — the three
+    // dispatch shapes a session can take.
+    for (text, seed) in [
+        ("R(x,y), R(y,z)", 3u64),
+        ("A(x), R(x,y), R(z,y), C(z)", 5),
+        (query_text(&catalogue::q_ts3conf().query).leak() as &str, 9),
+    ] {
+        let mut client = Client::connect(addr).unwrap();
+        replay_session_differential(&mut client, text, seed, 6);
+    }
+}
+
+#[test]
+fn concurrent_clients_match_single_threaded_replays() {
+    // ≥ 8 client threads with interleaved sessions against one daemon: each
+    // client's event stream must equal the event stream of a fresh
+    // single-connection replay of the same (query, seed) workload — i.e.
+    // concurrency changes nothing about any client's results.
+    let (addr, _guard) = start_server(4);
+    let workloads: Vec<(&str, u64)> = (0..8)
+        .map(|i| {
+            let text = if i % 2 == 0 {
+                "R(x,y), R(y,z)"
+            } else {
+                "A(x), R(x,y), R(z,y), C(z)"
+            };
+            (text, 11 + i as u64)
+        })
+        .collect();
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|&(text, seed)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    replay_session_differential(&mut client, text, seed, 5)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Sequential replays on a fresh connection; the daemon still has the
+    // concurrent runs' registry entries, which must not matter.
+    for (&(text, seed), events) in workloads.iter().zip(&concurrent) {
+        let mut client = Client::connect(addr).unwrap();
+        let replay = replay_session_differential(&mut client, text, seed, 5);
+        assert_eq!(&replay, events, "{text} seed {seed}");
+    }
+}
+
+#[test]
+fn remote_batch_whatif_matches_local_batched_and_sequential_solves() {
+    let (addr, _guard) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    let text = "R(x,y), R(y,z)";
+    let q = parse_query(text).unwrap();
+    let db = random_instance(&q, 21, 6, 0.35);
+    let db_text = to_text(&db);
+    let (local_db, _) = parse_database_with_labels(&q, &db_text).unwrap();
+    let compiled = Engine::compile(&q);
+    let frozen = local_db.freeze();
+    let opts = SolveOptions::new();
+    let local = compiled.session(&frozen).unwrap();
+
+    let (qid, _, _) = client.compile(text).unwrap();
+    let (db_id, _) = client.load_text(&qid, &db_text).unwrap();
+    let (resp, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    let sid = resp
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+
+    let sequence = Workload::new(99).random_deletion_sequence(&q, &local_db, 6);
+    if sequence.len() < 3 {
+        return; // degenerate random instance
+    }
+    let sets: Vec<Vec<TupleId>> = vec![
+        vec![sequence[0]],
+        vec![sequence[1], sequence[2]],
+        Vec::new(),
+        sequence.clone(),
+    ];
+    let sets_json: Vec<String> = sets
+        .iter()
+        .map(|set| {
+            let facts: Vec<String> = set
+                .iter()
+                .map(|&t| format!("\"{}\"", jsonio::render_tuple(&local_db, t)))
+                .collect();
+            format!("[{}]", facts.join(", "))
+        })
+        .collect();
+    let (_, raw) = client
+        .request(&format!(
+            "{{\"op\": \"batch_whatif\", \"session_id\": \"{sid}\", \"sets\": [{}]}}",
+            sets_json.join(", ")
+        ))
+        .unwrap();
+    let local_batch = local.solve_whatif_batch(&sets, &opts);
+    let rows: Vec<String> = local_batch
+        .iter()
+        .map(|r| format!("{{{}}}", jsonio::report_body(&frozen, r.as_ref().unwrap())))
+        .collect();
+    let expected = format!("[{}]", rows.join(", "));
+    assert_eq!(
+        jsonio::extract_raw(&raw, "results"),
+        Some(expected.as_str())
+    );
+
+    // And each row equals an independent sequential session solve.
+    for (set, row) in sets.iter().zip(&local_batch) {
+        let mut clone = local.clone();
+        clone.delete(set);
+        let seq = clone.solve(&SolveOptions::new().warm_start(false)).unwrap();
+        let row = row.as_ref().unwrap();
+        assert_eq!(row.resilience, seq.resilience);
+        assert_eq!(row.witnesses, seq.witnesses);
+    }
+}
+
+#[test]
+fn protocol_errors_are_structured() {
+    let (addr, _guard) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    // Malformed JSON.
+    let raw = client.request_raw("{nope").unwrap();
+    assert!(raw.contains("\"ok\": false"), "{raw}");
+    assert!(raw.contains("\"kind\": \"parse\""), "{raw}");
+    // Unknown op / handle.
+    assert!(client
+        .request("{\"op\": \"frobnicate\"}")
+        .unwrap_err()
+        .contains("unknown op"));
+    assert!(client
+        .request("{\"op\": \"solve\", \"query_id\": \"q999\", \"db_id\": \"d0\"}")
+        .unwrap_err()
+        .contains("unknown query_id"));
+    // Bad query text and bad facts surface the shared parser's messages.
+    assert!(client
+        .request("{\"op\": \"compile\", \"query\": \"???\"}")
+        .unwrap_err()
+        .contains("could not parse query"));
+    let (qid, _, _) = client.compile("R(x,y), R(y,z)").unwrap();
+    let (db_id, _) = client.load_text(&qid, "R(1,2)\nR(2,3)\n").unwrap();
+    let (resp, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    let sid = resp
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    assert!(client
+        .request(&format!(
+            "{{\"op\": \"delete\", \"session_id\": \"{sid}\", \"tuple\": \"R(9,9)\"}}"
+        ))
+        .unwrap_err()
+        .contains("no such tuple"));
+    assert!(client
+        .request(&format!(
+            "{{\"op\": \"delete\", \"session_id\": \"{sid}\", \"tuple\": \"Z(1,2)\"}}"
+        ))
+        .unwrap_err()
+        .contains("relation Z"));
+    // Budget exhaustion is a structured error, mirroring SolveError.
+    let raw = client
+        .request_raw(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\", \
+             \"options\": {{\"node_budget\": 0}}}}"
+        ))
+        .unwrap();
+    assert!(
+        raw.contains("\"kind\": \"budget_exhausted\"") || raw.contains("\"ok\": true"),
+        "{raw}"
+    );
+    // Unknown options are rejected.
+    assert!(client
+        .request(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\", \
+             \"options\": {{\"frob\": 1}}}}"
+        ))
+        .unwrap_err()
+        .contains("unknown option"));
+}
+
+#[test]
+fn auto_ids_never_replace_explicit_registrations() {
+    // Regression: the auto-id counters must skip ids a client registered
+    // explicitly — client A's "q0"/"d0" must survive client B registering
+    // without an id. (Two workers: both clients hold their connections open
+    // at once, and the pool serves at most one connection per worker.)
+    let (addr, _guard) = start_server(2);
+    let mut a = Client::connect(addr).unwrap();
+    let (_, raw) = a
+        .request("{\"op\": \"compile\", \"id\": \"q0\", \"query\": \"R(x,y), R(y,z)\"}")
+        .unwrap();
+    assert!(raw.contains("\"query_id\": \"q0\""));
+    let (db_id, _) = a.load_text("q0", "R(1,2)\nR(2,3)\nR(3,3)\n").unwrap();
+    assert_eq!(db_id, "d0");
+
+    let mut b = Client::connect(addr).unwrap();
+    let (qid_b, _, _) = b.compile("A(x), R(x,y), B(y)").unwrap();
+    assert_ne!(qid_b, "q0", "auto id replaced an explicit registration");
+    let (db_b, _) = b.load_text(&qid_b, "A(1)\nR(1,2)\nB(2)\n").unwrap();
+    assert_ne!(db_b, "d0");
+
+    // A's handles still answer for A's query: the chain instance has
+    // resilience 2 under the chain query.
+    let (_, raw) = a
+        .request(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"q0\", \"db_id\": \"{db_id}\", \"tag\": \"t\"}}"
+        ))
+        .unwrap();
+    assert!(raw.contains("\"resilience\": 2"), "{raw}");
+
+    // Explicit sessions are not replaced by auto session ids either.
+    let (resp, _) = a
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"q0\", \"db_id\": \"{db_id}\", \
+             \"session_id\": \"s0\"}}"
+        ))
+        .unwrap();
+    assert_eq!(
+        resp.get("session_id").and_then(JsonValue::as_str),
+        Some("s0")
+    );
+    let (resp, _) = a
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"q0\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    let auto_sid = resp.get("session_id").and_then(JsonValue::as_str).unwrap();
+    assert_ne!(auto_sid, "s0");
+}
+
+#[test]
+fn unload_evicts_registry_entries_but_open_sessions_survive() {
+    let (addr, _guard) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, _, _) = client.compile("R(x,y), R(y,z)").unwrap();
+    let (db_id, _) = client.load_text(&qid, "R(1,2)\nR(2,3)\nR(3,3)\n").unwrap();
+    let (resp, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    let sid = resp
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+
+    // Unknown handles are rejected atomically: nothing is unloaded when one
+    // of the two ids is wrong.
+    assert!(client
+        .request(&format!(
+            "{{\"op\": \"unload\", \"query_id\": \"{qid}\", \"db_id\": \"nope\"}}"
+        ))
+        .unwrap_err()
+        .contains("unknown db_id"));
+    assert!(client
+        .request("{\"op\": \"unload\"}")
+        .unwrap_err()
+        .contains("unload needs"));
+
+    let (_, raw) = client
+        .request(&format!(
+            "{{\"op\": \"unload\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    assert!(
+        raw.contains(&format!("\"unloaded\": [\"{qid}\", \"{db_id}\"]")),
+        "{raw}"
+    );
+
+    // The registry handles are gone...
+    assert!(client
+        .request(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap_err()
+        .contains("unknown"));
+    // ...but the open session still owns its Arcs and keeps solving.
+    let (_, raw) = client
+        .request(&format!(
+            "{{\"op\": \"resolve\", \"session_id\": \"{sid}\"}}"
+        ))
+        .unwrap();
+    assert!(raw.contains("\"resilience\": 2"), "{raw}");
+}
+
+#[test]
+fn shutdown_verb_stops_the_daemon() {
+    let (addr, mut guard) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    // run() returns on its own (join without setting the flag ourselves).
+    guard.handle.take().unwrap().join().unwrap();
+    guard.flag.store(true, Ordering::SeqCst); // idempotent
+                                              // New connections are refused or die immediately afterwards.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut late = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    assert!(late.request_raw("{\"op\": \"ping\"}").is_err());
+}
