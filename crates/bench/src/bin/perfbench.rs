@@ -55,6 +55,20 @@
 //!
 //! `--smoke` shrinks the sweep for CI (still asserting identical results).
 //!
+//! `--deadlines` switches serve mode to an overhead comparison: every
+//! request is issued twice per configuration — without options and with a
+//! generous `timeout_ms` that never fires — and the best-of-`--reps`
+//! difference isolates the cancellation-poll cost (responses must stay
+//! byte-identical in both runs). `--max-overhead-pct P` turns the worst
+//! measured overhead into a pass/fail gate, as the committed
+//! `BENCH_PR6.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- serve --deadlines \
+//!     --workers-list 1,2 --clients 8 --requests 50 --reps 3 \
+//!     --max-overhead-pct 2 --out BENCH_PR6.json
+//! ```
+//!
 //! Session mode emits three rows per workload: `maintain` (witness-set
 //! upkeep), `resolve` (scratch re-solve vs warm session re-solve) and
 //! `resolve_warm` (cold session re-solve vs warm session re-solve — the
@@ -585,17 +599,32 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
 /// solve requests against a daemon with `workers` pool threads. Returns
 /// `(total_ns, total_requests)`; panics (test-style) on any response that is
 /// not byte-identical to the locally rendered report.
+///
+/// `options_json`, when set, is attached verbatim as the request's
+/// `options` object. Deadline options that never fire must leave every
+/// response byte-identical to the no-options baseline (completed solves
+/// with a cancel token are bit-identical to solves without), so the same
+/// local expectation is asserted either way — which is exactly what makes
+/// the `--deadlines` overhead comparison honest.
 fn drive_daemon(
     w: &BatchWorkload,
     workers: usize,
     clients: usize,
     requests: usize,
+    options_json: Option<&str>,
 ) -> (u64, usize) {
     use server::client::Client;
     use server::{jsonio, Server, ServerConfig};
 
-    let server =
-        Server::bind(ServerConfig::new("127.0.0.1:0").workers(workers)).expect("bind failed");
+    // Queue depth covers every client: this mode measures throughput, not
+    // admission control, so surplus connections must queue and drain (the
+    // default depth of 2x workers would refuse them as overloaded).
+    let server = Server::bind(
+        ServerConfig::new("127.0.0.1:0")
+            .workers(workers)
+            .queue_depth(clients.max(1)),
+    )
+    .expect("bind failed");
     let addr = server.local_addr().expect("local_addr failed");
     let flag = server.shutdown_flag();
     let server_thread = std::thread::spawn(move || server.run().expect("daemon failed"));
@@ -652,9 +681,12 @@ fn drive_daemon(
             .map(|(i, ((_, expected), (qid, db_id)))| {
                 let barrier = &barrier;
                 scope.spawn(move || {
+                    let options = options_json
+                        .map(|o| format!(", \"options\": {o}"))
+                        .unwrap_or_default();
                     let request = format!(
                         "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\", \
-                         \"tag\": \"c{i}\"}}"
+                         \"tag\": \"c{i}\"{options}}}"
                     );
                     barrier.wait();
                     let mut client = Client::connect(addr).expect("connect failed");
@@ -664,7 +696,7 @@ fn drive_daemon(
                         assert_eq!(
                             got,
                             Some(expected.as_str()),
-                            "client {i}: response differs from local report"
+                            "client {i}: response differs from local report (raw: {raw})"
                         );
                     }
                 })
@@ -688,6 +720,10 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let mut requests = 50usize;
     let mut nodes: Option<u64> = None;
     let mut smoke = false;
+    let mut deadlines = false;
+    let mut timeout_ms = 60_000u64;
+    let mut max_overhead_pct: Option<f64> = None;
+    let mut reps = 3usize;
     let mut out_path: Option<String> = None;
     let mut label = "PR5-serve".to_string();
     let mut it = args.iter();
@@ -734,6 +770,34 @@ fn serve_mode(args: &[String]) -> ExitCode {
                 }
             }
             "--smoke" => smoke = true,
+            "--deadlines" => deadlines = true,
+            "--timeout-ms" => {
+                timeout_ms = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--timeout-ms needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-overhead-pct" => {
+                max_overhead_pct = match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--max-overhead-pct needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--reps" => {
+                reps = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--reps needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--out" => out_path = it.next().cloned(),
             "--label" => label = it.next().cloned().unwrap_or(label),
             other => {
@@ -745,7 +809,8 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let Some(out_path) = out_path else {
         eprintln!(
             "usage: perfbench serve [--workers-list 1,2,4] [--clients C] [--requests R] \
-             [--smoke] [--label name] --out <json>"
+             [--smoke] [--deadlines [--timeout-ms MS] [--max-overhead-pct P] [--reps K]] \
+             [--label name] --out <json>"
         );
         return ExitCode::FAILURE;
     };
@@ -769,29 +834,73 @@ fn serve_mode(args: &[String]) -> ExitCode {
 
     let mut rows = Vec::new();
     let mut summary = String::new();
+    let mut worst_overhead: Option<(String, f64)> = None;
+    let deadline_opts = format!("{{\"timeout_ms\": {timeout_ms}}}");
     for w in &BATCH_WORKLOADS {
         let w = &BatchWorkload {
             nodes: nodes.unwrap_or(w.nodes),
             ..*w
         };
         for &workers in &workers_list {
-            let (total_ns, total_requests) = drive_daemon(w, workers, clients, requests);
-            let secs = (total_ns as f64 / 1e9).max(1e-9);
-            let rps = total_requests as f64 / secs;
             let name = format!("serve/{}", w.name.replace("_batch", "_solve"));
-            rows.push(format!(
-                "    {{\"bench\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
-                 \"requests_per_client\": {requests}, \"requests\": {total_requests}, \
-                 \"total_ns\": {total_ns}, \"requests_per_sec\": {rps:.1}, \
-                 \"identical_results\": true}}"
-            ));
-            summary.push_str(&format!(
-                "{name:<24} workers {workers:>2}: {total_requests} requests in {total_ns:>12} ns  ({rps:.0} req/s)\n"
-            ));
+            if deadlines {
+                // Interleave baseline and deadline runs and keep the best of
+                // each: min-of-reps cancels most scheduler noise, so the
+                // difference isolates the cancellation-poll cost (the
+                // deadline is generous enough that no request ever cancels,
+                // and byte-identity with the local report is still asserted
+                // on every response).
+                let (mut base_ns, mut dl_ns) = (u64::MAX, u64::MAX);
+                let mut total_requests = 0;
+                for _ in 0..reps {
+                    let (b, n) = drive_daemon(w, workers, clients, requests, None);
+                    let (d, _) = drive_daemon(w, workers, clients, requests, Some(&deadline_opts));
+                    base_ns = base_ns.min(b);
+                    dl_ns = dl_ns.min(d);
+                    total_requests = n;
+                }
+                let overhead_pct =
+                    (dl_ns as f64 - base_ns as f64) / (base_ns as f64).max(1.0) * 100.0;
+                if worst_overhead
+                    .as_ref()
+                    .is_none_or(|(_, p)| overhead_pct > *p)
+                {
+                    worst_overhead = Some((format!("{name} workers {workers}"), overhead_pct));
+                }
+                rows.push(format!(
+                    "    {{\"bench\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
+                     \"requests_per_client\": {requests}, \"requests\": {total_requests}, \
+                     \"timeout_ms\": {timeout_ms}, \"base_ns\": {base_ns}, \
+                     \"deadline_ns\": {dl_ns}, \"overhead_pct\": {overhead_pct:.2}, \
+                     \"identical_results\": true}}"
+                ));
+                summary.push_str(&format!(
+                    "{name:<24} workers {workers:>2}: base {base_ns:>12} ns, with deadline \
+                     {dl_ns:>12} ns  ({overhead_pct:+.2}%)\n"
+                ));
+            } else {
+                let (total_ns, total_requests) = drive_daemon(w, workers, clients, requests, None);
+                let secs = (total_ns as f64 / 1e9).max(1e-9);
+                let rps = total_requests as f64 / secs;
+                rows.push(format!(
+                    "    {{\"bench\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
+                     \"requests_per_client\": {requests}, \"requests\": {total_requests}, \
+                     \"total_ns\": {total_ns}, \"requests_per_sec\": {rps:.1}, \
+                     \"identical_results\": true}}"
+                ));
+                summary.push_str(&format!(
+                    "{name:<24} workers {workers:>2}: {total_requests} requests in {total_ns:>12} ns  ({rps:.0} req/s)\n"
+                ));
+            }
         }
     }
+    let mode = if deadlines {
+        "daemon_deadline_overhead"
+    } else {
+        "daemon_requests_per_sec"
+    };
     let doc = format!(
-        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"daemon_requests_per_sec\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"{mode}\",\n  \"experiments\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     if let Err(e) = fs::write(&out_path, doc) {
@@ -799,6 +908,15 @@ fn serve_mode(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     summary.push_str(&format!("wrote {out_path}\n"));
+    if let (Some(limit), Some((worst, pct))) = (max_overhead_pct, &worst_overhead) {
+        if *pct > limit {
+            eprintln!("deadline overhead gate FAILED: {worst} costs {pct:.2}% (limit {limit}%)");
+            return ExitCode::FAILURE;
+        }
+        summary.push_str(&format!(
+            "deadline overhead gate passed: worst {worst} at {pct:.2}% (limit {limit}%)\n"
+        ));
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().write_all(summary.as_bytes());
     ExitCode::SUCCESS

@@ -39,10 +39,12 @@
 //! assert_eq!(report.resilience, Resilience::Finite(2));
 //! ```
 
-use crate::exact::{ExactScratch, ExactSolver};
+use crate::cancel::CancelToken;
+use crate::exact::{ExactInterrupt, ExactScratch, ExactSolver};
 use crate::flow_algorithms::{
-    pairwise_bipartite_resilience_view, permutation_flow_live, rep_flow_live,
-    witness_path_flow_live, FlowResult, FlowScratch,
+    pairwise_bipartite_resilience_view, permutation_flow_live_cancellable,
+    rep_flow_live_cancellable, witness_path_flow_live_cancellable, FlowCancelled, FlowResult,
+    FlowScratch,
 };
 use crate::special::{
     a3perm_r_resilience_opts, swx3perm_r_resilience_opts, ts3conf_resilience_opts,
@@ -52,8 +54,9 @@ use cq::{classify, Classification, Complexity, PtimeAlgorithm, Query};
 use database::eval::Witness;
 use database::{
     copy_without_mask, try_relation_translation, witnesses_with_plan_into,
-    witnesses_with_plan_parallel_into, FrozenDb, QueryPlan, ReducedScratch, ReducedSets, TupleId,
-    TupleStore, WitnessIndex, WitnessSet, WitnessView,
+    witnesses_with_plan_into_cancellable, witnesses_with_plan_parallel_into,
+    witnesses_with_plan_parallel_into_cancellable, FrozenDb, QueryPlan, ReducedScratch,
+    ReducedSets, TupleId, TupleStore, WitnessIndex, WitnessSet, WitnessView,
 };
 use std::borrow::Borrow;
 use std::fmt;
@@ -148,6 +151,7 @@ pub struct SolveOptions {
     enumeration_threads: usize,
     warm_start: bool,
     adaptive_plan: bool,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for SolveOptions {
@@ -158,6 +162,7 @@ impl Default for SolveOptions {
             enumeration_threads: 1,
             warm_start: true,
             adaptive_plan: true,
+            cancel: None,
         }
     }
 }
@@ -222,6 +227,23 @@ impl SolveOptions {
         self.adaptive_plan = adaptive;
         self
     }
+
+    /// Attaches a [`CancelToken`]: the solve paths poll it at bounded
+    /// intervals (branch-and-bound nodes, flow augmentations, witness
+    /// enumeration chunks) and abort with [`SolveError::Cancelled`] once it
+    /// fires. A completed solve is byte-identical to one without a token —
+    /// the token adds polling, never a different search. Tokens compare by
+    /// identity, so a fresh per-request deadline token never lets a session
+    /// replay a stale cached report.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
 }
 
 /// Per-solve statistics of a [`SolveSession`] step, for observability of the
@@ -247,6 +269,23 @@ pub struct SessionSolveStats {
     pub nodes_explored: usize,
 }
 
+/// Anytime bounds salvaged from a cancelled solve: what the search had
+/// proven about the resilience before the token fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnytimeBounds {
+    /// Certified lower bound: the disjoint-set packing bound at the search
+    /// root on the exact path, or the partial max-flow value on the flow
+    /// paths.
+    pub lower: usize,
+    /// Best feasible contingency-set size found so far (the incumbent of
+    /// the branch-and-bound search). `None` on paths that had not yet
+    /// established a feasible solution.
+    pub upper: Option<usize>,
+    /// Branch-and-bound nodes explored before cancellation (0 on non-exact
+    /// paths).
+    pub nodes_explored: usize,
+}
+
 /// A failed solve.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SolveError {
@@ -261,6 +300,14 @@ pub enum SolveError {
         /// Name of the missing relation.
         relation: String,
     },
+    /// The solve was cancelled through its [`CancelToken`] (explicitly or
+    /// by deadline expiry) before completing.
+    Cancelled {
+        /// Anytime bounds established before cancellation; `None` when the
+        /// token fired before any solving work ran (e.g. during witness
+        /// enumeration or before dispatch).
+        partial: Option<AnytimeBounds>,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -272,6 +319,16 @@ impl fmt::Display for SolveError {
             SolveError::SchemaMismatch { relation } => {
                 write!(f, "database schema is missing relation {relation}")
             }
+            SolveError::Cancelled { partial } => match partial {
+                Some(bounds) => {
+                    write!(f, "solve cancelled: resilience >= {}", bounds.lower)?;
+                    if let Some(upper) = bounds.upper {
+                        write!(f, ", <= {upper}")?;
+                    }
+                    write!(f, " ({} nodes explored)", bounds.nodes_explored)
+                }
+                None => write!(f, "solve cancelled before any bounds were established"),
+            },
         }
     }
 }
@@ -502,10 +559,19 @@ impl CompiledQuery {
         // resilience (Proposition 18) and its exogenous labelling is what the
         // polynomial constructions rely on.
         let q = &self.classification.evidence.normalized;
+        // Cancellation can strike before any real work; bail before paying
+        // for witness enumeration. (No bounds exist yet at this point.)
+        if opts.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Err(SolveError::Cancelled { partial: None });
+        }
         let translation = try_relation_translation(q, db)
             .map_err(|relation| SolveError::SchemaMismatch { relation })?;
         let mut buf = std::mem::take(&mut scratch.witness_buf);
-        self.enumerate_witnesses(&translation, db, opts, &mut buf);
+        if !self.enumerate_witnesses(&translation, db, opts, &mut buf) {
+            buf.clear();
+            scratch.witness_buf = buf;
+            return Err(SolveError::Cancelled { partial: None });
+        }
         let ws = WitnessSet::from_witnesses(q, db, buf);
         let mut stats = SessionSolveStats::default();
         let result = self.dispatch(q, db, ws.view(), opts, scratch, None, &mut stats);
@@ -557,21 +623,40 @@ impl CompiledQuery {
     /// sequentially or across [`SolveOptions::enumeration_threads`] scoped
     /// threads (identical output either way). Single dispatch point shared
     /// by the solve and session entry paths.
+    /// Returns `false` when a [`CancelToken`] stopped the enumeration early
+    /// (`buf` then holds a partial, unusable witness list). Token-free
+    /// solves take the uninstrumented enumerators and always return `true`.
     fn enumerate_witnesses<S: TupleStore + Sync + ?Sized>(
         &self,
         translation: &[cq::RelId],
         db: &S,
         opts: &SolveOptions,
         buf: &mut Vec<Witness>,
-    ) {
+    ) -> bool {
         let q = &self.classification.evidence.normalized;
         let scaled = self.instance_plan(q, db, opts);
         let plan = scaled.as_ref().unwrap_or(&self.plan);
+        if let Some(token) = opts.cancel.as_ref() {
+            let is_cancelled = || token.is_cancelled();
+            return if opts.enumeration_threads > 1 {
+                witnesses_with_plan_parallel_into_cancellable(
+                    plan,
+                    translation,
+                    db,
+                    opts.enumeration_threads,
+                    buf,
+                    &is_cancelled,
+                )
+            } else {
+                witnesses_with_plan_into_cancellable(plan, translation, db, buf, &is_cancelled)
+            };
+        }
         if opts.enumeration_threads > 1 {
             witnesses_with_plan_parallel_into(plan, translation, db, opts.enumeration_threads, buf);
         } else {
             witnesses_with_plan_into(plan, translation, db, buf);
         }
+        true
     }
 
     /// Whether this query's dispatch target reads raw relations of the
@@ -611,6 +696,12 @@ impl CompiledQuery {
         incumbent: Option<&[u32]>,
         stats: &mut SessionSolveStats,
     ) -> Result<SolveReport, SolveError> {
+        // Session and what-if paths enter here directly (without passing
+        // through `solve_store`), so the pre-work cancellation check is
+        // repeated at dispatch.
+        if opts.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Err(SolveError::Cancelled { partial: None });
+        }
         if view.is_empty() {
             return Ok(SolveReport {
                 resilience: Resilience::Finite(0),
@@ -658,9 +749,23 @@ impl CompiledQuery {
         view.reduced_into(&mut scratch.reduced, &mut scratch.reduced_scratch);
         let solver = ExactSolver::with_node_limit(opts.node_budget);
         let outcome = solver
-            .solve_with_incumbent(&scratch.reduced, incumbent, &mut scratch.exact)
-            .map_err(|e| SolveError::BudgetExhausted {
-                nodes_explored: e.nodes_explored,
+            .solve_with_incumbent_cancellable(
+                &scratch.reduced,
+                incumbent,
+                &mut scratch.exact,
+                opts.cancel.as_ref(),
+            )
+            .map_err(|interrupt| match interrupt {
+                ExactInterrupt::Budget(e) => SolveError::BudgetExhausted {
+                    nodes_explored: e.nodes_explored,
+                },
+                ExactInterrupt::Cancelled(c) => SolveError::Cancelled {
+                    partial: Some(AnytimeBounds {
+                        lower: c.lower_bound,
+                        upper: Some(c.upper_bound),
+                        nodes_explored: c.nodes_explored,
+                    }),
+                },
             })?;
         stats.warm_start_hit |= outcome.incumbent_seeded;
         stats.short_circuit |= outcome.short_circuit;
@@ -681,6 +786,20 @@ impl CompiledQuery {
             witnesses: view.len(),
             nodes_explored: outcome.nodes_explored,
         })
+    }
+
+    /// Maps a cancelled flow run to the structured solve error: the partial
+    /// flow is a certified lower bound on the resilience (it is a valid
+    /// s–t flow), and no feasible contingency set exists yet (flow methods
+    /// only produce one at the end), so the upper bound is absent.
+    fn flow_cancelled(c: FlowCancelled) -> SolveError {
+        SolveError::Cancelled {
+            partial: Some(AnytimeBounds {
+                lower: c.partial_flow as usize,
+                upper: None,
+                nodes_explored: 0,
+            }),
+        }
     }
 
     fn finish_flow(
@@ -717,13 +836,16 @@ impl CompiledQuery {
             PtimeAlgorithm::SjFreeLinearFlow | PtimeAlgorithm::ConfluenceFlow => {
                 if let Some(order) = &self.linear_order {
                     crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                    if let Some(flow) = witness_path_flow_live(
+                    if let Some(flow) = witness_path_flow_live_cancellable(
                         db,
                         view,
                         order,
                         opts.want_contingency,
                         &mut scratch.flow,
-                    ) {
+                        opts.cancel.as_ref(),
+                    )
+                    .map_err(Self::flow_cancelled)?
+                    {
                         return Ok(self.finish_flow(
                             flow,
                             SolveMethod::LinearFlow,
@@ -745,7 +867,16 @@ impl CompiledQuery {
             }
             PtimeAlgorithm::UnboundPermutation => {
                 crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                match permutation_flow_live(q, db, view, opts.want_contingency, &mut scratch.flow) {
+                match permutation_flow_live_cancellable(
+                    q,
+                    db,
+                    view,
+                    opts.want_contingency,
+                    &mut scratch.flow,
+                    opts.cancel.as_ref(),
+                )
+                .map_err(Self::flow_cancelled)?
+                {
                     Some(flow) => {
                         Ok(self.finish_flow(flow, SolveMethod::PermutationFlow, view.len(), opts))
                     }
@@ -754,14 +885,17 @@ impl CompiledQuery {
             }
             PtimeAlgorithm::RepeatedVariableFlow => {
                 crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                match rep_flow_live(
+                match rep_flow_live_cancellable(
                     q,
                     db,
                     view,
                     &self.rep_order,
                     opts.want_contingency,
                     &mut scratch.flow,
-                ) {
+                    opts.cancel.as_ref(),
+                )
+                .map_err(Self::flow_cancelled)?
+                {
                     Some(flow) => {
                         Ok(self.finish_flow(flow, SolveMethod::RepFlow, view.len(), opts))
                     }
@@ -793,7 +927,16 @@ impl CompiledQuery {
             "q_TS3conf" => ts3conf_resilience_opts(q, db, want).map(|f| (f, "q_TS3conf")),
             "q_perm" | "q_Aperm" => {
                 crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                return match permutation_flow_live(q, db, view, want, &mut scratch.flow) {
+                return match permutation_flow_live_cancellable(
+                    q,
+                    db,
+                    view,
+                    want,
+                    &mut scratch.flow,
+                    opts.cancel.as_ref(),
+                )
+                .map_err(Self::flow_cancelled)?
+                {
                     Some(flow) => {
                         Ok(self.finish_flow(flow, SolveMethod::PermutationFlow, view.len(), opts))
                     }
@@ -1006,7 +1149,9 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
             let translation = try_relation_translation(q, db_ref)
                 .map_err(|relation| SolveError::SchemaMismatch { relation })?;
             let mut buf = Vec::new();
-            compiled_ref.enumerate_witnesses(&translation, db_ref, opts, &mut buf);
+            if !compiled_ref.enumerate_witnesses(&translation, db_ref, opts, &mut buf) {
+                return Err(SolveError::Cancelled { partial: None });
+            }
             let ws = WitnessSet::from_witnesses(q, db_ref, buf);
             // Full incidence over *all* tuples a witness touches (exogenous
             // included): a deletion of any tuple must kill exactly the

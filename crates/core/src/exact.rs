@@ -32,6 +32,7 @@
 //! handles the instance sizes used to validate the polynomial algorithms and
 //! the hardness gadgets (hundreds of tuples, thousands of witnesses).
 
+use crate::cancel::CancelToken;
 use cq::Query;
 use database::{ReducedSets, TupleId, TupleStore, WitnessSet};
 
@@ -56,6 +57,30 @@ impl std::fmt::Display for BudgetExhausted {
 }
 
 impl std::error::Error for BudgetExhausted {}
+
+/// Anytime state of a search abandoned by a [`CancelToken`]: the bounds the
+/// search had already established when it was interrupted. The upper bound
+/// is always a *feasible* hitting set size (the greedy/incumbent seed, or a
+/// better solution found during the search); the lower bound is the root
+/// disjoint-packing bound. `lower <= optimum <= upper` by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CancelledSearch {
+    /// Branch-and-bound nodes explored before the interruption.
+    pub nodes_explored: usize,
+    /// Root packing lower bound on the resilience.
+    pub lower_bound: usize,
+    /// Size of the best feasible hitting set found so far (an upper bound).
+    pub upper_bound: usize,
+}
+
+/// Why a cancellable exact solve stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactInterrupt {
+    /// The node budget ran out (the pre-existing failure mode).
+    Budget(BudgetExhausted),
+    /// The caller's [`CancelToken`] fired; anytime bounds are attached.
+    Cancelled(CancelledSearch),
+}
 
 /// Result of an exact resilience computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -221,6 +246,28 @@ impl ExactSolver {
         incumbent: Option<&[u32]>,
         scratch: &mut ExactScratch,
     ) -> Result<DenseExactOutcome, BudgetExhausted> {
+        self.solve_with_incumbent_cancellable(reduced, incumbent, scratch, None)
+            .map_err(|e| match e {
+                ExactInterrupt::Budget(b) => b,
+                ExactInterrupt::Cancelled(_) => {
+                    unreachable!("no token was supplied, so the search cannot be cancelled")
+                }
+            })
+    }
+
+    /// [`ExactSolver::solve_with_incumbent`] with an optional [`CancelToken`]
+    /// polled every 1024 branch-and-bound nodes. On cancellation the error
+    /// carries the anytime bounds established so far (see
+    /// [`CancelledSearch`]). With `cancel = None` the search is identical to
+    /// the uncancellable entry point — same branch order, same node counts —
+    /// so completed solves cannot differ between the two.
+    pub fn solve_with_incumbent_cancellable(
+        &self,
+        reduced: &ReducedSets,
+        incumbent: Option<&[u32]>,
+        scratch: &mut ExactScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<DenseExactOutcome, ExactInterrupt> {
         if reduced.is_empty() {
             return Ok(DenseExactOutcome {
                 resilience: Some(0),
@@ -239,6 +286,7 @@ impl ExactSolver {
         // the CSR arena and nothing else.
         let mut feasible_incumbent: Option<&[u32]> = None;
         let mut skip_greedy = false;
+        let mut root_lb: Option<usize> = None;
         if let Some(inc) = incumbent {
             if incumbent_is_feasible(reduced, inc, &mut scratch.marks) {
                 feasible_incumbent = Some(inc);
@@ -246,6 +294,7 @@ impl ExactSolver {
                 // sets. If the incumbent already matches it, it is optimal
                 // and the search (and its setup) are skipped entirely.
                 let lb = csr_packing_bound(reduced, &mut scratch.marks);
+                root_lb = Some(lb);
                 if inc.len() == lb {
                     let mut contingency = inc.to_vec();
                     contingency.sort_unstable();
@@ -262,6 +311,12 @@ impl ExactSolver {
                 // cannot tighten the bound by much, so skip it.
                 skip_greedy = inc.len() <= lb + 2;
             }
+        }
+        // A cancellable search reports the root packing bound as its anytime
+        // lower bound; compute it once here when the incumbent path above
+        // did not already. (Token-free solves skip this pass entirely.)
+        if cancel.is_some() && root_lb.is_none() {
+            root_lb = Some(csr_packing_bound(reduced, &mut scratch.marks));
         }
 
         // Flat bitset arena: set `i` occupies `bits[i*blocks..(i+1)*blocks]`.
@@ -313,15 +368,26 @@ impl ExactSolver {
             best: &mut scratch.best,
             node_limit: self.node_limit,
             nodes: 0,
+            cancel,
+            cancelled: false,
         };
         scratch.current.clear();
         let mut current = std::mem::take(&mut scratch.current);
         let alive = state.branch(&mut current);
         let nodes = state.nodes;
+        let was_cancelled = state.cancelled;
         scratch.current = current;
         if !alive {
-            return Err(BudgetExhausted {
-                nodes_explored: nodes,
+            return Err(if was_cancelled {
+                ExactInterrupt::Cancelled(CancelledSearch {
+                    nodes_explored: nodes,
+                    lower_bound: root_lb.unwrap_or(0),
+                    upper_bound: scratch.best.len(),
+                })
+            } else {
+                ExactInterrupt::Budget(BudgetExhausted {
+                    nodes_explored: nodes,
+                })
             });
         }
 
@@ -414,6 +480,11 @@ struct SearchState<'a> {
     best: &'a mut Vec<u32>,
     node_limit: usize,
     nodes: usize,
+    /// Optional cooperative-cancellation token, polled every 1024 nodes.
+    cancel: Option<&'a CancelToken>,
+    /// Set when the token fired (distinguishes cancellation from budget
+    /// exhaustion in the shared `false` abort signal of `branch`).
+    cancelled: bool,
 }
 
 impl SearchState<'_> {
@@ -427,6 +498,20 @@ impl SearchState<'_> {
     fn branch(&mut self, current: &mut Vec<u32>) -> bool {
         if self.nodes >= self.node_limit {
             return false;
+        }
+        // Poll the cancellation token at bounded intervals (every 64
+        // nodes): one masked compare on the happy path, so the overhead is
+        // far below the per-node cover/packing work. The interval also
+        // bounds deadline overshoot — a single node costs well under a
+        // millisecond even in debug builds, so 64 nodes keeps the overshoot
+        // comfortably inside the grace window callers are promised.
+        if self.nodes & 0x3F == 0 {
+            if let Some(token) = self.cancel {
+                if token.is_cancelled() {
+                    self.cancelled = true;
+                    return false;
+                }
+            }
         }
         self.nodes += 1;
         let mut bound = 0usize;

@@ -20,6 +20,7 @@
 //! cannot be made false on the given instance (a witness with no deletable
 //! tuple).
 
+use crate::cancel::CancelToken;
 use cq::linear::linear_order_all;
 use cq::patterns::single_self_join_relation;
 use cq::Query;
@@ -131,6 +132,29 @@ pub struct FlowResult {
     pub contingency: Vec<TupleId>,
 }
 
+/// A flow-based solve interrupted by its [`CancelToken`] mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowCancelled {
+    /// Flow routed before cancellation — a valid (not necessarily maximum)
+    /// flow, hence a certified lower bound on the resilience.
+    pub partial_flow: u64,
+}
+
+/// Builds the stop callback Dinic polls out of an optional token: a counter
+/// increment per call, with the token (and its clock read) consulted only
+/// every 64th call, so cancellation support costs the happy path nothing
+/// measurable.
+fn stop_from_token(cancel: Option<&CancelToken>) -> impl FnMut() -> bool + '_ {
+    let mut tick = 0u32;
+    move || match cancel {
+        Some(token) => {
+            tick = tick.wrapping_add(1);
+            tick & 63 == 0 && token.is_cancelled()
+        }
+        None => false,
+    }
+}
+
 /// The generic witness-path vertex-cut construction.
 ///
 /// Tuples become nodes (capacity 1 if endogenous and not listed in
@@ -168,7 +192,23 @@ pub fn witness_path_flow_opts<S: TupleStore + ?Sized>(
     for t in uncuttable {
         scratch.cuttable[t.index()] = false;
     }
-    witness_path_flow_core(db, ws.view(), atom_order, want_contingency, &mut scratch)
+    uncancelled(witness_path_flow_core(
+        db,
+        ws.view(),
+        atom_order,
+        want_contingency,
+        &mut scratch,
+        None,
+    ))
+}
+
+/// Unwraps a cancellable flow result produced without a token (which can
+/// therefore never be the cancelled variant).
+fn uncancelled(result: Result<Option<FlowResult>, FlowCancelled>) -> Option<FlowResult> {
+    match result {
+        Ok(flow) => flow,
+        Err(_) => unreachable!("no token was supplied, so the flow cannot be cancelled"),
+    }
 }
 
 /// [`witness_path_flow_opts`] over a (possibly live-restricted)
@@ -182,7 +222,29 @@ pub fn witness_path_flow_live<S: TupleStore + ?Sized>(
     want_contingency: bool,
     scratch: &mut FlowScratch,
 ) -> Option<FlowResult> {
-    witness_path_flow_core(db, view, atom_order, want_contingency, scratch)
+    uncancelled(witness_path_flow_core(
+        db,
+        view,
+        atom_order,
+        want_contingency,
+        scratch,
+        None,
+    ))
+}
+
+/// [`witness_path_flow_live`] with an optional [`CancelToken`], polled at
+/// bounded intervals inside the max-flow run. `Err` reports the partial flow
+/// routed before cancellation; the `Ok` results are identical to the
+/// token-free function.
+pub fn witness_path_flow_live_cancellable<S: TupleStore + ?Sized>(
+    db: &S,
+    view: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<FlowResult>, FlowCancelled> {
+    witness_path_flow_core(db, view, atom_order, want_contingency, scratch, cancel)
 }
 
 /// Seeds `scratch.cuttable` with the endogenous mask of `q` over `db`
@@ -205,12 +267,13 @@ fn witness_path_flow_core<S: TupleStore + ?Sized>(
     atom_order: &[usize],
     want_contingency: bool,
     scratch: &mut FlowScratch,
-) -> Option<FlowResult> {
+    cancel: Option<&CancelToken>,
+) -> Result<Option<FlowResult>, FlowCancelled> {
     if view.is_empty() {
-        return Some(FlowResult {
+        return Ok(Some(FlowResult {
             resilience: 0,
             contingency: Vec::new(),
-        });
+        }));
     }
     let FlowScratch {
         node_of,
@@ -230,7 +293,7 @@ fn witness_path_flow_core<S: TupleStore + ?Sized>(
     for w in view.witnesses() {
         // Check the witness can be destroyed at all.
         if !w.atom_tuples.iter().any(|t| cuttable[t.index()]) {
-            return None;
+            return Ok(None);
         }
         let mut prev = source;
         for &atom_idx in atom_order {
@@ -248,22 +311,32 @@ fn witness_path_flow_core<S: TupleStore + ?Sized>(
     for &(from, to) in edges.iter() {
         network.add_edge(from as usize, to as usize);
     }
+    let mut stop = stop_from_token(cancel);
     if !want_contingency {
-        return Some(FlowResult {
-            resilience: network.min_vertex_cut_value(source, target) as usize,
+        let value = network
+            .min_vertex_cut_value_interruptible(source, target, &mut stop)
+            .map_err(|e| FlowCancelled {
+                partial_flow: e.partial_flow,
+            })?;
+        return Ok(Some(FlowResult {
+            resilience: value as usize,
             contingency: Vec::new(),
-        });
+        }));
     }
-    let cut = network.min_vertex_cut(source, target);
+    let cut = network
+        .min_vertex_cut_interruptible(source, target, &mut stop)
+        .map_err(|e| FlowCancelled {
+            partial_flow: e.partial_flow,
+        })?;
     let contingency: Vec<TupleId> = cut
         .cut_vertices
         .iter()
         .filter_map(|&v| nodes.tuple(v))
         .collect();
-    Some(FlowResult {
+    Ok(Some(FlowResult {
         resilience: cut.value as usize,
         contingency,
-    })
+    }))
 }
 
 /// Witness-path flow using the query's own linear order of all atoms.
@@ -358,15 +431,38 @@ pub fn permutation_flow_live<S: TupleStore + ?Sized>(
     want_contingency: bool,
     scratch: &mut FlowScratch,
 ) -> Option<FlowResult> {
-    let (rel, r_atoms) = single_self_join_relation(q)?;
+    uncancelled(permutation_flow_live_cancellable(
+        q,
+        db,
+        view,
+        want_contingency,
+        scratch,
+        None,
+    ))
+}
+
+/// [`permutation_flow_live`] with an optional [`CancelToken`], polled at
+/// bounded intervals inside the max-flow run (see
+/// [`witness_path_flow_live_cancellable`]).
+pub fn permutation_flow_live_cancellable<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    view: WitnessView<'_>,
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<FlowResult>, FlowCancelled> {
+    let Some((rel, r_atoms)) = single_self_join_relation(q) else {
+        return Ok(None);
+    };
     if r_atoms.len() != 2 {
-        return None;
+        return Ok(None);
     }
     if view.is_empty() {
-        return Some(FlowResult {
+        return Ok(Some(FlowResult {
             resilience: 0,
             contingency: Vec::new(),
-        });
+        }));
     }
     let r_is_endogenous = r_atoms.iter().any(|&i| !q.atom(i).exogenous);
 
@@ -430,29 +526,39 @@ pub fn permutation_flow_live<S: TupleStore + ?Sized>(
 
         // Guard against unfalsifiable witnesses.
         if !w.atom_tuples.iter().any(|t| endo[t.index()]) {
-            return None;
+            return Ok(None);
         }
     }
     dedup_edges(edges);
     for &(from, to) in edges.iter() {
         network.add_edge(from as usize, to as usize);
     }
+    let mut stop = stop_from_token(cancel);
     if !want_contingency {
-        return Some(FlowResult {
-            resilience: network.min_vertex_cut_value(source, target) as usize,
+        let value = network
+            .min_vertex_cut_value_interruptible(source, target, &mut stop)
+            .map_err(|e| FlowCancelled {
+                partial_flow: e.partial_flow,
+            })?;
+        return Ok(Some(FlowResult {
+            resilience: value as usize,
             contingency: Vec::new(),
-        });
+        }));
     }
-    let cut = network.min_vertex_cut(source, target);
+    let cut = network
+        .min_vertex_cut_interruptible(source, target, &mut stop)
+        .map_err(|e| FlowCancelled {
+            partial_flow: e.partial_flow,
+        })?;
     let contingency: Vec<TupleId> = cut
         .cut_vertices
         .iter()
         .filter_map(|&v| nodes.tuple(v))
         .collect();
-    Some(FlowResult {
+    Ok(Some(FlowResult {
         resilience: cut.value as usize,
         contingency,
-    })
+    }))
 }
 
 /// Resilience of a REP query containing `z3` (Proposition 36): tuples
@@ -501,15 +607,42 @@ pub fn rep_flow_live<S: TupleStore + ?Sized>(
     want_contingency: bool,
     scratch: &mut FlowScratch,
 ) -> Option<FlowResult> {
-    let (rel, _) = single_self_join_relation(q)?;
-    let db_rel = db.schema().relation_id(q.schema().name(rel))?;
+    uncancelled(rep_flow_live_cancellable(
+        q,
+        db,
+        view,
+        atom_order,
+        want_contingency,
+        scratch,
+        None,
+    ))
+}
+
+/// [`rep_flow_live`] with an optional [`CancelToken`], polled at bounded
+/// intervals inside the max-flow run (see
+/// [`witness_path_flow_live_cancellable`]).
+pub fn rep_flow_live_cancellable<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    view: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<FlowResult>, FlowCancelled> {
+    let Some((rel, _)) = single_self_join_relation(q) else {
+        return Ok(None);
+    };
+    let Some(db_rel) = db.schema().relation_id(q.schema().name(rel)) else {
+        return Ok(None);
+    };
     for &t in db.tuples_of(db_rel) {
         let vals = db.values_of(t);
         if vals.len() == 2 && vals[0] != vals[1] {
             freeze_tuple(t, scratch);
         }
     }
-    witness_path_flow_core(db, view, atom_order, want_contingency, scratch)
+    witness_path_flow_core(db, view, atom_order, want_contingency, scratch, cancel)
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod approx;
+pub mod cancel;
 pub mod engine;
 pub mod exact;
 pub mod flow_algorithms;
@@ -51,12 +52,13 @@ pub mod solver;
 pub mod special;
 
 pub use approx::ResilienceBounds;
+pub use cancel::CancelToken;
 pub use engine::{
-    CompiledQuery, Engine, Resilience, Session, SharedSolveSession, SolveError, SolveOptions,
-    SolveReport, SolveScratch, SolveSession,
+    AnytimeBounds, CompiledQuery, Engine, Resilience, Session, SharedSolveSession, SolveError,
+    SolveOptions, SolveReport, SolveScratch, SolveSession,
 };
-pub use exact::{BudgetExhausted, ExactResult, ExactSolver};
-pub use flow_algorithms::FlowResult;
+pub use exact::{BudgetExhausted, CancelledSearch, ExactInterrupt, ExactResult, ExactSolver};
+pub use flow_algorithms::{FlowCancelled, FlowResult};
 #[allow(deprecated)]
 pub use solver::ResilienceSolver;
 pub use solver::{SolveMethod, SolveOutcome};

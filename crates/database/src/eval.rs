@@ -242,6 +242,38 @@ pub fn witnesses_with_plan_into<S: TupleStore + ?Sized>(
     });
 }
 
+/// How often the cancellable enumerators consult their callback: every
+/// 1024 witnesses, so the check is amortized to nothing on the happy path
+/// while cancellation latency stays bounded (a witness is produced in
+/// microseconds).
+const CANCEL_CHECK_MASK: usize = 1023;
+
+/// [`witnesses_with_plan_into`] with a cooperative cancellation callback,
+/// consulted every 1024 witnesses. Returns `true` when the enumeration ran
+/// to completion; `false` when the callback stopped it early (the contents
+/// of `out` are then partial and must not be used as a witness set).
+pub fn witnesses_with_plan_into_cancellable<S: TupleStore + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
+    out: &mut Vec<Witness>,
+    is_cancelled: &(dyn Fn() -> bool + Sync),
+) -> bool {
+    out.clear();
+    let mut stopped = false;
+    let mut count = 0usize;
+    enumerate_with_plan(plan, translation, db, &mut |w| {
+        out.push(w);
+        count += 1;
+        if count & CANCEL_CHECK_MASK == 0 && is_cancelled() {
+            stopped = true;
+            return false;
+        }
+        true
+    });
+    !stopped
+}
+
 /// Parallel [`witnesses_with_plan_into`]: the candidate list of the *first*
 /// join step (a whole-relation scan — the first atom of a plan never has a
 /// bound variable to probe) is partitioned into contiguous chunks, one
@@ -317,6 +349,82 @@ pub fn witnesses_with_plan_parallel_into<S: TupleStore + Sync + ?Sized>(
     for mut part in parts {
         out.append(&mut part);
     }
+}
+
+/// [`witnesses_with_plan_parallel_into`] with a cooperative cancellation
+/// callback (shared across the enumeration threads), consulted every 1024
+/// witnesses per thread. Returns `true` when the enumeration ran to
+/// completion on every thread; `false` when any thread was stopped early
+/// (the contents of `out` are then partial and must not be used).
+pub fn witnesses_with_plan_parallel_into_cancellable<S: TupleStore + Sync + ?Sized>(
+    plan: &QueryPlan,
+    translation: &[RelId],
+    db: &S,
+    threads: usize,
+    out: &mut Vec<Witness>,
+    is_cancelled: &(dyn Fn() -> bool + Sync),
+) -> bool {
+    out.clear();
+    if plan.num_atoms == 0 {
+        return true;
+    }
+    let first = &plan.order[0];
+    let candidates: &[TupleId] = match first.probe {
+        None => db.tuples_of(translation[first.rel.index()]),
+        Some(_) => {
+            return witnesses_with_plan_into_cancellable(plan, translation, db, out, is_cancelled);
+        }
+    };
+    let threads = threads.min(candidates.len()).max(1);
+    if threads <= 1 {
+        return witnesses_with_plan_into_cancellable(plan, translation, db, out, is_cancelled);
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let parts: Vec<(Vec<Witness>, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk_candidates| {
+                scope.spawn(move || {
+                    let mut local: Vec<Witness> = Vec::new();
+                    let mut valuation: Vec<Option<Constant>> = vec![None; plan.num_vars];
+                    let mut chosen: Vec<TupleId> = vec![TupleId(0); plan.num_atoms];
+                    let mut running = true;
+                    let mut stopped = false;
+                    let mut count = 0usize;
+                    search_candidates(
+                        plan,
+                        translation,
+                        db,
+                        0,
+                        chunk_candidates,
+                        &mut valuation,
+                        &mut chosen,
+                        &mut |w| {
+                            local.push(w);
+                            count += 1;
+                            if count & CANCEL_CHECK_MASK == 0 && is_cancelled() {
+                                stopped = true;
+                                return false;
+                            }
+                            true
+                        },
+                        &mut running,
+                    );
+                    (local, !stopped)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("witness enumeration thread panicked"))
+            .collect()
+    });
+    let mut completed = true;
+    for (mut part, part_completed) in parts {
+        out.append(&mut part);
+        completed &= part_completed;
+    }
+    completed
 }
 
 /// Core backtracking join with a per-call plan. Calls `sink` for each

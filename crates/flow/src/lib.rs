@@ -21,5 +21,5 @@ pub mod network;
 pub mod vertex_cut;
 
 pub use mincut::MinCut;
-pub use network::{EdgeId, FlowNetwork, NodeId, INF};
+pub use network::{EdgeId, FlowInterrupted, FlowNetwork, NodeId, INF};
 pub use vertex_cut::{VertexCut, VertexCutNetwork};

@@ -1,6 +1,6 @@
 //! s–t minimum cut extraction on top of max flow.
 
-use crate::network::{EdgeId, FlowNetwork, NodeId};
+use crate::network::{EdgeId, FlowInterrupted, FlowNetwork, NodeId};
 
 /// A minimum s–t cut.
 #[derive(Clone, Debug)]
@@ -17,7 +17,22 @@ pub struct MinCut {
 impl MinCut {
     /// Computes a minimum s–t cut of `network` (running Dinic's algorithm).
     pub fn compute(network: &mut FlowNetwork, s: NodeId, t: NodeId) -> MinCut {
-        let value = network.max_flow_dinic(s, t);
+        match Self::compute_interruptible(network, s, t, &mut || false) {
+            Ok(cut) => cut,
+            Err(_) => unreachable!("the never-stop callback cannot interrupt the run"),
+        }
+    }
+
+    /// [`MinCut::compute`] with a cooperative stop callback (see
+    /// [`FlowNetwork::max_flow_dinic_interruptible`]). On interruption the
+    /// partial flow routed so far is reported instead of a cut.
+    pub fn compute_interruptible(
+        network: &mut FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Result<MinCut, FlowInterrupted> {
+        let value = network.max_flow_dinic_interruptible(s, t, should_stop)?;
         let source_side = network.residual_reachable(s);
         let mut cut_edges = Vec::new();
         for i in 0..network.num_edges() {
@@ -30,11 +45,11 @@ impl MinCut {
                 cut_edges.push(id);
             }
         }
-        MinCut {
+        Ok(MinCut {
             value,
             cut_edges,
             source_side,
-        }
+        })
     }
 
     /// Computes only the *value* of a minimum s–t cut (the max flow),
@@ -43,6 +58,16 @@ impl MinCut {
     /// with contingency reporting disabled) save the extraction pass.
     pub fn compute_value(network: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
         network.max_flow_dinic(s, t)
+    }
+
+    /// [`MinCut::compute_value`] with a cooperative stop callback.
+    pub fn compute_value_interruptible(
+        network: &mut FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Result<u64, FlowInterrupted> {
+        network.max_flow_dinic_interruptible(s, t, should_stop)
     }
 
     /// Sum of the original capacities of the reported cut edges.
@@ -116,6 +141,35 @@ mod tests {
         let cut = MinCut::compute(&mut g, s, t);
         assert_eq!(cut.value, 3);
         assert_eq!(cut.cut_edges.len(), 3);
+    }
+
+    #[test]
+    fn interrupted_run_reports_partial_flow() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        for _ in 0..3 {
+            let m = g.add_node();
+            g.add_edge(s, m, 1);
+            g.add_edge(m, t, 1);
+        }
+        // Stopping before any work reports zero partial flow.
+        let err = MinCut::compute_interruptible(&mut g, s, t, &mut || true).unwrap_err();
+        assert_eq!(err.partial_flow, 0);
+        // A stop after some augmentations reports a valid partial value
+        // (Dinic may route several paths within the first uninterrupted
+        // phase, so the bound is `<= max`, not an exact count).
+        let mut calls = 0usize;
+        let result = g.max_flow_dinic_interruptible(s, t, &mut || {
+            calls += 1;
+            calls > 1
+        });
+        match result {
+            Ok(v) => assert_eq!(v, 3),
+            Err(partial) => assert!(partial.partial_flow <= 3),
+        }
+        // A never-stop run still finds the maximum.
+        assert_eq!(MinCut::compute(&mut g, s, t).value, 3);
     }
 
     #[test]

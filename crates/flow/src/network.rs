@@ -16,6 +16,15 @@ pub const INF: u64 = u64::MAX / 4;
 
 const UNREACHED: u32 = u32::MAX;
 
+/// A max-flow run stopped early by its caller's stop callback (see
+/// [`FlowNetwork::max_flow_dinic_interruptible`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowInterrupted {
+    /// Flow routed before the stop — a valid (not necessarily maximum) s–t
+    /// flow, hence a lower bound on the min-cut value.
+    pub partial_flow: u64,
+}
+
 /// A node of a [`FlowNetwork`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
@@ -217,17 +226,39 @@ impl FlowNetwork {
     /// Computes the maximum s–t flow with Dinic's algorithm (iterative
     /// blocking-flow DFS with the current-arc optimization).
     pub fn max_flow_dinic(&mut self, s: NodeId, t: NodeId) -> u64 {
+        match self.max_flow_dinic_interruptible(s, t, &mut || false) {
+            Ok(total) => total,
+            Err(_) => unreachable!("the never-stop callback cannot interrupt the run"),
+        }
+    }
+
+    /// [`FlowNetwork::max_flow_dinic`] with a cooperative stop callback,
+    /// polled once per BFS phase and once per augmenting path. When the
+    /// callback returns `true` the run stops and reports the flow routed so
+    /// far — a valid (if not maximum) s–t flow, hence a lower bound on the
+    /// min cut. An uninterrupted run is identical to `max_flow_dinic`.
+    pub fn max_flow_dinic_interruptible(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Result<u64, FlowInterrupted> {
         self.ensure_csr();
         self.reset_flow();
         if s == t {
-            return 0;
+            return Ok(0);
         }
         let n = self.num_nodes;
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.level.resize(n, UNREACHED);
         scratch.iter.resize(n, 0);
         let mut total = 0u64;
+        let mut stopped = false;
         loop {
+            if should_stop() {
+                stopped = true;
+                break;
+            }
             // BFS to build the level graph on the residual network.
             scratch.level.iter_mut().for_each(|l| *l = UNREACHED);
             scratch.level[s.index()] = 0;
@@ -248,23 +279,46 @@ impl FlowNetwork {
             if scratch.level[t.index()] == UNREACHED {
                 break;
             }
-            total += self.blocking_flow(s.0, t.0, &mut scratch);
+            let (phase_flow, phase_stopped) =
+                self.blocking_flow(s.0, t.0, &mut scratch, should_stop);
+            total += phase_flow;
+            if phase_stopped {
+                stopped = true;
+                break;
+            }
         }
         self.scratch = scratch;
-        total
+        if stopped {
+            Err(FlowInterrupted {
+                partial_flow: total,
+            })
+        } else {
+            Ok(total)
+        }
     }
 
     /// Finds a blocking flow in the current level graph: an iterative DFS
     /// keeping the partial path on an explicit stack, advancing each node's
     /// current arc so saturated or level-inconsistent edges are never
-    /// revisited within the phase.
-    fn blocking_flow(&mut self, s: u32, t: u32, scratch: &mut Scratch) -> u64 {
+    /// revisited within the phase. Returns the flow found this phase and
+    /// whether `should_stop` cut the phase short (the flow stays valid —
+    /// augmentations are atomic, the stop lands between them).
+    fn blocking_flow(
+        &mut self,
+        s: u32,
+        t: u32,
+        scratch: &mut Scratch,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> (u64, bool) {
         scratch.iter.iter_mut().for_each(|i| *i = 0);
         scratch.path.clear();
         let mut total = 0u64;
         let mut u = s;
         loop {
             if u == t {
+                if should_stop() {
+                    return (total, true);
+                }
                 // Augment along the path, then roll the path back to the
                 // tail of the first edge that saturated and continue the
                 // search from there.
@@ -317,7 +371,7 @@ impl FlowNetwork {
                 None => break, // the source itself is exhausted
             }
         }
-        total
+        (total, false)
     }
 
     /// Computes the maximum s–t flow with the Edmonds–Karp algorithm

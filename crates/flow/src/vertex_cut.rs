@@ -9,7 +9,7 @@
 //! capacity.
 
 use crate::mincut::MinCut;
-use crate::network::{FlowNetwork, NodeId, INF};
+use crate::network::{FlowInterrupted, FlowNetwork, NodeId, INF};
 
 /// A network whose *vertices* carry capacities.
 #[derive(Clone, Debug, Default)]
@@ -72,8 +72,22 @@ impl VertexCutNetwork {
     /// (their capacity is ignored), matching the paper's constructions where
     /// s and t are artificial endpoints.
     pub fn min_vertex_cut(&mut self, source: usize, target: usize) -> VertexCut {
+        match self.min_vertex_cut_interruptible(source, target, &mut || false) {
+            Ok(cut) => cut,
+            Err(_) => unreachable!("the never-stop callback cannot interrupt the run"),
+        }
+    }
+
+    /// [`VertexCutNetwork::min_vertex_cut`] with a cooperative stop
+    /// callback (see [`FlowNetwork::max_flow_dinic_interruptible`]).
+    pub fn min_vertex_cut_interruptible(
+        &mut self,
+        source: usize,
+        target: usize,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Result<VertexCut, FlowInterrupted> {
         let (s, t) = self.split_network(source, target);
-        let cut = MinCut::compute(&mut self.split, s, t);
+        let cut = MinCut::compute_interruptible(&mut self.split, s, t, should_stop)?;
         let n = self.num_vertices();
         let mut cut_vertices: Vec<usize> = cut
             .cut_edges
@@ -81,10 +95,10 @@ impl VertexCutNetwork {
             .filter_map(|e| (e.index() < n).then_some(e.index()))
             .collect();
         cut_vertices.sort_unstable();
-        VertexCut {
+        Ok(VertexCut {
             value: cut.value,
             cut_vertices,
-        }
+        })
     }
 
     /// Computes only the value of a minimum vertex cut, skipping the
@@ -92,6 +106,18 @@ impl VertexCutNetwork {
     pub fn min_vertex_cut_value(&mut self, source: usize, target: usize) -> u64 {
         let (s, t) = self.split_network(source, target);
         MinCut::compute_value(&mut self.split, s, t)
+    }
+
+    /// [`VertexCutNetwork::min_vertex_cut_value`] with a cooperative stop
+    /// callback.
+    pub fn min_vertex_cut_value_interruptible(
+        &mut self,
+        source: usize,
+        target: usize,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Result<u64, FlowInterrupted> {
+        let (s, t) = self.split_network(source, target);
+        MinCut::compute_value_interruptible(&mut self.split, s, t, should_stop)
     }
 
     /// Builds the node-split flow network into the reusable `split` buffer:

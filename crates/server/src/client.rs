@@ -10,23 +10,140 @@
 use crate::jsonio::{self, JsonValue};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Retry behaviour of [`Client::request`]: how many times to retry a
+/// *retryable* failure — an `overloaded` refusal or a transient transport
+/// error — and with what exponential backoff. Only refusals the server
+/// explicitly marks retryable and connection-level failures are retried;
+/// logical errors (`bad_request`, `budget_exhausted`, `cancelled`, ...)
+/// never are. Retrying reconnects, which drops per-connection session
+/// state, so sessionful flows should only enable retry for their stateless
+/// preamble (`compile`/`load`/`solve`/`batch` are safe throughout).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub attempts: u32,
+    /// First backoff delay; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling. An `overloaded` refusal's `retry_after_ms` hint
+    /// overrides the computed backoff when present.
+    pub max_delay_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately (the default).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// The policy `rescli remote` uses: 5 retries, 25 ms doubling to 1 s.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_delay_ms: 25,
+            max_delay_ms: 1_000,
+        }
+    }
+
+    fn backoff_ms(&self, retry: u32) -> u64 {
+        let shift = retry.min(16);
+        self.base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms)
+    }
+}
+
+/// How one failed request should be handled.
+struct RequestFailure {
+    message: String,
+    /// Retryable implies the connection is gone (overload refusals close
+    /// it; transport errors mean it was never usable), so retry always
+    /// reconnects.
+    retryable: bool,
+    /// The server's `retry_after_ms` hint, when it sent one.
+    retry_after_ms: Option<u64>,
+}
+
+impl RequestFailure {
+    fn fatal(message: String) -> RequestFailure {
+        RequestFailure {
+            message,
+            retryable: false,
+            retry_after_ms: None,
+        }
+    }
+
+    fn transient(message: String) -> RequestFailure {
+        RequestFailure {
+            message,
+            retryable: true,
+            retry_after_ms: None,
+        }
+    }
+}
 
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
+    /// Address to reconnect to on retry; `None` disables reconnection (and
+    /// therefore retry of transport failures).
+    addr: Option<String>,
+    policy: RetryPolicy,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon (no retries — see
+    /// [`Client::connect_retrying`]).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         Ok(Client {
             reader: BufReader::new(stream),
+            addr: None,
+            policy: RetryPolicy::none(),
         })
     }
 
-    /// Sends one request line and reads one response line (raw).
+    /// Connects with a retry policy: the initial connect and every
+    /// retryable request failure are retried with exponential backoff,
+    /// reconnecting as needed.
+    pub fn connect_retrying(addr: &str, policy: RetryPolicy) -> io::Result<Client> {
+        let mut last_err = None;
+        for retry in 0..=policy.attempts {
+            if retry > 0 {
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(retry)));
+            }
+            match Client::connect(addr) {
+                Ok(mut client) => {
+                    client.addr = Some(addr.to_string());
+                    client.policy = policy;
+                    return Ok(client);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one connect attempt"))
+    }
+
+    fn reconnect(&mut self) -> Result<(), String> {
+        let addr = self
+            .addr
+            .as_ref()
+            .ok_or("connection lost (no retry address)")?;
+        let stream = TcpStream::connect(addr).map_err(|e| format!("reconnect failed: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        self.reader = BufReader::new(stream);
+        Ok(())
+    }
+
+    /// Sends one request line and reads one response line (raw). No
+    /// retries at this layer — retry needs the parsed error kind, so it
+    /// lives in [`Client::request`].
     pub fn request_raw(&mut self, line: &str) -> Result<String, String> {
         let stream = self.reader.get_mut();
         stream
@@ -47,19 +164,72 @@ impl Client {
         Ok(response)
     }
 
-    /// [`Client::request_raw`] + parse + `ok` check: `Err` carries the
-    /// server's `error` text (or a transport/parse error).
-    pub fn request(&mut self, line: &str) -> Result<(JsonValue, String), String> {
-        let raw = self.request_raw(line)?;
-        let value = jsonio::parse_json(&raw).map_err(|e| format!("malformed response: {e}"))?;
+    fn request_once(&mut self, line: &str) -> Result<(JsonValue, String), RequestFailure> {
+        let raw = match self.request_raw(line) {
+            Ok(raw) => raw,
+            Err(e) => return Err(RequestFailure::transient(e)),
+        };
+        let value = match jsonio::parse_json(&raw) {
+            Ok(value) => value,
+            Err(e) => return Err(RequestFailure::fatal(format!("malformed response: {e}"))),
+        };
         match value.get("ok").and_then(JsonValue::as_bool) {
             Some(true) => Ok((value, raw)),
-            Some(false) => Err(value
-                .get("error")
-                .and_then(JsonValue::as_str)
-                .unwrap_or("unknown server error")
-                .to_string()),
-            None => Err(format!("response missing ok field: {raw}")),
+            Some(false) => {
+                let message = value
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string();
+                if value.get("kind").and_then(JsonValue::as_str) == Some("overloaded") {
+                    Err(RequestFailure {
+                        message,
+                        retryable: true,
+                        retry_after_ms: value
+                            .get("retry_after_ms")
+                            .and_then(JsonValue::as_usize)
+                            .map(|ms| ms as u64),
+                    })
+                } else {
+                    Err(RequestFailure::fatal(message))
+                }
+            }
+            None => Err(RequestFailure::fatal(format!(
+                "response missing ok field: {raw}"
+            ))),
+        }
+    }
+
+    /// [`Client::request_raw`] + parse + `ok` check: `Err` carries the
+    /// server's `error` text (or a transport/parse error). Under a retry
+    /// policy ([`Client::connect_retrying`]), `overloaded` refusals and
+    /// transport failures are retried with exponential backoff (honouring
+    /// the server's `retry_after_ms` hint), reconnecting each time.
+    pub fn request(&mut self, line: &str) -> Result<(JsonValue, String), String> {
+        let mut retry = 0u32;
+        loop {
+            match self.request_once(line) {
+                Ok(ok) => return Ok(ok),
+                Err(failure) => {
+                    let can_retry =
+                        failure.retryable && retry < self.policy.attempts && self.addr.is_some();
+                    if !can_retry {
+                        return Err(failure.message);
+                    }
+                    retry += 1;
+                    let delay_ms = failure
+                        .retry_after_ms
+                        .unwrap_or_else(|| self.policy.backoff_ms(retry));
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                    // The connection is gone in every retryable case;
+                    // failure to re-establish it consumes further retries.
+                    if let Err(e) = self.reconnect() {
+                        if retry >= self.policy.attempts {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
         }
     }
 

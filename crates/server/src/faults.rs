@@ -1,0 +1,75 @@
+//! Test-only fault injection (compiled only with the `faults` feature).
+//!
+//! Two halves:
+//!
+//! * **Server-side directives** — [`apply_request_faults`] runs inside the
+//!   per-request `catch_unwind` in `proto::handle_request` and honours
+//!   request-level fields: `"fault": "panic"` panics on the worker thread
+//!   (exercising exactly the recovery path a real solver bug would take),
+//!   `"fault_sleep_ms": N` stalls the handler (capped at 5 s), and
+//!   `"fault": "expire_deadline"` is consumed by `parse_options`, which
+//!   attaches an already-cancelled [`CancelToken`](resilience_core::CancelToken)
+//!   so the solve observes cancellation at its first check.
+//! * **Client-side drivers** — small raw-socket helpers the chaos suite
+//!   uses to misbehave at the framing layer: stalled half-written frames,
+//!   mid-request disconnects, truncated garbage.
+//!
+//! The feature must never be enabled in a production build; `resd` is
+//! compiled without it and rejects the `fault` fields as unknown input only
+//! insofar as they are simply ignored (requests remain well-formed JSON).
+
+use crate::jsonio::JsonValue;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Honours request-level fault directives; called inside the dispatch
+/// `catch_unwind`. See the module docs for the recognised fields.
+pub(crate) fn apply_request_faults(req: &JsonValue) {
+    if req.get("fault").and_then(JsonValue::as_str) == Some("panic") {
+        panic!("injected fault: forced request panic");
+    }
+    if let Some(ms) = req.get("fault_sleep_ms").and_then(JsonValue::as_f64) {
+        let ms = (ms.max(0.0) as u64).min(5_000);
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Connects and writes `partial` **without** a trailing newline, returning
+/// the still-open stream: a stalled client holding a half-written frame.
+/// The worker serving it sits in its read-timeout loop accumulating the
+/// partial line until the caller drops the stream (or finishes the line).
+pub fn stalled_client(addr: &str, partial: &[u8]) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(partial)?;
+    stream.flush()?;
+    Ok(stream)
+}
+
+/// Writes a partial frame and immediately drops the connection — a client
+/// dying mid-request. The server must treat the EOF as end-of-connection,
+/// not as a request.
+pub fn disconnect_mid_request(addr: &str, partial: &[u8]) -> std::io::Result<()> {
+    let stream = stalled_client(addr, partial)?;
+    drop(stream);
+    Ok(())
+}
+
+/// Sends one complete (newline-terminated) frame of arbitrary bytes and
+/// reads back a single response line. Used to feed the server truncated or
+/// garbage frames that *are* properly newline-framed.
+pub fn send_raw_line(addr: &str, frame: &[u8]) -> std::io::Result<String> {
+    use std::io::{BufRead, BufReader};
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(frame)?;
+    if !frame.ends_with(b"\n") {
+        stream.write_all(b"\n")?;
+    }
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line.trim_end().to_string())
+}

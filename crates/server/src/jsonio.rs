@@ -221,12 +221,27 @@ impl JsonValue {
     }
 }
 
+/// Deepest container nesting [`parse_json`] accepts. The protocol never
+/// nests more than four levels; 64 leaves generous headroom while keeping
+/// recursion depth (and thus stack use) bounded against adversarial
+/// `[[[[...]]]]` input.
+pub const MAX_DEPTH: usize = 64;
+
+/// Longest decoded string (in bytes) [`parse_json`] accepts — matches the
+/// server's default request-line cap, so any string that fits in a legal
+/// frame parses, while a standalone use of the parser still cannot be made
+/// to allocate without bound.
+pub const MAX_STRING_BYTES: usize = 1 << 20;
+
 /// Parses one JSON document (object, array or scalar). Trailing garbage is
-/// an error; leading/trailing whitespace is fine.
+/// an error; leading/trailing whitespace is fine. Pathological input —
+/// nesting beyond [`MAX_DEPTH`], strings beyond [`MAX_STRING_BYTES`] — is
+/// rejected with a `limit:`-prefixed error, which the daemon reports as
+/// `bad_request` rather than a parse failure.
 pub fn parse_json(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(text, bytes, &mut pos)?;
+    let value = parse_value(text, bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing characters at byte {pos}"));
@@ -254,7 +269,15 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(
+    text: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("limit: nesting deeper than {MAX_DEPTH} levels"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -271,7 +294,7 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, S
                 let key = parse_string(text, bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(text, bytes, pos)?;
+                let value = parse_value(text, bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -299,7 +322,7 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, S
                 return Ok(JsonValue::Arr(items));
             }
             loop {
-                items.push(parse_value(text, bytes, pos)?);
+                items.push(parse_value(text, bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -359,6 +382,11 @@ fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Str
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
+        if out.len() > MAX_STRING_BYTES {
+            return Err(format!(
+                "limit: string longer than {MAX_STRING_BYTES} bytes"
+            ));
+        }
         match bytes.get(*pos) {
             None => return Err("unterminated string".to_string()),
             Some(b'"') => {
@@ -492,6 +520,37 @@ mod tests {
         assert!(parse_json("\"unterminated").is_err());
         assert!(parse_json("{} trailing").is_err());
         assert!(parse_json("tru").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting() {
+        // One level inside the cap parses; one past it is refused with a
+        // limit error (reported as bad_request, not parse, by the daemon).
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse_json(&deep).unwrap_err();
+        assert!(err.starts_with("limit:"), "unexpected error: {err}");
+        let deep_obj = format!(
+            "{}1{}",
+            "{\"k\": ".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse_json(&deep_obj).unwrap_err().starts_with("limit:"));
+    }
+
+    #[test]
+    fn parse_rejects_oversized_strings() {
+        let big = format!("\"{}\"", "x".repeat(MAX_STRING_BYTES + 2));
+        let err = parse_json(&big).unwrap_err();
+        assert!(err.starts_with("limit:"), "unexpected error: {err}");
+        // At the cap exactly is fine.
+        let ok = format!("\"{}\"", "x".repeat(MAX_STRING_BYTES));
+        assert!(parse_json(&ok).is_ok());
     }
 
     #[test]

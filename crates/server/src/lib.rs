@@ -54,6 +54,8 @@
 
 pub mod client;
 pub mod dbtext;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod jsonio;
 mod proto;
 
@@ -80,16 +82,37 @@ pub struct ServerConfig {
     /// Optional signal file: the daemon shuts down gracefully as soon as
     /// this path exists (checked by the accept loop).
     pub shutdown_file: Option<PathBuf>,
+    /// Admission-control depth of the connection queue. When every worker
+    /// is busy and this many connections already wait, new connections are
+    /// refused immediately with a structured `overloaded` error (carrying
+    /// `retry_after_ms`) instead of queuing without bound. 0 means twice
+    /// the worker count.
+    pub queue_depth: usize,
+    /// Upper cap on client-supplied `timeout_ms` per-request deadlines:
+    /// larger requests are clamped, so no client can disable the deadline
+    /// machinery by asking for an absurd budget.
+    pub max_timeout_ms: u64,
+    /// Maximum accepted request-line length in bytes; longer frames get a
+    /// structured `bad_request` error and the connection is closed.
+    pub max_line_bytes: usize,
+    /// The `retry_after_ms` hint sent with `overloaded` refusals.
+    pub retry_after_ms: u64,
 }
 
 impl ServerConfig {
-    /// Config with the default worker count (one per hardware thread) and
-    /// no signal file.
+    /// Config with the default worker count (one per hardware thread), no
+    /// signal file and the default robustness limits: queue depth 2×workers,
+    /// per-request deadlines capped at 30 s, 1 MiB request lines, 50 ms
+    /// overload retry hint.
     pub fn new(addr: impl Into<String>) -> Self {
         ServerConfig {
             addr: addr.into(),
             workers: 0,
             shutdown_file: None,
+            queue_depth: 0,
+            max_timeout_ms: 30_000,
+            max_line_bytes: 1 << 20,
+            retry_after_ms: 50,
         }
     }
 
@@ -104,6 +127,32 @@ impl ServerConfig {
         self.shutdown_file = Some(path.into());
         self
     }
+
+    /// Sets the admission-control queue depth (0 = twice the workers).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the cap on client-supplied `timeout_ms` deadlines.
+    pub fn max_timeout_ms(mut self, ms: u64) -> Self {
+        self.max_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the maximum accepted request-line length in bytes.
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes;
+        self
+    }
+}
+
+/// Per-request robustness limits, derived from [`ServerConfig`] and shared
+/// by every worker.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RequestLimits {
+    pub(crate) max_timeout_ms: u64,
+    pub(crate) max_line_bytes: usize,
 }
 
 /// A compiled query registered with the daemon.
@@ -234,14 +283,28 @@ impl Server {
             self.config.workers
         };
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let queue_depth = if self.config.queue_depth == 0 {
+            workers * 2
+        } else {
+            self.config.queue_depth
+        };
+        let limits = RequestLimits {
+            max_timeout_ms: self.config.max_timeout_ms,
+            max_line_bytes: self.config.max_line_bytes,
+        };
+        let retry_after_ms = self.config.retry_after_ms;
+        // Bounded queue = admission control: when every worker is busy and
+        // the backlog is full, `try_send` fails immediately and the client
+        // gets a structured `overloaded` refusal instead of queuing without
+        // bound behind requests it cannot see.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
         let rx = Mutex::new(rx);
         let shutdown = &self.shutdown;
         let registry = &self.registry;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let rx = &rx;
-                scope.spawn(move || worker_loop(rx, registry, shutdown));
+                scope.spawn(move || worker_loop(rx, registry, shutdown, limits));
             }
             loop {
                 if shutdown.load(Ordering::SeqCst) {
@@ -256,8 +319,12 @@ impl Server {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
                         let _ = stream.set_nodelay(true);
-                        if tx.send(stream).is_err() {
-                            break;
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(mpsc::TrySendError::Full(stream)) => {
+                                refuse_overloaded(stream, retry_after_ms);
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => break,
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -277,6 +344,20 @@ impl Server {
     }
 }
 
+/// Refuses a connection the worker queue has no room for: one structured
+/// `overloaded` line (with a `retry_after_ms` hint), then close. A short
+/// write timeout keeps the accept loop responsive even against a client
+/// that never reads.
+fn refuse_overloaded(stream: TcpStream, retry_after_ms: u64) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let line = format!(
+        "{{\"ok\": false, \"kind\": \"overloaded\", \"error\": \"server worker queue is full\", \"retry_after_ms\": {retry_after_ms}}}\n"
+    );
+    use std::io::Write as _;
+    let _ = stream.write_all(line.as_bytes());
+}
+
 /// One pool worker: pull connections off the shared channel, serve each to
 /// completion with a worker-lifetime [`SolveScratch`], exit when the accept
 /// loop hangs up.
@@ -284,13 +365,18 @@ fn worker_loop(
     rx: &Mutex<mpsc::Receiver<TcpStream>>,
     registry: &RwLock<Registry>,
     shutdown: &AtomicBool,
+    limits: RequestLimits,
 ) {
     let mut scratch = SolveScratch::new();
     loop {
         // Take the stream *outside* the lock so one slow connection never
-        // serializes the whole pool behind the receiver mutex.
+        // serializes the whole pool behind the receiver mutex. A worker
+        // that panicked while holding the lock (despite the per-request
+        // catch_unwind) must not take the rest of the pool with it, so a
+        // poisoned mutex is simply recovered — the receiver holds no
+        // invariant beyond its own queue.
         let stream = {
-            let guard = rx.lock().expect("worker receiver poisoned");
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             match guard.recv_timeout(Duration::from_millis(100)) {
                 Ok(stream) => Some(stream),
                 Err(mpsc::RecvTimeoutError::Timeout) => None,
@@ -298,7 +384,9 @@ fn worker_loop(
             }
         };
         match stream {
-            Some(stream) => proto::serve_connection(stream, registry, shutdown, &mut scratch),
+            Some(stream) => {
+                proto::serve_connection(stream, registry, shutdown, &mut scratch, limits)
+            }
             None => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;

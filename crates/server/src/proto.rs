@@ -4,11 +4,13 @@
 
 use crate::dbtext;
 use crate::jsonio::{self, JsonValue};
-use crate::{ConnState, DbEntry, QueryEntry, Registry, SessionEntry};
+use crate::{ConnState, DbEntry, QueryEntry, Registry, RequestLimits, SessionEntry};
 use cq::parse_query;
 use resilience_core::engine::{Engine, SolveError, SolveOptions, SolveScratch};
+use resilience_core::CancelToken;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
@@ -28,11 +30,29 @@ fn err_json(kind: &str, msg: &str) -> String {
 }
 
 fn solve_err_json(e: &SolveError) -> String {
-    let kind = match e {
-        SolveError::BudgetExhausted { .. } => "budget_exhausted",
-        SolveError::SchemaMismatch { .. } => "schema_mismatch",
-    };
-    err_json(kind, &e.to_string())
+    match e {
+        SolveError::BudgetExhausted { .. } => err_json("budget_exhausted", &e.to_string()),
+        SolveError::SchemaMismatch { .. } => err_json("schema_mismatch", &e.to_string()),
+        SolveError::Cancelled { partial } => {
+            // A cancelled solve still reports the anytime bounds the search
+            // had established, so a client on a deadline gets an interval,
+            // not nothing.
+            let bounds = match partial {
+                Some(b) => format!(
+                    "{{\"lower\": {}, \"upper\": {}, \"nodes_explored\": {}}}",
+                    b.lower,
+                    b.upper
+                        .map_or_else(|| "null".to_string(), |u| u.to_string()),
+                    b.nodes_explored
+                ),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"ok\": false, \"kind\": \"cancelled\", \"error\": \"{}\", \"bounds\": {bounds}}}",
+                jsonio::json_escape(&e.to_string())
+            )
+        }
+    }
 }
 
 fn bad(msg: &str) -> String {
@@ -47,8 +67,10 @@ pub(crate) fn serve_connection(
     registry: &RwLock<Registry>,
     shutdown: &AtomicBool,
     scratch: &mut SolveScratch,
+    limits: RequestLimits,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -63,24 +85,45 @@ pub(crate) fn serve_connection(
                 // Timed out mid-line with partial data appended: keep
                 // accumulating (read_until documents partial reads on error,
                 // and a short read without newline means the rest is still
-                // in flight).
+                // in flight) — but never beyond the framing budget.
+                if buf.len() > limits.max_line_bytes {
+                    let _ = write_response(
+                        &mut writer,
+                        &bad(&format!(
+                            "request line exceeds {} bytes",
+                            limits.max_line_bytes
+                        )),
+                        shutdown,
+                    );
+                    return;
+                }
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
             }
             Ok(_) => {
+                if buf.len() > limits.max_line_bytes {
+                    // Oversized but complete: refuse and close. Trusting the
+                    // rest of a stream that already blew the framing budget
+                    // invites the client to do it again.
+                    let _ = write_response(
+                        &mut writer,
+                        &bad(&format!(
+                            "request line exceeds {} bytes",
+                            limits.max_line_bytes
+                        )),
+                        shutdown,
+                    );
+                    return;
+                }
                 let line = String::from_utf8_lossy(&buf).into_owned();
                 buf.clear();
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, action) = handle_request(registry, &mut conn, scratch, &line);
-                if writer
-                    .write_all(response.as_bytes())
-                    .and_then(|_| writer.write_all(b"\n"))
-                    .and_then(|_| writer.flush())
-                    .is_err()
-                {
+                let (response, action) =
+                    handle_request(registry, &mut conn, scratch, &line, limits);
+                if !write_response(&mut writer, &response, shutdown) {
                     return;
                 }
                 if let Action::Shutdown = action {
@@ -102,42 +145,95 @@ pub(crate) fn serve_connection(
     }
 }
 
-/// Decodes [`SolveOptions`] from an optional `options` object.
-fn parse_options(req: &JsonValue) -> Result<SolveOptions, String> {
-    let mut opts = SolveOptions::new();
-    let Some(obj) = req.get("options") else {
-        return Ok(opts);
-    };
-    let fields = match obj {
-        JsonValue::Obj(fields) => fields,
-        JsonValue::Null => return Ok(opts),
-        _ => return Err("options must be an object".to_string()),
-    };
-    for (key, value) in fields {
-        match key.as_str() {
-            "node_budget" => {
-                let n = value
-                    .as_usize()
-                    .ok_or("node_budget must be a non-negative integer")?;
-                opts = opts.node_budget(n);
+/// Writes one response line, riding out write-timeout stalls from clients
+/// that stop reading. Every stall re-checks the shutdown flag so a wedged
+/// peer cannot pin a worker across a graceful shutdown; after ~30s with no
+/// byte accepted the connection is abandoned. Returns `false` when the
+/// connection should close.
+fn write_response(writer: &mut TcpStream, response: &str, shutdown: &AtomicBool) -> bool {
+    let mut pending = Vec::with_capacity(response.len() + 1);
+    pending.extend_from_slice(response.as_bytes());
+    pending.push(b'\n');
+    let mut offset = 0usize;
+    let mut stalls = 0u32;
+    while offset < pending.len() {
+        match writer.write(&pending[offset..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                offset += n;
+                stalls = 0;
             }
-            "want_contingency" => {
-                opts = opts.want_contingency(value.as_bool().ok_or("want_contingency: bool")?);
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+                stalls += 1;
+                if stalls > 150 {
+                    return false;
+                }
             }
-            "enumeration_threads" => {
-                let n = value
-                    .as_usize()
-                    .ok_or("enumeration_threads must be a non-negative integer")?;
-                opts = opts.enumeration_threads(n);
-            }
-            "warm_start" => {
-                opts = opts.warm_start(value.as_bool().ok_or("warm_start: bool")?);
-            }
-            "adaptive_plan" => {
-                opts = opts.adaptive_plan(value.as_bool().ok_or("adaptive_plan: bool")?);
-            }
-            other => return Err(format!("unknown option {other}")),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
         }
+    }
+    writer.flush().is_ok()
+}
+
+/// Decodes [`SolveOptions`] from an optional `options` object. A
+/// client-supplied `timeout_ms` becomes a deadline-bearing [`CancelToken`],
+/// silently capped at the server's `max_timeout_ms`.
+fn parse_options(req: &JsonValue, limits: RequestLimits) -> Result<SolveOptions, String> {
+    let mut opts = SolveOptions::new();
+    if let Some(obj) = req.get("options") {
+        let fields = match obj {
+            JsonValue::Obj(fields) => fields.as_slice(),
+            JsonValue::Null => &[],
+            _ => return Err("options must be an object".to_string()),
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "node_budget" => {
+                    let n = value
+                        .as_usize()
+                        .ok_or("node_budget must be a non-negative integer")?;
+                    opts = opts.node_budget(n);
+                }
+                "want_contingency" => {
+                    opts = opts.want_contingency(value.as_bool().ok_or("want_contingency: bool")?);
+                }
+                "enumeration_threads" => {
+                    let n = value
+                        .as_usize()
+                        .ok_or("enumeration_threads must be a non-negative integer")?;
+                    opts = opts.enumeration_threads(n);
+                }
+                "warm_start" => {
+                    opts = opts.warm_start(value.as_bool().ok_or("warm_start: bool")?);
+                }
+                "adaptive_plan" => {
+                    opts = opts.adaptive_plan(value.as_bool().ok_or("adaptive_plan: bool")?);
+                }
+                "timeout_ms" => {
+                    let ms = value
+                        .as_usize()
+                        .ok_or("timeout_ms must be a non-negative integer")?
+                        as u64;
+                    let ms = ms.min(limits.max_timeout_ms);
+                    opts = opts.cancel_token(CancelToken::with_deadline(Duration::from_millis(ms)));
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+    }
+    #[cfg(feature = "faults")]
+    if req.get("fault").and_then(JsonValue::as_str) == Some("expire_deadline") {
+        // An already-expired deadline: the solve observes cancellation at
+        // its first check, whatever timeout the request asked for.
+        let token = CancelToken::new();
+        token.cancel();
+        opts = opts.cancel_token(token);
     }
     Ok(opts)
 }
@@ -148,10 +244,14 @@ fn req_str<'a>(req: &'a JsonValue, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing string field {key}"))
 }
 
+// Registry lock poisoning is recovered, not propagated: the registry's
+// maps are only ever mutated through insert/remove, which cannot leave an
+// entry half-written, so the data behind a poisoned lock is still sound —
+// and one panicking request must not brick every later request.
 fn get_query(registry: &RwLock<Registry>, id: &str) -> Result<Arc<QueryEntry>, String> {
     registry
         .read()
-        .expect("registry poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .queries
         .get(id)
         .cloned()
@@ -161,23 +261,36 @@ fn get_query(registry: &RwLock<Registry>, id: &str) -> Result<Arc<QueryEntry>, S
 fn get_db(registry: &RwLock<Registry>, id: &str) -> Result<Arc<DbEntry>, String> {
     registry
         .read()
-        .expect("registry poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .dbs
         .get(id)
         .cloned()
         .ok_or_else(|| format!("unknown db_id {id}"))
 }
 
-/// Dispatches one request line. Always produces exactly one response line.
+/// Dispatches one request line. Always produces exactly one response line —
+/// even when the handler panics: the dispatch runs under `catch_unwind`, a
+/// panic answers `internal` and the worker keeps serving (with fresh
+/// scratch, since the panicking solve may have left it mid-update).
 pub(crate) fn handle_request(
     registry: &RwLock<Registry>,
     conn: &mut ConnState,
     scratch: &mut SolveScratch,
     line: &str,
+    limits: RequestLimits,
 ) -> (String, Action) {
     let req = match jsonio::parse_json(line.trim()) {
         Ok(v) => v,
-        Err(e) => return (err_json("parse", &e), Action::Continue),
+        Err(e) => {
+            // Resource-limit refusals (depth, string size) are well-formed
+            // requests the server declines, not parse failures.
+            let kind = if e.starts_with("limit:") {
+                "bad_request"
+            } else {
+                "parse"
+            };
+            return (err_json(kind, &e), Action::Continue);
+        }
     };
     let op = match req.get("op").and_then(JsonValue::as_str) {
         Some(op) => op.to_string(),
@@ -189,20 +302,34 @@ pub(crate) fn handle_request(
             Action::Shutdown,
         );
     }
-    let response = match op.as_str() {
-        "ping" => Ok("{\"ok\": true, \"pong\": true}".to_string()),
-        "compile" => op_compile(registry, &req),
-        "load" | "freeze" => op_load(registry, &req),
-        "unload" => op_unload(registry, &req),
-        "solve" => op_solve(registry, scratch, &req),
-        "batch" => op_batch(registry, &req),
-        "session" => op_session(registry, conn, &req),
-        "delete" | "restore" => op_mutate(conn, &req, op == "delete"),
-        "reset" => op_reset(conn, &req),
-        "resolve" => op_resolve(conn, &req),
-        "batch_whatif" => op_batch_whatif(conn, &req),
-        "close" => op_close(conn, &req),
-        other => Err(bad(&format!("unknown op {other}"))),
+    let dispatched = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "faults")]
+        crate::faults::apply_request_faults(&req);
+        match op.as_str() {
+            "ping" => Ok("{\"ok\": true, \"pong\": true}".to_string()),
+            "compile" => op_compile(registry, &req),
+            "load" | "freeze" => op_load(registry, &req),
+            "unload" => op_unload(registry, &req),
+            "solve" => op_solve(registry, scratch, &req, limits),
+            "batch" => op_batch(registry, &req, limits),
+            "session" => op_session(registry, conn, &req, limits),
+            "delete" | "restore" => op_mutate(conn, &req, op == "delete"),
+            "reset" => op_reset(conn, &req),
+            "resolve" => op_resolve(conn, &req, limits),
+            "batch_whatif" => op_batch_whatif(conn, &req, limits),
+            "close" => op_close(conn, &req),
+            other => Err(bad(&format!("unknown op {other}"))),
+        }
+    }));
+    let response = match dispatched {
+        Ok(response) => response,
+        Err(_) => {
+            *scratch = SolveScratch::new();
+            Err(err_json(
+                "internal",
+                "request handler panicked; worker recovered",
+            ))
+        }
     };
     (response.unwrap_or_else(|e| e), Action::Continue)
 }
@@ -214,7 +341,7 @@ fn op_compile(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, St
     let complexity = compiled.classification().complexity.to_string();
     let display = query.to_string();
     let id = {
-        let mut reg = registry.write().expect("registry poisoned");
+        let mut reg = registry.write().unwrap_or_else(|e| e.into_inner());
         let id = match req.get("id").and_then(JsonValue::as_str) {
             Some(explicit) => explicit.to_string(),
             None => reg.next_query_id(),
@@ -251,7 +378,7 @@ fn op_load(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, Strin
     let frozen = Arc::new(db.freeze());
     let tuples = frozen.num_tuples();
     let id = {
-        let mut reg = registry.write().expect("registry poisoned");
+        let mut reg = registry.write().unwrap_or_else(|e| e.into_inner());
         let id = match req.get("id").and_then(JsonValue::as_str) {
             Some(explicit) => explicit.to_string(),
             None => reg.next_db_id(),
@@ -286,7 +413,7 @@ fn op_unload(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, Str
     {
         // Validate both handles before removing either: an error response
         // must mean nothing was unloaded.
-        let mut reg = registry.write().expect("registry poisoned");
+        let mut reg = registry.write().unwrap_or_else(|e| e.into_inner());
         if let Some(id) = qid {
             if !reg.queries.contains_key(id) {
                 return Err(err_json(
@@ -323,12 +450,13 @@ fn op_solve(
     registry: &RwLock<Registry>,
     scratch: &mut SolveScratch,
     req: &JsonValue,
+    limits: RequestLimits,
 ) -> Result<String, String> {
     let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
         .map_err(|e| err_json("unknown_handle", &e))?;
     let db = get_db(registry, req_str(req, "db_id").map_err(|e| bad(&e))?)
         .map_err(|e| err_json("unknown_handle", &e))?;
-    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let tag = req
         .get("tag")
         .and_then(JsonValue::as_str)
@@ -344,14 +472,18 @@ fn op_solve(
     ))
 }
 
-fn op_batch(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+fn op_batch(
+    registry: &RwLock<Registry>,
+    req: &JsonValue,
+    limits: RequestLimits,
+) -> Result<String, String> {
     let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
         .map_err(|e| err_json("unknown_handle", &e))?;
     let ids = req
         .get("db_ids")
         .and_then(JsonValue::as_array)
         .ok_or_else(|| bad("missing array field db_ids"))?;
-    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let tags: Vec<Option<String>> = match req.get("tags").and_then(JsonValue::as_array) {
         Some(tags) if tags.len() == ids.len() => tags
             .iter()
@@ -394,12 +526,13 @@ fn op_session(
     registry: &RwLock<Registry>,
     conn: &mut ConnState,
     req: &JsonValue,
+    limits: RequestLimits,
 ) -> Result<String, String> {
     let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
         .map_err(|e| err_json("unknown_handle", &e))?;
     let db = get_db(registry, req_str(req, "db_id").map_err(|e| bad(&e))?)
         .map_err(|e| err_json("unknown_handle", &e))?;
-    let opts = parse_options(req).map_err(|e| bad(&e))?;
+    let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let session = query
         .compiled
         .session_shared(&db.frozen, &opts)
@@ -479,8 +612,12 @@ fn op_reset(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
     ))
 }
 
-fn op_resolve(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
-    let opts = parse_options(req).map_err(|e| bad(&e))?;
+fn op_resolve(
+    conn: &mut ConnState,
+    req: &JsonValue,
+    limits: RequestLimits,
+) -> Result<String, String> {
+    let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let entry = get_session(conn, req)?;
     let report = entry.session.solve(&opts).map_err(|e| solve_err_json(&e))?;
     let stats = entry.session.last_solve_stats();
@@ -490,8 +627,12 @@ fn op_resolve(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
     ))
 }
 
-fn op_batch_whatif(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
-    let opts = parse_options(req).map_err(|e| bad(&e))?;
+fn op_batch_whatif(
+    conn: &mut ConnState,
+    req: &JsonValue,
+    limits: RequestLimits,
+) -> Result<String, String> {
+    let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let sets_json = req
         .get("sets")
         .and_then(JsonValue::as_array)

@@ -42,7 +42,7 @@ use resilience::core::engine::{
     CompiledQuery, Engine, Resilience, SessionSolveStats, SolveOptions, SolveReport, SolveSession,
 };
 use resilience::prelude::*;
-use server::client::Client;
+use server::client::{Client, RetryPolicy};
 use server::dbtext::{parse_database, parse_database_with_labels, resolve_fact};
 use server::jsonio::{
     self, json_escape, render_contingency, report_json, solve_event_json, JsonValue,
@@ -558,8 +558,14 @@ fn remote_cmd(addr: &str, rest: &[String], json: bool) -> ExitCode {
     }
 }
 
+/// Connects with the standard retry policy: transient connect failures,
+/// `overloaded` refusals and dropped connections are retried with
+/// exponential backoff (honouring the server's `retry_after_ms` hint)
+/// before an error is reported. Session state does not survive a
+/// reconnect, but `remote whatif` only mutates a session after its
+/// stateless preamble, and a mid-session failure aborts the run anyway.
 fn connect(addr: &str) -> Result<Client, ExitCode> {
-    Client::connect(addr).map_err(|e| {
+    Client::connect_retrying(addr, RetryPolicy::standard()).map_err(|e| {
         eprintln!("cannot connect to {addr}: {e}");
         ExitCode::FAILURE
     })

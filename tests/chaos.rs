@@ -1,0 +1,359 @@
+//! Chaos suite: the daemon must stay fully serviceable after every
+//! injected fault. Each scenario drives one failure mode — stalled
+//! clients, mid-request disconnects, truncated frames, forced solver
+//! panics, expired deadlines, queue overload — and then proves recovery
+//! the strongest way available: a fresh `ping` + `solve` whose `result`
+//! is **byte-identical** to the locally rendered report.
+//!
+//! Server-side fault hooks (`"fault": "panic"`, `"fault_sleep_ms"`,
+//! `"fault": "expire_deadline"`) only exist under the `faults` feature,
+//! which this test target enables via the root dev-dependency; release
+//! builds of `resd` never compile them in.
+
+use resilience::core::engine::{Engine, SolveOptions};
+use resilience::prelude::*;
+use server::client::{Client, RetryPolicy};
+use server::dbtext::{parse_database_with_labels, to_text};
+use server::faults;
+use server::jsonio::{self, JsonValue};
+use server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workloads::Workload;
+
+/// `q_vc`: witnesses are the edges of `S` between `R`-nodes, so resilience
+/// is minimum vertex cover — NP-hard, the exact branch-and-bound path.
+const QVC: &str = "R(x), S(x,y), R(y)";
+
+fn start_server(config: ServerConfig) -> (SocketAddr, ServerGuard) {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (
+        addr,
+        ServerGuard {
+            flag,
+            handle: Some(handle),
+        },
+    )
+}
+
+struct ServerGuard {
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A small `q_vc` instance (5-cycle plus a chord) with known structure,
+/// used for the byte-identity probes.
+fn easy_instance_text() -> String {
+    "S(0,1)\nS(1,2)\nS(2,3)\nS(3,4)\nS(4,0)\nS(0,2)\n\
+     R(0)\nR(1)\nR(2)\nR(3)\nR(4)\n"
+        .to_string()
+}
+
+/// A dense-ish random `q_vc` instance big enough that exact vertex cover
+/// cannot finish inside any test deadline.
+fn hard_instance_text() -> String {
+    let q = parse_query(QVC).unwrap();
+    let mut workload = Workload::new(42);
+    let mut db = workload.random_graph_relation(&q, "S", 200, 0.1);
+    workload.saturate_unary_relations(&q, &mut db, 200);
+    to_text(&db)
+}
+
+/// Uploads query + instance and returns `(query_id, db_id, expected)`
+/// where `expected` is the locally rendered `report_json` the daemon's
+/// `solve` result must reproduce byte for byte (tag `"t"`).
+fn upload(client: &mut Client, db_text: &str) -> (String, String, String) {
+    let (qid, _, _) = client.compile(QVC).unwrap();
+    let (did, _) = client.load_text(&qid, db_text).unwrap();
+    let q = parse_query(QVC).unwrap();
+    let (db, _) = parse_database_with_labels(&q, db_text).unwrap();
+    let frozen = db.freeze();
+    let report = Engine::compile(&q)
+        .solve(&frozen, &SolveOptions::new())
+        .unwrap();
+    let expected = jsonio::report_json("t", &frozen, &report);
+    (qid, did, expected)
+}
+
+/// The post-fault serviceability probe: fresh connection, `ping`, then a
+/// `solve` whose result must be byte-identical to the local rendering.
+fn assert_serviceable(addr: SocketAddr, qid: &str, did: &str, expected: &str) {
+    let mut probe = Client::connect(addr).unwrap();
+    let (pong, _) = probe.request("{\"op\": \"ping\"}").unwrap();
+    assert_eq!(pong.get("pong").and_then(JsonValue::as_bool), Some(true));
+    let (_, raw) = probe
+        .request(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\", \"tag\": \"t\"}}"
+        ))
+        .unwrap();
+    assert_eq!(jsonio::extract_raw(&raw, "result"), Some(expected));
+}
+
+#[test]
+fn stalled_client_does_not_wedge_the_daemon() {
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(2));
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, did, expected) = upload(&mut client, &easy_instance_text());
+    drop(client); // workers serve a connection to completion; free the slot
+
+    // A client that writes half a request and then just sits there.
+    let stalled = faults::stalled_client(&addr.to_string(), b"{\"op\": \"pi").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    assert_serviceable(addr, &qid, &did, &expected);
+
+    // Completing the line after the long stall still gets an answer: the
+    // worker kept accumulating the partial frame across read timeouts.
+    let mut stalled = stalled;
+    stalled.write_all(b"ng\"}\n").unwrap();
+    let mut reader = BufReader::new(stalled);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"pong\": true"), "got: {line}");
+    assert_serviceable(addr, &qid, &did, &expected);
+}
+
+#[test]
+fn mid_request_disconnect_is_survivable_with_one_worker() {
+    // One worker: if the dropped connection wedged or killed it, the probe
+    // below could never be answered.
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1));
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, did, expected) = upload(&mut client, &easy_instance_text());
+    drop(client); // free the single worker for the fault + probes
+
+    for _ in 0..3 {
+        faults::disconnect_mid_request(&addr.to_string(), b"{\"op\": \"solve\", \"query").unwrap();
+        assert_serviceable(addr, &qid, &did, &expected);
+    }
+}
+
+#[test]
+fn truncated_and_pathological_frames_get_structured_errors() {
+    let (addr, _guard) = start_server(
+        ServerConfig::new("127.0.0.1:0")
+            .workers(2)
+            .max_line_bytes(4096),
+    );
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, did, expected) = upload(&mut client, &easy_instance_text());
+
+    // Truncated JSON (complete frame, incomplete document) → parse error.
+    let resp =
+        faults::send_raw_line(&addr.to_string(), b"{\"op\": \"solve\", \"query_id\": ").unwrap();
+    let v = jsonio::parse_json(&resp).unwrap();
+    assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("parse"));
+
+    // Garbage bytes → parse error, not a hang or crash.
+    let resp = faults::send_raw_line(&addr.to_string(), b"\x01\x02garbage\xff").unwrap();
+    let v = jsonio::parse_json(&resp).unwrap();
+    assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("parse"));
+
+    // A depth bomb inside a well-formed frame → structured bad_request.
+    let bomb = format!("{}{}{}", "{\"op\": ", "[".repeat(80), "1]}");
+    let resp = faults::send_raw_line(&addr.to_string(), bomb.as_bytes()).unwrap();
+    let v = jsonio::parse_json(&resp).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JsonValue::as_str),
+        Some("bad_request")
+    );
+
+    // A frame over the server's line cap → bad_request, connection closed.
+    let oversized = format!("{{\"op\": \"ping\", \"pad\": \"{}\"}}", "x".repeat(8192));
+    let resp = faults::send_raw_line(&addr.to_string(), oversized.as_bytes()).unwrap();
+    let v = jsonio::parse_json(&resp).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JsonValue::as_str),
+        Some("bad_request")
+    );
+
+    assert_serviceable(addr, &qid, &did, &expected);
+}
+
+#[test]
+fn forced_solver_panic_answers_internal_and_the_worker_survives() {
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1));
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, did, expected) = upload(&mut client, &easy_instance_text());
+
+    for _ in 0..3 {
+        // The panic fires inside the dispatch catch_unwind; the same
+        // connection and the same (sole) worker must keep serving.
+        let raw = client
+            .request_raw(&format!(
+                "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\", \
+                 \"fault\": \"panic\"}}"
+            ))
+            .unwrap();
+        let v = jsonio::parse_json(&raw).unwrap();
+        assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("internal"));
+
+        let (_, raw) = client
+            .request(&format!(
+                "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\", \
+                 \"tag\": \"t\"}}"
+            ))
+            .unwrap();
+        assert_eq!(jsonio::extract_raw(&raw, "result"), Some(expected.as_str()));
+    }
+    drop(client); // free the single worker for the fresh probe
+    assert_serviceable(addr, &qid, &did, &expected);
+}
+
+#[test]
+fn expired_deadline_returns_cancelled_and_session_state_survives() {
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(2));
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, did, expected) = upload(&mut client, &easy_instance_text());
+
+    // Solve with an injected already-expired deadline: structured
+    // `cancelled`, no bounds (nothing ran).
+    let raw = client
+        .request_raw(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\", \
+             \"fault\": \"expire_deadline\"}}"
+        ))
+        .unwrap();
+    let v = jsonio::parse_json(&raw).unwrap();
+    assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("cancelled"));
+    assert!(v.get("bounds").is_some_and(JsonValue::is_null));
+
+    // The same holds mid-session, and the session stays usable: the next
+    // resolve answers exactly what an untouched local session would.
+    client
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\", \
+             \"session_id\": \"s\"}}"
+        ))
+        .unwrap();
+    let raw = client
+        .request_raw("{\"op\": \"resolve\", \"session_id\": \"s\", \"fault\": \"expire_deadline\"}")
+        .unwrap();
+    let v = jsonio::parse_json(&raw).unwrap();
+    assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("cancelled"));
+    let (v, _) = client
+        .request("{\"op\": \"resolve\", \"session_id\": \"s\"}")
+        .unwrap();
+    assert!(v.get("event").is_some(), "session did not survive: {v:?}");
+
+    assert_serviceable(addr, &qid, &did, &expected);
+}
+
+#[test]
+fn hard_instance_cancels_within_the_deadline_with_valid_bounds() {
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(2));
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, _, _) = client.compile(QVC).unwrap();
+    let (did, _) = client.load_text(&qid, &hard_instance_text()).unwrap();
+
+    let timeout_ms = 400u64;
+    let started = Instant::now();
+    let raw = client
+        .request_raw(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\", \
+             \"options\": {{\"timeout_ms\": {timeout_ms}}}}}"
+        ))
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(timeout_ms + 50),
+        "cancellation took {elapsed:?}, deadline was {timeout_ms}ms + 50ms grace"
+    );
+    let v = jsonio::parse_json(&raw).unwrap();
+    assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("cancelled"));
+    let bounds = v.get("bounds").expect("cancelled response carries bounds");
+    assert!(!bounds.is_null(), "expected anytime bounds, got null");
+    let lower = bounds.get("lower").and_then(JsonValue::as_usize).unwrap();
+    let upper = bounds.get("upper").and_then(JsonValue::as_usize).unwrap();
+    let nodes = bounds
+        .get("nodes_explored")
+        .and_then(JsonValue::as_usize)
+        .unwrap();
+    assert!(lower >= 1, "dense instance has a positive packing bound");
+    assert!(
+        lower <= upper,
+        "anytime interval inverted: [{lower}, {upper}]"
+    );
+    assert!(
+        nodes > 0,
+        "search should have explored nodes before cancelling"
+    );
+
+    // The daemon is still fully serviceable afterwards (fresh upload so the
+    // identity probe uses a tractable instance).
+    drop(client);
+    let mut fresh = Client::connect(addr).unwrap();
+    let (qid2, did2, expected) = upload(&mut fresh, &easy_instance_text());
+    drop(fresh);
+    assert_serviceable(addr, &qid2, &did2, &expected);
+}
+
+#[test]
+fn queue_overload_refuses_with_retry_hint_and_recovers() {
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1).queue_depth(1));
+    let mut client = Client::connect(addr).unwrap();
+    let (qid, did, expected) = upload(&mut client, &easy_instance_text());
+    drop(client); // free the single worker
+
+    // Occupy the worker for a while...
+    let addr_str = addr.to_string();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(&*addr_str).unwrap();
+        let raw = c
+            .request_raw("{\"op\": \"ping\", \"fault_sleep_ms\": 600}")
+            .unwrap();
+        assert!(raw.contains("pong"));
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...fill the queue with an idle connection...
+    let filler = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // ...and every further connection is refused immediately with a
+    // structured overloaded error carrying a retry hint.
+    let mut refused = BufReader::new(TcpStream::connect(addr).unwrap());
+    let mut line = String::new();
+    refused.read_line(&mut line).unwrap();
+    let v = jsonio::parse_json(line.trim()).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JsonValue::as_str),
+        Some("overloaded")
+    );
+    assert!(v
+        .get("retry_after_ms")
+        .and_then(JsonValue::as_usize)
+        .is_some());
+
+    // A retrying client rides the overload out: refusals and the busy
+    // window are absorbed by reconnect + backoff. The queued filler is only
+    // drained once the busy request finishes (~600ms), and the server's
+    // retry hint is 50ms per attempt, so give the client enough attempts to
+    // span the whole window.
+    drop(filler);
+    let patient = RetryPolicy {
+        attempts: 40,
+        base_delay_ms: 25,
+        max_delay_ms: 100,
+    };
+    let mut retrying = Client::connect_retrying(&addr.to_string(), patient).unwrap();
+    let (pong, _) = retrying.request("{\"op\": \"ping\"}").unwrap();
+    assert_eq!(pong.get("pong").and_then(JsonValue::as_bool), Some(true));
+    drop(retrying); // free the single worker for the fresh probe
+
+    busy.join().unwrap();
+    assert_serviceable(addr, &qid, &did, &expected);
+}

@@ -1,0 +1,177 @@
+//! Malformed-input property tests for the daemon's decoding layers:
+//! `jsonio`'s minimal JSON parser and `dbtext`'s database/fact format.
+//!
+//! The daemon feeds both parsers bytes from the network, so the properties
+//! that matter are totality (no panic, no unbounded work on any input) and
+//! faithfulness (whatever parses renders back to the same value). The
+//! vendored proptest shim has no string strategies, so strings are built
+//! from `u8` palettes.
+
+use proptest::prelude::*;
+use server::dbtext;
+use server::jsonio::{self, JsonValue};
+
+/// Bytes → characters over a palette chosen to exercise the JSON lexer:
+/// quotes, backslashes, braces, digits, whitespace and a multi-byte
+/// scalar.
+fn soup_char(b: u8) -> char {
+    const PALETTE: &[char] = &[
+        '{', '}', '[', ']', '"', '\\', ':', ',', 'a', 'z', '0', '9', '-', '.', 'e', '+', ' ', '\n',
+        '\t', 't', 'r', 'u', 'f', 'l', 's', 'n', 'µ', '∀',
+    ];
+    PALETTE[b as usize % PALETTE.len()]
+}
+
+/// Bytes → characters that are always legal **inside** a JSON string
+/// value (escaping handles the quote and backslash).
+fn string_char(b: u8) -> char {
+    const PALETTE: &[char] = &[
+        'a', 'b', 'c', '"', '\\', '\n', '\t', '\u{8}', ' ', '(', ')', ',', '0', '7', 'µ', '∀',
+    ];
+    PALETTE[b as usize % PALETTE.len()]
+}
+
+/// Deterministically builds a JSON value from a byte budget: structure and
+/// leaves are all decided by the bytes, depth is bounded so the value
+/// always fits the parser's limits. Numbers are integer-valued so `f64`
+/// equality is exact across the round trip.
+fn build_value(bytes: &mut std::slice::Iter<'_, u8>, depth: usize) -> JsonValue {
+    let tag = *bytes.next().unwrap_or(&0);
+    match tag % 6 {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(tag.is_multiple_of(2)),
+        2 => JsonValue::Num(f64::from(*bytes.next().unwrap_or(&0)) - 128.0),
+        3 => {
+            let len = (*bytes.next().unwrap_or(&0) % 8) as usize;
+            JsonValue::Str(
+                (0..len)
+                    .map(|_| string_char(*bytes.next().unwrap_or(&0)))
+                    .collect(),
+            )
+        }
+        4 if depth < 4 => {
+            let len = (*bytes.next().unwrap_or(&0) % 4) as usize;
+            JsonValue::Arr((0..len).map(|_| build_value(bytes, depth + 1)).collect())
+        }
+        _ if depth < 4 => {
+            let len = (*bytes.next().unwrap_or(&0) % 4) as usize;
+            JsonValue::Obj(
+                (0..len)
+                    .map(|i| {
+                        let key = format!("k{}{}", i, string_char(*bytes.next().unwrap_or(&0)));
+                        (key, build_value(bytes, depth + 1))
+                    })
+                    .collect(),
+            )
+        }
+        _ => JsonValue::Null,
+    }
+}
+
+/// Renders a [`JsonValue`] in the same dialect the protocol emits; the
+/// parser must accept it and reproduce the value exactly.
+fn render(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => format!("{n}"),
+        JsonValue::Str(s) => format!("\"{}\"", jsonio::json_escape(s)),
+        JsonValue::Arr(items) => {
+            let rows: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", rows.join(", "))
+        }
+        JsonValue::Obj(fields) => {
+            let rows: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", jsonio::json_escape(k), render(v)))
+                .collect();
+            format!("{{{}}}", rows.join(", "))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the JSON parser — it answers
+    /// `Ok`/`Err` and, on success, leaves no trailing input unaccounted.
+    #[test]
+    fn json_parser_is_total_on_soup(bytes in prop::collection::vec(0u8..255, 0..200)) {
+        let text: String = bytes.iter().map(|&b| soup_char(b)).collect();
+        let _ = jsonio::parse_json(&text);
+    }
+
+    /// Every value the protocol can emit round-trips exactly through
+    /// render → parse.
+    #[test]
+    fn json_round_trips_rendered_values(bytes in prop::collection::vec(0u8..255, 0..120)) {
+        let value = build_value(&mut bytes.iter(), 0);
+        let parsed = jsonio::parse_json(&render(&value));
+        prop_assert_eq!(parsed.as_ref(), Ok(&value));
+    }
+
+    /// `json_escape` output always re-parses to the original string, for
+    /// any characters including quotes, backslashes and controls.
+    #[test]
+    fn json_escape_round_trips(bytes in prop::collection::vec(0u8..255, 0..64)) {
+        let s: String = bytes.iter().map(|&b| string_char(b)).collect();
+        let doc = format!("\"{}\"", jsonio::json_escape(&s));
+        let parsed = jsonio::parse_json(&doc);
+        prop_assert_eq!(parsed.ok().as_ref().and_then(|v| v.as_str()), Some(s.as_str()));
+    }
+
+    /// Nesting past the parser's cap is refused with a `limit:` error (the
+    /// daemon reports those as `bad_request`), never a stack overflow.
+    #[test]
+    fn json_depth_bombs_are_refused(extra in 1usize..240) {
+        let n = 64 + extra;
+        let doc = format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        let err = jsonio::parse_json(&doc).unwrap_err();
+        prop_assert!(err.starts_with("limit:"), "unexpected error: {}", err);
+    }
+
+    /// Arbitrary text never panics the database parser, and an `Ok` parse
+    /// yields at most one tuple per input line.
+    #[test]
+    fn dbtext_parser_is_total_on_soup(bytes in prop::collection::vec(0u8..255, 0..200)) {
+        let q = cq::parse_query("A(x), R(x,y)").unwrap();
+        let text: String = bytes.iter().map(|&b| string_char(b)).collect();
+        if let Ok(db) = dbtext::parse_database(&q, &text) {
+            prop_assert!(db.num_tuples() <= text.lines().count());
+        }
+    }
+
+    /// Well-formed generated instances parse, round-trip through
+    /// `to_text`, and resolve their own facts; unknown labels error
+    /// without panicking.
+    #[test]
+    fn dbtext_round_trips_generated_instances(
+        pairs in prop::collection::vec((0u64..50, 0u64..50), 1..40),
+        unary in prop::collection::vec(0u64..50, 1..20),
+    ) {
+        let q = cq::parse_query("A(x), R(x,y)").unwrap();
+        let mut text = String::new();
+        for x in &unary {
+            text.push_str(&format!("A({x})\n"));
+        }
+        for (x, y) in &pairs {
+            text.push_str(&format!("R({x},{y})\n"));
+        }
+        let (db, labels) = dbtext::parse_database_with_labels(&q, &text).unwrap();
+        let re = dbtext::parse_database(&q, &dbtext::to_text(&db)).unwrap();
+        prop_assert_eq!(re.num_tuples(), db.num_tuples());
+        let frozen = db.freeze();
+        let fact = format!("R({},{})", pairs[0].0, pairs[0].1);
+        prop_assert!(dbtext::lookup_fact(&q, &labels, &frozen, &fact).is_ok());
+        prop_assert!(dbtext::lookup_fact(&q, &labels, &frozen, "R(nolabel,0)").is_err());
+    }
+
+    /// Fact resolution is total over soup fact texts.
+    #[test]
+    fn fact_resolution_is_total_on_soup(bytes in prop::collection::vec(0u8..255, 0..60)) {
+        let q = cq::parse_query("A(x), R(x,y)").unwrap();
+        let labels = std::collections::HashMap::new();
+        let fact: String = bytes.iter().map(|&b| string_char(b)).collect();
+        let _ = dbtext::resolve_fact(&q, &labels, &fact);
+    }
+}
