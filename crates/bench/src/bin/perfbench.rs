@@ -69,6 +69,27 @@
 //!     --max-overhead-pct 2 --out BENCH_PR6.json
 //! ```
 //!
+//! **Cache mode** measures the compiled-plan cache on the full named-query
+//! catalogue: every catalogue query is expanded into `--variants` seeded
+//! random renamings/atom permutations (same shape, different text), compiled
+//! cold (direct `Engine::compile` per variant) and through a shared
+//! [`resilience_core::plancache::PlanCache`] (first variant per shape
+//! compiles, the rest hit). Before any timing is reported, a differential
+//! gate solves a random instance of every shape through the cached plan and
+//! asserts (a) byte-identical report JSON to the representative's direct
+//! compile, (b) semantically identical results (resilience, witnesses,
+//! method, contingency size) to each variant's *own* direct compile, and
+//! (c) that the reported contingency really falsifies the query. Writes a
+//! report such as the committed `BENCH_PR7.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- cache \
+//!     --variants 10 --min-speedup 5 --min-hit-rate 0.9 --out BENCH_PR7.json
+//! ```
+//!
+//! `--smoke` drops the timing repetitions to one for CI; the differential
+//! gate always covers the full catalogue.
+//!
 //! Session mode emits three rows per workload: `maintain` (witness-set
 //! upkeep), `resolve` (scratch re-solve vs warm session re-solve) and
 //! `resolve_warm` (cold session re-solve vs warm session re-solve — the
@@ -87,6 +108,7 @@
 use cq::parse_query;
 use database::{Database, FrozenDb, TupleId, WitnessSet};
 use resilience_core::engine::{Engine, SolveOptions};
+use resilience_core::plancache::PlanCache;
 use resilience_core::solver::ResilienceSolver;
 use std::collections::{BTreeMap, HashSet};
 use std::fs;
@@ -714,6 +736,285 @@ fn drive_daemon(
     (total_ns, clients * requests)
 }
 
+/// Expands every catalogue query into `variants` seeded random
+/// renamings/permutations of itself. The first variant of each shape is the
+/// one the cache will adopt as representative (lookups run in order).
+fn catalogue_variants(variants: usize) -> Vec<(&'static str, Vec<cq::Query>)> {
+    cq::catalogue::all_named_queries()
+        .iter()
+        .enumerate()
+        .map(|(i, nq)| {
+            let mut wl = Workload::new(0xCAC4E ^ i as u64);
+            (nq.name, wl.query_variants(&nq.query, variants))
+        })
+        .collect()
+}
+
+/// The differential gate of cache mode: for one catalogue shape, solve a
+/// random instance through the cached plan of every variant and require
+/// byte-identical output to the representative's direct compile, semantic
+/// agreement with each variant's own direct compile, and a contingency that
+/// really falsifies the query. Returns an error description on divergence.
+fn cache_differential(
+    name: &str,
+    shape_index: usize,
+    variants: &[cq::Query],
+    cache: &PlanCache,
+) -> Result<(), String> {
+    use server::{dbtext, jsonio};
+    let rep = &variants[0];
+    let mut wl = Workload::new(0xD1FF ^ shape_index as u64);
+    let db = wl.random_database(rep, 12, 6);
+    // Round-trip through the schema-neutral text format so the same facts
+    // can be loaded against every variant's (differently ordered) schema.
+    let text = dbtext::to_text(&db);
+    let rep_db =
+        dbtext::parse_database(rep, &text).map_err(|e| format!("{name}: reparse failed: {e}"))?;
+    let rep_frozen = rep_db.freeze();
+    let opts = SolveOptions::new().want_contingency(true);
+    let direct = Engine::compile(rep);
+    let expected_report = direct
+        .solve(&rep_frozen, &opts)
+        .map_err(|e| format!("{name}: direct solve failed: {e}"))?;
+    let expected = jsonio::report_json(name, &rep_db, &expected_report);
+    for (vi, v) in variants.iter().enumerate() {
+        let cached = cache.compile(v);
+        if !cached.cacheable {
+            return Err(format!("{name}: variant {vi} bypassed the cache"));
+        }
+        // The first variant of a shape must miss (distinct catalogue shapes
+        // have distinct canonical forms), every later one must hit.
+        if cached.hit != (vi > 0) {
+            return Err(format!(
+                "{name}: variant {vi} expected {}, got {}",
+                if vi > 0 { "hit" } else { "miss" },
+                if cached.hit { "hit" } else { "miss" }
+            ));
+        }
+        let report = cached
+            .compiled
+            .solve(&rep_frozen, &opts)
+            .map_err(|e| format!("{name}: cached solve failed: {e}"))?;
+        // (a) Byte identity against the representative's direct compile.
+        let got = jsonio::report_json(name, &rep_db, &report);
+        if got != expected {
+            return Err(format!(
+                "{name}: variant {vi} cached report differs\n  direct: {expected}\n  cached: {got}"
+            ));
+        }
+        // (b) Semantic identity against the variant's own direct compile
+        // over the same facts — the anti-conflation check: a cache that
+        // ever served the wrong shape's plan would answer differently here.
+        let vdb = dbtext::parse_database(v, &text)
+            .map_err(|e| format!("{name}: variant {vi} parse failed: {e}"))?;
+        let vreport = Engine::compile(v)
+            .solve(&vdb.freeze(), &opts)
+            .map_err(|e| format!("{name}: variant {vi} direct solve failed: {e}"))?;
+        let same = report.resilience == vreport.resilience
+            && report.witnesses == vreport.witnesses
+            && format!("{:?}", report.method) == format!("{:?}", vreport.method)
+            && report.contingency.as_ref().map(Vec::len)
+                == vreport.contingency.as_ref().map(Vec::len);
+        if !same {
+            return Err(format!(
+                "{name}: variant {vi} semantics diverge: cached {:?}/{} vs direct {:?}/{}",
+                report.resilience, report.witnesses, vreport.resilience, vreport.witnesses
+            ));
+        }
+        // (c) The contingency the cached plan reports must actually
+        // falsify the query on this instance.
+        if let Some(gamma) = &report.contingency {
+            let deleted: HashSet<TupleId> = gamma.iter().copied().collect();
+            let reduced = rep_db.without(&deleted).freeze();
+            let after = cached
+                .compiled
+                .solve(&reduced, &opts)
+                .map_err(|e| format!("{name}: reduced solve failed: {e}"))?;
+            if after.witnesses != 0 {
+                return Err(format!(
+                    "{name}: variant {vi} contingency leaves {} witnesses",
+                    after.witnesses
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cache_mode(args: &[String]) -> ExitCode {
+    let mut variants = 10usize;
+    let mut smoke = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut min_hit_rate: Option<f64> = None;
+    let mut out_path: Option<String> = None;
+    let mut label = "PR7-plan-cache".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--variants" => {
+                variants = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 2 => n,
+                    _ => {
+                        eprintln!("--variants needs a number >= 2");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--smoke" => smoke = true,
+            "--min-speedup" => {
+                min_speedup = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--min-speedup needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--min-hit-rate" => {
+                min_hit_rate = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--min-hit-rate needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => out_path = it.next().cloned(),
+            "--label" => label = it.next().cloned().unwrap_or(label),
+            other => {
+                eprintln!("unknown cache argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!(
+            "usage: perfbench cache [--variants N] [--smoke] [--min-speedup X] \
+             [--min-hit-rate R] [--label name] --out <json>"
+        );
+        return ExitCode::FAILURE;
+    };
+    let reps = if smoke { 1 } else { 5 };
+
+    let all = catalogue_variants(variants);
+    let shapes = all.len();
+    let lookups = shapes * variants;
+
+    // Differential gate first: timing a cache that answers wrongly would be
+    // meaningless. One fresh cache across the whole catalogue, exactly like
+    // the timed pass.
+    let gate_cache = PlanCache::new(shapes.max(1));
+    for (i, (name, vs)) in all.iter().enumerate() {
+        if let Err(e) = cache_differential(name, i, vs, &gate_cache) {
+            eprintln!("cache differential gate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let gate_stats = gate_cache.stats();
+    if gate_stats.collisions > 0 {
+        // Collisions are handled (exact-form chaining), but the catalogue
+        // should not produce any under a 128-bit key; surface it loudly.
+        eprintln!(
+            "note: {} canonical-key collisions across the catalogue",
+            gate_stats.collisions
+        );
+    }
+
+    // Cold baseline: direct Engine::compile for every variant.
+    let run_cold = || {
+        for (_, vs) in &all {
+            for v in vs {
+                std::hint::black_box(Engine::compile(v));
+            }
+        }
+    };
+    run_cold(); // warm-up
+    let mut cold_ns = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run_cold();
+        cold_ns = cold_ns.min(start.elapsed().as_nanos() as u64);
+    }
+
+    // Cached pass: a fresh shared cache per repetition (the first variant
+    // of each shape compiles, the rest hit). Hit and miss time are bucketed
+    // per lookup so the hits-only speedup is measured, not inferred.
+    let mut cached_ns = u64::MAX;
+    let mut hit_ns_best = u64::MAX;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for _ in 0..reps {
+        let cache = PlanCache::new(shapes.max(1));
+        let (mut rep_hit_ns, mut rep_total_ns) = (0u64, 0u64);
+        for (_, vs) in &all {
+            for v in vs {
+                let start = Instant::now();
+                let out = cache.compile(v);
+                let dt = start.elapsed().as_nanos() as u64;
+                rep_total_ns += dt;
+                if out.hit {
+                    rep_hit_ns += dt;
+                }
+                std::hint::black_box(out);
+            }
+        }
+        let stats = cache.stats();
+        hits = stats.hits;
+        misses = stats.misses;
+        if rep_total_ns < cached_ns {
+            cached_ns = rep_total_ns;
+        }
+        hit_ns_best = hit_ns_best.min(rep_hit_ns);
+    }
+
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let cold_per_compile = cold_ns / lookups.max(1) as u64;
+    let hit_per_lookup = hit_ns_best / hits.max(1);
+    let speedup_hits = cold_per_compile as f64 / hit_per_lookup.max(1) as f64;
+    let speedup_total = cold_ns as f64 / cached_ns.max(1) as f64;
+
+    let row = format!(
+        "    {{\"bench\": \"cache/catalogue_variants\", \"shapes\": {shapes}, \
+         \"variants_per_shape\": {variants}, \"lookups\": {lookups}, \
+         \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.3}, \
+         \"cold_total_ns\": {cold_ns}, \"cached_total_ns\": {cached_ns}, \
+         \"cold_ns_per_compile\": {cold_per_compile}, \"hit_ns_per_lookup\": {hit_per_lookup}, \
+         \"speedup_total\": {speedup_total:.2}, \"speedup_hits\": {speedup_hits:.2}, \
+         \"identical_results\": true}}"
+    );
+    let doc = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"plan_cache_vs_direct_compile\",\n  \"experiments\": [\n{row}\n  ]\n}}\n",
+    );
+    if let Err(e) = fs::write(&out_path, doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut summary = format!(
+        "cache/catalogue_variants  {shapes} shapes x {variants} variants: cold {cold_ns} ns -> cached {cached_ns} ns  \
+         ({speedup_total:.2}x total, {speedup_hits:.2}x on hits, hit rate {:.1}%)\nwrote {out_path}\n",
+        hit_rate * 100.0
+    );
+    if let Some(limit) = min_hit_rate {
+        if hit_rate < limit {
+            eprintln!("hit-rate gate FAILED: {hit_rate:.3} < {limit}");
+            return ExitCode::FAILURE;
+        }
+        summary.push_str(&format!("hit-rate gate passed: {hit_rate:.3} >= {limit}\n"));
+    }
+    if let Some(limit) = min_speedup {
+        if speedup_hits < limit {
+            eprintln!("hit-speedup gate FAILED: {speedup_hits:.2}x < {limit}x");
+            return ExitCode::FAILURE;
+        }
+        summary.push_str(&format!(
+            "hit-speedup gate passed: {speedup_hits:.2}x >= {limit}x\n"
+        ));
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(summary.as_bytes());
+    ExitCode::SUCCESS
+}
+
 fn serve_mode(args: &[String]) -> ExitCode {
     let mut workers_list: Vec<usize> = Vec::new();
     let mut clients = 8usize;
@@ -929,6 +1230,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(|s| s.as_str()) == Some("serve") {
         return serve_mode(&args[1..]);
+    }
+    if args.first().map(|s| s.as_str()) == Some("cache") {
+        return cache_mode(&args[1..]);
     }
     if args.first().map(|s| s.as_str()) == Some("session") {
         return session_mode(&args[1..], false);

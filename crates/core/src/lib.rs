@@ -48,6 +48,7 @@ pub mod engine;
 pub mod exact;
 pub mod flow_algorithms;
 pub mod ijp;
+pub mod plancache;
 pub mod solver;
 pub mod special;
 
@@ -59,6 +60,7 @@ pub use engine::{
 };
 pub use exact::{BudgetExhausted, CancelledSearch, ExactInterrupt, ExactResult, ExactSolver};
 pub use flow_algorithms::{FlowCancelled, FlowResult};
+pub use plancache::{CachedCompile, PlanCache, PlanCacheStats};
 #[allow(deprecated)]
 pub use solver::ResilienceSolver;
 pub use solver::{SolveMethod, SolveOutcome};

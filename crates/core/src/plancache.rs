@@ -1,0 +1,461 @@
+//! A bounded, thread-safe cache of compiled query plans keyed on canonical
+//! query shape (`cq::canon`).
+//!
+//! Classification (minimization, triad search, pattern analysis, the
+//! Section 8 catalogue lookup) is per-query and expensive, but production
+//! traffic collapses into a handful of query *shapes* — the same CQ up to
+//! variable renaming and atom reordering. [`PlanCache::compile`] computes the
+//! canonical form of the requested query and serves an already-compiled plan
+//! for its shape when one exists; only the first query of each shape pays
+//! for a full [`Engine::compile`].
+//!
+//! # Representative semantics
+//!
+//! A cache hit returns the plan compiled for the **first-seen representative**
+//! of the shape, and that plan speaks the representative's schema (relation
+//! *names* and arities are shape-invariant, so instances parse identically
+//! against it; variable names are internal to the plan). Solve reports served
+//! through the cache are therefore byte-identical to direct solves under the
+//! representative — deterministic for the lifetime of the entry — and
+//! semantically identical for every member of the shape class (resilience,
+//! witness count, method are isomorphism-invariant; only tie-breaks among
+//! equally minimal contingency sets can differ from what a direct compile of
+//! a *different* member would have chosen). The first compile of a shape is
+//! exactly `Engine::compile(q)`, so a cache in front of a fresh workload
+//! changes nothing observable.
+//!
+//! # Collisions and inexact forms
+//!
+//! Entries whose canonical keys collide chain under one key and are
+//! disambiguated by comparing canonical forms — an exact check, so the cache
+//! can never conflate distinct shapes (a collision costs a chain scan, never
+//! a wrong plan). Queries whose canonicalization exceeded its
+//! individualization budget ([`cq::canon::CanonicalQuery::exact`] false) are
+//! *bypassed*: compiled directly, never stored, counted in
+//! [`PlanCacheStats::bypasses`].
+//!
+//! # Eviction
+//!
+//! The cache holds at most `capacity` plans. Inserting into a full cache
+//! evicts the least-recently-used entry (hits refresh recency). All
+//! operations are safe under concurrent use from many threads; compilation
+//! on a miss runs outside the lock, so a slow compile never blocks hits on
+//! other shapes.
+
+use crate::engine::{CompiledQuery, Engine};
+use cq::canon::{canonicalize_with_budget, CanonKey, DEFAULT_CANON_BUDGET};
+use cq::Query;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Default number of cached plans (`resd` and `rescli --plan-cache` use
+/// this unless configured otherwise). Compiled plans for the paper-scale
+/// queries are small (a classification, join plan and atom orders), so the
+/// default leans generous.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Counters describing cache behaviour since construction, plus the current
+/// occupancy. Returned by [`PlanCache::stats`] and rendered by `resd`'s
+/// `stats` verb.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that compiled and inserted a new shape.
+    pub misses: u64,
+    /// Lookups whose key matched one or more entries of a *different* shape
+    /// (the exact canonical-form comparison rejected them).
+    pub collisions: u64,
+    /// Entries discarded to make room (least recently used first).
+    pub evictions: u64,
+    /// Lookups bypassed because canonicalization exceeded its budget; the
+    /// query was compiled directly and not cached.
+    pub bypasses: u64,
+    /// Plans currently held.
+    pub entries: usize,
+    /// Maximum number of plans held.
+    pub capacity: usize,
+}
+
+/// Result of [`PlanCache::compile`].
+#[derive(Clone, Debug)]
+pub struct CachedCompile {
+    /// The plan to solve with. On a hit this is the shape representative's
+    /// plan; parse instances against [`CompiledQuery::query`]'s schema.
+    pub compiled: Arc<CompiledQuery>,
+    /// The canonical key of the requested query's shape.
+    pub key: CanonKey,
+    /// `true` when the plan came from the cache.
+    pub hit: bool,
+    /// `false` when the lookup was bypassed (inexact canonical form).
+    pub cacheable: bool,
+}
+
+struct Entry {
+    /// The shape's canonical form — the exact identity compared on lookup.
+    canon: Query,
+    /// The first-seen representative's compiled plan.
+    compiled: Arc<CompiledQuery>,
+    /// Logical clock of the last hit or insert, for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u128, Vec<Entry>>,
+    entries: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    collisions: u64,
+    evictions: u64,
+    bypasses: u64,
+}
+
+/// See the module docs.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    canon_budget: usize,
+    /// Bits of the canonical key actually used; `!0` in production. Tests
+    /// shrink it to force collisions down one chain.
+    key_mask: u128,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_canon_budget(capacity, DEFAULT_CANON_BUDGET)
+    }
+
+    /// [`PlanCache::new`] with an explicit canonicalization leaf budget —
+    /// the knob bounding work on adversarially symmetric queries (see
+    /// [`cq::canon::canonicalize_with_budget`]).
+    pub fn with_canon_budget(capacity: usize, canon_budget: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            canon_budget,
+            key_mask: !0,
+        }
+    }
+
+    /// Test hook: keep only the low `bits` bits of every canonical key, so
+    /// distinct shapes collide and exercise the exact-form fallback. Not
+    /// part of the public API contract.
+    #[doc(hidden)]
+    pub fn with_key_bits(capacity: usize, bits: u32) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.key_mask = if bits >= 128 { !0 } else { (1u128 << bits) - 1 };
+        cache
+    }
+
+    /// Compiles `q` through the cache: a hash lookup plus a canonical-form
+    /// comparison on a hit, a full [`Engine::compile`] (outside the lock) on
+    /// a miss. See the module docs for what a hit returns.
+    pub fn compile(&self, q: &Query) -> CachedCompile {
+        let canon = canonicalize_with_budget(q, self.canon_budget);
+        let key = canon.key;
+        if !canon.exact {
+            // Uncacheable shape: deterministic form is not guaranteed across
+            // variants, so serve a direct compile and keep the cache sound.
+            self.inner.lock().expect("plan cache poisoned").bypasses += 1;
+            return CachedCompile {
+                compiled: Arc::new(Engine::compile(q)),
+                key,
+                hit: false,
+                cacheable: false,
+            };
+        }
+        let masked = key.as_u128() & self.key_mask;
+
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let mut found: Option<Arc<CompiledQuery>> = None;
+            let mut chained = false;
+            if let Some(chain) = inner.map.get_mut(&masked) {
+                chained = !chain.is_empty();
+                for e in chain.iter_mut() {
+                    if e.canon == canon.query {
+                        e.last_used = tick;
+                        found = Some(Arc::clone(&e.compiled));
+                        break;
+                    }
+                }
+            }
+            match found {
+                Some(compiled) => {
+                    inner.hits += 1;
+                    return CachedCompile {
+                        compiled,
+                        key,
+                        hit: true,
+                        cacheable: true,
+                    };
+                }
+                None if chained => inner.collisions += 1,
+                None => {}
+            }
+        }
+
+        // Miss: compile outside the lock, then re-check — another thread may
+        // have inserted the shape meanwhile, and keeping its entry preserves
+        // the one-plan-per-shape invariant.
+        let compiled = Arc::new(Engine::compile(q));
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(chain) = inner.map.get_mut(&masked) {
+            if let Some(e) = chain.iter_mut().find(|e| e.canon == canon.query) {
+                e.last_used = tick;
+                let existing = Arc::clone(&e.compiled);
+                inner.misses += 1;
+                return CachedCompile {
+                    compiled: existing,
+                    key,
+                    hit: false,
+                    cacheable: true,
+                };
+            }
+        }
+        inner.misses += 1;
+        if inner.entries >= self.capacity {
+            inner.evict_lru();
+        }
+        inner.map.entry(masked).or_default().push(Entry {
+            canon: canon.query,
+            compiled: Arc::clone(&compiled),
+            last_used: tick,
+        });
+        inner.entries += 1;
+        CachedCompile {
+            compiled,
+            key,
+            hit: false,
+            cacheable: true,
+        }
+    }
+
+    /// A snapshot of the counters and occupancy.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            collisions: inner.collisions,
+            evictions: inner.evictions,
+            bypasses: inner.bypasses,
+            entries: inner.entries,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Maximum number of plans held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Inner {
+    /// Removes the least-recently-used entry. O(entries), only paid on an
+    /// insert into a full cache.
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(u128, usize, u64)> = None;
+        for (&k, chain) in &self.map {
+            for (i, e) in chain.iter().enumerate() {
+                if victim.is_none_or(|(_, _, t)| e.last_used < t) {
+                    victim = Some((k, i, e.last_used));
+                }
+            }
+        }
+        if let Some((k, i, _)) = victim {
+            let chain = self.map.get_mut(&k).expect("victim key exists");
+            chain.remove(i);
+            if chain.is_empty() {
+                self.map.remove(&k);
+            }
+            self.entries -= 1;
+            self.evictions += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SolveOptions;
+    use cq::parse_query;
+    use database::Database;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn second_variant_hits_and_shares_the_representative_plan() {
+        let cache = PlanCache::new(8);
+        let first = cache.compile(&q("R(x,y), R(y,z)"));
+        assert!(!first.hit);
+        let second = cache.compile(&q("R(b,c), R(a,b)")); // renamed + permuted
+        assert!(second.hit);
+        assert_eq!(first.key, second.key);
+        assert!(Arc::ptr_eq(&first.compiled, &second.compiled));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_plans() {
+        let cache = PlanCache::new(8);
+        let a = cache.compile(&q("R(x,y), R(y,z)"));
+        let b = cache.compile(&q("S(x,y), S(y,z)"));
+        let c = cache.compile(&q("R(x,y), R(y,z), R(z,w)"));
+        assert!(!a.hit && !b.hit && !c.hit);
+        assert_eq!(cache.stats().entries, 3);
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn hit_serves_a_plan_that_solves_instances() {
+        let cache = PlanCache::new(8);
+        cache.compile(&q("A(x), R(x,y), R(z,y), C(z)"));
+        let hit = cache.compile(&q("C(c), R(a,b), R(c,b), A(a)"));
+        assert!(hit.hit);
+        // The served plan parses and solves instances by relation name.
+        let plan_q = hit.compiled.query();
+        let mut db = Database::for_query(plan_q);
+        db.insert_named("A", &[1u64]);
+        db.insert_named("R", &[1u64, 2]);
+        db.insert_named("R", &[3u64, 2]);
+        db.insert_named("C", &[3u64]);
+        let report = hit
+            .compiled
+            .solve(&db.freeze(), &SolveOptions::new())
+            .unwrap();
+        assert_eq!(report.resilience, crate::engine::Resilience::Finite(1));
+    }
+
+    #[test]
+    fn lru_eviction_discards_the_coldest_shape() {
+        let cache = PlanCache::new(2);
+        cache.compile(&q("R(x,y)")); // shape A
+        cache.compile(&q("S(x,y)")); // shape B
+        cache.compile(&q("R(a,b)")); // refresh A
+        cache.compile(&q("T(x,y)")); // shape C -> evicts B
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(cache.compile(&q("R(u,v)")).hit, "A stayed resident");
+        assert!(!cache.compile(&q("S(u,v)")).hit, "B was evicted");
+    }
+
+    #[test]
+    fn forced_key_collisions_never_conflate_shapes() {
+        // Zero key bits: every shape lands in one chain, so every lookup
+        // after the first exercises the exact canonical-form comparison.
+        let cache = PlanCache::with_key_bits(8, 0);
+        let a = cache.compile(&q("R(x,y), R(y,z)"));
+        let b = cache.compile(&q("S(x,y), S(y,z)"));
+        assert!(!a.hit && !b.hit);
+        assert!(!Arc::ptr_eq(&a.compiled, &b.compiled));
+        // Both shapes resolve to their own plan through the shared chain.
+        let a2 = cache.compile(&q("R(p,q), R(q,r)"));
+        let b2 = cache.compile(&q("S(p,q), S(q,r)"));
+        assert!(a2.hit && b2.hit);
+        assert!(Arc::ptr_eq(&a.compiled, &a2.compiled));
+        assert!(Arc::ptr_eq(&b.compiled, &b2.compiled));
+        assert_eq!(
+            a2.compiled
+                .query()
+                .schema()
+                .name(a2.compiled.query().atom(0).relation),
+            "R"
+        );
+        assert_eq!(
+            b2.compiled
+                .query()
+                .schema()
+                .name(b2.compiled.query().atom(0).relation),
+            "S"
+        );
+        let s = cache.stats();
+        assert!(s.collisions >= 1, "chained lookups must count collisions");
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn inexact_canonical_forms_bypass_the_cache() {
+        // Eight disjoint copies of one atom: 8! admissible orders, far over
+        // a tiny budget, so the form is inexact and must not be cached.
+        let text: Vec<String> = (0..8).map(|i| format!("R(a{i},b{i})")).collect();
+        let sym = q(&text.join(", "));
+        let cache = PlanCache::with_canon_budget(8, 2);
+        let first = cache.compile(&sym);
+        let second = cache.compile(&sym);
+        assert!(!first.cacheable && !second.cacheable);
+        assert!(!first.hit && !second.hit);
+        let s = cache.stats();
+        assert_eq!(s.bypasses, 2);
+        assert_eq!(s.entries, 0);
+        // Both direct compiles still answer.
+        assert!(first.compiled.classification().complexity.is_ptime());
+    }
+
+    #[test]
+    fn first_compile_of_a_shape_is_exactly_engine_compile() {
+        // The cache must be invisible for fresh shapes: same classification,
+        // same query object, same solve reports.
+        let cache = PlanCache::new(8);
+        let query = q("A(x), R(x,y), R(y,z)");
+        let via_cache = cache.compile(&query);
+        let direct = Engine::compile(&query);
+        assert_eq!(via_cache.compiled.query(), direct.query());
+        assert_eq!(
+            via_cache.compiled.classification().complexity,
+            direct.classification().complexity
+        );
+        let mut db = Database::for_query(&query);
+        db.insert_named("A", &[1u64]);
+        db.insert_named("R", &[1u64, 2]);
+        db.insert_named("R", &[2u64, 3]);
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        assert_eq!(
+            via_cache.compiled.solve(&frozen, &opts).unwrap(),
+            direct.solve(&frozen, &opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn concurrent_compiles_converge_on_one_entry_per_shape() {
+        let cache = std::sync::Arc::new(PlanCache::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let k = (t + i) % 4;
+                        let text = format!("R(x{k},y), R(y,z{t})");
+                        // Four shapes overall (same shape for every t).
+                        let _ = cache.compile(&parse_query(&text).unwrap());
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "all texts share one shape");
+        assert_eq!(s.hits + s.misses, 128);
+    }
+}

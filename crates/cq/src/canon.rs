@@ -1,0 +1,752 @@
+//! Canonical forms for conjunctive queries: shape identity up to variable
+//! renaming and atom reordering.
+//!
+//! Two queries have the same *shape* when one can be turned into the other by
+//! bijectively renaming variables and permuting atoms, keeping relation
+//! *names* and the endogenous/exogenous flags fixed. Shape is exactly the
+//! granularity at which resilience classification can be shared: production
+//! traffic from millions of users collapses into a handful of shapes, and a
+//! plan cache keyed on shape (see `resilience_core::plancache`) answers
+//! `compile` for an already-seen shape without re-running classification.
+//!
+//! [`canonicalize`] computes a deterministic representative of a query's
+//! shape class:
+//!
+//! 1. **Color refinement** (Weisfeiler–Leman style) on the query hypergraph:
+//!    variables start with a color derived from their occurrence profile
+//!    (relation name, exogenous flag, argument position) and are iteratively
+//!    refined through atom signatures until the partition stabilizes.
+//! 2. **Individualization–refinement**: while the partition has a
+//!    non-singleton color class, the search individualizes each member of an
+//!    invariantly chosen target class in turn and recurses. Every leaf of
+//!    the search induces a total variable order; the candidate it produces
+//!    is the atom list ranked under that order and sorted. The
+//!    lexicographically smallest candidate over all leaves is the canonical
+//!    form — an isomorphism invariant, because the candidate *set* is one.
+//! 3. The winning candidate is rebuilt as a [`Query`] with variables
+//!    `x0, x1, …` numbered by first occurrence and atoms in candidate order,
+//!    and hashed (FNV-1a, 128 bit) into a stable [`CanonKey`].
+//!
+//! Pathologically symmetric queries (many disjoint identical atoms) can make
+//! the individualization tree large; the search carries a leaf budget and
+//! marks the result [`CanonicalQuery::exact`]` = false` when it is exceeded.
+//! An inexact form is still deterministic for the *given* query but is not
+//! guaranteed to agree across all isomorphic variants, so cache layers must
+//! treat it as uncacheable. Hash collisions between distinct shapes are
+//! handled by the consumer comparing canonical forms (or running
+//! [`shape_isomorphic`], the exact backtracking check in the style of
+//! [`crate::homomorphism`]) — a collision can cost a cache miss, never a
+//! wrong answer.
+
+use crate::atom::Atom;
+use crate::ids::{RelId, Var};
+use crate::query::Query;
+use std::fmt;
+
+/// Default individualization-refinement leaf budget for [`canonicalize`].
+///
+/// Real query workloads (the paper's catalogue, anything a user would type)
+/// discretize after one or two individualizations; the budget only bites on
+/// adversarially symmetric inputs such as dozens of disjoint copies of the
+/// same atom.
+pub const DEFAULT_CANON_BUDGET: usize = 512;
+
+/// A stable 128-bit fingerprint of a query's canonical form.
+///
+/// The key is a deterministic FNV-1a hash of the canonical serialization
+/// (relation names, exogenous flags, canonical variable numbers): equal for
+/// every member of a shape class, stable across processes and platforms, and
+/// wide enough that accidental collisions are negligible — but consumers must
+/// still confirm a key match by comparing canonical forms, since distinct
+/// shapes colliding is possible in principle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonKey(pub u128);
+
+impl CanonKey {
+    /// The key as a raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// The high 64 bits (for consumers that only store a 64-bit key).
+    pub fn hi(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// The low 64 bits.
+    pub fn lo(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Debug for CanonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CanonKey({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for CanonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The canonical representative of a query's shape class.
+#[derive(Clone, Debug)]
+pub struct CanonicalQuery {
+    /// The canonical form: variables renamed `x0, x1, …`, atoms sorted,
+    /// query name dropped (names are not part of the shape).
+    pub query: Query,
+    /// Stable fingerprint of [`CanonicalQuery::query`].
+    pub key: CanonKey,
+    /// `var_map[v]` is the canonical variable the original variable `v` maps
+    /// to (indexed by [`Var::index`]).
+    pub var_map: Vec<Var>,
+    /// `atom_map[i]` is the original index of the canonical atom `i`.
+    pub atom_map: Vec<usize>,
+    /// `true` when the individualization search completed within budget. An
+    /// inexact form is deterministic for this query but not guaranteed to
+    /// agree across isomorphic variants; cache layers must bypass it.
+    pub exact: bool,
+}
+
+/// Canonicalizes `q` with the [`DEFAULT_CANON_BUDGET`].
+pub fn canonicalize(q: &Query) -> CanonicalQuery {
+    canonicalize_with_budget(q, DEFAULT_CANON_BUDGET)
+}
+
+/// One fully ranked atom: `(relation name rank, exogenous, ranked args)`.
+/// Candidates compare lexicographically over sorted lists of these.
+type RankedAtom = (u32, bool, Vec<u32>);
+
+/// A leaf candidate: the sorted ranked atom list plus the var order and atom
+/// permutation that produced it (needed to recover the mappings).
+struct Candidate {
+    atoms: Vec<RankedAtom>,
+    /// `rank -> original variable`.
+    order: Vec<Var>,
+    /// `sorted position -> original atom index`.
+    atom_map: Vec<usize>,
+}
+
+struct IrSearch<'a> {
+    q: &'a Query,
+    /// Rank of each relation id under the name ordering (isomorphism
+    /// invariant: variants of one shape share the relation name set).
+    name_rank: Vec<u32>,
+    best: Option<Candidate>,
+    leaves_left: usize,
+    exact: bool,
+}
+
+/// Canonicalizes `q`, exploring at most `budget` individualization leaves.
+///
+/// `budget` is clamped to at least 1, so the search always completes one
+/// leaf and the result is always a well-formed (if possibly inexact)
+/// representative.
+pub fn canonicalize_with_budget(q: &Query, budget: usize) -> CanonicalQuery {
+    let mut name_order: Vec<RelId> = q.schema().relation_ids().collect();
+    name_order.sort_by_key(|&r| q.schema().name(r));
+    let mut name_rank = vec![0u32; q.schema().len()];
+    for (rank, &r) in name_order.iter().enumerate() {
+        name_rank[r.index()] = rank as u32;
+    }
+
+    let mut search = IrSearch {
+        q,
+        name_rank,
+        best: None,
+        leaves_left: budget.max(1),
+        exact: true,
+    };
+    let mut colors = initial_colors(q, &search.name_rank);
+    search.run(&mut colors);
+    let cand = search.best.expect("budget >= 1 guarantees one leaf");
+    build_canonical(q, cand, search.exact)
+}
+
+/// Seeds variable colors from occurrence profiles: the sorted multiset of
+/// `(relation name rank, exogenous, position)` over all occurrences.
+fn initial_colors(q: &Query, name_rank: &[u32]) -> Vec<u64> {
+    let mut profiles: Vec<Vec<(u32, bool, u32)>> = vec![Vec::new(); q.num_vars()];
+    for a in q.atoms() {
+        for (pos, &v) in a.args.iter().enumerate() {
+            profiles[v.index()].push((name_rank[a.relation.index()], a.exogenous, pos as u32));
+        }
+    }
+    profiles
+        .into_iter()
+        .map(|mut p| {
+            p.sort_unstable();
+            let mut h = Fnv64::new();
+            for (r, x, pos) in p {
+                h.write_u32(r);
+                h.write_u8(x as u8);
+                h.write_u32(pos);
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+impl IrSearch<'_> {
+    /// Refines `colors` to a fixpoint: atom signatures from argument colors,
+    /// then variable colors from `(old color, occurrence signatures)`.
+    /// Including the old color makes refinement monotone (classes only
+    /// split), so the distinct-color count is non-decreasing and the loop
+    /// terminates within `num_vars` rounds.
+    fn refine(&self, colors: &mut [u64]) {
+        let q = self.q;
+        let mut distinct = distinct_count(colors);
+        loop {
+            let atom_sigs: Vec<u64> = q
+                .atoms()
+                .iter()
+                .map(|a| {
+                    let mut h = Fnv64::new();
+                    h.write_u32(self.name_rank[a.relation.index()]);
+                    h.write_u8(a.exogenous as u8);
+                    for &v in &a.args {
+                        h.write_u64(colors[v.index()]);
+                    }
+                    h.finish()
+                })
+                .collect();
+            let mut occ: Vec<Vec<(u64, u32)>> = vec![Vec::new(); q.num_vars()];
+            for (i, a) in q.atoms().iter().enumerate() {
+                for (pos, &v) in a.args.iter().enumerate() {
+                    occ[v.index()].push((atom_sigs[i], pos as u32));
+                }
+            }
+            for (v, o) in occ.into_iter().enumerate() {
+                let mut sorted = o;
+                sorted.sort_unstable();
+                let mut h = Fnv64::new();
+                h.write_u64(colors[v]);
+                for (sig, pos) in sorted {
+                    h.write_u64(sig);
+                    h.write_u32(pos);
+                }
+                colors[v] = h.finish();
+            }
+            let now = distinct_count(colors);
+            if now == distinct || now == q.num_vars() {
+                return;
+            }
+            distinct = now;
+        }
+    }
+
+    fn run(&mut self, colors: &mut [u64]) {
+        if self.leaves_left == 0 {
+            self.exact = false;
+            return;
+        }
+        self.refine(colors);
+        match target_class(colors) {
+            None => {
+                // Discrete partition: colors are pairwise distinct, so
+                // sorting by color is a total variable order.
+                self.leaves_left -= 1;
+                let mut order: Vec<Var> = self.q.vars().collect();
+                order.sort_unstable_by_key(|v| colors[v.index()]);
+                self.consider_leaf(order);
+            }
+            Some(class) => {
+                for v in class {
+                    let mut child = colors.to_vec();
+                    // Individualize: a fresh color derived only from the old
+                    // one, so corresponding branches of isomorphic queries
+                    // stay aligned.
+                    let mut h = Fnv64::new();
+                    h.write_u64(child[v.index()]);
+                    h.write_u64(0x49445f53504c4954); // "ID_SPLIT"
+                    child[v.index()] = h.finish();
+                    self.run(&mut child);
+                    if self.leaves_left == 0 {
+                        self.exact = false;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the candidate for one total variable order and keeps the
+    /// lexicographic minimum.
+    fn consider_leaf(&mut self, order: Vec<Var>) {
+        let q = self.q;
+        let mut rank = vec![0u32; q.num_vars()];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v.index()] = r as u32;
+        }
+        let mut atoms: Vec<(RankedAtom, usize)> = q
+            .atoms()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let args: Vec<u32> = a.args.iter().map(|v| rank[v.index()]).collect();
+                ((self.name_rank[a.relation.index()], a.exogenous, args), i)
+            })
+            .collect();
+        atoms.sort();
+        let (atoms, atom_map): (Vec<RankedAtom>, Vec<usize>) = atoms.into_iter().unzip();
+        let replace = match &self.best {
+            None => true,
+            Some(b) => atoms < b.atoms,
+        };
+        if replace {
+            self.best = Some(Candidate {
+                atoms,
+                order,
+                atom_map,
+            });
+        }
+    }
+}
+
+/// Groups variables by color and returns the invariantly chosen target class
+/// for individualization — the first non-singleton class ordered by
+/// `(size, color)` — or `None` when the partition is discrete.
+fn target_class(colors: &[u64]) -> Option<Vec<Var>> {
+    let mut classes: Vec<(u64, Vec<Var>)> = Vec::new();
+    let mut sorted: Vec<(u64, u32)> = colors
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    sorted.sort_unstable();
+    for (c, i) in sorted {
+        match classes.last_mut() {
+            Some((lc, vs)) if *lc == c => vs.push(Var(i)),
+            _ => classes.push((c, vec![Var(i)])),
+        }
+    }
+    classes
+        .into_iter()
+        .filter(|(_, vs)| vs.len() > 1)
+        .min_by_key(|(c, vs)| (vs.len(), *c))
+        .map(|(_, vs)| vs)
+}
+
+fn distinct_count(colors: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Rebuilds the winning candidate as a canonical [`Query`] and fingerprint.
+fn build_canonical(q: &Query, cand: Candidate, exact: bool) -> CanonicalQuery {
+    // Compact variable ranks to `x0, x1, …` by first occurrence in the
+    // sorted atom list (every variable of a `Query` occurs in some atom).
+    let mut compact: Vec<Option<u32>> = vec![None; q.num_vars()];
+    let mut next = 0u32;
+    for (_, _, args) in &cand.atoms {
+        for &r in args {
+            if compact[r as usize].is_none() {
+                compact[r as usize] = Some(next);
+                next += 1;
+            }
+        }
+    }
+    debug_assert_eq!(next as usize, q.num_vars(), "every variable must occur");
+
+    let mut b = Query::builder();
+    for ((_, exo, args), &orig_idx) in cand.atoms.iter().zip(&cand.atom_map) {
+        let rel_name = q.schema().name(q.atom(orig_idx).relation).to_string();
+        let names: Vec<String> = args
+            .iter()
+            .map(|&r| format!("x{}", compact[r as usize].expect("occurs")))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b = if *exo {
+            b.exogenous_atom(&rel_name, &refs)
+        } else {
+            b.atom(&rel_name, &refs)
+        };
+    }
+    let query = b.build();
+    debug_assert_eq!(query.num_vars(), q.num_vars());
+
+    let var_map: Vec<Var> = (0..q.num_vars())
+        .map(|v| {
+            let r = cand
+                .order
+                .iter()
+                .position(|&ov| ov.index() == v)
+                .expect("order is a permutation") as u32;
+            Var(compact[r as usize].expect("occurs"))
+        })
+        .collect();
+
+    let key = fingerprint(&query);
+    CanonicalQuery {
+        query,
+        key,
+        var_map,
+        atom_map: cand.atom_map,
+        exact,
+    }
+}
+
+/// FNV-1a (128-bit) over the canonical serialization: atom count, variable
+/// count, then per atom the relation name bytes, a separator, the exogenous
+/// flag and the canonical argument numbers.
+fn fingerprint(canonical: &Query) -> CanonKey {
+    let mut h = Fnv128::new();
+    h.write_u32(canonical.num_atoms() as u32);
+    h.write_u32(canonical.num_vars() as u32);
+    for a in canonical.atoms() {
+        for byte in canonical.schema().name(a.relation).bytes() {
+            h.write_u8(byte);
+        }
+        h.write_u8(0);
+        h.write_u8(a.exogenous as u8);
+        h.write_u8(a.args.len() as u8);
+        for &v in &a.args {
+            h.write_u32(v.0);
+        }
+        h.write_u8(1);
+    }
+    CanonKey(h.finish())
+}
+
+/// Exact shape-isomorphism check: is there a variable bijection turning `a`
+/// into `b`, atom for atom, with relation *names* and exogenous flags fixed?
+///
+/// This is the backtracking of [`crate::homomorphism::find_homomorphism`]
+/// specialized to bijections over matching relation names — unlike
+/// [`crate::classify::structurally_isomorphic`], relation symbols may *not*
+/// be renamed (queries over `R` and over `S` are different shapes, because a
+/// database instance names its relations). It is the collision fallback for
+/// canonical-key consumers and the ground truth the canonicalization tests
+/// compare against.
+pub fn shape_isomorphic(a: &Query, b: &Query) -> bool {
+    if a.num_atoms() != b.num_atoms() || a.num_vars() != b.num_vars() {
+        return false;
+    }
+    let candidates: Vec<Vec<usize>> = a
+        .atoms()
+        .iter()
+        .map(|aa| {
+            let name = a.schema().name(aa.relation);
+            b.atoms()
+                .iter()
+                .enumerate()
+                .filter(|(_, ba)| {
+                    b.schema().name(ba.relation) == name
+                        && ba.exogenous == aa.exogenous
+                        && ba.args.len() == aa.args.len()
+                })
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    // Assign scarce atoms first.
+    let mut order: Vec<usize> = (0..a.num_atoms()).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+    let mut fwd: Vec<Option<Var>> = vec![None; a.num_vars()];
+    let mut bwd: Vec<Option<Var>> = vec![None; b.num_vars()];
+    let mut used = vec![false; b.num_atoms()];
+    assign_atoms(a, b, &candidates, &order, 0, &mut fwd, &mut bwd, &mut used)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign_atoms(
+    a: &Query,
+    b: &Query,
+    candidates: &[Vec<usize>],
+    order: &[usize],
+    depth: usize,
+    fwd: &mut [Option<Var>],
+    bwd: &mut [Option<Var>],
+    used: &mut [bool],
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let i = order[depth];
+    let src = a.atom(i);
+    for &j in &candidates[i] {
+        if used[j] {
+            continue;
+        }
+        let tgt = b.atom(j);
+        let mut added: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (&s, &t) in src.args.iter().zip(tgt.args.iter()) {
+            match (fwd[s.index()], bwd[t.index()]) {
+                (Some(ft), Some(bs)) if ft == t && bs == s => {}
+                (None, None) => {
+                    fwd[s.index()] = Some(t);
+                    bwd[t.index()] = Some(s);
+                    added.push(s);
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            used[j] = true;
+            if assign_atoms(a, b, candidates, order, depth + 1, fwd, bwd, used) {
+                return true;
+            }
+            used[j] = false;
+        }
+        for s in added {
+            let t = fwd[s.index()].take().expect("was set");
+            bwd[t.index()] = None;
+        }
+    }
+    false
+}
+
+/// Applies the canonicalization mapping to an arbitrary atom of the original
+/// query — the "cheap variable remapping step" cache consumers perform when
+/// translating per-variant artifacts into canonical space.
+pub fn remap_atom(canon: &CanonicalQuery, atom: &Atom) -> Atom {
+    Atom {
+        relation: atom.relation,
+        args: atom
+            .args
+            .iter()
+            .map(|&v| canon.var_map[v.index()])
+            .collect(),
+        exogenous: atom.exogenous,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic hashing. `std::collections::hash_map::DefaultHasher` is
+// randomized per process, so the fingerprints are hand-rolled FNV-1a — the
+// crate stays dependency-free and keys stay stable across runs and machines.
+// ---------------------------------------------------------------------------
+
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u128).wrapping_mul(Self::PRIME);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogue::all_named_queries;
+    use crate::parse_query;
+
+    #[test]
+    fn chain_variants_share_key_and_form() {
+        let a = parse_query("R(x,y), R(y,z)").unwrap();
+        let b = parse_query("R(v,w), R(u,v)").unwrap(); // renamed + permuted
+        let ca = canonicalize(&a);
+        let cb = canonicalize(&b);
+        assert!(ca.exact && cb.exact);
+        assert_eq!(ca.key, cb.key);
+        assert_eq!(ca.query, cb.query);
+    }
+
+    #[test]
+    fn query_name_is_not_part_of_the_shape() {
+        let a = parse_query("R(x,y), R(y,z)").unwrap().with_name("alpha");
+        let b = parse_query("R(x,y), R(y,z)").unwrap().with_name("beta");
+        assert_eq!(canonicalize(&a).key, canonicalize(&b).key);
+        assert_eq!(canonicalize(&a).query.name(), None);
+    }
+
+    #[test]
+    fn relation_names_are_part_of_the_shape() {
+        let a = parse_query("R(x,y), R(y,z)").unwrap();
+        let b = parse_query("S(x,y), S(y,z)").unwrap();
+        assert_ne!(canonicalize(&a).key, canonicalize(&b).key);
+        assert!(!shape_isomorphic(&a, &b));
+        // ... even though the classifier's structural isomorphism (which may
+        // rename relations) identifies them.
+        assert!(crate::classify::structurally_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn exogenous_flags_are_part_of_the_shape() {
+        let a = parse_query("A(x), R(x,y)").unwrap();
+        let b = a.with_exogenous(&[0]);
+        assert_ne!(canonicalize(&a).key, canonicalize(&b).key);
+        assert!(!shape_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn repeated_variables_distinguish_shapes() {
+        let a = parse_query("R(x,x)").unwrap();
+        let b = parse_query("R(x,y)").unwrap();
+        assert_ne!(canonicalize(&a).key, canonicalize(&b).key);
+        assert!(!shape_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for nq in all_named_queries() {
+            let c1 = canonicalize(&nq.query);
+            let c2 = canonicalize(&c1.query);
+            assert_eq!(c1.query, c2.query, "{} not idempotent", nq.name);
+            assert_eq!(c1.key, c2.key);
+        }
+    }
+
+    #[test]
+    fn var_and_atom_maps_describe_the_isomorphism() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let c = canonicalize(&q);
+        // Remapping every original atom must land exactly on the canonical
+        // atom set (as name/exo/args triples).
+        let mut remapped: Vec<(String, bool, Vec<Var>)> = q
+            .atoms()
+            .iter()
+            .map(|a| {
+                let m = remap_atom(&c, a);
+                (q.schema().name(a.relation).to_string(), m.exogenous, m.args)
+            })
+            .collect();
+        remapped.sort();
+        let mut canon_atoms: Vec<(String, bool, Vec<Var>)> = c
+            .query
+            .atoms()
+            .iter()
+            .map(|a| {
+                (
+                    c.query.schema().name(a.relation).to_string(),
+                    a.exogenous,
+                    a.args.clone(),
+                )
+            })
+            .collect();
+        canon_atoms.sort();
+        assert_eq!(remapped, canon_atoms);
+        // atom_map is a permutation of the original indices.
+        let mut am = c.atom_map.clone();
+        am.sort_unstable();
+        assert_eq!(am, (0..q.num_atoms()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn catalogue_queries_have_pairwise_distinct_forms() {
+        let canon: Vec<(String, CanonicalQuery)> = all_named_queries()
+            .into_iter()
+            .map(|nq| (nq.name.to_string(), canonicalize(&nq.query)))
+            .collect();
+        for (i, (name_a, a)) in canon.iter().enumerate() {
+            assert!(a.exact, "{name_a} exceeded the default budget");
+            for (name_b, b) in canon.iter().skip(i + 1) {
+                assert_ne!(
+                    a.query, b.query,
+                    "{name_a} and {name_b} share a canonical form"
+                );
+                assert_ne!(a.key, b.key, "{name_a} and {name_b} share a key");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_isomorphic_agrees_with_canonical_equality_on_catalogue() {
+        let queries: Vec<_> = all_named_queries();
+        for (i, a) in queries.iter().enumerate() {
+            for b in queries.iter().skip(i) {
+                let same_form = canonicalize(&a.query).query == canonicalize(&b.query).query;
+                assert_eq!(
+                    same_form,
+                    shape_isomorphic(&a.query, &b.query),
+                    "{} vs {}",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_query_canonicalizes_within_budget() {
+        // A 6-cycle has 12 automorphisms and needs individualization.
+        let a = parse_query("R(a,b), R(b,c), R(c,d), R(d,e), R(e,f), R(f,a)").unwrap();
+        let b = parse_query("R(q,p), R(r,q), R(s,r), R(t,s), R(u,t), R(p,u)").unwrap();
+        let ca = canonicalize(&a);
+        let cb = canonicalize(&b);
+        assert!(ca.exact && cb.exact);
+        assert_eq!(ca.query, cb.query);
+        assert_eq!(ca.key, cb.key);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged_not_wrong() {
+        // Many disjoint copies of the same atom: the color partition cannot
+        // separate them, so the IR tree is factorial. A tiny budget must
+        // bail out with `exact = false` and still return a usable form.
+        let text: Vec<String> = (0..8).map(|i| format!("R(a{i},b{i})")).collect();
+        let q = parse_query(&text.join(", ")).unwrap();
+        let c = canonicalize_with_budget(&q, 2);
+        assert!(!c.exact);
+        assert_eq!(c.query.num_atoms(), 8);
+        assert!(c.query.validate().is_ok());
+        // With enough budget the same query is exact.
+        assert!(canonicalize_with_budget(&q, 100_000).exact);
+    }
+
+    #[test]
+    fn keys_are_stable_across_calls() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)").unwrap();
+        let k1 = canonicalize(&q).key;
+        let k2 = canonicalize(&q).key;
+        assert_eq!(k1, k2);
+        assert_ne!(k1.as_u128(), 0);
+        assert_eq!(k1.as_u128(), ((k1.hi() as u128) << 64) | k1.lo() as u128);
+    }
+}

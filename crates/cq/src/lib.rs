@@ -31,6 +31,7 @@
 
 pub mod atom;
 pub mod binary_graph;
+pub mod canon;
 pub mod catalogue;
 pub mod classify;
 pub mod domination;
@@ -45,6 +46,9 @@ pub mod schema;
 pub mod triad;
 
 pub use atom::Atom;
+pub use canon::{
+    canonicalize, canonicalize_with_budget, shape_isomorphic, CanonKey, CanonicalQuery,
+};
 pub use classify::{
     classify, structurally_isomorphic, Classification, Complexity, Evidence, HardnessReason,
     PtimeAlgorithm,

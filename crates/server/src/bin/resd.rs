@@ -1,7 +1,7 @@
 //! `resd` — the resilience service daemon.
 //!
 //! ```text
-//! resd <addr> [--workers N] [--shutdown-file PATH]
+//! resd <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]
 //! ```
 //!
 //! Binds `<addr>` (port 0 picks a free port; the actually bound address is
@@ -13,7 +13,7 @@ use server::{serve, ServerConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: resd <addr> [--workers N] [--shutdown-file PATH]");
+    eprintln!("usage: resd <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]");
     ExitCode::from(2)
 }
 
@@ -32,6 +32,10 @@ fn main() -> ExitCode {
             },
             "--shutdown-file" => match it.next() {
                 Some(path) => config = config.shutdown_file(path),
+                None => return usage(),
+            },
+            "--plan-cache-capacity" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config = config.plan_cache_capacity(n),
                 None => return usage(),
             },
             _ => return usage(),

@@ -10,6 +10,8 @@
 
 use database::{TupleId, TupleStore};
 use resilience_core::engine::{Resilience, SessionSolveStats, SolveReport};
+use resilience_core::plancache::PlanCacheStats;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
@@ -153,6 +155,49 @@ pub fn mutation_event_json(
 /// One session `reset` event object.
 pub fn reset_event_json(live_witnesses: usize) -> String {
     format!("{{\"op\": \"reset\", \"live_witnesses\": {live_witnesses}}}")
+}
+
+/// The plan-cache counter object embedded in `stats` responses.
+pub fn plan_cache_stats_json(stats: &PlanCacheStats) -> String {
+    format!(
+        "{{\"entries\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \
+         \"collisions\": {}, \"evictions\": {}, \"bypasses\": {}}}",
+        stats.entries,
+        stats.capacity,
+        stats.hits,
+        stats.misses,
+        stats.collisions,
+        stats.evictions,
+        stats.bypasses,
+    )
+}
+
+/// Renders one `BTreeMap` of counters as a JSON object (deterministic key
+/// order by construction).
+fn counter_map_json(counts: &BTreeMap<String, u64>) -> String {
+    let fields: Vec<String> = counts
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// The daemon's `stats` object: uptime, per-verb request counts, per-kind
+/// error counts and the plan-cache counters. Shared by the `stats` verb and
+/// anything rendering an in-process view, so a thin client re-emitting the
+/// raw object is byte-identical to both.
+pub fn stats_json(
+    uptime_ms: u64,
+    requests_by_verb: &BTreeMap<String, u64>,
+    errors_by_kind: &BTreeMap<String, u64>,
+    cache: &PlanCacheStats,
+) -> String {
+    format!(
+        "{{\"uptime_ms\": {uptime_ms}, \"requests\": {}, \"errors\": {}, \"plan_cache\": {}}}",
+        counter_map_json(requests_by_verb),
+        counter_map_json(errors_by_kind),
+        plan_cache_stats_json(cache),
+    )
 }
 
 /// A parsed JSON value. Numbers are kept as `f64` — every quantity the

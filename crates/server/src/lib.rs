@@ -27,6 +27,7 @@
 //! | `resolve` | `session_id`, \[`options`\] | `event` (solve event with `solver` stats) |
 //! | `batch_whatif` | `session_id`, `sets`, \[`options`\] | `results` (report/error rows) |
 //! | `close` | `session_id` | `closed` |
+//! | `stats` | — | `stats` (uptime, requests by verb, errors by kind, plan-cache counters) |
 //! | `shutdown` | — | `shutting_down` |
 //!
 //! Databases upload as the same `Rel(c1,...)` text format `rescli` reads
@@ -44,6 +45,17 @@
 //! databases live in an `Arc`-shared registry behind an `RwLock` — handles
 //! are cloned out under a brief read lock, never held across a solve. Each
 //! worker reuses one [`SolveScratch`] across every request it serves.
+//! `compile` consults a shared [`PlanCache`]: queries that are the same
+//! *shape* (identical up to variable renaming and atom reordering — see
+//! [`cq::canonicalize`]) share one classification + plan, so a fleet of
+//! clients submitting millions of trivially-renamed queries compiles each
+//! shape once. A cache hit registers the cache's first-seen representative
+//! query, whose relation names and arities are identical to the submitted
+//! text by construction (they are part of the shape), so instance uploads
+//! and fact references resolve exactly as they would against a fresh
+//! compile; the `query` echoed by `compile` is the representative's
+//! rendering. The `stats` verb reports hit/miss/collision/eviction/bypass
+//! counters next to per-verb request and per-kind error counts.
 //! Named what-if sessions ([`SharedSolveSession`] — `Arc`-owning, so no
 //! borrows into the registry) are **per-connection** state; warm starts and
 //! [`SessionSolveStats`](resilience_core::engine::SessionSolveStats) work
@@ -60,13 +72,14 @@ pub mod jsonio;
 mod proto;
 
 use resilience_core::engine::{CompiledQuery, SharedSolveSession, SolveScratch};
-use std::collections::HashMap;
+use resilience_core::plancache::PlanCache;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use database::FrozenDb;
 
@@ -97,6 +110,11 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// The `retry_after_ms` hint sent with `overloaded` refusals.
     pub retry_after_ms: u64,
+    /// Capacity of the shared compiled-plan cache consulted by `compile`:
+    /// how many distinct query *shapes* (canonical forms up to variable
+    /// renaming and atom reordering) keep their classification + plan
+    /// resident. Clamped to at least 1.
+    pub plan_cache_capacity: usize,
 }
 
 impl ServerConfig {
@@ -113,6 +131,7 @@ impl ServerConfig {
             max_timeout_ms: 30_000,
             max_line_bytes: 1 << 20,
             retry_after_ms: 50,
+            plan_cache_capacity: resilience_core::plancache::DEFAULT_CAPACITY,
         }
     }
 
@@ -143,6 +162,12 @@ impl ServerConfig {
     /// Sets the maximum accepted request-line length in bytes.
     pub fn max_line_bytes(mut self, bytes: usize) -> Self {
         self.max_line_bytes = bytes;
+        self
+    }
+
+    /// Sets the compiled-plan cache capacity (distinct query shapes).
+    pub fn plan_cache_capacity(mut self, shapes: usize) -> Self {
+        self.plan_cache_capacity = shapes;
         self
     }
 }
@@ -208,6 +233,40 @@ impl Registry {
     }
 }
 
+/// Mutable service counters, updated at the dispatch point of every
+/// request. `BTreeMap`s keep the rendered `stats` object deterministic.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    /// Requests by verb. Unparseable lines count as `invalid`, well-formed
+    /// requests naming a verb the protocol does not have as `unknown` —
+    /// fixed buckets, so hostile input cannot grow the map without bound.
+    pub(crate) requests_by_verb: BTreeMap<String, u64>,
+    /// Error responses by their `kind` field (`bad_request`, `parse`,
+    /// `unknown_handle`, `cancelled`, ...).
+    pub(crate) errors_by_kind: BTreeMap<String, u64>,
+}
+
+/// Everything the worker pool shares: the handle registry, the compiled-plan
+/// cache consulted by `compile`, and the service counters behind the `stats`
+/// verb.
+pub(crate) struct ServerState {
+    pub(crate) registry: RwLock<Registry>,
+    pub(crate) plan_cache: PlanCache,
+    pub(crate) stats: Mutex<StatsInner>,
+    pub(crate) started: Instant,
+}
+
+impl ServerState {
+    pub(crate) fn new(plan_cache_capacity: usize) -> ServerState {
+        ServerState {
+            registry: RwLock::new(Registry::default()),
+            plan_cache: PlanCache::new(plan_cache_capacity),
+            stats: Mutex::new(StatsInner::default()),
+            started: Instant::now(),
+        }
+    }
+}
+
 /// One named session of a connection: the `Arc`-owning session plus the
 /// registry handles its facts resolve through.
 pub(crate) struct SessionEntry {
@@ -244,7 +303,7 @@ pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
-    registry: Arc<RwLock<Registry>>,
+    state: Arc<ServerState>,
 }
 
 impl Server {
@@ -252,11 +311,12 @@ impl Server {
     /// [`Server::run`].
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServerState::new(config.plan_cache_capacity));
         Ok(Server {
             listener,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
-            registry: Arc::new(RwLock::new(Registry::default())),
+            state,
         })
     }
 
@@ -300,11 +360,11 @@ impl Server {
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
         let rx = Mutex::new(rx);
         let shutdown = &self.shutdown;
-        let registry = &self.registry;
+        let state = &self.state;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let rx = &rx;
-                scope.spawn(move || worker_loop(rx, registry, shutdown, limits));
+                scope.spawn(move || worker_loop(rx, state, shutdown, limits));
             }
             loop {
                 if shutdown.load(Ordering::SeqCst) {
@@ -363,7 +423,7 @@ fn refuse_overloaded(stream: TcpStream, retry_after_ms: u64) {
 /// loop hangs up.
 fn worker_loop(
     rx: &Mutex<mpsc::Receiver<TcpStream>>,
-    registry: &RwLock<Registry>,
+    state: &ServerState,
     shutdown: &AtomicBool,
     limits: RequestLimits,
 ) {
@@ -384,9 +444,7 @@ fn worker_loop(
             }
         };
         match stream {
-            Some(stream) => {
-                proto::serve_connection(stream, registry, shutdown, &mut scratch, limits)
-            }
+            Some(stream) => proto::serve_connection(stream, state, shutdown, &mut scratch, limits),
             None => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;

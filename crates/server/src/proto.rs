@@ -4,9 +4,9 @@
 
 use crate::dbtext;
 use crate::jsonio::{self, JsonValue};
-use crate::{ConnState, DbEntry, QueryEntry, Registry, RequestLimits, SessionEntry};
+use crate::{ConnState, DbEntry, QueryEntry, Registry, RequestLimits, ServerState, SessionEntry};
 use cq::parse_query;
-use resilience_core::engine::{Engine, SolveError, SolveOptions, SolveScratch};
+use resilience_core::engine::{SolveError, SolveOptions, SolveScratch};
 use resilience_core::CancelToken;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -64,7 +64,7 @@ fn bad(msg: &str) -> String {
 /// cannot hold up a graceful shutdown.
 pub(crate) fn serve_connection(
     stream: TcpStream,
-    registry: &RwLock<Registry>,
+    state: &ServerState,
     shutdown: &AtomicBool,
     scratch: &mut SolveScratch,
     limits: RequestLimits,
@@ -121,8 +121,7 @@ pub(crate) fn serve_connection(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, action) =
-                    handle_request(registry, &mut conn, scratch, &line, limits);
+                let (response, action) = handle_request(state, &mut conn, scratch, &line, limits);
                 if !write_response(&mut writer, &response, shutdown) {
                     return;
                 }
@@ -268,17 +267,62 @@ fn get_db(registry: &RwLock<Registry>, id: &str) -> Result<Arc<DbEntry>, String>
         .ok_or_else(|| format!("unknown db_id {id}"))
 }
 
+/// Every verb the protocol answers. Requests naming anything else count
+/// under the fixed `unknown` stats bucket, so a hostile client cannot grow
+/// the per-verb map with arbitrary strings.
+const KNOWN_VERBS: &[&str] = &[
+    "ping",
+    "compile",
+    "load",
+    "freeze",
+    "unload",
+    "solve",
+    "batch",
+    "session",
+    "delete",
+    "restore",
+    "reset",
+    "resolve",
+    "batch_whatif",
+    "close",
+    "stats",
+    "shutdown",
+];
+
+/// Counts one request under its verb. Called *before* dispatch so the
+/// `stats` verb's own request is part of the counts it renders.
+fn record_verb(state: &ServerState, verb: &str) {
+    let mut stats = state.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *stats.requests_by_verb.entry(verb.to_string()).or_insert(0) += 1;
+}
+
+/// Counts one error response under its `kind`. Sniffs the rendered line —
+/// every error path goes through [`err_json`], so the prefix and the `kind`
+/// field are reliable — which keeps the accounting at the single point all
+/// responses flow through instead of inside each handler.
+fn record_error(state: &ServerState, response: &str) {
+    if !response.starts_with("{\"ok\": false") {
+        return;
+    }
+    let kind = jsonio::extract_raw(response, "kind")
+        .map(|raw| raw.trim_matches('"').to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut stats = state.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *stats.errors_by_kind.entry(kind).or_insert(0) += 1;
+}
+
 /// Dispatches one request line. Always produces exactly one response line —
 /// even when the handler panics: the dispatch runs under `catch_unwind`, a
 /// panic answers `internal` and the worker keeps serving (with fresh
 /// scratch, since the panicking solve may have left it mid-update).
 pub(crate) fn handle_request(
-    registry: &RwLock<Registry>,
+    state: &ServerState,
     conn: &mut ConnState,
     scratch: &mut SolveScratch,
     line: &str,
     limits: RequestLimits,
 ) -> (String, Action) {
+    let registry = &state.registry;
     let req = match jsonio::parse_json(line.trim()) {
         Ok(v) => v,
         Err(e) => {
@@ -289,13 +333,29 @@ pub(crate) fn handle_request(
             } else {
                 "parse"
             };
-            return (err_json(kind, &e), Action::Continue);
+            let response = err_json(kind, &e);
+            record_verb(state, "invalid");
+            record_error(state, &response);
+            return (response, Action::Continue);
         }
     };
     let op = match req.get("op").and_then(JsonValue::as_str) {
         Some(op) => op.to_string(),
-        None => return (bad("missing string field op"), Action::Continue),
+        None => {
+            let response = bad("missing string field op");
+            record_verb(state, "invalid");
+            record_error(state, &response);
+            return (response, Action::Continue);
+        }
     };
+    record_verb(
+        state,
+        if KNOWN_VERBS.contains(&op.as_str()) {
+            &op
+        } else {
+            "unknown"
+        },
+    );
     if op == "shutdown" {
         return (
             "{\"ok\": true, \"shutting_down\": true}".to_string(),
@@ -307,7 +367,7 @@ pub(crate) fn handle_request(
         crate::faults::apply_request_faults(&req);
         match op.as_str() {
             "ping" => Ok("{\"ok\": true, \"pong\": true}".to_string()),
-            "compile" => op_compile(registry, &req),
+            "compile" => op_compile(state, &req),
             "load" | "freeze" => op_load(registry, &req),
             "unload" => op_unload(registry, &req),
             "solve" => op_solve(registry, scratch, &req, limits),
@@ -318,6 +378,7 @@ pub(crate) fn handle_request(
             "resolve" => op_resolve(conn, &req, limits),
             "batch_whatif" => op_batch_whatif(conn, &req, limits),
             "close" => op_close(conn, &req),
+            "stats" => Ok(op_stats(state)),
             other => Err(bad(&format!("unknown op {other}"))),
         }
     }));
@@ -331,17 +392,26 @@ pub(crate) fn handle_request(
             ))
         }
     };
-    (response.unwrap_or_else(|e| e), Action::Continue)
+    let response = response.unwrap_or_else(|e| e);
+    record_error(state, &response);
+    (response, Action::Continue)
 }
 
-fn op_compile(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+fn op_compile(state: &ServerState, req: &JsonValue) -> Result<String, String> {
     let text = req_str(req, "query").map_err(|e| bad(&e))?;
     let query = parse_query(text).map_err(|e| bad(&format!("could not parse query: {e}")))?;
-    let compiled = Arc::new(Engine::compile(&query));
+    let cached = state.plan_cache.compile(&query);
+    let compiled = cached.compiled;
+    // Register the cache's representative query, not the submitted text:
+    // instance uploads and fact references resolve through the entry's
+    // schema, which must be the one the shared plan was compiled against.
+    // Relation names and arities are part of the cached shape, so they are
+    // identical to the submitted query's either way.
+    let query = compiled.query().clone();
     let complexity = compiled.classification().complexity.to_string();
     let display = query.to_string();
     let id = {
-        let mut reg = registry.write().unwrap_or_else(|e| e.into_inner());
+        let mut reg = state.registry.write().unwrap_or_else(|e| e.into_inner());
         let id = match req.get("id").and_then(JsonValue::as_str) {
             Some(explicit) => explicit.to_string(),
             None => reg.next_query_id(),
@@ -357,6 +427,24 @@ fn op_compile(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, St
         jsonio::json_escape(&display),
         jsonio::json_escape(&complexity),
     ))
+}
+
+/// Renders the `stats` response: uptime, per-verb request counts, per-kind
+/// error counts and the plan-cache counters, through the shared
+/// [`jsonio::stats_json`] renderer (so a remote client re-emitting the
+/// `stats` object is byte-identical to the in-process view). Infallible —
+/// a stats request never errors.
+fn op_stats(state: &ServerState) -> String {
+    let uptime_ms = state.started.elapsed().as_millis() as u64;
+    let (requests, errors) = {
+        let stats = state.stats.lock().unwrap_or_else(|e| e.into_inner());
+        (stats.requests_by_verb.clone(), stats.errors_by_kind.clone())
+    };
+    let cache = state.plan_cache.stats();
+    format!(
+        "{{\"ok\": true, \"stats\": {}}}",
+        jsonio::stats_json(uptime_ms, &requests, &errors, &cache)
+    )
 }
 
 fn op_load(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {

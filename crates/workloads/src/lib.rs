@@ -149,6 +149,41 @@ impl Workload {
         candidates
     }
 
+    /// One random shape-preserving variant of `q`: atoms permuted and
+    /// variables bijectively renamed (relation names, exogenous flags and
+    /// the query name are kept). The result is shape-isomorphic to `q`
+    /// (`cq::canon::shape_isomorphic`), so every variant canonicalizes to
+    /// the same form — the workload the plan cache deduplicates.
+    pub fn query_variant(&mut self, q: &Query) -> Query {
+        let mut atom_order: Vec<usize> = (0..q.num_atoms()).collect();
+        atom_order.shuffle(&mut self.rng);
+        let mut name_perm: Vec<usize> = (0..q.num_vars()).collect();
+        name_perm.shuffle(&mut self.rng);
+        let names: Vec<String> = name_perm.into_iter().map(|i| format!("u{i}")).collect();
+        let mut b = Query::builder();
+        if let Some(n) = q.name() {
+            b = b.name(n);
+        }
+        for &i in &atom_order {
+            let a = q.atom(i);
+            let rel = q.schema().name(a.relation).to_string();
+            let args: Vec<&str> = a.args.iter().map(|v| names[v.index()].as_str()).collect();
+            b = if a.exogenous {
+                b.exogenous_atom(&rel, &args)
+            } else {
+                b.atom(&rel, &args)
+            };
+        }
+        b.build()
+    }
+
+    /// `count` random variants of `q` (see [`Workload::query_variant`]),
+    /// deterministic for a given seed — the catalogue-variant stream the
+    /// cache benchmarks and differential gates replay.
+    pub fn query_variants(&mut self, q: &Query, count: usize) -> Vec<Query> {
+        (0..count).map(|_| self.query_variant(q)).collect()
+    }
+
     /// Random 3-CNF formula with `num_vars` variables and `num_clauses`
     /// clauses; each clause has three distinct variables with random signs.
     pub fn random_3cnf(&mut self, num_vars: usize, num_clauses: usize) -> CnfFormula {
@@ -211,6 +246,42 @@ mod tests {
         }
         let a = db.schema().relation_id("A").unwrap();
         assert!(db.tuples_of(a).len() <= 25);
+    }
+
+    #[test]
+    fn query_variants_are_shape_isomorphic_and_deterministic() {
+        let q = parse_query("A(x), R(x,y), R(z,y), C(z)")
+            .unwrap()
+            .with_name("q_ACconf");
+        let a = Workload::new(11).query_variants(&q, 8);
+        let b = Workload::new(11).query_variants(&q, 8);
+        assert_eq!(a, b, "variants must be deterministic per seed");
+        let key = cq::canonicalize(&q).key;
+        for v in &a {
+            assert!(cq::shape_isomorphic(&q, v));
+            assert_eq!(cq::canonicalize(v).key, key);
+            assert_eq!(v.name(), q.name());
+            assert_eq!(v.num_atoms(), q.num_atoms());
+        }
+        // The stream actually varies: not every variant shares one atom order.
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "eight variants should not all be identical"
+        );
+    }
+
+    #[test]
+    fn query_variants_preserve_exogenous_flags() {
+        let q = parse_query("A(x), R(x,y)").unwrap().with_exogenous(&[0]);
+        for v in Workload::new(5).query_variants(&q, 6) {
+            let exo: Vec<&str> = v
+                .atoms()
+                .iter()
+                .filter(|a| a.exogenous)
+                .map(|a| v.schema().name(a.relation))
+                .collect();
+            assert_eq!(exo, vec!["A"]);
+        }
     }
 
     #[test]

@@ -9,16 +9,23 @@
 //!                                         delete/restore/solve steps against one
 //!                                         loaded instance (deletion-aware session)
 //! rescli serve    <addr> [--workers N] [--shutdown-file PATH]
+//!                        [--plan-cache-capacity N]
 //!                                         start resd, the resilience service
 //!                                         daemon, on <addr>
-//! rescli remote   <addr> solve|batch|whatif|shutdown ...
+//! rescli remote   <addr> solve|batch|whatif|stats|shutdown ...
 //!                                         run a subcommand against a running
 //!                                         daemon (same arguments and output as
-//!                                         the local subcommand)
+//!                                         the local subcommand); `stats` prints
+//!                                         the daemon's service counters
 //! rescli ijp      "<query>" [joins] [partitions]
 //!                                         search for an Independent Join Path
 //! rescli catalogue                        print the named-query catalogue
 //! ```
+//!
+//! `solve` and `batch` accept `--plan-cache`: compilation goes through a
+//! process-local [`PlanCache`] (canonicalize, look up, compile on miss)
+//! instead of calling the engine directly — results are identical by
+//! construction, and scripts can diff the two paths.
 //!
 //! `solve`, `batch` and `whatif` accept `--json` for machine-readable
 //! output — locally and through `remote`, whose output is byte-identical to
@@ -41,6 +48,7 @@
 use resilience::core::engine::{
     CompiledQuery, Engine, Resilience, SessionSolveStats, SolveOptions, SolveReport, SolveSession,
 };
+use resilience::core::plancache::PlanCache;
 use resilience::prelude::*;
 use server::client::{Client, RetryPolicy};
 use server::dbtext::{parse_database, parse_database_with_labels, resolve_fact};
@@ -51,14 +59,15 @@ use server::ServerConfig;
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] \"<query>\" <database-file>\n  \
-         rescli batch [--json] \"<query>\" <database-file>...\n  \
+        "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] [--plan-cache] \"<query>\" <database-file>\n  \
+         rescli batch [--json] [--plan-cache] \"<query>\" <database-file>...\n  \
          rescli whatif [--json] \"<query>\" <database-file> <script-file>\n  \
-         rescli serve <addr> [--workers N] [--shutdown-file PATH]\n  \
-         rescli remote [--json] <addr> solve|batch|whatif|shutdown ...\n  \
+         rescli serve <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]\n  \
+         rescli remote [--json] <addr> solve|batch|whatif|stats|shutdown ...\n  \
          rescli ijp \"<query>\" [max-joins] [max-partitions]\n  rescli catalogue"
     );
     ExitCode::from(2)
@@ -68,10 +77,12 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let plan_cache = args.iter().any(|a| a == "--plan-cache");
+    args.retain(|a| a != "--plan-cache");
     match args.first().map(|s| s.as_str()) {
         Some("classify") if args.len() == 2 => classify_cmd(&args[1]),
-        Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2], json),
-        Some("batch") if args.len() >= 3 => batch_cmd(&args[1], &args[2..], json),
+        Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2], json, plan_cache),
+        Some("batch") if args.len() >= 3 => batch_cmd(&args[1], &args[2..], json, plan_cache),
         Some("whatif") if args.len() == 4 => whatif_cmd(&args[1], &args[2], &args[3], json),
         Some("serve") if args.len() >= 2 => serve_cmd(&args[1..]),
         Some("remote") if args.len() >= 3 => remote_cmd(&args[1], &args[2..], json),
@@ -82,6 +93,21 @@ fn main() -> ExitCode {
         }
         Some("catalogue") if args.len() == 1 => catalogue_cmd(),
         _ => usage(),
+    }
+}
+
+/// Compiles a query directly, or — under `--plan-cache` — through a
+/// process-local [`PlanCache`]. A fresh cache's first compile *is* the
+/// direct compile of the submitted query (same plan, same query object), so
+/// the two paths print identical output; the cached path additionally
+/// exercises canonicalization and lookup.
+fn compile_query(q: &Query, plan_cache: bool) -> Arc<CompiledQuery> {
+    if plan_cache {
+        PlanCache::new(resilience::core::plancache::DEFAULT_CAPACITY)
+            .compile(q)
+            .compiled
+    } else {
+        Arc::new(Engine::compile(q))
     }
 }
 
@@ -134,7 +160,7 @@ fn print_report_text(db: &Database, report: &SolveReport) {
     }
 }
 
-fn solve_cmd(text: &str, path: &str, json: bool) -> ExitCode {
+fn solve_cmd(text: &str, path: &str, json: bool, plan_cache: bool) -> ExitCode {
     let q = match parse_or_exit(text) {
         Ok(q) => q,
         Err(code) => return code,
@@ -146,7 +172,7 @@ fn solve_cmd(text: &str, path: &str, json: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = Engine::compile(&q);
+    let compiled = compile_query(&q, plan_cache);
     let report = match compiled.solve(&db.freeze(), &SolveOptions::new()) {
         Ok(report) => report,
         Err(e) => {
@@ -169,14 +195,14 @@ fn solve_cmd(text: &str, path: &str, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn batch_cmd(text: &str, paths: &[String], json: bool) -> ExitCode {
+fn batch_cmd(text: &str, paths: &[String], json: bool, plan_cache: bool) -> ExitCode {
     let q = match parse_or_exit(text) {
         Ok(q) => q,
         Err(code) => return code,
     };
     // Compile once; load and freeze every instance; solve the whole batch
     // through the shared plan.
-    let compiled: CompiledQuery = Engine::compile(&q);
+    let compiled: Arc<CompiledQuery> = compile_query(&q, plan_cache);
     let mut dbs = Vec::with_capacity(paths.len());
     for path in paths {
         match load_database(&q, path) {
@@ -503,8 +529,9 @@ fn whatif_cmd(text: &str, db_path: &str, script_path: &str, json: bool) -> ExitC
     }
 }
 
-/// `rescli serve <addr> [--workers N] [--shutdown-file PATH]`: start resd,
-/// the resilience service daemon, in the foreground.
+/// `rescli serve <addr> [--workers N] [--shutdown-file PATH]
+/// [--plan-cache-capacity N]`: start resd, the resilience service daemon,
+/// in the foreground.
 fn serve_cmd(args: &[String]) -> ExitCode {
     let addr = &args[0];
     if addr.starts_with("--") {
@@ -520,6 +547,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             },
             "--shutdown-file" => match it.next() {
                 Some(path) => config = config.shutdown_file(path),
+                None => return usage(),
+            },
+            "--plan-cache-capacity" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config = config.plan_cache_capacity(n),
                 None => return usage(),
             },
             _ => return usage(),
@@ -544,6 +575,7 @@ fn remote_cmd(addr: &str, rest: &[String], json: bool) -> ExitCode {
         Some("whatif") if rest.len() == 4 => {
             remote_whatif(addr, &rest[1], &rest[2], &rest[3], json)
         }
+        Some("stats") if rest.len() == 1 => remote_stats(addr, json),
         Some("shutdown") if rest.len() == 1 => match connect(addr) {
             Ok(mut client) => match client.shutdown() {
                 Ok(()) => ExitCode::SUCCESS,
@@ -661,6 +693,62 @@ fn remote_solve(addr: &str, text: &str, path: &str, json: bool) -> ExitCode {
         if let Some(result) = resp.get("result") {
             print_remote_report_text(result);
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One text line of counters from a parsed `{"verb": n, ...}` object.
+fn counters_line(v: Option<&JsonValue>) -> String {
+    match v {
+        Some(JsonValue::Obj(fields)) if !fields.is_empty() => fields
+            .iter()
+            .map(|(k, v)| format!("{k} {}", v.as_usize().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        _ => "(none)".to_string(),
+    }
+}
+
+/// `rescli remote <addr> stats`: print the daemon's service counters.
+/// `--json` re-emits the server-rendered `stats` object verbatim —
+/// byte-identical to the daemon's in-process rendering, since both are the
+/// shared [`jsonio::stats_json`].
+fn remote_stats(addr: &str, json: bool) -> ExitCode {
+    let mut client = match connect(addr) {
+        Ok(client) => client,
+        Err(code) => return code,
+    };
+    let (resp, raw) = match client.request("{\"op\": \"stats\"}") {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("stats failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", jsonio::extract_raw(&raw, "stats").unwrap_or("{}"));
+        return ExitCode::SUCCESS;
+    }
+    let stats = resp.get("stats").cloned().unwrap_or(JsonValue::Null);
+    let uptime = stats
+        .get("uptime_ms")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+    println!("uptime       : {uptime} ms");
+    println!("requests     : {}", counters_line(stats.get("requests")));
+    println!("errors       : {}", counters_line(stats.get("errors")));
+    if let Some(cache) = stats.get("plan_cache") {
+        let field = |key: &str| cache.get(key).and_then(JsonValue::as_usize).unwrap_or(0);
+        println!(
+            "plan cache   : entries {}/{}, hits {}, misses {}, collisions {}, evictions {}, bypasses {}",
+            field("entries"),
+            field("capacity"),
+            field("hits"),
+            field("misses"),
+            field("collisions"),
+            field("evictions"),
+            field("bypasses"),
+        );
     }
     ExitCode::SUCCESS
 }

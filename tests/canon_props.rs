@@ -1,0 +1,202 @@
+//! Property suite for the canonicalization layer behind the plan cache:
+//!
+//! * `CanonKey` is invariant under variable renaming and atom permutation —
+//!   every `Workload::query_variant` of a catalogue query canonicalizes to
+//!   the same key and the same canonical form as the original;
+//! * canonicalization is a fixpoint on random byte-soup queries (the
+//!   canonical form canonicalizes to itself) and stays invariant across
+//!   random variants of those queries too;
+//! * the 50 catalogue queries are pairwise distinct shapes — no two share a
+//!   canonical key, canonical form, or exact isomorphism;
+//! * plans served by a shared `PlanCache` across ≥ 100 shuffled/renamed
+//!   variants solve byte-identically to a direct compile of the shape's
+//!   representative, and agree semantically with a direct compile of each
+//!   variant itself.
+//!
+//! The forced-collision fallback (`with_key_bits`) is unit-tested inside
+//! `resilience-core::plancache`; this file covers the cross-crate surface.
+
+use cq::catalogue;
+use proptest::prelude::*;
+use resilience::core::engine::{Engine, SolveOptions};
+use resilience::core::plancache::PlanCache;
+use resilience::prelude::*;
+use server::dbtext;
+use server::jsonio;
+use workloads::Workload;
+
+/// Relation palette with fixed arities so every generated text parses.
+const RELS: &[(&str, usize)] = &[("A", 1), ("B", 1), ("R", 2), ("S", 2), ("T", 2)];
+const VARS: &[&str] = &["x", "y", "z", "u", "v", "w"];
+
+/// Builds a small query from a byte soup: each 4-byte chunk picks a relation,
+/// its argument variables, and an exogenous flag. Always parseable.
+fn query_from_bytes(bytes: &[u8]) -> Option<cq::Query> {
+    let mut atoms: Vec<String> = Vec::new();
+    let mut exo: Vec<usize> = Vec::new();
+    for chunk in bytes.chunks(4).take(4) {
+        if chunk.len() < 4 {
+            break;
+        }
+        let (name, arity) = RELS[chunk[0] as usize % RELS.len()];
+        let args: Vec<&str> = (0..arity)
+            .map(|i| VARS[chunk[1 + i] as usize % VARS.len()])
+            .collect();
+        let atom = format!("{name}({})", args.join(","));
+        if !atoms.contains(&atom) {
+            if chunk[3] % 4 == 0 {
+                exo.push(atoms.len());
+            }
+            atoms.push(atom);
+        }
+    }
+    if atoms.is_empty() {
+        return None;
+    }
+    let q = parse_query(&atoms.join(", ")).ok()?;
+    Some(q.with_exogenous(&exo))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tentpole invariant: renaming variables and permuting atoms never
+    /// changes the canonical key or the canonical form.
+    #[test]
+    fn canon_key_is_invariant_under_renaming_and_permutation(
+        index in 0usize..64,
+        seed in 0u64..1_048_576,
+    ) {
+        let all = catalogue::all_named_queries();
+        let q = &all[index % all.len()].query;
+        let base = cq::canonicalize(q);
+        prop_assert!(base.exact, "catalogue queries are small enough for exact canon");
+        let variant = Workload::new(seed).query_variant(q);
+        prop_assert!(cq::shape_isomorphic(q, &variant));
+        let canon = cq::canonicalize(&variant);
+        prop_assert!(canon.exact);
+        prop_assert_eq!(canon.key, base.key);
+        prop_assert_eq!(&canon.query, &base.query);
+    }
+
+    /// Canonicalization is a fixpoint, and stays invariant across variants,
+    /// on arbitrary small queries (not just the curated catalogue).
+    #[test]
+    fn canonicalization_is_a_fixpoint_on_random_queries(
+        bytes in prop::collection::vec(0u8..255, 4..20),
+        seed in 0u64..1_048_576,
+    ) {
+        prop_assume!(query_from_bytes(&bytes).is_some());
+        let q = query_from_bytes(&bytes).unwrap();
+        let canon = cq::canonicalize(&q);
+        prop_assert!(canon.exact);
+        // Fixpoint: the canonical form is its own canonical form.
+        let again = cq::canonicalize(&canon.query);
+        prop_assert_eq!(again.key, canon.key);
+        prop_assert_eq!(&again.query, &canon.query);
+        // Invariance on a random variant of the random query.
+        let variant = Workload::new(seed).query_variant(&q);
+        let vcanon = cq::canonicalize(&variant);
+        prop_assert_eq!(vcanon.key, canon.key);
+        prop_assert_eq!(&vcanon.query, &canon.query);
+    }
+}
+
+/// No two distinct catalogue queries may ever share a canonical form: a
+/// conflation here would silently serve one query's plan for another.
+#[test]
+fn catalogue_queries_have_pairwise_distinct_canonical_forms() {
+    let all = catalogue::all_named_queries();
+    let canons: Vec<_> = all.iter().map(|nq| cq::canonicalize(&nq.query)).collect();
+    for (i, a) in canons.iter().enumerate() {
+        assert!(a.exact, "{}: inexact canon", all[i].name);
+        for (j, b) in canons.iter().enumerate().skip(i + 1) {
+            assert_ne!(
+                a.key, b.key,
+                "{} and {} share a canonical key",
+                all[i].name, all[j].name
+            );
+            assert_ne!(
+                a.query, b.query,
+                "{} and {} share a canonical form",
+                all[i].name, all[j].name
+            );
+            assert!(
+                !cq::shape_isomorphic(&all[i].query, &all[j].query),
+                "{} and {} are exactly isomorphic",
+                all[i].name,
+                all[j].name
+            );
+        }
+    }
+}
+
+/// Differential gate: a shared cache serving the full catalogue plus ≥ 100
+/// renamed/permuted variants must (a) render byte-identical reports to a
+/// direct compile of the representative and (b) agree on every semantic
+/// field with a direct compile of the variant itself.
+#[test]
+fn cached_plans_match_direct_compiles_across_catalogue_variants() {
+    const VARIANTS: usize = 3;
+    let all = catalogue::all_named_queries();
+    let cache = PlanCache::new(all.len());
+    let opts = SolveOptions::new().want_contingency(true);
+    let mut lookups = 0usize;
+    for (i, nq) in all.iter().enumerate() {
+        let rep = &nq.query;
+        let text = dbtext::to_text(&Workload::new(0xCA10 ^ i as u64).random_database(rep, 8, 5));
+        let rep_db = dbtext::parse_database(rep, &text).unwrap();
+        let rep_frozen = rep_db.freeze();
+        let direct = Engine::compile(rep);
+        let expected = match direct.solve(&rep_frozen, &opts) {
+            Ok(report) => jsonio::report_json(nq.name, &rep_db, &report),
+            Err(e) => format!("error: {e}"),
+        };
+        let mut variants = vec![rep.clone()];
+        variants.extend(Workload::new(0xFACE ^ i as u64).query_variants(rep, VARIANTS - 1));
+        for (vi, variant) in variants.iter().enumerate() {
+            let cached = cache.compile(variant);
+            assert!(cached.cacheable, "{}: variant {vi} not cacheable", nq.name);
+            assert_eq!(cached.hit, vi > 0, "{}: variant {vi} hit state", nq.name);
+            lookups += 1;
+            // (a) Byte-identity against the representative's direct compile.
+            let got = match cached.compiled.solve(&rep_frozen, &opts) {
+                Ok(report) => jsonio::report_json(nq.name, &rep_db, &report),
+                Err(e) => format!("error: {e}"),
+            };
+            assert_eq!(got, expected, "{}: variant {vi} report differs", nq.name);
+            // (b) Semantic agreement with the variant's own direct compile
+            // on the same data, parsed against the variant's own schema.
+            let v_db = dbtext::parse_database(variant, &text).unwrap().freeze();
+            let v_direct = Engine::compile(variant);
+            match (
+                cached.compiled.solve(&rep_frozen, &opts),
+                v_direct.solve(&v_db, &opts),
+            ) {
+                (Ok(c), Ok(d)) => {
+                    assert_eq!(c.resilience, d.resilience, "{}: variant {vi}", nq.name);
+                    assert_eq!(c.witnesses, d.witnesses, "{}: variant {vi}", nq.name);
+                    assert_eq!(
+                        format!("{:?}", c.method),
+                        format!("{:?}", d.method),
+                        "{}: variant {vi}",
+                        nq.name
+                    );
+                    assert_eq!(
+                        c.contingency.as_ref().map(Vec::len),
+                        d.contingency.as_ref().map(Vec::len),
+                        "{}: variant {vi}",
+                        nq.name
+                    );
+                }
+                (Err(c), Err(d)) => assert_eq!(c.to_string(), d.to_string(), "{}", nq.name),
+                (c, d) => panic!("{}: cached {c:?} vs direct {d:?}", nq.name),
+            }
+        }
+    }
+    assert!(lookups >= 100, "only {lookups} variant lookups exercised");
+    let stats = cache.stats();
+    assert_eq!(stats.misses as usize, all.len());
+    assert_eq!(stats.hits as usize, lookups - all.len());
+    assert_eq!(stats.bypasses, 0);
+}

@@ -629,3 +629,47 @@ fn shutdown_verb_stops_the_daemon() {
     };
     assert!(late.request_raw("{\"op\": \"ping\"}").is_err());
 }
+
+#[test]
+fn stats_verb_counts_requests_errors_and_plan_cache_hits() {
+    let (addr, _guard) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    client.request("{\"op\": \"ping\"}").unwrap();
+    // Two isomorphic shapes: the second compile must hit the shared plan
+    // cache and echo the first (representative) query's rendering.
+    let (_, rep_query, rep_cx) = client.compile("A(x), R(x,y)").unwrap();
+    let (_, hit_query, hit_cx) = client.compile("R(u,w), A(u)").unwrap();
+    assert_eq!(
+        hit_query, rep_query,
+        "cache hit must echo the representative"
+    );
+    assert_eq!(hit_cx, rep_cx);
+    // One unrecognized verb (bad_request) and one unparseable line (parse);
+    // both land in the bounded "unknown"/"invalid" request buckets.
+    assert!(client.request("{\"op\": \"nonsense\"}").is_err());
+    let raw = client.request_raw("not json").unwrap();
+    assert!(raw.starts_with("{\"ok\": false"), "{raw}");
+
+    let (v, _) = client.request("{\"op\": \"stats\"}").unwrap();
+    let stats = v.get("stats").expect("stats object");
+    let count = |path: &[&str]| -> usize {
+        let mut node = stats;
+        for key in path {
+            node = node.get(key).unwrap_or(&JsonValue::Null);
+        }
+        node.as_usize().unwrap_or(0)
+    };
+    assert!(stats.get("uptime_ms").is_some());
+    assert_eq!(count(&["requests", "ping"]), 1);
+    assert_eq!(count(&["requests", "compile"]), 2);
+    assert_eq!(count(&["requests", "unknown"]), 1);
+    assert_eq!(count(&["requests", "invalid"]), 1);
+    // The stats verb counts its own request.
+    assert_eq!(count(&["requests", "stats"]), 1);
+    assert_eq!(count(&["errors", "bad_request"]), 1);
+    assert_eq!(count(&["errors", "parse"]), 1);
+    assert_eq!(count(&["plan_cache", "entries"]), 1);
+    assert_eq!(count(&["plan_cache", "misses"]), 1);
+    assert_eq!(count(&["plan_cache", "hits"]), 1);
+    assert_eq!(count(&["plan_cache", "bypasses"]), 0);
+}
