@@ -5,14 +5,10 @@
 //! polynomial algorithms scale against the exact solver on `q_rats`
 //! instances of growing size.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use resilience_core::solver::ResilienceSolver;
+use resilience_core::engine::Engine;
 use resilience_core::ExactSolver;
 
 fn classification_of_figure_one(c: &mut Criterion) {
@@ -34,7 +30,7 @@ fn classification_of_figure_one(c: &mut Criterion) {
 
 fn rats_flow_vs_exact(c: &mut Criterion) {
     let nq = catalogue::q_rats();
-    let solver = ResilienceSolver::new(&nq.query);
+    let solver = Engine::compile(&nq.query);
     let exact = ExactSolver::new();
     let mut group = c.benchmark_group("e1/rats");
     group.sample_size(10);
@@ -44,11 +40,11 @@ fn rats_flow_vs_exact(c: &mut Criterion) {
         let db = standard_instance(&nq.query, 11, nodes, SWEEP_DENSITY);
         // Correctness of the series (who wins must be meaningful).
         assert_eq!(
-            solver.resilience(&db),
+            bench::resilience_once(&solver, &db),
             exact.resilience_value(&nq.query, &db)
         );
         group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
-            b.iter(|| solver.resilience(db))
+            b.iter(|| bench::resilience_once(&solver, db))
         });
         group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
             b.iter(|| exact.resilience_value(&nq.query, db))

@@ -6,18 +6,14 @@
 //! flow algorithm against the exact solver; agreement is asserted before
 //! timing.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use resilience_core::solver::ResilienceSolver;
+use resilience_core::engine::Engine;
 use resilience_core::ExactSolver;
 
 fn bench_query(c: &mut Criterion, label: &str, query: &cq::Query, seed: u64) {
-    let solver = ResilienceSolver::new(query);
+    let solver = Engine::compile(query);
     let exact = ExactSolver::new();
     let mut group = c.benchmark_group(format!("e3/{label}"));
     group.sample_size(10);
@@ -25,9 +21,12 @@ fn bench_query(c: &mut Criterion, label: &str, query: &cq::Query, seed: u64) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for &nodes in &SWEEP_NODES {
         let db = standard_instance(query, seed + nodes, nodes, SWEEP_DENSITY);
-        assert_eq!(solver.resilience(&db), exact.resilience_value(query, &db));
+        assert_eq!(
+            bench::resilience_once(&solver, &db),
+            exact.resilience_value(query, &db)
+        );
         group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
-            b.iter(|| solver.resilience(db))
+            b.iter(|| bench::resilience_once(&solver, db))
         });
         group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
             b.iter(|| exact.resilience_value(query, db))

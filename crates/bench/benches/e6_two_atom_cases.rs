@@ -6,18 +6,14 @@
 //! timing both; the bound permutation (`q_ABperm`) is solved with the exact
 //! solver only, which is the expected exponential-versus-polynomial contrast.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use resilience_core::solver::ResilienceSolver;
+use resilience_core::engine::Engine;
 use resilience_core::ExactSolver;
 
 fn ptime_case(c: &mut Criterion, label: &str, query: &cq::Query, seed: u64) {
-    let solver = ResilienceSolver::new(query);
+    let solver = Engine::compile(query);
     assert!(solver.classification().complexity.is_ptime(), "{label}");
     let exact = ExactSolver::new();
     let mut group = c.benchmark_group(format!("e6/{label}"));
@@ -26,9 +22,12 @@ fn ptime_case(c: &mut Criterion, label: &str, query: &cq::Query, seed: u64) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for &nodes in &SWEEP_NODES {
         let db = standard_instance(query, seed + nodes, nodes, SWEEP_DENSITY);
-        assert_eq!(solver.resilience(&db), exact.resilience_value(query, &db));
+        assert_eq!(
+            bench::resilience_once(&solver, &db),
+            exact.resilience_value(query, &db)
+        );
         group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
-            b.iter(|| solver.resilience(db))
+            b.iter(|| bench::resilience_once(&solver, db))
         });
         group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
             b.iter(|| exact.resilience_value(query, db))
@@ -51,7 +50,7 @@ fn rep_z3(c: &mut Criterion) {
 
 fn bound_permutation_exact(c: &mut Criterion) {
     let nq = catalogue::q_abperm();
-    let solver = ResilienceSolver::new(&nq.query);
+    let solver = Engine::compile(&nq.query);
     assert!(solver.classification().complexity.is_np_complete());
     let mut group = c.benchmark_group("e6/bound_perm_qABperm");
     group.sample_size(10);
@@ -60,7 +59,7 @@ fn bound_permutation_exact(c: &mut Criterion) {
     for &nodes in &SWEEP_NODES {
         let db = standard_instance(&nq.query, 600 + nodes, nodes, SWEEP_DENSITY);
         group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
-            b.iter(|| solver.resilience(db))
+            b.iter(|| bench::resilience_once(&solver, db))
         });
     }
     group.finish();

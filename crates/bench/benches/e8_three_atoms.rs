@@ -5,14 +5,10 @@
 //! case `q_AC3conf` and the open case `q_AS3conf` are solved exactly, which
 //! illustrates the complexity landscape of Figure 7.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
 use bench::{standard_instance, SWEEP_DENSITY, SWEEP_NODES};
 use cq::catalogue;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use resilience_core::solver::{ResilienceSolver, SolveMethod};
+use resilience_core::engine::{Engine, SolveMethod};
 use resilience_core::ExactSolver;
 
 fn ptime_three_atom_cases(c: &mut Criterion) {
@@ -22,7 +18,7 @@ fn ptime_three_atom_cases(c: &mut Criterion) {
         ("q_A3perm-R", catalogue::q_a3perm_r()),
     ];
     for (label, nq) in cases {
-        let solver = ResilienceSolver::new(&nq.query);
+        let solver = Engine::compile(&nq.query);
         let exact = ExactSolver::new();
         let mut group = c.benchmark_group(format!("e8/{label}"));
         group.sample_size(10);
@@ -30,11 +26,14 @@ fn ptime_three_atom_cases(c: &mut Criterion) {
         group.warm_up_time(std::time::Duration::from_millis(500));
         for &nodes in &SWEEP_NODES {
             let db = standard_instance(&nq.query, 700 + nodes, nodes, SWEEP_DENSITY);
-            let outcome = solver.solve(&db);
+            let outcome = bench::solve_once(&solver, &db);
             assert_ne!(outcome.method, SolveMethod::ExactBranchAndBound, "{label}");
-            assert_eq!(outcome.resilience, exact.resilience_value(&nq.query, &db));
+            assert_eq!(
+                outcome.resilience.as_finite(),
+                exact.resilience_value(&nq.query, &db)
+            );
             group.bench_with_input(BenchmarkId::new("flow", nodes), &db, |b, db| {
-                b.iter(|| solver.resilience(db))
+                b.iter(|| bench::resilience_once(&solver, db))
             });
             group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
                 b.iter(|| exact.resilience_value(&nq.query, db))
@@ -51,7 +50,7 @@ fn hard_and_open_three_atom_cases(c: &mut Criterion) {
         ("q_AC3cc", catalogue::q_ac3cc()),
     ];
     for (label, nq) in cases {
-        let solver = ResilienceSolver::new(&nq.query);
+        let solver = Engine::compile(&nq.query);
         let mut group = c.benchmark_group(format!("e8/{label}"));
         group.sample_size(10);
         group.measurement_time(std::time::Duration::from_secs(2));
@@ -59,7 +58,7 @@ fn hard_and_open_three_atom_cases(c: &mut Criterion) {
         for &nodes in &SWEEP_NODES[..2] {
             let db = standard_instance(&nq.query, 800 + nodes, nodes, SWEEP_DENSITY);
             group.bench_with_input(BenchmarkId::new("exact", nodes), &db, |b, db| {
-                b.iter(|| solver.resilience(db))
+                b.iter(|| bench::resilience_once(&solver, db))
             });
         }
         group.finish();

@@ -15,8 +15,8 @@
 //! Experiments present in only one capture are kept with a `null` partner so
 //! later PRs can extend the suite without losing history.
 //!
-//! **Batch mode** times the compiled, batched engine against the legacy
-//! per-instance loop (`ResilienceSolver::new(..).solve(..)` for every
+//! **Batch mode** times the compiled, batched engine against a naive
+//! per-instance loop (re-compile + solve over the mutable store for every
 //! instance) on the e2/e5-style workloads, asserts the two paths produce
 //! identical results on every instance, and writes a throughput report such
 //! as the committed `BENCH_PR2.json`:
@@ -107,9 +107,8 @@
 
 use cq::parse_query;
 use database::{Database, FrozenDb, TupleId, WitnessSet};
-use resilience_core::engine::{Engine, SolveOptions};
+use resilience_core::engine::{Engine, SolveOptions, SolveScratch};
 use resilience_core::plancache::PlanCache;
-use resilience_core::solver::ResilienceSolver;
 use std::collections::{BTreeMap, HashSet};
 use std::fs;
 use std::process::ExitCode;
@@ -231,11 +230,16 @@ fn batch_mode(args: &[String]) -> ExitCode {
     for w in &BATCH_WORKLOADS {
         let (q, dbs) = batch_instances(w, instances);
 
-        // Legacy path: a fresh solver (re-classification) per instance, the
+        // Naive path: a fresh compile (re-classification) per instance, the
         // incremental-index database, sequential.
         let run_loop = || -> Vec<_> {
+            let mut scratch = SolveScratch::new();
             dbs.iter()
-                .map(|db| ResilienceSolver::new(&q).solve(db))
+                .map(|db| {
+                    Engine::compile(&q)
+                        .solve_store(db, &SolveOptions::new(), &mut scratch)
+                        .expect("loop solve failed")
+                })
                 .collect()
         };
         // Engine path: compile once, freeze every instance, solve the batch
@@ -277,7 +281,7 @@ fn batch_mode(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if outcome.resilience != report.resilience.as_finite()
+            if outcome.resilience != report.resilience
                 || outcome.contingency != report.contingency
                 || outcome.method != report.method
             {
@@ -329,6 +333,8 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
     let mut deletions = 16usize;
     let mut nodes: Option<u64> = None;
     let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let mut min_warm_speedup = 1.3f64;
     let mut label = if warm_only {
         "PR4-resolve-warm".to_string()
     } else {
@@ -366,6 +372,16 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
             }
             "--out" => out_path = it.next().cloned(),
             "--label" => label = it.next().cloned().unwrap_or(label),
+            "--smoke" => smoke = true,
+            "--min-warm-speedup" => {
+                min_warm_speedup = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(x) => x,
+                    None => {
+                        eprintln!("--min-warm-speedup needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown session argument: {other}");
                 return ExitCode::FAILURE;
@@ -375,7 +391,7 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
     let Some(out_path) = out_path else {
         eprintln!(
             "usage: perfbench session [--instances N] [--deletions K] [--nodes V] \
-             [--label name] --out <json>"
+             [--label name] [--smoke [--min-warm-speedup X]] --out <json>"
         );
         return ExitCode::FAILURE;
     };
@@ -407,6 +423,7 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
     const REPS: usize = 5;
     let mut rows = Vec::new();
     let mut summary = String::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
     for w in &session_workloads {
         let w = &BatchWorkload {
             nodes: nodes.unwrap_or(w.nodes),
@@ -508,9 +525,11 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
         };
 
         let steps: usize = sequences.iter().map(Vec::len).sum();
+        let speedups = &mut speedups;
         let mut emit = |metric: &str, scratch_ns: u64, session_ns: u64| {
             let name = format!("{}/{metric}", w.name.replace("_batch", "_session"));
             let speedup = scratch_ns as f64 / session_ns.max(1) as f64;
+            speedups.push((name.clone(), speedup));
             rows.push(format!(
                 "    {{\"bench\": \"{name}\", \"instances\": {instances}, \"deletion_steps\": {steps}, \
                  \"scratch_total_ns\": {scratch_ns}, \"session_total_ns\": {session_ns}, \
@@ -597,6 +616,25 @@ fn session_mode(args: &[String], warm_only: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
         emit("resolve_warm", cold_ns, session_ns);
+    }
+    // CI gate: the flow-dispatched e1 sweep must show the resident warm
+    // flow actually paying off (conservative floor; the full bench runs
+    // much higher), on top of the differential identity checks above.
+    if smoke {
+        let gate = "e1/acconf_session/resolve_warm";
+        let Some((_, speedup)) = speedups.iter().find(|(n, _)| n == gate) else {
+            eprintln!("--smoke: gate metric {gate} was not measured");
+            return ExitCode::FAILURE;
+        };
+        if *speedup < min_warm_speedup {
+            eprintln!(
+                "--smoke: {gate} speedup {speedup:.2}x below the {min_warm_speedup:.2}x floor"
+            );
+            return ExitCode::FAILURE;
+        }
+        summary.push_str(&format!(
+            "smoke gate: {gate} {speedup:.2}x >= {min_warm_speedup:.2}x\n"
+        ));
     }
     let mode = if warm_only {
         "cold_session_vs_warm_session"

@@ -22,9 +22,9 @@ use cq::{classify, Complexity};
 use gadgets::sat_chain::{chain_expansion_gadget, ChainExpansion};
 use gadgets::triangle::{triangle_gadget_from_vc, tripod_from_triangle};
 use gadgets::vc_qvc::vc_to_qvc;
+use resilience_core::engine::SolveMethod;
 use resilience_core::engine::{Engine, SolveOptions};
 use resilience_core::ijp;
-use resilience_core::solver::SolveMethod;
 use resilience_core::ExactSolver;
 use satgad::{min_vertex_cover_size, CnfFormula};
 use workloads::Workload;

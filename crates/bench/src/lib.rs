@@ -7,7 +7,23 @@
 
 use cq::Query;
 use database::Database;
+use resilience_core::engine::{CompiledQuery, SolveOptions, SolveReport, SolveScratch};
 use workloads::Workload;
+
+/// One-call solve over the mutable store (fresh scratch per call) — the
+/// benches' per-instance baseline, panicking on engine errors the way the
+/// old one-call facade did.
+pub fn solve_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("bench solve failed")
+}
+
+/// [`solve_once`] reduced to the numeric resilience.
+pub fn resilience_once(compiled: &CompiledQuery, db: &Database) -> Option<usize> {
+    solve_once(compiled, db).resilience.as_finite()
+}
 
 /// Builds the standard randomized instance used across experiments: a random
 /// `R`-graph over `nodes` values with the given density, saturated unary

@@ -42,9 +42,9 @@
 use crate::cancel::CancelToken;
 use crate::exact::{ExactInterrupt, ExactScratch, ExactSolver};
 use crate::flow_algorithms::{
-    pairwise_bipartite_resilience_view, permutation_flow_live_cancellable,
-    rep_flow_live_cancellable, witness_path_flow_live_cancellable, FlowCancelled, FlowResult,
-    FlowScratch,
+    pairwise_bipartite_resilience_view, permutation_flow_live_cancellable, permutation_flow_warm,
+    rep_flow_live_cancellable, rep_flow_warm, witness_path_flow_live_cancellable,
+    witness_path_flow_warm, FlowCancelled, FlowResult, FlowScratch, FlowWarmState, WarmSession,
 };
 use crate::special::{
     a3perm_r_resilience_opts, swx3perm_r_resilience_opts, ts3conf_resilience_opts,
@@ -56,7 +56,7 @@ use database::{
     copy_without_mask, try_relation_translation, witnesses_with_plan_into,
     witnesses_with_plan_into_cancellable, witnesses_with_plan_parallel_into,
     witnesses_with_plan_parallel_into_cancellable, FrozenDb, QueryPlan, ReducedScratch,
-    ReducedSets, TupleId, TupleStore, WitnessIndex, WitnessSet, WitnessView,
+    ReducedSets, ReducedSetsLive, TupleId, TupleStore, WitnessIndex, WitnessSet, WitnessView,
 };
 use std::borrow::Borrow;
 use std::fmt;
@@ -267,6 +267,34 @@ pub struct SessionSolveStats {
     /// Branch-and-bound nodes explored by this step (0 for p-time methods
     /// and short-circuited solves).
     pub nodes_explored: usize,
+    /// A flow-dispatched step reused the session's resident residual
+    /// network: deletions were applied as arc repairs and the max flow was
+    /// re-augmented instead of recomputed from scratch.
+    pub flow_warm_reused: bool,
+    /// Augmenting paths rerouted or drained while repairing deleted arcs on
+    /// the resident network this step.
+    pub flow_paths_repaired: u64,
+    /// Augmenting paths found by the post-repair re-augmentation this step.
+    pub flow_paths_reaugmented: u64,
+    /// The warm flow network was (re)built cold this step — first use,
+    /// post-`reset` invalidation, or a deletion the resident construction
+    /// cannot express.
+    pub flow_cold_rebuild: bool,
+    /// Live reduced-set compactions performed since the previous solve
+    /// (tombstone garbage collection of the deletion-aware CSR).
+    pub reduced_compactions: u64,
+}
+
+/// Borrowed warm-solve context a session threads through `dispatch`: the
+/// resident flow state plus the session's deletion mask and touched-tuple
+/// log (for incremental arc repair), the full witness view (for cold
+/// rebuilds), and the deletion-aware reduced sets for exact dispatches.
+struct SessionWarm<'a> {
+    flow: &'a mut FlowWarmState,
+    deleted: &'a [bool],
+    touched: &'a mut Vec<TupleId>,
+    full: WitnessView<'a>,
+    reduced_live: Option<&'a ReducedSetsLive>,
 }
 
 /// Anytime bounds salvaged from a cancelled solve: what the search had
@@ -547,9 +575,11 @@ impl CompiledQuery {
         })
     }
 
-    /// The store-generic solve core (shared by the public `FrozenDb` entry
-    /// points and the deprecated [`crate::solver::ResilienceSolver`] shim).
-    pub(crate) fn solve_store<S: TupleStore + Sync + ?Sized>(
+    /// The store-generic solve core: solves over any [`TupleStore`]
+    /// (including the mutable [`Database`](database::Database)) without
+    /// freezing, reusing caller-owned scratch. The `FrozenDb` entry points
+    /// forward here.
+    pub fn solve_store<S: TupleStore + Sync + ?Sized>(
         &self,
         db: &S,
         opts: &SolveOptions,
@@ -574,7 +604,7 @@ impl CompiledQuery {
         }
         let ws = WitnessSet::from_witnesses(q, db, buf);
         let mut stats = SessionSolveStats::default();
-        let result = self.dispatch(q, db, ws.view(), opts, scratch, None, &mut stats);
+        let result = self.dispatch(q, db, ws.view(), opts, scratch, None, &mut stats, None);
         scratch.witness_buf = ws.into_witnesses();
         scratch.witness_buf.clear();
         result
@@ -695,6 +725,7 @@ impl CompiledQuery {
         scratch: &mut SolveScratch,
         incumbent: Option<&[u32]>,
         stats: &mut SessionSolveStats,
+        warm: Option<SessionWarm<'_>>,
     ) -> Result<SolveReport, SolveError> {
         // Session and what-if paths enter here directly (without passing
         // through `solve_store`), so the pre-work cancellation check is
@@ -716,10 +747,11 @@ impl CompiledQuery {
         }
         match &self.classification.complexity {
             Complexity::PTime(alg) => {
-                self.solve_ptime(alg, q, db, view, opts, scratch, incumbent, stats)
+                self.solve_ptime(alg, q, db, view, opts, scratch, incumbent, stats, warm)
             }
             Complexity::NpComplete(_) | Complexity::Open => {
-                self.solve_exact(view, opts, scratch, incumbent, stats)
+                let reduced_live = warm.as_ref().and_then(|w| w.reduced_live);
+                self.solve_exact(view, opts, scratch, incumbent, stats, reduced_live)
             }
         }
     }
@@ -738,6 +770,10 @@ impl CompiledQuery {
     /// from the scratch-owned CSR arena. An `incumbent` (dense ids of a
     /// candidate hitting set, sorted) warm-starts the search; see
     /// [`ExactSolver::solve_with_incumbent`] for the feasibility guard.
+    /// When the session maintains deletion-aware reduced sets, they fill the
+    /// arena from live counters instead of rebuilding the CSR from rows —
+    /// the output is byte-identical either way.
+    #[allow(clippy::too_many_arguments)]
     fn solve_exact(
         &self,
         view: WitnessView<'_>,
@@ -745,8 +781,14 @@ impl CompiledQuery {
         scratch: &mut SolveScratch,
         incumbent: Option<&[u32]>,
         stats: &mut SessionSolveStats,
+        reduced_live: Option<&ReducedSetsLive>,
     ) -> Result<SolveReport, SolveError> {
-        view.reduced_into(&mut scratch.reduced, &mut scratch.reduced_scratch);
+        match reduced_live {
+            Some(live) => {
+                live.live_reduced_into(&mut scratch.reduced, &mut scratch.reduced_scratch)
+            }
+            None => view.reduced_into(&mut scratch.reduced, &mut scratch.reduced_scratch),
+        }
         let solver = ExactSolver::with_node_limit(opts.node_budget);
         let outcome = solver
             .solve_with_incumbent_cancellable(
@@ -829,6 +871,7 @@ impl CompiledQuery {
         scratch: &mut SolveScratch,
         incumbent: Option<&[u32]>,
         stats: &mut SessionSolveStats,
+        warm: Option<SessionWarm<'_>>,
     ) -> Result<SolveReport, SolveError> {
         match alg {
             PtimeAlgorithm::Unfalsifiable => Ok(self.unfalsifiable_report(view.len())),
@@ -836,16 +879,45 @@ impl CompiledQuery {
             PtimeAlgorithm::SjFreeLinearFlow | PtimeAlgorithm::ConfluenceFlow => {
                 if let Some(order) = &self.linear_order {
                     crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                    if let Some(flow) = witness_path_flow_live_cancellable(
-                        db,
-                        view,
-                        order,
-                        opts.want_contingency,
-                        &mut scratch.flow,
-                        opts.cancel.as_ref(),
-                    )
-                    .map_err(Self::flow_cancelled)?
-                    {
+                    let flow = match warm {
+                        Some(w) => {
+                            let attempt = witness_path_flow_warm(
+                                db,
+                                w.full,
+                                order,
+                                opts.want_contingency,
+                                &mut scratch.flow,
+                                WarmSession {
+                                    state: &mut *w.flow,
+                                    deleted: w.deleted,
+                                    touched: &mut *w.touched,
+                                },
+                            );
+                            Self::merge_flow_stats(stats, w.flow);
+                            match attempt {
+                                Ok(flow) => flow,
+                                Err(_) => witness_path_flow_live_cancellable(
+                                    db,
+                                    view,
+                                    order,
+                                    opts.want_contingency,
+                                    &mut scratch.flow,
+                                    opts.cancel.as_ref(),
+                                )
+                                .map_err(Self::flow_cancelled)?,
+                            }
+                        }
+                        None => witness_path_flow_live_cancellable(
+                            db,
+                            view,
+                            order,
+                            opts.want_contingency,
+                            &mut scratch.flow,
+                            opts.cancel.as_ref(),
+                        )
+                        .map_err(Self::flow_cancelled)?,
+                    };
+                    if let Some(flow) = flow {
                         return Ok(self.finish_flow(
                             flow,
                             SolveMethod::LinearFlow,
@@ -863,49 +935,118 @@ impl CompiledQuery {
                         nodes_explored: 0,
                     });
                 }
-                self.solve_exact(view, opts, scratch, incumbent, stats)
+                self.solve_exact(view, opts, scratch, incumbent, stats, None)
             }
             PtimeAlgorithm::UnboundPermutation => {
                 crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                match permutation_flow_live_cancellable(
-                    q,
-                    db,
-                    view,
-                    opts.want_contingency,
-                    &mut scratch.flow,
-                    opts.cancel.as_ref(),
-                )
-                .map_err(Self::flow_cancelled)?
-                {
+                let flow = match warm {
+                    Some(w) => {
+                        let attempt = permutation_flow_warm(
+                            q,
+                            db,
+                            w.full,
+                            opts.want_contingency,
+                            &mut scratch.flow,
+                            WarmSession {
+                                state: &mut *w.flow,
+                                deleted: w.deleted,
+                                touched: &mut *w.touched,
+                            },
+                        );
+                        Self::merge_flow_stats(stats, w.flow);
+                        match attempt {
+                            Ok(flow) => flow,
+                            Err(_) => permutation_flow_live_cancellable(
+                                q,
+                                db,
+                                view,
+                                opts.want_contingency,
+                                &mut scratch.flow,
+                                opts.cancel.as_ref(),
+                            )
+                            .map_err(Self::flow_cancelled)?,
+                        }
+                    }
+                    None => permutation_flow_live_cancellable(
+                        q,
+                        db,
+                        view,
+                        opts.want_contingency,
+                        &mut scratch.flow,
+                        opts.cancel.as_ref(),
+                    )
+                    .map_err(Self::flow_cancelled)?,
+                };
+                match flow {
                     Some(flow) => {
                         Ok(self.finish_flow(flow, SolveMethod::PermutationFlow, view.len(), opts))
                     }
-                    None => self.solve_exact(view, opts, scratch, incumbent, stats),
+                    None => self.solve_exact(view, opts, scratch, incumbent, stats, None),
                 }
             }
             PtimeAlgorithm::RepeatedVariableFlow => {
                 crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                match rep_flow_live_cancellable(
-                    q,
-                    db,
-                    view,
-                    &self.rep_order,
-                    opts.want_contingency,
-                    &mut scratch.flow,
-                    opts.cancel.as_ref(),
-                )
-                .map_err(Self::flow_cancelled)?
-                {
+                let flow = match warm {
+                    Some(w) => {
+                        let attempt = rep_flow_warm(
+                            q,
+                            db,
+                            w.full,
+                            &self.rep_order,
+                            opts.want_contingency,
+                            &mut scratch.flow,
+                            WarmSession {
+                                state: &mut *w.flow,
+                                deleted: w.deleted,
+                                touched: &mut *w.touched,
+                            },
+                        );
+                        Self::merge_flow_stats(stats, w.flow);
+                        match attempt {
+                            Ok(flow) => flow,
+                            Err(_) => rep_flow_live_cancellable(
+                                q,
+                                db,
+                                view,
+                                &self.rep_order,
+                                opts.want_contingency,
+                                &mut scratch.flow,
+                                opts.cancel.as_ref(),
+                            )
+                            .map_err(Self::flow_cancelled)?,
+                        }
+                    }
+                    None => rep_flow_live_cancellable(
+                        q,
+                        db,
+                        view,
+                        &self.rep_order,
+                        opts.want_contingency,
+                        &mut scratch.flow,
+                        opts.cancel.as_ref(),
+                    )
+                    .map_err(Self::flow_cancelled)?,
+                };
+                match flow {
                     Some(flow) => {
                         Ok(self.finish_flow(flow, SolveMethod::RepFlow, view.len(), opts))
                     }
-                    None => self.solve_exact(view, opts, scratch, incumbent, stats),
+                    None => self.solve_exact(view, opts, scratch, incumbent, stats, None),
                 }
             }
             PtimeAlgorithm::CatalogueMatch(name) => {
-                self.solve_catalogue(name, q, db, view, opts, scratch, incumbent, stats)
+                self.solve_catalogue(name, q, db, view, opts, scratch, incumbent, stats, warm)
             }
         }
+    }
+
+    /// Copies the warm flow state's per-step counters into the session
+    /// solve statistics after a warm attempt (successful or fallen back).
+    fn merge_flow_stats(stats: &mut SessionSolveStats, flow: &FlowWarmState) {
+        stats.flow_warm_reused |= flow.step_reused;
+        stats.flow_paths_repaired += flow.step_repaired;
+        stats.flow_paths_reaugmented += flow.step_reaugmented;
+        stats.flow_cold_rebuild |= flow.step_rebuilt;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -919,6 +1060,7 @@ impl CompiledQuery {
         scratch: &mut SolveScratch,
         incumbent: Option<&[u32]>,
         stats: &mut SessionSolveStats,
+        warm: Option<SessionWarm<'_>>,
     ) -> Result<SolveReport, SolveError> {
         let want = opts.want_contingency;
         let special = match name {
@@ -927,20 +1069,49 @@ impl CompiledQuery {
             "q_TS3conf" => ts3conf_resilience_opts(q, db, want).map(|f| (f, "q_TS3conf")),
             "q_perm" | "q_Aperm" => {
                 crate::flow_algorithms::seed_cuttable_mask(q, db, &mut scratch.flow);
-                return match permutation_flow_live_cancellable(
-                    q,
-                    db,
-                    view,
-                    want,
-                    &mut scratch.flow,
-                    opts.cancel.as_ref(),
-                )
-                .map_err(Self::flow_cancelled)?
-                {
+                let flow = match warm {
+                    Some(w) => {
+                        let attempt = permutation_flow_warm(
+                            q,
+                            db,
+                            w.full,
+                            want,
+                            &mut scratch.flow,
+                            WarmSession {
+                                state: &mut *w.flow,
+                                deleted: w.deleted,
+                                touched: &mut *w.touched,
+                            },
+                        );
+                        Self::merge_flow_stats(stats, w.flow);
+                        match attempt {
+                            Ok(flow) => flow,
+                            Err(_) => permutation_flow_live_cancellable(
+                                q,
+                                db,
+                                view,
+                                want,
+                                &mut scratch.flow,
+                                opts.cancel.as_ref(),
+                            )
+                            .map_err(Self::flow_cancelled)?,
+                        }
+                    }
+                    None => permutation_flow_live_cancellable(
+                        q,
+                        db,
+                        view,
+                        want,
+                        &mut scratch.flow,
+                        opts.cancel.as_ref(),
+                    )
+                    .map_err(Self::flow_cancelled)?,
+                };
+                return match flow {
                     Some(flow) => {
                         Ok(self.finish_flow(flow, SolveMethod::PermutationFlow, view.len(), opts))
                     }
-                    None => self.solve_exact(view, opts, scratch, incumbent, stats),
+                    None => self.solve_exact(view, opts, scratch, incumbent, stats, None),
                 };
             }
             _ => None,
@@ -954,7 +1125,7 @@ impl CompiledQuery {
                 // different relation names than the dedicated construction
                 // expects; fall back to the exact solver (still correct, just
                 // not polynomial-by-construction).
-                self.solve_exact(view, opts, scratch, incumbent, stats)
+                self.solve_exact(view, opts, scratch, incumbent, stats, None)
             }
         }
     }
@@ -1115,6 +1286,25 @@ pub struct Session<C, D> {
     cache: Option<SessionCache>,
     /// Statistics of the most recent [`SolveSession::solve`].
     stats: SessionSolveStats,
+    /// Resident warm flow state for flow dispatches: the split network of
+    /// the full witness set survives across steps, deletions are applied as
+    /// arc repairs and solves re-augment from the repaired residual.
+    flow_warm: FlowWarmState,
+    /// Tuples whose deletion state changed since the warm flow last applied
+    /// deltas (drained by the next warm solve).
+    flow_touched: Vec<TupleId>,
+    /// Whether this query's dispatch benefits from deletion-aware reduced
+    /// sets (exact branch-and-bound complexities only).
+    reduced_live_wanted: bool,
+    /// Deletion-aware reduced sets (exact dispatches only): tombstones and
+    /// live counters maintained by `delete`/`restore` instead of rebuilding
+    /// the CSR arena from live rows on every solve. Built lazily at the
+    /// first warm solve (from `dead_hits`, so deletes before that first
+    /// solve are reflected); `None` until then keeps maintenance-only
+    /// sessions free of the arena-build cost.
+    reduced_live: Option<ReducedSetsLive>,
+    /// Compactions already reported through per-step solve stats.
+    reduced_compactions_seen: u64,
 }
 
 /// A [`Session`] borrowing its compiled query and instance — the
@@ -1162,6 +1352,18 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
             (ws, full, n)
         };
         let live = ws.len();
+        // Deletion-aware reduced sets pay off exactly where the reduced CSR
+        // is rebuilt per step: the exact branch-and-bound dispatches. The
+        // arena itself is built lazily at the first warm solve (not here) so
+        // pure-maintenance sessions — open, delete, count live witnesses —
+        // never pay for it.
+        let reduced_live_wanted = {
+            let compiled_ref: &CompiledQuery = compiled.borrow();
+            matches!(
+                compiled_ref.classification.complexity,
+                Complexity::NpComplete(_) | Complexity::Open
+            )
+        };
         Ok(Session {
             compiled,
             db,
@@ -1177,6 +1379,11 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
             scratch: SolveScratch::new(),
             cache: None,
             stats: SessionSolveStats::default(),
+            flow_warm: FlowWarmState::new(),
+            flow_touched: Vec::new(),
+            reduced_live_wanted,
+            reduced_live: None,
+            reduced_compactions_seen: 0,
         })
     }
     /// Marks the given tuples deleted; returns how many witnesses died as a
@@ -1190,11 +1397,15 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
             self.deleted[t.index()] = true;
             self.deleted_count += 1;
             self.version += 1;
+            self.flow_touched.push(t);
             for &w in self.full.witnesses_of(t) {
                 self.dead_hits[w as usize] += 1;
                 if self.dead_hits[w as usize] == 1 {
                     self.live -= 1;
                     newly_dead += 1;
+                    if let Some(live_sets) = &mut self.reduced_live {
+                        live_sets.note_dead(w);
+                    }
                 }
             }
         }
@@ -1213,11 +1424,15 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
             self.deleted[t.index()] = false;
             self.deleted_count -= 1;
             self.version += 1;
+            self.flow_touched.push(t);
             for &w in self.full.witnesses_of(t) {
                 self.dead_hits[w as usize] -= 1;
                 if self.dead_hits[w as usize] == 0 {
                     self.live += 1;
                     revived += 1;
+                    if let Some(live_sets) = &mut self.reduced_live {
+                        live_sets.note_live(w);
+                    }
                 }
             }
         }
@@ -1233,6 +1448,13 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
         self.dead_hits.iter_mut().for_each(|c| *c = 0);
         self.deleted_count = 0;
         self.live = self.ws.len();
+        // Bulk restore: cheaper (and always correct) to drop the resident
+        // warm state and revive every reduced set than to replay deltas.
+        self.flow_warm.invalidate();
+        self.flow_touched.clear();
+        if let Some(live_sets) = &mut self.reduced_live {
+            live_sets.reset_all_live();
+        }
     }
 
     /// Number of witnesses alive under the current deletion state (`O(1)`).
@@ -1364,6 +1586,7 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
                 &mut self.scratch,
                 None,
                 &mut stats,
+                None,
             );
             self.stats = stats;
             return report;
@@ -1433,7 +1656,44 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
                 }
             }
         }
-        let report = compiled.dispatch(q, db, view, opts, &mut self.scratch, incumbent, &mut stats);
+        // Warm-solve context: flow dispatches repair the resident residual
+        // network instead of rerunning Dinic from scratch; exact dispatches
+        // fill the reduced-set arena from live counters. Off when the caller
+        // disabled warm starts — the dispatch then runs fully cold.
+        if opts.warm_start && self.reduced_live_wanted && self.reduced_live.is_none() {
+            // First warm solve: build the live arena now and replay the
+            // deletion state accumulated since open.
+            let mut live_sets = ReducedSetsLive::build(&self.ws);
+            for (w, &hits) in self.dead_hits.iter().enumerate() {
+                if hits > 0 {
+                    live_sets.note_dead(w as u32);
+                }
+            }
+            self.reduced_compactions_seen = live_sets.compactions();
+            self.reduced_live = Some(live_sets);
+        }
+        let warm = opts.warm_start.then(|| SessionWarm {
+            flow: &mut self.flow_warm,
+            deleted: &self.deleted,
+            touched: &mut self.flow_touched,
+            full: self.ws.view(),
+            reduced_live: self.reduced_live.as_ref(),
+        });
+        let report = compiled.dispatch(
+            q,
+            db,
+            view,
+            opts,
+            &mut self.scratch,
+            incumbent,
+            &mut stats,
+            warm,
+        );
+        if let Some(live_sets) = &self.reduced_live {
+            let total = live_sets.compactions();
+            stats.reduced_compactions = total - self.reduced_compactions_seen;
+            self.reduced_compactions_seen = total;
+        }
         self.stats = stats;
         report
     }
@@ -1582,7 +1842,7 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
         let view = WitnessView::live(&self.ws, survivors);
         let q = &compiled.classification.evidence.normalized;
         let mut stats = SessionSolveStats::default();
-        let report = compiled.dispatch(q, db, view, opts, scratch, None, &mut stats);
+        let report = compiled.dispatch(q, db, view, opts, scratch, None, &mut stats, None);
         for &w in touched.iter() {
             extra[w as usize] = 0;
         }

@@ -645,6 +645,480 @@ pub fn rep_flow_live_cancellable<S: TupleStore + ?Sized>(
     witness_path_flow_core(db, view, atom_order, want_contingency, scratch, cancel)
 }
 
+/// Warm solve could not express the current deletion set on the resident
+/// network (permutation construction: a deleted tuple sits on an atom the
+/// pair-node network does not model); the caller must re-run the cold
+/// construction for this step. The warm state is invalidated so the next
+/// step attempts a fresh build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarmFallback;
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum WarmKind {
+    #[default]
+    None,
+    WitnessPath,
+    Permutation,
+}
+
+/// Per-session warm flow state: the split network of the *full* witness set
+/// stays resident across steps, deletions are expressed by zeroing the
+/// deleted tuple's node arc (draining the overflow through the residual
+/// graph) and restores re-add capacity, so each re-solve runs Dinic from the
+/// repaired residual instead of from scratch.
+///
+/// Correctness rests on the same hybrid-path property that justifies the
+/// cold constructions: every s–t path of the full network is itself a
+/// witness, so the paths that avoid the zeroed arcs are exactly the
+/// witnesses of the live instance and the repaired min cut equals the cold
+/// min cut over the live view.
+#[derive(Clone, Debug, Default)]
+pub struct FlowWarmState {
+    valid: bool,
+    kind: WarmKind,
+    /// `arc_of[t]` is the node whose split arc models tuple `t` (`u32::MAX`
+    /// when `t` has no node in the resident network).
+    arc_of: Vec<u32>,
+    /// `t` appears in some witness but has no node (permutation construction
+    /// only: exogenous non-R atoms). Deleting such a tuple cannot be
+    /// expressed by arc zeroing and forces a cold fallback.
+    unmodeled: Vec<bool>,
+    /// Deletion state currently applied to the network, per tuple.
+    applied: Vec<bool>,
+    /// Built capacity of each node's split arc (restored when the last
+    /// deleted member of the node comes back).
+    orig_cap: Vec<u64>,
+    /// Number of currently-deleted member tuples per node (pair nodes have
+    /// up to two members; the arc is zero iff the count is positive).
+    dead: Vec<u32>,
+    /// Representative tuple per node, for cut translation.
+    tuple_of: Vec<Option<TupleId>>,
+    network: VertexCutNetwork,
+    source: usize,
+    target: usize,
+    cut_buf: Vec<usize>,
+    /// Cumulative: augmenting paths rerouted/drained by deletion repairs.
+    pub repairs: u64,
+    /// Cumulative: augmenting paths found by post-delta re-augmentation.
+    pub reaugmentations: u64,
+    /// Cumulative: cold (re)builds, including fallbacks to the cold solver.
+    pub cold_fallbacks: u64,
+    /// Augmenting paths repaired during the last step's delta application.
+    pub step_repaired: u64,
+    /// Augmenting paths added by the last step's re-augmentation.
+    pub step_reaugmented: u64,
+    /// The last step rebuilt the network cold (or fell back cold).
+    pub step_rebuilt: bool,
+    /// The last step reused the resident residual state.
+    pub step_reused: bool,
+}
+
+impl FlowWarmState {
+    /// Creates empty (invalid) warm state; the first solve builds it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the resident network; the next warm solve rebuilds from the
+    /// full view and the current deletion mask.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.kind = WarmKind::None;
+    }
+
+    /// Whether a resident network is currently valid.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    fn begin_step(&mut self) {
+        self.step_repaired = 0;
+        self.step_reaugmented = 0;
+        self.step_rebuilt = false;
+        self.step_reused = false;
+    }
+
+    fn reset(&mut self, num_tuples: usize, kind: WarmKind) {
+        self.valid = false;
+        self.kind = kind;
+        self.arc_of.clear();
+        self.arc_of.resize(num_tuples, u32::MAX);
+        self.unmodeled.clear();
+        self.unmodeled.resize(num_tuples, false);
+        self.applied.clear();
+        self.applied.resize(num_tuples, false);
+        self.orig_cap.clear();
+        self.dead.clear();
+        self.tuple_of.clear();
+        self.network.clear();
+        self.cold_fallbacks += 1;
+        self.step_rebuilt = true;
+    }
+
+    /// Adds a node whose split arc starts at `built_cap` (or zero when some
+    /// member is already deleted) and records the per-node bookkeeping.
+    fn add_node(&mut self, built_cap: u64, dead_members: u32, t: Option<TupleId>) -> usize {
+        let initial = if dead_members > 0 { 0 } else { built_cap };
+        let n = self.network.add_vertex(initial);
+        debug_assert_eq!(n, self.orig_cap.len());
+        self.orig_cap.push(built_cap);
+        self.dead.push(dead_members);
+        self.tuple_of.push(t);
+        n
+    }
+
+    /// Applies the deletion-state deltas accumulated since the last warm
+    /// solve: zero-and-repair newly deleted arcs, restore revived ones.
+    fn apply_deltas(&mut self, deleted: &[bool], touched: &[TupleId]) -> Result<(), WarmFallback> {
+        self.step_reused = true;
+        for &t in touched {
+            let desired = deleted[t.index()];
+            if self.applied[t.index()] == desired {
+                continue;
+            }
+            let node = self.arc_of[t.index()];
+            if node == u32::MAX {
+                if desired && self.unmodeled[t.index()] {
+                    self.valid = false;
+                    self.cold_fallbacks += 1;
+                    self.step_rebuilt = true;
+                    return Err(WarmFallback);
+                }
+                // Not on any witness: no flow impact.
+                self.applied[t.index()] = desired;
+                continue;
+            }
+            self.applied[t.index()] = desired;
+            let node = node as usize;
+            if desired {
+                self.dead[node] += 1;
+                if self.dead[node] == 1 {
+                    let out = self.network.warm_set_capacity(node, 0);
+                    self.step_repaired += out.paths;
+                }
+            } else {
+                self.dead[node] -= 1;
+                if self.dead[node] == 0 {
+                    self.network.warm_set_capacity(node, self.orig_cap[node]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-augments from the repaired residual and extracts the result.
+    /// `Ok(None)` mirrors the cold constructions' "some live witness is
+    /// uncuttable" answer (its all-infinite path keeps the flow above
+    /// `INF / 2`); the state stays valid for later steps.
+    fn finish_solve(&mut self, want_contingency: bool) -> Option<FlowResult> {
+        let (value, paths) = self.network.warm_reaugment();
+        self.step_reaugmented += paths;
+        self.reaugmentations += paths;
+        self.repairs += self.step_repaired;
+        if value >= INF / 2 {
+            return None;
+        }
+        if !want_contingency {
+            return Some(FlowResult {
+                resilience: value as usize,
+                contingency: Vec::new(),
+            });
+        }
+        let mut cut = std::mem::take(&mut self.cut_buf);
+        self.network.warm_cut_vertices(&mut cut);
+        let contingency: Vec<TupleId> = cut
+            .iter()
+            .filter_map(|&v| self.tuple_of.get(v).copied().flatten())
+            .collect();
+        self.cut_buf = cut;
+        Some(FlowResult {
+            resilience: value as usize,
+            contingency,
+        })
+    }
+
+    /// Builds the witness-path network over the full view with the current
+    /// deletions pre-zeroed, then runs the initial max flow.
+    fn build_witness_path<S: TupleStore + ?Sized>(
+        &mut self,
+        db: &S,
+        full: WitnessView<'_>,
+        atom_order: &[usize],
+        cuttable: &[bool],
+        edges: &mut Vec<(u32, u32)>,
+        deleted: &[bool],
+    ) {
+        self.reset(db.num_tuples(), WarmKind::WitnessPath);
+        let source = self.add_node(INF, 0, None);
+        let target = self.add_node(INF, 0, None);
+        edges.clear();
+        for w in full.witnesses() {
+            // Unlike the cold construction there is no uncuttable-witness
+            // bail: an uncuttable witness contributes an all-infinite path,
+            // so the repaired flow exceeds `INF / 2` exactly when some *live*
+            // witness is uncuttable.
+            let mut prev = source;
+            for &atom_idx in atom_order {
+                let t = w.atom_tuples[atom_idx];
+                let n = match self.arc_of[t.index()] {
+                    u32::MAX => {
+                        let cap = if cuttable[t.index()] { 1 } else { INF };
+                        let is_dead = deleted[t.index()];
+                        let n = self.add_node(cap, is_dead as u32, Some(t));
+                        self.arc_of[t.index()] = n as u32;
+                        self.applied[t.index()] = is_dead;
+                        n
+                    }
+                    n => n as usize,
+                };
+                if n != prev {
+                    edges.push((prev as u32, n as u32));
+                }
+                prev = n;
+            }
+            edges.push((prev as u32, target as u32));
+        }
+        dedup_edges(edges);
+        for &(from, to) in edges.iter() {
+            self.network.add_edge(from as usize, to as usize);
+        }
+        self.source = source;
+        self.target = target;
+        self.network.warm_build(source, target);
+        self.valid = true;
+    }
+
+    /// Builds the pair-node permutation network over the full view with the
+    /// current deletions pre-zeroed. Fails (cold fallback) when a currently
+    /// deleted tuple sits on an atom the construction does not model.
+    #[allow(clippy::too_many_arguments)]
+    fn build_permutation<S: TupleStore + ?Sized>(
+        &mut self,
+        db: &S,
+        full: WitnessView<'_>,
+        left_atoms: &[usize],
+        r_atoms: &[usize],
+        r_is_endogenous: bool,
+        endo: &[bool],
+        pair_node: &mut FxHashMap<(TupleId, TupleId), u32>,
+        edges: &mut Vec<(u32, u32)>,
+        deleted: &[bool],
+    ) -> Result<(), WarmFallback> {
+        self.reset(db.num_tuples(), WarmKind::Permutation);
+        let source = self.add_node(INF, 0, None);
+        let target = self.add_node(INF, 0, None);
+        pair_node.clear();
+        edges.clear();
+        let num_atoms = full
+            .witnesses()
+            .next()
+            .map(|w| w.atom_tuples.len())
+            .unwrap_or(0);
+        let skipped_atoms: Vec<usize> = (0..num_atoms)
+            .filter(|i| !left_atoms.contains(i) && !r_atoms.contains(i))
+            .collect();
+        for w in full.witnesses() {
+            let mut prev = source;
+            for &atom_idx in left_atoms {
+                let t = w.atom_tuples[atom_idx];
+                let n = match self.arc_of[t.index()] {
+                    u32::MAX => {
+                        let cap = if endo[t.index()] { 1 } else { INF };
+                        let is_dead = deleted[t.index()];
+                        let n = self.add_node(cap, is_dead as u32, Some(t));
+                        self.arc_of[t.index()] = n as u32;
+                        self.applied[t.index()] = is_dead;
+                        n
+                    }
+                    n => n as usize,
+                };
+                if n != prev {
+                    edges.push((prev as u32, n as u32));
+                }
+                prev = n;
+            }
+            let t1 = w.atom_tuples[r_atoms[0]];
+            let t2 = w.atom_tuples[r_atoms[1]];
+            let key = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let n = match pair_node.get(&key) {
+                Some(&n) => n as usize,
+                None => {
+                    let cap = if r_is_endogenous && endo[key.0.index()] {
+                        1
+                    } else {
+                        INF
+                    };
+                    let mut dead_members = deleted[key.0.index()] as u32;
+                    if key.1 != key.0 {
+                        dead_members += deleted[key.1.index()] as u32;
+                    }
+                    let n = self.add_node(cap, dead_members, Some(key.0));
+                    pair_node.insert(key, n as u32);
+                    self.arc_of[key.0.index()] = n as u32;
+                    self.applied[key.0.index()] = deleted[key.0.index()];
+                    if key.1 != key.0 {
+                        self.arc_of[key.1.index()] = n as u32;
+                        self.applied[key.1.index()] = deleted[key.1.index()];
+                    }
+                    n
+                }
+            };
+            if n != prev {
+                edges.push((prev as u32, n as u32));
+            }
+            edges.push((n as u32, target as u32));
+            // Atoms outside the construction (exogenous non-R): their
+            // deletion cannot be expressed on this network.
+            for &atom_idx in &skipped_atoms {
+                let t = w.atom_tuples[atom_idx];
+                if self.arc_of[t.index()] == u32::MAX {
+                    self.unmodeled[t.index()] = true;
+                    if deleted[t.index()] {
+                        self.valid = false;
+                        return Err(WarmFallback);
+                    }
+                }
+            }
+        }
+        dedup_edges(edges);
+        for &(from, to) in edges.iter() {
+            self.network.add_edge(from as usize, to as usize);
+        }
+        self.source = source;
+        self.target = target;
+        self.network.warm_build(source, target);
+        self.valid = true;
+        Ok(())
+    }
+}
+
+/// Borrowed per-step warm context: the session's resident state, its current
+/// deletion mask and the tuples whose state changed since the warm network
+/// last applied deltas (drained on success).
+pub struct WarmSession<'a> {
+    /// The session-resident warm state.
+    pub state: &'a mut FlowWarmState,
+    /// Current deletion mask, indexed by tuple.
+    pub deleted: &'a [bool],
+    /// Tuples whose deletion state changed since the last warm application.
+    pub touched: &'a mut Vec<TupleId>,
+}
+
+/// Warm-start counterpart of [`witness_path_flow_live`]: solves over the
+/// live instance implied by `deleted` using (and maintaining) the resident
+/// network built from the *full* view. `scratch.cuttable` must hold the same
+/// mask the cold calls use; it is read only on rebuilds.
+pub fn witness_path_flow_warm<S: TupleStore + ?Sized>(
+    db: &S,
+    full: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+    warm: WarmSession<'_>,
+) -> Result<Option<FlowResult>, WarmFallback> {
+    let WarmSession {
+        state,
+        deleted,
+        touched,
+    } = warm;
+    state.begin_step();
+    if !state.valid || state.kind != WarmKind::WitnessPath {
+        touched.clear();
+        state.build_witness_path(
+            db,
+            full,
+            atom_order,
+            &scratch.cuttable,
+            &mut scratch.edges,
+            deleted,
+        );
+    } else {
+        state.apply_deltas(deleted, touched)?;
+        touched.clear();
+    }
+    Ok(state.finish_solve(want_contingency))
+}
+
+/// Warm-start counterpart of [`permutation_flow_live`]. Mirrors the cold
+/// construction's early `None` answers (not an unbound 2-permutation) and
+/// falls back cold when a deleted tuple sits outside the modelled atoms.
+pub fn permutation_flow_warm<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    full: WitnessView<'_>,
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+    warm: WarmSession<'_>,
+) -> Result<Option<FlowResult>, WarmFallback> {
+    let WarmSession {
+        state,
+        deleted,
+        touched,
+    } = warm;
+    state.begin_step();
+    let Some((_, r_atoms)) = single_self_join_relation(q) else {
+        return Ok(None);
+    };
+    if r_atoms.len() != 2 {
+        return Ok(None);
+    }
+    if !state.valid || state.kind != WarmKind::Permutation {
+        let r_is_endogenous = r_atoms.iter().any(|&i| !q.atom(i).exogenous);
+        let left_atoms: Vec<usize> = (0..q.num_atoms())
+            .filter(|i| !r_atoms.contains(i) && !q.atom(*i).exogenous)
+            .collect();
+        touched.clear();
+        let FlowScratch {
+            edges,
+            cuttable: endo,
+            pair_node,
+            ..
+        } = scratch;
+        state.build_permutation(
+            db,
+            full,
+            &left_atoms,
+            &r_atoms,
+            r_is_endogenous,
+            endo,
+            pair_node,
+            edges,
+            deleted,
+        )?;
+    } else {
+        state.apply_deltas(deleted, touched)?;
+        touched.clear();
+    }
+    Ok(state.finish_solve(want_contingency))
+}
+
+/// Warm-start counterpart of [`rep_flow_live`]: freezes the off-diagonal
+/// tuples of the self-join relation into `scratch.cuttable` (Proposition 36)
+/// and delegates to the witness-path warm solve.
+pub fn rep_flow_warm<S: TupleStore + ?Sized>(
+    q: &Query,
+    db: &S,
+    full: WitnessView<'_>,
+    atom_order: &[usize],
+    want_contingency: bool,
+    scratch: &mut FlowScratch,
+    warm: WarmSession<'_>,
+) -> Result<Option<FlowResult>, WarmFallback> {
+    let Some((rel, _)) = single_self_join_relation(q) else {
+        return Ok(None);
+    };
+    let Some(db_rel) = db.schema().relation_id(q.schema().name(rel)) else {
+        return Ok(None);
+    };
+    for &t in db.tuples_of(db_rel) {
+        let vals = db.values_of(t);
+        if vals.len() == 2 && vals[0] != vals[1] {
+            freeze_tuple(t, scratch);
+        }
+    }
+    witness_path_flow_warm(db, full, atom_order, want_contingency, scratch, warm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,6 @@
 //!   resulting [`engine::CompiledQuery`] solves one frozen instance
 //!   ([`engine::CompiledQuery::solve`]) or many in parallel
 //!   ([`engine::CompiledQuery::solve_batch`]);
-//! * [`solver`] — the legacy one-call [`solver::ResilienceSolver`] facade,
-//!   kept as a deprecated shim over the engine;
 //! * [`ijp`] — Independent Join Paths (Section 9): verification of
 //!   Definition 48 and the automated partition-enumeration search of
 //!   Appendix C.2.
@@ -49,11 +47,11 @@ pub mod exact;
 pub mod flow_algorithms;
 pub mod ijp;
 pub mod plancache;
-pub mod solver;
 pub mod special;
 
 pub use approx::ResilienceBounds;
 pub use cancel::CancelToken;
+pub use engine::SolveMethod;
 pub use engine::{
     AnytimeBounds, CompiledQuery, Engine, Resilience, Session, SharedSolveSession, SolveError,
     SolveOptions, SolveReport, SolveScratch, SolveSession,
@@ -61,6 +59,3 @@ pub use engine::{
 pub use exact::{BudgetExhausted, CancelledSearch, ExactInterrupt, ExactResult, ExactSolver};
 pub use flow_algorithms::{FlowCancelled, FlowResult};
 pub use plancache::{CachedCompile, PlanCache, PlanCacheStats};
-#[allow(deprecated)]
-pub use solver::ResilienceSolver;
-pub use solver::{SolveMethod, SolveOutcome};

@@ -43,4 +43,6 @@ pub use instance::Database;
 pub use interner::ConstPool;
 pub use store::{copy_without, copy_without_mask, TupleStore};
 pub use tuple::{Constant, TupleId};
-pub use witness::{ReducedScratch, ReducedSets, WitnessIndex, WitnessSet, WitnessView};
+pub use witness::{
+    ReducedScratch, ReducedSets, ReducedSetsLive, WitnessIndex, WitnessSet, WitnessView,
+};

@@ -659,6 +659,224 @@ impl ReducedSets {
     }
 }
 
+/// Deletion-aware reduced-set maintenance for a solve session.
+///
+/// Built **once** from the full witness family: the distinct endogenous sets
+/// are deduplicated and stored sorted by `(len, lexicographic)` — exactly
+/// the candidate visit order of [`WitnessView::reduced_into`] — together
+/// with a witness → distinct-set map. The session then reports witness
+/// deaths/revivals ([`ReducedSetsLive::note_dead`] /
+/// [`ReducedSetsLive::note_live`]) and this structure maintains a *live
+/// support counter* per distinct set plus a tombstoned id list with periodic
+/// compaction, instead of re-copying and re-sorting every live witness row
+/// on every step.
+///
+/// [`ReducedSetsLive::live_reduced_into`] then produces output
+/// **byte-identical** to `WitnessView::reduced_into` over the live view: the
+/// live distinct sets are visited in the same global `(len, lex)` order and
+/// run through the same bucketed superset-dropping, so downstream exact
+/// searches behave identically — only the per-step copy of every witness
+/// row and the `O(n log n)` sort are gone.
+#[derive(Clone, Debug, Default)]
+pub struct ReducedSetsLive {
+    /// Distinct endogenous sets of the *full* family (dense-id CSR, sorted
+    /// ascending within a set, sets ordered by `(len, lex)`).
+    sets: ReducedSets,
+    /// Witness row → distinct-set id.
+    set_of_witness: Vec<u32>,
+    /// Per distinct set: number of live witnesses carrying it.
+    support: Vec<u32>,
+    /// Distinct-set ids present at the last rebuild/compaction, ascending.
+    /// May contain up to `stale` tombstones (ids whose support dropped to
+    /// zero since); scans skip them.
+    live_ids: Vec<u32>,
+    /// Per distinct set: whether its id is currently in `live_ids`.
+    in_live: Vec<bool>,
+    /// Tombstones currently in `live_ids`.
+    stale: usize,
+    /// A dead set was revived after compaction dropped its id; `live_ids`
+    /// must be rebuilt from the support counters.
+    needs_rebuild: bool,
+    /// Number of compactions performed (observability; surfaced through the
+    /// session solve stats).
+    compactions: u64,
+}
+
+impl ReducedSetsLive {
+    /// Builds the structure from the full witness family, with every witness
+    /// initially live.
+    pub fn build(ws: &WitnessSet) -> ReducedSetsLive {
+        let index = &ws.index;
+        let universe = index.relevant.len();
+        let n = ws.len();
+        // Sort witness rows by (len, lex) in dense-id space, then walk in
+        // order collapsing duplicates into distinct-set ids.
+        let row = |i: u32| index.row(i as usize);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            row(a)
+                .len()
+                .cmp(&row(b).len())
+                .then_with(|| row(a).cmp(row(b)))
+        });
+        let mut sets = ReducedSets::default();
+        sets.clear(universe);
+        let mut set_of_witness = vec![0u32; n];
+        let mut support: Vec<u32> = Vec::new();
+        for &w in &order {
+            let r = row(w);
+            let is_dup = !support.is_empty() && {
+                let last = sets.set(support.len() - 1);
+                last.len() == r.len()
+                    && last
+                        .iter()
+                        .zip(r)
+                        .all(|(&d, t)| d == index.dense_of[t.index()])
+            };
+            if !is_dup {
+                sets.arena
+                    .extend(r.iter().map(|t| index.dense_of[t.index()]));
+                sets.offsets.push(sets.arena.len() as u32);
+                support.push(0);
+            }
+            let id = support.len() as u32 - 1;
+            set_of_witness[w as usize] = id;
+            support[id as usize] += 1;
+        }
+        let live_ids: Vec<u32> = (0..support.len() as u32).collect();
+        let in_live = vec![true; support.len()];
+        ReducedSetsLive {
+            sets,
+            set_of_witness,
+            support,
+            live_ids,
+            in_live,
+            stale: 0,
+            needs_rebuild: false,
+            compactions: 0,
+        }
+    }
+
+    /// Records that witness row `w` died (its live counter went 0 → 1 dead
+    /// hits in the session). Tombstones the distinct set when its last
+    /// supporting witness dies; compacts the id list when more than half of
+    /// it (and at least 16 entries) are tombstones.
+    pub fn note_dead(&mut self, w: u32) {
+        let id = self.set_of_witness[w as usize] as usize;
+        self.support[id] -= 1;
+        if self.support[id] == 0 {
+            self.stale += 1;
+            if self.stale > 16.max(self.live_ids.len() / 2) {
+                self.compact();
+            }
+        }
+    }
+
+    /// Records that witness row `w` came back to life. Reviving a set whose
+    /// id was already compacted away schedules a full id-list rebuild
+    /// (performed immediately — restores are rare relative to scans).
+    pub fn note_live(&mut self, w: u32) {
+        let id = self.set_of_witness[w as usize] as usize;
+        self.support[id] += 1;
+        if self.support[id] == 1 {
+            if self.in_live[id] {
+                self.stale -= 1;
+            } else {
+                self.needs_rebuild = true;
+            }
+        }
+        if self.needs_rebuild {
+            self.rebuild();
+        }
+    }
+
+    /// Returns the structure to the all-live state (session `reset`).
+    pub fn reset_all_live(&mut self) {
+        self.support.iter_mut().for_each(|s| *s = 0);
+        for &id in &self.set_of_witness {
+            self.support[id as usize] += 1;
+        }
+        self.live_ids.clear();
+        self.live_ids.extend(0..self.support.len() as u32);
+        self.in_live.iter_mut().for_each(|b| *b = true);
+        self.stale = 0;
+        self.needs_rebuild = false;
+    }
+
+    /// Number of id-list compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    fn compact(&mut self) {
+        let support = &self.support;
+        let in_live = &mut self.in_live;
+        self.live_ids.retain(|&id| {
+            let keep = support[id as usize] > 0;
+            if !keep {
+                in_live[id as usize] = false;
+            }
+            keep
+        });
+        self.stale = 0;
+        self.compactions += 1;
+    }
+
+    fn rebuild(&mut self) {
+        self.live_ids.clear();
+        for (id, &s) in self.support.iter().enumerate() {
+            let live = s > 0;
+            self.in_live[id] = live;
+            if live {
+                self.live_ids.push(id as u32);
+            }
+        }
+        self.stale = 0;
+        self.needs_rebuild = false;
+    }
+
+    /// Builds the reduced sets of the **live** family into `out` —
+    /// byte-identical to [`WitnessView::reduced_into`] over the live view.
+    /// Only the superset-dropping pass runs per step; candidate collection,
+    /// deduplication and ordering were done once at build time.
+    pub fn live_reduced_into(&self, out: &mut ReducedSets, scratch: &mut ReducedScratch) {
+        let universe = self.sets.universe();
+        out.clear(universe);
+        debug_assert!(!self.needs_rebuild, "revival must have rebuilt the id list");
+        scratch.bucket_head.clear();
+        scratch.bucket_head.resize(universe, u32::MAX);
+        scratch.bucket_next.clear();
+        'outer: for &id in &self.live_ids {
+            if self.support[id as usize] == 0 {
+                continue; // tombstone
+            }
+            let s = self.sets.set(id as usize);
+            if s.is_empty() {
+                // An empty set subsumes everything (and can never be hit);
+                // it sorts first, so nothing was emitted yet.
+                debug_assert!(out.is_empty());
+                out.offsets.push(0);
+                return;
+            }
+            for &e in s {
+                let mut ki = scratch.bucket_head[e as usize];
+                while ki != u32::MAX {
+                    let k = out.set(ki as usize);
+                    if k.len() <= s.len() && k.iter().all(|t| s.binary_search(t).is_ok()) {
+                        continue 'outer;
+                    }
+                    ki = scratch.bucket_next[ki as usize];
+                }
+            }
+            let kept = out.len() as u32;
+            scratch.bucket_next.push(scratch.bucket_head[s[0] as usize]);
+            scratch.bucket_head[s[0] as usize] = kept;
+            out.arena.extend_from_slice(s);
+            out.offsets.push(out.arena.len() as u32);
+        }
+    }
+}
+
 /// Reusable buffers for [`WitnessView::reduced_into`]. One instance per
 /// long-lived solver context (the engine's `SolveScratch` owns one).
 #[derive(Clone, Debug, Default)]
@@ -915,5 +1133,97 @@ mod tests {
         let ws = WitnessSet::build(&q, &db);
         assert!(ws.is_empty());
         assert!(ws.is_contingency_set(&HashSet::new()));
+    }
+
+    /// Asserts `ReducedSetsLive::live_reduced_into` output is byte-identical
+    /// to a cold `reduced_into` over the same live rows.
+    fn assert_live_matches_cold(ws: &WitnessSet, live: &ReducedSetsLive, live_rows: &[u32]) {
+        let mut cold = ReducedSets::default();
+        let mut warm = ReducedSets::default();
+        let mut scratch = ReducedScratch::default();
+        WitnessView::live(ws, live_rows).reduced_into(&mut cold, &mut scratch);
+        live.live_reduced_into(&mut warm, &mut scratch);
+        assert_eq!(cold.len(), warm.len());
+        for i in 0..cold.len() {
+            assert_eq!(cold.set(i), warm.set(i), "set {i} diverged");
+        }
+    }
+
+    #[test]
+    fn live_reduced_sets_match_cold_on_delete_restore_sequences() {
+        let (q, db) = chain_setup();
+        let ws = WitnessSet::build(&q, &db);
+        let mut live = ReducedSetsLive::build(&ws);
+        // Exhaustively check every subset of the 3 witnesses, arrived at by
+        // killing/reviving rows in arbitrary order.
+        let mut alive = [true; 3];
+        for mask in [0b111u8, 0b011, 0b001, 0b101, 0b000, 0b110, 0b111, 0b010] {
+            for w in 0..3u32 {
+                let want = mask & (1 << w) != 0;
+                if want != alive[w as usize] {
+                    if want {
+                        live.note_live(w);
+                    } else {
+                        live.note_dead(w);
+                    }
+                    alive[w as usize] = want;
+                }
+            }
+            let rows: Vec<u32> = (0..3u32).filter(|&w| alive[w as usize]).collect();
+            assert_live_matches_cold(&ws, &live, &rows);
+        }
+        live.reset_all_live();
+        assert_live_matches_cold(&ws, &live, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn live_reduced_sets_compact_and_revive() {
+        // A hub join with many distinct pair sets: kill most witnesses one
+        // by one to force tombstone compaction, then revive some killed
+        // after the compaction (exercising the id-list rebuild).
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        let n = 8u64;
+        for i in 0..n {
+            db.insert_named("R", &[i, 1000]);
+            db.insert_named("S", &[1000, 2000 + i]);
+        }
+        let ws = WitnessSet::build(&q, &db);
+        let total = ws.len() as u32;
+        assert_eq!(total, (n * n) as u32);
+        let mut live = ReducedSetsLive::build(&ws);
+        let mut alive: Vec<bool> = vec![true; total as usize];
+        for w in 0..total - 4 {
+            live.note_dead(w);
+            alive[w as usize] = false;
+        }
+        assert!(live.compactions() > 0, "compaction threshold never hit");
+        let rows: Vec<u32> = (0..total).filter(|&w| alive[w as usize]).collect();
+        assert_live_matches_cold(&ws, &live, &rows);
+        // Revive rows whose ids were compacted away.
+        for w in [0u32, 5, 17] {
+            live.note_live(w);
+            alive[w as usize] = true;
+        }
+        let rows: Vec<u32> = (0..total).filter(|&w| alive[w as usize]).collect();
+        assert_live_matches_cold(&ws, &live, &rows);
+    }
+
+    #[test]
+    fn live_reduced_sets_handle_unhittable_sets() {
+        // An exogenous-only witness yields the empty endogenous set; as long
+        // as it is live, the reduction is the single unhittable empty set —
+        // byte-identical to the cold path's early return.
+        let q = parse_query("R^x(x,y)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        let ws = WitnessSet::build(&q, &db);
+        let live = ReducedSetsLive::build(&ws);
+        let mut out = ReducedSets::default();
+        let mut scratch = ReducedScratch::default();
+        live.live_reduced_into(&mut out, &mut scratch);
+        assert!(out.has_unhittable_set());
+        assert_eq!(out.len(), 1);
+        assert_live_matches_cold(&ws, &live, &[0]);
     }
 }

@@ -25,6 +25,21 @@ pub struct FlowInterrupted {
     pub partial_flow: u64,
 }
 
+/// Outcome of a decremental capacity change
+/// ([`FlowNetwork::reduce_capacity_repair`]): how much established flow had
+/// to be drained back to the endpoints and how many residual augmentations
+/// the repair walked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Flow units removed from the s–t flow value (the overflow that could
+    /// not be rerouted around the shrunk edge). The caller's tracked flow
+    /// value decreases by exactly this much.
+    pub drained: u64,
+    /// Residual augmenting paths walked during the repair (reroutes plus
+    /// drain-back paths) — the "paths repaired" observability counter.
+    pub paths: u64,
+}
+
 /// A node of a [`FlowNetwork`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
@@ -173,6 +188,192 @@ impl FlowNetwork {
         }
     }
 
+    /// Decrementally shrinks a (forward) edge's capacity to `new_cap`
+    /// **without discarding the established flow**: if the flow routed
+    /// through the edge exceeds the new capacity, the surplus is first
+    /// rerouted around the edge through the residual graph (flow value
+    /// preserved) and whatever cannot be rerouted is drained back to the
+    /// endpoints — excess at the tail returns to the source `s`, the sink
+    /// `t` gives back the matching deficit at the head. Afterwards the
+    /// network again holds a *valid* (not necessarily maximum) s–t flow
+    /// whose value decreased by exactly [`RepairOutcome::drained`]; a
+    /// follow-up [`FlowNetwork::max_flow_dinic_resume`] re-augments to the
+    /// new maximum from the repaired residual instead of from scratch.
+    pub fn reduce_capacity_repair(
+        &mut self,
+        id: EdgeId,
+        new_cap: u64,
+        s: NodeId,
+        t: NodeId,
+    ) -> RepairOutcome {
+        let fwd = self.public_edges[id.index()] as usize;
+        let flow = self.edges[fwd].original_cap - self.edges[fwd].cap;
+        self.edges[fwd].original_cap = new_cap;
+        if flow <= new_cap {
+            // Capacity-only change: the routed flow still fits, the CSR
+            // topology is untouched, nothing to repair.
+            self.edges[fwd].cap = new_cap - flow;
+            return RepairOutcome::default();
+        }
+        // Clamp the routed flow to the new capacity. The surplus becomes an
+        // excess at the tail `u` and a matching deficit at the head `v`.
+        let overflow = flow - new_cap;
+        self.edges[fwd].cap = 0;
+        self.edges[fwd ^ 1].cap = new_cap;
+        let u = self.tail(fwd as u32);
+        let v = self.edges[fwd].to;
+        let mut paths = 0u64;
+        let rerouted = if u != v {
+            let (r, p) = self.route_residual(u, v, overflow);
+            paths += p;
+            r
+        } else {
+            // A self-loop carries no net imbalance; clamping it is free.
+            overflow
+        };
+        let drain = overflow - rerouted;
+        if drain > 0 {
+            // Flow decomposition of the pre-repair flow guarantees residual
+            // capacity >= drain on both legs: reversed s->u path segments
+            // drain the excess, reversed v->t segments return the deficit.
+            if u != s.0 {
+                let (d, p) = self.route_residual(u, s.0, drain);
+                paths += p;
+                debug_assert_eq!(d, drain, "residual drain to the source must succeed");
+            }
+            if v != t.0 {
+                let (d, p) = self.route_residual(t.0, v, drain);
+                paths += p;
+                debug_assert_eq!(d, drain, "residual drain from the sink must succeed");
+            }
+        }
+        RepairOutcome {
+            drained: drain,
+            paths,
+        }
+    }
+
+    /// Raises a (forward) edge's capacity to `new_cap` in place, keeping the
+    /// flow currently routed through it (which must fit — raising is only
+    /// ever relaxing). The inverse of [`FlowNetwork::reduce_capacity_repair`]
+    /// for restore steps; the caller re-augments with
+    /// [`FlowNetwork::max_flow_dinic_resume`] to pick up any newly available
+    /// paths.
+    pub fn raise_capacity(&mut self, id: EdgeId, new_cap: u64) {
+        let fwd = self.public_edges[id.index()] as usize;
+        let flow = self.edges[fwd].original_cap - self.edges[fwd].cap;
+        debug_assert!(
+            flow <= new_cap,
+            "raise_capacity must not strand routed flow"
+        );
+        self.edges[fwd].original_cap = new_cap;
+        self.edges[fwd].cap = new_cap - flow;
+    }
+
+    /// Runs Dinic **from the current residual state** (no flow reset):
+    /// augments the resident flow to a maximum s–t flow and returns
+    /// `(added_flow, augmenting_paths)`. Together with
+    /// [`FlowNetwork::reduce_capacity_repair`] /
+    /// [`FlowNetwork::raise_capacity`] this is the decremental/incremental
+    /// re-solve path: repair, then resume, instead of recomputing from zero.
+    pub fn max_flow_dinic_resume(&mut self, s: NodeId, t: NodeId) -> (u64, u64) {
+        self.ensure_csr();
+        if s == t {
+            return (0, 0);
+        }
+        let n = self.num_nodes;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.level.resize(n, UNREACHED);
+        scratch.iter.resize(n, 0);
+        let mut total = 0u64;
+        let mut paths = 0u64;
+        loop {
+            scratch.level.iter_mut().for_each(|l| *l = UNREACHED);
+            scratch.level[s.index()] = 0;
+            scratch.queue.clear();
+            scratch.queue.push(s.0);
+            let mut head = 0;
+            while head < scratch.queue.len() {
+                let u = scratch.queue[head];
+                head += 1;
+                for &ei in self.incident(u) {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && scratch.level[e.to as usize] == UNREACHED {
+                        scratch.level[e.to as usize] = scratch.level[u as usize] + 1;
+                        scratch.queue.push(e.to);
+                    }
+                }
+            }
+            if scratch.level[t.index()] == UNREACHED {
+                break;
+            }
+            let (phase_flow, phase_paths, _) =
+                self.blocking_flow(s.0, t.0, &mut scratch, &mut || false);
+            total += phase_flow;
+            paths += phase_paths;
+        }
+        self.scratch = scratch;
+        (total, paths)
+    }
+
+    /// Pushes up to `limit` units from `from` to `to` along residual
+    /// augmenting paths (BFS, shortest-first), mutating the residual state.
+    /// Returns `(amount_routed, paths_walked)`. The node-parent array reuses
+    /// the Dinic current-arc scratch, so repairs allocate nothing.
+    fn route_residual(&mut self, from: u32, to: u32, limit: u64) -> (u64, u64) {
+        const ROOT: u32 = u32::MAX - 1;
+        self.ensure_csr();
+        let n = self.num_nodes;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut routed = 0u64;
+        let mut paths = 0u64;
+        while routed < limit {
+            // BFS for a residual from->to path; `iter` holds the parent edge
+            // of each reached node (UNREACHED = unvisited, ROOT = origin).
+            scratch.iter.clear();
+            scratch.iter.resize(n, UNREACHED);
+            scratch.iter[from as usize] = ROOT;
+            scratch.queue.clear();
+            scratch.queue.push(from);
+            let mut head = 0;
+            'bfs: while head < scratch.queue.len() {
+                let u = scratch.queue[head];
+                head += 1;
+                for &ei in self.incident(u) {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && scratch.iter[e.to as usize] == UNREACHED {
+                        scratch.iter[e.to as usize] = ei;
+                        if e.to == to {
+                            break 'bfs;
+                        }
+                        scratch.queue.push(e.to);
+                    }
+                }
+            }
+            if scratch.iter[to as usize] == UNREACHED {
+                break;
+            }
+            let mut bottleneck = limit - routed;
+            let mut v = to;
+            while v != from {
+                let ei = scratch.iter[v as usize];
+                bottleneck = bottleneck.min(self.edges[ei as usize].cap);
+                v = self.tail(ei);
+            }
+            let mut v = to;
+            while v != from {
+                let ei = scratch.iter[v as usize];
+                self.edges[ei as usize].cap -= bottleneck;
+                self.edges[(ei ^ 1) as usize].cap += bottleneck;
+                v = self.tail(ei);
+            }
+            routed += bottleneck;
+            paths += 1;
+        }
+        self.scratch = scratch;
+        (routed, paths)
+    }
+
     /// Tail (source node) of an internal edge: the head of its twin.
     #[inline]
     fn tail(&self, ei: u32) -> u32 {
@@ -279,7 +480,7 @@ impl FlowNetwork {
             if scratch.level[t.index()] == UNREACHED {
                 break;
             }
-            let (phase_flow, phase_stopped) =
+            let (phase_flow, _, phase_stopped) =
                 self.blocking_flow(s.0, t.0, &mut scratch, should_stop);
             total += phase_flow;
             if phase_stopped {
@@ -300,24 +501,26 @@ impl FlowNetwork {
     /// Finds a blocking flow in the current level graph: an iterative DFS
     /// keeping the partial path on an explicit stack, advancing each node's
     /// current arc so saturated or level-inconsistent edges are never
-    /// revisited within the phase. Returns the flow found this phase and
-    /// whether `should_stop` cut the phase short (the flow stays valid —
-    /// augmentations are atomic, the stop lands between them).
+    /// revisited within the phase. Returns the flow found this phase, the
+    /// number of augmenting paths walked, and whether `should_stop` cut the
+    /// phase short (the flow stays valid — augmentations are atomic, the
+    /// stop lands between them).
     fn blocking_flow(
         &mut self,
         s: u32,
         t: u32,
         scratch: &mut Scratch,
         should_stop: &mut dyn FnMut() -> bool,
-    ) -> (u64, bool) {
+    ) -> (u64, u64, bool) {
         scratch.iter.iter_mut().for_each(|i| *i = 0);
         scratch.path.clear();
         let mut total = 0u64;
+        let mut paths = 0u64;
         let mut u = s;
         loop {
             if u == t {
                 if should_stop() {
-                    return (total, true);
+                    return (total, paths, true);
                 }
                 // Augment along the path, then roll the path back to the
                 // tail of the first edge that saturated and continue the
@@ -327,6 +530,7 @@ impl FlowNetwork {
                     bottleneck = bottleneck.min(self.edges[ei as usize].cap);
                 }
                 total += bottleneck;
+                paths += 1;
                 let mut first_saturated = scratch.path.len() - 1;
                 for &ei in &scratch.path {
                     self.edges[ei as usize].cap -= bottleneck;
@@ -371,7 +575,7 @@ impl FlowNetwork {
                 None => break, // the source itself is exhausted
             }
         }
-        (total, false)
+        (total, paths, false)
     }
 
     /// Computes the maximum s–t flow with the Edmonds–Karp algorithm
@@ -648,6 +852,120 @@ mod tests {
             }
         }
         assert_eq!(out_of_s, total);
+    }
+
+    #[test]
+    fn reduce_capacity_repair_matches_from_scratch() {
+        let (mut g, s, t) = diamond();
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+        // Shrink s -> a from 3 to 1: the repaired + resumed flow must equal
+        // a from-scratch run on the reduced network.
+        let out = g.reduce_capacity_repair(EdgeId(0), 1, s, t);
+        let (added, _) = g.max_flow_dinic_resume(s, t);
+        let warm = 5 - out.drained + added;
+        assert_eq!(g.max_flow_dinic(s, t), warm);
+        assert_eq!(warm, 3);
+    }
+
+    #[test]
+    fn zeroing_an_edge_drains_its_flow() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 2);
+        let e = g.add_edge(a, t, 2);
+        assert_eq!(g.max_flow_dinic(s, t), 2);
+        // The only route dies entirely: all 2 units drain back.
+        let out = g.reduce_capacity_repair(e, 0, s, t);
+        assert_eq!(out.drained, 2);
+        let (added, _) = g.max_flow_dinic_resume(s, t);
+        assert_eq!(added, 0);
+        assert_eq!(g.max_flow_dinic(s, t), 0);
+    }
+
+    #[test]
+    fn repair_reroutes_before_draining() {
+        // Two disjoint a -> t routes; shrinking one reroutes through the
+        // other without losing flow value.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 2);
+        let e1 = g.add_edge(a, t, 2);
+        g.add_edge(a, t, 2);
+        assert_eq!(g.max_flow_dinic(s, t), 2);
+        let flow_on_e1 = g.edge_flow(e1);
+        let out = g.reduce_capacity_repair(e1, 0, s, t);
+        // Whatever was on e1 fits on the parallel edge: nothing drained.
+        assert_eq!(out.drained, 0);
+        let (added, _) = g.max_flow_dinic_resume(s, t);
+        assert_eq!(added, 0);
+        if flow_on_e1 > 0 {
+            assert!(out.paths > 0);
+        }
+    }
+
+    #[test]
+    fn raise_capacity_reaugments_incrementally() {
+        let (mut g, s, t) = diamond();
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+        let mut value = 5;
+        let out = g.reduce_capacity_repair(EdgeId(0), 0, s, t); // s -> a
+        value -= out.drained;
+        let (added, _) = g.max_flow_dinic_resume(s, t);
+        value += added;
+        assert_eq!(value, 2); // only s -> b (2) remains
+                              // Restore and re-augment back to the original maximum.
+        g.raise_capacity(EdgeId(0), 3);
+        let (added, _) = g.max_flow_dinic_resume(s, t);
+        value += added;
+        assert_eq!(value, 5);
+        assert_eq!(g.max_flow_dinic(s, t), 5);
+    }
+
+    #[test]
+    fn repeated_repairs_track_from_scratch() {
+        // CLRS network: zero edges one at a time, checking the repaired
+        // value against an independent from-scratch run after every step.
+        let build = || {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node();
+            let v1 = g.add_node();
+            let v2 = g.add_node();
+            let v3 = g.add_node();
+            let v4 = g.add_node();
+            let t = g.add_node();
+            g.add_edge(s, v1, 16);
+            g.add_edge(s, v2, 13);
+            g.add_edge(v1, v2, 10);
+            g.add_edge(v2, v1, 4);
+            g.add_edge(v1, v3, 12);
+            g.add_edge(v3, v2, 9);
+            g.add_edge(v2, v4, 14);
+            g.add_edge(v4, v3, 7);
+            g.add_edge(v3, t, 20);
+            g.add_edge(v4, t, 4);
+            (g, s, t)
+        };
+        let (mut warm, s, t) = build();
+        let mut value = warm.max_flow_dinic(s, t);
+        assert_eq!(value, 23);
+        for kill in [4u32, 9, 1] {
+            let out = warm.reduce_capacity_repair(EdgeId(kill), 0, s, t);
+            value -= out.drained;
+            let (added, _) = warm.max_flow_dinic_resume(s, t);
+            value += added;
+            let (mut cold, cs, ct) = build();
+            for earlier in [4u32, 9, 1] {
+                cold.reduce_capacity_repair(EdgeId(earlier), 0, cs, ct);
+                if earlier == kill {
+                    break;
+                }
+            }
+            assert_eq!(value, cold.max_flow_dinic(cs, ct));
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! capacity.
 
 use crate::mincut::MinCut;
-use crate::network::{FlowInterrupted, FlowNetwork, NodeId, INF};
+use crate::network::{EdgeId, FlowInterrupted, FlowNetwork, NodeId, RepairOutcome, INF};
 
 /// A network whose *vertices* carry capacities.
 #[derive(Clone, Debug, Default)]
@@ -21,6 +21,20 @@ pub struct VertexCutNetwork {
     /// Reusable node-split flow network (rebuilt per cut computation, never
     /// reallocated).
     split: FlowNetwork,
+    /// Resident warm flow over `split` (see [`VertexCutNetwork::warm_build`]);
+    /// `None` when no warm state is held.
+    warm: Option<WarmFlow>,
+}
+
+/// Warm (decremental) flow state resident in the split network.
+#[derive(Clone, Copy, Debug)]
+struct WarmFlow {
+    source: usize,
+    target: usize,
+    s: NodeId,
+    t: NodeId,
+    /// Current (maximum, after the last re-augment) s–t flow value.
+    value: u64,
 }
 
 /// Result of a minimum vertex cut computation.
@@ -46,9 +60,11 @@ impl VertexCutNetwork {
 
     /// Empties the network while keeping its allocations, so repeated
     /// constructions (the engine's session re-solves) reuse the buffers.
+    /// Any resident warm flow state is dropped.
     pub fn clear(&mut self) {
         self.capacities.clear();
         self.edges.clear();
+        self.warm = None;
     }
 
     /// Adds a directed edge between two vertices.
@@ -64,6 +80,19 @@ impl VertexCutNetwork {
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
         self.edges.len()
+    }
+
+    /// The endpoints of edge `e` (in insertion order).
+    pub fn edge(&self, e: usize) -> (usize, usize) {
+        let (from, to) = self.edges[e];
+        (from as usize, to as usize)
+    }
+
+    /// Overwrites vertex `v`'s *built* capacity. Only affects networks built
+    /// after this call (cold solves / the next [`VertexCutNetwork::warm_build`]);
+    /// use [`VertexCutNetwork::warm_set_capacity`] to update a resident flow.
+    pub fn set_capacity(&mut self, v: usize, cap: u64) {
+        self.capacities[v] = cap;
     }
 
     /// Computes a minimum vertex cut separating `source` from `target`.
@@ -120,11 +149,97 @@ impl VertexCutNetwork {
         MinCut::compute_value_interruptible(&mut self.split, s, t, should_stop)
     }
 
+    /// Builds the node-split network and runs a full max-flow once, keeping
+    /// the flow (and its residual graph) **resident** for subsequent
+    /// decremental updates: [`VertexCutNetwork::warm_set_capacity`] repairs
+    /// the resident flow in place when a vertex shrinks and
+    /// [`VertexCutNetwork::warm_reaugment`] resumes Dinic from the repaired
+    /// residual after restores — no from-scratch recomputation per step.
+    /// Returns the maximum flow value (= the minimum vertex cut value).
+    pub fn warm_build(&mut self, source: usize, target: usize) -> u64 {
+        let (s, t) = self.split_network(source, target);
+        let value = self.split.max_flow_dinic(s, t);
+        self.warm = Some(WarmFlow {
+            source,
+            target,
+            s,
+            t,
+            value,
+        });
+        value
+    }
+
+    /// Whether warm flow state is resident for this `source`/`target` pair.
+    pub fn has_warm(&self, source: usize, target: usize) -> bool {
+        self.warm
+            .is_some_and(|w| w.source == source && w.target == target)
+    }
+
+    /// The resident warm flow value (the minimum cut value as of the last
+    /// [`VertexCutNetwork::warm_build`] / [`VertexCutNetwork::warm_reaugment`],
+    /// minus any drain from not-yet-re-augmented repairs).
+    pub fn warm_value(&self) -> u64 {
+        self.warm.expect("no warm flow state resident").value
+    }
+
+    /// Decrementally sets vertex `v`'s capacity on the **resident** split
+    /// network. A shrink repairs the resident flow through the residual
+    /// graph (see [`FlowNetwork::reduce_capacity_repair`]); a raise relaxes
+    /// the internal arc in place. Either way the caller must
+    /// [`VertexCutNetwork::warm_reaugment`] before reading the value as a
+    /// minimum again. Exploits the construction invariant that vertex `v`'s
+    /// internal edge has `EdgeId` exactly `v`. Returns the repair outcome
+    /// (zero for raises and for shrinks the flow already fit).
+    pub fn warm_set_capacity(&mut self, v: usize, cap: u64) -> RepairOutcome {
+        let warm = self.warm.as_mut().expect("no warm flow state resident");
+        let id = EdgeId(v as u32);
+        let current = self.split.edge(id).2;
+        if cap < current {
+            let out = self.split.reduce_capacity_repair(id, cap, warm.s, warm.t);
+            warm.value -= out.drained;
+            out
+        } else {
+            self.split.raise_capacity(id, cap);
+            RepairOutcome::default()
+        }
+    }
+
+    /// Resumes Dinic from the repaired residual, restoring the resident flow
+    /// to a maximum. Returns `(new_value, augmenting_paths)`.
+    pub fn warm_reaugment(&mut self) -> (u64, u64) {
+        let warm = self.warm.as_mut().expect("no warm flow state resident");
+        let (added, paths) = self.split.max_flow_dinic_resume(warm.s, warm.t);
+        warm.value += added;
+        (warm.value, paths)
+    }
+
+    /// Extracts the cut vertices of the resident warm flow (which must be
+    /// maximum, i.e. re-augmented) into `out`, ascending: vertices whose
+    /// internal arc crosses the residual source partition **and still has
+    /// positive capacity** — arcs zeroed by deletions separate for free and
+    /// are not part of the reported contingency.
+    pub fn warm_cut_vertices(&self, out: &mut Vec<usize>) {
+        let warm = self.warm.expect("no warm flow state resident");
+        let reach = self.split.residual_reachable(warm.s);
+        out.clear();
+        for v in 0..self.num_vertices() {
+            if v == warm.source || v == warm.target {
+                continue;
+            }
+            if reach[2 * v] && !reach[2 * v + 1] && self.split.edge(EdgeId(v as u32)).2 > 0 {
+                out.push(v);
+            }
+        }
+    }
+
     /// Builds the node-split flow network into the reusable `split` buffer:
     /// `v_in = 2v`, `v_out = 2v + 1`, with the internal edge of vertex `v`
     /// added v-th so its `EdgeId` is exactly `v` — no explicit map needed.
     fn split_network(&mut self, source: usize, target: usize) -> (NodeId, NodeId) {
         let n = self.num_vertices();
+        // Rebuilding the split network invalidates any resident warm flow
+        // (warm_build re-establishes it after the rebuild).
+        self.warm = None;
         self.split.clear();
         for _ in 0..2 * n {
             self.split.add_node();
@@ -253,6 +368,85 @@ mod tests {
             g.add_edge(m, t);
         }
         assert_eq!(g.min_vertex_cut_value(s, t), g.min_vertex_cut(s, t).value);
+    }
+
+    #[test]
+    fn warm_flow_tracks_deletions_and_restores() {
+        // Four parallel unit vertices; delete two, restore one, checking the
+        // warm value and cut against a cold recomputation at every step.
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let t = g.add_vertex(INF);
+        let mut mids = Vec::new();
+        for _ in 0..4 {
+            let m = g.add_vertex(1);
+            g.add_edge(s, m);
+            g.add_edge(m, t);
+            mids.push(m);
+        }
+        assert_eq!(g.warm_build(s, t), 4);
+        assert!(g.has_warm(s, t));
+
+        g.warm_set_capacity(mids[1], 0);
+        let (value, _) = g.warm_reaugment();
+        assert_eq!(value, 3);
+        let mut cut = Vec::new();
+        g.warm_cut_vertices(&mut cut);
+        assert_eq!(cut, vec![mids[0], mids[2], mids[3]]);
+
+        g.warm_set_capacity(mids[3], 0);
+        let (value, _) = g.warm_reaugment();
+        assert_eq!(value, 2);
+        g.warm_cut_vertices(&mut cut);
+        assert_eq!(cut, vec![mids[0], mids[2]]);
+
+        g.warm_set_capacity(mids[1], 1);
+        let (value, _) = g.warm_reaugment();
+        assert_eq!(value, 3);
+        g.warm_cut_vertices(&mut cut);
+        assert_eq!(cut, vec![mids[0], mids[1], mids[2]]);
+    }
+
+    #[test]
+    fn warm_cut_excludes_zeroed_shared_vertex() {
+        // s -> a -> m -> t, s -> b -> m -> t: cutting m (capacity 1) is
+        // optimal. Deleting m makes the instance already-false (value 0, no
+        // cut vertices) — the zero-capacity arc must not be reported.
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let a = g.add_vertex(1);
+        let b = g.add_vertex(1);
+        let m = g.add_vertex(1);
+        let t = g.add_vertex(INF);
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, m);
+        g.add_edge(b, m);
+        g.add_edge(m, t);
+        assert_eq!(g.warm_build(s, t), 1);
+        g.warm_set_capacity(m, 0);
+        let (value, _) = g.warm_reaugment();
+        assert_eq!(value, 0);
+        let mut cut = Vec::new();
+        g.warm_cut_vertices(&mut cut);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn cold_runs_invalidate_warm_state() {
+        let mut g = VertexCutNetwork::new();
+        let s = g.add_vertex(INF);
+        let m = g.add_vertex(1);
+        let t = g.add_vertex(INF);
+        g.add_edge(s, m);
+        g.add_edge(m, t);
+        assert_eq!(g.warm_build(s, t), 1);
+        assert!(g.has_warm(s, t));
+        let _ = g.min_vertex_cut(s, t);
+        assert!(!g.has_warm(s, t));
+        g.warm_build(s, t);
+        g.clear();
+        assert!(!g.has_warm(s, t));
     }
 
     #[test]

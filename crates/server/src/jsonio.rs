@@ -111,12 +111,19 @@ pub fn report_json<S: TupleStore + ?Sized>(file: &str, db: &S, report: &SolveRep
 pub fn solver_stats_json(stats: &SessionSolveStats) -> String {
     format!(
         "{{\"warm_start_hit\": {}, \"incumbent_reused\": {}, \"short_circuit\": {}, \
-         \"replayed\": {}, \"nodes_explored\": {}}}",
+         \"replayed\": {}, \"nodes_explored\": {}, \"flow_warm_reused\": {}, \
+         \"flow_paths_repaired\": {}, \"flow_paths_reaugmented\": {}, \
+         \"flow_cold_rebuild\": {}, \"reduced_compactions\": {}}}",
         stats.warm_start_hit,
         stats.incumbent_reused,
         stats.short_circuit,
         stats.replayed,
         stats.nodes_explored,
+        stats.flow_warm_reused,
+        stats.flow_paths_repaired,
+        stats.flow_paths_reaugmented,
+        stats.flow_cold_rebuild,
+        stats.reduced_compactions,
     )
 }
 
@@ -182,21 +189,66 @@ fn counter_map_json(counts: &BTreeMap<String, u64>) -> String {
     format!("{{{}}}", fields.join(", "))
 }
 
+/// Aggregate warm-start counters accumulated over every session `resolve`
+/// the daemon served, rendered next to the plan-cache counters in `stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmAggregate {
+    /// Solve steps that reused a resident warm flow network.
+    pub flow_warm_reuses: u64,
+    /// Augmenting paths repaired (rerouted/drained) across all steps.
+    pub flow_paths_repaired: u64,
+    /// Augmenting paths found by post-repair re-augmentation.
+    pub flow_paths_reaugmented: u64,
+    /// Solve steps that (re)built a flow network cold or fell back cold.
+    pub flow_cold_rebuilds: u64,
+    /// Deletion-aware reduced-set compactions across all sessions.
+    pub reduced_compactions: u64,
+}
+
+impl WarmAggregate {
+    /// Folds one step's solver statistics into the aggregate.
+    pub fn record(&mut self, stats: &SessionSolveStats) {
+        self.flow_warm_reuses += stats.flow_warm_reused as u64;
+        self.flow_paths_repaired += stats.flow_paths_repaired;
+        self.flow_paths_reaugmented += stats.flow_paths_reaugmented;
+        self.flow_cold_rebuilds += stats.flow_cold_rebuild as u64;
+        self.reduced_compactions += stats.reduced_compactions;
+    }
+}
+
+/// The warm-start counter object embedded in `stats` responses.
+pub fn warm_stats_json(warm: &WarmAggregate) -> String {
+    format!(
+        "{{\"flow_warm_reuses\": {}, \"flow_paths_repaired\": {}, \
+         \"flow_paths_reaugmented\": {}, \"flow_cold_rebuilds\": {}, \
+         \"reduced_compactions\": {}}}",
+        warm.flow_warm_reuses,
+        warm.flow_paths_repaired,
+        warm.flow_paths_reaugmented,
+        warm.flow_cold_rebuilds,
+        warm.reduced_compactions,
+    )
+}
+
 /// The daemon's `stats` object: uptime, per-verb request counts, per-kind
-/// error counts and the plan-cache counters. Shared by the `stats` verb and
-/// anything rendering an in-process view, so a thin client re-emitting the
-/// raw object is byte-identical to both.
+/// error counts, the plan-cache counters and the aggregate warm-start
+/// counters. Shared by the `stats` verb and anything rendering an
+/// in-process view, so a thin client re-emitting the raw object is
+/// byte-identical to both.
 pub fn stats_json(
     uptime_ms: u64,
     requests_by_verb: &BTreeMap<String, u64>,
     errors_by_kind: &BTreeMap<String, u64>,
     cache: &PlanCacheStats,
+    warm: &WarmAggregate,
 ) -> String {
     format!(
-        "{{\"uptime_ms\": {uptime_ms}, \"requests\": {}, \"errors\": {}, \"plan_cache\": {}}}",
+        "{{\"uptime_ms\": {uptime_ms}, \"requests\": {}, \"errors\": {}, \"plan_cache\": {}, \
+         \"warm_flow\": {}}}",
         counter_map_json(requests_by_verb),
         counter_map_json(errors_by_kind),
         plan_cache_stats_json(cache),
+        warm_stats_json(warm),
     )
 }
 

@@ -244,6 +244,8 @@ pub(crate) struct StatsInner {
     /// Error responses by their `kind` field (`bad_request`, `parse`,
     /// `unknown_handle`, `cancelled`, ...).
     pub(crate) errors_by_kind: BTreeMap<String, u64>,
+    /// Aggregate warm-start counters over every session `resolve` served.
+    pub(crate) warm: jsonio::WarmAggregate,
 }
 
 /// Everything the worker pool shares: the handle registry, the compiled-plan

@@ -375,7 +375,7 @@ pub(crate) fn handle_request(
             "session" => op_session(registry, conn, &req, limits),
             "delete" | "restore" => op_mutate(conn, &req, op == "delete"),
             "reset" => op_reset(conn, &req),
-            "resolve" => op_resolve(conn, &req, limits),
+            "resolve" => op_resolve(state, conn, &req, limits),
             "batch_whatif" => op_batch_whatif(conn, &req, limits),
             "close" => op_close(conn, &req),
             "stats" => Ok(op_stats(state)),
@@ -436,14 +436,18 @@ fn op_compile(state: &ServerState, req: &JsonValue) -> Result<String, String> {
 /// a stats request never errors.
 fn op_stats(state: &ServerState) -> String {
     let uptime_ms = state.started.elapsed().as_millis() as u64;
-    let (requests, errors) = {
+    let (requests, errors, warm) = {
         let stats = state.stats.lock().unwrap_or_else(|e| e.into_inner());
-        (stats.requests_by_verb.clone(), stats.errors_by_kind.clone())
+        (
+            stats.requests_by_verb.clone(),
+            stats.errors_by_kind.clone(),
+            stats.warm,
+        )
     };
     let cache = state.plan_cache.stats();
     format!(
         "{{\"ok\": true, \"stats\": {}}}",
-        jsonio::stats_json(uptime_ms, &requests, &errors, &cache)
+        jsonio::stats_json(uptime_ms, &requests, &errors, &cache, &warm)
     )
 }
 
@@ -701,6 +705,7 @@ fn op_reset(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
 }
 
 fn op_resolve(
+    state: &ServerState,
     conn: &mut ConnState,
     req: &JsonValue,
     limits: RequestLimits,
@@ -709,6 +714,10 @@ fn op_resolve(
     let entry = get_session(conn, req)?;
     let report = entry.session.solve(&opts).map_err(|e| solve_err_json(&e))?;
     let stats = entry.session.last_solve_stats();
+    {
+        let mut agg = state.stats.lock().unwrap_or_else(|e| e.into_inner());
+        agg.warm.record(&stats);
+    }
     Ok(format!(
         "{{\"ok\": true, \"event\": {}}}",
         jsonio::solve_event_json(entry.db.frozen.as_ref(), &report, &stats)

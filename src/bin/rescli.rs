@@ -1019,6 +1019,12 @@ fn remote_event_text_line(event: &JsonValue) -> String {
                     .and_then(JsonValue::as_bool)
                     .unwrap_or(false)
             };
+            let count = |key: &str| -> u64 {
+                solver
+                    .and_then(|s| s.get(key))
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or(0) as u64
+            };
             let stats = SessionSolveStats {
                 replayed: flag("replayed"),
                 warm_start_hit: flag("warm_start_hit"),
@@ -1028,6 +1034,11 @@ fn remote_event_text_line(event: &JsonValue) -> String {
                     .and_then(|s| s.get("nodes_explored"))
                     .and_then(JsonValue::as_usize)
                     .unwrap_or(0),
+                flow_warm_reused: flag("flow_warm_reused"),
+                flow_paths_repaired: count("flow_paths_repaired"),
+                flow_paths_reaugmented: count("flow_paths_reaugmented"),
+                flow_cold_rebuild: flag("flow_cold_rebuild"),
+                reduced_compactions: count("reduced_compactions"),
             };
             let gamma = event
                 .get("contingency")

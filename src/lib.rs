@@ -75,19 +75,6 @@
 //! }
 //! ```
 //!
-//! ## Migrating from `ResilienceSolver`
-//!
-//! The legacy one-call facade is kept as a deprecated shim; the mapping is
-//! mechanical:
-//!
-//! | legacy | engine |
-//! |---|---|
-//! | `ResilienceSolver::new(&q)` | `Engine::compile(&q)` |
-//! | `solver.solve(&db)` | `compiled.solve(&db.freeze(), &SolveOptions::new())?` |
-//! | `outcome.resilience: Option<usize>` | `report.resilience: Resilience` (`as_finite()`) |
-//! | panic on exhausted node budget | `Err(SolveError::BudgetExhausted { .. })` |
-//! | loop over instances | `compiled.solve_batch(&frozen_instances, &opts)` |
-
 pub use cq;
 pub use database;
 pub use flow;
@@ -105,9 +92,6 @@ pub mod prelude {
         CompiledQuery, Engine, Resilience, SolveError, SolveMethod, SolveOptions, SolveReport,
         SolveScratch, SolveSession,
     };
-    #[allow(deprecated)]
-    pub use resilience_core::solver::ResilienceSolver;
-    pub use resilience_core::solver::SolveOutcome;
     pub use resilience_core::{exact::ExactSolver, ijp};
     pub use workloads::Workload;
 }

@@ -8,13 +8,11 @@
 //! * the full solver pipeline (flow dispatch, bitset branch-and-bound)
 //!   computes identical resilience values and valid contingency sets.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
-use database::{canonical_witnesses, reference_witnesses, witnesses, TupleId, WitnessSet};
+use database::{
+    canonical_witnesses, reference_witnesses, witnesses, Database, TupleId, WitnessSet,
+};
 use flow::FlowNetwork;
-use resilience_core::solver::ResilienceSolver;
+use resilience_core::engine::{CompiledQuery, Engine, SolveOptions, SolveReport, SolveScratch};
 use resilience_core::ExactSolver;
 use std::collections::HashSet;
 use workloads::Workload;
@@ -119,18 +117,27 @@ fn dinic_agrees_with_edmonds_karp_on_random_networks() {
     }
 }
 
+/// Solves over the mutable store (no freeze) through the store-generic
+/// engine core, with fresh scratch per call.
+fn solve_store_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("store solve failed")
+}
+
 #[test]
 fn solver_pipeline_produces_identical_resilience_and_valid_contingencies() {
     for (qi, query) in QUERY_POOL.iter().enumerate() {
         let q = cq::parse_query(query).unwrap();
-        let solver = ResilienceSolver::new(&q);
+        let solver = Engine::compile(&q);
         let exact = ExactSolver::new();
         for seed in 0..4u64 {
             let db = Workload::new(7000 + 100 * qi as u64 + seed).random_database(&q, 10, 4);
-            let outcome = solver.solve(&db);
+            let outcome = solve_store_once(&solver, &db);
             let truth = exact.resilience_value(&q, &db);
-            assert_eq!(outcome.resilience, truth, "{query} seed {seed}");
-            if let (Some(r), Some(gamma)) = (outcome.resilience, &outcome.contingency) {
+            assert_eq!(outcome.resilience.as_finite(), truth, "{query} seed {seed}");
+            if let (Some(r), Some(gamma)) = (outcome.resilience.as_finite(), &outcome.contingency) {
                 let gamma: HashSet<TupleId> = gamma.iter().copied().collect();
                 assert_eq!(gamma.len(), r, "{query} seed {seed}: non-minimal set");
                 let ws = WitnessSet::build(&q, &db);

@@ -1,0 +1,269 @@
+//! Dispatch-selection tests (ported from the deleted `ResilienceSolver`
+//! shim's unit suite): on small hand-built instances, the engine must route
+//! every catalogue shape to the intended algorithm and agree with a direct
+//! exact solve.
+
+use cq::catalogue;
+use cq::parse_query;
+use cq::Query;
+use database::{Database, TupleId, WitnessSet};
+use resilience_core::engine::{
+    CompiledQuery, Engine, SolveMethod, SolveOptions, SolveReport, SolveScratch,
+};
+use resilience_core::ExactSolver;
+use std::collections::HashSet;
+
+fn build_db(q: &Query, rows: &[(&str, &[u64])]) -> Database {
+    let mut db = Database::for_query(q);
+    for (rel, vals) in rows {
+        db.insert_named(rel, vals);
+    }
+    db
+}
+
+fn solve_store_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("store solve failed")
+}
+
+#[test]
+fn chain_instance_uses_exact_solver() {
+    let q = parse_query("R(x,y), R(y,z)").unwrap();
+    let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+    let compiled = Engine::compile(&q);
+    let report = solve_store_once(&compiled, &db);
+    assert_eq!(report.resilience.as_finite(), Some(2));
+    assert_eq!(report.method, SolveMethod::ExactBranchAndBound);
+    assert!(compiled.classification().complexity.is_np_complete());
+}
+
+#[test]
+fn acconf_uses_linear_flow() {
+    let nq = catalogue::q_acconf();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("A", &[1]),
+            ("A", &[4]),
+            ("C", &[1]),
+            ("C", &[5]),
+            ("R", &[1, 2]),
+            ("R", &[4, 2]),
+            ("R", &[5, 2]),
+            ("R", &[1, 3]),
+            ("R", &[5, 3]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_eq!(report.method, SolveMethod::LinearFlow);
+    let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+}
+
+#[test]
+fn rats_uses_polynomial_path() {
+    let nq = catalogue::q_rats();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("A", &[1]),
+            ("A", &[2]),
+            ("R", &[1, 10]),
+            ("R", &[2, 11]),
+            ("T", &[20, 1]),
+            ("T", &[21, 2]),
+            ("S", &[10, 20]),
+            ("S", &[11, 21]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_ne!(report.method, SolveMethod::ExactBranchAndBound);
+    let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+    assert_eq!(report.resilience.as_finite(), Some(2));
+}
+
+#[test]
+fn aperm_uses_permutation_flow() {
+    let nq = catalogue::q_aperm();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("A", &[1]),
+            ("A", &[2]),
+            ("R", &[1, 2]),
+            ("R", &[2, 1]),
+            ("R", &[2, 3]),
+            ("R", &[3, 2]),
+            ("A", &[3]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_eq!(report.method, SolveMethod::PermutationFlow);
+    let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+}
+
+#[test]
+fn z3_uses_rep_flow() {
+    let nq = catalogue::z3();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("R", &[1, 1]),
+            ("R", &[1, 2]),
+            ("R", &[2, 2]),
+            ("A", &[1]),
+            ("A", &[2]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_eq!(report.method, SolveMethod::RepFlow);
+    let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+}
+
+#[test]
+fn a3perm_r_uses_special_flow() {
+    let nq = catalogue::q_a3perm_r();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("A", &[1]),
+            ("A", &[2]),
+            ("R", &[1, 2]),
+            ("R", &[2, 3]),
+            ("R", &[3, 2]),
+            ("R", &[2, 2]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_eq!(report.method, SolveMethod::SpecialFlow("q_A3perm-R"));
+    let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+}
+
+#[test]
+fn ts3conf_uses_special_flow() {
+    let nq = catalogue::q_ts3conf();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("T", &[1, 2]),
+            ("S", &[1, 2]),
+            ("R", &[1, 2]),
+            ("T", &[3, 4]),
+            ("R", &[3, 4]),
+            ("R", &[5, 4]),
+            ("R", &[5, 6]),
+            ("S", &[5, 6]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_eq!(report.method, SolveMethod::SpecialFlow("q_TS3conf"));
+    let exact = ExactSolver::new().resilience_value(&nq.query, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+}
+
+#[test]
+fn unsatisfied_database_is_already_false() {
+    let q = parse_query("R(x,y), R(y,z)").unwrap();
+    let db = build_db(&q, &[("R", &[1, 2])]);
+    let report = solve_store_once(&Engine::compile(&q), &db);
+    assert_eq!(report.resilience.as_finite(), Some(0));
+    assert_eq!(report.method, SolveMethod::AlreadyFalse);
+}
+
+#[test]
+fn fully_exogenous_query_is_unfalsifiable() {
+    let q = parse_query("R^x(x,y)").unwrap();
+    let db = build_db(&q, &[("R", &[1, 2])]);
+    let report = solve_store_once(&Engine::compile(&q), &db);
+    assert_eq!(report.resilience.as_finite(), None);
+    assert_eq!(report.method, SolveMethod::Unfalsifiable);
+}
+
+#[test]
+fn disconnected_query_takes_component_minimum() {
+    // Components: A(x),R(x,y) and B(u),S(u,v). First component needs 2
+    // deletions, second needs 1; the minimum is 1.
+    let q = parse_query("A(x), R(x,y), B(u), S(u,v)").unwrap();
+    let db = build_db(
+        &q,
+        &[
+            ("A", &[1]),
+            ("A", &[2]),
+            ("R", &[1, 10]),
+            ("R", &[2, 11]),
+            ("B", &[5]),
+            ("S", &[5, 50]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&q), &db);
+    assert_eq!(report.method, SolveMethod::ComponentMinimum);
+    assert_eq!(report.resilience.as_finite(), Some(1));
+    let exact = ExactSolver::new().resilience_value(&q, &db);
+    assert_eq!(report.resilience.as_finite(), exact);
+}
+
+#[test]
+fn contingency_sets_returned_by_flow_methods_are_valid() {
+    let nq = catalogue::q_acconf();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("A", &[1]),
+            ("C", &[3]),
+            ("R", &[1, 2]),
+            ("R", &[3, 2]),
+            ("A", &[4]),
+            ("R", &[4, 2]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    let gamma: HashSet<TupleId> = report.contingency.unwrap().into_iter().collect();
+    assert_eq!(gamma.len(), report.resilience.as_finite().unwrap());
+    let ws = WitnessSet::build(&nq.query, &db);
+    assert!(ws.is_contingency_set(&gamma));
+}
+
+#[test]
+fn dominated_relation_is_not_deleted_by_the_solver() {
+    // q_rats: the normal form makes R and T exogenous, so the engine's
+    // contingency set may only contain A- or S-tuples.
+    let nq = catalogue::q_rats();
+    let db = build_db(
+        &nq.query,
+        &[
+            ("A", &[1]),
+            ("R", &[1, 10]),
+            ("T", &[20, 1]),
+            ("S", &[10, 20]),
+        ],
+    );
+    let report = solve_store_once(&Engine::compile(&nq.query), &db);
+    assert_eq!(report.resilience.as_finite(), Some(1));
+    if let Some(gamma) = &report.contingency {
+        for &t in gamma {
+            let name = db.schema().name(db.relation_of(t));
+            assert!(
+                name == "A" || name == "S",
+                "unexpected deletion from {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn store_path_agrees_with_the_frozen_path() {
+    let q = parse_query("R(x,y), R(y,z)").unwrap();
+    let db = build_db(&q, &[("R", &[1, 2]), ("R", &[2, 3]), ("R", &[3, 3])]);
+    let compiled = Engine::compile(&q);
+    let store = solve_store_once(&compiled, &db);
+    let frozen = compiled.solve(&db.freeze(), &SolveOptions::new()).unwrap();
+    assert_eq!(store.resilience, frozen.resilience);
+    assert_eq!(store.contingency, frozen.contingency);
+    assert_eq!(store.method, frozen.method);
+}

@@ -1,24 +1,21 @@
 //! Differential and property tests for the compiled engine API:
 //!
 //! * (a) solving a `FrozenDb` through `CompiledQuery` returns exactly the
-//!   same results as the legacy `Database` path (the deprecated
-//!   `ResilienceSolver` shim), on random workloads;
+//!   same results as the store-generic path over the mutable `Database`
+//!   (`CompiledQuery::solve_store`), on random workloads;
 //! * (b) `solve_batch` equals a sequential `solve` loop instance-by-instance;
-//! * (c) the deprecated shim agrees with the engine on the full named-query
-//!   catalogue;
+//! * (c) the two store paths agree on the full named-query catalogue;
 //! * structured-result invariants: `Resilience::Unfalsifiable` appears
 //!   exactly where the legacy `None` did, and `want_contingency(false)`
 //!   never changes the computed value.
-
-// The shim is exercised on purpose: these tests prove it matches the engine.
-#![allow(deprecated)]
 
 use cq::catalogue;
 use cq::parse_query;
 use database::{Database, FrozenDb, TupleId, WitnessSet};
 use proptest::prelude::*;
-use resilience_core::engine::{Engine, Resilience, SolveOptions, SolveReport};
-use resilience_core::solver::{ResilienceSolver, SolveOutcome};
+use resilience_core::engine::{
+    CompiledQuery, Engine, Resilience, SolveOptions, SolveReport, SolveScratch,
+};
 use std::collections::HashSet;
 use workloads::Workload;
 
@@ -61,35 +58,42 @@ fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Databa
     db
 }
 
-/// Asserts the legacy shim outcome and an engine report describe the same
-/// result.
-fn assert_outcome_matches_report(name: &str, outcome: &SolveOutcome, report: &SolveReport) {
+/// Solves over the mutable store (no freeze) through the store-generic
+/// engine core, with fresh scratch — the legacy one-call shape.
+fn solve_store_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("store solve failed")
+}
+
+/// Asserts the mutable-store report and the frozen-path report describe the
+/// same result.
+fn assert_outcome_matches_report(name: &str, outcome: &SolveReport, report: &SolveReport) {
     assert_eq!(
-        outcome.resilience,
-        report.resilience.as_finite(),
-        "{name}: value mismatch between legacy and engine paths"
+        outcome.resilience, report.resilience,
+        "{name}: value mismatch between store and frozen paths"
     );
     assert_eq!(
         outcome.contingency, report.contingency,
-        "{name}: contingency mismatch between legacy and engine paths"
+        "{name}: contingency mismatch between store and frozen paths"
     );
     assert_eq!(
         outcome.method, report.method,
-        "{name}: method mismatch between legacy and engine paths"
+        "{name}: method mismatch between store and frozen paths"
     );
 }
 
 #[test]
-fn shim_agrees_with_engine_on_the_full_catalogue() {
+fn store_path_agrees_with_frozen_path_on_the_full_catalogue() {
     // (c): every named query of the paper's catalogue, on two random
-    // instances each: the deprecated facade and the engine must agree
-    // exactly (value, contingency, method).
+    // instances each: the mutable-store path and the frozen path must
+    // agree exactly (value, contingency, method).
     for nq in catalogue::all_named_queries() {
-        let solver = ResilienceSolver::new(&nq.query);
         let compiled = Engine::compile(&nq.query);
         for seed in [3u64, 11] {
             let db = random_instance(&nq.query, seed, 6, 0.25);
-            let outcome = solver.solve(&db);
+            let outcome = solve_store_once(&compiled, &db);
             let report = compiled
                 .solve(&db.freeze(), &SolveOptions::new())
                 .unwrap_or_else(|e| panic!("{}: engine failed: {e}", nq.name));
@@ -164,12 +168,12 @@ proptest! {
         for &(a, b) in &edges {
             db.insert_named("R", &[a, b]);
         }
-        let solver = ResilienceSolver::new(&q);
-        let outcome = solver.solve(&db);
-        let report = Engine::compile(&q)
+        let compiled = Engine::compile(&q);
+        let outcome = solve_store_once(&compiled, &db);
+        let report = compiled
             .solve(&db.freeze(), &SolveOptions::new())
             .unwrap();
-        prop_assert_eq!(outcome.resilience, report.resilience.as_finite());
+        prop_assert_eq!(outcome.resilience, report.resilience);
         prop_assert_eq!(outcome.contingency, report.contingency);
         prop_assert_eq!(outcome.method, report.method);
     }
@@ -192,12 +196,12 @@ proptest! {
         for &c in &c_vals {
             db.insert_named("C", &[c]);
         }
-        let solver = ResilienceSolver::new(&q);
-        let outcome = solver.solve(&db);
-        let report = Engine::compile(&q)
+        let compiled = Engine::compile(&q);
+        let outcome = solve_store_once(&compiled, &db);
+        let report = compiled
             .solve(&db.freeze(), &SolveOptions::new())
             .unwrap();
-        prop_assert_eq!(outcome.resilience, report.resilience.as_finite());
+        prop_assert_eq!(outcome.resilience, report.resilience);
         prop_assert_eq!(outcome.contingency, report.contingency);
         prop_assert_eq!(outcome.method, report.method);
     }
@@ -257,11 +261,12 @@ proptest! {
         for &(a, b) in &edges {
             db.insert_named("R", &[a, b]);
         }
-        let outcome = ResilienceSolver::new(&q).solve(&db);
-        let report = Engine::compile(&q)
+        let compiled = Engine::compile(&q);
+        let outcome = solve_store_once(&compiled, &db);
+        let report = compiled
             .solve(&db.freeze(), &SolveOptions::new())
             .unwrap();
-        prop_assert_eq!(outcome.resilience.is_none(), report.resilience.is_unfalsifiable());
+        prop_assert_eq!(outcome.resilience, report.resilience);
         if db.num_tuples() > 0 {
             prop_assert_eq!(report.resilience, Resilience::Unfalsifiable);
         } else {

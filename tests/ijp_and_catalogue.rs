@@ -1,16 +1,21 @@
 //! Integration tests for experiment E9 (Independent Join Paths) and for
 //! cross-crate consistency of the named-query catalogue.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
 use cq::catalogue::{self, PaperClass};
 use cq::{classify, parse_query};
 use database::Database;
+use resilience_core::engine::{CompiledQuery, Engine, SolveOptions, SolveReport, SolveScratch};
 use resilience_core::ijp::{check_ijp, find_ijp_pair, search_ijp};
-use resilience_core::solver::ResilienceSolver;
 use resilience_core::ExactSolver;
+
+/// Solves over the mutable store (no freeze) through the store-generic
+/// engine core, with fresh scratch per call.
+fn solve_store_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("store solve failed")
+}
 
 #[test]
 fn example_58_and_59_are_ijps() {
@@ -53,7 +58,7 @@ fn ptime_catalogue_queries_do_not_trip_the_hard_solver_path() {
     // Every PTIME catalogue query gets a solver whose classification is
     // PTIME; every NP-complete one is NP-complete; open ones are open.
     for nq in catalogue::all_named_queries() {
-        let solver = ResilienceSolver::new(&nq.query);
+        let solver = Engine::compile(&nq.query);
         let complexity = &solver.classification().complexity;
         match nq.paper_class {
             PaperClass::PTime => assert!(complexity.is_ptime(), "{}", nq.name),
@@ -73,11 +78,12 @@ fn every_catalogue_query_solves_a_small_random_instance() {
     for nq in catalogue::all_named_queries() {
         let mut workload = workloads::Workload::new(9_000);
         let db = workload.random_database(&nq.query, 12, 5);
-        let solver = ResilienceSolver::new(&nq.query);
-        let outcome = solver.solve(&db);
+        let solver = Engine::compile(&nq.query);
+        let outcome = solve_store_once(&solver, &db);
         let truth = exact.resilience_value(&nq.query, &db);
         assert_eq!(
-            outcome.resilience, truth,
+            outcome.resilience.as_finite(),
+            truth,
             "{} disagrees on random instance",
             nq.name
         );

@@ -9,16 +9,12 @@
 //! * domination normal form preserves resilience (Proposition 18);
 //! * gadget soundness on random vertex-cover instances.
 
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
-
 use cq::domination::normalize;
 use cq::homomorphism::{are_equivalent, is_minimal, minimize};
 use cq::{classify, parse_query};
 use database::{Database, TupleId, WitnessSet};
 use proptest::prelude::*;
-use resilience_core::solver::ResilienceSolver;
+use resilience_core::engine::{CompiledQuery, Engine, SolveOptions, SolveReport, SolveScratch};
 use resilience_core::ExactSolver;
 use satgad::{min_vertex_cover_size, UndirectedGraph};
 use std::collections::HashSet;
@@ -36,6 +32,15 @@ fn chain_db(edges: &[(u64, u64)]) -> (cq::Query, Database) {
         db.insert_named("R", &[a, b]);
     }
     (q, db)
+}
+
+/// Solves over the mutable store (no freeze) through the store-generic
+/// engine core, with fresh scratch per call.
+fn solve_store_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("store solve failed")
 }
 
 proptest! {
@@ -85,8 +90,8 @@ proptest! {
         for &c in &c_vals {
             db.insert_named("C", &[c]);
         }
-        let solver = ResilienceSolver::new(&q);
-        let flow = solver.resilience(&db);
+        let solver = Engine::compile(&q);
+        let flow = solve_store_once(&solver, &db).resilience.as_finite();
         let exact = ExactSolver::new().resilience_value(&q, &db);
         prop_assert_eq!(flow, exact);
     }
@@ -104,8 +109,11 @@ proptest! {
         for &a in &a_vals {
             db.insert_named("A", &[a]);
         }
-        let solver = ResilienceSolver::new(&q);
-        prop_assert_eq!(solver.resilience(&db), ExactSolver::new().resilience_value(&q, &db));
+        let solver = Engine::compile(&q);
+        prop_assert_eq!(
+            solve_store_once(&solver, &db).resilience.as_finite(),
+            ExactSolver::new().resilience_value(&q, &db)
+        );
     }
 
     #[test]
@@ -121,8 +129,11 @@ proptest! {
         for &a in &a_vals {
             db.insert_named("A", &[a]);
         }
-        let solver = ResilienceSolver::new(&q);
-        prop_assert_eq!(solver.resilience(&db), ExactSolver::new().resilience_value(&q, &db));
+        let solver = Engine::compile(&q);
+        prop_assert_eq!(
+            solve_store_once(&solver, &db).resilience.as_finite(),
+            ExactSolver::new().resilience_value(&q, &db)
+        );
     }
 
     #[test]

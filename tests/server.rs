@@ -672,4 +672,74 @@ fn stats_verb_counts_requests_errors_and_plan_cache_hits() {
     assert_eq!(count(&["plan_cache", "misses"]), 1);
     assert_eq!(count(&["plan_cache", "hits"]), 1);
     assert_eq!(count(&["plan_cache", "bypasses"]), 0);
+    // The warm-flow aggregate renders next to the plan cache even before
+    // any session resolves.
+    assert_eq!(count(&["warm_flow", "flow_warm_reuses"]), 0);
+    assert_eq!(count(&["warm_flow", "flow_cold_rebuilds"]), 0);
+}
+
+#[test]
+fn stats_verb_aggregates_warm_flow_counters() {
+    // A flow-dispatched session driven through several delete+resolve steps
+    // must surface its warm-start activity in the daemon-wide stats: one
+    // cold rebuild for the first deleted-state solve, warm reuses after.
+    let (addr, _guard) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    let text = "A(x), R(x,y), R(z,y), C(z)";
+    let q = parse_query(text).unwrap();
+    let db = random_instance(&q, 41, 8, 0.3);
+    let db_text = to_text(&db);
+    let (local_db, _) = parse_database_with_labels(&q, &db_text).unwrap();
+    let (qid, _, _) = client.compile(text).unwrap();
+    let (db_id, _) = client.load_text(&qid, &db_text).unwrap();
+    let (resp, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    let sid = resp
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    let sequence = Workload::new(41 ^ 0xf10).random_deletion_sequence(&q, &local_db, 6);
+    assert!(sequence.len() >= 2, "instance too sparse for the sweep");
+    for &t in &sequence {
+        let fact = jsonio::render_tuple(&local_db, t);
+        client
+            .request(&format!(
+                "{{\"op\": \"delete\", \"session_id\": \"{sid}\", \"tuple\": \"{fact}\"}}"
+            ))
+            .unwrap();
+        client
+            .request(&format!(
+                "{{\"op\": \"resolve\", \"session_id\": \"{sid}\"}}"
+            ))
+            .unwrap();
+    }
+    let (v, _) = client.request("{\"op\": \"stats\"}").unwrap();
+    let stats = v.get("stats").expect("stats object");
+    let count = |path: &[&str]| -> usize {
+        let mut node = stats;
+        for key in path {
+            node = node.get(key).unwrap_or(&JsonValue::Null);
+        }
+        node.as_usize().unwrap_or(0)
+    };
+    assert_eq!(
+        count(&["warm_flow", "flow_cold_rebuilds"]),
+        1,
+        "exactly one cold build of the warm network"
+    );
+    assert_eq!(
+        count(&["warm_flow", "flow_warm_reuses"]),
+        sequence.len() - 1,
+        "every later deleted-state solve must reuse the resident flow"
+    );
+    assert!(
+        count(&["warm_flow", "flow_paths_repaired"])
+            + count(&["warm_flow", "flow_paths_reaugmented"])
+            > 0,
+        "the sweep must exercise residual repair or re-augmentation"
+    );
 }

@@ -330,6 +330,98 @@ fn warm_start_statistics_reflect_incumbent_use() {
 }
 
 #[test]
+fn warm_flow_state_is_reused_across_flow_session_steps() {
+    // Flow-dispatched sessions must keep the residual network resident:
+    // after the first solve in a deleted state (which builds the warm
+    // network, `flow_cold_rebuild`), every further delete/restore step must
+    // repair the existing flow in place (`flow_warm_reused`) rather than
+    // rebuild, while agreeing exactly with a from-scratch solve.
+    for nq in [catalogue::q_acconf(), catalogue::q_perm(), catalogue::z3()] {
+        let compiled = Engine::compile(&nq.query);
+        let db = random_instance(&nq.query, 41, 8, 0.3);
+        let frozen = db.freeze();
+        let opts = SolveOptions::new();
+        let mut session = compiled.session(&frozen).unwrap();
+        let seq = Workload::new(41 ^ 0xf10).random_deletion_sequence(&nq.query, &db, 8);
+        if seq.len() < 3 {
+            continue;
+        }
+        // Zero-deletion solves stay on the plain cold path: no warm flow.
+        session.solve(&opts).unwrap();
+        let stats = session.last_solve_stats();
+        assert!(
+            !stats.flow_warm_reused && !stats.flow_cold_rebuild,
+            "{}: zero-deletion solve must not touch warm flow state",
+            nq.name
+        );
+        let mut deleted: HashSet<TupleId> = HashSet::new();
+        let mut any_rebuild = false;
+        let mut reused_steps = 0usize;
+        for (step, &t) in seq.iter().enumerate() {
+            if step % 3 == 2 {
+                let back = *deleted.iter().next().unwrap();
+                deleted.remove(&back);
+                session.restore(&[back]);
+            } else {
+                deleted.insert(t);
+                session.delete(&[t]);
+            }
+            let report = session.solve(&opts).unwrap();
+            let stats = session.last_solve_stats();
+            any_rebuild |= stats.flow_cold_rebuild;
+            if stats.flow_warm_reused && !stats.flow_cold_rebuild {
+                reused_steps += 1;
+            }
+            let scratch = compiled
+                .solve(&db.without(&deleted).freeze(), &opts)
+                .unwrap();
+            assert_eq!(
+                report.resilience, scratch.resilience,
+                "{} step {step}: warm flow diverged from scratch",
+                nq.name
+            );
+        }
+        assert!(any_rebuild, "{}: no step built the warm network", nq.name);
+        assert!(
+            reused_steps > 0,
+            "{}: no step repaired the resident flow in place",
+            nq.name
+        );
+        // `reset` must invalidate the warm state: the next dispatched
+        // deleted-state solve rebuilds from cold, never reuses.
+        session.reset();
+        session.delete(&[seq[0]]);
+        session.solve(&opts).unwrap();
+        let stats = session.last_solve_stats();
+        assert!(
+            !stats.flow_warm_reused,
+            "{}: reset must invalidate resident flow state",
+            nq.name
+        );
+        if !stats.replayed && !stats.short_circuit {
+            assert!(
+                stats.flow_cold_rebuild,
+                "{}: post-reset dispatch must rebuild the warm network",
+                nq.name
+            );
+        }
+        // Disabling warm starts bypasses the warm flow layer entirely.
+        session.delete(&[seq[1]]);
+        let cold_opts = SolveOptions::new().warm_start(false);
+        session.solve(&cold_opts).unwrap();
+        let stats = session.last_solve_stats();
+        assert!(
+            !stats.flow_warm_reused
+                && !stats.flow_cold_rebuild
+                && stats.flow_paths_repaired == 0
+                && stats.flow_paths_reaugmented == 0,
+            "{}: warm_start(false) must leave warm flow untouched",
+            nq.name
+        );
+    }
+}
+
+#[test]
 fn parallel_enumeration_is_deterministic_on_the_catalogue() {
     // The CI determinism gate: 1-thread and N-thread enumeration must be
     // bit-identical (same witnesses, same order) for every catalogue query,

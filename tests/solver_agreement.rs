@@ -1,15 +1,13 @@
 //! Integration test for experiments E1, E3 and E6: on randomized workloads,
-//! the polynomial algorithms selected by `ResilienceSolver` agree with the
-//! exact branch-and-bound solver for every PTIME query of the paper, and the
+//! the polynomial algorithms selected by the engine agree with the exact
+//! branch-and-bound solver for every PTIME query of the paper, and the
 //! contingency sets they report are genuine contingency sets.
-
-// The legacy `ResilienceSolver` facade is exercised on purpose here; the
-// engine API has its own coverage (tests/engine.rs).
-#![allow(deprecated)]
 
 use cq::catalogue;
 use database::{evaluate, Database, TupleId, WitnessSet};
-use resilience_core::solver::{ResilienceSolver, SolveMethod};
+use resilience_core::engine::{
+    CompiledQuery, Engine, SolveMethod, SolveOptions, SolveReport, SolveScratch,
+};
 use resilience_core::ExactSolver;
 use std::collections::HashSet;
 use workloads::Workload;
@@ -36,8 +34,17 @@ fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Databa
     db
 }
 
+/// Solves over the mutable store (no freeze) through the store-generic
+/// engine core, with fresh scratch per call.
+fn solve_store_once(compiled: &CompiledQuery, db: &Database) -> SolveReport {
+    let mut scratch = SolveScratch::new();
+    compiled
+        .solve_store(db, &SolveOptions::new(), &mut scratch)
+        .expect("store solve failed")
+}
+
 fn check_agreement(name: &str, query_text_or_catalogue: &cq::Query, seeds: &[u64], nodes: u64) {
-    let solver = ResilienceSolver::new(query_text_or_catalogue);
+    let solver = Engine::compile(query_text_or_catalogue);
     assert!(
         solver.classification().complexity.is_ptime(),
         "{name} should be PTIME"
@@ -45,7 +52,7 @@ fn check_agreement(name: &str, query_text_or_catalogue: &cq::Query, seeds: &[u64
     let exact = ExactSolver::new();
     for &seed in seeds {
         let db = random_instance(query_text_or_catalogue, seed, nodes, 0.22);
-        let outcome = solver.solve(&db);
+        let outcome = solve_store_once(&solver, &db);
         assert_ne!(
             outcome.method,
             SolveMethod::ExactBranchAndBound,
@@ -53,12 +60,13 @@ fn check_agreement(name: &str, query_text_or_catalogue: &cq::Query, seeds: &[u64
         );
         let truth = exact.resilience_value(query_text_or_catalogue, &db);
         assert_eq!(
-            outcome.resilience, truth,
+            outcome.resilience.as_finite(),
+            truth,
             "{name} (seed {seed}): flow={:?} exact={truth:?}",
             outcome.resilience
         );
         // Contingency sets, when reported, must actually falsify the query.
-        if let (Some(gamma), Some(value)) = (&outcome.contingency, outcome.resilience) {
+        if let (Some(gamma), Some(value)) = (&outcome.contingency, outcome.resilience.as_finite()) {
             let gamma: HashSet<TupleId> = gamma.iter().copied().collect();
             assert_eq!(gamma.len(), value, "{name}: contingency size mismatch");
             let ws = WitnessSet::build(query_text_or_catalogue, &db);
@@ -125,13 +133,16 @@ fn hard_queries_still_get_exact_answers() {
     // For NP-complete queries the solver uses branch and bound; verify it on
     // moderate random chain instances against a direct exact call.
     let q = catalogue::q_chain().query;
-    let solver = ResilienceSolver::new(&q);
+    let solver = Engine::compile(&q);
     let exact = ExactSolver::new();
     for seed in [31u64, 32, 33] {
         let db = random_instance(&q, seed, 9, 0.2);
-        let outcome = solver.solve(&db);
+        let outcome = solve_store_once(&solver, &db);
         assert_eq!(outcome.method, SolveMethod::ExactBranchAndBound);
-        assert_eq!(outcome.resilience, exact.resilience_value(&q, &db));
+        assert_eq!(
+            outcome.resilience.as_finite(),
+            exact.resilience_value(&q, &db)
+        );
     }
 }
 
