@@ -54,6 +54,21 @@
 //! ```
 //!
 //! `--smoke` shrinks the sweep for CI (still asserting identical results).
+//! `--pipeline D` switches the timed clients to pipelined I/O: `D` frames
+//! per write, responses read back in arrival order (byte-identity still
+//! asserted per response).
+//!
+//! `--idle-conns N` switches serve mode to an idle-overhead comparison:
+//! each configuration runs with 0 and with `N` held-open idle keep-alive
+//! connections, best-of-`--reps`, and the difference measures what an idle
+//! horde costs the event loop. `--max-idle-overhead-pct P` turns the worst
+//! loss into a pass/fail gate, as the committed `BENCH_PR9.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- serve \
+//!     --idle-conns 512 --clients 8 --requests 50 --reps 3 \
+//!     --max-idle-overhead-pct 10 --out BENCH_PR9.json
+//! ```
 //!
 //! `--deadlines` switches serve mode to an overhead comparison: every
 //! request is issued twice per configuration — without options and with a
@@ -672,12 +687,16 @@ fn drive_daemon(
     clients: usize,
     requests: usize,
     options_json: Option<&str>,
+    idle_conns: usize,
+    pipeline: usize,
 ) -> (u64, usize) {
     use server::client::Client;
     use server::{jsonio, Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     // Queue depth covers every client: this mode measures throughput, not
-    // admission control, so surplus connections must queue and drain (the
+    // admission control, so surplus requests must queue and drain (the
     // default depth of 2x workers would refuse them as overloaded).
     let server = Server::bind(
         ServerConfig::new("127.0.0.1:0")
@@ -714,9 +733,7 @@ fn drive_daemon(
 
     // Phase 1 — setup on a short-lived connection per client: register the
     // query and upload the instance, then disconnect. The registry is
-    // shared across connections, so the handles stay valid. (Connections
-    // must not linger: the pool serves at most `workers` connections at a
-    // time — a held-open idle connection would occupy a worker.)
+    // shared across connections, so the handles stay valid.
     let handles: Vec<(String, String)> = setups
         .iter()
         .map(|(text, _)| {
@@ -727,11 +744,22 @@ fn drive_daemon(
         })
         .collect();
 
+    // The idle horde: held-open keep-alive connections that never write a
+    // byte. Under the event loop each one costs a registered fd and
+    // nothing else — `--idle-conns` plus `--max-idle-overhead-pct` gates
+    // exactly that claim.
+    let idle: Vec<TcpStream> = (0..idle_conns)
+        .map(|i| {
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connection {i} refused: {e}"))
+        })
+        .collect();
+
     // Phase 2 — timed: all clients pass the barrier, open a fresh
-    // connection each and fire their requests. With fewer workers than
-    // clients the surplus connections queue and drain as workers free up —
-    // exactly the admission behavior a bounded pool gives production
-    // traffic.
+    // connection each and fire their requests — one at a time through the
+    // shared client, or `pipeline` frames per write with responses read
+    // back in order. Byte-identity with the local report is asserted on
+    // every response either way.
+    let pipeline = pipeline.max(1);
     let barrier = std::sync::Barrier::new(clients + 1);
     let total_ns = std::thread::scope(|scope| {
         let join_handles: Vec<_> = setups
@@ -749,15 +777,45 @@ fn drive_daemon(
                          \"tag\": \"c{i}\"{options}}}"
                     );
                     barrier.wait();
-                    let mut client = Client::connect(addr).expect("connect failed");
-                    for _ in 0..requests {
-                        let raw = client.request_raw(&request).expect("request failed");
-                        let got = jsonio::extract_raw(&raw, "result");
-                        assert_eq!(
-                            got,
-                            Some(expected.as_str()),
-                            "client {i}: response differs from local report (raw: {raw})"
-                        );
+                    if pipeline <= 1 {
+                        let mut client = Client::connect(addr).expect("connect failed");
+                        for _ in 0..requests {
+                            let raw = client.request_raw(&request).expect("request failed");
+                            let got = jsonio::extract_raw(&raw, "result");
+                            assert_eq!(
+                                got,
+                                Some(expected.as_str()),
+                                "client {i}: response differs from local report (raw: {raw})"
+                            );
+                        }
+                    } else {
+                        let stream = TcpStream::connect(addr).expect("connect failed");
+                        let _ = stream.set_nodelay(true);
+                        let mut reader = BufReader::new(stream.try_clone().expect("clone failed"));
+                        let mut stream = stream;
+                        let mut sent = 0usize;
+                        let mut line = String::new();
+                        while sent < requests {
+                            let burst = pipeline.min(requests - sent);
+                            let mut buf = String::with_capacity(burst * (request.len() + 1));
+                            for _ in 0..burst {
+                                buf.push_str(&request);
+                                buf.push('\n');
+                            }
+                            stream.write_all(buf.as_bytes()).expect("send failed");
+                            for _ in 0..burst {
+                                line.clear();
+                                reader.read_line(&mut line).expect("receive failed");
+                                assert!(!line.is_empty(), "client {i}: connection closed");
+                                let got = jsonio::extract_raw(line.trim_end(), "result");
+                                assert_eq!(
+                                    got,
+                                    Some(expected.as_str()),
+                                    "client {i}: pipelined response differs (raw: {line})"
+                                );
+                            }
+                            sent += burst;
+                        }
                     }
                 })
             })
@@ -769,6 +827,7 @@ fn drive_daemon(
         }
         start.elapsed().as_nanos() as u64
     });
+    drop(idle);
     flag.store(true, std::sync::atomic::Ordering::SeqCst);
     server_thread.join().expect("daemon thread panicked");
     (total_ns, clients * requests)
@@ -1063,6 +1122,9 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let mut timeout_ms = 60_000u64;
     let mut max_overhead_pct: Option<f64> = None;
     let mut reps = 3usize;
+    let mut idle_conns = 0usize;
+    let mut pipeline = 1usize;
+    let mut max_idle_overhead_pct: Option<f64> = None;
     let mut out_path: Option<String> = None;
     let mut label = "PR5-serve".to_string();
     let mut it = args.iter();
@@ -1137,6 +1199,33 @@ fn serve_mode(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--idle-conns" => {
+                idle_conns = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--idle-conns needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--pipeline" => {
+                pipeline = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--pipeline needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-idle-overhead-pct" => {
+                max_idle_overhead_pct = match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--max-idle-overhead-pct needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--out" => out_path = it.next().cloned(),
             "--label" => label = it.next().cloned().unwrap_or(label),
             other => {
@@ -1148,11 +1237,16 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let Some(out_path) = out_path else {
         eprintln!(
             "usage: perfbench serve [--workers-list 1,2,4] [--clients C] [--requests R] \
-             [--smoke] [--deadlines [--timeout-ms MS] [--max-overhead-pct P] [--reps K]] \
+             [--smoke] [--pipeline D] \
+             [--idle-conns N [--max-idle-overhead-pct P]] \
+             [--deadlines [--timeout-ms MS] [--max-overhead-pct P]] [--reps K] \
              [--label name] --out <json>"
         );
         return ExitCode::FAILURE;
     };
+    if idle_conns > 0 && label == "PR5-serve" {
+        label = "PR9-serve-idle".to_string();
+    }
     if smoke {
         clients = clients.min(4);
         requests = requests.min(8);
@@ -1174,6 +1268,7 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let mut rows = Vec::new();
     let mut summary = String::new();
     let mut worst_overhead: Option<(String, f64)> = None;
+    let mut worst_idle: Option<(String, f64)> = None;
     let deadline_opts = format!("{{\"timeout_ms\": {timeout_ms}}}");
     for w in &BATCH_WORKLOADS {
         let w = &BatchWorkload {
@@ -1182,7 +1277,43 @@ fn serve_mode(args: &[String]) -> ExitCode {
         };
         for &workers in &workers_list {
             let name = format!("serve/{}", w.name.replace("_batch", "_solve"));
-            if deadlines {
+            if idle_conns > 0 {
+                // Interleave a 0-idle baseline and a run under the idle
+                // horde; min-of-reps cancels most scheduler noise, so the
+                // difference isolates what held-open connections cost the
+                // event loop. Byte-identity is asserted on every response
+                // in both runs.
+                let (mut base_ns, mut idle_ns) = (u64::MAX, u64::MAX);
+                let mut total_requests = 0;
+                for _ in 0..reps {
+                    let (b, n) = drive_daemon(w, workers, clients, requests, None, 0, pipeline);
+                    let (d, _) =
+                        drive_daemon(w, workers, clients, requests, None, idle_conns, pipeline);
+                    base_ns = base_ns.min(b);
+                    idle_ns = idle_ns.min(d);
+                    total_requests = n;
+                }
+                let overhead_pct =
+                    (idle_ns as f64 - base_ns as f64) / (base_ns as f64).max(1.0) * 100.0;
+                if worst_idle.as_ref().is_none_or(|(_, p)| overhead_pct > *p) {
+                    worst_idle = Some((format!("{name} workers {workers}"), overhead_pct));
+                }
+                let base_rps = total_requests as f64 / (base_ns as f64 / 1e9).max(1e-9);
+                let idle_rps = total_requests as f64 / (idle_ns as f64 / 1e9).max(1e-9);
+                rows.push(format!(
+                    "    {{\"bench\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
+                     \"requests_per_client\": {requests}, \"requests\": {total_requests}, \
+                     \"pipeline\": {pipeline}, \"idle_conns\": {idle_conns}, \
+                     \"base_ns\": {base_ns}, \"idle_ns\": {idle_ns}, \
+                     \"base_requests_per_sec\": {base_rps:.1}, \
+                     \"idle_requests_per_sec\": {idle_rps:.1}, \
+                     \"overhead_pct\": {overhead_pct:.2}, \"identical_results\": true}}"
+                ));
+                summary.push_str(&format!(
+                    "{name:<24} workers {workers:>2}: {base_rps:.0} req/s bare, {idle_rps:.0} \
+                     req/s under {idle_conns} idle conns  ({overhead_pct:+.2}%)\n"
+                ));
+            } else if deadlines {
                 // Interleave baseline and deadline runs and keep the best of
                 // each: min-of-reps cancels most scheduler noise, so the
                 // difference isolates the cancellation-poll cost (the
@@ -1192,8 +1323,16 @@ fn serve_mode(args: &[String]) -> ExitCode {
                 let (mut base_ns, mut dl_ns) = (u64::MAX, u64::MAX);
                 let mut total_requests = 0;
                 for _ in 0..reps {
-                    let (b, n) = drive_daemon(w, workers, clients, requests, None);
-                    let (d, _) = drive_daemon(w, workers, clients, requests, Some(&deadline_opts));
+                    let (b, n) = drive_daemon(w, workers, clients, requests, None, 0, pipeline);
+                    let (d, _) = drive_daemon(
+                        w,
+                        workers,
+                        clients,
+                        requests,
+                        Some(&deadline_opts),
+                        0,
+                        pipeline,
+                    );
                     base_ns = base_ns.min(b);
                     dl_ns = dl_ns.min(d);
                     total_requests = n;
@@ -1218,14 +1357,15 @@ fn serve_mode(args: &[String]) -> ExitCode {
                      {dl_ns:>12} ns  ({overhead_pct:+.2}%)\n"
                 ));
             } else {
-                let (total_ns, total_requests) = drive_daemon(w, workers, clients, requests, None);
+                let (total_ns, total_requests) =
+                    drive_daemon(w, workers, clients, requests, None, 0, pipeline);
                 let secs = (total_ns as f64 / 1e9).max(1e-9);
                 let rps = total_requests as f64 / secs;
                 rows.push(format!(
                     "    {{\"bench\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
                      \"requests_per_client\": {requests}, \"requests\": {total_requests}, \
-                     \"total_ns\": {total_ns}, \"requests_per_sec\": {rps:.1}, \
-                     \"identical_results\": true}}"
+                     \"pipeline\": {pipeline}, \"total_ns\": {total_ns}, \
+                     \"requests_per_sec\": {rps:.1}, \"identical_results\": true}}"
                 ));
                 summary.push_str(&format!(
                     "{name:<24} workers {workers:>2}: {total_requests} requests in {total_ns:>12} ns  ({rps:.0} req/s)\n"
@@ -1233,7 +1373,9 @@ fn serve_mode(args: &[String]) -> ExitCode {
             }
         }
     }
-    let mode = if deadlines {
+    let mode = if idle_conns > 0 {
+        "daemon_idle_conn_overhead"
+    } else if deadlines {
         "daemon_deadline_overhead"
     } else {
         "daemon_requests_per_sec"
@@ -1254,6 +1396,19 @@ fn serve_mode(args: &[String]) -> ExitCode {
         }
         summary.push_str(&format!(
             "deadline overhead gate passed: worst {worst} at {pct:.2}% (limit {limit}%)\n"
+        ));
+    }
+    if let (Some(limit), Some((worst, pct))) = (max_idle_overhead_pct, &worst_idle) {
+        if *pct > limit {
+            eprintln!(
+                "idle-connection gate FAILED: {worst} loses {pct:.2}% under {idle_conns} idle \
+                 connections (limit {limit}%)"
+            );
+            return ExitCode::FAILURE;
+        }
+        summary.push_str(&format!(
+            "idle-connection gate passed: worst {worst} at {pct:.2}% under {idle_conns} idle \
+             connections (limit {limit}%)\n"
         ));
     }
     use std::io::Write as _;

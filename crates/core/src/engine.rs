@@ -61,6 +61,7 @@ use database::{
 use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which algorithm produced a solve result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -1305,6 +1306,10 @@ pub struct Session<C, D> {
     reduced_live: Option<ReducedSetsLive>,
     /// Compactions already reported through per-step solve stats.
     reduced_compactions_seen: u64,
+    /// When the session last did work (open, mutate, or solve). Registries
+    /// holding long-lived sessions use this to reap idle ones; see
+    /// [`Session::idle_for`].
+    last_touch: Instant,
 }
 
 /// A [`Session`] borrowing its compiled query and instance — the
@@ -1384,11 +1389,27 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
             reduced_live_wanted,
             reduced_live: None,
             reduced_compactions_seen: 0,
+            last_touch: Instant::now(),
         })
+    }
+
+    /// Marks the session as freshly used, restarting its idle clock. Called
+    /// automatically by every mutating or solving method; registries may
+    /// also call it directly (e.g. when a read-only inspection should count
+    /// as activity).
+    pub fn touch(&mut self) {
+        self.last_touch = Instant::now();
+    }
+
+    /// How long since the session last did work — the input to TTL reaping
+    /// of abandoned sessions in long-lived registries.
+    pub fn idle_for(&self) -> std::time::Duration {
+        self.last_touch.elapsed()
     }
     /// Marks the given tuples deleted; returns how many witnesses died as a
     /// result. Already-deleted tuples and ids outside the store are ignored.
     pub fn delete(&mut self, tuples: &[TupleId]) -> usize {
+        self.touch();
         let mut newly_dead = 0usize;
         for &t in tuples {
             if t.index() >= self.deleted.len() || self.deleted[t.index()] {
@@ -1416,6 +1437,7 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
     /// life. Tuples that are not currently deleted are ignored, so restores
     /// may arrive in any order relative to the deletes that preceded them.
     pub fn restore(&mut self, tuples: &[TupleId]) -> usize {
+        self.touch();
         let mut revived = 0usize;
         for &t in tuples {
             if t.index() >= self.deleted.len() || !self.deleted[t.index()] {
@@ -1441,6 +1463,7 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
 
     /// Restores every deleted tuple (back to the full instance).
     pub fn reset(&mut self) {
+        self.touch();
         if self.deleted_count > 0 {
             self.version += 1;
         }
@@ -1547,6 +1570,7 @@ impl<C: Borrow<CompiledQuery>, D: Borrow<FrozenDb>> Session<C, D> {
     /// minimum sets, and a *tight* node budget may be exhausted at
     /// different points (see [`SolveOptions::warm_start`]).
     pub fn solve(&mut self, opts: &SolveOptions) -> Result<SolveReport, SolveError> {
+        self.touch();
         self.stats = SessionSolveStats::default();
         if opts.warm_start {
             if let Some(cache) = &self.cache {

@@ -162,6 +162,24 @@ impl FrozenDb {
         self.tuple_rel.len()
     }
 
+    /// Estimated resident size of the frozen instance in bytes: the sum of
+    /// the CSR arena lengths times their element sizes, plus the per-slot
+    /// bucket entries. Deliberately an *estimate* — allocator slack and the
+    /// lazily-built dedup map are not counted — but it is monotone in
+    /// instance size, which is all a byte-budget admission policy needs.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let bucket_entries: usize = self.slot_buckets.iter().map(|m| m.len()).sum();
+        self.tuple_rel.len() * size_of::<RelId>()
+            + self.tuple_start.len() * size_of::<u32>()
+            + self.values_flat.len() * size_of::<Constant>()
+            + self.rel_tuples.len() * size_of::<TupleId>()
+            + self.rel_offsets.len() * size_of::<u32>()
+            + bucket_entries * size_of::<(Constant, BucketRange)>()
+            + self.index_arena.len() * size_of::<TupleId>()
+            + self.pos_base.len() * size_of::<u32>()
+    }
+
     /// Whether the instance holds no tuples.
     pub fn is_empty(&self) -> bool {
         self.tuple_rel.is_empty()

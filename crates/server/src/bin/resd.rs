@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! resd <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]
+//!             [--pipeline-depth N] [--max-conns N] [--session-ttl-ms N]
+//!             [--max-queries N] [--max-dbs N] [--max-sessions N]
+//!             [--max-resident-mb N]
 //! ```
 //!
 //! Binds `<addr>` (port 0 picks a free port; the actually bound address is
 //! printed as `resd listening on <addr>`), serves the newline-delimited
 //! JSON protocol documented in the `server` crate, and exits on the
-//! `shutdown` verb or when `--shutdown-file` appears.
+//! `shutdown` verb or when `--shutdown-file` appears. The `--max-*` flags
+//! set the per-tenant quotas (`--max-resident-mb` in MiB of estimated
+//! frozen-instance bytes).
 
 use server::{serve, ServerConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: resd <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]");
+    eprintln!(
+        "usage: resd <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]\n\
+         \x20            [--pipeline-depth N] [--max-conns N] [--session-ttl-ms N]\n\
+         \x20            [--max-queries N] [--max-dbs N] [--max-sessions N] [--max-resident-mb N]"
+    );
     ExitCode::from(2)
 }
 
@@ -23,24 +32,33 @@ fn main() -> ExitCode {
         return usage();
     };
     let mut config = ServerConfig::new(addr.clone());
+    let mut quotas = config.quotas;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) => config = config.workers(n),
-                None => return usage(),
-            },
-            "--shutdown-file" => match it.next() {
+        if arg == "--shutdown-file" {
+            match it.next() {
                 Some(path) => config = config.shutdown_file(path),
                 None => return usage(),
-            },
-            "--plan-cache-capacity" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) => config = config.plan_cache_capacity(n),
-                None => return usage(),
-            },
+            }
+            continue;
+        }
+        let Some(n) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+            return usage();
+        };
+        match arg.as_str() {
+            "--workers" => config = config.workers(n),
+            "--plan-cache-capacity" => config = config.plan_cache_capacity(n),
+            "--pipeline-depth" => config = config.pipeline_depth(n),
+            "--max-conns" => config = config.max_conns(n),
+            "--session-ttl-ms" => config = config.session_ttl_ms(n as u64),
+            "--max-queries" => quotas.max_compiled_queries = n,
+            "--max-dbs" => quotas.max_frozen_instances = n,
+            "--max-sessions" => quotas.max_open_sessions = n,
+            "--max-resident-mb" => quotas.max_resident_bytes = n << 20,
             _ => return usage(),
         }
     }
+    config = config.quotas(quotas);
     match serve(config) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

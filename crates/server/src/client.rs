@@ -17,9 +17,23 @@ use std::time::Duration;
 /// error — and with what exponential backoff. Only refusals the server
 /// explicitly marks retryable and connection-level failures are retried;
 /// logical errors (`bad_request`, `budget_exhausted`, `cancelled`, ...)
-/// never are. Retrying reconnects, which drops per-connection session
-/// state, so sessionful flows should only enable retry for their stateless
-/// preamble (`compile`/`load`/`solve`/`batch` are safe throughout).
+/// never are. Two safety rules bound what a retry may do:
+///
+/// * An `overloaded` refusal is an explicit promise the request was never
+///   admitted, so it is retried whatever the verb.
+/// * A transport failure mid-request is **ambiguous** — the request may or
+///   may not have executed before the connection died. Only idempotent
+///   verbs (re-executing observes the same state: `ping`, `compile`,
+///   `load`, `solve`, `batch`, `session`, `reset`, `resolve`,
+///   `batch_whatif`, `stats`) are retried then; the non-idempotent session
+///   mutations (`delete`, `restore`, `close` — and `unload`/`shutdown`)
+///   surface the ambiguity as an `ambiguous: ...` error instead, so a
+///   replay-driving client can reconcile state (e.g. via the `deleted`
+///   echo) rather than silently double-apply a mutation.
+///
+/// Retrying reconnects; sessions survive that (they live server-side,
+/// addressable by `session_id` under the same `auth` or by their `token`),
+/// so sessionful flows may keep retry enabled throughout.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries after the initial attempt (0 = fail fast).
@@ -61,10 +75,14 @@ impl RetryPolicy {
 /// How one failed request should be handled.
 struct RequestFailure {
     message: String,
-    /// Retryable implies the connection is gone (overload refusals close
-    /// it; transport errors mean it was never usable), so retry always
-    /// reconnects.
+    /// Retryable means the failure class can be retried at all (the
+    /// connection may be gone, so retry always reconnects).
     retryable: bool,
+    /// Whether the request may have executed before the failure: `false`
+    /// for `overloaded` refusals (an explicit not-admitted promise),
+    /// `true` for transport failures mid-request. Ambiguous failures are
+    /// only retried for idempotent verbs.
+    ambiguous: bool,
     /// The server's `retry_after_ms` hint, when it sent one.
     retry_after_ms: Option<u64>,
 }
@@ -74,6 +92,7 @@ impl RequestFailure {
         RequestFailure {
             message,
             retryable: false,
+            ambiguous: false,
             retry_after_ms: None,
         }
     }
@@ -82,9 +101,41 @@ impl RequestFailure {
         RequestFailure {
             message,
             retryable: true,
+            ambiguous: true,
             retry_after_ms: None,
         }
     }
+}
+
+/// The verbs a transport failure may safely re-execute: re-running them
+/// observes the same server state the first execution would have (absolute
+/// state, pure reads, or register-by-id replacement). Everything else —
+/// notably the incremental session mutations `delete`/`restore` and the
+/// handle-consuming `close`/`unload`/`shutdown` — is not on the list.
+const IDEMPOTENT_VERBS: &[&str] = &[
+    "ping",
+    "compile",
+    "load",
+    "freeze",
+    "solve",
+    "batch",
+    "session",
+    "reset",
+    "resolve",
+    "batch_whatif",
+    "stats",
+];
+
+/// Extracts the request's verb and whether it is idempotent. Unparseable
+/// requests classify as non-idempotent: when the client cannot tell what
+/// it sent, it must not guess that re-sending is safe.
+fn classify_op(line: &str) -> (String, bool) {
+    let op = jsonio::parse_json(line.trim())
+        .ok()
+        .and_then(|v| v.get("op").and_then(JsonValue::as_str).map(str::to_string))
+        .unwrap_or_else(|| "unknown".to_string());
+    let idempotent = IDEMPOTENT_VERBS.contains(&op.as_str());
+    (op, idempotent)
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -185,6 +236,8 @@ impl Client {
                     Err(RequestFailure {
                         message,
                         retryable: true,
+                        // A refusal proves the request was never admitted.
+                        ambiguous: false,
                         retry_after_ms: value
                             .get("retry_after_ms")
                             .and_then(JsonValue::as_usize)
@@ -204,13 +257,26 @@ impl Client {
     /// server's `error` text (or a transport/parse error). Under a retry
     /// policy ([`Client::connect_retrying`]), `overloaded` refusals and
     /// transport failures are retried with exponential backoff (honouring
-    /// the server's `retry_after_ms` hint), reconnecting each time.
+    /// the server's `retry_after_ms` hint), reconnecting each time —
+    /// except that a transport failure on a non-idempotent verb
+    /// (`delete`/`restore`/`close`/`unload`/`shutdown`) is never retried:
+    /// the request may already have executed, so the ambiguity surfaces as
+    /// an `ambiguous: ...` error instead (see [`RetryPolicy`]).
     pub fn request(&mut self, line: &str) -> Result<(JsonValue, String), String> {
+        let (op, idempotent) = classify_op(line);
         let mut retry = 0u32;
         loop {
             match self.request_once(line) {
                 Ok(ok) => return Ok(ok),
                 Err(failure) => {
+                    if failure.retryable && failure.ambiguous && !idempotent {
+                        return Err(format!(
+                            "ambiguous: transport failed mid-request ({}); \
+                             op \"{op}\" is not idempotent and was not retried — \
+                             it may or may not have executed on the server",
+                            failure.message
+                        ));
+                    }
                     let can_retry =
                         failure.retryable && retry < self.policy.attempts && self.addr.is_some();
                     if !can_retry {

@@ -1,0 +1,875 @@
+//! The readiness-polled event loop at the front of `resd`.
+//!
+//! One I/O thread owns every client socket in nonblocking mode and
+//! multiplexes them through a tiny FFI shim over the platform readiness
+//! API — `epoll(7)` on Linux, `poll(2)` elsewhere — kept std-only like the
+//! rest of the crate (no mio, no async runtime). An idle keep-alive
+//! connection costs one registered fd and a small `Conn` struct; a
+//! slow-loris writer trickles bytes into a bounded per-connection read
+//! buffer; neither ever pins a worker thread, which is the property the
+//! old thread-per-connection pool could not offer. Both the wait and the
+//! loop's own bookkeeping are **O(ready)**, not O(registered): the kernel
+//! reports only signalled fds, and each pass revisits only the
+//! connections something actually happened to (an event, a completion, an
+//! accept) — thousands of parked connections charge the hot path nothing.
+//!
+//! Data flow:
+//!
+//! ```text
+//!   epoll/poll ──readable──▶ read → frame split → frames queue ─┐ (≤1 in
+//!                                                               │  flight per
+//!   workers ◀─── bounded job channel ◀── dispatch ◀─────────────┘  conn)
+//!      │
+//!      └─▶ completion queue + self-pipe byte ──▶ wait wakes ──▶ write buf
+//!                                                            ──▶ socket
+//! ```
+//!
+//! * **Framing** happens here: complete newline-terminated request lines
+//!   are split off the read buffer; a line over `max_line_bytes` gets a
+//!   structured `bad_request` and the connection is closed after earlier
+//!   frames finish (matching the old loop's refuse-and-close).
+//! * **Pipelining**: a client may write many frames without reading.
+//!   Frames queue per connection (up to `pipeline_depth`; past that the
+//!   loop simply stops reading the socket, so TCP backpressure reaches the
+//!   client) and are *executed serially per connection* — at most one job
+//!   in flight — so responses are written in arrival order and session
+//!   mutations keep the deterministic order a sequential client observes.
+//!   Distinct connections execute concurrently across the worker pool,
+//!   exactly as before.
+//! * **Admission control** moved from connect time to dispatch time: the
+//!   job channel is bounded by `queue_depth`, and a frame that finds it
+//!   full is answered `overloaded` (with `retry_after_ms`) immediately —
+//!   idle connections no longer occupy queue slots, only runnable work
+//!   does.
+//! * **Wakeups**: workers push finished responses onto a shared completion
+//!   queue and write one byte into the self-pipe (a loopback socket pair —
+//!   no `pipe(2)` FFI needed), which the poller watches like any other fd.
+//!   The loop drains completions, appends to the owning connection's write
+//!   buffer and flushes as far as the socket allows; what remains waits for
+//!   write readiness. A peer that stops reading accumulates a write buffer
+//!   only up to `max_write_buf_bytes` and is then dropped.
+//! * **Housekeeping**: each pass also re-checks the shutdown flag/file and
+//!   (about once a second) reaps sessions idle past the TTL.
+//!
+//! Graceful shutdown: on the `shutdown` verb (flag set by the worker that
+//! served it) or the signal file, the loop stops accepting and dispatching,
+//! flushes every in-flight response — bounded by a drain grace period —
+//! and returns; dropping the job sender then winds down the workers.
+
+use crate::{proto, RequestLimits, ServerState};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Read-side interest (new frames wanted).
+const WANT_READ: u8 = 0b01;
+/// Write-side interest (flush blocked on the socket).
+const WANT_WRITE: u8 = 0b10;
+
+/// One readiness report from [`Poller::wait`]. `read` folds in
+/// hangup/error conditions (the read path discovers EOF/reset exactly as
+/// the old loop did); `bad` means the fd itself was invalid (poll(2)
+/// backend only — epoll cannot report it).
+struct Event {
+    token: u64,
+    read: bool,
+    write: bool,
+    bad: bool,
+}
+
+/// Linux backend: `epoll(7)`. The wait is O(ready) in both kernel and
+/// userspace — registered-but-silent fds are never touched, which is what
+/// lets thousands of idle connections ride along for free.
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    // The kernel ABI packs epoll_event on x86-64 (and only there).
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(super) struct Poller {
+        epfd: c_int,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&mut self, op: c_int, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_to_events(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn add(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub(super) fn modify(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub(super) fn remove(&mut self, fd: RawFd) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        pub(super) fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            for ev in &self.buf[..n] {
+                // Copy packed fields out by value (no references into a
+                // packed struct).
+                let events = { ev.events };
+                let token = { ev.data };
+                out.push(Event {
+                    token,
+                    read: events & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0,
+                    write: events & EPOLLOUT != 0,
+                    bad: false,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    fn interest_to_events(interest: u8) -> u32 {
+        let mut events = 0u32;
+        if interest & super::WANT_READ != 0 {
+            events |= EPOLLIN;
+        }
+        if interest & super::WANT_WRITE != 0 {
+            events |= EPOLLOUT;
+        }
+        // interest == 0 still reports EPOLLERR/EPOLLHUP (level-triggered),
+        // which is exactly the "watch for death, charge no read interest"
+        // registration the loop uses for capped pipelines.
+        events
+    }
+}
+
+/// Portable fallback backend: `poll(2)`. Registration state lives in a
+/// map and every wait rebuilds the pollfd array — O(registered) per wait,
+/// which is fine for the platforms that land here.
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::Event;
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        /// `poll(2)`. `nfds_t` is `unsigned long` on every libc this
+        /// crate builds against (the workspace is Unix-only at the socket
+        /// layer already via `AsRawFd`).
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::ffi::c_ulong,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    pub(super) struct Poller {
+        fds: HashMap<RawFd, (u64, u8)>,
+        buf: Vec<PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: HashMap::new(),
+                buf: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        pub(super) fn add(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            self.fds.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub(super) fn modify(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            self.fds.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub(super) fn remove(&mut self, fd: RawFd) {
+            self.fds.remove(&fd);
+        }
+
+        pub(super) fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            self.buf.clear();
+            self.tokens.clear();
+            for (&fd, &(token, interest)) in self.fds.iter() {
+                let mut events = 0i16;
+                if interest & super::WANT_READ != 0 {
+                    events |= POLLIN;
+                }
+                if interest & super::WANT_WRITE != 0 {
+                    events |= POLLOUT;
+                }
+                self.buf.push(PollFd {
+                    fd,
+                    events,
+                    revents: 0,
+                });
+                self.tokens.push(token);
+            }
+            loop {
+                let rc = unsafe {
+                    poll(
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as std::ffi::c_ulong,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            }
+            for (row, pfd) in self.buf.iter().enumerate() {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token: self.tokens[row],
+                    read: pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    write: pfd.revents & POLLOUT != 0,
+                    bad: pfd.revents & POLLNVAL != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+use sys::Poller;
+
+/// Poller token of the self-pipe read end.
+const TOK_WAKEUP: u64 = u64::MAX;
+/// Poller token of the listener.
+const TOK_LISTENER: u64 = u64::MAX - 1;
+
+/// The self-pipe: a connected loopback TCP pair (write end for workers,
+/// read end polled by the loop). A socket pair avoids a second FFI surface
+/// for `pipe(2)`; the accept is verified against the connecting end's
+/// address so a stray local connect cannot hijack the channel.
+pub(crate) fn wakeup_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let expected = tx.local_addr()?;
+    for _ in 0..16 {
+        let (rx, peer) = listener.accept()?;
+        if peer == expected {
+            tx.set_nonblocking(true)?;
+            tx.set_nodelay(true)?;
+            rx.set_nonblocking(true)?;
+            return Ok((tx, rx));
+        }
+    }
+    Err(io::Error::other("could not establish wakeup channel"))
+}
+
+/// One framed request handed to the worker pool.
+pub(crate) struct Job {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) line: String,
+}
+
+/// One finished response on its way back to the loop.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) response: String,
+}
+
+/// The worker → event-loop return path: a locked queue plus the self-pipe
+/// write end that turns a push into a poller wakeup.
+pub(crate) struct CompletionQueue {
+    done: Mutex<Vec<Completion>>,
+    wakeup: TcpStream,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(wakeup: TcpStream) -> CompletionQueue {
+        CompletionQueue {
+            done: Mutex::new(Vec::new()),
+            wakeup,
+        }
+    }
+
+    pub(crate) fn push(&self, completion: Completion) {
+        self.done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(completion);
+        // A full pipe already guarantees a pending wakeup; WouldBlock (and
+        // any other failure — the loop also drains on its wait timeout) is
+        // deliberately ignored.
+        let _ = (&self.wakeup).write(&[1u8]);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.done.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Event-loop tuning, split off [`crate::ServerConfig`] by
+/// [`crate::Server::run`].
+pub(crate) struct LoopConfig {
+    pub(crate) pipeline_depth: usize,
+    pub(crate) max_conns: usize,
+    pub(crate) max_write_buf_bytes: usize,
+    pub(crate) retry_after_ms: u64,
+    pub(crate) session_ttl: Option<Duration>,
+    pub(crate) shutdown_file: Option<PathBuf>,
+}
+
+/// Per-connection state: bounded buffers, queued frames, and the serial
+/// execution latch.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet framed. Bounded by `max_line_bytes` (plus
+    /// one read chunk of slack).
+    read_buf: Vec<u8>,
+    /// Where the newline scan left off — keeps a slow-loris client O(1)
+    /// per byte instead of rescanning the buffer each poll round.
+    scan_from: usize,
+    /// Complete frames waiting for dispatch (the pipelining queue).
+    frames: VecDeque<String>,
+    /// Responses not yet accepted by the socket; `write_from` marks the
+    /// flushed prefix.
+    write_buf: Vec<u8>,
+    write_from: usize,
+    /// Sequence number of the next frame to dispatch (a guard against
+    /// stale completions; execution is serial per connection).
+    next_seq: u64,
+    /// Whether a job of this connection is in the channel or on a worker.
+    executing: bool,
+    /// Peer sent EOF (half-close): finish queued work, flush, then drop.
+    read_closed: bool,
+    /// Fatal framing error to answer once queued frames finish, then close
+    /// (the old loop's refuse-and-close for oversized lines).
+    fatal: Option<String>,
+    /// All work answered and flushed — close once `write_buf` empties.
+    close_after_flush: bool,
+    /// Interest currently registered with the poller (`None` = not
+    /// registered). Kept in sync by `sync_interest`.
+    registered: Option<u8>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            scan_from: 0,
+            frames: VecDeque::new(),
+            write_buf: Vec::new(),
+            write_from: 0,
+            next_seq: 0,
+            executing: false,
+            read_closed: false,
+            fatal: None,
+            close_after_flush: false,
+            registered: None,
+        }
+    }
+
+    fn pending_write(&self) -> bool {
+        self.write_from < self.write_buf.len()
+    }
+
+    fn queue_response(&mut self, response: &str) {
+        self.write_buf.reserve(response.len() + 1);
+        self.write_buf.extend_from_slice(response.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Flushes as much of the write buffer as the socket accepts without
+    /// blocking. Returns `false` when the connection is dead.
+    fn flush(&mut self) -> bool {
+        while self.pending_write() {
+            match self.stream.write(&self.write_buf[self.write_from..]) {
+                Ok(0) => return false,
+                Ok(n) => self.write_from += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if !self.pending_write() {
+            self.write_buf.clear();
+            self.write_from = 0;
+        } else if self.write_from > (1 << 16) {
+            self.write_buf.drain(..self.write_from);
+            self.write_from = 0;
+        }
+        true
+    }
+
+    /// The poller interest this connection's state calls for. Reading
+    /// stops at the pipeline cap (TCP backpressure tells the client),
+    /// after EOF, and once the connection is doomed. `Some(0)` keeps the
+    /// fd registered for error/hangup detection only; `None` takes it out
+    /// entirely — a half-closed connection whose request is still on a
+    /// worker would otherwise re-signal hangup every pass and spin the
+    /// loop, and there is nothing to do for it until its completion lands.
+    fn desired_interest(&self, draining: bool, pipeline_depth: usize) -> Option<u8> {
+        let mut interest = 0u8;
+        if !self.read_closed
+            && self.fatal.is_none()
+            && !self.close_after_flush
+            && !draining
+            && self.frames.len() < pipeline_depth
+        {
+            interest |= WANT_READ;
+        }
+        if self.pending_write() {
+            interest |= WANT_WRITE;
+        }
+        if interest == 0 && self.read_closed {
+            None
+        } else {
+            Some(interest)
+        }
+    }
+}
+
+/// Reconciles a connection's poller registration with its current state.
+fn sync_interest(poller: &mut Poller, id: u64, conn: &mut Conn, draining: bool, depth: usize) {
+    let want = conn.desired_interest(draining, depth);
+    let fd = conn.stream.as_raw_fd();
+    match (conn.registered, want) {
+        (None, Some(interest)) if poller.add(fd, id, interest).is_ok() => {
+            conn.registered = Some(interest);
+        }
+        (Some(_), None) => {
+            poller.remove(fd);
+            conn.registered = None;
+        }
+        (Some(old), Some(interest))
+            if old != interest && poller.modify(fd, id, interest).is_ok() =>
+        {
+            conn.registered = Some(interest);
+        }
+        _ => {}
+    }
+}
+
+/// Runs the event loop until shutdown. Owns the listener, the wakeup read
+/// end and the job sender; returning drops the sender, which winds down
+/// the worker pool.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
+    listener: TcpListener,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    job_tx: mpsc::SyncSender<Job>,
+    completions: &CompletionQueue,
+    wakeup_rx: TcpStream,
+    cfg: LoopConfig,
+    limits: RequestLimits,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut poller = Poller::new()?;
+    poller.add(wakeup_rx.as_raw_fd(), TOK_WAKEUP, WANT_READ)?;
+    poller.add(listener.as_raw_fd(), TOK_LISTENER, WANT_READ)?;
+    let mut listener_armed = true;
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    // Connections something happened to since their state was last
+    // serviced: an event, a completion, an accept. Only these are
+    // revisited each pass — everything else is O(ready), not O(conns).
+    let mut touched: Vec<u64> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_reap = Instant::now();
+    let mut draining_since: Option<Instant> = None;
+    let overloaded = format!(
+        "{{\"ok\": false, \"kind\": \"overloaded\", \"error\": \"server worker queue is full\", \"retry_after_ms\": {}}}",
+        cfg.retry_after_ms
+    );
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            if draining_since.is_none() {
+                draining_since = Some(Instant::now());
+            }
+        } else if let Some(path) = &cfg.shutdown_file {
+            if path.exists() {
+                shutdown.store(true, Ordering::SeqCst);
+            }
+        }
+        let draining = draining_since.is_some();
+
+        // 1. Land finished responses on their connections' write buffers.
+        for done in completions.drain() {
+            let conn = match conns.get_mut(&done.conn) {
+                Some(conn) => conn,
+                // The connection died while its request ran; drop the
+                // response (the conn-id space is monotone, never reused).
+                None => continue,
+            };
+            debug_assert_eq!(done.seq + 1, conn.next_seq);
+            let _ = done.seq;
+            conn.executing = false;
+            conn.queue_response(&done.response);
+            touched.push(done.conn);
+        }
+
+        // 2. Service every touched connection: dispatch queued frames
+        //    (serial per connection keeps responses in arrival order),
+        //    surface deferred framing errors, flush, kill the dead, and
+        //    re-sync poller interest. While draining, every pass services
+        //    all connections instead — read interest must drop everywhere
+        //    and the exit condition scans them anyway.
+        if draining {
+            touched.clear();
+            touched.extend(conns.keys().copied());
+        }
+        for &id in &touched {
+            let conn = match conns.get_mut(&id) {
+                Some(conn) => conn,
+                None => continue, // killed earlier this pass (duplicate id)
+            };
+            if !draining {
+                while !conn.executing {
+                    let line = match conn.frames.pop_front() {
+                        Some(line) => line,
+                        None => break,
+                    };
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    match job_tx.try_send(Job {
+                        conn: id,
+                        seq,
+                        line,
+                    }) {
+                        Ok(()) => conn.executing = true,
+                        Err(mpsc::TrySendError::Full(_)) => {
+                            // Admission control: answer `overloaded` in
+                            // order (no earlier response of this conn can
+                            // still be in flight — execution is serial and
+                            // the latch is clear).
+                            conn.queue_response(&overloaded);
+                            proto::record_error(state, &overloaded);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            shutdown.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                // All input answered: surface a deferred framing error,
+                // then arrange the close once the bytes are out.
+                if !conn.executing && conn.frames.is_empty() {
+                    if let Some(fatal) = conn.fatal.take() {
+                        proto::record_error(state, &fatal);
+                        conn.queue_response(&fatal);
+                        conn.close_after_flush = true;
+                    } else if conn.read_closed && !conn.close_after_flush {
+                        conn.close_after_flush = true;
+                    }
+                }
+            }
+            if !conn.flush()
+                || (conn.close_after_flush
+                    && !conn.pending_write()
+                    && !conn.executing
+                    && conn.frames.is_empty())
+                || conn.write_buf.len() - conn.write_from > cfg.max_write_buf_bytes
+            {
+                if conn.registered.is_some() {
+                    poller.remove(conn.stream.as_raw_fd());
+                }
+                conns.remove(&id);
+                continue;
+            }
+            sync_interest(&mut poller, id, conn, draining, cfg.pipeline_depth);
+        }
+        touched.clear();
+
+        if draining {
+            let all_flushed = conns
+                .values()
+                .all(|c| !c.executing && !c.pending_write() && c.frames.is_empty());
+            let grace_over = draining_since
+                .map(|t| t.elapsed() > Duration::from_secs(5))
+                .unwrap_or(false);
+            if all_flushed || grace_over {
+                return Ok(());
+            }
+        }
+
+        // 3. Housekeeping: reap idle sessions about once a second.
+        if let Some(ttl) = cfg.session_ttl {
+            let cadence = Duration::from_millis(1000)
+                .min(ttl / 2)
+                .max(Duration::from_millis(50));
+            if last_reap.elapsed() >= cadence {
+                state.tenancy.reap_expired(ttl);
+                last_reap = Instant::now();
+            }
+        }
+
+        // 4. Arm or disarm the accept path (full or draining = disarm).
+        let accepting = !draining && conns.len() < cfg.max_conns;
+        if accepting != listener_armed {
+            let interest = if accepting { WANT_READ } else { 0 };
+            if poller
+                .modify(listener.as_raw_fd(), TOK_LISTENER, interest)
+                .is_ok()
+            {
+                listener_armed = accepting;
+            }
+        }
+
+        poller.wait(100, &mut events)?;
+
+        // 5. React to readiness: drain the self-pipe, accept, and do
+        //    socket I/O for every signalled connection. State follow-up
+        //    (dispatch, close bookkeeping, interest sync) happens at the
+        //    top of the next pass via `touched`.
+        for ev in &events {
+            match ev.token {
+                TOK_WAKEUP => {
+                    // Swallow the wakeup bytes (completions land at the
+                    // top of the next pass).
+                    let mut sink = [0u8; 4096];
+                    while let Ok(n) = (&wakeup_rx).read(&mut sink) {
+                        if n == 0 || n < sink.len() {
+                            break;
+                        }
+                    }
+                }
+                TOK_LISTENER => {
+                    if !accepting {
+                        continue;
+                    }
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let _ = stream.set_nodelay(true);
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let id = next_conn;
+                                next_conn += 1;
+                                let mut conn = Conn::new(stream);
+                                sync_interest(
+                                    &mut poller,
+                                    id,
+                                    &mut conn,
+                                    draining,
+                                    cfg.pipeline_depth,
+                                );
+                                conns.insert(id, conn);
+                                if conns.len() >= cfg.max_conns {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => break,
+                        }
+                    }
+                }
+                id => {
+                    let conn = match conns.get_mut(&id) {
+                        Some(conn) => conn,
+                        None => continue,
+                    };
+                    let mut alive = !ev.bad;
+                    if alive && ev.read && !conn.read_closed {
+                        alive = read_frames(conn, limits);
+                    }
+                    if alive && ev.write {
+                        alive = conn.flush();
+                    }
+                    if alive {
+                        touched.push(id);
+                    } else {
+                        if conn.registered.is_some() {
+                            poller.remove(conn.stream.as_raw_fd());
+                        }
+                        conns.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads everything the socket holds (bounded per pass for fairness) and
+/// splits complete frames off the buffer. Returns `false` when the
+/// connection is dead.
+fn read_frames(conn: &mut Conn, limits: RequestLimits) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut taken = 0usize;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&chunk[..n]);
+                taken += n;
+                // Level-triggered readiness re-signals leftovers next
+                // pass, so capping one connection's share of a pass is
+                // free fairness.
+                if n < chunk.len() || taken >= 256 * 1024 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    // Frame split: scan only the unscanned suffix.
+    let mut start = 0usize;
+    let mut scan = conn.scan_from.max(start);
+    while let Some(offset) = conn.read_buf[scan..].iter().position(|&b| b == b'\n') {
+        let end = scan + offset + 1;
+        // Mirror the old loop's budget: a complete line longer than
+        // `max_line_bytes` (newline included) is refused and the
+        // connection closed — trusting the rest of a stream that blew the
+        // framing budget invites the client to do it again.
+        if end - start > limits.max_line_bytes {
+            // Frames already split off stay queued: they were complete,
+            // in-budget requests and are answered in order before the
+            // refusal goes out (the old loop served them the same way).
+            conn.fatal = Some(oversized(limits.max_line_bytes));
+            conn.read_closed = true;
+            break;
+        }
+        let line = String::from_utf8_lossy(&conn.read_buf[start..end]);
+        if !line.trim().is_empty() {
+            conn.frames.push_back(line.into_owned());
+        }
+        start = end;
+        scan = end;
+    }
+    if conn.fatal.is_none() {
+        // A partial line may keep growing — but never past the budget.
+        if conn.read_buf.len() - start > limits.max_line_bytes {
+            conn.fatal = Some(oversized(limits.max_line_bytes));
+            conn.read_closed = true;
+        }
+    }
+    if start > 0 {
+        conn.read_buf.drain(..start);
+    }
+    conn.scan_from = conn.read_buf.len();
+    true
+}
+
+fn oversized(max_line_bytes: usize) -> String {
+    format!(
+        "{{\"ok\": false, \"kind\": \"bad_request\", \"error\": \"request line exceeds {} bytes\"}}",
+        max_line_bytes
+    )
+}

@@ -230,25 +230,66 @@ pub fn warm_stats_json(warm: &WarmAggregate) -> String {
     )
 }
 
+/// Aggregate tenancy counters: live registry totals across every tenant
+/// plus the eviction/reaping history, rendered in `stats` responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenancyStats {
+    /// Tenants seen (including the anonymous one once it is touched).
+    pub tenants: u64,
+    /// Compiled queries resident across all tenants.
+    pub queries: u64,
+    /// Frozen instances resident across all tenants.
+    pub dbs: u64,
+    /// Open sessions across all tenants.
+    pub sessions: u64,
+    /// Sum of the tenants' resident-byte ledgers.
+    pub resident_bytes: u64,
+    /// Queries LRU-evicted by quota since start.
+    pub evicted_queries: u64,
+    /// Instances LRU-evicted by quota (count or bytes) since start.
+    pub evicted_dbs: u64,
+    /// Sessions reaped by the idle TTL since start.
+    pub reaped_sessions: u64,
+}
+
+/// The tenancy counter object embedded in `stats` responses.
+pub fn tenancy_stats_json(t: &TenancyStats) -> String {
+    format!(
+        "{{\"tenants\": {}, \"queries\": {}, \"dbs\": {}, \"sessions\": {}, \
+         \"resident_bytes\": {}, \"evicted_queries\": {}, \"evicted_dbs\": {}, \
+         \"reaped_sessions\": {}}}",
+        t.tenants,
+        t.queries,
+        t.dbs,
+        t.sessions,
+        t.resident_bytes,
+        t.evicted_queries,
+        t.evicted_dbs,
+        t.reaped_sessions,
+    )
+}
+
 /// The daemon's `stats` object: uptime, per-verb request counts, per-kind
-/// error counts, the plan-cache counters and the aggregate warm-start
-/// counters. Shared by the `stats` verb and anything rendering an
-/// in-process view, so a thin client re-emitting the raw object is
-/// byte-identical to both.
+/// error counts, the plan-cache counters, the aggregate warm-start
+/// counters and the tenancy counters. Shared by the `stats` verb and
+/// anything rendering an in-process view, so a thin client re-emitting the
+/// raw object is byte-identical to both.
 pub fn stats_json(
     uptime_ms: u64,
     requests_by_verb: &BTreeMap<String, u64>,
     errors_by_kind: &BTreeMap<String, u64>,
     cache: &PlanCacheStats,
     warm: &WarmAggregate,
+    tenancy: &TenancyStats,
 ) -> String {
     format!(
         "{{\"uptime_ms\": {uptime_ms}, \"requests\": {}, \"errors\": {}, \"plan_cache\": {}, \
-         \"warm_flow\": {}}}",
+         \"warm_flow\": {}, \"tenancy\": {}}}",
         counter_map_json(requests_by_verb),
         counter_map_json(errors_by_kind),
         plan_cache_stats_json(cache),
         warm_stats_json(warm),
+        tenancy_stats_json(tenancy),
     )
 }
 

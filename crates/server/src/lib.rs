@@ -21,14 +21,18 @@
 //! | `unload` | `query_id` and/or `db_id` | `unloaded` (evicts registry entries; open sessions keep their `Arc`s) |
 //! | `solve` | `query_id`, `db_id`, \[`tag`\], \[`options`\] | `result` (report object) |
 //! | `batch` | `query_id`, `db_ids`, \[`tags`\], \[`options`\] | `results` (report/error rows) |
-//! | `session` | `query_id`, `db_id`, \[`session_id`\], \[`options`\] | `session_id`, `query`, `complexity`, `tuples`, `witnesses` |
-//! | `delete` / `restore` | `session_id`, `tuple` | `event`, `deleted` (sorted) |
-//! | `reset` | `session_id` | `event` |
-//! | `resolve` | `session_id`, \[`options`\] | `event` (solve event with `solver` stats) |
-//! | `batch_whatif` | `session_id`, `sets`, \[`options`\] | `results` (report/error rows) |
+//! | `session` | `query_id`, `db_id`, \[`session_id`\], \[`options`\] | `session_id`, `token`, `query`, `complexity`, `tuples`, `witnesses` |
+//! | `delete` / `restore` | `session_id` \| `token`, `tuple` | `event`, `deleted` (sorted) |
+//! | `reset` | `session_id` \| `token` | `event` |
+//! | `resolve` | `session_id` \| `token`, \[`options`\] | `event` (solve event with `solver` stats) |
+//! | `batch_whatif` | `session_id` \| `token`, `sets`, \[`options`\] | `results` (report/error rows) |
 //! | `close` | `session_id` | `closed` |
-//! | `stats` | — | `stats` (uptime, requests by verb, errors by kind, plan-cache counters) |
+//! | `stats` | — | `stats` (uptime, requests by verb, errors by kind, plan-cache counters, tenancy counters) |
 //! | `shutdown` | — | `shutting_down` |
+//!
+//! Every request may additionally carry an `auth` token selecting the
+//! tenant namespace it operates in (absent = the shared anonymous tenant);
+//! see [`tenancy`].
 //!
 //! Databases upload as the same `Rel(c1,...)` text format `rescli` reads
 //! (inline `text` or a server-local `path`); tuples in requests and
@@ -40,48 +44,72 @@
 //!
 //! # Architecture
 //!
-//! An accept loop feeds accepted connections to a **fixed worker pool** of
-//! scoped threads over an mpsc channel. Compiled queries and frozen
-//! databases live in an `Arc`-shared registry behind an `RwLock` — handles
-//! are cloned out under a brief read lock, never held across a solve. Each
-//! worker reuses one [`SolveScratch`] across every request it serves.
-//! `compile` consults a shared [`PlanCache`]: queries that are the same
-//! *shape* (identical up to variable renaming and atom reordering — see
-//! [`cq::canonicalize`]) share one classification + plan, so a fleet of
-//! clients submitting millions of trivially-renamed queries compiles each
-//! shape once. A cache hit registers the cache's first-seen representative
-//! query, whose relation names and arities are identical to the submitted
-//! text by construction (they are part of the shape), so instance uploads
-//! and fact references resolve exactly as they would against a fresh
-//! compile; the `query` echoed by `compile` is the representative's
-//! rendering. The `stats` verb reports hit/miss/collision/eviction/bypass
-//! counters next to per-verb request and per-kind error counts.
+//! A single I/O thread runs a readiness-polled **event loop** (the
+//! private `eventloop` module): every client socket is nonblocking and
+//! multiplexed through a std-only FFI shim (`epoll` on Linux, `poll(2)`
+//! elsewhere), so thousands of idle keep-alive connections cost one fd
+//! each and a slow-loris writer trickles into a bounded buffer instead
+//! of pinning a thread. Complete request frames are handed to a **fixed
+//! worker pool** over a bounded job channel — when it is full the frame is
+//! answered with a structured `overloaded` error (carrying
+//! `retry_after_ms`) instead of queuing without bound. Clients may
+//! **pipeline**: frames queue per connection (up to the configured depth;
+//! past it the loop stops reading and TCP backpressure takes over) and
+//! execute serially per connection, so responses come back in arrival
+//! order while distinct connections run concurrently across the pool.
+//!
+//! Compiled queries and frozen instances live in per-tenant registries
+//! ([`tenancy`]) — namespaces keyed by the request's `auth` token, each
+//! bounded by [`TenantQuotas`] (LRU eviction for queries/instances/bytes, a
+//! hard `quota_exceeded` for sessions). Handles are cloned out under a
+//! brief read lock, never held across a solve. Each worker reuses one
+//! [`SolveScratch`] across every request it serves. `compile` consults a
+//! shared [`PlanCache`]: queries that are the same *shape* (identical up to
+//! variable renaming and atom reordering — see [`cq::canonicalize`]) share
+//! one classification + plan, so a fleet of clients submitting millions of
+//! trivially-renamed queries compiles each shape once. A cache hit
+//! registers the cache's first-seen representative query, whose relation
+//! names and arities are identical to the submitted text by construction
+//! (they are part of the shape), so instance uploads and fact references
+//! resolve exactly as they would against a fresh compile; the `query`
+//! echoed by `compile` is the representative's rendering. The `stats` verb
+//! reports hit/miss/collision/eviction/bypass counters next to per-verb
+//! request, per-kind error and tenancy counts.
+//!
 //! Named what-if sessions ([`SharedSolveSession`] — `Arc`-owning, so no
-//! borrows into the registry) are **per-connection** state; warm starts and
+//! borrows into the registry) live in their tenant's session table and are
+//! reachable from **any** connection: by `session_id` under the same
+//! `auth`, or by the opaque `token` the `session` response returns, so a
+//! client that reconnects (or a pool of load-balanced connections) keeps
+//! its mutation state. Sessions idle past the configured TTL are reaped by
+//! the event loop's housekeeping tick. Warm starts and
 //! [`SessionSolveStats`](resilience_core::engine::SessionSolveStats) work
 //! exactly as they do locally. Graceful shutdown: the `shutdown` verb or
-//! the appearance of a configured signal file stops the accept loop,
-//! workers drain their current connection (read timeouts re-check the
-//! flag), and `run` returns.
+//! the appearance of a configured signal file stops accepting and
+//! dispatching, in-flight responses are flushed (bounded by a drain grace
+//! period), and `run` returns.
 
 pub mod client;
 pub mod dbtext;
+mod eventloop;
 #[cfg(feature = "faults")]
 pub mod faults;
 pub mod jsonio;
 mod proto;
+pub mod tenancy;
 
 use resilience_core::engine::{CompiledQuery, SharedSolveSession, SolveScratch};
 use resilience_core::plancache::PlanCache;
-use std::collections::{BTreeMap, HashMap};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use database::FrozenDb;
+use std::collections::{BTreeMap, HashMap};
+pub use tenancy::TenantQuotas;
 
 /// Configuration of a daemon instance.
 #[derive(Clone, Debug)]
@@ -93,13 +121,13 @@ pub struct ServerConfig {
     /// thread.
     pub workers: usize,
     /// Optional signal file: the daemon shuts down gracefully as soon as
-    /// this path exists (checked by the accept loop).
+    /// this path exists (checked by the event loop's housekeeping pass).
     pub shutdown_file: Option<PathBuf>,
-    /// Admission-control depth of the connection queue. When every worker
-    /// is busy and this many connections already wait, new connections are
-    /// refused immediately with a structured `overloaded` error (carrying
-    /// `retry_after_ms`) instead of queuing without bound. 0 means twice
-    /// the worker count.
+    /// Admission-control depth of the job channel between the event loop
+    /// and the worker pool. When every worker is busy and this many frames
+    /// already wait, further frames are answered immediately with a
+    /// structured `overloaded` error (carrying `retry_after_ms`) instead
+    /// of queuing without bound. 0 means twice the worker count.
     pub queue_depth: usize,
     /// Upper cap on client-supplied `timeout_ms` per-request deadlines:
     /// larger requests are clamped, so no client can disable the deadline
@@ -115,13 +143,31 @@ pub struct ServerConfig {
     /// renaming and atom reordering) keep their classification + plan
     /// resident. Clamped to at least 1.
     pub plan_cache_capacity: usize,
+    /// How many complete request frames one connection may have queued
+    /// (including the one executing) before the event loop stops reading
+    /// its socket — the pipelining in-flight cap. Clamped to at least 1.
+    pub pipeline_depth: usize,
+    /// Maximum simultaneously open client connections; past it the
+    /// listener is simply not polled until a connection closes.
+    pub max_conns: usize,
+    /// Bound on a connection's unflushed response bytes: a peer that stops
+    /// reading while responses accumulate past this is dropped.
+    pub max_write_buf_bytes: usize,
+    /// Idle TTL for open sessions in milliseconds: sessions that go this
+    /// long without a request are reaped (their ids and tokens answer
+    /// `unknown_handle` afterwards). 0 disables reaping.
+    pub session_ttl_ms: u64,
+    /// Per-tenant quotas (registry entry counts, open sessions, resident
+    /// bytes); see [`TenantQuotas`].
+    pub quotas: TenantQuotas,
 }
 
 impl ServerConfig {
     /// Config with the default worker count (one per hardware thread), no
     /// signal file and the default robustness limits: queue depth 2×workers,
     /// per-request deadlines capped at 30 s, 1 MiB request lines, 50 ms
-    /// overload retry hint.
+    /// overload retry hint, pipeline depth 32, 4096 connections, 16 MiB
+    /// write buffers, 10 min session TTL and the default [`TenantQuotas`].
     pub fn new(addr: impl Into<String>) -> Self {
         ServerConfig {
             addr: addr.into(),
@@ -132,6 +178,11 @@ impl ServerConfig {
             max_line_bytes: 1 << 20,
             retry_after_ms: 50,
             plan_cache_capacity: resilience_core::plancache::DEFAULT_CAPACITY,
+            pipeline_depth: 32,
+            max_conns: 4096,
+            max_write_buf_bytes: 16 << 20,
+            session_ttl_ms: 600_000,
+            quotas: TenantQuotas::default(),
         }
     }
 
@@ -170,6 +221,36 @@ impl ServerConfig {
         self.plan_cache_capacity = shapes;
         self
     }
+
+    /// Sets the per-connection pipelining in-flight cap.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the maximum simultaneously open connections.
+    pub fn max_conns(mut self, conns: usize) -> Self {
+        self.max_conns = conns;
+        self
+    }
+
+    /// Sets the per-connection unflushed-response byte bound.
+    pub fn max_write_buf_bytes(mut self, bytes: usize) -> Self {
+        self.max_write_buf_bytes = bytes;
+        self
+    }
+
+    /// Sets the session idle TTL in milliseconds (0 = never reap).
+    pub fn session_ttl_ms(mut self, ms: u64) -> Self {
+        self.session_ttl_ms = ms;
+        self
+    }
+
+    /// Sets the per-tenant quotas.
+    pub fn quotas(mut self, quotas: TenantQuotas) -> Self {
+        self.quotas = quotas;
+        self
+    }
 }
 
 /// Per-request robustness limits, derived from [`ServerConfig`] and shared
@@ -180,57 +261,25 @@ pub(crate) struct RequestLimits {
     pub(crate) max_line_bytes: usize,
 }
 
-/// A compiled query registered with the daemon.
+/// A compiled query registered with a tenant. `lru` is the tenancy clock
+/// stamp of the last touch (registration or lookup), driving per-tenant
+/// LRU eviction.
 pub(crate) struct QueryEntry {
     pub(crate) query: cq::Query,
     pub(crate) compiled: Arc<CompiledQuery>,
+    pub(crate) lru: AtomicU64,
 }
 
-/// A frozen instance registered with the daemon, plus the label resolution
+/// A frozen instance registered with a tenant, plus the label resolution
 /// of the text it was parsed from (so fact references in later requests
-/// resolve identically to the upload).
+/// resolve identically to the upload) and its resident-byte estimate
+/// (CSR arena lengths — see [`FrozenDb::resident_bytes`]).
 pub(crate) struct DbEntry {
     pub(crate) id: String,
     pub(crate) frozen: Arc<FrozenDb>,
     pub(crate) labels: HashMap<String, u64>,
-}
-
-/// The shared, append-mostly registry of compiled queries and frozen
-/// instances. Entries are `Arc`s: lookups clone a handle under a brief read
-/// lock and solve outside it.
-#[derive(Default)]
-pub(crate) struct Registry {
-    pub(crate) queries: HashMap<String, Arc<QueryEntry>>,
-    pub(crate) dbs: HashMap<String, Arc<DbEntry>>,
-    next_query: u64,
-    next_db: u64,
-}
-
-impl Registry {
-    /// Next unused auto-generated query id. Skips ids a client registered
-    /// explicitly — an auto id must never silently replace someone else's
-    /// entry.
-    pub(crate) fn next_query_id(&mut self) -> String {
-        loop {
-            let id = format!("q{}", self.next_query);
-            self.next_query += 1;
-            if !self.queries.contains_key(&id) {
-                return id;
-            }
-        }
-    }
-
-    /// Next unused auto-generated database id (same skip rule as
-    /// [`Registry::next_query_id`]).
-    pub(crate) fn next_db_id(&mut self) -> String {
-        loop {
-            let id = format!("d{}", self.next_db);
-            self.next_db += 1;
-            if !self.dbs.contains_key(&id) {
-                return id;
-            }
-        }
-    }
+    pub(crate) bytes: usize,
+    pub(crate) lru: AtomicU64,
 }
 
 /// Mutable service counters, updated at the dispatch point of every
@@ -248,20 +297,20 @@ pub(crate) struct StatsInner {
     pub(crate) warm: jsonio::WarmAggregate,
 }
 
-/// Everything the worker pool shares: the handle registry, the compiled-plan
-/// cache consulted by `compile`, and the service counters behind the `stats`
-/// verb.
+/// Everything the worker pool shares: the tenant registries, the
+/// compiled-plan cache consulted by `compile`, and the service counters
+/// behind the `stats` verb.
 pub(crate) struct ServerState {
-    pub(crate) registry: RwLock<Registry>,
+    pub(crate) tenancy: tenancy::Tenancy,
     pub(crate) plan_cache: PlanCache,
     pub(crate) stats: Mutex<StatsInner>,
     pub(crate) started: Instant,
 }
 
 impl ServerState {
-    pub(crate) fn new(plan_cache_capacity: usize) -> ServerState {
+    pub(crate) fn new(plan_cache_capacity: usize, quotas: TenantQuotas) -> ServerState {
         ServerState {
-            registry: RwLock::new(Registry::default()),
+            tenancy: tenancy::Tenancy::new(quotas),
             plan_cache: PlanCache::new(plan_cache_capacity),
             stats: Mutex::new(StatsInner::default()),
             started: Instant::now(),
@@ -269,38 +318,19 @@ impl ServerState {
     }
 }
 
-/// One named session of a connection: the `Arc`-owning session plus the
-/// registry handles its facts resolve through.
+/// One named session: the `Arc`-owning session plus the registry handles
+/// its facts resolve through. Lives in its tenant's session table behind
+/// an `Arc<Mutex<_>>`, so any connection presenting the right credentials
+/// reaches the same mutation state.
 pub(crate) struct SessionEntry {
     pub(crate) session: SharedSolveSession,
     pub(crate) query: Arc<QueryEntry>,
     pub(crate) db: Arc<DbEntry>,
 }
 
-/// Per-connection protocol state.
-#[derive(Default)]
-pub(crate) struct ConnState {
-    pub(crate) sessions: HashMap<String, SessionEntry>,
-    next_session: u64,
-}
-
-impl ConnState {
-    /// Next unused auto-generated session id (skips explicitly named
-    /// sessions, like [`Registry::next_query_id`]).
-    pub(crate) fn next_session_id(&mut self) -> String {
-        loop {
-            let id = format!("s{}", self.next_session);
-            self.next_session += 1;
-            if !self.sessions.contains_key(&id) {
-                return id;
-            }
-        }
-    }
-}
-
 /// A bound (not yet running) daemon. `bind` + `run` are split so callers —
 /// tests, `perfbench serve`, `rescli serve` — can learn the actual address
-/// before the accept loop starts.
+/// before the event loop starts.
 pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
@@ -309,11 +339,11 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener. The accept loop does not start until
+    /// Binds the listener. The event loop does not start until
     /// [`Server::run`].
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let state = Arc::new(ServerState::new(config.plan_cache_capacity));
+        let state = Arc::new(ServerState::new(config.plan_cache_capacity, config.quotas));
         Ok(Server {
             listener,
             config,
@@ -333,9 +363,10 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
-    /// Runs the daemon: accept loop + fixed worker pool, until the
-    /// `shutdown` verb arrives, the signal file appears, or the shutdown
-    /// flag is set. Returns after all workers have drained.
+    /// Runs the daemon: the readiness-polled event loop on this thread
+    /// plus a fixed worker pool, until the `shutdown` verb arrives, the
+    /// signal file appears, or the shutdown flag is set. Returns after
+    /// in-flight responses are flushed and the workers have drained.
     pub fn run(self) -> io::Result<()> {
         let workers = if self.config.workers == 0 {
             std::thread::available_parallelism()
@@ -344,7 +375,6 @@ impl Server {
         } else {
             self.config.workers
         };
-        self.listener.set_nonblocking(true)?;
         let queue_depth = if self.config.queue_depth == 0 {
             workers * 2
         } else {
@@ -354,105 +384,86 @@ impl Server {
             max_timeout_ms: self.config.max_timeout_ms,
             max_line_bytes: self.config.max_line_bytes,
         };
-        let retry_after_ms = self.config.retry_after_ms;
-        // Bounded queue = admission control: when every worker is busy and
-        // the backlog is full, `try_send` fails immediately and the client
-        // gets a structured `overloaded` refusal instead of queuing without
-        // bound behind requests it cannot see.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
-        let rx = Mutex::new(rx);
+        let loop_cfg = eventloop::LoopConfig {
+            pipeline_depth: self.config.pipeline_depth.max(1),
+            max_conns: self.config.max_conns.max(8),
+            max_write_buf_bytes: self.config.max_write_buf_bytes.max(1 << 16),
+            retry_after_ms: self.config.retry_after_ms,
+            session_ttl: (self.config.session_ttl_ms > 0)
+                .then(|| Duration::from_millis(self.config.session_ttl_ms)),
+            shutdown_file: self.config.shutdown_file.clone(),
+        };
+        // The self-pipe: workers write a byte after pushing a completion,
+        // which wakes `poll` like any other fd.
+        let (wakeup_tx, wakeup_rx) = eventloop::wakeup_pair()?;
+        let completions = eventloop::CompletionQueue::new(wakeup_tx);
+        // Bounded job channel = admission control: when every worker is
+        // busy and the backlog is full, `try_send` fails immediately and
+        // the frame gets a structured `overloaded` refusal instead of
+        // queuing without bound behind requests it cannot see.
+        let (job_tx, job_rx) = mpsc::sync_channel::<eventloop::Job>(queue_depth);
+        let job_rx = Mutex::new(job_rx);
         let shutdown = &self.shutdown;
         let state = &self.state;
+        let completions = &completions;
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let rx = &rx;
-                scope.spawn(move || worker_loop(rx, state, shutdown, limits));
+                let job_rx = &job_rx;
+                scope.spawn(move || worker_loop(job_rx, state, shutdown, limits, completions));
             }
-            loop {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Some(path) = &self.config.shutdown_file {
-                    if path.exists() {
-                        shutdown.store(true, Ordering::SeqCst);
-                        break;
-                    }
-                }
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let _ = stream.set_nodelay(true);
-                        match tx.try_send(stream) {
-                            Ok(()) => {}
-                            Err(mpsc::TrySendError::Full(stream)) => {
-                                refuse_overloaded(stream, retry_after_ms);
-                            }
-                            Err(mpsc::TrySendError::Disconnected(_)) => break,
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        shutdown.store(true, Ordering::SeqCst);
-                        drop(tx);
-                        return Err(e);
-                    }
-                }
-            }
-            drop(tx);
-            Ok(())
+            // The event loop owns `job_tx`; returning drops it, the
+            // workers see the channel hang up and exit after finishing
+            // whatever they are mid-solve on.
+            eventloop::run(
+                self.listener,
+                state,
+                shutdown,
+                job_tx,
+                completions,
+                wakeup_rx,
+                loop_cfg,
+                limits,
+            )
         })
     }
 }
 
-/// Refuses a connection the worker queue has no room for: one structured
-/// `overloaded` line (with a `retry_after_ms` hint), then close. A short
-/// write timeout keeps the accept loop responsive even against a client
-/// that never reads.
-fn refuse_overloaded(stream: TcpStream, retry_after_ms: u64) {
-    let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
-    let line = format!(
-        "{{\"ok\": false, \"kind\": \"overloaded\", \"error\": \"server worker queue is full\", \"retry_after_ms\": {retry_after_ms}}}\n"
-    );
-    use std::io::Write as _;
-    let _ = stream.write_all(line.as_bytes());
-}
-
-/// One pool worker: pull connections off the shared channel, serve each to
-/// completion with a worker-lifetime [`SolveScratch`], exit when the accept
-/// loop hangs up.
+/// One pool worker: pull framed requests off the shared channel, dispatch
+/// each with a worker-lifetime [`SolveScratch`], hand the response back
+/// through the completion queue, exit when the event loop hangs up.
 fn worker_loop(
-    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    job_rx: &Mutex<mpsc::Receiver<eventloop::Job>>,
     state: &ServerState,
     shutdown: &AtomicBool,
     limits: RequestLimits,
+    completions: &eventloop::CompletionQueue,
 ) {
     let mut scratch = SolveScratch::new();
     loop {
-        // Take the stream *outside* the lock so one slow connection never
+        // Take the job *outside* the lock so one long solve never
         // serializes the whole pool behind the receiver mutex. A worker
         // that panicked while holding the lock (despite the per-request
         // catch_unwind) must not take the rest of the pool with it, so a
         // poisoned mutex is simply recovered — the receiver holds no
         // invariant beyond its own queue.
-        let stream = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            match guard.recv_timeout(Duration::from_millis(100)) {
-                Ok(stream) => Some(stream),
-                Err(mpsc::RecvTimeoutError::Timeout) => None,
-                Err(mpsc::RecvTimeoutError::Disconnected) => return,
-            }
+        let job = {
+            let guard = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
         };
-        match stream {
-            Some(stream) => proto::serve_connection(stream, state, shutdown, &mut scratch, limits),
-            None => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
+        let job = match job {
+            Ok(job) => job,
+            // Channel gone: the event loop exited (shutdown or error).
+            Err(_) => return,
+        };
+        let (response, action) = proto::handle_request(state, &mut scratch, &job.line, limits);
+        if let proto::Action::Shutdown = action {
+            shutdown.store(true, Ordering::SeqCst);
         }
+        completions.push(eventloop::Completion {
+            conn: job.conn,
+            seq: job.seq,
+            response,
+        });
     }
 }
 

@@ -1,21 +1,23 @@
-//! The request/response protocol of `resd`: connection serving and verb
-//! dispatch. All rendering goes through [`crate::jsonio`] so responses are
-//! byte-identical to what the local `rescli --json` paths print.
+//! The request/response protocol of `resd`: verb dispatch over the
+//! tenant-aware registry. All rendering goes through [`crate::jsonio`] so
+//! responses are byte-identical to what the local `rescli --json` paths
+//! print. Connection I/O (framing, pipelining, backpressure) lives in
+//! [`crate::eventloop`]; this module sees one request line at a time and
+//! produces exactly one response line.
 
 use crate::dbtext;
 use crate::jsonio::{self, JsonValue};
-use crate::{ConnState, DbEntry, QueryEntry, Registry, RequestLimits, ServerState, SessionEntry};
+use crate::tenancy::{LookupError, QuotaError};
+use crate::{DbEntry, QueryEntry, RequestLimits, ServerState, SessionEntry};
 use cq::parse_query;
 use resilience_core::engine::{SolveError, SolveOptions, SolveScratch};
 use resilience_core::CancelToken;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// What the connection loop should do after a request.
+/// What the caller should do after a request.
 pub(crate) enum Action {
     Continue,
     Shutdown,
@@ -59,125 +61,28 @@ fn bad(msg: &str) -> String {
     err_json("bad_request", msg)
 }
 
-/// Serves one accepted connection to completion: read a line, answer a
-/// line. Read timeouts re-check the shutdown flag so a long-idle client
-/// cannot hold up a graceful shutdown.
-pub(crate) fn serve_connection(
-    stream: TcpStream,
-    state: &ServerState,
-    shutdown: &AtomicBool,
-    scratch: &mut SolveScratch,
-    limits: RequestLimits,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut conn = ConnState::default();
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => return, // EOF: client done
-            Ok(_) if !buf.ends_with(b"\n") => {
-                // Timed out mid-line with partial data appended: keep
-                // accumulating (read_until documents partial reads on error,
-                // and a short read without newline means the rest is still
-                // in flight) — but never beyond the framing budget.
-                if buf.len() > limits.max_line_bytes {
-                    let _ = write_response(
-                        &mut writer,
-                        &bad(&format!(
-                            "request line exceeds {} bytes",
-                            limits.max_line_bytes
-                        )),
-                        shutdown,
-                    );
-                    return;
-                }
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Ok(_) => {
-                if buf.len() > limits.max_line_bytes {
-                    // Oversized but complete: refuse and close. Trusting the
-                    // rest of a stream that already blew the framing budget
-                    // invites the client to do it again.
-                    let _ = write_response(
-                        &mut writer,
-                        &bad(&format!(
-                            "request line exceeds {} bytes",
-                            limits.max_line_bytes
-                        )),
-                        shutdown,
-                    );
-                    return;
-                }
-                let line = String::from_utf8_lossy(&buf).into_owned();
-                buf.clear();
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (response, action) = handle_request(state, &mut conn, scratch, &line, limits);
-                if !write_response(&mut writer, &response, shutdown) {
-                    return;
-                }
-                if let Action::Shutdown = action {
-                    shutdown.store(true, Ordering::SeqCst);
-                    return;
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
+/// Renders a failed handle lookup: `unknown_handle` when nobody has the
+/// id, `unauthorized` when another tenant does — the registry never serves
+/// (or confirms details of) someone else's entries beyond that.
+fn lookup_err(e: LookupError, what: &str, id: &str) -> String {
+    match e {
+        LookupError::Unknown => err_json("unknown_handle", &format!("unknown {what} {id}")),
+        LookupError::Foreign => err_json(
+            "unauthorized",
+            &format!("{what} {id} belongs to another tenant"),
+        ),
     }
 }
 
-/// Writes one response line, riding out write-timeout stalls from clients
-/// that stop reading. Every stall re-checks the shutdown flag so a wedged
-/// peer cannot pin a worker across a graceful shutdown; after ~30s with no
-/// byte accepted the connection is abandoned. Returns `false` when the
-/// connection should close.
-fn write_response(writer: &mut TcpStream, response: &str, shutdown: &AtomicBool) -> bool {
-    let mut pending = Vec::with_capacity(response.len() + 1);
-    pending.extend_from_slice(response.as_bytes());
-    pending.push(b'\n');
-    let mut offset = 0usize;
-    let mut stalls = 0u32;
-    while offset < pending.len() {
-        match writer.write(&pending[offset..]) {
-            Ok(0) => return false,
-            Ok(n) => {
-                offset += n;
-                stalls = 0;
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return false;
-                }
-                stalls += 1;
-                if stalls > 150 {
-                    return false;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return false,
-        }
-    }
-    writer.flush().is_ok()
+/// Renders a quota refusal, naming the offending limit and its configured
+/// maximum as structured fields next to the message.
+fn quota_err(q: &QuotaError, what: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"kind\": \"quota_exceeded\", \"error\": \"{}\", \"limit\": \"{}\", \"max\": {}}}",
+        jsonio::json_escape(&format!("{what} would exceed {} = {}", q.limit, q.max)),
+        q.limit,
+        q.max,
+    )
 }
 
 /// Decodes [`SolveOptions`] from an optional `options` object. A
@@ -243,28 +148,52 @@ fn req_str<'a>(req: &'a JsonValue, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing string field {key}"))
 }
 
-// Registry lock poisoning is recovered, not propagated: the registry's
-// maps are only ever mutated through insert/remove, which cannot leave an
-// entry half-written, so the data behind a poisoned lock is still sound —
-// and one panicking request must not brick every later request.
-fn get_query(registry: &RwLock<Registry>, id: &str) -> Result<Arc<QueryEntry>, String> {
-    registry
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .queries
-        .get(id)
-        .cloned()
-        .ok_or_else(|| format!("unknown query_id {id}"))
+fn get_query(state: &ServerState, auth: &str, id: &str) -> Result<Arc<QueryEntry>, String> {
+    state
+        .tenancy
+        .lookup_query(auth, id)
+        .map_err(|e| lookup_err(e, "query_id", id))
 }
 
-fn get_db(registry: &RwLock<Registry>, id: &str) -> Result<Arc<DbEntry>, String> {
-    registry
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .dbs
-        .get(id)
-        .cloned()
-        .ok_or_else(|| format!("unknown db_id {id}"))
+fn get_db(state: &ServerState, auth: &str, id: &str) -> Result<Arc<DbEntry>, String> {
+    state
+        .tenancy
+        .lookup_db(auth, id)
+        .map_err(|e| lookup_err(e, "db_id", id))
+}
+
+/// Resolves the session a request addresses — by routing `token` (any
+/// connection, owning tenant's `auth` only) or by `session_id` in the
+/// caller's namespace — and locks it for the duration of the request.
+/// Serial execution per connection plus this lock make concurrent access
+/// from different connections safe (they serialize in lock order).
+fn get_session(
+    state: &ServerState,
+    auth: &str,
+    req: &JsonValue,
+) -> Result<Arc<Mutex<SessionEntry>>, String> {
+    let token = req.get("token").and_then(JsonValue::as_str);
+    let sid = req.get("session_id").and_then(JsonValue::as_str);
+    if token.is_none() && sid.is_none() {
+        return Err(bad("missing string field session_id"));
+    }
+    state
+        .tenancy
+        .resolve_session(auth, sid, token)
+        .map_err(|e| match (token, e) {
+            (Some(_), LookupError::Unknown) => err_json("unknown_handle", "unknown session token"),
+            (Some(_), LookupError::Foreign) => {
+                err_json("unauthorized", "session token belongs to another tenant")
+            }
+            (None, e) => lookup_err(e, "session_id", sid.unwrap_or_default()),
+        })
+}
+
+fn lock_entry(slot: &Mutex<SessionEntry>) -> MutexGuard<'_, SessionEntry> {
+    // Poisoning is recovered: a panicking request already answered
+    // `internal`, and the session's maps/counters are never left in a
+    // state that violates their own invariants mid-method.
+    slot.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Every verb the protocol answers. Requests naming anything else count
@@ -299,8 +228,10 @@ fn record_verb(state: &ServerState, verb: &str) {
 /// Counts one error response under its `kind`. Sniffs the rendered line —
 /// every error path goes through [`err_json`], so the prefix and the `kind`
 /// field are reliable — which keeps the accounting at the single point all
-/// responses flow through instead of inside each handler.
-fn record_error(state: &ServerState, response: &str) {
+/// responses flow through instead of inside each handler. Also used by the
+/// event loop for the responses it synthesizes itself (`overloaded`,
+/// oversized-frame `bad_request`).
+pub(crate) fn record_error(state: &ServerState, response: &str) {
     if !response.starts_with("{\"ok\": false") {
         return;
     }
@@ -317,12 +248,10 @@ fn record_error(state: &ServerState, response: &str) {
 /// scratch, since the panicking solve may have left it mid-update).
 pub(crate) fn handle_request(
     state: &ServerState,
-    conn: &mut ConnState,
     scratch: &mut SolveScratch,
     line: &str,
     limits: RequestLimits,
 ) -> (String, Action) {
-    let registry = &state.registry;
     let req = match jsonio::parse_json(line.trim()) {
         Ok(v) => v,
         Err(e) => {
@@ -362,22 +291,29 @@ pub(crate) fn handle_request(
             Action::Shutdown,
         );
     }
+    // The tenant this request operates as: its `auth` token, or the shared
+    // anonymous namespace when absent.
+    let auth = req
+        .get("auth")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
     let dispatched = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "faults")]
         crate::faults::apply_request_faults(&req);
         match op.as_str() {
             "ping" => Ok("{\"ok\": true, \"pong\": true}".to_string()),
-            "compile" => op_compile(state, &req),
-            "load" | "freeze" => op_load(registry, &req),
-            "unload" => op_unload(registry, &req),
-            "solve" => op_solve(registry, scratch, &req, limits),
-            "batch" => op_batch(registry, &req, limits),
-            "session" => op_session(registry, conn, &req, limits),
-            "delete" | "restore" => op_mutate(conn, &req, op == "delete"),
-            "reset" => op_reset(conn, &req),
-            "resolve" => op_resolve(state, conn, &req, limits),
-            "batch_whatif" => op_batch_whatif(conn, &req, limits),
-            "close" => op_close(conn, &req),
+            "compile" => op_compile(state, &auth, &req),
+            "load" | "freeze" => op_load(state, &auth, &req),
+            "unload" => op_unload(state, &auth, &req),
+            "solve" => op_solve(state, &auth, scratch, &req, limits),
+            "batch" => op_batch(state, &auth, &req, limits),
+            "session" => op_session(state, &auth, &req, limits),
+            "delete" | "restore" => op_mutate(state, &auth, &req, op == "delete"),
+            "reset" => op_reset(state, &auth, &req),
+            "resolve" => op_resolve(state, &auth, &req, limits),
+            "batch_whatif" => op_batch_whatif(state, &auth, &req, limits),
+            "close" => op_close(state, &auth, &req),
             "stats" => Ok(op_stats(state)),
             other => Err(bad(&format!("unknown op {other}"))),
         }
@@ -397,7 +333,7 @@ pub(crate) fn handle_request(
     (response, Action::Continue)
 }
 
-fn op_compile(state: &ServerState, req: &JsonValue) -> Result<String, String> {
+fn op_compile(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, String> {
     let text = req_str(req, "query").map_err(|e| bad(&e))?;
     let query = parse_query(text).map_err(|e| bad(&format!("could not parse query: {e}")))?;
     let cached = state.plan_cache.compile(&query);
@@ -410,17 +346,16 @@ fn op_compile(state: &ServerState, req: &JsonValue) -> Result<String, String> {
     let query = compiled.query().clone();
     let complexity = compiled.classification().complexity.to_string();
     let display = query.to_string();
-    let id = {
-        let mut reg = state.registry.write().unwrap_or_else(|e| e.into_inner());
-        let id = match req.get("id").and_then(JsonValue::as_str) {
-            Some(explicit) => explicit.to_string(),
-            None => reg.next_query_id(),
-        };
-        // Re-registering an id replaces the entry (idempotent clients).
-        reg.queries
-            .insert(id.clone(), Arc::new(QueryEntry { query, compiled }));
-        id
-    };
+    let tenant = state.tenancy.tenant(auth);
+    let id = state.tenancy.insert_query(
+        &tenant,
+        req.get("id").and_then(JsonValue::as_str),
+        QueryEntry {
+            query,
+            compiled,
+            lru: AtomicU64::new(0),
+        },
+    );
     Ok(format!(
         "{{\"ok\": true, \"query_id\": \"{}\", \"query\": \"{}\", \"complexity\": \"{}\"}}",
         jsonio::json_escape(&id),
@@ -430,10 +365,10 @@ fn op_compile(state: &ServerState, req: &JsonValue) -> Result<String, String> {
 }
 
 /// Renders the `stats` response: uptime, per-verb request counts, per-kind
-/// error counts and the plan-cache counters, through the shared
-/// [`jsonio::stats_json`] renderer (so a remote client re-emitting the
-/// `stats` object is byte-identical to the in-process view). Infallible —
-/// a stats request never errors.
+/// error counts, the plan-cache counters and the tenancy counters, through
+/// the shared [`jsonio::stats_json`] renderer (so a remote client
+/// re-emitting the `stats` object is byte-identical to the in-process
+/// view). Infallible — a stats request never errors.
 fn op_stats(state: &ServerState) -> String {
     let uptime_ms = state.started.elapsed().as_millis() as u64;
     let (requests, errors, warm) = {
@@ -445,15 +380,15 @@ fn op_stats(state: &ServerState) -> String {
         )
     };
     let cache = state.plan_cache.stats();
+    let tenancy = state.tenancy.stats_snapshot();
     format!(
         "{{\"ok\": true, \"stats\": {}}}",
-        jsonio::stats_json(uptime_ms, &requests, &errors, &cache, &warm)
+        jsonio::stats_json(uptime_ms, &requests, &errors, &cache, &warm, &tenancy)
     )
 }
 
-fn op_load(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
-    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
-        .map_err(|e| err_json("unknown_handle", &e))?;
+fn op_load(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, String> {
+    let query = get_query(state, auth, req_str(req, "query_id").map_err(|e| bad(&e))?)?;
     let text = match req.get("text").and_then(JsonValue::as_str) {
         Some(text) => text.to_string(),
         None => {
@@ -469,22 +404,22 @@ fn op_load(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, Strin
         .map_err(|e| err_json("parse", &e))?;
     let frozen = Arc::new(db.freeze());
     let tuples = frozen.num_tuples();
-    let id = {
-        let mut reg = registry.write().unwrap_or_else(|e| e.into_inner());
-        let id = match req.get("id").and_then(JsonValue::as_str) {
-            Some(explicit) => explicit.to_string(),
-            None => reg.next_db_id(),
-        };
-        reg.dbs.insert(
-            id.clone(),
-            Arc::new(DbEntry {
-                id: id.clone(),
+    let bytes = frozen.resident_bytes();
+    let tenant = state.tenancy.tenant(auth);
+    let id = state
+        .tenancy
+        .insert_db(
+            &tenant,
+            req.get("id").and_then(JsonValue::as_str),
+            DbEntry {
+                id: String::new(),
                 frozen,
                 labels,
-            }),
-        );
-        id
-    };
+                bytes,
+                lru: AtomicU64::new(0),
+            },
+        )
+        .map_err(|q| quota_err(&q, "loading this instance"))?;
     Ok(format!(
         "{{\"ok\": true, \"db_id\": \"{}\", \"tuples\": {tuples}}}",
         jsonio::json_escape(&id),
@@ -492,42 +427,24 @@ fn op_load(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, Strin
 }
 
 /// Evicts registry entries, bounding a long-lived daemon's memory: every
-/// `load` pins an instance until someone unloads it. Open sessions hold
-/// their own `Arc`s, so unloading while a session is live is safe — the
-/// data is freed when the last session over it closes.
-fn op_unload(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, String> {
+/// `load` pins an instance until someone unloads it (or the tenant's quota
+/// evicts it). Open sessions hold their own `Arc`s, so unloading while a
+/// session is live is safe — the data is freed when the last session over
+/// it closes.
+fn op_unload(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, String> {
     let qid = req.get("query_id").and_then(JsonValue::as_str);
     let did = req.get("db_id").and_then(JsonValue::as_str);
     if qid.is_none() && did.is_none() {
         return Err(bad("unload needs query_id and/or db_id"));
     }
-    let mut unloaded = Vec::new();
-    {
-        // Validate both handles before removing either: an error response
-        // must mean nothing was unloaded.
-        let mut reg = registry.write().unwrap_or_else(|e| e.into_inner());
-        if let Some(id) = qid {
-            if !reg.queries.contains_key(id) {
-                return Err(err_json(
-                    "unknown_handle",
-                    &format!("unknown query_id {id}"),
-                ));
-            }
+    let unloaded = state.tenancy.unload(auth, qid, did).map_err(|(e, what)| {
+        // `what` is "query_id <id>" / "db_id <id>" — split for the shared
+        // renderer so messages match the lookup paths byte-for-byte.
+        match what.split_once(' ') {
+            Some((kind, id)) => lookup_err(e, kind, id),
+            None => lookup_err(e, "handle", &what),
         }
-        if let Some(id) = did {
-            if !reg.dbs.contains_key(id) {
-                return Err(err_json("unknown_handle", &format!("unknown db_id {id}")));
-            }
-        }
-        if let Some(id) = qid {
-            reg.queries.remove(id);
-            unloaded.push(id);
-        }
-        if let Some(id) = did {
-            reg.dbs.remove(id);
-            unloaded.push(id);
-        }
-    }
+    })?;
     let rendered: Vec<String> = unloaded
         .iter()
         .map(|id| format!("\"{}\"", jsonio::json_escape(id)))
@@ -539,15 +456,14 @@ fn op_unload(registry: &RwLock<Registry>, req: &JsonValue) -> Result<String, Str
 }
 
 fn op_solve(
-    registry: &RwLock<Registry>,
+    state: &ServerState,
+    auth: &str,
     scratch: &mut SolveScratch,
     req: &JsonValue,
     limits: RequestLimits,
 ) -> Result<String, String> {
-    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
-        .map_err(|e| err_json("unknown_handle", &e))?;
-    let db = get_db(registry, req_str(req, "db_id").map_err(|e| bad(&e))?)
-        .map_err(|e| err_json("unknown_handle", &e))?;
+    let query = get_query(state, auth, req_str(req, "query_id").map_err(|e| bad(&e))?)?;
+    let db = get_db(state, auth, req_str(req, "db_id").map_err(|e| bad(&e))?)?;
     let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let tag = req
         .get("tag")
@@ -565,12 +481,12 @@ fn op_solve(
 }
 
 fn op_batch(
-    registry: &RwLock<Registry>,
+    state: &ServerState,
+    auth: &str,
     req: &JsonValue,
     limits: RequestLimits,
 ) -> Result<String, String> {
-    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
-        .map_err(|e| err_json("unknown_handle", &e))?;
+    let query = get_query(state, auth, req_str(req, "query_id").map_err(|e| bad(&e))?)?;
     let ids = req
         .get("db_ids")
         .and_then(JsonValue::as_array)
@@ -587,7 +503,7 @@ fn op_batch(
     let mut entries = Vec::with_capacity(ids.len());
     for id in ids {
         let id = id.as_str().ok_or_else(|| bad("db_ids must be strings"))?;
-        entries.push(get_db(registry, id).map_err(|e| err_json("unknown_handle", &e))?);
+        entries.push(get_db(state, auth, id)?);
     }
     let frozen: Vec<Arc<database::FrozenDb>> =
         entries.iter().map(|e| Arc::clone(&e.frozen)).collect();
@@ -615,51 +531,53 @@ fn op_batch(
 }
 
 fn op_session(
-    registry: &RwLock<Registry>,
-    conn: &mut ConnState,
+    state: &ServerState,
+    auth: &str,
     req: &JsonValue,
     limits: RequestLimits,
 ) -> Result<String, String> {
-    let query = get_query(registry, req_str(req, "query_id").map_err(|e| bad(&e))?)
-        .map_err(|e| err_json("unknown_handle", &e))?;
-    let db = get_db(registry, req_str(req, "db_id").map_err(|e| bad(&e))?)
-        .map_err(|e| err_json("unknown_handle", &e))?;
+    let query = get_query(state, auth, req_str(req, "query_id").map_err(|e| bad(&e))?)?;
+    let db = get_db(state, auth, req_str(req, "db_id").map_err(|e| bad(&e))?)?;
     let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
     let session = query
         .compiled
         .session_shared(&db.frozen, &opts)
         .map_err(|e| solve_err_json(&e))?;
-    let id = match req.get("session_id").and_then(JsonValue::as_str) {
-        Some(explicit) => explicit.to_string(),
-        None => conn.next_session_id(),
-    };
-    let response = format!(
-        "{{\"ok\": true, \"session_id\": \"{}\", \"query\": \"{}\", \"complexity\": \"{}\", \
-         \"tuples\": {}, \"witnesses\": {}}}",
+    let tuples = db.frozen.num_tuples();
+    let witnesses = session.total_witnesses();
+    let query_display = query.query.to_string();
+    let complexity = query.compiled.classification().complexity.to_string();
+    let tenant = state.tenancy.tenant(auth);
+    let (id, token) = state
+        .tenancy
+        .open_session(
+            auth,
+            &tenant,
+            req.get("session_id").and_then(JsonValue::as_str),
+            SessionEntry { session, query, db },
+        )
+        .map_err(|q| quota_err(&q, "opening this session"))?;
+    Ok(format!(
+        "{{\"ok\": true, \"session_id\": \"{}\", \"token\": \"{}\", \"query\": \"{}\", \
+         \"complexity\": \"{}\", \"tuples\": {}, \"witnesses\": {}}}",
         jsonio::json_escape(&id),
-        jsonio::json_escape(&query.query.to_string()),
-        jsonio::json_escape(&query.compiled.classification().complexity.to_string()),
-        db.frozen.num_tuples(),
-        session.total_witnesses(),
-    );
-    conn.sessions
-        .insert(id, SessionEntry { session, query, db });
-    Ok(response)
+        jsonio::json_escape(&token),
+        jsonio::json_escape(&query_display),
+        jsonio::json_escape(&complexity),
+        tuples,
+        witnesses,
+    ))
 }
 
-fn get_session<'c>(
-    conn: &'c mut ConnState,
+fn op_mutate(
+    state: &ServerState,
+    auth: &str,
     req: &JsonValue,
-) -> Result<&'c mut SessionEntry, String> {
-    let id = req_str(req, "session_id").map_err(|e| bad(&e))?;
-    conn.sessions
-        .get_mut(id)
-        .ok_or_else(|| err_json("unknown_handle", &format!("unknown session_id {id}")))
-}
-
-fn op_mutate(conn: &mut ConnState, req: &JsonValue, is_delete: bool) -> Result<String, String> {
+    is_delete: bool,
+) -> Result<String, String> {
     let fact = req_str(req, "tuple").map_err(|e| bad(&e))?.to_string();
-    let entry = get_session(conn, req)?;
+    let slot = get_session(state, auth, req)?;
+    let mut entry = lock_entry(&slot);
     let verb = if is_delete { "delete" } else { "restore" };
     let t = dbtext::lookup_fact(
         &entry.query.query,
@@ -695,8 +613,9 @@ fn op_mutate(conn: &mut ConnState, req: &JsonValue, is_delete: bool) -> Result<S
     ))
 }
 
-fn op_reset(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
-    let entry = get_session(conn, req)?;
+fn op_reset(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, String> {
+    let slot = get_session(state, auth, req)?;
+    let mut entry = lock_entry(&slot);
     entry.session.reset();
     Ok(format!(
         "{{\"ok\": true, \"event\": {}}}",
@@ -706,12 +625,13 @@ fn op_reset(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
 
 fn op_resolve(
     state: &ServerState,
-    conn: &mut ConnState,
+    auth: &str,
     req: &JsonValue,
     limits: RequestLimits,
 ) -> Result<String, String> {
     let opts = parse_options(req, limits).map_err(|e| bad(&e))?;
-    let entry = get_session(conn, req)?;
+    let slot = get_session(state, auth, req)?;
+    let mut entry = lock_entry(&slot);
     let report = entry.session.solve(&opts).map_err(|e| solve_err_json(&e))?;
     let stats = entry.session.last_solve_stats();
     {
@@ -725,7 +645,8 @@ fn op_resolve(
 }
 
 fn op_batch_whatif(
-    conn: &mut ConnState,
+    state: &ServerState,
+    auth: &str,
     req: &JsonValue,
     limits: RequestLimits,
 ) -> Result<String, String> {
@@ -735,7 +656,11 @@ fn op_batch_whatif(
         .and_then(JsonValue::as_array)
         .ok_or_else(|| bad("missing array field sets"))?
         .to_vec();
-    let entry = get_session(conn, req)?;
+    let slot = get_session(state, auth, req)?;
+    let mut entry = lock_entry(&slot);
+    // `solve_whatif_batch` is read-only on the session; restart its idle
+    // clock explicitly so a client doing only what-ifs is not reaped.
+    entry.session.touch();
     let mut sets = Vec::with_capacity(sets_json.len());
     for (i, set) in sets_json.iter().enumerate() {
         let facts = set
@@ -774,16 +699,14 @@ fn op_batch_whatif(
     ))
 }
 
-fn op_close(conn: &mut ConnState, req: &JsonValue) -> Result<String, String> {
+fn op_close(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, String> {
     let id = req_str(req, "session_id").map_err(|e| bad(&e))?;
-    match conn.sessions.remove(id) {
-        Some(_) => Ok(format!(
-            "{{\"ok\": true, \"closed\": \"{}\"}}",
-            jsonio::json_escape(id)
-        )),
-        None => Err(err_json(
-            "unknown_handle",
-            &format!("unknown session_id {id}"),
-        )),
-    }
+    state
+        .tenancy
+        .close_session(auth, id)
+        .map_err(|e| lookup_err(e, "session_id", id))?;
+    Ok(format!(
+        "{{\"ok\": true, \"closed\": \"{}\"}}",
+        jsonio::json_escape(id)
+    ))
 }

@@ -1,0 +1,643 @@
+//! Tenant-aware registry: per-tenant namespaces, quotas, LRU eviction and
+//! cross-connection sessions.
+//!
+//! A *tenant* is whatever presents the same `auth` token; requests without
+//! an `auth` field share the default (anonymous) tenant, so a single-user
+//! deployment behaves exactly as before. Each tenant owns its own namespace
+//! of compiled queries, frozen instances and open sessions — ids are scoped
+//! per tenant, so two tenants' `q0`s never collide — plus a byte ledger of
+//! the frozen instances it keeps resident.
+//!
+//! Quotas bound what any one tenant can pin ([`TenantQuotas`]):
+//!
+//! * `max_compiled_queries` / `max_frozen_instances` — registry entry
+//!   counts. Exceeding them does **not** fail the insert: the least
+//!   recently *used* entry is evicted instead (its id answers
+//!   `unknown_handle` afterwards), so a well-behaved client that forgets to
+//!   `unload` is bounded by policy, not by its own discipline.
+//! * `max_resident_bytes` — the sum of [`FrozenDb::resident_bytes`]
+//!   estimates over the tenant's instances. Inserting evicts LRU instances
+//!   until the ledger fits; an instance whose *own* estimate exceeds the
+//!   budget is refused outright with `quota_exceeded`.
+//! * `max_open_sessions` — a hard limit: sessions carry client-visible
+//!   mutation state, so silently evicting one would corrupt a replay.
+//!   Opening one past the limit answers `quota_exceeded` naming the limit.
+//!
+//! Handles are looked up in the caller's own namespace first; on a miss the
+//! other namespaces are scanned so the error can distinguish *someone
+//! else's handle* (`unauthorized`) from *nobody's handle*
+//! (`unknown_handle`) — the distinction the tenancy tests pin down.
+//!
+//! Sessions are addressable two ways: by `session_id` within the owning
+//! tenant, or by the opaque `token` the `session` response returns — the
+//! token routes from **any** connection (reconnects, load-balanced pools),
+//! but only under the owning tenant's `auth`; any other tenant presenting
+//! it gets `unauthorized`. Sessions idle past the server's TTL are reaped
+//! by the event loop's housekeeping tick (a session mid-solve holds its
+//! slot lock and is never reaped).
+//!
+//! [`FrozenDb::resident_bytes`]: database::FrozenDb::resident_bytes
+
+use crate::jsonio::TenancyStats;
+use crate::{DbEntry, QueryEntry, SessionEntry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::time::Duration;
+
+/// Per-tenant resource quotas. The defaults are deliberately generous — a
+/// single-tenant deployment should never notice them — while still bounding
+/// a hostile or leaky client.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantQuotas {
+    /// Registry entries of compiled queries; the LRU entry is evicted when
+    /// a `compile` would exceed it. Clamped to at least 1.
+    pub max_compiled_queries: usize,
+    /// Registry entries of frozen instances; LRU-evicted like queries.
+    /// Clamped to at least 1.
+    pub max_frozen_instances: usize,
+    /// Open sessions; a `session` past this limit is refused with
+    /// `quota_exceeded` (sessions hold replayable state, so eviction is
+    /// never silent).
+    pub max_open_sessions: usize,
+    /// Byte budget over the tenant's frozen instances, estimated from their
+    /// CSR arena lengths. Loads evict LRU instances to fit; a single
+    /// instance larger than the whole budget is refused.
+    pub max_resident_bytes: usize,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_compiled_queries: 1024,
+            max_frozen_instances: 1024,
+            max_open_sessions: 256,
+            max_resident_bytes: 1 << 30,
+        }
+    }
+}
+
+/// Why a handle lookup failed.
+pub(crate) enum LookupError {
+    /// No tenant has the id.
+    Unknown,
+    /// Another tenant has the id — answered as `unauthorized`, never by
+    /// serving someone else's data.
+    Foreign,
+}
+
+/// A quota refusal: which limit, and its configured maximum (both rendered
+/// into the `quota_exceeded` response).
+pub(crate) struct QuotaError {
+    pub(crate) limit: &'static str,
+    pub(crate) max: usize,
+}
+
+/// One tenant's registry of compiled queries and frozen instances, plus the
+/// auto-id counters and the resident-byte ledger.
+#[derive(Default)]
+pub(crate) struct TenantRegistry {
+    pub(crate) queries: HashMap<String, Arc<QueryEntry>>,
+    pub(crate) dbs: HashMap<String, Arc<DbEntry>>,
+    next_query: u64,
+    next_db: u64,
+    pub(crate) resident_bytes: usize,
+}
+
+impl TenantRegistry {
+    /// Next unused auto-generated query id. Skips ids a client registered
+    /// explicitly — an auto id must never silently replace someone else's
+    /// entry.
+    pub(crate) fn next_query_id(&mut self) -> String {
+        loop {
+            let id = format!("q{}", self.next_query);
+            self.next_query += 1;
+            if !self.queries.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Next unused auto-generated database id (same skip rule as
+    /// [`TenantRegistry::next_query_id`]).
+    pub(crate) fn next_db_id(&mut self) -> String {
+        loop {
+            let id = format!("d{}", self.next_db);
+            self.next_db += 1;
+            if !self.dbs.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Removes and returns the least recently used query entry's id.
+    fn evict_lru_query(&mut self) -> Option<String> {
+        let id = self
+            .queries
+            .iter()
+            .min_by_key(|(_, e)| e.lru.load(Ordering::Relaxed))
+            .map(|(id, _)| id.clone())?;
+        self.queries.remove(&id);
+        Some(id)
+    }
+
+    /// Removes and returns the least recently used instance's id, keeping
+    /// the byte ledger consistent.
+    fn evict_lru_db(&mut self) -> Option<String> {
+        let id = self
+            .dbs
+            .iter()
+            .min_by_key(|(_, e)| e.lru.load(Ordering::Relaxed))
+            .map(|(id, _)| id.clone())?;
+        if let Some(entry) = self.dbs.remove(&id) {
+            self.resident_bytes = self.resident_bytes.saturating_sub(entry.bytes);
+        }
+        Some(id)
+    }
+}
+
+/// One session slot: the shared entry (locked for the duration of each
+/// request that uses it) and the routing token minted at open.
+pub(crate) struct SessionSlot {
+    pub(crate) entry: Arc<Mutex<SessionEntry>>,
+    pub(crate) token: String,
+}
+
+/// A tenant's open sessions plus the auto-id counter (skip rule as for
+/// registry ids).
+#[derive(Default)]
+pub(crate) struct SessionTable {
+    pub(crate) slots: HashMap<String, SessionSlot>,
+    next: u64,
+}
+
+impl SessionTable {
+    fn next_session_id(&mut self) -> String {
+        loop {
+            let id = format!("s{}", self.next);
+            self.next += 1;
+            if !self.slots.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+}
+
+/// One tenant: its registry and its sessions.
+#[derive(Default)]
+pub(crate) struct Tenant {
+    pub(crate) registry: RwLock<TenantRegistry>,
+    pub(crate) sessions: Mutex<SessionTable>,
+}
+
+/// The full tenant map plus the policy and the global token index. Lock
+/// order, where nested: `tenants` → a tenant's `registry`/`sessions` →
+/// `tokens`; token *resolution* copies out of `tokens` before touching any
+/// session table, so no path acquires them in the opposite order.
+pub(crate) struct Tenancy {
+    pub(crate) quotas: TenantQuotas,
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Session token → (tenant key, session id).
+    tokens: Mutex<HashMap<String, (String, String)>>,
+    /// Logical LRU clock: bumped on every registry touch.
+    clock: AtomicU64,
+    /// Token mint counter (mixed through splitmix64).
+    token_seq: AtomicU64,
+    pub(crate) evicted_queries: AtomicU64,
+    pub(crate) evicted_dbs: AtomicU64,
+    pub(crate) reaped_sessions: AtomicU64,
+}
+
+// All lock poisoning in this module is recovered, not propagated: the maps
+// are only mutated through insert/remove (never left half-written), and one
+// panicking request must not brick every later request.
+fn read_reg(t: &Tenant) -> std::sync::RwLockReadGuard<'_, TenantRegistry> {
+    t.registry.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_reg(t: &Tenant) -> std::sync::RwLockWriteGuard<'_, TenantRegistry> {
+    t.registry.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_sessions(t: &Tenant) -> std::sync::MutexGuard<'_, SessionTable> {
+    t.sessions.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Tenancy {
+    pub(crate) fn new(quotas: TenantQuotas) -> Tenancy {
+        // Zero-sized quotas would force insert-then-evict-self loops; a
+        // quota of "nothing" is spelled by not issuing the tenant an auth
+        // token at all.
+        let quotas = TenantQuotas {
+            max_compiled_queries: quotas.max_compiled_queries.max(1),
+            max_frozen_instances: quotas.max_frozen_instances.max(1),
+            max_open_sessions: quotas.max_open_sessions.max(1),
+            max_resident_bytes: quotas.max_resident_bytes.max(1),
+        };
+        Tenancy {
+            quotas,
+            tenants: RwLock::new(HashMap::new()),
+            tokens: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            // The address of the boxed state seeds the token stream so two
+            // daemon runs do not mint the same sequence; tokens are routing
+            // handles (the `auth` token is the authorization boundary), so
+            // this does not need to be cryptographic.
+            token_seq: AtomicU64::new(0),
+            evicted_queries: AtomicU64::new(0),
+            evicted_dbs: AtomicU64::new(0),
+            reaped_sessions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The tenant for an `auth` token, created on first sight. An absent
+    /// `auth` maps to the `""` key — the shared anonymous tenant.
+    pub(crate) fn tenant(&self, auth: &str) -> Arc<Tenant> {
+        if let Some(t) = self
+            .tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(auth)
+        {
+            return Arc::clone(t);
+        }
+        let mut map = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(auth.to_string()).or_default())
+    }
+
+    fn existing_tenant(&self, auth: &str) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(auth)
+            .cloned()
+    }
+
+    /// Whether any *other* tenant holds the id (for the
+    /// `unauthorized`-vs-`unknown_handle` distinction).
+    fn held_elsewhere(&self, auth: &str, probe: impl Fn(&Tenant) -> bool) -> bool {
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .iter()
+            .any(|(key, t)| key != auth && probe(t.as_ref()))
+    }
+
+    /// Looks up a compiled query in the caller's namespace, bumping its LRU
+    /// stamp.
+    pub(crate) fn lookup_query(
+        &self,
+        auth: &str,
+        id: &str,
+    ) -> Result<Arc<QueryEntry>, LookupError> {
+        if let Some(t) = self.existing_tenant(auth) {
+            if let Some(e) = read_reg(&t).queries.get(id) {
+                e.lru.store(self.tick(), Ordering::Relaxed);
+                return Ok(Arc::clone(e));
+            }
+        }
+        if self.held_elsewhere(auth, |t| read_reg(t).queries.contains_key(id)) {
+            Err(LookupError::Foreign)
+        } else {
+            Err(LookupError::Unknown)
+        }
+    }
+
+    /// Looks up a frozen instance in the caller's namespace, bumping its
+    /// LRU stamp.
+    pub(crate) fn lookup_db(&self, auth: &str, id: &str) -> Result<Arc<DbEntry>, LookupError> {
+        if let Some(t) = self.existing_tenant(auth) {
+            if let Some(e) = read_reg(&t).dbs.get(id) {
+                e.lru.store(self.tick(), Ordering::Relaxed);
+                return Ok(Arc::clone(e));
+            }
+        }
+        if self.held_elsewhere(auth, |t| read_reg(t).dbs.contains_key(id)) {
+            Err(LookupError::Foreign)
+        } else {
+            Err(LookupError::Unknown)
+        }
+    }
+
+    /// Registers a compiled query (explicit id replaces; auto id from the
+    /// tenant's counter), evicting the tenant's LRU queries past the quota.
+    pub(crate) fn insert_query(
+        &self,
+        tenant: &Tenant,
+        explicit: Option<&str>,
+        entry: QueryEntry,
+    ) -> String {
+        entry.lru.store(self.tick(), Ordering::Relaxed);
+        let mut reg = write_reg(tenant);
+        let id = match explicit {
+            Some(id) => id.to_string(),
+            None => reg.next_query_id(),
+        };
+        // Re-registering an id replaces the entry (idempotent clients).
+        reg.queries.insert(id.clone(), Arc::new(entry));
+        while reg.queries.len() > self.quotas.max_compiled_queries {
+            match reg.evict_lru_query() {
+                Some(_) => {
+                    self.evicted_queries.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        id
+    }
+
+    /// Registers a frozen instance, evicting the tenant's LRU instances
+    /// until both the count and the byte quotas fit. An instance whose own
+    /// estimate exceeds the whole byte budget is refused.
+    pub(crate) fn insert_db(
+        &self,
+        tenant: &Tenant,
+        explicit: Option<&str>,
+        mut entry: DbEntry,
+    ) -> Result<String, QuotaError> {
+        if entry.bytes > self.quotas.max_resident_bytes {
+            return Err(QuotaError {
+                limit: "max_resident_bytes",
+                max: self.quotas.max_resident_bytes,
+            });
+        }
+        entry.lru.store(self.tick(), Ordering::Relaxed);
+        let mut reg = write_reg(tenant);
+        let id = match explicit {
+            Some(id) => id.to_string(),
+            None => reg.next_db_id(),
+        };
+        entry.id = id.clone();
+        let bytes = entry.bytes;
+        if let Some(old) = reg.dbs.insert(id.clone(), Arc::new(entry)) {
+            reg.resident_bytes = reg.resident_bytes.saturating_sub(old.bytes);
+        }
+        reg.resident_bytes += bytes;
+        while reg.dbs.len() > self.quotas.max_frozen_instances
+            || reg.resident_bytes > self.quotas.max_resident_bytes
+        {
+            // The entry just inserted is the newest (highest LRU stamp) and
+            // fits the budget alone, so the loop always terminates before
+            // evicting it.
+            if reg.dbs.len() <= 1 {
+                break;
+            }
+            match reg.evict_lru_db() {
+                Some(_) => {
+                    self.evicted_dbs.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        Ok(id)
+    }
+
+    fn mint_token(&self) -> String {
+        let seq = self.token_seq.fetch_add(1, Ordering::Relaxed);
+        let seed = seq
+            .wrapping_add((self as *const Tenancy as usize as u64).rotate_left(17))
+            .wrapping_add(
+                std::time::SystemTime::UNIX_EPOCH
+                    .elapsed()
+                    .map(|d| d.subsec_nanos() as u64)
+                    .unwrap_or(0)
+                    << 20,
+            );
+        format!("tk{:016x}", splitmix64(seed))
+    }
+
+    /// Opens a session slot under the tenant, minting its routing token.
+    /// Returns `(session_id, token)`. An explicit id replaces any previous
+    /// slot of the same name (its token is retired); a *new* slot past the
+    /// session quota is refused.
+    pub(crate) fn open_session(
+        &self,
+        auth: &str,
+        tenant: &Tenant,
+        explicit: Option<&str>,
+        entry: SessionEntry,
+    ) -> Result<(String, String), QuotaError> {
+        let mut table = lock_sessions(tenant);
+        let id = match explicit {
+            Some(id) => id.to_string(),
+            None => table.next_session_id(),
+        };
+        if !table.slots.contains_key(&id) && table.slots.len() >= self.quotas.max_open_sessions {
+            return Err(QuotaError {
+                limit: "max_open_sessions",
+                max: self.quotas.max_open_sessions,
+            });
+        }
+        let token = loop {
+            let token = self.mint_token();
+            let mut tokens = self.tokens.lock().unwrap_or_else(|e| e.into_inner());
+            if tokens.contains_key(&token) {
+                continue;
+            }
+            tokens.insert(token.clone(), (auth.to_string(), id.clone()));
+            break token;
+        };
+        if let Some(old) = table.slots.insert(
+            id.clone(),
+            SessionSlot {
+                entry: Arc::new(Mutex::new(entry)),
+                token: token.clone(),
+            },
+        ) {
+            self.tokens
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&old.token);
+        }
+        Ok((id, token))
+    }
+
+    /// Resolves a session by token (any connection, owning tenant only) or
+    /// by `session_id` within the caller's namespace.
+    pub(crate) fn resolve_session(
+        &self,
+        auth: &str,
+        session_id: Option<&str>,
+        token: Option<&str>,
+    ) -> Result<Arc<Mutex<SessionEntry>>, LookupError> {
+        if let Some(token) = token {
+            // Copy the route out before touching any session table — the
+            // lock order is tenant locks before `tokens`, never the
+            // reverse.
+            let route = self
+                .tokens
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(token)
+                .cloned();
+            let (owner, sid) = match route {
+                Some(route) => route,
+                None => return Err(LookupError::Unknown),
+            };
+            if owner != auth {
+                return Err(LookupError::Foreign);
+            }
+            let tenant = self.existing_tenant(&owner).ok_or(LookupError::Unknown)?;
+            let table = lock_sessions(&tenant);
+            return table
+                .slots
+                .get(&sid)
+                .map(|slot| Arc::clone(&slot.entry))
+                .ok_or(LookupError::Unknown);
+        }
+        let id = match session_id {
+            Some(id) => id,
+            None => return Err(LookupError::Unknown),
+        };
+        if let Some(t) = self.existing_tenant(auth) {
+            if let Some(slot) = lock_sessions(&t).slots.get(id) {
+                return Ok(Arc::clone(&slot.entry));
+            }
+        }
+        if self.held_elsewhere(auth, |t| lock_sessions(t).slots.contains_key(id)) {
+            Err(LookupError::Foreign)
+        } else {
+            Err(LookupError::Unknown)
+        }
+    }
+
+    /// Closes a session in the caller's namespace, retiring its token.
+    pub(crate) fn close_session(&self, auth: &str, id: &str) -> Result<(), LookupError> {
+        if let Some(t) = self.existing_tenant(auth) {
+            let removed = lock_sessions(&t).slots.remove(id);
+            if let Some(slot) = removed {
+                self.tokens
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&slot.token);
+                return Ok(());
+            }
+        }
+        if self.held_elsewhere(auth, |t| lock_sessions(t).slots.contains_key(id)) {
+            Err(LookupError::Foreign)
+        } else {
+            Err(LookupError::Unknown)
+        }
+    }
+
+    /// Reaps sessions idle past `ttl` (the event loop's housekeeping tick).
+    /// A session mid-request holds its slot lock and is skipped — activity,
+    /// not a leak.
+    pub(crate) fn reap_expired(&self, ttl: Duration) {
+        let tenants: Vec<Arc<Tenant>> = self
+            .tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        for tenant in tenants {
+            let mut table = lock_sessions(&tenant);
+            let expired: Vec<String> = table
+                .slots
+                .iter()
+                .filter_map(|(id, slot)| {
+                    let idle = match slot.entry.try_lock() {
+                        Ok(e) => e.session.idle_for(),
+                        Err(TryLockError::Poisoned(e)) => e.into_inner().session.idle_for(),
+                        Err(TryLockError::WouldBlock) => return None,
+                    };
+                    (idle > ttl).then(|| id.clone())
+                })
+                .collect();
+            for id in expired {
+                if let Some(slot) = table.slots.remove(&id) {
+                    self.tokens
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&slot.token);
+                    self.reaped_sessions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Removes a query and/or db from the caller's namespace; both are
+    /// validated before either is removed (an error response must mean
+    /// nothing was unloaded). Returns the removed ids in argument order.
+    pub(crate) fn unload(
+        &self,
+        auth: &str,
+        qid: Option<&str>,
+        did: Option<&str>,
+    ) -> Result<Vec<String>, (LookupError, String)> {
+        let tenant = self.existing_tenant(auth);
+        if let Some(id) = qid {
+            let have = tenant
+                .as_deref()
+                .is_some_and(|t| read_reg(t).queries.contains_key(id));
+            if !have {
+                let e = if self.held_elsewhere(auth, |t| read_reg(t).queries.contains_key(id)) {
+                    LookupError::Foreign
+                } else {
+                    LookupError::Unknown
+                };
+                return Err((e, format!("query_id {id}")));
+            }
+        }
+        if let Some(id) = did {
+            let have = tenant
+                .as_deref()
+                .is_some_and(|t| read_reg(t).dbs.contains_key(id));
+            if !have {
+                let e = if self.held_elsewhere(auth, |t| read_reg(t).dbs.contains_key(id)) {
+                    LookupError::Foreign
+                } else {
+                    LookupError::Unknown
+                };
+                return Err((e, format!("db_id {id}")));
+            }
+        }
+        let tenant = tenant.expect("validated handles imply the tenant exists");
+        let mut reg = write_reg(&tenant);
+        let mut unloaded = Vec::new();
+        if let Some(id) = qid {
+            if reg.queries.remove(id).is_some() {
+                unloaded.push(id.to_string());
+            }
+        }
+        if let Some(id) = did {
+            if let Some(entry) = reg.dbs.remove(id) {
+                reg.resident_bytes = reg.resident_bytes.saturating_sub(entry.bytes);
+                unloaded.push(id.to_string());
+            }
+        }
+        Ok(unloaded)
+    }
+
+    /// Aggregate counters for the `stats` verb.
+    pub(crate) fn stats_snapshot(&self) -> TenancyStats {
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        let mut snap = TenancyStats {
+            tenants: tenants.len() as u64,
+            ..TenancyStats::default()
+        };
+        for tenant in tenants.values() {
+            let reg = read_reg(tenant);
+            snap.queries += reg.queries.len() as u64;
+            snap.dbs += reg.dbs.len() as u64;
+            snap.resident_bytes += reg.resident_bytes as u64;
+            snap.sessions += lock_sessions(tenant).slots.len() as u64;
+        }
+        snap.evicted_queries = self.evicted_queries.load(Ordering::Relaxed);
+        snap.evicted_dbs = self.evicted_dbs.load(Ordering::Relaxed);
+        snap.reaped_sessions = self.reaped_sessions.load(Ordering::Relaxed);
+        snap
+    }
+}

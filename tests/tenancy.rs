@@ -1,0 +1,555 @@
+//! Tenancy suite: per-tenant namespaces, quotas, LRU eviction,
+//! cross-connection session tokens and TTL reaping.
+//!
+//! The contract under test (see `crates/server/src/tenancy.rs`):
+//!
+//! * handles are scoped by `auth` token — another tenant's id answers
+//!   `unauthorized`, nobody's id answers `unknown_handle`;
+//! * count quotas evict the least recently used entry (whose id then
+//!   answers `unknown_handle`), the byte quota evicts until the ledger
+//!   fits, and the session quota is a hard `quota_exceeded` naming the
+//!   offending limit;
+//! * the `session` verb returns a routing token honoured from **any**
+//!   connection under the owning tenant's `auth`, across all three session
+//!   dispatch shapes, byte-identical to a local replay;
+//! * sessions idle past the server TTL are reaped.
+
+use resilience::core::engine::{Engine, SolveOptions};
+use resilience::prelude::*;
+use server::client::Client;
+use server::dbtext::{parse_database_with_labels, to_text};
+use server::jsonio::{self, JsonValue};
+use server::{Server, ServerConfig, TenantQuotas};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::Workload;
+
+fn start_server(config: ServerConfig) -> (SocketAddr, ServerGuard) {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (
+        addr,
+        ServerGuard {
+            flag,
+            handle: Some(handle),
+        },
+    )
+}
+
+struct ServerGuard {
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+const CHAIN: &str = "R(x,y), R(y,z)";
+const CHAIN_DB: &str = "R(1,2)\nR(2,3)\nR(3,3)\n";
+
+/// Sends a request expected to fail; returns `(kind, error, parsed)`.
+fn expect_error(client: &mut Client, request: &str) -> (String, String, JsonValue) {
+    let raw = client.request_raw(request).unwrap();
+    let v = jsonio::parse_json(&raw).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(JsonValue::as_bool),
+        Some(false),
+        "expected an error for {request}, got {raw}"
+    );
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let error = v
+        .get("error")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_string();
+    (kind, error, v)
+}
+
+fn compile_as(client: &mut Client, auth: &str, id: &str, query: &str) -> String {
+    let (v, _) = client
+        .request(&format!(
+            "{{\"op\": \"compile\", \"auth\": \"{auth}\", \"id\": \"{id}\", \"query\": \"{}\"}}",
+            jsonio::json_escape(query)
+        ))
+        .unwrap();
+    v.get("query_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string()
+}
+
+fn load_as(client: &mut Client, auth: &str, qid: &str, id: &str, text: &str) -> String {
+    let (v, _) = client
+        .request(&format!(
+            "{{\"op\": \"load\", \"auth\": \"{auth}\", \"query_id\": \"{qid}\", \
+             \"id\": \"{id}\", \"text\": \"{}\"}}",
+            jsonio::json_escape(text)
+        ))
+        .unwrap();
+    v.get("db_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string()
+}
+
+/// Opens a session under `auth`; returns `(session_id, token)`.
+fn open_session(client: &mut Client, auth: &str, qid: &str, did: &str) -> (String, String) {
+    let (v, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"auth\": \"{auth}\", \"query_id\": \"{qid}\", \
+             \"db_id\": \"{did}\"}}"
+        ))
+        .unwrap();
+    let sid = v
+        .get("session_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    let token = v
+        .get("token")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    assert!(token.starts_with("tk"), "token shape changed: {token}");
+    (sid, token)
+}
+
+#[test]
+fn cross_tenant_access_is_unauthorized_and_namespaces_are_disjoint() {
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(2));
+    let mut alice = Client::connect(addr).unwrap();
+    let mut bob = Client::connect(addr).unwrap();
+
+    let qid = compile_as(&mut alice, "alice", "q0", CHAIN);
+    let did = load_as(&mut alice, "alice", &qid, "d0", CHAIN_DB);
+    let (sid, token) = open_session(&mut alice, "alice", &qid, &did);
+
+    // Bob presenting Alice's handles: unauthorized, with the kind of handle
+    // named but nothing about its contents.
+    let (kind, error, _) = expect_error(
+        &mut bob,
+        "{\"op\": \"solve\", \"auth\": \"bob\", \"query_id\": \"q0\", \"db_id\": \"d0\"}",
+    );
+    assert_eq!(kind, "unauthorized");
+    assert!(error.contains("belongs to another tenant"), "{error}");
+
+    // Handles nobody holds stay unknown_handle — the error distinguishes
+    // "someone else's" from "nonexistent".
+    let (kind, error, _) = expect_error(
+        &mut bob,
+        "{\"op\": \"solve\", \"auth\": \"bob\", \"query_id\": \"q77\", \"db_id\": \"d77\"}",
+    );
+    assert_eq!(kind, "unknown_handle");
+    assert!(error.contains("unknown query_id"), "{error}");
+
+    // Sessions: by id and by token, both refuse a foreign tenant.
+    let (kind, _, _) = expect_error(
+        &mut bob,
+        &format!("{{\"op\": \"resolve\", \"auth\": \"bob\", \"session_id\": \"{sid}\"}}"),
+    );
+    assert_eq!(kind, "unauthorized");
+    let (kind, error, _) = expect_error(
+        &mut bob,
+        &format!("{{\"op\": \"resolve\", \"auth\": \"bob\", \"token\": \"{token}\"}}"),
+    );
+    assert_eq!(kind, "unauthorized");
+    assert!(error.contains("session token"), "{error}");
+    // The anonymous tenant is just another tenant.
+    let (kind, _, _) = expect_error(
+        &mut bob,
+        &format!("{{\"op\": \"resolve\", \"token\": \"{token}\"}}"),
+    );
+    assert_eq!(kind, "unauthorized");
+    // A token nobody minted is unknown.
+    let (kind, _, _) = expect_error(
+        &mut bob,
+        "{\"op\": \"resolve\", \"auth\": \"bob\", \"token\": \"tk0000000000000000\"}",
+    );
+    assert_eq!(kind, "unknown_handle");
+
+    // Namespaces are fully disjoint: Bob can register his own q0/d0 without
+    // touching Alice's, and each tenant solves its own.
+    let qid_b = compile_as(&mut bob, "bob", "q0", "A(x), R(x,y), B(y)");
+    let did_b = load_as(&mut bob, "bob", &qid_b, "d0", "A(1)\nR(1,2)\nB(2)\n");
+    let (_, raw) = bob
+        .request(&format!(
+            "{{\"op\": \"solve\", \"auth\": \"bob\", \"query_id\": \"{qid_b}\", \
+             \"db_id\": \"{did_b}\", \"tag\": \"t\"}}"
+        ))
+        .unwrap();
+    assert!(raw.contains("\"resilience\": 1"), "{raw}");
+    let (_, raw) = alice
+        .request(&format!(
+            "{{\"op\": \"solve\", \"auth\": \"alice\", \"query_id\": \"{qid}\", \
+             \"db_id\": \"{did}\", \"tag\": \"t\"}}"
+        ))
+        .unwrap();
+    assert!(raw.contains("\"resilience\": 2"), "{raw}");
+
+    // Unload is namespace-scoped the same way.
+    let (kind, _, _) = expect_error(
+        &mut bob,
+        "{\"op\": \"unload\", \"auth\": \"bob\", \"db_id\": \"d1\"}",
+    );
+    assert_eq!(kind, "unknown_handle");
+    // Alice's close does not leak to Bob's namespace either.
+    let (kind, _, _) = expect_error(
+        &mut bob,
+        &format!("{{\"op\": \"close\", \"auth\": \"bob\", \"session_id\": \"{sid}\"}}"),
+    );
+    assert_eq!(kind, "unauthorized");
+    alice
+        .request(&format!(
+            "{{\"op\": \"close\", \"auth\": \"alice\", \"session_id\": \"{sid}\"}}"
+        ))
+        .unwrap();
+}
+
+#[test]
+fn session_quota_is_a_hard_limit_naming_the_offender() {
+    let quotas = TenantQuotas {
+        max_open_sessions: 2,
+        ..TenantQuotas::default()
+    };
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1).quotas(quotas));
+    let mut client = Client::connect(addr).unwrap();
+    let qid = compile_as(&mut client, "t1", "q0", CHAIN);
+    let did = load_as(&mut client, "t1", &qid, "d0", CHAIN_DB);
+
+    let (sid1, _) = open_session(&mut client, "t1", &qid, &did);
+    open_session(&mut client, "t1", &qid, &did);
+    let (kind, error, v) = expect_error(
+        &mut client,
+        &format!(
+            "{{\"op\": \"session\", \"auth\": \"t1\", \"query_id\": \"{qid}\", \"db_id\": \"{did}\"}}"
+        ),
+    );
+    assert_eq!(kind, "quota_exceeded");
+    assert!(error.contains("max_open_sessions"), "{error}");
+    assert_eq!(
+        v.get("limit").and_then(JsonValue::as_str),
+        Some("max_open_sessions")
+    );
+    assert_eq!(v.get("max").and_then(JsonValue::as_usize), Some(2));
+
+    // Re-opening an existing id replaces, never counts as a new session...
+    let (v, _) = client
+        .request(&format!(
+            "{{\"op\": \"session\", \"auth\": \"t1\", \"query_id\": \"{qid}\", \
+             \"db_id\": \"{did}\", \"session_id\": \"{sid1}\"}}"
+        ))
+        .unwrap();
+    assert_eq!(
+        v.get("session_id").and_then(JsonValue::as_str),
+        Some(sid1.as_str())
+    );
+    // ...and closing one frees a slot.
+    client
+        .request(&format!(
+            "{{\"op\": \"close\", \"auth\": \"t1\", \"session_id\": \"{sid1}\"}}"
+        ))
+        .unwrap();
+    open_session(&mut client, "t1", &qid, &did);
+
+    // The quota is per tenant: another tenant still opens sessions freely.
+    let qid2 = compile_as(&mut client, "t2", "q0", CHAIN);
+    let did2 = load_as(&mut client, "t2", &qid2, "d0", CHAIN_DB);
+    open_session(&mut client, "t2", &qid2, &did2);
+}
+
+#[test]
+fn count_quotas_evict_lru_and_victims_answer_unknown_handle() {
+    let quotas = TenantQuotas {
+        max_compiled_queries: 2,
+        max_frozen_instances: 2,
+        ..TenantQuotas::default()
+    };
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1).quotas(quotas));
+    let mut client = Client::connect(addr).unwrap();
+
+    // Three distinct (non-isomorphic) queries under a 2-entry quota.
+    let qa = compile_as(&mut client, "t", "qa", CHAIN);
+    let _qb = compile_as(&mut client, "t", "qb", "A(x), R(x,y), B(y)");
+    // Touch qa so qb becomes the LRU victim of the next insert.
+    let da = load_as(&mut client, "t", &qa, "da", CHAIN_DB);
+    let _qc = compile_as(&mut client, "t", "qc", "R(x), S(x,y), R(y)");
+
+    let (kind, error, _) = expect_error(
+        &mut client,
+        "{\"op\": \"solve\", \"auth\": \"t\", \"query_id\": \"qb\", \"db_id\": \"da\"}",
+    );
+    assert_eq!(kind, "unknown_handle", "{error}");
+    // The touched entry survived.
+    let (_, raw) = client
+        .request(&format!(
+            "{{\"op\": \"solve\", \"auth\": \"t\", \"query_id\": \"{qa}\", \
+             \"db_id\": \"{da}\", \"tag\": \"t\"}}"
+        ))
+        .unwrap();
+    assert!(raw.contains("\"resilience\": 2"), "{raw}");
+
+    // Same for instances: db quota 2, load three, the untouched one goes.
+    let _db = load_as(&mut client, "t", &qa, "db", "R(1,2)\n");
+    // Touch da, then push dc in: db is evicted.
+    client
+        .request(&format!(
+            "{{\"op\": \"solve\", \"auth\": \"t\", \"query_id\": \"{qa}\", \"db_id\": \"{da}\"}}"
+        ))
+        .unwrap();
+    let _dc = load_as(&mut client, "t", &qa, "dc", "R(5,6)\nR(6,7)\n");
+    let (kind, _, _) = expect_error(
+        &mut client,
+        "{\"op\": \"solve\", \"auth\": \"t\", \"query_id\": \"qa\", \"db_id\": \"db\"}",
+    );
+    assert_eq!(kind, "unknown_handle");
+
+    // The eviction counters surface in stats.
+    let (v, _) = client.request("{\"op\": \"stats\"}").unwrap();
+    let tenancy = v
+        .get("stats")
+        .and_then(|s| s.get("tenancy"))
+        .expect("stats carries a tenancy object");
+    assert_eq!(
+        tenancy.get("evicted_queries").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        tenancy.get("evicted_dbs").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+}
+
+#[test]
+fn byte_quota_evicts_to_fit_and_refuses_oversized_instances() {
+    // Learn the instance's resident-byte estimate from an unconstrained
+    // daemon's ledger first, so the quota below can be cut exactly.
+    let (addr, guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1));
+    let mut client = Client::connect(addr).unwrap();
+    let qid = compile_as(&mut client, "t", "q0", CHAIN);
+    load_as(&mut client, "t", &qid, "d0", CHAIN_DB);
+    let (v, _) = client.request("{\"op\": \"stats\"}").unwrap();
+    let bytes = v
+        .get("stats")
+        .and_then(|s| s.get("tenancy"))
+        .and_then(|t| t.get("resident_bytes"))
+        .and_then(JsonValue::as_usize)
+        .unwrap();
+    assert!(bytes > 0, "resident_bytes estimate is zero");
+    drop(client);
+    drop(guard);
+
+    // Budget for one instance but not two: the second load evicts the
+    // first (LRU), and its handle answers unknown_handle afterwards.
+    let quotas = TenantQuotas {
+        max_resident_bytes: bytes + bytes / 2,
+        ..TenantQuotas::default()
+    };
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1).quotas(quotas));
+    let mut client = Client::connect(addr).unwrap();
+    let qid = compile_as(&mut client, "t", "q0", CHAIN);
+    load_as(&mut client, "t", &qid, "d0", CHAIN_DB);
+    load_as(&mut client, "t", &qid, "d1", CHAIN_DB);
+    let (kind, _, _) = expect_error(
+        &mut client,
+        "{\"op\": \"solve\", \"auth\": \"t\", \"query_id\": \"q0\", \"db_id\": \"d0\"}",
+    );
+    assert_eq!(kind, "unknown_handle");
+    let (_, raw) = client
+        .request("{\"op\": \"solve\", \"auth\": \"t\", \"query_id\": \"q0\", \"db_id\": \"d1\", \"tag\": \"t\"}")
+        .unwrap();
+    assert!(raw.contains("\"resilience\": 2"), "{raw}");
+
+    // An instance whose own estimate exceeds the whole budget is refused
+    // outright, naming the limit.
+    let quotas = TenantQuotas {
+        max_resident_bytes: bytes - 1,
+        ..TenantQuotas::default()
+    };
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(1).quotas(quotas));
+    let mut client = Client::connect(addr).unwrap();
+    let qid = compile_as(&mut client, "t", "q0", CHAIN);
+    let (kind, error, v) = expect_error(
+        &mut client,
+        &format!(
+            "{{\"op\": \"load\", \"auth\": \"t\", \"query_id\": \"{qid}\", \"text\": \"{}\"}}",
+            jsonio::json_escape(CHAIN_DB)
+        ),
+    );
+    assert_eq!(kind, "quota_exceeded");
+    assert!(error.contains("max_resident_bytes"), "{error}");
+    assert_eq!(
+        v.get("limit").and_then(JsonValue::as_str),
+        Some("max_resident_bytes")
+    );
+    assert_eq!(v.get("max").and_then(JsonValue::as_usize), Some(bytes - 1));
+}
+
+/// The standard randomized instance (mirrors tests/server.rs).
+fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    let r_is_binary = q
+        .schema()
+        .relation_id("R")
+        .is_some_and(|r| q.schema().arity(r) == 2);
+    let mut db = if r_is_binary {
+        workload.random_graph_relation(q, "R", nodes, density)
+    } else {
+        Database::for_query(q)
+    };
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        let arity = q.schema().arity(rel);
+        if arity >= 2 && !(name == "R" && r_is_binary) {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
+                        let values: Vec<u64> = (0..arity as u64)
+                            .map(|pos| match pos {
+                                0 => a,
+                                1 => b,
+                                _ => (a + b + pos) % nodes.max(1),
+                            })
+                            .collect();
+                        db.insert_named(&name, &values);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+fn query_text(q: &cq::Query) -> String {
+    let text = q.to_string();
+    match text.split_once(" :- ") {
+        Some((_, body)) => body.to_string(),
+        None => text,
+    }
+}
+
+#[test]
+fn session_tokens_survive_reconnects_across_all_dispatch_shapes() {
+    // For each of the three session dispatch shapes (witness branch-and-
+    // bound, p-time flow, raw-scan construction), drive every step over a
+    // **fresh connection** addressing the session only by its token; each
+    // event must be byte-identical to an uninterrupted local session.
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0").workers(2));
+    for (text, seed) in [
+        ("R(x,y), R(y,z)", 3u64),
+        ("A(x), R(x,y), R(z,y), C(z)", 5),
+        (query_text(&catalogue::q_ts3conf().query).leak() as &str, 9),
+    ] {
+        let q = parse_query(text).unwrap();
+        let db = random_instance(&q, seed, 5, 0.35);
+        let db_text = to_text(&db);
+        let (local_db, _) = parse_database_with_labels(&q, &db_text).unwrap();
+        let compiled = Engine::compile(&q);
+        let frozen = local_db.freeze();
+        let opts = SolveOptions::new();
+        let mut local = compiled.session(&frozen).unwrap();
+
+        let mut setup = Client::connect(addr).unwrap();
+        let qid = compile_as(&mut setup, "t", &format!("q{seed}"), text);
+        let did = load_as(&mut setup, "t", &qid, &format!("d{seed}"), &db_text);
+        let (_, token) = open_session(&mut setup, "t", &qid, &did);
+        drop(setup);
+
+        let sequence = Workload::new(seed ^ 0xabc).random_deletion_sequence(&q, &local_db, 5);
+        for (step, &t) in sequence.iter().enumerate() {
+            // Every step arrives on a brand-new connection: the token is
+            // the only thing carrying the session across.
+            let mut client = Client::connect(addr).unwrap();
+            let fact = jsonio::render_tuple(&local_db, t);
+            let (_, raw) = client
+                .request(&format!(
+                    "{{\"op\": \"delete\", \"auth\": \"t\", \"token\": \"{token}\", \
+                     \"tuple\": \"{fact}\"}}"
+                ))
+                .unwrap();
+            let changed = local.delete(&[t]);
+            let expected = jsonio::mutation_event_json(
+                "delete",
+                &fact,
+                changed,
+                local.live_witnesses(),
+                local.deleted_count(),
+            );
+            assert_eq!(
+                jsonio::extract_raw(&raw, "event"),
+                Some(expected.as_str()),
+                "{text} seed {seed} step {step}"
+            );
+            let (_, raw) = client
+                .request(&format!(
+                    "{{\"op\": \"resolve\", \"auth\": \"t\", \"token\": \"{token}\"}}"
+                ))
+                .unwrap();
+            let report = local.solve(&opts).unwrap();
+            let expected = jsonio::solve_event_json(&local_db, &report, &local.last_solve_stats());
+            assert_eq!(
+                jsonio::extract_raw(&raw, "event"),
+                Some(expected.as_str()),
+                "{text} seed {seed} step {step} solve"
+            );
+        }
+    }
+}
+
+#[test]
+fn idle_sessions_are_reaped_after_the_ttl() {
+    let (addr, _guard) = start_server(
+        ServerConfig::new("127.0.0.1:0")
+            .workers(1)
+            .session_ttl_ms(400),
+    );
+    let mut client = Client::connect(addr).unwrap();
+    let qid = compile_as(&mut client, "t", "q0", CHAIN);
+    let did = load_as(&mut client, "t", &qid, "d0", CHAIN_DB);
+    let (sid, token) = open_session(&mut client, "t", &qid, &did);
+
+    // Activity within the TTL keeps the session alive well past it.
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(120));
+        client
+            .request(&format!(
+                "{{\"op\": \"resolve\", \"auth\": \"t\", \"token\": \"{token}\"}}"
+            ))
+            .unwrap();
+    }
+
+    // Idle past the TTL: reaped — both the id and the token are gone.
+    std::thread::sleep(Duration::from_millis(1200));
+    let (kind, _, _) = expect_error(
+        &mut client,
+        &format!("{{\"op\": \"resolve\", \"auth\": \"t\", \"token\": \"{token}\"}}"),
+    );
+    assert_eq!(kind, "unknown_handle");
+    let (kind, _, _) = expect_error(
+        &mut client,
+        &format!("{{\"op\": \"resolve\", \"auth\": \"t\", \"session_id\": \"{sid}\"}}"),
+    );
+    assert_eq!(kind, "unknown_handle");
+    let (v, _) = client.request("{\"op\": \"stats\"}").unwrap();
+    let reaped = v
+        .get("stats")
+        .and_then(|s| s.get("tenancy"))
+        .and_then(|t| t.get("reaped_sessions"))
+        .and_then(JsonValue::as_usize)
+        .unwrap();
+    assert!(reaped >= 1, "reaped_sessions = {reaped}");
+}
