@@ -116,6 +116,21 @@
 //! cargo run --release -p bench --bin perfbench -- resolve-warm \
 //!     --instances 25 --deletions 8 --out WARM.json
 //! ```
+//!
+//! **Shard mode** measures the streaming shard pipeline on an instance
+//! several times larger than the per-shard memory cap: the whole-instance
+//! solve is the fits-in-RAM reference (and the differential gate), the
+//! streaming path plans/builds/solves shards without ever holding the whole
+//! instance, and per-tuple throughput plus the merged answer are gated, as
+//! the committed `BENCH_PR10.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- shard \
+//!     --tuples 24000 --shards 8 --out BENCH_PR10.json
+//! ```
+//!
+//! `--smoke` shrinks the instance and repetitions for CI; the shard-parallel
+//! speedup gate is skipped (with a JSON warning) on single-core machines.
 
 // The legacy loop is exactly what batch mode benchmarks against.
 #![allow(deprecated)]
@@ -1416,10 +1431,269 @@ fn serve_mode(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// **Shard mode** (`perfbench shard ...`): builds one instance whose frozen
+/// footprint is several times a per-shard memory cap, solves it whole (the
+/// fits-in-RAM reference that also supplies the differential gate) and then
+/// via the streaming shard pipeline — `plan_stream` over one replay of the
+/// generator, one `build_shard` pass per shard overlapped with the gather
+/// solve — and checks that the merged answer is identical and that the
+/// per-tuple solve throughput stays within a configurable factor of the
+/// whole-instance solve.
+///
+/// Gates (all enforced every run):
+/// - merged resilience/witness counts equal the whole-instance solve, and
+///   the streaming and eager shard paths return byte-identical reports;
+/// - the whole instance is at least `--min-cap-ratio` (default 4) times the
+///   largest resident shard (the memory cap a streaming solver needs);
+/// - sharded per-tuple throughput ≥ `--min-throughput-ratio` (default 0.75)
+///   of the whole-instance solve.
+///
+/// The shard-parallel speedup gate (threads = cores vs 1) only runs when
+/// the machine has ≥ 2 cores; otherwise it is skipped with a warning field
+/// in the JSON so CI on single-core runners stays green without silently
+/// dropping the check.
+fn shard_mode(args: &[String]) -> ExitCode {
+    let mut tuples: Option<usize> = None;
+    let mut groups = 8usize;
+    let mut width = 48u64;
+    let mut shards_k = 8usize;
+    let mut smoke = false;
+    let mut min_ratio = 0.75f64;
+    let mut min_cap_ratio = 4.0f64;
+    let mut min_parallel_speedup = 1.1f64;
+    let mut out_path: Option<String> = None;
+    let mut label = "PR10-shard-streaming".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        macro_rules! num {
+            ($name:literal) => {
+                match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!(concat!($name, " needs a number"));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--tuples" => tuples = Some(num!("--tuples")),
+            "--groups" => groups = num!("--groups"),
+            "--width" => width = num!("--width"),
+            "--shards" => shards_k = num!("--shards"),
+            "--smoke" => smoke = true,
+            "--min-throughput-ratio" => min_ratio = num!("--min-throughput-ratio"),
+            "--min-cap-ratio" => min_cap_ratio = num!("--min-cap-ratio"),
+            "--min-parallel-speedup" => min_parallel_speedup = num!("--min-parallel-speedup"),
+            "--out" => out_path = it.next().cloned(),
+            "--label" => label = it.next().cloned().unwrap_or(label),
+            other => {
+                eprintln!("unknown shard argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!(
+            "usage: perfbench shard [--tuples N] [--groups G] [--width W] [--shards K] \
+             [--smoke] [--min-throughput-ratio X] [--min-cap-ratio X] \
+             [--min-parallel-speedup X] [--label name] --out <json>"
+        );
+        return ExitCode::FAILURE;
+    };
+    let tuples = tuples.unwrap_or(if smoke { 3_000 } else { 24_000 });
+    let reps = if smoke { 1 } else { 3 };
+
+    let q = parse_query("R(x,y), S(y,z)").expect("shard workload query parses");
+    let spec = workloads::StreamSpec::for_query(&q, 7, tuples, groups, width);
+    let compiled = Engine::compile(&q);
+    let opts = SolveOptions::new();
+
+    // Fits-in-RAM reference: materialize the generator (duplicate-free, so
+    // tuple ids equal stream positions) and solve whole.
+    let whole = spec.materialize().freeze();
+    let whole_bytes = whole.resident_bytes();
+    let mut whole_ns = u64::MAX;
+    let mut whole_report = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = compiled.solve(&whole, &opts).expect("whole solve");
+        whole_ns = whole_ns.min(start.elapsed().as_nanos() as u64);
+        whole_report = Some(r);
+    }
+    let whole_report = whole_report.expect("at least one rep");
+
+    // Streaming shard build: plan over one replay, one pass per shard.
+    let mut plan = database::shard::plan_stream(spec.stream(), shards_k);
+    let shard_count = plan.shards;
+    let components = plan.components;
+    let shards: Vec<resilience_core::shard::ShardInstance> = (0..shard_count)
+        .map(|i| database::shard::build_shard(spec.schema(), spec.stream(), &mut plan, i).into())
+        .collect();
+    let max_shard_bytes = shards
+        .iter()
+        .map(|s| s.frozen.resident_bytes())
+        .max()
+        .unwrap_or(0);
+    let cap_ratio = whole_bytes as f64 / max_shard_bytes.max(1) as f64;
+
+    // Differential gate before any timing claims.
+    let merged =
+        resilience_core::shard::solve_sharded(&compiled, &shards, &opts, 1).expect("sharded solve");
+    if merged.report.resilience != whole_report.resilience
+        || merged.report.witnesses != whole_report.witnesses
+    {
+        eprintln!(
+            "shard differential gate FAILED: merged {:?}/{} witnesses vs whole {:?}/{}",
+            merged.report.resilience,
+            merged.report.witnesses,
+            whole_report.resilience,
+            whole_report.witnesses
+        );
+        return ExitCode::FAILURE;
+    }
+    let contingency_sizes = (
+        merged.report.contingency.as_ref().map(Vec::len),
+        whole_report.contingency.as_ref().map(Vec::len),
+    );
+    if contingency_sizes.0 != contingency_sizes.1 {
+        eprintln!("shard differential gate FAILED: contingency sizes {contingency_sizes:?}");
+        return ExitCode::FAILURE;
+    }
+
+    // End-to-end streaming pass: re-plan and rebuild every shard from the
+    // generator, overlapping builds with the gather solve.
+    let stream_start = Instant::now();
+    let mut replay_plan = database::shard::plan_stream(spec.stream(), shards_k);
+    let replay_shards = replay_plan.shards;
+    let shard_stream = (0..replay_shards).map(|i| {
+        Ok::<_, std::convert::Infallible>(resilience_core::shard::ShardInstance::from(
+            database::shard::build_shard(spec.schema(), spec.stream(), &mut replay_plan, i),
+        ))
+    });
+    let streamed =
+        resilience_core::shard::solve_sharded_streaming(&compiled, shard_stream, &opts, 1)
+            .expect("streaming sharded solve");
+    let streaming_ns = stream_start.elapsed().as_nanos() as u64;
+    if streamed.report != merged.report {
+        eprintln!("shard streaming gate FAILED: streaming report differs from eager merge");
+        return ExitCode::FAILURE;
+    }
+
+    // Solve-only timing over the prebuilt shards (apples-to-apples with the
+    // whole-instance solve, which excludes materialization too).
+    let mut shard_ns = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = resilience_core::shard::solve_sharded(&compiled, &shards, &opts, 1)
+            .expect("sharded solve");
+        shard_ns = shard_ns.min(start.elapsed().as_nanos() as u64);
+        std::hint::black_box(out);
+    }
+    let throughput_ratio = whole_ns as f64 / shard_ns.max(1) as f64;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (parallel_ns, parallel_speedup) = if cores >= 2 {
+        let mut pns = u64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let out = resilience_core::shard::solve_sharded(&compiled, &shards, &opts, cores)
+                .expect("parallel sharded solve");
+            pns = pns.min(start.elapsed().as_nanos() as u64);
+            std::hint::black_box(out);
+        }
+        (Some(pns), Some(shard_ns as f64 / pns.max(1) as f64))
+    } else {
+        (None, None)
+    };
+    let parallel_gate = match parallel_speedup {
+        Some(s) => format!("{s:.2}"),
+        None => "null".to_string(),
+    };
+    let parallel_warning = if cores < 2 {
+        ", \"parallel_gate\": \"skipped: available_parallelism() < 2\""
+    } else {
+        ""
+    };
+
+    let resilience_json = json_u64_opt(merged.report.resilience.as_finite().map(|k| k as u64));
+    let whole_per_tuple = whole_ns / tuples.max(1) as u64;
+    let shard_per_tuple = shard_ns / tuples.max(1) as u64;
+    let row = format!(
+        "    {{\"bench\": \"shard/stream_gather_chain\", \"tuples\": {tuples}, \
+         \"groups\": {groups}, \"shards\": {shard_count}, \"data_components\": {components}, \
+         \"query_components\": {qc}, \"whole_bytes\": {whole_bytes}, \
+         \"max_shard_bytes\": {max_shard_bytes}, \"cap_ratio\": {cap_ratio:.2}, \
+         \"resilience\": {resilience_json}, \"witnesses\": {wit}, \
+         \"whole_solve_ns\": {whole_ns}, \"shard_solve_ns\": {shard_ns}, \
+         \"streaming_total_ns\": {streaming_ns}, \"whole_ns_per_tuple\": {whole_per_tuple}, \
+         \"shard_ns_per_tuple\": {shard_per_tuple}, \"throughput_ratio\": {throughput_ratio:.2}, \
+         \"parallel_solve_ns\": {pns}, \"parallel_speedup\": {parallel_gate}{parallel_warning}, \
+         \"identical_results\": true}}",
+        qc = merged.query_components,
+        wit = merged.report.witnesses,
+        pns = json_u64_opt(parallel_ns),
+    );
+    let doc = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"mode\": \"sharded_streaming_vs_whole\",\n  \"experiments\": [\n{row}\n  ]\n}}\n",
+    );
+    if let Err(e) = fs::write(&out_path, doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut summary = format!(
+        "shard/stream_gather_chain  {tuples} tuples -> {shard_count} shards ({components} data \
+         components): whole {whole_ns} ns, sharded {shard_ns} ns ({throughput_ratio:.2}x), \
+         streaming {streaming_ns} ns end-to-end\n\
+         memory: whole {whole_bytes} B vs largest shard {max_shard_bytes} B \
+         ({cap_ratio:.2}x cap)\nwrote {out_path}\n"
+    );
+    if cap_ratio < min_cap_ratio {
+        eprintln!(
+            "cap-ratio gate FAILED: instance only {cap_ratio:.2}x the largest shard \
+             (need {min_cap_ratio:.2}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    summary.push_str(&format!(
+        "cap-ratio gate passed: {cap_ratio:.2}x >= {min_cap_ratio:.2}x\n"
+    ));
+    if throughput_ratio < min_ratio {
+        eprintln!("throughput gate FAILED: {throughput_ratio:.2}x < {min_ratio:.2}x");
+        return ExitCode::FAILURE;
+    }
+    summary.push_str(&format!(
+        "throughput gate passed: {throughput_ratio:.2}x >= {min_ratio:.2}x\n"
+    ));
+    match parallel_speedup {
+        Some(speedup) if speedup < min_parallel_speedup => {
+            eprintln!(
+                "parallel-speedup gate FAILED: {speedup:.2}x < {min_parallel_speedup:.2}x \
+                 across {cores} cores"
+            );
+            return ExitCode::FAILURE;
+        }
+        Some(speedup) => summary.push_str(&format!(
+            "parallel-speedup gate passed: {speedup:.2}x >= {min_parallel_speedup:.2}x \
+             across {cores} cores\n"
+        )),
+        None => summary.push_str(
+            "parallel-speedup gate skipped: available_parallelism() < 2 (warning in JSON)\n",
+        ),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(summary.as_bytes());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("batch") {
         return batch_mode(&args[1..]);
+    }
+    if args.first().map(|s| s.as_str()) == Some("shard") {
+        return shard_mode(&args[1..]);
     }
     if args.first().map(|s| s.as_str()) == Some("serve") {
         return serve_mode(&args[1..]);

@@ -83,6 +83,10 @@ pub enum SolveMethod {
     SpecialFlow(&'static str),
     /// Component-wise minimum (Lemma 14).
     ComponentMinimum,
+    /// Deterministic gather of per-shard solves whose underlying methods
+    /// differed across shards (see [`crate::shard`]); when every shard used
+    /// the same method the merged report keeps that method instead.
+    ShardGather,
     /// Exact branch-and-bound over the witness hypergraph (used for
     /// NP-complete and open queries, and as a fallback when a polynomial
     /// construction does not apply to the instance).
@@ -190,6 +194,12 @@ impl SolveOptions {
     pub fn want_contingency(mut self, want: bool) -> Self {
         self.want_contingency = want;
         self
+    }
+
+    /// Whether contingency extraction is requested
+    /// (see [`Self::want_contingency`]).
+    pub fn wants_contingency(&self) -> bool {
+        self.want_contingency
     }
 
     /// Maximum threads for witness enumeration (default 1 = sequential).

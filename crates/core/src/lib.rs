@@ -47,6 +47,7 @@ pub mod exact;
 pub mod flow_algorithms;
 pub mod ijp;
 pub mod plancache;
+pub mod shard;
 pub mod special;
 
 pub use approx::ResilienceBounds;
@@ -59,3 +60,4 @@ pub use engine::{
 pub use exact::{BudgetExhausted, CancelledSearch, ExactInterrupt, ExactResult, ExactSolver};
 pub use flow_algorithms::{FlowCancelled, FlowResult};
 pub use plancache::{CachedCompile, PlanCache, PlanCacheStats};
+pub use shard::{solve_sharded, solve_sharded_streaming, ShardInstance, ShardedOutcome};

@@ -1,0 +1,512 @@
+//! Scatter/gather solving over join-connected shards.
+//!
+//! `database::shard` partitions an instance along its constant-connected
+//! components; this module solves the shards — in parallel on scoped
+//! threads, or streamed one at a time while the next shard is still being
+//! parsed/frozen — and merges the per-shard [`SolveReport`]s into the
+//! report the whole instance would have produced.
+//!
+//! # Why the merge is sound
+//!
+//! Every witness of a **connected** query lies entirely inside one shard
+//! (its tuples are chained by shared constants), so the witness hypergraph
+//! of the whole instance is the disjoint union of the shards' hypergraphs.
+//! A minimum hitting set of a disjoint union is the union of per-part
+//! minimum hitting sets, hence:
+//!
+//! * resilience adds up: `ρ(q, D) = Σ_s ρ(q, D_s)`;
+//! * the query is unfalsifiable on `D` iff it is on some shard;
+//! * witnesses add up, and a merged contingency set is the union of the
+//!   per-shard sets translated through each shard's `source_ids`.
+//!
+//! For a **disconnected** query, witnesses combine one sub-witness per
+//! query component — possibly from *different* shards — so per-shard solves
+//! of the full query do not compose. Instead the merge scatters each
+//! connected component of the normalized query separately (Lemma 14 makes
+//! components independent): per component, resilience sums across shards;
+//! the whole query's resilience is the minimum over components, exactly
+//! like the engine's `ComponentMinimum` dispatch; witness counts multiply
+//! across components. This covers both the polynomial component-wise
+//! dispatch and NP-hard disconnected queries (Lemma 14 does not care how
+//! each component is solved).
+
+use crate::engine::{
+    CompiledQuery, Engine, Resilience, SolveError, SolveMethod, SolveOptions, SolveReport,
+    SolveScratch,
+};
+use database::{FrozenDb, TupleId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One shard ready to solve: the instance plus the translation back to the
+/// original instance's tuple ids (`source_ids[local] = original`).
+#[derive(Clone, Debug)]
+pub struct ShardInstance {
+    /// The shard instance.
+    pub frozen: Arc<FrozenDb>,
+    /// Original tuple id per shard-local id, ascending.
+    pub source_ids: Vec<TupleId>,
+}
+
+impl From<database::shard::Shard> for ShardInstance {
+    fn from(s: database::shard::Shard) -> ShardInstance {
+        ShardInstance {
+            frozen: Arc::new(s.frozen),
+            source_ids: s.source_ids,
+        }
+    }
+}
+
+/// A merged sharded solve, plus scatter topology facts for reporting.
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// The merged report, with contingency ids in the *original* instance's
+    /// id space, sorted ascending.
+    pub report: SolveReport,
+    /// Number of shards solved.
+    pub shards: usize,
+    /// Connected components of the normalized query (1 = connected).
+    pub query_components: usize,
+    /// Total tuples across the shards.
+    pub tuples: usize,
+}
+
+/// The subqueries to scatter: the compiled query itself when connected, one
+/// compiled subquery per connected component of its normalized form
+/// otherwise. Component order follows the normalized query's atom order, so
+/// the min-tie-break below is deterministic.
+fn scatter_queries(compiled: &CompiledQuery) -> Vec<CompiledQuery> {
+    let normalized = &compiled.classification().evidence.normalized;
+    let components = normalized.components();
+    if components.len() <= 1 {
+        return vec![compiled.clone()];
+    }
+    components
+        .iter()
+        .map(|comp| Engine::compile(&normalized.subquery(comp)))
+        .collect()
+}
+
+/// Accumulates per-`(component, shard)` reports and produces the merged
+/// whole-instance report. Deterministic: absorb order is fixed by the
+/// caller (always component-major within one shard, shards in index order).
+struct Gather {
+    components: usize,
+    want_contingency: bool,
+    shards: usize,
+    tuples: usize,
+    /// Per component: summed finite resilience, any-shard unfalsifiable,
+    /// summed witnesses, contingency parts (original ids), lost-certificate
+    /// flag (a shard produced no contingency for a positive resilience).
+    comp_res: Vec<usize>,
+    comp_unfalsifiable: Vec<bool>,
+    comp_witnesses: Vec<usize>,
+    comp_contingency: Vec<Vec<TupleId>>,
+    comp_certificateless: Vec<bool>,
+    nodes_explored: usize,
+    /// Methods observed on shards that had witnesses (connected path only).
+    methods: Vec<SolveMethod>,
+}
+
+impl Gather {
+    fn new(components: usize, opts: &SolveOptions) -> Gather {
+        Gather {
+            components,
+            want_contingency: opts.wants_contingency(),
+            shards: 0,
+            tuples: 0,
+            comp_res: vec![0; components],
+            comp_unfalsifiable: vec![false; components],
+            comp_witnesses: vec![0; components],
+            comp_contingency: vec![Vec::new(); components],
+            comp_certificateless: vec![false; components],
+            nodes_explored: 0,
+            methods: Vec::new(),
+        }
+    }
+
+    /// Absorbs one shard's reports (one per scatter query, in component
+    /// order).
+    fn absorb(&mut self, shard: &ShardInstance, reports: Vec<SolveReport>) {
+        debug_assert_eq!(reports.len(), self.components);
+        self.shards += 1;
+        self.tuples += shard.frozen.num_tuples();
+        for (c, report) in reports.into_iter().enumerate() {
+            self.nodes_explored += report.nodes_explored;
+            self.comp_witnesses[c] = self.comp_witnesses[c].saturating_add(report.witnesses);
+            match report.resilience {
+                Resilience::Unfalsifiable => self.comp_unfalsifiable[c] = true,
+                Resilience::Finite(r) => {
+                    self.comp_res[c] += r;
+                    if r > 0 {
+                        match report.contingency {
+                            Some(gamma) => self.comp_contingency[c]
+                                .extend(gamma.iter().map(|t| shard.source_ids[t.index()])),
+                            None => self.comp_certificateless[c] = true,
+                        }
+                    }
+                }
+            }
+            if self.components == 1
+                && report.witnesses > 0
+                && !self.methods.contains(&report.method)
+            {
+                self.methods.push(report.method.clone());
+            }
+        }
+    }
+
+    fn finish(mut self) -> ShardedOutcome {
+        // Any component with zero witnesses falsifies the whole query: its
+        // cross product of sub-witnesses is empty. Mirrors the engine's
+        // `view.is_empty()` early return.
+        let already_false = self.comp_witnesses.contains(&0);
+        // Total witnesses: product across components of per-component sums
+        // (a full witness picks one sub-witness per component).
+        let witnesses = if already_false {
+            0
+        } else {
+            self.comp_witnesses
+                .iter()
+                .fold(1usize, |acc, &w| acc.saturating_mul(w))
+        };
+        let report = if already_false {
+            SolveReport {
+                resilience: Resilience::Finite(0),
+                contingency: self.want_contingency.then(Vec::new),
+                method: SolveMethod::AlreadyFalse,
+                witnesses: 0,
+                nodes_explored: self.nodes_explored,
+            }
+        } else if self.comp_unfalsifiable.iter().all(|&u| u) {
+            // Every component has an undeletable witness, so a full witness
+            // made of undeletable parts exists: unfalsifiable, like the
+            // engine's `has_undeletable_witness` early return.
+            SolveReport {
+                resilience: Resilience::Unfalsifiable,
+                contingency: None,
+                method: SolveMethod::Unfalsifiable,
+                witnesses,
+                nodes_explored: self.nodes_explored,
+            }
+        } else if self.components == 1 {
+            let mut contingency = std::mem::take(&mut self.comp_contingency[0]);
+            contingency.sort_unstable();
+            let method = match self.methods.as_slice() {
+                [single] => single.clone(),
+                _ => SolveMethod::ShardGather,
+            };
+            SolveReport {
+                resilience: Resilience::Finite(self.comp_res[0]),
+                contingency: (self.want_contingency && !self.comp_certificateless[0])
+                    .then_some(contingency),
+                method,
+                witnesses,
+                nodes_explored: self.nodes_explored,
+            }
+        } else {
+            // Component-wise minimum (Lemma 14): first component with the
+            // strictly smallest summed resilience wins, like the engine.
+            let winner = (0..self.components)
+                .filter(|&c| !self.comp_unfalsifiable[c])
+                .min_by_key(|&c| (self.comp_res[c], c))
+                .expect("some component is falsifiable");
+            let mut contingency = std::mem::take(&mut self.comp_contingency[winner]);
+            contingency.sort_unstable();
+            SolveReport {
+                resilience: Resilience::Finite(self.comp_res[winner]),
+                contingency: (self.want_contingency && !self.comp_certificateless[winner])
+                    .then_some(contingency),
+                method: SolveMethod::ComponentMinimum,
+                witnesses,
+                nodes_explored: self.nodes_explored,
+            }
+        };
+        ShardedOutcome {
+            report,
+            shards: self.shards,
+            query_components: self.components,
+            tuples: self.tuples,
+        }
+    }
+}
+
+/// Solves every scatter query against one shard, in component order.
+fn solve_shard(
+    queries: &[CompiledQuery],
+    shard: &ShardInstance,
+    opts: &SolveOptions,
+    scratch: &mut SolveScratch,
+) -> Result<Vec<SolveReport>, SolveError> {
+    queries
+        .iter()
+        .map(|q| q.solve_store(shard.frozen.as_ref(), opts, scratch))
+        .collect()
+}
+
+/// Solves `shards` with up to `threads` workers and merges the reports; see
+/// the module docs for the merge semantics. Deterministic in
+/// `(compiled, shards, opts)` — thread count never changes the output.
+///
+/// Per-shard solves see `opts` as-is, so the exact solver's node budget
+/// applies *per shard per component*, not globally; any shard error
+/// (budget, cancellation, schema mismatch) fails the whole solve with the
+/// first error in shard order.
+pub fn solve_sharded(
+    compiled: &CompiledQuery,
+    shards: &[ShardInstance],
+    opts: &SolveOptions,
+    threads: usize,
+) -> Result<ShardedOutcome, SolveError> {
+    let queries = scatter_queries(compiled);
+    let workers = threads.clamp(1, shards.len().max(1));
+    let results: Vec<Option<Result<Vec<SolveReport>, SolveError>>> = if workers <= 1 {
+        let mut scratch = SolveScratch::new();
+        shards
+            .iter()
+            .map(|s| Some(solve_shard(&queries, s, opts, &mut scratch)))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<Result<Vec<SolveReport>, SolveError>>> = Vec::new();
+        slots.resize_with(shards.len(), || None);
+        let next = AtomicUsize::new(0);
+        let slot_ptr = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queries = &queries;
+                    let next = &next;
+                    let slot_ptr = &slot_ptr;
+                    scope.spawn(move || {
+                        let mut scratch = SolveScratch::new();
+                        let mut local: Vec<(usize, Result<Vec<SolveReport>, SolveError>)> =
+                            Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= shards.len() {
+                                break;
+                            }
+                            local.push((i, solve_shard(queries, &shards[i], opts, &mut scratch)));
+                        }
+                        let mut slots = slot_ptr.lock().unwrap();
+                        for (i, r) in local {
+                            slots[i] = Some(r);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("shard solver panicked");
+            }
+        });
+        slots
+    };
+
+    let mut gather = Gather::new(queries.len(), opts);
+    for (shard, result) in shards.iter().zip(results) {
+        let reports = result.expect("every shard slot filled")?;
+        gather.absorb(shard, reports);
+    }
+    Ok(gather.finish())
+}
+
+/// Streaming scatter/gather: shards arrive from an iterator (typically a
+/// producer that is still parsing text / loading snapshots / freezing), and
+/// each is solved as soon as it lands while the producer prepares the next
+/// one on its own thread — parse/freeze overlaps witness enumeration, and
+/// at most `buffered + 1` shards are ever resident.
+///
+/// `E` is the producer's error type (e.g. [`database::SnapshotError`]);
+/// producer errors and solve errors both abort the gather.
+pub fn solve_sharded_streaming<I, E>(
+    compiled: &CompiledQuery,
+    shards: I,
+    opts: &SolveOptions,
+    buffered: usize,
+) -> Result<ShardedOutcome, ShardStreamError<E>>
+where
+    I: Iterator<Item = Result<ShardInstance, E>> + Send,
+    E: Send,
+{
+    let queries = scatter_queries(compiled);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Result<ShardInstance, E>>(buffered.max(1));
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            for item in shards {
+                if tx.send(item).is_err() {
+                    // Consumer aborted; stop producing.
+                    return;
+                }
+            }
+        });
+        let mut scratch = SolveScratch::new();
+        let mut gather = Gather::new(queries.len(), opts);
+        let mut failure: Option<ShardStreamError<E>> = None;
+        for item in &rx {
+            match item {
+                Ok(shard) => match solve_shard(&queries, &shard, opts, &mut scratch) {
+                    Ok(reports) => gather.absorb(&shard, reports),
+                    Err(e) => {
+                        failure = Some(ShardStreamError::Solve(e));
+                        break;
+                    }
+                },
+                Err(e) => {
+                    failure = Some(ShardStreamError::Source(e));
+                    break;
+                }
+            }
+        }
+        // Dropping `rx` (by leaving the loop) unblocks the producer's send.
+        drop(rx);
+        producer.join().expect("shard producer panicked");
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(gather.finish()),
+        }
+    })
+}
+
+/// Failure of a streaming sharded solve: the shard source failed, or a
+/// shard solve failed.
+#[derive(Debug)]
+pub enum ShardStreamError<E> {
+    /// The producer failed to deliver a shard.
+    Source(E),
+    /// A shard solve failed.
+    Solve(SolveError),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ShardStreamError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardStreamError::Source(e) => write!(f, "shard source failed: {e}"),
+            ShardStreamError::Solve(e) => write!(f, "shard solve failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for ShardStreamError<E> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+    use database::shard::partition_shards;
+    use database::Database;
+
+    fn shard_instances(db: &FrozenDb, k: usize) -> Vec<ShardInstance> {
+        partition_shards(db, k)
+            .into_iter()
+            .map(Into::into)
+            .collect()
+    }
+
+    /// Connected query, two data components: resilience must sum.
+    #[test]
+    fn connected_query_sums_across_shards() {
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("S", &[2, 3]);
+        db.insert_named("R", &[10, 11]);
+        db.insert_named("S", &[11, 12]);
+        let frozen = db.freeze();
+        let whole = compiled.solve(&frozen, &SolveOptions::new()).unwrap();
+
+        let shards = shard_instances(&frozen, 2);
+        assert_eq!(shards.len(), 2);
+        for threads in [1, 2] {
+            let merged = solve_sharded(&compiled, &shards, &SolveOptions::new(), threads).unwrap();
+            assert_eq!(merged.report.resilience, whole.resilience);
+            assert_eq!(merged.report.witnesses, whole.witnesses);
+            assert_eq!(merged.report.method, whole.method);
+            assert_eq!(merged.report.contingency, whole.contingency);
+            assert_eq!(merged.shards, 2);
+            assert_eq!(merged.query_components, 1);
+        }
+    }
+
+    /// Disconnected query: merged result must take the min over query
+    /// components of per-component sums, not a sum of per-shard minima.
+    #[test]
+    fn disconnected_query_merges_per_component() {
+        let q = parse_query("R(x,y), S(z,w)").unwrap();
+        let compiled = Engine::compile(&q);
+        let mut db = Database::for_query(&q);
+        // R-tuples in two data components; S in one. ρ = min(ρ_R, ρ_S).
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[10, 11]);
+        db.insert_named("S", &[20, 21]);
+        let frozen = db.freeze();
+        let whole = compiled.solve(&frozen, &SolveOptions::new()).unwrap();
+        assert_eq!(whole.method, SolveMethod::ComponentMinimum);
+
+        let shards = shard_instances(&frozen, 2);
+        let merged = solve_sharded(&compiled, &shards, &SolveOptions::new(), 2).unwrap();
+        assert_eq!(merged.report.resilience, whole.resilience);
+        assert_eq!(merged.report.witnesses, whole.witnesses);
+        assert_eq!(merged.report.method, whole.method);
+        assert_eq!(merged.query_components, 2);
+        // A naive per-shard solve-and-sum would give 2 here (each shard's
+        // own component minimum), not the true 1.
+        assert_eq!(merged.report.resilience, Resilience::Finite(1));
+    }
+
+    #[test]
+    fn empty_and_unfalsifiable_shards_merge_like_the_engine() {
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        // No matching joins at all: already false.
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("S", &[7, 8]);
+        let frozen = db.freeze();
+        let whole = compiled.solve(&frozen, &SolveOptions::new()).unwrap();
+        let shards = shard_instances(&frozen, 2);
+        let merged = solve_sharded(&compiled, &shards, &SolveOptions::new(), 1).unwrap();
+        assert_eq!(merged.report, whole);
+
+        // Exogenous-only witness in one shard: unfalsifiable overall.
+        let q = parse_query("Rx(x,y), S(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let mut db = Database::for_query(&q);
+        db.insert_named("Rx", &[1, 2]);
+        db.insert_named("S", &[2, 3]);
+        db.insert_named("Rx", &[10, 11]);
+        db.insert_named("S", &[11, 12]);
+        let frozen = db.freeze();
+        let whole = compiled.solve(&frozen, &SolveOptions::new()).unwrap();
+        let shards = shard_instances(&frozen, 2);
+        let merged = solve_sharded(&compiled, &shards, &SolveOptions::new(), 2).unwrap();
+        assert_eq!(merged.report.resilience, whole.resilience);
+        assert_eq!(merged.report.method, whole.method);
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        let q = parse_query("R(x,y), R(y,z)").unwrap();
+        let compiled = Engine::compile(&q);
+        let mut db = Database::for_query(&q);
+        for base in [0u64, 100, 200] {
+            db.insert_named("R", &[base + 1, base + 2]);
+            db.insert_named("R", &[base + 2, base + 3]);
+            db.insert_named("R", &[base + 2, base + 2]);
+        }
+        let frozen = db.freeze();
+        let shards = shard_instances(&frozen, 3);
+        let eager = solve_sharded(&compiled, &shards, &SolveOptions::new(), 2).unwrap();
+        let streamed = solve_sharded_streaming(
+            &compiled,
+            shards.clone().into_iter().map(Ok::<_, std::io::Error>),
+            &SolveOptions::new(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(streamed.report, eager.report);
+        let whole = compiled.solve(&frozen, &SolveOptions::new()).unwrap();
+        assert_eq!(eager.report.resilience, whole.resilience);
+        assert_eq!(eager.report.witnesses, whole.witnesses);
+    }
+}

@@ -32,6 +32,7 @@ impl fmt::Debug for Var {
 ///
 /// Relation ids are indices into the owning [`crate::Schema`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct RelId(pub u32);
 
 impl RelId {

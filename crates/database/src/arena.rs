@@ -1,0 +1,367 @@
+//! Shared-backing typed arenas.
+//!
+//! [`FrozenDb`](crate::FrozenDb)'s CSR arenas are flat arrays of plain
+//! fixed-width values. [`Arena<T>`] abstracts over *where those arrays
+//! live*: an owned `Vec<T>` (the shape [`crate::Database::freeze`]
+//! produces) or a typed window into a shared
+//! immutable byte buffer — a heap buffer read from a snapshot file, or a
+//! private read-only `mmap` of one ([`crate::snapshot`]). Either way the
+//! arena dereferences to `&[T]`, so the solve path is oblivious to the
+//! backing.
+//!
+//! Soundness rests on three invariants, enforced at construction:
+//!
+//! * element types are [`Pod`]: `Copy`, `'static`, with a fixed layout
+//!   (`#[repr(transparent)]` newtypes over `u32`/`u64`) and no invalid bit
+//!   patterns beyond what the snapshot loader validates;
+//! * byte windows are bounds- and alignment-checked against the backing
+//!   buffer before the typed slice is formed;
+//! * backings are immutable and refcounted (`Arc`), so the base pointer a
+//!   window was cut from stays valid and unchanged for the arena's life.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Marker for plain-old-data element types that may live in snapshot-backed
+/// byte buffers. Sealed by construction: implemented only for the primitive
+/// widths the CSR arenas use and their `#[repr(transparent)]` newtypes.
+///
+/// # Safety
+///
+/// Implementors guarantee `Self` has the exact size and alignment of the
+/// primitive it wraps and that every bit pattern of that primitive is a
+/// valid `Self`.
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for crate::tuple::Constant {}
+unsafe impl Pod for crate::tuple::TupleId {}
+unsafe impl Pod for cq::RelId {}
+
+/// A read-only memory mapping of a file (unix only; callers fall back to
+/// buffered reads elsewhere or when mapping fails).
+///
+/// Declared here rather than pulling in a crate: the build environment is
+/// offline (see `vendor/README.md`), and the repo's precedent for tiny
+/// platform shims is raw `extern "C"` declarations (`server::eventloop`
+/// does the same for epoll).
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(unix)]
+mod mmap_ffi {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x02;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps `len` bytes of `file` read-only and private. Fails on zero
+    /// length (POSIX rejects it) or when the kernel refuses the mapping.
+    pub fn map(file: &std::fs::File, len: usize) -> std::io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let ptr = unsafe {
+            mmap_ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_ffi::PROT_READ,
+                mmap_ffi::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        unsafe {
+            mmap_ffi::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+// The mapping is read-only and owned: nothing mutates through it, so shared
+// references from any thread are fine.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+/// A heap buffer guaranteed 8-byte aligned: the buffered snapshot loader
+/// reads file bytes into one of these so `u64` arenas can be viewed in
+/// place, exactly like the page-aligned mmap path.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Allocates a zeroed, 8-aligned buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> AlignedBytes {
+        AlignedBytes {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// The buffer as mutable bytes (for filling from a reader).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+
+    /// The buffer as bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+/// A shared immutable byte buffer arenas can be cut from.
+#[derive(Clone)]
+pub enum SharedBytes {
+    /// Heap-resident (the buffered snapshot loader).
+    Heap(Arc<AlignedBytes>),
+    /// A read-only file mapping (the mmap snapshot loader).
+    #[cfg(unix)]
+    Mapped(Arc<Mmap>),
+}
+
+impl SharedBytes {
+    /// The backing bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            SharedBytes::Heap(b) => b.as_slice(),
+            #[cfg(unix)]
+            SharedBytes::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Whether the backing is a file mapping (vs. heap-resident).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            SharedBytes::Heap(_) => false,
+            #[cfg(unix)]
+            SharedBytes::Mapped(_) => true,
+        }
+    }
+}
+
+enum Backing<T> {
+    /// An owned vector, shared so clones are cheap and the data pointer is
+    /// stable for the arena's lifetime.
+    Owned(Arc<Vec<T>>),
+    /// A window into a shared byte buffer.
+    Bytes(SharedBytes),
+}
+
+impl<T> Clone for Backing<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Backing::Owned(v) => Backing::Owned(Arc::clone(v)),
+            Backing::Bytes(b) => Backing::Bytes(b.clone()),
+        }
+    }
+}
+
+/// A typed, immutable, shared-backing array; see the module docs. Derefs to
+/// `&[T]` with no per-access branching: the element pointer is resolved once
+/// at construction.
+pub struct Arena<T: Pod> {
+    ptr: *const T,
+    len: usize,
+    backing: Backing<T>,
+}
+
+impl<T: Pod> Arena<T> {
+    /// Wraps an owned vector.
+    pub fn from_vec(v: Vec<T>) -> Arena<T> {
+        let v = Arc::new(v);
+        Arena {
+            ptr: v.as_ptr(),
+            len: v.len(),
+            backing: Backing::Owned(v),
+        }
+    }
+
+    /// Cuts a typed window of `len` elements starting at `byte_offset` out
+    /// of `bytes`. Fails (with a reason) on out-of-bounds or misaligned
+    /// windows — snapshot loading surfaces this as a structured error
+    /// rather than corrupting memory.
+    pub fn from_bytes(
+        bytes: SharedBytes,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<Arena<T>, &'static str> {
+        let elem = std::mem::size_of::<T>();
+        let byte_len = len.checked_mul(elem).ok_or("section length overflows")?;
+        let slice = bytes.as_slice();
+        let end = byte_offset
+            .checked_add(byte_len)
+            .ok_or("section range overflows")?;
+        if end > slice.len() {
+            return Err("section range exceeds file length");
+        }
+        let ptr = unsafe { slice.as_ptr().add(byte_offset) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err("section offset is misaligned for its element type");
+        }
+        Ok(Arena {
+            ptr: ptr as *const T,
+            len,
+            backing: Backing::Bytes(bytes),
+        })
+    }
+
+    /// Whether the arena lives in a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Owned(_) => false,
+            Backing::Bytes(b) => b.is_mapped(),
+        }
+    }
+}
+
+impl<T: Pod> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::from_vec(Vec::new())
+    }
+}
+
+impl<T: Pod> Clone for Arena<T> {
+    fn clone(&self) -> Self {
+        Arena {
+            ptr: self.ptr,
+            len: self.len,
+            backing: self.backing.clone(),
+        }
+    }
+}
+
+impl<T: Pod> Deref for Arena<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Arena<T> {
+    fn from(v: Vec<T>) -> Self {
+        Arena::from_vec(v)
+    }
+}
+
+impl<T: Pod + fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Arena<T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+// The backing is immutable and refcounted; `ptr` is derived from it and
+// never outlives it, so the arena is as thread-safe as `&[T]`.
+unsafe impl<T: Pod + Send + Sync> Send for Arena<T> {}
+unsafe impl<T: Pod + Send + Sync> Sync for Arena<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn owned_arena_round_trips_and_clones_share() {
+        let a = Arena::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(&*a, &[1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert!(!a.is_mapped());
+    }
+
+    #[test]
+    fn byte_arena_checks_bounds_and_alignment() {
+        let mut heap = AlignedBytes::zeroed(24);
+        heap.as_mut_slice().copy_from_slice(&[
+            1, 0, 0, 0, 0, 0, 0, 0, //
+            2, 0, 0, 0, 0, 0, 0, 0, //
+            3, 0, 0, 0, 0, 0, 0, 0,
+        ]);
+        let bytes = SharedBytes::Heap(Arc::new(heap));
+        let a: Arena<u64> = Arena::from_bytes(bytes.clone(), 0, 3).unwrap();
+        assert_eq!(&*a, &[1u64, 2, 3]);
+        // Window past the end.
+        assert!(Arena::<u64>::from_bytes(bytes.clone(), 8, 3).is_err());
+        // Misaligned offset for u64.
+        assert!(Arena::<u64>::from_bytes(bytes, 4, 1).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_round_trips_file_bytes() {
+        let dir = std::env::temp_dir().join(format!("resil-arena-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.bin");
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(&[5u8, 6, 7, 8]).unwrap();
+        }
+        let f = std::fs::File::open(&path).unwrap();
+        let m = Mmap::map(&f, 4).unwrap();
+        assert_eq!(m.as_slice(), &[5, 6, 7, 8]);
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_length_map_is_rejected() {
+        #[cfg(unix)]
+        {
+            let dir = std::env::temp_dir();
+            let path = dir.join(format!("resil-arena-empty-{}", std::process::id()));
+            std::fs::File::create(&path).unwrap();
+            let f = std::fs::File::open(&path).unwrap();
+            assert!(Mmap::map(&f, 0).is_err());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

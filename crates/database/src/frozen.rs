@@ -15,7 +15,21 @@
 //! instance is frozen nothing can invalidate a compiled plan's assumptions
 //! about it, which is what makes sharing one instance across the batch
 //! solver's threads sound.
+//!
+//! # Storage backing
+//!
+//! Every flat array is an [`Arena`]: owned vectors when
+//! built by [`Database::freeze`], or zero-copy windows into a snapshot file
+//! when loaded by [`crate::snapshot`] (mmap or one aligned heap buffer). The
+//! join index has two interchangeable representations behind `JoinIndex`:
+//! hash maps per `(relation, position)` slot (what freezing builds — O(1)
+//! probes, but pointer-rich and not serializable in place) and flat sorted
+//! per-slot `(key, range)` arrays probed by binary search (what snapshots
+//! store — loadable without rebuilding). Both return the *same slice of the
+//! same arena* for every probe, so solve results are byte-identical across
+//! representations.
 
+use crate::arena::Arena;
 use crate::fx::FxHashMap;
 use crate::instance::Database;
 use crate::store::TupleStore;
@@ -29,40 +43,89 @@ use std::sync::OnceLock;
 /// rewound by `len` once the arena is filled), so one map per slot carries
 /// the whole build.
 #[derive(Clone, Copy, Debug)]
-struct BucketRange {
-    start: u32,
-    len: u32,
+pub(crate) struct BucketRange {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+/// The `(relation, position, constant) → arena range` join index, in one of
+/// two probe-equivalent representations; see the module docs.
+#[derive(Clone, Debug)]
+pub(crate) enum JoinIndex {
+    /// One hash map per slot (built by [`Database::freeze`]).
+    Hash(Vec<FxHashMap<Constant, BucketRange>>),
+    /// Flat sorted per-slot arrays (loaded from snapshots): slot `s` owns
+    /// entries `slot_offsets[s]..slot_offsets[s+1]` of the three parallel
+    /// arrays, with `keys` ascending within each slot.
+    Sorted {
+        slot_offsets: Arena<u32>,
+        keys: Arena<Constant>,
+        starts: Arena<u32>,
+        lens: Arena<u32>,
+    },
+}
+
+impl JoinIndex {
+    fn probe(&self, slot: usize, value: Constant) -> Option<BucketRange> {
+        match self {
+            JoinIndex::Hash(slots) => slots[slot].get(&value).copied(),
+            JoinIndex::Sorted {
+                slot_offsets,
+                keys,
+                starts,
+                lens,
+            } => {
+                let lo = slot_offsets[slot] as usize;
+                let hi = slot_offsets[slot + 1] as usize;
+                match keys[lo..hi].binary_search(&value) {
+                    Ok(i) => Some(BucketRange {
+                        start: starts[lo + i],
+                        len: lens[lo + i],
+                    }),
+                    Err(_) => None,
+                }
+            }
+        }
+    }
+
+    /// Total number of `(constant → range)` entries across all slots.
+    fn entries(&self) -> usize {
+        match self {
+            JoinIndex::Hash(slots) => slots.iter().map(|m| m.len()).sum(),
+            JoinIndex::Sorted { keys, .. } => keys.len(),
+        }
+    }
 }
 
 /// An immutable, CSR-compacted database instance.
 ///
-/// Produced by [`Database::freeze`]; see the module docs. All read accessors
-/// mirror [`Database`] and tuple ids are preserved, so the two stores are
+/// Produced by [`Database::freeze`] or loaded from an on-disk snapshot
+/// ([`crate::snapshot`]); see the module docs. All read accessors mirror
+/// [`Database`] and tuple ids are preserved, so the two stores are
 /// interchangeable behind [`TupleStore`].
 #[derive(Clone, Debug)]
 pub struct FrozenDb {
-    schema: Schema,
+    pub(crate) schema: Schema,
     /// Per tuple: its relation.
-    tuple_rel: Vec<RelId>,
+    pub(crate) tuple_rel: Arena<RelId>,
     /// Per tuple: offset of its values in `values_flat`.
-    tuple_start: Vec<u32>,
+    pub(crate) tuple_start: Arena<u32>,
     /// All tuple values, concatenated in tuple-id order.
-    values_flat: Vec<Constant>,
+    pub(crate) values_flat: Arena<Constant>,
     /// CSR tuple lists: `rel_tuples[rel_offsets[r]..rel_offsets[r+1]]` are
     /// the tuples of relation `r` in insertion order.
-    rel_tuples: Vec<TupleId>,
-    rel_offsets: Vec<u32>,
-    /// One bucket map per `(relation, position)` slot: constant → range into
-    /// `index_arena`.
-    slot_buckets: Vec<FxHashMap<Constant, BucketRange>>,
+    pub(crate) rel_tuples: Arena<TupleId>,
+    pub(crate) rel_offsets: Arena<u32>,
+    /// The join index; see [`JoinIndex`].
+    pub(crate) index: JoinIndex,
     /// The single flat arena holding every bucket of every slot.
-    index_arena: Vec<TupleId>,
-    /// Prefix sums of relation arities into `slot_buckets`.
-    pos_base: Vec<u32>,
+    pub(crate) index_arena: Arena<TupleId>,
+    /// Prefix sums of relation arities into the index slots.
+    pub(crate) pos_base: Arena<u32>,
     /// Exact-match lookup: (relation, values) → id. Built lazily on the
     /// first [`FrozenDb::lookup`] — most solve paths never probe by value,
     /// so freezing does not pay for it.
-    dedup: OnceLock<FxHashMap<(RelId, Vec<Constant>), TupleId>>,
+    pub(crate) dedup: OnceLock<FxHashMap<(RelId, Vec<Constant>), TupleId>>,
 }
 
 impl FrozenDb {
@@ -140,14 +203,14 @@ impl FrozenDb {
 
         FrozenDb {
             schema,
-            tuple_rel,
-            tuple_start,
-            values_flat,
-            rel_tuples,
-            rel_offsets,
-            slot_buckets,
-            index_arena,
-            pos_base,
+            tuple_rel: tuple_rel.into(),
+            tuple_start: tuple_start.into(),
+            values_flat: values_flat.into(),
+            rel_tuples: rel_tuples.into(),
+            rel_offsets: rel_offsets.into(),
+            index: JoinIndex::Hash(slot_buckets),
+            index_arena: index_arena.into(),
+            pos_base: pos_base.into(),
             dedup: OnceLock::new(),
         }
     }
@@ -162,22 +225,63 @@ impl FrozenDb {
         self.tuple_rel.len()
     }
 
-    /// Estimated resident size of the frozen instance in bytes: the sum of
-    /// the CSR arena lengths times their element sizes, plus the per-slot
-    /// bucket entries. Deliberately an *estimate* — allocator slack and the
-    /// lazily-built dedup map are not counted — but it is monotone in
-    /// instance size, which is all a byte-budget admission policy needs.
+    /// Whether any arena is backed by a file mapping (snapshot loaded with
+    /// mmap) rather than resident heap memory.
+    pub fn is_mapped(&self) -> bool {
+        self.values_flat.is_mapped()
+    }
+
+    /// Resident size of the frozen instance in bytes: the CSR arena lengths
+    /// times their element sizes, the join-index entries, the schema's
+    /// interned relation names (both the declaration table and the by-name
+    /// map), and — once built — the lazy exact-match dedup map with its
+    /// owned key vectors. Mapped arenas count like owned ones: a byte-budget
+    /// admission policy cares about address-space/page-cache pressure, not
+    /// which allocator backs the bytes. Still an *estimate* (allocator slack
+    /// and hash-table load factors are not modeled), but it is monotone in
+    /// instance size and covers every O(n) structure the instance owns.
     pub fn resident_bytes(&self) -> usize {
         use std::mem::size_of;
-        let bucket_entries: usize = self.slot_buckets.iter().map(|m| m.len()).sum();
+        let index_entries = self.index.entries();
+        let index_bytes = match &self.index {
+            JoinIndex::Hash(_) => index_entries * size_of::<(Constant, BucketRange)>(),
+            JoinIndex::Sorted { slot_offsets, .. } => {
+                slot_offsets.len() * size_of::<u32>()
+                    + index_entries * (size_of::<Constant>() + 2 * size_of::<u32>())
+            }
+        };
+        // Interned relation names: each lives once in the declaration table
+        // and once as a key of the name → id map, plus the table entries.
+        let schema_bytes: usize = self
+            .schema
+            .relation_ids()
+            .map(|r| {
+                2 * self.schema.name(r).len()
+                    + 2 * size_of::<String>()
+                    + size_of::<usize>() // arity in the declaration
+                    + size_of::<RelId>() // map value
+            })
+            .sum();
+        let dedup_bytes: usize = match self.dedup.get() {
+            Some(map) => map
+                .iter()
+                .map(|((_, values), _)| {
+                    values.len() * size_of::<Constant>()
+                        + size_of::<(RelId, Vec<Constant>, TupleId)>()
+                })
+                .sum(),
+            None => 0,
+        };
         self.tuple_rel.len() * size_of::<RelId>()
             + self.tuple_start.len() * size_of::<u32>()
             + self.values_flat.len() * size_of::<Constant>()
             + self.rel_tuples.len() * size_of::<TupleId>()
             + self.rel_offsets.len() * size_of::<u32>()
-            + bucket_entries * size_of::<(Constant, BucketRange)>()
+            + index_bytes
             + self.index_arena.len() * size_of::<TupleId>()
             + self.pos_base.len() * size_of::<u32>()
+            + schema_bytes
+            + dedup_bytes
     }
 
     /// Whether the instance holds no tuples.
@@ -211,11 +315,53 @@ impl FrozenDb {
     /// the flat index arena.
     #[inline]
     pub fn tuples_matching(&self, rel: RelId, pos: usize, value: Constant) -> &[TupleId] {
-        match self.slot_buckets[self.pos_base[rel.index()] as usize + pos].get(&value) {
+        let slot = self.pos_base[rel.index()] as usize + pos;
+        match self.index.probe(slot, value) {
             Some(range) => {
                 &self.index_arena[range.start as usize..(range.start + range.len) as usize]
             }
             None => &[],
+        }
+    }
+
+    /// The join index flattened to sorted per-slot arrays — the snapshot
+    /// wire representation (`slot_offsets`, parallel `keys`/`starts`/`lens`
+    /// with keys ascending per slot). Cheap for an already-`Sorted` index;
+    /// sorts each slot's hash entries otherwise.
+    pub(crate) fn sorted_index(&self) -> (Vec<u32>, Vec<Constant>, Vec<u32>, Vec<u32>) {
+        match &self.index {
+            JoinIndex::Sorted {
+                slot_offsets,
+                keys,
+                starts,
+                lens,
+            } => (
+                slot_offsets.to_vec(),
+                keys.to_vec(),
+                starts.to_vec(),
+                lens.to_vec(),
+            ),
+            JoinIndex::Hash(slots) => {
+                let entries: usize = slots.iter().map(|m| m.len()).sum();
+                let mut slot_offsets = Vec::with_capacity(slots.len() + 1);
+                let mut keys = Vec::with_capacity(entries);
+                let mut starts = Vec::with_capacity(entries);
+                let mut lens = Vec::with_capacity(entries);
+                let mut sorted: Vec<(Constant, BucketRange)> = Vec::new();
+                slot_offsets.push(0u32);
+                for map in slots {
+                    sorted.clear();
+                    sorted.extend(map.iter().map(|(&c, &r)| (c, r)));
+                    sorted.sort_unstable_by_key(|&(c, _)| c);
+                    for &(c, r) in &sorted {
+                        keys.push(c);
+                        starts.push(r.start);
+                        lens.push(r.len);
+                    }
+                    slot_offsets.push(keys.len() as u32);
+                }
+                (slot_offsets, keys, starts, lens)
+            }
         }
     }
 
@@ -346,6 +492,33 @@ mod tests {
     }
 
     #[test]
+    fn sorted_index_probes_identically() {
+        let db = sample_db();
+        let frozen = db.freeze();
+        // Rebuild the same instance with the sorted (snapshot-shaped) index
+        // and check every probe returns the identical arena slice.
+        let (slot_offsets, keys, starts, lens) = frozen.sorted_index();
+        let mut sorted = frozen.clone();
+        sorted.index = JoinIndex::Sorted {
+            slot_offsets: slot_offsets.into(),
+            keys: keys.into(),
+            starts: starts.into(),
+            lens: lens.into(),
+        };
+        for rel in db.schema().relation_ids() {
+            for pos in 0..db.schema().arity(rel) {
+                for value in 0..6u64 {
+                    assert_eq!(
+                        frozen.tuples_matching(rel, pos, Constant(value)),
+                        sorted.tuples_matching(rel, pos, Constant(value)),
+                    );
+                }
+            }
+        }
+        assert_eq!(frozen.index.entries(), sorted.index.entries());
+    }
+
+    #[test]
     fn index_arena_is_one_flat_allocation() {
         let db = sample_db();
         let frozen = db.freeze();
@@ -364,6 +537,54 @@ mod tests {
         assert_eq!(frozen.lookup(r, &[Constant(2), Constant(3)]), expect);
         assert_eq!(frozen.lookup(r, &[Constant(9), Constant(9)]), None);
         assert_eq!(frozen.to_string(), db.to_string());
+    }
+
+    #[test]
+    fn resident_bytes_pins_the_accounting() {
+        use std::mem::size_of;
+        let db = sample_db();
+        let frozen = db.freeze();
+        // 5 tuples of arity 2, schema R/S: pin the exact formula so quota
+        // accounting changes are deliberate.
+        let arena_bytes = 5 * size_of::<RelId>()      // tuple_rel
+            + 5 * size_of::<u32>()                    // tuple_start
+            + 10 * size_of::<Constant>()              // values_flat
+            + 5 * size_of::<TupleId>()                // rel_tuples
+            + 3 * size_of::<u32>()                    // rel_offsets
+            + 10 * size_of::<TupleId>()               // index_arena
+            + 3 * size_of::<u32>(); // pos_base
+        let index_bytes = frozen.index.entries() * size_of::<(Constant, BucketRange)>();
+        // Per relation: two copies of the 1-byte name ("R"/"S") plus the
+        // String headers, arity and id-map entries.
+        let per_name =
+            2 * "R".len() + 2 * size_of::<String>() + size_of::<usize>() + size_of::<RelId>();
+        let schema_bytes: usize = 2 * per_name;
+        assert_eq!(
+            frozen.resident_bytes(),
+            arena_bytes + index_bytes + schema_bytes
+        );
+
+        // Building the lazy dedup map must grow the resident estimate: the
+        // map owns one key vector per tuple.
+        let before = frozen.resident_bytes();
+        let r = frozen.schema().relation_id("R").unwrap();
+        frozen.lookup(r, &[Constant(1), Constant(2)]);
+        let after = frozen.resident_bytes();
+        let dedup_bytes: usize =
+            5 * (2 * size_of::<Constant>() + size_of::<(RelId, Vec<Constant>, TupleId)>());
+        assert_eq!(after, before + dedup_bytes);
+    }
+
+    #[test]
+    fn resident_bytes_counts_relation_names() {
+        // Same tuples, longer relation names => strictly larger footprint.
+        let q_short = parse_query("R(x,y)").unwrap();
+        let q_long = parse_query("RelationWithALongName(x,y)").unwrap();
+        let mut short = Database::for_query(&q_short);
+        let mut long = Database::for_query(&q_long);
+        short.insert_named("R", &[1, 2]);
+        long.insert_named("RelationWithALongName", &[1, 2]);
+        assert!(long.freeze().resident_bytes() > short.freeze().resident_bytes());
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //!   common input of the exact solver, the flow algorithms, the IJP
 //!   machinery and the engine's deletion-aware solve sessions.
 
+pub mod arena;
 pub mod eval;
 pub mod frozen;
 pub mod fx;
 pub mod instance;
 pub mod interner;
+pub mod shard;
+pub mod snapshot;
 pub mod store;
 pub mod tuple;
 pub mod witness;
@@ -41,6 +44,8 @@ pub use frozen::FrozenDb;
 pub use fx::{FxHashMap, FxHashSet};
 pub use instance::Database;
 pub use interner::ConstPool;
+pub use shard::{Shard, ShardPlan, StreamTuple};
+pub use snapshot::{SnapshotError, SnapshotInfo};
 pub use store::{copy_without, copy_without_mask, TupleStore};
 pub use tuple::{Constant, TupleId};
 pub use witness::{

@@ -1,0 +1,1101 @@
+//! On-disk columnar snapshots of [`FrozenDb`].
+//!
+//! A snapshot serializes every flat CSR arena of a frozen instance into a
+//! versioned, checksummed, section-table file that loads back in
+//! O(sections) — no text parse, no re-freeze: the arenas are viewed in
+//! place, either through a private read-only `mmap` or one aligned heap
+//! buffer ([`LoadMode`]). The join index travels in its flat sorted
+//! representation (`JoinIndex::Sorted` in `crate::frozen`), which probes to
+//! the identical arena slices as the hash index freezing builds, so solving
+//! a loaded snapshot is byte-identical to solving the original instance.
+//!
+//! # File layout
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header (48 B): magic "RESNAP01" · version · endian mark      │
+//! │                section count · table checksum                │
+//! │                payload checksum · file length                │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ section table: kind · elem size · offset · count   (×N)      │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ payload: one 8-byte-aligned section per arena                │
+//! │   schema text · tuple_rel · tuple_start · values             │
+//! │   rel_tuples · rel_offsets · pos_base · index_arena          │
+//! │   slot_offsets · bucket keys/starts/lens                     │
+//! │   [labels] · [source ids]                                    │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Integrity: the section table is always verified against its FNV-1a
+//! checksum; the payload checksum is verified by default and can be skipped
+//! ([`LoadOptions::verify_payload`]) for the strict O(sections) open that
+//! large mmap-backed instances want (verification touches every page).
+//! Values are little-endian; the endian mark rejects foreign-endian files.
+//!
+//! The optional sections carry what the daemon and the shard pipeline need:
+//! the text-format label map (`labels`, so `resd` can resolve facts against
+//! snapshot-loaded instances) and the shard → original [`TupleId`] map
+//! (`source ids`, so per-shard contingency sets translate back to the
+//! instance they were cut from; see [`crate::shard`]).
+
+use crate::arena::{AlignedBytes, Arena, SharedBytes};
+use crate::frozen::{FrozenDb, JoinIndex};
+use crate::tuple::{Constant, TupleId};
+use cq::{RelId, Schema};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// File magic: "RESNAP" + two digits of format generation.
+pub const MAGIC: [u8; 8] = *b"RESNAP01";
+/// Current format version. Readers reject anything newer.
+pub const VERSION: u32 = 1;
+/// Little-endian byte-order mark.
+const ENDIAN_MARK: u32 = 0x0102_0304;
+/// Header size in bytes.
+const HEADER_LEN: u64 = 48;
+/// Section-table entry size in bytes.
+const ENTRY_LEN: u64 = 24;
+
+/// Section kinds. Stable wire ids — append, never renumber.
+pub mod section {
+    /// Schema text: `name arity\n` per relation, in [`cq::RelId`] order.
+    pub const SCHEMA: u32 = 1;
+    /// Per tuple: relation id (`u32`).
+    pub const TUPLE_REL: u32 = 2;
+    /// Per tuple: offset into the values section (`u32`).
+    pub const TUPLE_START: u32 = 3;
+    /// All tuple values in id order (`u64`).
+    pub const VALUES: u32 = 4;
+    /// CSR per-relation tuple lists (`u32`).
+    pub const REL_TUPLES: u32 = 5;
+    /// CSR offsets into `REL_TUPLES` (`u32`, `#relations + 1`).
+    pub const REL_OFFSETS: u32 = 6;
+    /// Prefix sums of relation arities into the index slots (`u32`).
+    pub const POS_BASE: u32 = 7;
+    /// The flat join-index bucket arena (`u32` tuple ids).
+    pub const INDEX_ARENA: u32 = 8;
+    /// Per-slot offsets into the bucket entry arrays (`u32`).
+    pub const SLOT_OFFSETS: u32 = 9;
+    /// Bucket keys, ascending within each slot (`u64` constants).
+    pub const BUCKET_KEYS: u32 = 10;
+    /// Bucket range starts into `INDEX_ARENA` (`u32`).
+    pub const BUCKET_STARTS: u32 = 11;
+    /// Bucket range lengths (`u32`).
+    pub const BUCKET_LENS: u32 = 12;
+    /// Optional: text-format label map records (`u64` value, `u32` length,
+    /// UTF-8 bytes).
+    pub const LABELS: u32 = 13;
+    /// Optional: per-tuple original [`crate::TupleId`] in the instance this
+    /// shard was cut from (`u32`).
+    pub const SOURCE_IDS: u32 = 14;
+
+    /// Human-readable section name (for `rescli snapshot info`).
+    pub fn name(kind: u32) -> &'static str {
+        match kind {
+            SCHEMA => "schema",
+            TUPLE_REL => "tuple_rel",
+            TUPLE_START => "tuple_start",
+            VALUES => "values",
+            REL_TUPLES => "rel_tuples",
+            REL_OFFSETS => "rel_offsets",
+            POS_BASE => "pos_base",
+            INDEX_ARENA => "index_arena",
+            SLOT_OFFSETS => "slot_offsets",
+            BUCKET_KEYS => "bucket_keys",
+            BUCKET_STARTS => "bucket_starts",
+            BUCKET_LENS => "bucket_lens",
+            LABELS => "labels",
+            SOURCE_IDS => "source_ids",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Structured snapshot failure. [`SnapshotError::kind`] gives the stable
+/// machine-readable tag the daemon surfaces in its error responses.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file is shorter than its header or recorded length claims.
+    Truncated { expected: u64, actual: u64 },
+    /// Not a snapshot file.
+    BadMagic,
+    /// Written on a foreign-endian machine.
+    BadEndian,
+    /// Format version newer than this reader.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// A checksum did not match (`what` is `"section table"` or
+    /// `"payload"`).
+    ChecksumMismatch {
+        what: &'static str,
+        expected: u64,
+        actual: u64,
+    },
+    /// A section is malformed (bad bounds, alignment, element size or
+    /// content).
+    BadSection { kind: u32, reason: &'static str },
+    /// A required section is absent.
+    MissingSection { kind: u32 },
+}
+
+impl SnapshotError {
+    /// Stable machine-readable error tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotError::Io(_) => "io",
+            SnapshotError::Truncated { .. } => "truncated",
+            SnapshotError::BadMagic => "bad_magic",
+            SnapshotError::BadEndian => "bad_endian",
+            SnapshotError::UnsupportedVersion { .. } => "bad_version",
+            SnapshotError::ChecksumMismatch { .. } => "bad_checksum",
+            SnapshotError::BadSection { .. } => "bad_section",
+            SnapshotError::MissingSection { .. } => "missing_section",
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Truncated { expected, actual } => {
+                write!(f, "snapshot truncated: expected {expected} bytes, found {actual}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadEndian => write!(f, "snapshot written with foreign byte order"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this reader supports <= {supported})"
+            ),
+            SnapshotError::ChecksumMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot {what} checksum mismatch: expected {expected:#018x}, computed {actual:#018x}"
+            ),
+            SnapshotError::BadSection { kind, reason } => write!(
+                f,
+                "snapshot section `{}` malformed: {reason}",
+                section::name(*kind)
+            ),
+            SnapshotError::MissingSection { kind } => {
+                write!(f, "snapshot missing section `{}`", section::name(*kind))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and byte-order independent. Not
+/// cryptographic — this guards against truncation and bit rot, not
+/// adversaries.
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Views a slice of POD values as raw bytes (native = little endian; the
+/// endian mark guards the other direction).
+fn pod_bytes<T: crate::arena::Pod>(s: &[T]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s)) }
+}
+
+fn align8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+struct SectionDesc<'a> {
+    kind: u32,
+    elem_size: u32,
+    count: u64,
+    bytes: &'a [u8],
+}
+
+/// Extra payload to embed when writing a snapshot.
+#[derive(Default)]
+pub struct WriteOptions<'a> {
+    /// Text-format label map to carry along (`resd` fact resolution).
+    pub labels: Option<&'a HashMap<String, u64>>,
+    /// Original tuple ids when the instance is a shard of a larger one.
+    pub source_ids: Option<&'a [TupleId]>,
+}
+
+/// Summary of a written snapshot.
+#[derive(Clone, Debug)]
+pub struct WriteStats {
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Number of sections written.
+    pub sections: usize,
+    /// Tuples in the instance.
+    pub tuples: usize,
+}
+
+/// Writes `db` (plus optional labels / source ids) to `path`. The file is
+/// created or truncated. Returns the written layout's summary.
+pub fn write(
+    path: &Path,
+    db: &FrozenDb,
+    opts: &WriteOptions<'_>,
+) -> Result<WriteStats, SnapshotError> {
+    // Schema text: one `name arity` line per relation, in id order.
+    let mut schema_text = String::new();
+    for rel in db.schema().relation_ids() {
+        schema_text.push_str(db.schema().name(rel));
+        schema_text.push(' ');
+        schema_text.push_str(&db.schema().arity(rel).to_string());
+        schema_text.push('\n');
+    }
+
+    // Label records: value, length, bytes — sorted by value so the file is
+    // a deterministic function of the map.
+    let mut label_bytes: Vec<u8> = Vec::new();
+    if let Some(labels) = opts.labels {
+        let mut sorted: Vec<(&String, &u64)> = labels.iter().collect();
+        sorted.sort_by_key(|&(_, v)| *v);
+        for (name, &value) in sorted {
+            label_bytes.extend_from_slice(&value.to_le_bytes());
+            label_bytes.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            label_bytes.extend_from_slice(name.as_bytes());
+        }
+    }
+
+    let (slot_offsets, keys, starts, lens) = db.sorted_index();
+
+    let mut sections: Vec<SectionDesc<'_>> = vec![
+        SectionDesc {
+            kind: section::SCHEMA,
+            elem_size: 1,
+            count: schema_text.len() as u64,
+            bytes: schema_text.as_bytes(),
+        },
+        SectionDesc {
+            kind: section::TUPLE_REL,
+            elem_size: 4,
+            count: db.tuple_rel.len() as u64,
+            bytes: pod_bytes(&db.tuple_rel),
+        },
+        SectionDesc {
+            kind: section::TUPLE_START,
+            elem_size: 4,
+            count: db.tuple_start.len() as u64,
+            bytes: pod_bytes(&db.tuple_start),
+        },
+        SectionDesc {
+            kind: section::VALUES,
+            elem_size: 8,
+            count: db.values_flat.len() as u64,
+            bytes: pod_bytes(&db.values_flat),
+        },
+        SectionDesc {
+            kind: section::REL_TUPLES,
+            elem_size: 4,
+            count: db.rel_tuples.len() as u64,
+            bytes: pod_bytes(&db.rel_tuples),
+        },
+        SectionDesc {
+            kind: section::REL_OFFSETS,
+            elem_size: 4,
+            count: db.rel_offsets.len() as u64,
+            bytes: pod_bytes(&db.rel_offsets),
+        },
+        SectionDesc {
+            kind: section::POS_BASE,
+            elem_size: 4,
+            count: db.pos_base.len() as u64,
+            bytes: pod_bytes(&db.pos_base),
+        },
+        SectionDesc {
+            kind: section::INDEX_ARENA,
+            elem_size: 4,
+            count: db.index_arena.len() as u64,
+            bytes: pod_bytes(&db.index_arena),
+        },
+        SectionDesc {
+            kind: section::SLOT_OFFSETS,
+            elem_size: 4,
+            count: slot_offsets.len() as u64,
+            bytes: pod_bytes(&slot_offsets),
+        },
+        SectionDesc {
+            kind: section::BUCKET_KEYS,
+            elem_size: 8,
+            count: keys.len() as u64,
+            bytes: pod_bytes(&keys),
+        },
+        SectionDesc {
+            kind: section::BUCKET_STARTS,
+            elem_size: 4,
+            count: starts.len() as u64,
+            bytes: pod_bytes(&starts),
+        },
+        SectionDesc {
+            kind: section::BUCKET_LENS,
+            elem_size: 4,
+            count: lens.len() as u64,
+            bytes: pod_bytes(&lens),
+        },
+    ];
+    if opts.labels.is_some() {
+        sections.push(SectionDesc {
+            kind: section::LABELS,
+            elem_size: 1,
+            count: label_bytes.len() as u64,
+            bytes: &label_bytes,
+        });
+    }
+    if let Some(ids) = opts.source_ids {
+        sections.push(SectionDesc {
+            kind: section::SOURCE_IDS,
+            elem_size: 4,
+            count: ids.len() as u64,
+            bytes: pod_bytes(ids),
+        });
+    }
+
+    // Lay sections out 8-aligned after header + table and build the table.
+    let table_len = sections.len() as u64 * ENTRY_LEN;
+    let mut cursor = HEADER_LEN + table_len;
+    let payload_start = cursor;
+    let mut table_bytes: Vec<u8> = Vec::with_capacity(table_len as usize);
+    let mut offsets: Vec<u64> = Vec::with_capacity(sections.len());
+    for s in &sections {
+        cursor = align8(cursor);
+        offsets.push(cursor);
+        table_bytes.extend_from_slice(&s.kind.to_le_bytes());
+        table_bytes.extend_from_slice(&s.elem_size.to_le_bytes());
+        table_bytes.extend_from_slice(&cursor.to_le_bytes());
+        table_bytes.extend_from_slice(&s.count.to_le_bytes());
+        cursor += s.bytes.len() as u64;
+    }
+    let file_len = cursor;
+
+    // Checksums: the payload checksum covers every byte from the end of the
+    // table to EOF, alignment padding included, exactly as laid out.
+    let table_checksum = fnv1a(&[&table_bytes]);
+    let mut payload_chunks: Vec<&[u8]> = Vec::new();
+    const PAD: [u8; 8] = [0u8; 8];
+    let mut pos = payload_start;
+    for (s, &off) in sections.iter().zip(&offsets) {
+        let pad = (off - pos) as usize;
+        if pad > 0 {
+            payload_chunks.push(&PAD[..pad]);
+        }
+        payload_chunks.push(s.bytes);
+        pos = off + s.bytes.len() as u64;
+    }
+    let payload_checksum = fnv1a(&payload_chunks);
+
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
+    header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    header.extend_from_slice(&table_checksum.to_le_bytes());
+    header.extend_from_slice(&payload_checksum.to_le_bytes());
+    header.extend_from_slice(&file_len.to_le_bytes());
+
+    let mut out = std::io::BufWriter::new(File::create(path)?);
+    out.write_all(&header)?;
+    out.write_all(&table_bytes)?;
+    for chunk in &payload_chunks {
+        out.write_all(chunk)?;
+    }
+    out.flush()?;
+    Ok(WriteStats {
+        file_len,
+        sections: sections.len(),
+        tuples: db.num_tuples(),
+    })
+}
+
+/// How to back the loaded arenas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// mmap when the platform supports it, buffered otherwise (default).
+    Auto,
+    /// Require a file mapping; fail where unsupported.
+    Mmap,
+    /// Read into one aligned heap buffer.
+    Buffered,
+}
+
+/// Loader options.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadOptions {
+    /// Backing selection.
+    pub mode: LoadMode,
+    /// Verify the payload checksum (touches every byte). Defaults to on;
+    /// turn off for the strict O(sections) open of very large snapshots.
+    pub verify_payload: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            mode: LoadMode::Auto,
+            verify_payload: true,
+        }
+    }
+}
+
+/// A loaded snapshot: the instance plus the optional sections.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The instance, solve-ready (no re-freeze happened).
+    pub db: FrozenDb,
+    /// Text-format label map, empty when the snapshot carries none.
+    pub labels: HashMap<String, u64>,
+    /// Original tuple ids when this is a shard snapshot.
+    pub source_ids: Option<Vec<TupleId>>,
+    /// Whether the arenas are mmap-backed (vs. heap).
+    pub mapped: bool,
+    /// Snapshot file length in bytes.
+    pub file_len: u64,
+}
+
+struct Entry {
+    elem_size: u32,
+    offset: u64,
+    count: u64,
+}
+
+struct Parsed {
+    bytes: SharedBytes,
+    entries: HashMap<u32, Entry>,
+    file_len: u64,
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Validates header + section table over a fully resident byte view.
+fn parse_structure(bytes: SharedBytes, verify_payload: bool) -> Result<Parsed, SnapshotError> {
+    let b = bytes.as_slice();
+    if (b.len() as u64) < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            expected: HEADER_LEN,
+            actual: b.len() as u64,
+        });
+    }
+    if b[0..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = read_u32(b, 8);
+    if version == 0 || version > VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    if read_u32(b, 12) != ENDIAN_MARK {
+        return Err(SnapshotError::BadEndian);
+    }
+    let section_count = read_u32(b, 16);
+    let table_checksum = read_u64(b, 24);
+    let payload_checksum = read_u64(b, 32);
+    let file_len = read_u64(b, 40);
+    if file_len != b.len() as u64 {
+        return Err(SnapshotError::Truncated {
+            expected: file_len,
+            actual: b.len() as u64,
+        });
+    }
+    let table_end = HEADER_LEN + section_count as u64 * ENTRY_LEN;
+    if table_end > b.len() as u64 {
+        return Err(SnapshotError::Truncated {
+            expected: table_end,
+            actual: b.len() as u64,
+        });
+    }
+    let table = &b[HEADER_LEN as usize..table_end as usize];
+    let actual = fnv1a(&[table]);
+    if actual != table_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            what: "section table",
+            expected: table_checksum,
+            actual,
+        });
+    }
+    if verify_payload {
+        let actual = fnv1a(&[&b[table_end as usize..]]);
+        if actual != payload_checksum {
+            return Err(SnapshotError::ChecksumMismatch {
+                what: "payload",
+                expected: payload_checksum,
+                actual,
+            });
+        }
+    }
+    let mut entries = HashMap::new();
+    for i in 0..section_count as usize {
+        let at = HEADER_LEN as usize + i * ENTRY_LEN as usize;
+        let kind = read_u32(b, at);
+        let entry = Entry {
+            elem_size: read_u32(b, at + 4),
+            offset: read_u64(b, at + 8),
+            count: read_u64(b, at + 16),
+        };
+        let end = entry
+            .offset
+            .checked_add(entry.count.saturating_mul(entry.elem_size as u64))
+            .ok_or(SnapshotError::BadSection {
+                kind,
+                reason: "section range overflows",
+            })?;
+        if entry.offset < table_end || end > file_len {
+            return Err(SnapshotError::BadSection {
+                kind,
+                reason: "section range outside the payload region",
+            });
+        }
+        entries.insert(kind, entry);
+    }
+    Ok(Parsed {
+        bytes,
+        entries,
+        file_len,
+    })
+}
+
+impl Parsed {
+    fn require(&self, kind: u32, elem_size: u32) -> Result<&Entry, SnapshotError> {
+        let e = self
+            .entries
+            .get(&kind)
+            .ok_or(SnapshotError::MissingSection { kind })?;
+        if e.elem_size != elem_size {
+            return Err(SnapshotError::BadSection {
+                kind,
+                reason: "unexpected element size",
+            });
+        }
+        Ok(e)
+    }
+
+    fn arena<T: crate::arena::Pod>(&self, kind: u32) -> Result<Arena<T>, SnapshotError> {
+        let e = self.require(kind, std::mem::size_of::<T>() as u32)?;
+        Arena::from_bytes(self.bytes.clone(), e.offset as usize, e.count as usize)
+            .map_err(|reason| SnapshotError::BadSection { kind, reason })
+    }
+
+    fn section_bytes(&self, kind: u32) -> Option<&[u8]> {
+        let e = self.entries.get(&kind)?;
+        let b = self.bytes.as_slice();
+        Some(&b[e.offset as usize..(e.offset + e.count * e.elem_size as u64) as usize])
+    }
+}
+
+/// Reads the whole file into one aligned heap buffer.
+fn read_buffered(file: &mut File, len: usize) -> Result<SharedBytes, SnapshotError> {
+    let mut buf = AlignedBytes::zeroed(len);
+    file.read_exact(buf.as_mut_slice())?;
+    Ok(SharedBytes::Heap(Arc::new(buf)))
+}
+
+/// Loads a snapshot from `path`; see [`LoadOptions`].
+pub fn load(path: &Path, opts: &LoadOptions) -> Result<Snapshot, SnapshotError> {
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len() as usize;
+    let bytes = match opts.mode {
+        LoadMode::Buffered => read_buffered(&mut file, len)?,
+        LoadMode::Mmap => {
+            #[cfg(unix)]
+            {
+                SharedBytes::Mapped(Arc::new(crate::arena::Mmap::map(&file, len)?))
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(SnapshotError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "mmap is not supported on this platform",
+                )));
+            }
+        }
+        LoadMode::Auto => {
+            #[cfg(unix)]
+            {
+                match crate::arena::Mmap::map(&file, len) {
+                    Ok(m) => SharedBytes::Mapped(Arc::new(m)),
+                    Err(_) => read_buffered(&mut file, len)?,
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                read_buffered(&mut file, len)?
+            }
+        }
+    };
+    let mapped = bytes.is_mapped();
+    let parsed = parse_structure(bytes, opts.verify_payload)?;
+
+    // Schema.
+    let schema_bytes =
+        parsed
+            .section_bytes(section::SCHEMA)
+            .ok_or(SnapshotError::MissingSection {
+                kind: section::SCHEMA,
+            })?;
+    let schema_text = std::str::from_utf8(schema_bytes).map_err(|_| SnapshotError::BadSection {
+        kind: section::SCHEMA,
+        reason: "schema text is not UTF-8",
+    })?;
+    let mut schema = Schema::new();
+    for line in schema_text.lines() {
+        let (name, arity) = line.rsplit_once(' ').ok_or(SnapshotError::BadSection {
+            kind: section::SCHEMA,
+            reason: "schema line is not `name arity`",
+        })?;
+        let arity: usize = arity.parse().map_err(|_| SnapshotError::BadSection {
+            kind: section::SCHEMA,
+            reason: "schema arity is not a number",
+        })?;
+        schema.add_relation(name, arity);
+    }
+
+    let tuple_rel: Arena<RelId> = parsed.arena(section::TUPLE_REL)?;
+    let tuple_start: Arena<u32> = parsed.arena(section::TUPLE_START)?;
+    let values_flat: Arena<Constant> = parsed.arena(section::VALUES)?;
+    let rel_tuples: Arena<TupleId> = parsed.arena(section::REL_TUPLES)?;
+    let rel_offsets: Arena<u32> = parsed.arena(section::REL_OFFSETS)?;
+    let pos_base: Arena<u32> = parsed.arena(section::POS_BASE)?;
+    let index_arena: Arena<TupleId> = parsed.arena(section::INDEX_ARENA)?;
+    let slot_offsets: Arena<u32> = parsed.arena(section::SLOT_OFFSETS)?;
+    let keys: Arena<Constant> = parsed.arena(section::BUCKET_KEYS)?;
+    let starts: Arena<u32> = parsed.arena(section::BUCKET_STARTS)?;
+    let lens: Arena<u32> = parsed.arena(section::BUCKET_LENS)?;
+
+    // O(sections) structural consistency: array lengths must agree with the
+    // schema and with each other. (Per-element validation is the payload
+    // checksum's job.)
+    let relations = schema.len();
+    let total_slots: usize = schema.relation_ids().map(|r| schema.arity(r)).sum();
+    let consistent = tuple_rel.len() == tuple_start.len()
+        && rel_offsets.len() == relations + 1
+        && pos_base.len() == relations + 1
+        && rel_tuples.len() == tuple_rel.len()
+        && rel_offsets.last().copied().unwrap_or(0) as usize == rel_tuples.len()
+        && slot_offsets.len() == total_slots + 1
+        && slot_offsets.last().copied().unwrap_or(0) as usize == keys.len()
+        && keys.len() == starts.len()
+        && keys.len() == lens.len();
+    if !consistent {
+        return Err(SnapshotError::BadSection {
+            kind: section::REL_OFFSETS,
+            reason: "section lengths are mutually inconsistent",
+        });
+    }
+
+    // Labels.
+    let mut labels = HashMap::new();
+    if let Some(mut b) = parsed.section_bytes(section::LABELS) {
+        while !b.is_empty() {
+            if b.len() < 12 {
+                return Err(SnapshotError::BadSection {
+                    kind: section::LABELS,
+                    reason: "truncated label record",
+                });
+            }
+            let value = u64::from_le_bytes(b[0..8].try_into().unwrap());
+            let len = u32::from_le_bytes(b[8..12].try_into().unwrap()) as usize;
+            if b.len() < 12 + len {
+                return Err(SnapshotError::BadSection {
+                    kind: section::LABELS,
+                    reason: "label text exceeds section",
+                });
+            }
+            let name =
+                std::str::from_utf8(&b[12..12 + len]).map_err(|_| SnapshotError::BadSection {
+                    kind: section::LABELS,
+                    reason: "label text is not UTF-8",
+                })?;
+            labels.insert(name.to_string(), value);
+            b = &b[12 + len..];
+        }
+    }
+
+    // Source ids (owned copy: small next to the arenas, and the shard merge
+    // indexes it heavily).
+    let source_ids = match parsed.entries.contains_key(&section::SOURCE_IDS) {
+        true => {
+            let ids: Arena<TupleId> = parsed.arena(section::SOURCE_IDS)?;
+            Some(ids.to_vec())
+        }
+        false => None,
+    };
+
+    let db = FrozenDb {
+        schema,
+        tuple_rel,
+        tuple_start,
+        values_flat,
+        rel_tuples,
+        rel_offsets,
+        index: JoinIndex::Sorted {
+            slot_offsets,
+            keys,
+            starts,
+            lens,
+        },
+        index_arena,
+        pos_base,
+        dedup: OnceLock::new(),
+    };
+    Ok(Snapshot {
+        db,
+        labels,
+        source_ids,
+        mapped,
+        file_len: parsed.file_len,
+    })
+}
+
+/// One section's metadata, as reported by [`info`].
+#[derive(Clone, Debug)]
+pub struct SectionInfo {
+    /// Wire kind id.
+    pub kind: u32,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Element size in bytes.
+    pub elem_size: u32,
+    /// Absolute file offset.
+    pub offset: u64,
+    /// Element count.
+    pub count: u64,
+}
+
+/// Snapshot metadata, readable in O(sections) without loading the arenas.
+#[derive(Clone, Debug)]
+pub struct SnapshotInfo {
+    /// Format version.
+    pub version: u32,
+    /// File length in bytes.
+    pub file_len: u64,
+    /// Payload checksum as recorded in the header.
+    pub payload_checksum: u64,
+    /// Tuples in the instance.
+    pub tuples: u64,
+    /// Relations in the schema.
+    pub relations: usize,
+    /// Whether a label map is embedded.
+    pub has_labels: bool,
+    /// Whether a source-id map is embedded (shard snapshot).
+    pub has_source_ids: bool,
+    /// Per-section layout, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// Reads header, section table and the (small) schema section only.
+pub fn info(path: &Path) -> Result<SnapshotInfo, SnapshotError> {
+    let mut file = File::open(path)?;
+    let actual_len = file.metadata()?.len();
+    let mut header = [0u8; HEADER_LEN as usize];
+    if actual_len < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            expected: HEADER_LEN,
+            actual: actual_len,
+        });
+    }
+    file.read_exact(&mut header)?;
+    if header[0..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = read_u32(&header, 8);
+    if version == 0 || version > VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    if read_u32(&header, 12) != ENDIAN_MARK {
+        return Err(SnapshotError::BadEndian);
+    }
+    let section_count = read_u32(&header, 16);
+    let table_checksum = read_u64(&header, 24);
+    let payload_checksum = read_u64(&header, 32);
+    let file_len = read_u64(&header, 40);
+    if file_len != actual_len {
+        return Err(SnapshotError::Truncated {
+            expected: file_len,
+            actual: actual_len,
+        });
+    }
+    let mut table = vec![0u8; section_count as usize * ENTRY_LEN as usize];
+    file.read_exact(&mut table)?;
+    let actual = fnv1a(&[&table]);
+    if actual != table_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            what: "section table",
+            expected: table_checksum,
+            actual,
+        });
+    }
+    let mut sections = Vec::with_capacity(section_count as usize);
+    for i in 0..section_count as usize {
+        let at = i * ENTRY_LEN as usize;
+        let kind = read_u32(&table, at);
+        sections.push(SectionInfo {
+            kind,
+            name: section::name(kind),
+            elem_size: read_u32(&table, at + 4),
+            offset: read_u64(&table, at + 8),
+            count: read_u64(&table, at + 16),
+        });
+    }
+    let tuples = sections
+        .iter()
+        .find(|s| s.kind == section::TUPLE_REL)
+        .map(|s| s.count)
+        .unwrap_or(0);
+    let relations = match sections.iter().find(|s| s.kind == section::SCHEMA) {
+        Some(s) => {
+            let mut text = vec![0u8; (s.count * s.elem_size as u64) as usize];
+            file.seek(SeekFrom::Start(s.offset))?;
+            file.read_exact(&mut text)?;
+            std::str::from_utf8(&text)
+                .map(|t| t.lines().count())
+                .unwrap_or(0)
+        }
+        None => 0,
+    };
+    Ok(SnapshotInfo {
+        version,
+        file_len,
+        payload_checksum,
+        tuples,
+        relations,
+        has_labels: sections.iter().any(|s| s.kind == section::LABELS),
+        has_source_ids: sections.iter().any(|s| s.kind == section::SOURCE_IDS),
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Database;
+    use cq::parse_query;
+
+    fn sample() -> FrozenDb {
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("R", &[2, 3]);
+        db.insert_named("S", &[2, 4]);
+        db.insert_named("S", &[3, 4]);
+        db.freeze()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("resil-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn assert_same_instance(a: &FrozenDb, b: &FrozenDb) {
+        assert_eq!(a.num_tuples(), b.num_tuples());
+        assert_eq!(a.to_string(), b.to_string());
+        for rel in a.schema().relation_ids() {
+            assert_eq!(a.tuples_of(rel), b.tuples_of(rel));
+            for pos in 0..a.schema().arity(rel) {
+                for v in 0..6u64 {
+                    assert_eq!(
+                        a.tuples_matching(rel, pos, Constant(v)),
+                        b.tuples_matching(rel, pos, Constant(v))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_buffered_and_mapped() {
+        let frozen = sample();
+        let path = tmp("round.snap");
+        let mut labels = HashMap::new();
+        labels.insert("alice".to_string(), 17u64);
+        let stats = write(
+            &path,
+            &frozen,
+            &WriteOptions {
+                labels: Some(&labels),
+                source_ids: Some(&[TupleId(5), TupleId(7), TupleId(9), TupleId(11)]),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.tuples, 4);
+
+        for mode in [LoadMode::Buffered, LoadMode::Auto] {
+            let snap = load(
+                &path,
+                &LoadOptions {
+                    mode,
+                    verify_payload: true,
+                },
+            )
+            .unwrap();
+            assert_same_instance(&frozen, &snap.db);
+            assert_eq!(snap.labels.get("alice"), Some(&17u64));
+            assert_eq!(
+                snap.source_ids.as_deref(),
+                Some(&[TupleId(5), TupleId(7), TupleId(9), TupleId(11)][..])
+            );
+            assert_eq!(snap.file_len, stats.file_len);
+        }
+        #[cfg(unix)]
+        {
+            let snap = load(
+                &path,
+                &LoadOptions {
+                    mode: LoadMode::Mmap,
+                    verify_payload: false,
+                },
+            )
+            .unwrap();
+            assert!(snap.mapped);
+            assert!(snap.db.is_mapped());
+            assert_same_instance(&frozen, &snap.db);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn info_reports_layout() {
+        let frozen = sample();
+        let path = tmp("info.snap");
+        write(&path, &frozen, &WriteOptions::default()).unwrap();
+        let meta = info(&path).unwrap();
+        assert_eq!(meta.version, VERSION);
+        assert_eq!(meta.tuples, 4);
+        assert_eq!(meta.relations, 2);
+        assert!(!meta.has_labels);
+        assert!(!meta.has_source_ids);
+        assert_eq!(meta.sections.len(), 12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption_truncation_and_versions() {
+        let frozen = sample();
+        let path = tmp("bad.snap");
+        write(&path, &frozen, &WriteOptions::default()).unwrap();
+        let original = std::fs::read(&path).unwrap();
+        let opts = LoadOptions::default();
+
+        // Bad magic.
+        let mut bytes = original.clone();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path, &opts), Err(SnapshotError::BadMagic)));
+
+        // Future version.
+        let mut bytes = original.clone();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&path, &opts) {
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+
+        // Foreign endianness.
+        let mut bytes = original.clone();
+        bytes[12..16].copy_from_slice(&0x0403_0201u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path, &opts), Err(SnapshotError::BadEndian)));
+
+        // Truncated file.
+        std::fs::write(&path, &original[..original.len() - 3]).unwrap();
+        match load(&path, &opts) {
+            Err(SnapshotError::Truncated { .. }) => {}
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+
+        // Flipped payload byte → payload checksum.
+        let mut bytes = original.clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&path, &opts) {
+            Err(SnapshotError::ChecksumMismatch {
+                what: "payload", ..
+            }) => {}
+            other => panic!("expected payload checksum error, got {other:?}"),
+        }
+
+        // Flipped table byte → table checksum.
+        let mut bytes = original.clone();
+        bytes[HEADER_LEN as usize + 1] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&path, &opts) {
+            Err(SnapshotError::ChecksumMismatch {
+                what: "section table",
+                ..
+            }) => {}
+            other => panic!("expected table checksum error, got {other:?}"),
+        }
+
+        // Error kinds are stable tags.
+        assert_eq!(SnapshotError::BadMagic.kind(), "bad_magic");
+        assert_eq!(
+            SnapshotError::UnsupportedVersion {
+                found: 9,
+                supported: 1
+            }
+            .kind(),
+            "bad_version"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_instance_round_trips() {
+        let q = parse_query("R(x,y)").unwrap();
+        let frozen = Database::for_query(&q).freeze();
+        let path = tmp("empty.snap");
+        write(&path, &frozen, &WriteOptions::default()).unwrap();
+        // An empty instance still has a header, table and schema, so Auto
+        // can mmap it; Buffered must work too.
+        for mode in [LoadMode::Auto, LoadMode::Buffered] {
+            let snap = load(
+                &path,
+                &LoadOptions {
+                    mode,
+                    verify_payload: true,
+                },
+            )
+            .unwrap();
+            assert!(snap.db.is_empty());
+            assert_eq!(snap.db.schema().len(), 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

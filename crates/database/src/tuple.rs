@@ -8,6 +8,7 @@ use std::fmt;
 /// readable constants (`⟨ab⟩_v`-style values from the paper's reductions) can
 /// intern strings through [`crate::ConstPool`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Constant(pub u64);
 
 impl Constant {
@@ -61,6 +62,7 @@ impl fmt::Display for Constant {
 /// database's tuple arena and are the currency of witness sets, contingency
 /// sets and flow networks.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct TupleId(pub u32);
 
 impl TupleId {

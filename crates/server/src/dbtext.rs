@@ -9,8 +9,11 @@
 //! label resolution, same error messages).
 
 use cq::Query;
-use database::{ConstPool, Database, TupleId, TupleStore};
+use database::shard::MAX_STREAM_ARITY;
+use database::{ConstPool, Constant, Database, StreamTuple, TupleId, TupleStore};
 use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader};
+use std::path::{Path, PathBuf};
 
 /// One parsed constant of a database file: a numeric literal or a label to
 /// be interned.
@@ -25,19 +28,7 @@ enum RawConstant {
 /// parser and the daemon's fact decoding so the fact syntax cannot drift;
 /// errors carry no line number (callers prefix their own).
 pub fn split_fact<'l>(q: &Query, line: &'l str) -> Result<(&'l str, Vec<&'l str>), String> {
-    let open = line.find('(').ok_or("expected Rel(...)")?;
-    let close = line
-        .rfind(')')
-        .filter(|&close| close > open)
-        .ok_or("missing ')'")?;
-    let rel = line[..open].trim();
-    if q.schema().relation_id(rel).is_none() {
-        return Err(format!("relation {rel} not in the query"));
-    }
-    Ok((
-        rel,
-        line[open + 1..close].split(',').map(str::trim).collect(),
-    ))
+    split_fact_in_schema(q.schema(), line)
 }
 
 /// Parses the textual database format: one `Rel(c1,...,ck)` fact per line.
@@ -106,6 +97,207 @@ pub fn parse_database_with_labels(
         db.insert_named(&rel, &resolved?);
     }
     Ok((db, labels))
+}
+
+/// A replayable, bounded-memory view of a textual database file: the
+/// streaming twin of [`parse_database_with_labels`] for instances too large
+/// to materialize.
+///
+/// [`stream_database`] makes one validation pass over the file — checking
+/// every fact against the query, recording the largest numeric constant and
+/// interning labels in first-occurrence order, exactly like the eager
+/// parser — and returns this spec. Each [`TextStreamSpec::stream`] call
+/// then re-reads the file line by line, resolving constants through the
+/// recorded label map, holding one line at a time. Replays are what
+/// `database::shard`'s multi-pass pipeline needs, and the label-offset
+/// invariant (labels intern strictly past the file's largest number) is
+/// preserved because the offset was fixed by the validation pass.
+///
+/// The streamed tuples are the eager parser's, in the same order, so
+/// freezing the stream and freezing [`parse_database`]'s result produce
+/// identical instances.
+#[derive(Clone, Debug)]
+pub struct TextStreamSpec {
+    path: PathBuf,
+    schema: cq::Schema,
+    labels: HashMap<String, u64>,
+    facts: usize,
+}
+
+impl TextStreamSpec {
+    /// The label → constant resolution of the validation pass (identical to
+    /// [`parse_database_with_labels`]'s map).
+    pub fn labels(&self) -> &HashMap<String, u64> {
+        &self.labels
+    }
+
+    /// The schema tuples are emitted against.
+    pub fn schema(&self) -> &cq::Schema {
+        &self.schema
+    }
+
+    /// Facts the file contains (counting duplicates).
+    pub fn facts(&self) -> usize {
+        self.facts
+    }
+
+    /// Starts one replay pass over the file.
+    ///
+    /// # Panics
+    /// The validation pass proved every line well-formed; if the file
+    /// changes between passes (new I/O errors, new malformed or unknown
+    /// facts), the iterator panics rather than silently diverging from the
+    /// plan built on an earlier pass.
+    pub fn stream(&self) -> io::Result<TextStream<'_>> {
+        let file = std::fs::File::open(&self.path)?;
+        Ok(TextStream {
+            spec: self,
+            lines: BufReader::new(file).lines(),
+        })
+    }
+}
+
+/// One pass of a [`TextStreamSpec`].
+pub struct TextStream<'a> {
+    spec: &'a TextStreamSpec,
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+}
+
+impl Iterator for TextStream<'_> {
+    type Item = StreamTuple;
+
+    fn next(&mut self) -> Option<StreamTuple> {
+        loop {
+            let raw = match self.lines.next()? {
+                Ok(raw) => raw,
+                Err(e) => panic!("database file changed during streaming load: {e}"),
+            };
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (rel, raw_values) = split_fact_in_schema(&self.spec.schema, line)
+                .unwrap_or_else(|e| panic!("database file changed during streaming load: {e}"));
+            let rel_id = self
+                .spec
+                .schema
+                .relation_id(rel)
+                .expect("validated relation");
+            let values: Vec<Constant> = raw_values
+                .iter()
+                .map(|&v| {
+                    let n = if let Ok(n) = v.parse::<u64>() {
+                        n
+                    } else if let Some(&c) = self.spec.labels.get(v) {
+                        c
+                    } else {
+                        panic!("database file changed during streaming load: unknown label {v}")
+                    };
+                    Constant(n)
+                })
+                .collect();
+            return Some(StreamTuple::new(rel_id, &values));
+        }
+    }
+}
+
+/// [`split_fact`] against a bare schema (the streaming loader carries no
+/// query, only the schema recorded by its validation pass).
+fn split_fact_in_schema<'l>(
+    schema: &cq::Schema,
+    line: &'l str,
+) -> Result<(&'l str, Vec<&'l str>), String> {
+    let open = line.find('(').ok_or("expected Rel(...)")?;
+    let close = line
+        .rfind(')')
+        .filter(|&close| close > open)
+        .ok_or("missing ')'")?;
+    let rel = line[..open].trim();
+    if schema.relation_id(rel).is_none() {
+        return Err(format!("relation {rel} not in the query"));
+    }
+    Ok((
+        rel,
+        line[open + 1..close].split(',').map(str::trim).collect(),
+    ))
+}
+
+/// Validation pass of the streaming loader: checks every fact, fixes the
+/// label offset past the file's largest numeric constant, and returns the
+/// replayable [`TextStreamSpec`]. Memory is bounded by the distinct-label
+/// count, never by the fact count.
+pub fn stream_database(q: &Query, path: &Path) -> Result<TextStreamSpec, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut max_number = 0u64;
+    let mut label_order: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut facts = 0usize;
+    for (lineno, raw) in BufReader::new(file).lines().enumerate() {
+        let raw = raw.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (rel, raw_values) =
+            split_fact(q, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let arity = q
+            .schema()
+            .arity(q.schema().relation_id(rel).expect("validated"));
+        if raw_values.len() != arity {
+            return Err(format!(
+                "line {}: {rel} expects {arity} constants, got {}",
+                lineno + 1,
+                raw_values.len()
+            ));
+        }
+        if arity > MAX_STREAM_ARITY {
+            return Err(format!(
+                "line {}: relation {rel} has arity {arity} > {MAX_STREAM_ARITY} (streaming limit)",
+                lineno + 1
+            ));
+        }
+        for v in raw_values {
+            if let Ok(n) = v.parse::<u64>() {
+                max_number = max_number.max(n);
+            } else if v.is_empty() {
+                return Err(format!("line {}: empty constant", lineno + 1));
+            } else if seen.insert(v.to_string()) {
+                label_order.push(v.to_string());
+            }
+        }
+        facts += 1;
+    }
+    // Same interning rule as the eager parser: `offset + pool index`, in
+    // first-occurrence order, strictly past every numeric constant.
+    let offset = max_number
+        .checked_add(1)
+        .ok_or_else(|| "constant u64::MAX leaves no room for labels".to_string())?;
+    let mut pool = ConstPool::new();
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    for label in &label_order {
+        let c = offset
+            .checked_add(pool.intern(label).value())
+            .ok_or_else(|| format!("too many labels to intern past {max_number}"))?;
+        labels.insert(label.clone(), c);
+    }
+    Ok(TextStreamSpec {
+        path: path.to_path_buf(),
+        schema: q.schema().clone(),
+        labels,
+        facts,
+    })
+}
+
+/// Resident-byte estimate of a label → constant map, charged against the
+/// tenant byte quota next to [`database::FrozenDb::resident_bytes`]: a
+/// label-heavy instance's registry entry is not free just because the
+/// labels live outside the frozen arenas.
+pub fn labels_bytes(labels: &HashMap<String, u64>) -> usize {
+    labels
+        .keys()
+        .map(|name| name.len() + std::mem::size_of::<(String, u64)>())
+        .sum()
 }
 
 /// Resolves one fact text `Rel(c1,...)` against a query schema and the
@@ -224,6 +416,78 @@ mod tests {
         assert!(lookup_fact(&q, &labels, &frozen, "R(9,7)")
             .unwrap_err()
             .contains("no such tuple"));
+    }
+
+    /// Writes `text` to a unique temp file for the streaming-loader tests.
+    fn temp_db_file(tag: &str, text: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("dbtext-stream-{}-{tag}.db", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn streaming_loader_matches_the_eager_parser() {
+        let q = parse_query("A(x), R(x,y)").unwrap();
+        let text = "# header comment\nA(alpha)\nR(alpha, 9)\nR(9, beta)\n\nA(1000001)\n";
+        let path = temp_db_file("eager", text);
+        let spec = stream_database(&q, &path).unwrap();
+        let (eager, eager_labels) = parse_database_with_labels(&q, text).unwrap();
+        assert_eq!(spec.labels(), &eager_labels);
+        assert_eq!(spec.facts(), 4);
+        assert_eq!(spec.schema(), q.schema());
+
+        let mut streamed = Database::for_query(&q);
+        for t in spec.stream().unwrap() {
+            streamed.insert(t.rel(), t.values());
+        }
+        assert_eq!(streamed.num_tuples(), eager.num_tuples());
+        for rel in q.schema().relation_ids() {
+            let vals = |db: &Database| -> Vec<Vec<u64>> {
+                db.tuples_of(rel)
+                    .iter()
+                    .map(|&t| db.values_of(t).iter().map(|c| c.0).collect())
+                    .collect()
+            };
+            assert_eq!(vals(&streamed), vals(&eager));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_loader_replays_identically() {
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let text = "R(a, 1)\nS(1, b)\nR(a, 1)\nS(2, c)\n";
+        let path = temp_db_file("replay", text);
+        let spec = stream_database(&q, &path).unwrap();
+        let pass = |spec: &TextStreamSpec| -> Vec<(cq::RelId, Vec<u64>)> {
+            spec.stream()
+                .unwrap()
+                .map(|t| (t.rel(), t.values().iter().map(|c| c.0).collect()))
+                .collect()
+        };
+        let first = pass(&spec);
+        assert_eq!(first.len(), 4, "duplicates stream as written");
+        assert_eq!(first, pass(&spec));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_loader_reports_errors_with_line_numbers() {
+        let q = parse_query("R(x,y)").unwrap();
+        let path = temp_db_file("errors", "R(1, 2)\nZ(3)\n");
+        let err = stream_database(&q, &path).unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("relation Z"),
+            "{err}"
+        );
+        std::fs::write(&path, "R(1, 2)\nR(3)\n").unwrap();
+        let err = stream_database(&q, &path).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("expects 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+        assert!(stream_database(&q, &path)
+            .unwrap_err()
+            .contains("cannot read"));
     }
 
     #[test]

@@ -96,6 +96,7 @@ mod eventloop;
 pub mod faults;
 pub mod jsonio;
 mod proto;
+pub mod scatter;
 pub mod tenancy;
 
 use resilience_core::engine::{CompiledQuery, SharedSolveSession, SolveScratch};

@@ -13,6 +13,7 @@ use cq::parse_query;
 use resilience_core::engine::{SolveError, SolveOptions, SolveScratch};
 use resilience_core::CancelToken;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -389,22 +390,52 @@ fn op_stats(state: &ServerState) -> String {
 
 fn op_load(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, String> {
     let query = get_query(state, auth, req_str(req, "query_id").map_err(|e| bad(&e))?)?;
-    let text = match req.get("text").and_then(JsonValue::as_str) {
-        Some(text) => text.to_string(),
-        None => {
-            let path = req
-                .get("path")
-                .and_then(JsonValue::as_str)
-                .ok_or_else(|| bad("load needs text or path"))?;
-            std::fs::read_to_string(path)
-                .map_err(|e| err_json("io", &format!("cannot read {path}: {e}")))?
-        }
-    };
-    let (db, labels) = dbtext::parse_database_with_labels(&query.query, &text)
-        .map_err(|e| err_json("parse", &e))?;
-    let frozen = Arc::new(db.freeze());
+    // Three sources, in precedence order: a columnar snapshot file (opened
+    // in O(sections), mmap-backed where the platform allows), inline text,
+    // or a text file path.
+    let (frozen, labels, mapped) =
+        if let Some(path) = req.get("snapshot").and_then(JsonValue::as_str) {
+            let snap = database::snapshot::load(Path::new(path), &Default::default())
+                .map_err(|e| err_json("snapshot", &format!("{e} ({})", e.kind())))?;
+            // The engine resolves query relations in the store by name, so a
+            // snapshot only needs to *cover* the query's schema — shard
+            // snapshots carry the full instance schema even when loaded for a
+            // single-component scatter query.
+            let covered = query.query.schema().relation_ids().all(|rel| {
+                let name = query.query.schema().name(rel);
+                snap.db
+                    .schema()
+                    .relation_id(name)
+                    .is_some_and(|s| snap.db.schema().arity(s) == query.query.schema().arity(rel))
+            });
+            if !covered {
+                return Err(err_json(
+                    "schema_mismatch",
+                    &format!("snapshot {path} was written for a different schema"),
+                ));
+            }
+            (snap.db, snap.labels, snap.mapped)
+        } else {
+            let text = match req.get("text").and_then(JsonValue::as_str) {
+                Some(text) => text.to_string(),
+                None => {
+                    let path = req
+                        .get("path")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| bad("load needs text, path or snapshot"))?;
+                    std::fs::read_to_string(path)
+                        .map_err(|e| err_json("io", &format!("cannot read {path}: {e}")))?
+                }
+            };
+            let (db, labels) = dbtext::parse_database_with_labels(&query.query, &text)
+                .map_err(|e| err_json("parse", &e))?;
+            (db.freeze(), labels, false)
+        };
+    let frozen = Arc::new(frozen);
     let tuples = frozen.num_tuples();
-    let bytes = frozen.resident_bytes();
+    // mmap-backed entries are charged like heap ones: the mapping occupies
+    // the tenant's share of page cache and address space either way.
+    let bytes = frozen.resident_bytes() + dbtext::labels_bytes(&labels);
     let tenant = state.tenancy.tenant(auth);
     let id = state
         .tenancy
@@ -421,7 +452,7 @@ fn op_load(state: &ServerState, auth: &str, req: &JsonValue) -> Result<String, S
         )
         .map_err(|q| quota_err(&q, "loading this instance"))?;
     Ok(format!(
-        "{{\"ok\": true, \"db_id\": \"{}\", \"tuples\": {tuples}}}",
+        "{{\"ok\": true, \"db_id\": \"{}\", \"tuples\": {tuples}, \"mapped\": {mapped}}}",
         jsonio::json_escape(&id),
     ))
 }

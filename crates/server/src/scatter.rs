@@ -1,0 +1,450 @@
+//! Scatter/gather over several `resd` processes: shard snapshots spread
+//! round-robin across endpoints, solved remotely with the protocol's
+//! `batch` verb, merged here into the report the whole instance would have
+//! produced.
+//!
+//! This is the remote twin of `resilience_core::shard::solve_sharded`, with
+//! two differences dictated by the wire format:
+//!
+//! * the merge works on **rendered** reports — resilience / witness counts
+//!   / method strings / contingency *fact texts* — because that is what the
+//!   daemons return (and shard snapshots carry their label maps, so the
+//!   fact texts already speak the whole instance's vocabulary);
+//! * each connected component of the normalized query is scattered as its
+//!   own compiled query (components are solved independently per Lemma 14
+//!   and merged by component-wise minimum, exactly like the in-process
+//!   path), sent as query text via `Display`.
+//!
+//! The merge is deterministic: shards are assigned and absorbed in index
+//! order, contingency facts are sorted, and ties between query components
+//! break toward the first component.
+
+use crate::client::{Client, RetryPolicy};
+use crate::jsonio::{self, JsonValue};
+use cq::Query;
+use resilience_core::engine::Engine;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One remote per-shard result, parsed from a `batch` row.
+struct RemoteReport {
+    resilience: Option<usize>,
+    witnesses: usize,
+    method: String,
+    contingency: Option<Vec<String>>,
+}
+
+/// The merged scatter/gather result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScatterReport {
+    /// Merged resilience (`None` = unfalsifiable).
+    pub resilience: Option<usize>,
+    /// Merged witness count (product over query components of per-component
+    /// sums, saturating).
+    pub witnesses: usize,
+    /// Merged method string, matching what a whole-instance solve renders:
+    /// the uniform per-shard method, `ShardGather` when shards disagreed,
+    /// `ComponentMinimum` for disconnected queries, `AlreadyFalse` /
+    /// `Unfalsifiable` for the degenerate outcomes.
+    pub method: String,
+    /// Union of the winning component's per-shard contingency fact texts,
+    /// sorted; `None` when unfalsifiable or a shard omitted its set.
+    pub contingency: Option<Vec<String>>,
+    /// Shards solved.
+    pub shards: usize,
+    /// Connected components of the normalized query.
+    pub components: usize,
+}
+
+impl ScatterReport {
+    /// Renders the merged result in the solve-report JSON shape (`tuples`
+    /// omitted — the gather never holds the whole instance).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"witnesses\": {}", self.witnesses);
+        match self.resilience {
+            Some(k) => {
+                let _ = write!(out, ", \"resilience\": {k}, \"unfalsifiable\": false");
+            }
+            None => out.push_str(", \"resilience\": null, \"unfalsifiable\": true"),
+        }
+        let _ = write!(
+            out,
+            ", \"method\": \"{}\"",
+            jsonio::json_escape(&self.method)
+        );
+        match &self.contingency {
+            Some(gamma) => {
+                let rows: Vec<String> = gamma
+                    .iter()
+                    .map(|f| format!("\"{}\"", jsonio::json_escape(f)))
+                    .collect();
+                let _ = write!(out, ", \"contingency\": [{}]", rows.join(", "));
+            }
+            None => out.push_str(", \"contingency\": null"),
+        }
+        let _ = write!(
+            out,
+            ", \"shards\": {}, \"query_components\": {}}}",
+            self.shards, self.components
+        );
+        out
+    }
+}
+
+/// The component query texts to scatter: the query itself when its
+/// normalized form is connected, one subquery text per component otherwise.
+pub fn component_texts(query: &Query) -> Vec<String> {
+    let compiled = Engine::compile(query);
+    let normalized = &compiled.classification().evidence.normalized;
+    let components = normalized.components();
+    if components.len() <= 1 {
+        vec![query.to_string()]
+    } else {
+        components
+            .iter()
+            .map(|c| normalized.subquery(c).to_string())
+            .collect()
+    }
+}
+
+/// One endpoint's connection plus its handles.
+struct Peer {
+    client: Client,
+    /// `query_id` per component, in component order.
+    query_ids: Vec<String>,
+    /// `db_id` per shard this peer holds, with the shard's global index.
+    dbs: Vec<(usize, String)>,
+}
+
+/// Scatters `snapshots` round-robin across `endpoints`, solves every
+/// (component, shard) pair remotely via `batch`, and gathers. `options_json`
+/// is forwarded verbatim as each request's `options` object (pass `None`
+/// for server defaults).
+pub fn scatter_solve(
+    query: &Query,
+    endpoints: &[String],
+    snapshots: &[&Path],
+    options_json: Option<&str>,
+) -> Result<ScatterReport, String> {
+    if endpoints.is_empty() {
+        return Err("scatter needs at least one endpoint".to_string());
+    }
+    if snapshots.is_empty() {
+        return Err("scatter needs at least one shard snapshot".to_string());
+    }
+    let texts = component_texts(query);
+
+    // Connect, register the component queries, and load this peer's shards.
+    let mut peers: Vec<Peer> = Vec::with_capacity(endpoints.len());
+    for (p, addr) in endpoints.iter().enumerate() {
+        let mut client = Client::connect_retrying(addr, RetryPolicy::standard())
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let mut query_ids = Vec::with_capacity(texts.len());
+        for text in &texts {
+            let (qid, _, _) = client
+                .compile(text)
+                .map_err(|e| format!("{addr}: compile failed: {e}"))?;
+            query_ids.push(qid);
+        }
+        let mut dbs = Vec::new();
+        for (s, path) in snapshots.iter().enumerate() {
+            if s % endpoints.len() != p {
+                continue;
+            }
+            let (v, _) = client
+                .request(&format!(
+                    "{{\"op\": \"load\", \"query_id\": \"{}\", \"snapshot\": \"{}\"}}",
+                    jsonio::json_escape(&query_ids[0]),
+                    jsonio::json_escape(&path.display().to_string())
+                ))
+                .map_err(|e| format!("{addr}: loading shard {s} failed: {e}"))?;
+            let db_id = v
+                .get("db_id")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{addr}: load response missing db_id"))?
+                .to_string();
+            dbs.push((s, db_id));
+        }
+        peers.push(Peer {
+            client,
+            query_ids,
+            dbs,
+        });
+    }
+
+    // Per component: one batch per peer, rows in the peer's shard order.
+    // reports[c][s] = the remote report of component c on shard s.
+    let mut reports: Vec<Vec<Option<RemoteReport>>> = (0..texts.len())
+        .map(|_| (0..snapshots.len()).map(|_| None).collect())
+        .collect();
+    for (c, slot) in reports.iter_mut().enumerate() {
+        for (peer, addr) in peers.iter_mut().zip(endpoints) {
+            if peer.dbs.is_empty() {
+                continue;
+            }
+            let ids: Vec<String> = peer
+                .dbs
+                .iter()
+                .map(|(_, id)| format!("\"{}\"", jsonio::json_escape(id)))
+                .collect();
+            let options = options_json
+                .map(|o| format!(", \"options\": {o}"))
+                .unwrap_or_default();
+            let (_, raw) = peer
+                .client
+                .request(&format!(
+                    "{{\"op\": \"batch\", \"query_id\": \"{}\", \"db_ids\": [{}]{options}}}",
+                    jsonio::json_escape(&peer.query_ids[c]),
+                    ids.join(", ")
+                ))
+                .map_err(|e| format!("{addr}: batch solve failed: {e}"))?;
+            let rows = jsonio::parse_json(&raw)
+                .map_err(|e| format!("{addr}: malformed batch response: {e}"))?
+                .get("results")
+                .and_then(JsonValue::as_array)
+                .map(|r| r.to_vec())
+                .ok_or_else(|| format!("{addr}: batch response missing results"))?;
+            if rows.len() != peer.dbs.len() {
+                return Err(format!("{addr}: batch returned {} rows", rows.len()));
+            }
+            for ((s, _), row) in peer.dbs.iter().zip(rows) {
+                if let Some(err) = row.get("error").and_then(JsonValue::as_str) {
+                    return Err(format!("{addr}: shard {s} solve failed: {err}"));
+                }
+                slot[*s] = Some(parse_report(&row).map_err(|e| format!("{addr}: {e}"))?);
+            }
+        }
+    }
+
+    let reports: Vec<Vec<RemoteReport>> = reports
+        .into_iter()
+        .map(|slot| {
+            slot.into_iter()
+                .map(|r| r.expect("every (component, shard) pair solved"))
+                .collect()
+        })
+        .collect();
+    Ok(merge(&reports, snapshots.len()))
+}
+
+fn parse_report(row: &JsonValue) -> Result<RemoteReport, String> {
+    let unfalsifiable = row
+        .get("unfalsifiable")
+        .and_then(JsonValue::as_bool)
+        .ok_or("report missing unfalsifiable")?;
+    let resilience = if unfalsifiable {
+        None
+    } else {
+        Some(
+            row.get("resilience")
+                .and_then(JsonValue::as_usize)
+                .ok_or("report missing resilience")?,
+        )
+    };
+    let witnesses = row
+        .get("witnesses")
+        .and_then(JsonValue::as_usize)
+        .ok_or("report missing witnesses")?;
+    let method = row
+        .get("method")
+        .and_then(JsonValue::as_str)
+        .ok_or("report missing method")?
+        .to_string();
+    let contingency = match row.get("contingency") {
+        Some(JsonValue::Arr(facts)) => {
+            let mut rendered = Vec::with_capacity(facts.len());
+            for f in facts {
+                rendered.push(
+                    f.as_str()
+                        .ok_or("contingency facts must be strings")?
+                        .to_string(),
+                );
+            }
+            Some(rendered)
+        }
+        _ => None,
+    };
+    Ok(RemoteReport {
+        resilience,
+        witnesses,
+        method,
+        contingency,
+    })
+}
+
+/// The fact-level twin of `resilience_core::shard`'s gather; see the module
+/// docs there for why each rule is sound.
+fn merge(reports: &[Vec<RemoteReport>], shards: usize) -> ScatterReport {
+    let components = reports.len();
+    // Per component: summed resilience, any-unfalsifiable, summed
+    // witnesses, union of contingency facts, lost-certificate flag.
+    let mut comp_res = vec![0usize; components];
+    let mut comp_unf = vec![false; components];
+    let mut comp_wit = vec![0usize; components];
+    let mut comp_gamma: Vec<Vec<String>> = vec![Vec::new(); components];
+    let mut comp_lost = vec![false; components];
+    let mut methods: Vec<String> = Vec::new();
+    for (c, per_shard) in reports.iter().enumerate() {
+        for r in per_shard {
+            comp_wit[c] = comp_wit[c].saturating_add(r.witnesses);
+            match r.resilience {
+                None => comp_unf[c] = true,
+                Some(k) => {
+                    comp_res[c] += k;
+                    if k > 0 {
+                        match &r.contingency {
+                            Some(gamma) => comp_gamma[c].extend(gamma.iter().cloned()),
+                            None => comp_lost[c] = true,
+                        }
+                    }
+                }
+            }
+            if components == 1 && r.witnesses > 0 && !methods.contains(&r.method) {
+                methods.push(r.method.clone());
+            }
+        }
+    }
+
+    let already_false = comp_wit.contains(&0);
+    let witnesses = if already_false {
+        0
+    } else {
+        comp_wit
+            .iter()
+            .fold(1usize, |acc, &w| acc.saturating_mul(w))
+    };
+    if already_false {
+        return ScatterReport {
+            resilience: Some(0),
+            witnesses: 0,
+            method: "AlreadyFalse".to_string(),
+            contingency: Some(Vec::new()),
+            shards,
+            components,
+        };
+    }
+    if comp_unf.iter().all(|&u| u) {
+        return ScatterReport {
+            resilience: None,
+            witnesses,
+            method: "Unfalsifiable".to_string(),
+            contingency: None,
+            shards,
+            components,
+        };
+    }
+    let (winner, method) = if components == 1 {
+        let method = match methods.as_slice() {
+            [single] => single.clone(),
+            _ => "ShardGather".to_string(),
+        };
+        (0, method)
+    } else {
+        let winner = (0..components)
+            .filter(|&c| !comp_unf[c])
+            .min_by_key(|&c| (comp_res[c], c))
+            .expect("some component is falsifiable");
+        (winner, "ComponentMinimum".to_string())
+    };
+    let mut gamma = std::mem::take(&mut comp_gamma[winner]);
+    gamma.sort_unstable();
+    ScatterReport {
+        resilience: Some(comp_res[winner]),
+        witnesses,
+        method,
+        contingency: (!comp_lost[winner]).then_some(gamma),
+        shards,
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite(k: usize, w: usize, gamma: &[&str]) -> RemoteReport {
+        RemoteReport {
+            resilience: Some(k),
+            witnesses: w,
+            method: "WitnessFlow".to_string(),
+            contingency: Some(gamma.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    #[test]
+    fn connected_merge_sums_and_sorts() {
+        let merged = merge(
+            &[vec![
+                finite(2, 3, &["R(5,6)", "R(1,2)"]),
+                finite(1, 1, &["R(9,9)"]),
+            ]],
+            2,
+        );
+        assert_eq!(merged.resilience, Some(3));
+        assert_eq!(merged.witnesses, 4);
+        assert_eq!(merged.method, "WitnessFlow");
+        assert_eq!(
+            merged.contingency.as_deref(),
+            Some(
+                &[
+                    "R(1,2)".to_string(),
+                    "R(5,6)".to_string(),
+                    "R(9,9)".to_string()
+                ][..]
+            )
+        );
+    }
+
+    #[test]
+    fn component_merge_takes_first_minimum() {
+        // Component 0: 2 + 1 = 3; component 1: 0 + 3 = 3 → tie, first wins.
+        let merged = merge(
+            &[
+                vec![finite(2, 2, &["R(1,1)"]), finite(1, 1, &["R(2,2)"])],
+                vec![finite(0, 4, &[]), finite(3, 1, &["S(1,1)"])],
+            ],
+            2,
+        );
+        assert_eq!(merged.resilience, Some(3));
+        assert_eq!(merged.method, "ComponentMinimum");
+        assert_eq!(merged.witnesses, 3 * 5);
+        assert_eq!(
+            merged.contingency.as_deref(),
+            Some(&["R(1,1)".to_string(), "R(2,2)".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn empty_component_short_circuits_and_unfalsifiable_requires_all() {
+        let empty = RemoteReport {
+            resilience: Some(0),
+            witnesses: 0,
+            method: "AlreadyFalse".to_string(),
+            contingency: Some(Vec::new()),
+        };
+        let unf = RemoteReport {
+            resilience: None,
+            witnesses: 2,
+            method: "Unfalsifiable".to_string(),
+            contingency: None,
+        };
+        let merged = merge(&[vec![finite(1, 1, &["R(1,1)"])], vec![empty]], 1);
+        assert_eq!(merged.resilience, Some(0));
+        assert_eq!(merged.method, "AlreadyFalse");
+        // One unfalsifiable component, one falsifiable: the falsifiable one
+        // still bounds the minimum.
+        let merged = merge(&[vec![unf], vec![finite(2, 1, &["S(1,2)"])]], 1);
+        assert_eq!(merged.resilience, Some(2));
+        assert_eq!(merged.method, "ComponentMinimum");
+    }
+
+    #[test]
+    fn mixed_methods_render_shard_gather() {
+        let mut other = finite(1, 2, &["R(3,3)"]);
+        other.method = "ExactBranchAndBound".to_string();
+        let merged = merge(&[vec![finite(1, 2, &["R(1,1)"]), other]], 2);
+        assert_eq!(merged.method, "ShardGather");
+        assert_eq!(merged.resilience, Some(2));
+    }
+}

@@ -205,6 +205,223 @@ impl Workload {
     }
 }
 
+/// A scalable, replayable tuple stream: the generator behind the sharded /
+/// streaming benchmarks, where the instance must never be materialized in
+/// one `Vec`.
+///
+/// The spec is a pure description — [`StreamSpec::stream`] starts a fresh
+/// pass that replays the identical sequence every time, which is exactly
+/// the contract `database::shard::write_shard_snapshots` needs for its
+/// multi-pass bounded-memory pipeline. Structure:
+///
+/// * **`groups` planted components.** Group `g` draws all constants from
+///   the disjoint range `[g·width, (g+1)·width)`, so groups can never join
+///   and the instance has at least `groups` constant-connected components —
+///   the partitioner's raw material.
+/// * **Zipf-skewed relation sizes.** Within each group, relation `k` (in
+///   schema order) receives a share proportional to `1/(k+1)^skew`, so the
+///   head relation dominates like real skewed workloads do.
+/// * **Duplicate-free by construction.** The `i`-th tuple of a relation in
+///   a group writes the base-`width` digits of `i` (each digit shifted by a
+///   seeded per-position salt, a bijection on the digit) into its columns,
+///   so distinct `i` always produce distinct tuples. Stream positions
+///   therefore coincide with whole-instance [`database::TupleId`]s, and
+///   shard `source_ids` translate exactly.
+///
+/// Arity-1 relation counts are clamped to `width` (a unary relation over a
+/// `width`-sized domain cannot hold more distinct tuples), so the emitted
+/// total can be slightly below the requested one; [`StreamSpec::len`]
+/// reports the exact emitted count.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    schema: cq::Schema,
+    rels: Vec<cq::RelId>,
+    seed: u64,
+    total: usize,
+    groups: usize,
+    width: u64,
+    skew: f64,
+}
+
+impl StreamSpec {
+    /// Builds a spec over `q`'s schema.
+    ///
+    /// # Panics
+    /// Panics if a relation's arity exceeds
+    /// [`database::shard::MAX_STREAM_ARITY`] or if `width == 0`.
+    pub fn for_query(q: &Query, seed: u64, total: usize, groups: usize, width: u64) -> StreamSpec {
+        let schema = q.schema().clone();
+        let rels: Vec<cq::RelId> = schema.relation_ids().collect();
+        for &r in &rels {
+            assert!(
+                schema.arity(r) <= database::shard::MAX_STREAM_ARITY,
+                "relation {} has arity {} > MAX_STREAM_ARITY",
+                schema.name(r),
+                schema.arity(r)
+            );
+        }
+        assert!(width > 0, "group constant width must be positive");
+        StreamSpec {
+            schema,
+            rels,
+            seed,
+            total,
+            groups: groups.max(1),
+            width,
+            skew: 1.0,
+        }
+    }
+
+    /// Sets the Zipf exponent for per-relation sizes (default `1.0`;
+    /// `0.0` = uniform).
+    pub fn skew(mut self, skew: f64) -> StreamSpec {
+        self.skew = skew.max(0.0);
+        self
+    }
+
+    /// The schema tuples are emitted against (shared with shard builders).
+    pub fn schema(&self) -> &cq::Schema {
+        &self.schema
+    }
+
+    fn group_total(&self, g: usize) -> usize {
+        self.total / self.groups + usize::from(g < self.total % self.groups)
+    }
+
+    /// Tuples relation `k` (schema order) receives out of `group_total`,
+    /// by largest-prefix Zipf apportionment: exact, deterministic, sums to
+    /// `group_total` before the unary clamp.
+    fn relation_count(&self, k: usize, group_total: usize) -> usize {
+        let weight = |j: usize| 1.0 / ((j + 1) as f64).powf(self.skew);
+        let total_w: f64 = (0..self.rels.len()).map(weight).sum();
+        let before: f64 = (0..k).map(weight).sum();
+        let lo = (group_total as f64 * before / total_w).floor() as usize;
+        let hi = (group_total as f64 * (before + weight(k)) / total_w).floor() as usize;
+        let count = hi - lo;
+        if self.schema.arity(self.rels[k]) == 1 {
+            count.min(self.width as usize)
+        } else {
+            count
+        }
+    }
+
+    /// Exact number of tuples one pass emits.
+    pub fn len(&self) -> usize {
+        (0..self.groups)
+            .map(|g| {
+                let gt = self.group_total(g);
+                (0..self.rels.len())
+                    .map(|k| self.relation_count(k, gt))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether a pass emits nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Starts a fresh pass; every pass replays the identical sequence.
+    pub fn stream(&self) -> TupleStream<'_> {
+        TupleStream {
+            spec: self,
+            group: 0,
+            rel: 0,
+            next: 0,
+            count: 0,
+            primed: false,
+        }
+    }
+
+    /// The whole instance, materialized by replaying one pass — the
+    /// fits-in-RAM baseline the streaming path is compared against.
+    /// Because the stream is duplicate-free, tuple ids equal stream
+    /// positions.
+    pub fn materialize(&self) -> Database {
+        let mut db = Database::new(self.schema.clone());
+        for t in self.stream() {
+            db.insert(t.rel(), t.values());
+        }
+        db
+    }
+
+    /// The `i`-th tuple of relation index `k` in group `g`.
+    fn tuple_at(&self, g: usize, k: usize, i: usize) -> database::StreamTuple {
+        let rel = self.rels[k];
+        let arity = self.schema.arity(rel);
+        let base = g as u64 * self.width;
+        let mut values = [database::Constant(0); database::shard::MAX_STREAM_ARITY];
+        let mut rest = i as u64;
+        for (j, slot) in values.iter_mut().take(arity).enumerate() {
+            let salt = splitmix64(
+                self.seed
+                    ^ (g as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ (k as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                    ^ j as u64,
+            );
+            let digit = rest % self.width;
+            rest /= self.width;
+            *slot = database::Constant(base + (digit + salt % self.width) % self.width);
+        }
+        database::StreamTuple::new(rel, &values[..arity])
+    }
+}
+
+/// One replay pass of a [`StreamSpec`]; see there for the sequence's
+/// structure.
+#[derive(Clone, Debug)]
+pub struct TupleStream<'a> {
+    spec: &'a StreamSpec,
+    group: usize,
+    rel: usize,
+    next: usize,
+    count: usize,
+    primed: bool,
+}
+
+impl Iterator for TupleStream<'_> {
+    type Item = database::StreamTuple;
+
+    fn next(&mut self) -> Option<database::StreamTuple> {
+        if self.spec.rels.is_empty() {
+            return None;
+        }
+        loop {
+            if self.group >= self.spec.groups {
+                return None;
+            }
+            if !self.primed {
+                self.count = self
+                    .spec
+                    .relation_count(self.rel, self.spec.group_total(self.group));
+                self.next = 0;
+                self.primed = true;
+            }
+            if self.next < self.count {
+                let t = self.spec.tuple_at(self.group, self.rel, self.next);
+                self.next += 1;
+                return Some(t);
+            }
+            // Advance to the next (group, relation) cell.
+            self.primed = false;
+            self.rel += 1;
+            if self.rel >= self.spec.rels.len() {
+                self.rel = 0;
+                self.group += 1;
+            }
+        }
+    }
+}
+
+/// SplitMix64: the salt derivation for [`StreamSpec`]'s digit shifts.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +571,66 @@ mod tests {
             vars.dedup();
             assert_eq!(vars.len(), 3, "clause variables must be distinct");
         }
+    }
+
+    #[test]
+    fn stream_spec_replays_identically_and_is_duplicate_free() {
+        let q = parse_query("R(x,y), S(y,z)").unwrap();
+        let spec = StreamSpec::for_query(&q, 42, 500, 7, 16);
+        let a: Vec<_> = spec.stream().collect();
+        let b: Vec<_> = spec.stream().collect();
+        assert_eq!(a.len(), spec.len());
+        assert_eq!(a, b, "two passes must replay the identical sequence");
+        let mut seen: Vec<(u32, Vec<u64>)> = a
+            .iter()
+            .map(|t| (t.rel().0, t.values().iter().map(|c| c.0).collect()))
+            .collect();
+        seen.sort();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), before, "stream must be duplicate-free");
+        // Dup-freeness makes stream positions whole-instance tuple ids.
+        assert_eq!(spec.materialize().num_tuples(), a.len());
+    }
+
+    #[test]
+    fn stream_spec_plants_disjoint_groups_with_zipf_relation_sizes() {
+        let q = parse_query("R(x,y), S(y,z), T(z,w)").unwrap();
+        let spec = StreamSpec::for_query(&q, 9, 600, 4, 32);
+        let group_of_constant = |c: u64| c / 32;
+        let mut per_rel = vec![0usize; 3];
+        for t in spec.stream() {
+            let g = group_of_constant(t.values()[0].0);
+            for c in t.values() {
+                assert_eq!(group_of_constant(c.0), g, "tuple spans two groups");
+            }
+            per_rel[t.rel().index()] += 1;
+        }
+        assert!(
+            per_rel[0] > per_rel[1] && per_rel[1] > per_rel[2],
+            "Zipf skew should order relation sizes: {per_rel:?}"
+        );
+        // Planted groups really are separate connected components.
+        let frozen = spec.materialize().freeze();
+        let plan = database::shard::partition(&frozen, 4);
+        assert!(plan.components >= 4, "expected >= 4 components");
+    }
+
+    #[test]
+    fn stream_spec_clamps_unary_relations_to_the_domain() {
+        let q = parse_query("A(x), R(x,y)").unwrap();
+        let spec = StreamSpec::for_query(&q, 1, 1000, 2, 8);
+        let mut unary = 0usize;
+        for t in spec.stream() {
+            if t.values().len() == 1 {
+                unary += 1;
+            }
+        }
+        assert!(
+            unary <= 2 * 8,
+            "at most width distinct unary tuples per group"
+        );
+        assert_eq!(spec.stream().count(), spec.len());
     }
 
     #[test]

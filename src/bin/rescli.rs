@@ -63,9 +63,13 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] [--plan-cache] \"<query>\" <database-file>\n  \
+        "usage:\n  rescli classify \"<query>\"\n  rescli solve [--json] [--plan-cache] [--snapshot] \"<query>\" <database-file|file.snap>\n  \
          rescli batch [--json] [--plan-cache] \"<query>\" <database-file>...\n  \
          rescli whatif [--json] \"<query>\" <database-file> <script-file>\n  \
+         rescli snapshot write [--json] \"<query>\" <database-file> <out.snap>\n  \
+         rescli snapshot info [--json] <file.snap>\n  \
+         rescli shard [--json] [--shards K] [--threads N] \"<query>\" <database-file>\n  \
+         rescli scatter [--json] --endpoints <addr,addr,...> \"<query>\" <shard.snap>...\n  \
          rescli serve <addr> [--workers N] [--shutdown-file PATH] [--plan-cache-capacity N]\n  \
          rescli remote [--json] <addr> solve|batch|whatif|stats|shutdown ...\n  \
          rescli ijp \"<query>\" [max-joins] [max-partitions]\n  rescli catalogue"
@@ -79,11 +83,19 @@ fn main() -> ExitCode {
     args.retain(|a| a != "--json");
     let plan_cache = args.iter().any(|a| a == "--plan-cache");
     args.retain(|a| a != "--plan-cache");
+    let snapshot = args.iter().any(|a| a == "--snapshot");
+    args.retain(|a| a != "--snapshot");
     match args.first().map(|s| s.as_str()) {
         Some("classify") if args.len() == 2 => classify_cmd(&args[1]),
+        Some("solve") if args.len() == 3 && snapshot => {
+            snapshot_solve_cmd(&args[1], &args[2], json)
+        }
         Some("solve") if args.len() == 3 => solve_cmd(&args[1], &args[2], json, plan_cache),
         Some("batch") if args.len() >= 3 => batch_cmd(&args[1], &args[2..], json, plan_cache),
         Some("whatif") if args.len() == 4 => whatif_cmd(&args[1], &args[2], &args[3], json),
+        Some("snapshot") if args.len() >= 2 => snapshot_cmd(&args[1..], json),
+        Some("shard") if args.len() >= 3 => shard_cmd(&args[1..], json),
+        Some("scatter") if args.len() >= 3 => scatter_cmd(&args[1..], json),
         Some("serve") if args.len() >= 2 => serve_cmd(&args[1..]),
         Some("remote") if args.len() >= 3 => remote_cmd(&args[1], &args[2..], json),
         Some("ijp") if (2..=4).contains(&args.len()) => {
@@ -147,7 +159,7 @@ fn load_database(q: &Query, path: &str) -> Result<Database, String> {
     parse_database(q, &text)
 }
 
-fn print_report_text(db: &Database, report: &SolveReport) {
+fn print_report_text<S: TupleStore + ?Sized>(db: &S, report: &SolveReport) {
     println!("tuples       : {}", db.num_tuples());
     match report.resilience {
         Resilience::Finite(r) => println!("resilience   : {r}  (method {:?})", report.method),
@@ -266,6 +278,311 @@ fn batch_cmd(text: &str, paths: &[String], json: bool, plan_cache: bool) -> Exit
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `rescli solve --snapshot "<query>" <file.snap>`: load a columnar
+/// snapshot (mmap where available, buffered otherwise) and solve it without
+/// re-freezing. Output matches `rescli solve` on the originating text file
+/// byte-for-byte.
+fn snapshot_solve_cmd(text: &str, path: &str, json: bool) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let snap = match database::snapshot::load(std::path::Path::new(path), &Default::default()) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("cannot load snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if snap.db.schema() != q.schema() {
+        eprintln!("snapshot {path} was written for a different schema");
+        return ExitCode::FAILURE;
+    }
+    let compiled = Engine::compile(&q);
+    let report = match compiled.solve(&snap.db, &SolveOptions::new()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"results\": [{}]}}",
+            json_escape(&q.to_string()),
+            json_escape(&compiled.classification().complexity.to_string()),
+            report_json(path, &snap.db, &report)
+        );
+    } else {
+        println!("query        : {q}");
+        println!("complexity   : {}", compiled.classification().complexity);
+        println!(
+            "snapshot     : {} bytes, {}",
+            snap.file_len,
+            if snap.mapped { "mmap" } else { "buffered" }
+        );
+        print_report_text(&snap.db, &report);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rescli snapshot write|info`.
+fn snapshot_cmd(args: &[String], json: bool) -> ExitCode {
+    match args.first().map(|s| s.as_str()) {
+        Some("write") if args.len() == 4 => snapshot_write_cmd(&args[1], &args[2], &args[3], json),
+        Some("info") if args.len() == 2 => snapshot_info_cmd(&args[1], json),
+        _ => usage(),
+    }
+}
+
+fn snapshot_write_cmd(text: &str, db_path: &str, out: &str, json: bool) -> ExitCode {
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let file_text = match fs::read_to_string(db_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {db_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (db, labels) = match parse_database_with_labels(&q, &file_text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let frozen = db.freeze();
+    let opts = database::snapshot::WriteOptions {
+        labels: Some(&labels),
+        source_ids: None,
+    };
+    match database::snapshot::write(std::path::Path::new(out), &frozen, &opts) {
+        Ok(stats) => {
+            if json {
+                println!(
+                    "{{\"snapshot\": \"{}\", \"bytes\": {}, \"sections\": {}, \"tuples\": {}}}",
+                    json_escape(out),
+                    stats.file_len,
+                    stats.sections,
+                    stats.tuples,
+                );
+            } else {
+                println!("snapshot     : {out}");
+                println!("bytes        : {}", stats.file_len);
+                println!("sections     : {}", stats.sections);
+                println!("tuples       : {}", stats.tuples);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write snapshot {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn snapshot_info_cmd(path: &str, json: bool) -> ExitCode {
+    let info = match database::snapshot::info(std::path::Path::new(path)) {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("cannot read snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        let sections: Vec<String> = info
+            .sections
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\": \"{}\", \"kind\": {}, \"offset\": {}, \"count\": {}, \"elem_size\": {}}}",
+                    json_escape(s.name),
+                    s.kind,
+                    s.offset,
+                    s.count,
+                    s.elem_size,
+                )
+            })
+            .collect();
+        println!(
+            "{{\"snapshot\": \"{}\", \"version\": {}, \"bytes\": {}, \"tuples\": {}, \
+             \"relations\": {}, \"labels\": {}, \"source_ids\": {}, \"sections\": [{}]}}",
+            json_escape(path),
+            info.version,
+            info.file_len,
+            info.tuples,
+            info.relations,
+            info.has_labels,
+            info.has_source_ids,
+            sections.join(", ")
+        );
+    } else {
+        println!("snapshot     : {path}");
+        println!("version      : {}", info.version);
+        println!("bytes        : {}", info.file_len);
+        println!("tuples       : {}", info.tuples);
+        println!("relations    : {}", info.relations);
+        println!("labels       : {}", info.has_labels);
+        println!("source ids   : {}", info.has_source_ids);
+        for s in &info.sections {
+            println!(
+                "  section {:<14} offset {:>10}  count {:>10}  elem {:>2} B",
+                s.name, s.offset, s.count, s.elem_size
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rescli shard [--shards K] [--threads N] "<query>" <database-file>`:
+/// partition the instance by join-connected component, solve the shards in
+/// parallel in-process, and print the merged report (identical to the
+/// whole-instance solve by the gather laws in `resilience::core::shard`).
+fn shard_cmd(args: &[String], json: bool) -> ExitCode {
+    let mut shards_k: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => shards_k = Some(n),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => return usage(),
+            },
+            _ => positional.push(arg),
+        }
+    }
+    let [text, path] = positional.as_slice() else {
+        return usage();
+    };
+    let q = match parse_or_exit(text) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let db = match load_database(&q, path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let k = shards_k.unwrap_or(hw.max(2));
+    let threads = threads.unwrap_or(hw);
+    let frozen = db.freeze();
+    let compiled = Engine::compile(&q);
+    let shards: Vec<resilience::core::shard::ShardInstance> =
+        database::shard::partition_shards(&frozen, k)
+            .into_iter()
+            .map(Into::into)
+            .collect();
+    let outcome = match resilience::core::shard::solve_sharded(
+        &compiled,
+        &shards,
+        &SolveOptions::new(),
+        threads,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sharded solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!(
+            "{{\"query\": \"{}\", \"complexity\": \"{}\", \"shards\": {}, \
+             \"query_components\": {}, \"results\": [{}]}}",
+            json_escape(&q.to_string()),
+            json_escape(&compiled.classification().complexity.to_string()),
+            outcome.shards,
+            outcome.query_components,
+            report_json(path, &frozen, &outcome.report)
+        );
+    } else {
+        println!("query        : {q}");
+        println!("complexity   : {}", compiled.classification().complexity);
+        println!(
+            "shards       : {} ({} query components)",
+            outcome.shards, outcome.query_components
+        );
+        print_report_text(&frozen, &outcome.report);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rescli scatter --endpoints <a,b> "<query>" <shard.snap>...`: scatter the
+/// shard snapshots across running `resd` daemons and gather the merged
+/// report (see `server::scatter`).
+fn scatter_cmd(args: &[String], json: bool) -> ExitCode {
+    let mut endpoints: Vec<String> = Vec::new();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--endpoints" => match it.next() {
+                Some(list) => {
+                    endpoints = list.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                None => return usage(),
+            },
+            _ => positional.push(arg),
+        }
+    }
+    if endpoints.is_empty() || positional.len() < 2 {
+        return usage();
+    }
+    let q = match parse_or_exit(positional[0]) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let paths: Vec<&std::path::Path> = positional[1..]
+        .iter()
+        .map(|p| std::path::Path::new(p.as_str()))
+        .collect();
+    match server::scatter::scatter_solve(&q, &endpoints, &paths, None) {
+        Ok(merged) => {
+            if json {
+                println!(
+                    "{{\"query\": \"{}\", \"results\": [{}]}}",
+                    json_escape(&q.to_string()),
+                    merged.to_json()
+                );
+            } else {
+                println!("query        : {q}");
+                println!(
+                    "shards       : {} across {} endpoints ({} query components)",
+                    merged.shards,
+                    endpoints.len(),
+                    merged.components
+                );
+                match merged.resilience {
+                    Some(r) => println!("resilience   : {r}  (method {})", merged.method),
+                    None => {
+                        println!("resilience   : unbounded (the query cannot be made false)")
+                    }
+                }
+                if let Some(gamma) = &merged.contingency {
+                    println!("contingency  : {}", gamma.join(" "));
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scatter failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

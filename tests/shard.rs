@@ -1,0 +1,451 @@
+//! Differential suite for the sharded & streaming instance subsystem.
+//!
+//! The contract under test (see `crates/core/src/shard.rs`,
+//! `crates/database/src/snapshot.rs` and `crates/server/src/scatter.rs`):
+//!
+//! * scatter/gather shard solves return the same resilience and witness
+//!   count as the whole-instance solve for every catalogue query, at any
+//!   shard count and thread count, and their contingency sets are genuine
+//!   minimum contingency sets of the *whole* instance (ids translated
+//!   through the shard source-id maps);
+//! * the merge handles every dispatch shape: component-minimum queries,
+//!   the raw store-generic scan over an unfrozen [`Database`], already-false
+//!   and unfalsifiable instances;
+//! * snapshots round-trip losslessly — a written-and-reloaded instance
+//!   (mmap and buffered) solves to a byte-identical rendered report;
+//! * corrupted, truncated and wrong-version snapshot files are rejected
+//!   with structured [`snapshot::SnapshotError`] kinds, and `resd` surfaces
+//!   them as `"snapshot"` protocol errors without dying;
+//! * a scatter across several `resd` processes equals the local solve.
+
+use cq::catalogue;
+use database::shard::partition_shards;
+use database::snapshot::{self, LoadMode, LoadOptions, WriteOptions};
+use database::{evaluate, Database, FrozenDb, TupleId};
+use resilience_core::engine::{CompiledQuery, Engine, SolveOptions, SolveReport, SolveScratch};
+use resilience_core::shard::{solve_sharded, ShardInstance};
+use server::jsonio::{self, report_body, JsonValue};
+use server::{Server, ServerConfig};
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use workloads::Workload;
+
+/// Builds a randomized instance for `q` covering every relation: a random
+/// R-graph, saturated unary relations, and a deterministic sprinkling for
+/// the other binary and ternary relations (same shape as the solver
+/// agreement suite).
+fn random_instance(q: &cq::Query, seed: u64, nodes: u64, density: f64) -> Database {
+    let mut workload = Workload::new(seed);
+    // `R` is only a graph relation when it is binary (the catalogue also
+    // has unary and ternary `R`s).
+    let graph_r = q
+        .schema()
+        .relation_id("R")
+        .is_some_and(|r| q.schema().arity(r) == 2);
+    let mut db = if graph_r {
+        workload.random_graph_relation(q, "R", nodes, density)
+    } else {
+        Database::for_query(q)
+    };
+    workload.saturate_unary_relations(q, &mut db, nodes);
+    for rel in q.schema().relation_ids() {
+        let name = q.schema().name(rel).to_string();
+        let arity = q.schema().arity(rel);
+        if arity == 2 && !(graph_r && name == "R") {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 13 + b * 7 + seed).is_multiple_of(4) {
+                        db.insert_named(&name, &[a, b]);
+                    }
+                }
+            }
+        }
+        if arity == 3 {
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if (a * 5 + b * 11 + seed).is_multiple_of(3) {
+                        db.insert_named(&name, &[a, b, (a + b) % nodes]);
+                    }
+                }
+            }
+        }
+    }
+    db
+}
+
+/// Asserts `merged` answers like `whole` on the same instance, and that a
+/// merged contingency really is a minimum contingency set of the whole
+/// instance.
+fn assert_merge_sound(
+    name: &str,
+    q: &cq::Query,
+    db: &Database,
+    whole: &SolveReport,
+    merged: &SolveReport,
+) {
+    assert_eq!(merged.resilience, whole.resilience, "{name}: resilience");
+    assert_eq!(merged.witnesses, whole.witnesses, "{name}: witnesses");
+    if let Some(gamma) = &merged.contingency {
+        assert_eq!(
+            Some(gamma.len()),
+            merged.resilience.as_finite(),
+            "{name}: contingency size"
+        );
+        let deleted: HashSet<TupleId> = gamma.iter().copied().collect();
+        assert_eq!(deleted.len(), gamma.len(), "{name}: duplicate ids");
+        assert!(
+            !evaluate(q, &db.without(&deleted)),
+            "{name}: contingency does not falsify"
+        );
+    }
+}
+
+fn solve_whole(compiled: &CompiledQuery, frozen: &FrozenDb) -> SolveReport {
+    compiled
+        .solve(frozen, &SolveOptions::new())
+        .expect("whole solve")
+}
+
+#[test]
+fn sharded_solves_match_whole_across_the_catalogue() {
+    let opts = SolveOptions::new();
+    for (i, nq) in catalogue::all_named_queries().into_iter().enumerate() {
+        let q = &nq.query;
+        let db = random_instance(q, 40 + i as u64, 6, 0.3);
+        let frozen = db.freeze();
+        let compiled = Engine::compile(q);
+        let whole = solve_whole(&compiled, &frozen);
+        for k in [1usize, 3] {
+            let shards: Vec<ShardInstance> = partition_shards(&frozen, k)
+                .into_iter()
+                .map(Into::into)
+                .collect();
+            for threads in [1usize, 2] {
+                let merged = solve_sharded(&compiled, &shards, &opts, threads)
+                    .unwrap_or_else(|e| panic!("{}: sharded solve failed: {e}", nq.name));
+                let label = format!("{} (k={k}, threads={threads})", nq.name);
+                assert_merge_sound(&label, q, &db, &whole, &merged.report);
+                assert_eq!(merged.shards, shards.len(), "{label}: shard count");
+            }
+        }
+    }
+}
+
+#[test]
+fn component_and_raw_scan_dispatch_shapes_agree_with_sharding() {
+    // Disconnected query: the whole solve dispatches component-wise
+    // (Lemma 14 minimum over components), the sharded path must re-derive
+    // the same minimum from per-component scatters.
+    let q = cq::parse_query("R(x,y), S(z,w)").unwrap();
+    let mut db = Database::for_query(&q);
+    db.insert_named("R", &[1, 2]);
+    db.insert_named("R", &[2, 3]);
+    db.insert_named("S", &[10, 11]);
+    let frozen = db.freeze();
+    let compiled = Engine::compile(&q);
+    let whole = solve_whole(&compiled, &frozen);
+    let shards: Vec<ShardInstance> = partition_shards(&frozen, 2)
+        .into_iter()
+        .map(Into::into)
+        .collect();
+    let merged = solve_sharded(&compiled, &shards, &SolveOptions::new(), 1).unwrap();
+    assert_merge_sound("disconnected", &q, &db, &whole, &merged.report);
+    assert_eq!(merged.query_components, 2);
+
+    // Raw-scan dispatch: the store-generic solve over the *unfrozen*
+    // mutable Database must agree with the gather over frozen shards.
+    let mut scratch = SolveScratch::new();
+    let raw = compiled
+        .solve_store(&db, &SolveOptions::new(), &mut scratch)
+        .unwrap();
+    assert_merge_sound("raw-scan", &q, &db, &raw, &merged.report);
+}
+
+/// Temp directory for this test binary's snapshot files.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shard-suite-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn snapshot_round_trip_is_byte_identical_across_the_catalogue() {
+    let dir = temp_dir("roundtrip");
+    for (i, nq) in catalogue::all_named_queries().into_iter().enumerate() {
+        let q = &nq.query;
+        let db = random_instance(q, 100 + i as u64, 6, 0.3);
+        let frozen = db.freeze();
+        let compiled = Engine::compile(q);
+        let whole = solve_whole(&compiled, &frozen);
+        let rendered = report_body(&frozen, &whole);
+        let path = dir.join(format!("q{i}.snap"));
+        snapshot::write(&path, &frozen, &WriteOptions::default()).unwrap();
+        for mode in [LoadMode::Mmap, LoadMode::Buffered] {
+            let snap = snapshot::load(
+                &path,
+                &LoadOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: load {mode:?} failed: {e}", nq.name));
+            assert_eq!(
+                snap.mapped,
+                mode == LoadMode::Mmap,
+                "{}: backing for {mode:?}",
+                nq.name
+            );
+            let report = solve_whole(&compiled, &snap.db);
+            assert_eq!(report, whole, "{}: report after {mode:?} load", nq.name);
+            assert_eq!(
+                report_body(&snap.db, &report),
+                rendered,
+                "{}: rendered report after {mode:?} load",
+                nq.name
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writes a small valid snapshot and returns its path and bytes.
+fn valid_snapshot(dir: &Path, name: &str) -> (PathBuf, Vec<u8>) {
+    let q = cq::parse_query("R(x,y), R(y,z)").unwrap();
+    let mut db = Database::for_query(&q);
+    db.insert_named("R", &[1, 2]);
+    db.insert_named("R", &[2, 3]);
+    db.insert_named("R", &[3, 3]);
+    let path = dir.join(name);
+    snapshot::write(&path, &db.freeze(), &WriteOptions::default()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+#[test]
+fn snapshots_reject_corruption_with_structured_errors() {
+    let dir = temp_dir("corruption");
+    let (path, bytes) = valid_snapshot(&dir, "base.snap");
+    let kind_of = |name: &str, mutate: &dyn Fn(&mut Vec<u8>)| -> &'static str {
+        let mut copy = bytes.clone();
+        mutate(&mut copy);
+        let p = dir.join(name);
+        std::fs::write(&p, &copy).unwrap();
+        snapshot::load(&p, &LoadOptions::default())
+            .expect_err("corrupted snapshot must not load")
+            .kind()
+    };
+    assert_eq!(kind_of("magic.snap", &|b| b[0] = b'X'), "bad_magic");
+    assert_eq!(
+        kind_of("version.snap", &|b| b[8..12]
+            .copy_from_slice(&99u32.to_le_bytes())),
+        "bad_version"
+    );
+    assert_eq!(
+        kind_of("flip.snap", &|b| {
+            let last = b.len() - 1;
+            b[last] ^= 0xff;
+        }),
+        "bad_checksum"
+    );
+    assert_eq!(
+        kind_of("trunc.snap", &|b| b.truncate(bytes.len() - 10)),
+        "truncated"
+    );
+    assert_eq!(
+        kind_of("stub.snap", &|b| b.truncate(4)),
+        "truncated",
+        "shorter than the header"
+    );
+    // The untouched original still loads.
+    assert!(snapshot::load(&path, &LoadOptions::default()).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn start_server(config: ServerConfig) -> (SocketAddr, ServerGuard) {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (
+        addr,
+        ServerGuard {
+            flag,
+            handle: Some(handle),
+        },
+    )
+}
+
+struct ServerGuard {
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[test]
+fn resd_loads_snapshots_and_rejects_bad_ones() {
+    let dir = temp_dir("resd");
+    let (path, bytes) = valid_snapshot(&dir, "chain.snap");
+    let (addr, _guard) = start_server(ServerConfig::new("127.0.0.1:0"));
+    let mut client = server::client::Client::connect_retrying(
+        &addr.to_string(),
+        server::client::RetryPolicy::standard(),
+    )
+    .unwrap();
+    let (qid, _, _) = client.compile("R(x,y), R(y,z)").unwrap();
+
+    // Loading the snapshot answers like loading the equivalent text.
+    let (v, _) = client
+        .request(&format!(
+            "{{\"op\": \"load\", \"query_id\": \"{qid}\", \"snapshot\": \"{}\"}}",
+            jsonio::json_escape(&path.display().to_string())
+        ))
+        .unwrap();
+    assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let db_id = v
+        .get("db_id")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(v.get("tuples").and_then(JsonValue::as_f64), Some(3.0));
+    let (solved, _) = client
+        .request(&format!(
+            "{{\"op\": \"solve\", \"query_id\": \"{qid}\", \"db_id\": \"{db_id}\"}}"
+        ))
+        .unwrap();
+    assert_eq!(solved.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let q = cq::parse_query("R(x,y), R(y,z)").unwrap();
+    let snap = snapshot::load(&path, &LoadOptions::default()).unwrap();
+    let local = solve_whole(&Engine::compile(&q), &snap.db);
+    assert_eq!(
+        solved
+            .get("result")
+            .and_then(|r| r.get("resilience"))
+            .and_then(JsonValue::as_f64),
+        local.resilience.as_finite().map(|k| k as f64),
+        "daemon solve over the snapshot differs from the local solve"
+    );
+
+    // A corrupted file is a structured protocol error, not a dead server.
+    let expect_error_kind = |client: &mut server::client::Client, request: &str, kind: &str| {
+        let raw = client.request_raw(request).unwrap();
+        let v = jsonio::parse_json(&raw).unwrap();
+        assert_eq!(
+            v.get("ok").and_then(JsonValue::as_bool),
+            Some(false),
+            "expected an error for {request}, got {raw}"
+        );
+        assert_eq!(
+            v.get("kind").and_then(JsonValue::as_str),
+            Some(kind),
+            "{raw}"
+        );
+    };
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    let bad_path = dir.join("corrupt.snap");
+    std::fs::write(&bad_path, &corrupt).unwrap();
+    expect_error_kind(
+        &mut client,
+        &format!(
+            "{{\"op\": \"load\", \"query_id\": \"{qid}\", \"snapshot\": \"{}\"}}",
+            jsonio::json_escape(&bad_path.display().to_string())
+        ),
+        "snapshot",
+    );
+
+    // A snapshot written for a different schema is a schema_mismatch.
+    let other = cq::parse_query("A(x), T(x,y)").unwrap();
+    let mut other_db = Database::for_query(&other);
+    other_db.insert_named("A", &[1]);
+    other_db.insert_named("T", &[1, 2]);
+    let other_path = dir.join("other.snap");
+    snapshot::write(&other_path, &other_db.freeze(), &WriteOptions::default()).unwrap();
+    expect_error_kind(
+        &mut client,
+        &format!(
+            "{{\"op\": \"load\", \"query_id\": \"{qid}\", \"snapshot\": \"{}\"}}",
+            jsonio::json_escape(&other_path.display().to_string())
+        ),
+        "schema_mismatch",
+    );
+
+    // The connection survived all of it.
+    let (v, _) = client.request("{\"op\": \"ping\"}").unwrap();
+    assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scatter_gather_across_daemons_matches_the_local_solve() {
+    let dir = temp_dir("scatter");
+    let opts = SolveOptions::new();
+
+    // Connected chain over two data components, and a disconnected query
+    // (per-component scatter queries) over the same instance.
+    for (tag, text) in [
+        ("connected", "R(x,y), S(y,z)"),
+        ("disconnected", "R(x,y), S(z,w)"),
+    ] {
+        let q = cq::parse_query(text).unwrap();
+        let mut db = Database::for_query(&q);
+        db.insert_named("R", &[1, 2]);
+        db.insert_named("S", &[2, 3]);
+        db.insert_named("R", &[2, 2]);
+        db.insert_named("R", &[10, 11]);
+        db.insert_named("S", &[11, 12]);
+        let frozen = db.freeze();
+        let compiled = Engine::compile(&q);
+        let whole = compiled.solve(&frozen, &opts).unwrap();
+
+        let shards = partition_shards(&frozen, 2);
+        let mut paths = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let path = dir.join(format!("{tag}-{i}.snap"));
+            snapshot::write(
+                &path,
+                &shard.frozen,
+                &WriteOptions {
+                    source_ids: Some(&shard.source_ids),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            paths.push(path);
+        }
+        let path_refs: Vec<&Path> = paths.iter().map(PathBuf::as_path).collect();
+
+        let (addr_a, _guard_a) = start_server(ServerConfig::new("127.0.0.1:0"));
+        let (addr_b, _guard_b) = start_server(ServerConfig::new("127.0.0.1:0"));
+        let endpoints = [addr_a.to_string(), addr_b.to_string()];
+        let merged = server::scatter::scatter_solve(&q, &endpoints, &path_refs, None)
+            .unwrap_or_else(|e| panic!("{tag}: scatter failed: {e}"));
+
+        assert_eq!(
+            merged.resilience,
+            whole.resilience.as_finite(),
+            "{tag}: scattered resilience"
+        );
+        assert_eq!(merged.witnesses, whole.witnesses, "{tag}: witnesses");
+        assert_eq!(merged.shards, shards.len(), "{tag}: shard count");
+        if let Some(gamma) = &merged.contingency {
+            assert_eq!(
+                Some(gamma.len()),
+                whole.resilience.as_finite(),
+                "{tag}: contingency size"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
